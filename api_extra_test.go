@@ -1,0 +1,110 @@
+package columnsgd_test
+
+import (
+	"math"
+	"testing"
+
+	columnsgd "columnsgd"
+)
+
+func TestTrainerDistributedAccuracy(t *testing.T) {
+	ds := genBinary(t, 300, 30, 17)
+	tr, err := columnsgd.NewTrainer(ds, columnsgd.Config{
+		LearningRate: 0.5, Workers: 3, BatchSize: 64, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Run(120); err != nil {
+		t.Fatal(err)
+	}
+	distAcc, err := tr.Accuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local := res.Accuracy(ds); math.Abs(distAcc-local) > 1e-12 {
+		t.Fatalf("distributed %v vs local %v", distAcc, local)
+	}
+	if distAcc < 0.8 {
+		t.Fatalf("accuracy = %v", distAcc)
+	}
+}
+
+func TestSetWeightsWarmStart(t *testing.T) {
+	ds := genBinary(t, 250, 25, 19)
+	cfg := columnsgd.Config{LearningRate: 0.5, Workers: 4, BatchSize: 64, Iterations: 100, Seed: 7}
+	res, err := columnsgd.Train(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := columnsgd.NewTrainer(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.SetWeights(res.Weights()); err != nil {
+		t.Fatal(err)
+	}
+	loss, err := warm.FullLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(loss-res.FinalLoss) > 1e-12 {
+		t.Fatalf("warm-start loss %v vs trained %v", loss, res.FinalLoss)
+	}
+	// Shape validation propagates.
+	if err := warm.SetWeights([][]float64{make([]float64, 3)}); err == nil {
+		t.Fatal("wrong width accepted")
+	}
+}
+
+func TestEpochAccessViaAPI(t *testing.T) {
+	ds := genBinary(t, 300, 20, 23)
+	tr, err := columnsgd.NewTrainer(ds, columnsgd.Config{
+		LearningRate: 0.3, Workers: 2, EpochAccess: true, BlockSize: 32, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := tr.FullLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Run(80); err != nil {
+		t.Fatal(err)
+	}
+	last, err := tr.FullLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(last < first) {
+		t.Fatalf("epoch access loss %v -> %v", first, last)
+	}
+}
+
+func TestStragglerSimulationViaAPI(t *testing.T) {
+	ds := genBinary(t, 200, 16, 29)
+	base := columnsgd.Config{LearningRate: 0.3, Workers: 4, BatchSize: 32, Iterations: 20, Seed: 3}
+
+	pure, err := columnsgd.Train(ds, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowCfg := base
+	slowCfg.SimulateStragglerLevel = 5
+	slow, err := columnsgd.Train(ds, slowCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.TrainTime <= pure.TrainTime {
+		t.Fatalf("straggler run (%v) not slower than pure (%v)", slow.TrainTime, pure.TrainTime)
+	}
+	// Stragglers are a timing phenomenon only: identical math.
+	if math.Abs(slow.FinalLoss-pure.FinalLoss) > 1e-12 {
+		t.Fatalf("straggler simulation changed the math: %v vs %v", slow.FinalLoss, pure.FinalLoss)
+	}
+}

@@ -1,0 +1,114 @@
+// Package-level benchmarks: one Benchmark per table and figure of the
+// paper (each drives the corresponding experiment in
+// internal/experiments, including its built-in shape checks), plus
+// kernel micro-benchmarks for the hot paths.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks print nothing on success; a failed shape
+// check (a result diverging from the paper) fails the benchmark.
+package columnsgd_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	columnsgd "columnsgd"
+	"columnsgd/internal/experiments"
+)
+
+// benchExperiment runs one registered experiment per iteration at the
+// standard benchmark scale.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := experiments.Config{Scale: 0.25, Seed: 42}
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(id, cfg, io.Discard); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+func BenchmarkTable1Validation(b *testing.B)      { benchExperiment(b, "table1") }
+func BenchmarkTable2DatasetStats(b *testing.B)    { benchExperiment(b, "table2") }
+func BenchmarkTable3LearningRates(b *testing.B)   { benchExperiment(b, "table3") }
+func BenchmarkFig4aBatchConvergence(b *testing.B) { benchExperiment(b, "fig4a") }
+func BenchmarkFig4bBatchLatency(b *testing.B)     { benchExperiment(b, "fig4b") }
+func BenchmarkFig7DataLoading(b *testing.B)       { benchExperiment(b, "fig7") }
+func BenchmarkFig8Convergence(b *testing.B)       { benchExperiment(b, "fig8") }
+func BenchmarkTable4PerIterationLR(b *testing.B)  { benchExperiment(b, "table4") }
+func BenchmarkTable5PerIterationFM(b *testing.B)  { benchExperiment(b, "table5") }
+func BenchmarkFig9Stragglers(b *testing.B)        { benchExperiment(b, "fig9") }
+func BenchmarkFig10ModelScalability(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFig11ClusterScalability(b *testing.B) {
+	benchExperiment(b, "fig11")
+}
+func BenchmarkFig13FaultTolerance(b *testing.B) { benchExperiment(b, "fig13") }
+
+func BenchmarkAblationWireFormats(b *testing.B)    { benchExperiment(b, "ablation-wire") }
+func BenchmarkAblationSampling(b *testing.B)       { benchExperiment(b, "ablation-sampling") }
+func BenchmarkAblationBackupCost(b *testing.B)     { benchExperiment(b, "ablation-backup") }
+func BenchmarkAblationStatisticsSize(b *testing.B) { benchExperiment(b, "ablation-stats") }
+func BenchmarkAblationBlockSize(b *testing.B)      { benchExperiment(b, "ablation-blocksize") }
+func BenchmarkAblationAccess(b *testing.B)         { benchExperiment(b, "ablation-access") }
+func BenchmarkAblationAsync(b *testing.B)          { benchExperiment(b, "ablation-async") }
+
+// Kernel micro-benchmarks: the per-iteration hot path of a ColumnSGD
+// worker (statistics + update) across models and batch sizes.
+func BenchmarkWorkerIteration(b *testing.B) {
+	for _, tc := range []struct {
+		model   columnsgd.ModelKind
+		factors int
+		batch   int
+	}{
+		{columnsgd.LogisticRegression, 0, 256},
+		{columnsgd.LogisticRegression, 0, 1024},
+		{columnsgd.LinearSVM, 0, 256},
+		{columnsgd.FactorizationMachine, 8, 256},
+	} {
+		name := fmt.Sprintf("%s/batch%d", tc.model, tc.batch)
+		b.Run(name, func(b *testing.B) {
+			ds, err := columnsgd.Generate(columnsgd.Synthetic{
+				N: 4000, Features: 8000, NNZPerRow: 15, Seed: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tr, err := columnsgd.NewTrainer(ds, columnsgd.Config{
+				Model: tc.model, Factors: tc.factors,
+				Workers: 4, BatchSize: tc.batch, LearningRate: 0.1, Seed: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tr.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEndToEndTraining measures a complete small training run
+// through the public API (workers, dispatch, 50 iterations, export).
+func BenchmarkEndToEndTraining(b *testing.B) {
+	ds, err := columnsgd.Generate(columnsgd.Synthetic{
+		N: 2000, Features: 2000, NNZPerRow: 10, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := columnsgd.Train(ds, columnsgd.Config{
+			Workers: 4, BatchSize: 128, LearningRate: 0.5, Iterations: 50, Seed: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

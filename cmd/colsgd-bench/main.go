@@ -1,0 +1,112 @@
+// Command colsgd-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	colsgd-bench                 # run everything
+//	colsgd-bench -exp table4     # one experiment
+//	colsgd-bench -list           # list experiment IDs
+//	colsgd-bench -scale 1.0      # dataset scale multiplier
+//
+// Each experiment prints the regenerated table/figure plus "check" lines
+// that assert the paper's qualitative result (orderings, speedup bands,
+// crossovers); a violated check exits non-zero.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"columnsgd/internal/experiments"
+	"columnsgd/internal/metrics"
+	"columnsgd/internal/plot"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "colsgd-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("colsgd-bench", flag.ContinueOnError)
+	var (
+		exp   = fs.String("exp", "", "experiment ID (empty = all)")
+		list  = fs.Bool("list", false, "list experiment IDs and exit")
+		scale = fs.Float64("scale", 1.0, "dataset scale multiplier")
+		seed  = fs.Int64("seed", 42, "random seed")
+		iters = fs.Int("iters", 0, "override per-run iteration count (0 = defaults)")
+		out   = fs.String("out", "", "also write the report to this file")
+		svg   = fs.String("svg", "", "also render every figure as an SVG file into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			desc, _ := experiments.Describe(id)
+			fmt.Fprintf(stdout, "%-20s %s\n", id, desc)
+		}
+		return nil
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = io.MultiWriter(stdout, f)
+	}
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Iters: *iters}
+	if *svg != "" {
+		if err := os.MkdirAll(*svg, 0o755); err != nil {
+			return err
+		}
+		n := 0
+		cfg.FigureSink = func(fig *metrics.Figure) error {
+			n++
+			path := filepath.Join(*svg, fmt.Sprintf("%03d-%s.svg", n, slug(fig.Title)))
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			rerr := plot.Render(fig, plot.Options{}, f)
+			if cerr := f.Close(); rerr == nil {
+				rerr = cerr
+			}
+			if rerr == nil {
+				fmt.Fprintf(stdout, "[svg] %s\n", path)
+			}
+			return rerr
+		}
+	}
+	if *exp == "" {
+		return experiments.RunAll(cfg, w)
+	}
+	return experiments.Run(*exp, cfg, w)
+}
+
+// slug turns a figure title into a safe file-name fragment.
+func slug(title string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(title) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ' || r == '-' || r == '_':
+			b.WriteByte('-')
+		}
+		if b.Len() >= 48 {
+			break
+		}
+	}
+	return strings.Trim(b.String(), "-")
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBenchList(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"table1", "fig8", "ablation-wire"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("list missing %s", want)
+		}
+	}
+}
+
+func TestBenchSingleExperimentWithOut(t *testing.T) {
+	outFile := filepath.Join(t.TempDir(), "report.txt")
+	var sb strings.Builder
+	if err := run([]string{"-exp", "ablation-wire", "-scale", "0.2", "-out", outFile}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "CSR") {
+		t.Fatalf("stdout missing table: %q", sb.String())
+	}
+	content, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(content) != sb.String() {
+		t.Fatal("file and stdout reports differ")
+	}
+}
+
+func TestBenchErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "nope"}, &sb); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-bogus"}, &sb); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-exp", "ablation-wire", "-out", "/no/such/dir/r.txt"}, &sb); err == nil {
+		t.Error("unwritable -out accepted")
+	}
+}
+
+func TestBenchSVGOutput(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "figs")
+	var sb strings.Builder
+	if err := run([]string{"-exp", "fig10", "-scale", "0.2", "-svg", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("svg files = %d, want 1", len(entries))
+	}
+	data, err := os.ReadFile(filepath.Join(dir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") || !strings.Contains(string(data), "polyline") {
+		t.Fatal("output is not an SVG chart")
+	}
+	if !strings.Contains(sb.String(), "[svg]") {
+		t.Fatal("svg path not reported")
+	}
+}
+
+func TestSlug(t *testing.T) {
+	if got := slug("Fig 8 — lr on kddb: träin loss"); !strings.HasPrefix(got, "fig-8") {
+		t.Fatalf("slug = %q", got)
+	}
+	if got := slug("///"); got != "" {
+		t.Fatalf("slug of punctuation = %q", got)
+	}
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"columnsgd/internal/dataset"
+)
+
+func TestGenCustom(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "d.libsvm")
+	var sb strings.Builder
+	err := run([]string{"-n", "200", "-features", "50", "-nnz", "5", "-out", out}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "wrote") {
+		t.Fatalf("output: %q", sb.String())
+	}
+	ds, err := dataset.LoadLibSVMFile(out, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 200 {
+		t.Fatalf("N = %d", ds.N())
+	}
+}
+
+func TestGenPresets(t *testing.T) {
+	for _, preset := range []string{"avazu", "kddb", "kdd12", "criteo", "wx"} {
+		out := filepath.Join(t.TempDir(), preset+".libsvm")
+		var sb strings.Builder
+		if err := run([]string{"-preset", preset, "-scale", "0.00001", "-out", out}, &sb); err != nil {
+			t.Errorf("%s: %v", preset, err)
+		}
+	}
+}
+
+func TestGenErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-n", "10"}, &sb); err == nil {
+		t.Error("missing -out accepted")
+	}
+	if err := run([]string{"-preset", "netflix", "-out", "/tmp/x"}, &sb); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if err := run([]string{"-n", "0", "-out", filepath.Join(t.TempDir(), "x")}, &sb); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	if err := run([]string{"-n", "5", "-out", "/no/such/dir/x.libsvm"}, &sb); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

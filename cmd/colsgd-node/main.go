@@ -1,0 +1,46 @@
+// Command colsgd-node runs one ColumnSGD worker as a standalone process,
+// serving the worker protocol over TCP until killed or signalled. A master
+// (colsgd-train -addrs, or the library with Config.WorkerAddrs) connects,
+// pushes column partitions, and drives SGD iterations.
+//
+// Usage:
+//
+//	colsgd-node -listen :7070          # on each worker machine
+//	colsgd-train -data d.libsvm -addrs w1:7070,w2:7070,w3:7070
+//
+// If the process is restarted after a crash, the master's fault-tolerance
+// path (§X of the paper) re-initializes it and reloads its shard on the
+// next iteration — no local state is needed. SIGINT/SIGTERM shut the
+// worker down cleanly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	columnsgd "columnsgd"
+)
+
+func main() {
+	listen := flag.String("listen", ":7070", "TCP listen address")
+	flag.Parse()
+
+	srv, err := columnsgd.ServeWorker(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "colsgd-node:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("colsgd-node: serving ColumnSGD worker on %s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Printf("colsgd-node: %v — shutting down\n", s)
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "colsgd-node:", err)
+		os.Exit(1)
+	}
+}

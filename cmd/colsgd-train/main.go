@@ -1,0 +1,140 @@
+// Command colsgd-train trains a model on LibSVM data with ColumnSGD.
+//
+// Usage:
+//
+//	colsgd-train -data train.libsvm -model lr -workers 4 -batch 1000 -lr 0.1 -iters 200
+//
+// Workers run in-process by default; pass -addrs host1:port,host2:port to
+// drive remote colsgd-node workers over TCP.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	columnsgd "columnsgd"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "colsgd-train:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("colsgd-train", flag.ContinueOnError)
+	var (
+		dataPath  = fs.String("data", "", "LibSVM training data path (required)")
+		features  = fs.Int("features", 0, "feature dimension (0 = infer from data)")
+		modelName = fs.String("model", "lr", "model: lr, svm, linreg, mlr, fm, or a registered custom model")
+		classes   = fs.Int("classes", 2, "class count for mlr")
+		factors   = fs.Int("factors", 10, "latent factors for fm")
+		workers   = fs.Int("workers", 4, "number of workers / column partitions")
+		backup    = fs.Int("backup", 0, "S-backup replication (workers divisible by S+1)")
+		optimizer = fs.String("opt", "sgd", "optimizer: sgd, momentum, adagrad, adam")
+		lr        = fs.Float64("lr", 0.1, "learning rate")
+		gridFlag  = fs.String("lr-grid", "", "comma-separated learning rates to grid-search (overrides -lr)")
+		l2        = fs.Float64("l2", 0, "L2 regularization")
+		l1        = fs.Float64("l1", 0, "L1 regularization")
+		batch     = fs.Int("batch", 1000, "mini-batch size B")
+		iters     = fs.Int("iters", 100, "SGD iterations")
+		blockSize = fs.Int("block", 1024, "loading block size")
+		epoch     = fs.Bool("epoch", false, "sequential epoch access instead of mini-batch sampling")
+		seed      = fs.Int64("seed", 1, "random seed")
+		evalEvery = fs.Int("eval-every", 10, "full-loss evaluation interval (0 = batch loss)")
+		addrs     = fs.String("addrs", "", "comma-separated TCP worker addresses (empty = in-process)")
+		modelOut  = fs.String("model-out", "", "write final weights (one value per line) to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataPath == "" {
+		fs.Usage()
+		return fmt.Errorf("-data is required")
+	}
+
+	ds, err := columnsgd.LoadLibSVMFile(*dataPath, *features)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "loaded %s: %s\n", *dataPath, ds.Stats())
+
+	cfg := columnsgd.Config{
+		Model:        columnsgd.ModelKind(*modelName),
+		Classes:      *classes,
+		Factors:      *factors,
+		Workers:      *workers,
+		Backup:       *backup,
+		Optimizer:    columnsgd.Optimizer(*optimizer),
+		LearningRate: *lr,
+		L2:           *l2,
+		L1:           *l1,
+		BatchSize:    *batch,
+		Iterations:   *iters,
+		BlockSize:    *blockSize,
+		EpochAccess:  *epoch,
+		Seed:         *seed,
+		EvalEvery:    *evalEvery,
+	}
+	if *addrs != "" {
+		cfg.WorkerAddrs = strings.Split(*addrs, ",")
+		cfg.Workers = len(cfg.WorkerAddrs)
+	}
+
+	if *gridFlag != "" {
+		var grid []float64
+		for _, s := range strings.Split(*gridFlag, ",") {
+			var v float64
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%g", &v); err != nil {
+				return fmt.Errorf("bad -lr-grid entry %q: %w", s, err)
+			}
+			grid = append(grid, v)
+		}
+		winner, results, err := columnsgd.GridSearch(ds, cfg, grid)
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			status := fmt.Sprintf("final loss %.6f", r.FinalLoss)
+			if r.Err != nil {
+				status = "failed: " + r.Err.Error()
+			}
+			fmt.Fprintf(stdout, "grid lr=%-8g %s\n", r.LearningRate, status)
+		}
+		fmt.Fprintf(stdout, "grid winner: lr=%g\n", winner.LearningRate)
+		cfg = winner
+	}
+
+	res, err := columnsgd.Train(ds, cfg)
+	if err != nil {
+		return err
+	}
+	for _, p := range res.LossCurve {
+		fmt.Fprintf(stdout, "iter %4d  loss %.6f  elapsed(modeled) %.3fs\n", p.Iteration, p.Loss, p.Elapsed.Seconds())
+	}
+	fmt.Fprintf(stdout, "final loss: %.6f\n", res.FinalLoss)
+	fmt.Fprintf(stdout, "training accuracy: %.4f\n", res.Accuracy(ds))
+	fmt.Fprintf(stdout, "statistics traffic: %d bytes; modeled load %v, train %v\n",
+		res.CommBytes, res.LoadTime, res.TrainTime)
+
+	if *modelOut != "" {
+		f, err := os.Create(*modelOut)
+		if err != nil {
+			return err
+		}
+		for _, row := range res.Weights() {
+			for _, v := range row {
+				fmt.Fprintf(f, "%g\n", v)
+			}
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "weights written to %s\n", *modelOut)
+	}
+	return nil
+}

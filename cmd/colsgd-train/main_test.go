@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	columnsgd "columnsgd"
+)
+
+func writeData(t *testing.T) string {
+	t.Helper()
+	ds, err := columnsgd.Generate(columnsgd.Synthetic{
+		N: 300, Features: 40, NNZPerRow: 6, NoiseRate: 0.02, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "train.libsvm")
+	if err := ds.SaveLibSVMFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunTrainsAndWritesModel(t *testing.T) {
+	data := writeData(t)
+	modelOut := filepath.Join(t.TempDir(), "weights.txt")
+	var sb strings.Builder
+	err := run([]string{
+		"-data", data, "-iters", "60", "-batch", "32", "-lr", "0.5",
+		"-workers", "2", "-model-out", modelOut,
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"loaded", "final loss:", "training accuracy:", "weights written"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	content, err := os.ReadFile(modelOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(content), "\n"); lines != 40 {
+		t.Fatalf("weights file has %d lines, want 40", lines)
+	}
+}
+
+func TestRunGridSearch(t *testing.T) {
+	data := writeData(t)
+	var sb strings.Builder
+	err := run([]string{
+		"-data", data, "-iters", "40", "-batch", "32", "-workers", "2",
+		"-lr-grid", "0.0001,0.5",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "grid winner: lr=0.5") {
+		t.Fatalf("grid output:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{}, &sb); err == nil {
+		t.Error("missing -data accepted")
+	}
+	if err := run([]string{"-data", "/does/not/exist"}, &sb); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-bogus-flag"}, &sb); err == nil {
+		t.Error("bad flag accepted")
+	}
+	data := writeData(t)
+	if err := run([]string{"-data", data, "-lr-grid", "abc"}, &sb); err == nil {
+		t.Error("bad grid entry accepted")
+	}
+	if err := run([]string{"-data", data, "-model", "bogus"}, &sb); err == nil {
+		t.Error("bad model accepted")
+	}
+}
+
+func TestRunEpochAccess(t *testing.T) {
+	data := writeData(t)
+	var sb strings.Builder
+	err := run([]string{
+		"-data", data, "-iters", "30", "-lr", "0.3", "-workers", "2",
+		"-epoch", "-block", "32",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "final loss:") {
+		t.Fatal("epoch run produced no summary")
+	}
+}

@@ -1,0 +1,281 @@
+package columnsgd_test
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	columnsgd "columnsgd"
+)
+
+func genBinary(t *testing.T, n, m int, seed int64) *columnsgd.Dataset {
+	t.Helper()
+	ds, err := columnsgd.Generate(columnsgd.Synthetic{
+		N: n, Features: m, NNZPerRow: 6, NoiseRate: 0.02, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestTrainQuickstart(t *testing.T) {
+	ds := genBinary(t, 400, 50, 1)
+	res, err := columnsgd.Train(ds, columnsgd.Config{
+		Model: columnsgd.LogisticRegression, Workers: 4,
+		BatchSize: 64, LearningRate: 0.5, Iterations: 150, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalLoss > 0.5 {
+		t.Fatalf("final loss = %v", res.FinalLoss)
+	}
+	if acc := res.Accuracy(ds); acc < 0.85 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+	if len(res.LossCurve) == 0 || res.CommBytes <= 0 || res.TrainTime <= 0 || res.LoadTime <= 0 {
+		t.Fatalf("result incomplete: %+v", res)
+	}
+	// Loss curve elapsed values are increasing.
+	for i := 1; i < len(res.LossCurve); i++ {
+		if res.LossCurve[i].Elapsed <= res.LossCurve[i-1].Elapsed {
+			t.Fatal("elapsed not increasing")
+		}
+	}
+	if w := res.Weights(); len(w) != 1 || len(w[0]) != 50 {
+		t.Fatalf("weights shape %dx%d", len(w), len(w[0]))
+	}
+	// Weights() returns a copy.
+	w1 := res.Weights()
+	w1[0][0] = 12345
+	if res.Weights()[0][0] == 12345 {
+		t.Fatal("Weights aliases internal state")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	ds := genBinary(t, 50, 10, 1)
+	if _, err := columnsgd.Train(ds, columnsgd.Config{}); err == nil {
+		t.Fatal("zero learning rate accepted")
+	}
+	if _, err := columnsgd.Train(ds, columnsgd.Config{
+		LearningRate: 1, Workers: 2, WorkerAddrs: []string{"one"},
+	}); err == nil {
+		t.Fatal("address/worker mismatch accepted")
+	}
+	if _, err := columnsgd.Train(ds, columnsgd.Config{
+		LearningRate: 1, Model: columnsgd.Multinomial, Classes: 1,
+	}); err == nil {
+		t.Fatal("mlr with 1 class accepted")
+	}
+}
+
+func TestTrainerStepwise(t *testing.T) {
+	ds := genBinary(t, 200, 30, 5)
+	tr, err := columnsgd.NewTrainer(ds, columnsgd.Config{
+		LearningRate: 0.5, Workers: 3, BatchSize: 32, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := tr.FullLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 80; i++ {
+		if _, err := tr.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	last, err := tr.FullLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(last < first) {
+		t.Fatalf("loss %v -> %v", first, last)
+	}
+	if tr.Trace() == nil || len(tr.Trace().Iterations) != 80 {
+		t.Fatal("trace incomplete")
+	}
+}
+
+func TestPredict(t *testing.T) {
+	ds := genBinary(t, 400, 40, 7)
+	res, err := columnsgd.Train(ds, columnsgd.Config{
+		LearningRate: 0.5, Workers: 2, BatchSize: 64, Iterations: 150, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := res.Predict(columnsgd.SparseVector{Indices: []int32{0, 3}, Values: []float64{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 && p != -1 {
+		t.Fatalf("binary prediction = %v", p)
+	}
+	if _, err := res.Predict(columnsgd.SparseVector{Indices: []int32{-1}, Values: []float64{1}}); err == nil {
+		t.Fatal("negative index accepted")
+	}
+}
+
+func TestAllModelKindsTrain(t *testing.T) {
+	cases := []struct {
+		cfg  columnsgd.Config
+		spec columnsgd.Synthetic
+	}{
+		{columnsgd.Config{Model: columnsgd.LinearSVM, LearningRate: 0.2},
+			columnsgd.Synthetic{N: 200, Features: 24, NNZPerRow: 5, Seed: 2}},
+		{columnsgd.Config{Model: columnsgd.LeastSquares, LearningRate: 0.05},
+			columnsgd.Synthetic{N: 200, Features: 24, NNZPerRow: 5, Seed: 3}},
+		{columnsgd.Config{Model: columnsgd.Multinomial, Classes: 3, LearningRate: 0.3},
+			columnsgd.Synthetic{N: 200, Features: 24, NNZPerRow: 5, Classes: 3, Seed: 4}},
+		{columnsgd.Config{Model: columnsgd.FactorizationMachine, Factors: 3, LearningRate: 0.03},
+			columnsgd.Synthetic{N: 200, Features: 24, NNZPerRow: 5, Seed: 5}},
+	}
+	for _, tc := range cases {
+		ds, err := columnsgd.Generate(tc.spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := tc.cfg
+		cfg.Workers = 3
+		cfg.BatchSize = 32
+		cfg.Iterations = 60
+		res, err := columnsgd.Train(ds, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.cfg.Model, err)
+		}
+		if math.IsNaN(res.FinalLoss) || math.IsInf(res.FinalLoss, 0) {
+			t.Fatalf("%s: final loss %v", tc.cfg.Model, res.FinalLoss)
+		}
+	}
+}
+
+func TestAllOptimizersViaAPI(t *testing.T) {
+	ds := genBinary(t, 200, 20, 9)
+	for _, o := range []columnsgd.Optimizer{columnsgd.SGD, columnsgd.Momentum, columnsgd.AdaGrad, columnsgd.Adam} {
+		res, err := columnsgd.Train(ds, columnsgd.Config{
+			Optimizer: o, LearningRate: 0.1, Workers: 2, BatchSize: 32, Iterations: 80, Seed: 3,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", o, err)
+		}
+		if res.FinalLoss > 0.69 { // below ln 2 = made progress
+			t.Fatalf("%s: final loss %v", o, res.FinalLoss)
+		}
+	}
+}
+
+func TestBackupViaAPI(t *testing.T) {
+	ds := genBinary(t, 150, 16, 11)
+	res, err := columnsgd.Train(ds, columnsgd.Config{
+		LearningRate: 0.3, Workers: 4, Backup: 1, BatchSize: 32, Iterations: 40, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.FinalLoss) {
+		t.Fatal("NaN loss")
+	}
+	if _, err := columnsgd.Train(ds, columnsgd.Config{
+		LearningRate: 0.3, Workers: 4, Backup: 2,
+	}); err == nil {
+		t.Fatal("4 %% 3 != 0 backup accepted")
+	}
+}
+
+func TestFromExamplesAndLibSVMRoundTrip(t *testing.T) {
+	examples := []columnsgd.Example{
+		{Label: 1, Features: columnsgd.SparseVector{Indices: []int32{0, 2}, Values: []float64{1, 0.5}}},
+		{Label: -1, Features: columnsgd.SparseVector{Indices: []int32{1}, Values: []float64{2}}},
+	}
+	ds, err := columnsgd.FromExamples(examples, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 2 || ds.Features() != 3 {
+		t.Fatalf("N=%d m=%d", ds.N(), ds.Features())
+	}
+	if !strings.Contains(ds.Stats(), "instances=2") {
+		t.Fatalf("Stats() = %q", ds.Stats())
+	}
+	path := filepath.Join(t.TempDir(), "d.libsvm")
+	if err := ds.SaveLibSVMFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := columnsgd.LoadLibSVMFile(path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 2 {
+		t.Fatalf("roundtrip N = %d", back.N())
+	}
+
+	if _, err := columnsgd.FromExamples(nil, 0); err == nil {
+		t.Fatal("empty examples accepted")
+	}
+	if _, err := columnsgd.FromExamples(examples, 2); err == nil {
+		t.Fatal("dimension overflow accepted")
+	}
+	if _, err := columnsgd.LoadLibSVM(strings.NewReader("x y\n"), 0); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestTrainOverTCPWorkers(t *testing.T) {
+	const k = 2
+	addrs := make([]string, k)
+	for i := range addrs {
+		srv, err := columnsgd.ServeWorker("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		addrs[i] = srv.Addr()
+	}
+	ds := genBinary(t, 150, 20, 13)
+	res, err := columnsgd.Train(ds, columnsgd.Config{
+		LearningRate: 0.5, Workers: k, WorkerAddrs: addrs,
+		BatchSize: 32, Iterations: 60, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalLoss > 0.6 {
+		t.Fatalf("TCP training loss = %v", res.FinalLoss)
+	}
+}
+
+func TestServeWorkerErrors(t *testing.T) {
+	srv, err := columnsgd.ServeWorker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second listener on the same port must fail.
+	if _, err := columnsgd.ServeWorker(srv.Addr()); err == nil {
+		t.Fatal("duplicate bind accepted")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	// NNZPerRow defaults and clamps.
+	ds, err := columnsgd.Generate(columnsgd.Synthetic{N: 10, Features: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Features() != 4 {
+		t.Fatalf("features = %d", ds.Features())
+	}
+	if _, err := columnsgd.Generate(columnsgd.Synthetic{N: 0, Features: 4}); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+	if s := ds.Sparsity(); s < 0 || s >= 1 {
+		t.Fatalf("sparsity = %v", s)
+	}
+}

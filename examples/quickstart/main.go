@@ -1,0 +1,53 @@
+// Quickstart: train logistic regression on synthetic data with ColumnSGD
+// and inspect the result — the 30-line tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	columnsgd "columnsgd"
+)
+
+func main() {
+	// A synthetic binary classification task: 10k examples, 5k sparse
+	// features with power-law popularity, 2% label noise.
+	ds, err := columnsgd.Generate(columnsgd.Synthetic{
+		N: 10000, Features: 5000, NNZPerRow: 12, NoiseRate: 0.02, Skew: 1.1, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("dataset:", ds.Stats())
+
+	// Train with 4 in-process workers: data and model are partitioned by
+	// columns; each iteration only exchanges batch-sized statistics.
+	res, err := columnsgd.Train(ds, columnsgd.Config{
+		Model:        columnsgd.LogisticRegression,
+		Workers:      4,
+		BatchSize:    256,
+		LearningRate: 0.5,
+		Iterations:   300,
+		EvalEvery:    25,
+		Seed:         7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, p := range res.LossCurve {
+		fmt.Printf("iter %4d  train loss %.4f\n", p.Iteration, p.Loss)
+	}
+	fmt.Printf("final loss %.4f, accuracy %.3f\n", res.FinalLoss, res.Accuracy(ds))
+	fmt.Printf("total statistics traffic: %d bytes (vs a %d-byte model that RowSGD would ship every iteration)\n",
+		res.CommBytes, ds.Features()*8)
+
+	// Score a fresh example with the assembled model.
+	pred, err := res.Predict(columnsgd.SparseVector{
+		Indices: []int32{3, 17, 256}, Values: []float64{1, 1, 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("prediction for new example:", pred)
+}

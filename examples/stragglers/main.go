@@ -1,0 +1,69 @@
+// Stragglers: demonstrate S-backup computation (paper §IV-B). A BSP
+// system is only as fast as its slowest worker; this example injects a
+// modeled straggler at two severity levels and shows that 1-backup
+// replication restores near-normal iteration times by letting the master
+// recover each group's statistics from the fastest replica and kill the
+// laggard.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	columnsgd "columnsgd"
+)
+
+func main() {
+	ds, err := columnsgd.Generate(columnsgd.Synthetic{
+		N: 8000, Features: 4000, NNZPerRow: 20, NoiseRate: 0.05, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("dataset:", ds.Stats())
+
+	const iters = 50
+	base := columnsgd.Config{
+		Workers:      4,
+		BatchSize:    256,
+		LearningRate: 0.5,
+		Iterations:   iters,
+		Seed:         9,
+	}
+
+	run := func(name string, mutate func(*columnsgd.Config)) (time.Duration, float64) {
+		cfg := base
+		mutate(&cfg)
+		res, err := columnsgd.Train(ds, cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		perIter := res.TrainTime / time.Duration(iters)
+		return perIter, res.FinalLoss
+	}
+
+	purePer, pureLoss := run("pure", func(c *columnsgd.Config) {})
+	sl1Per, _ := run("SL1", func(c *columnsgd.Config) { c.SimulateStragglerLevel = 1 })
+	sl5Per, _ := run("SL5", func(c *columnsgd.Config) { c.SimulateStragglerLevel = 5 })
+	backupPer, backupLoss := run("backup", func(c *columnsgd.Config) {
+		c.Backup = 1 // 4 workers → 2 groups of 2 replicas
+		c.SimulateStragglerLevel = 5
+		c.KillStragglers = true
+	})
+
+	fmt.Printf("\n%-28s %-18s %s\n", "configuration", "per-iteration", "vs pure")
+	row := func(name string, d time.Duration) {
+		fmt.Printf("%-28s %-18v %.1f×\n", name, d, float64(d)/float64(purePer))
+	}
+	row("ColumnSGD (no stragglers)", purePer)
+	row("ColumnSGD, straggler SL=1", sl1Per)
+	row("ColumnSGD, straggler SL=5", sl5Per)
+	row("ColumnSGD, 1-backup + SL=5", backupPer)
+
+	fmt.Printf("\nfinal loss without/with backup: %.4f / %.4f (backup replication changes no math)\n",
+		pureLoss, backupLoss)
+	fmt.Println("\nthe backup run detects the slow machine, recovers statistics from its group")
+	fmt.Println("replica, and kills it — per-iteration time returns to the pure baseline at the")
+	fmt.Println("cost of 2× data/model memory per worker (Fig 9 of the paper).")
+}

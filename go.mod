@@ -1,0 +1,3 @@
+module columnsgd
+
+go 1.22

@@ -1,0 +1,146 @@
+package columnsgd_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	columnsgd "columnsgd"
+)
+
+// TestFullPipeline exercises the complete production workflow in one
+// scenario: generate data, persist it as LibSVM, stream it into a real
+// TCP cluster with backup replication, grid-search the learning rate,
+// train, evaluate distributed, persist the model, and serve predictions
+// from a restored copy.
+func TestFullPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-stage integration test")
+	}
+	dir := t.TempDir()
+
+	// Stage 1: generate and persist the training data.
+	ds, err := columnsgd.Generate(columnsgd.Synthetic{
+		N: 600, Features: 120, NNZPerRow: 8, NoiseRate: 0.03, Skew: 1.1, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataPath := filepath.Join(dir, "train.libsvm")
+	if err := ds.SaveLibSVMFile(dataPath); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stage 2: a real TCP cluster with 4 workers (2 backup groups).
+	const k = 4
+	addrs := make([]string, k)
+	for i := 0; i < k; i++ {
+		srv, err := columnsgd.ServeWorker("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		addrs[i] = srv.Addr()
+	}
+	base := columnsgd.Config{
+		Workers:     k,
+		WorkerAddrs: addrs,
+		Backup:      1,
+		BatchSize:   64,
+		Iterations:  60,
+		Seed:        5,
+	}
+
+	// Stage 3: grid-search the learning rate (in-process for speed).
+	gridCfg := base
+	gridCfg.WorkerAddrs = nil
+	winner, _, err := columnsgd.GridSearch(ds, gridCfg, []float64{0.001, 0.1, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if winner.LearningRate == 0.001 {
+		t.Fatalf("grid search picked the timid rate")
+	}
+
+	// Stage 4: stream the file into the TCP cluster and train with the
+	// tuned rate.
+	cfg := base
+	cfg.LearningRate = winner.LearningRate
+	tr, err := columnsgd.NewTrainerFromFile(dataPath, 120, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Run(cfg.Iterations); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stage 5: distributed evaluation.
+	loss, err := tr.FullLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := tr.Accuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss > 0.6 || acc < 0.75 {
+		t.Fatalf("pipeline quality: loss %v, accuracy %v", loss, acc)
+	}
+
+	// Stage 6: persist, restore, and serve.
+	res, err := tr.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelPath := filepath.Join(dir, "model.bin")
+	if err := res.SaveModel(modelPath); err != nil {
+		t.Fatal(err)
+	}
+	weights, err := columnsgd.LoadModel(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := columnsgd.NewTrainer(ds, columnsgd.Config{
+		Workers: 2, BatchSize: 64, LearningRate: cfg.LearningRate, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.SetWeights(weights); err != nil {
+		t.Fatal(err)
+	}
+	restoredLoss, err := restored.FullLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(restoredLoss-loss) > 1e-12 {
+		t.Fatalf("restored model loss %v vs trained %v", restoredLoss, loss)
+	}
+
+	// Stage 7: the restored result predicts consistently with the
+	// original.
+	probe := columnsgd.SparseVector{Indices: []int32{2, 30, 77}, Values: []float64{1, 1, 1}}
+	p1, err := res.Predict(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resRestored, err := restored.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := resRestored.Predict(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatalf("restored prediction %v vs original %v", p2, p1)
+	}
+	// AUC as the final quality gate.
+	auc, err := res.AUC(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.8 {
+		t.Fatalf("AUC = %v", auc)
+	}
+}

@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func BenchmarkLocalCall(b *testing.B) {
+	l, err := NewLocal(1, echoService)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := l.Clients()[0]
+	args := &echoArgs{Text: "bench", N: 1}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var reply echoReply
+		if err := c.Call("echo", args, &reply); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLocalCallLargePayload(b *testing.B) {
+	l, err := NewLocal(1, echoService)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := l.Clients()[0]
+	payload := make([]float64, 10000)
+	b.SetBytes(int64(len(payload) * 8))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var out []float64
+		if err := c.Call("floats", payload, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTCPCall(b *testing.B) {
+	svc, err := echoService(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lis, err := newLoopbackListener()
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := NewServer(svc, lis)
+	go srv.Serve() //nolint:errcheck
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	args := &echoArgs{Text: "bench", N: 1}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var reply echoReply
+		if err := c.Call("echo", args, &reply); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package cluster is the distributed execution substrate ColumnSGD runs
+// on — the role Apache Spark plays in the paper. It provides a master/
+// worker request-response layer with two interchangeable transports:
+//
+//   - an in-process transport (channel.go) that still serializes every
+//     payload with encoding/gob, so byte counts, encode costs, and worker
+//     isolation match a real deployment while remaining deterministic;
+//   - a TCP transport (tcp.go) with length-prefixed gob framing for real
+//     multi-process deployments (cmd/colsgd-node).
+//
+// The master drives workers through Client.Call (the paper's "master
+// issues X() to all workers" pattern, Algorithms 2–4); workers expose
+// named methods through a Service registry. Failure injection hooks
+// support the straggler and fault-tolerance experiments (§IV-B, §X).
+package cluster
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+)
+
+// Envelope frames one request on the wire.
+type Envelope struct {
+	Method string
+	Args   interface{}
+}
+
+// Response frames one reply on the wire.
+type Response struct {
+	Value interface{}
+	Err   string
+}
+
+// ErrWorkerDown is returned by calls to a failed worker.
+var ErrWorkerDown = errors.New("cluster: worker down")
+
+// Client is the master's handle to one worker.
+type Client interface {
+	// Call invokes a named method. args is gob-encoded; the decoded
+	// result is stored into reply (a non-nil pointer, or nil to discard).
+	Call(method string, args, reply interface{}) error
+	// Bytes returns cumulative request+response payload bytes.
+	Bytes() int64
+	// Messages returns cumulative request+response message count.
+	Messages() int64
+	// Close releases the client.
+	Close() error
+}
+
+// HandlerFunc processes one decoded request and returns a result.
+type HandlerFunc func(args interface{}) (interface{}, error)
+
+// Service is a worker-side method registry.
+type Service struct {
+	mu      sync.RWMutex
+	methods map[string]HandlerFunc
+}
+
+// NewService creates an empty registry.
+func NewService() *Service {
+	return &Service{methods: make(map[string]HandlerFunc)}
+}
+
+// Register binds a method name to a handler. Re-registering replaces the
+// previous handler.
+func (s *Service) Register(method string, h HandlerFunc) {
+	s.mu.Lock()
+	s.methods[method] = h
+	s.mu.Unlock()
+}
+
+// Dispatch routes one request to its handler.
+func (s *Service) Dispatch(method string, args interface{}) (interface{}, error) {
+	s.mu.RLock()
+	h, ok := s.methods[method]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown method %q", method)
+	}
+	return h(args)
+}
+
+// encode gob-encodes v into a fresh buffer.
+func encode(v interface{}) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("cluster: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decode gob-decodes data into v.
+func decode(data []byte, v interface{}) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("cluster: decode: %w", err)
+	}
+	return nil
+}
+
+// storeReply copies a decoded value into the caller's reply pointer.
+func storeReply(reply, value interface{}) error {
+	if reply == nil {
+		return nil
+	}
+	rv := reflect.ValueOf(reply)
+	if rv.Kind() != reflect.Ptr || rv.IsNil() {
+		return fmt.Errorf("cluster: reply must be a non-nil pointer, got %T", reply)
+	}
+	if value == nil {
+		return nil
+	}
+	vv := reflect.ValueOf(value)
+	// Handlers commonly return pointers; unwrap when the caller's reply
+	// target expects the element type.
+	if !vv.Type().AssignableTo(rv.Elem().Type()) && vv.Kind() == reflect.Ptr && !vv.IsNil() &&
+		vv.Elem().Type().AssignableTo(rv.Elem().Type()) {
+		vv = vv.Elem()
+	}
+	if !vv.Type().AssignableTo(rv.Elem().Type()) {
+		return fmt.Errorf("cluster: cannot assign %s reply into %s", vv.Type(), rv.Elem().Type())
+	}
+	rv.Elem().Set(vv)
+	return nil
+}
+
+// Broadcast calls the same method on every client concurrently and
+// collects the per-worker errors (nil entries for successes). makeReply
+// may be nil for fire-and-forget methods; otherwise it must return a
+// fresh reply pointer per worker.
+func Broadcast(clients []Client, method string, args interface{}, makeReply func(worker int) interface{}) []error {
+	errs := make([]error, len(clients))
+	var wg sync.WaitGroup
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c Client) {
+			defer wg.Done()
+			var reply interface{}
+			if makeReply != nil {
+				reply = makeReply(i)
+			}
+			errs[i] = c.Call(method, args, reply)
+		}(i, c)
+	}
+	wg.Wait()
+	return errs
+}
+
+// FirstError returns the first non-nil error with its worker index, or
+// (-1, nil).
+func FirstError(errs []error) (int, error) {
+	for i, err := range errs {
+		if err != nil {
+			return i, err
+		}
+	}
+	return -1, nil
+}

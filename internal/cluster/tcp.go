@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// maxFrame bounds a single framed message (worksets for huge blocks stay
+// far below this; the bound rejects corrupt length prefixes).
+const maxFrame = 1 << 30
+
+// writeFrame writes a length-prefixed payload.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	if len(payload) > maxFrame {
+		return fmt.Errorf("cluster: frame of %d bytes exceeds limit", len(payload))
+	}
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed payload.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("cluster: frame length %d exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// Server serves one worker's Service over TCP. A worker process creates
+// its Service, then runs Serve on a listener; the master dials it.
+type Server struct {
+	svc    *Service
+	lis    net.Listener
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed atomic.Bool
+}
+
+// NewServer wraps a service and a listener.
+func NewServer(svc *Service, lis net.Listener) *Server {
+	return &Server{svc: svc, lis: lis, conns: make(map[net.Conn]struct{})}
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Serve accepts connections until the listener is closed. Each connection
+// handles requests sequentially (the master issues one call at a time per
+// worker, per the BSP execution model).
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return nil
+			}
+			return fmt.Errorf("cluster: accept: %w", err)
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		reqBytes, err := readFrame(conn)
+		if err != nil {
+			return // connection closed or broken; master will redial
+		}
+		var env Envelope
+		resp := Response{}
+		if err := decode(reqBytes, &env); err != nil {
+			resp.Err = err.Error()
+		} else {
+			value, herr := s.svc.Dispatch(env.Method, env.Args)
+			resp.Value = value
+			if herr != nil {
+				resp.Err = herr.Error()
+			}
+		}
+		respBytes, err := encode(&resp)
+		if err != nil {
+			// Encoding the handler result failed (unregistered type);
+			// report it instead of the value.
+			respBytes, err = encode(&Response{Err: err.Error()})
+			if err != nil {
+				return
+			}
+		}
+		if err := writeFrame(conn, respBytes); err != nil {
+			return
+		}
+	}
+}
+
+// Close shuts the server down, terminating open connections.
+func (s *Server) Close() error {
+	s.closed.Store(true)
+	err := s.lis.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// tcpClient is the master's handle to one TCP worker.
+type tcpClient struct {
+	mu    sync.Mutex
+	conn  net.Conn
+	bytes atomic.Int64
+	msgs  atomic.Int64
+}
+
+// Dial connects to a worker server.
+func Dial(addr string) (Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+	}
+	return &tcpClient{conn: conn}, nil
+}
+
+// Call implements Client.
+func (c *tcpClient) Call(method string, args, reply interface{}) error {
+	reqBytes, err := encode(&Envelope{Method: method, Args: args})
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return ErrWorkerDown
+	}
+	if err := writeFrame(c.conn, reqBytes); err != nil {
+		return fmt.Errorf("%w: %v", ErrWorkerDown, err)
+	}
+	respBytes, err := readFrame(c.conn)
+	if err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return fmt.Errorf("%w: connection lost", ErrWorkerDown)
+		}
+		return fmt.Errorf("%w: %v", ErrWorkerDown, err)
+	}
+	c.bytes.Add(int64(len(reqBytes) + len(respBytes)))
+	c.msgs.Add(2)
+	var resp Response
+	if err := decode(respBytes, &resp); err != nil {
+		return err
+	}
+	if resp.Err != "" {
+		return fmt.Errorf("cluster: remote: %s", resp.Err)
+	}
+	return storeReply(reply, resp.Value)
+}
+
+// Bytes implements Client.
+func (c *tcpClient) Bytes() int64 { return c.bytes.Load() }
+
+// Messages implements Client.
+func (c *tcpClient) Messages() int64 { return c.msgs.Load() }
+
+// Close implements Client.
+func (c *tcpClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}

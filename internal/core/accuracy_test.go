@@ -1,0 +1,161 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"columnsgd/internal/dataset"
+	"columnsgd/internal/model"
+)
+
+func TestFullAccuracyMatchesExportedModel(t *testing.T) {
+	ds := testData(t, 300, 24, 83)
+	cfg := baseConfig(3)
+	e, _ := newTestEngine(t, cfg)
+	if err := e.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	distributed, err := e.FullAccuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := e.ExportModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := Accuracy(e.Model(), full, ds)
+	if math.Abs(distributed-local) > 1e-12 {
+		t.Fatalf("distributed accuracy %v vs local %v", distributed, local)
+	}
+	if distributed < 0.8 {
+		t.Fatalf("accuracy suspiciously low: %v", distributed)
+	}
+}
+
+func TestFullAccuracyMLR(t *testing.T) {
+	ds, err := dataset.Generate(dataset.SyntheticSpec{
+		Name: "mlr", N: 300, Features: 20, NNZPerRow: 4, Classes: 4, Seed: 87,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(2)
+	cfg.ModelName = "mlr"
+	cfg.ModelArg = 4
+	e, _ := newTestEngine(t, cfg)
+	if err := e.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(120); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := e.FullAccuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc <= 0.25 { // must beat the 4-class random baseline
+		t.Fatalf("MLR accuracy = %v", acc)
+	}
+}
+
+func TestImportModelRoundTrip(t *testing.T) {
+	ds := testData(t, 200, 20, 89)
+	cfg := baseConfig(4)
+	e, _ := newTestEngine(t, cfg)
+	if err := e.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(60); err != nil {
+		t.Fatal(err)
+	}
+	trainedLoss, err := e.FullLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exported, err := e.ExportModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh engine warm-started from the export must evaluate to the
+	// identical loss.
+	e2, _ := newTestEngine(t, cfg)
+	if err := e2.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.ImportModel(exported); err != nil {
+		t.Fatal(err)
+	}
+	warmLoss, err := e2.FullLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(trainedLoss-warmLoss) > 1e-12 {
+		t.Fatalf("warm-start loss %v vs trained %v", warmLoss, trainedLoss)
+	}
+	// And continue training from there.
+	if _, err := e2.Run(30); err != nil {
+		t.Fatal(err)
+	}
+	cont, err := e2.FullLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cont > warmLoss+1e-6 {
+		t.Fatalf("continued training regressed: %v -> %v", warmLoss, cont)
+	}
+}
+
+func TestImportModelValidation(t *testing.T) {
+	ds := testData(t, 50, 10, 91)
+	cfg := baseConfig(2)
+	e, _ := newTestEngine(t, cfg)
+	if err := e.ImportModel(model.NewParams(1, 10)); err == nil {
+		t.Fatal("import before Load accepted")
+	}
+	if err := e.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ImportModel(model.NewParams(1, 7)); err == nil {
+		t.Fatal("wrong width accepted")
+	}
+	if err := e.ImportModel(model.NewParams(2, 10)); err == nil {
+		t.Fatal("wrong row count accepted")
+	}
+	if err := e.ImportModel(model.NewParams(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImportModelWithBackupReplicas(t *testing.T) {
+	ds := testData(t, 100, 16, 93)
+	cfg := baseConfig(4)
+	cfg.Backup = 1
+	e, _ := newTestEngine(t, cfg)
+	if err := e.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	full := model.NewParams(1, 16)
+	for j := range full.W[0] {
+		full.W[0][j] = float64(j) * 0.1
+	}
+	if err := e.ImportModel(full); err != nil {
+		t.Fatal(err)
+	}
+	back, err := e.ExportModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range full.W[0] {
+		if math.Abs(back.W[0][j]-full.W[0][j]) > 1e-15 {
+			t.Fatalf("import/export mismatch at %d: %v vs %v", j, back.W[0][j], full.W[0][j])
+		}
+	}
+	// Replicas stay consistent through subsequent training.
+	if _, err := e.Run(10); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"columnsgd/internal/dataset"
+)
+
+// BenchmarkEngineStep measures one full distributed iteration (statistics
+// gather, aggregation, update broadcast) through the in-process transport.
+func BenchmarkEngineStep(b *testing.B) {
+	ds, err := dataset.Generate(dataset.SyntheticSpec{
+		Name: "bench", N: 4000, Features: 8000, NNZPerRow: 15, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := baseConfig(4)
+	cfg.BatchSize = 256
+	prov, err := NewLocalProvider(cfg.Workers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := NewEngine(cfg, prov)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.Load(ds); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineLoad measures block-based column dispatching end to end.
+func BenchmarkEngineLoad(b *testing.B) {
+	ds, err := dataset.Generate(dataset.SyntheticSpec{
+		Name: "bench", N: 4000, Features: 8000, NNZPerRow: 15, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := baseConfig(4)
+		prov, err := NewLocalProvider(cfg.Workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := NewEngine(cfg, prov)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Load(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(ds.SizeBytes())
+}

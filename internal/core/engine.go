@@ -1,0 +1,896 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"columnsgd/internal/cluster"
+	"columnsgd/internal/dataset"
+	"columnsgd/internal/metrics"
+	"columnsgd/internal/model"
+	"columnsgd/internal/opt"
+	"columnsgd/internal/partition"
+	"columnsgd/internal/simnet"
+)
+
+// StragglerSpec injects stragglers into the modeled execution (§IV-B).
+type StragglerSpec struct {
+	// Level is the paper's StragglerLevel: the ratio between a
+	// straggler's extra time and a normal worker's time (SL1 ⇒ 2×
+	// total, SL5 ⇒ 6×).
+	Level float64
+	// Mode selects injection: "none", "random" (a random live worker
+	// each iteration), or "fixed" (always Worker).
+	Mode string
+	// Worker is the fixed straggler for Mode == "fixed".
+	Worker int
+}
+
+// Config configures a ColumnSGD training run.
+type Config struct {
+	// Workers is K.
+	Workers int
+	// Backup is S in S-backup computation; 0 disables replication.
+	// Workers must be divisible by S+1.
+	Backup int
+	// KillStragglers makes the master permanently stop querying workers
+	// it detected as recoverable stragglers (footnote 6 of the paper).
+	// Only meaningful with Backup > 0.
+	KillStragglers bool
+	// ModelName/ModelArg select the model (see model.New).
+	ModelName string
+	ModelArg  int
+	// Opt configures the optimizer replicated on every partition.
+	Opt opt.Config
+	// BatchSize is B.
+	BatchSize int
+	// BlockSize is the loading block size (Algorithm 4).
+	BlockSize int
+	// Scheme selects column partitioning: "range" or "roundrobin".
+	Scheme string
+	// Access selects the data-access pattern: "minibatch" (default, the
+	// two-phase index of §IV-A) or "epoch" (sequential block access with
+	// a per-epoch shuffle, the pattern of MXNet/Petuum/TensorFlow that
+	// §IV-A contrasts against). Under epoch access BatchSize is ignored;
+	// each iteration processes one whole block.
+	Access string
+	// Seed drives sampling, initialization, and straggler choice.
+	Seed int64
+	// Net prices communication and compute.
+	Net simnet.Model
+	// Stragglers optionally injects stragglers.
+	Stragglers StragglerSpec
+	// EvalEvery computes the full training loss every n iterations
+	// (0 ⇒ record the mini-batch loss each iteration instead).
+	EvalEvery int
+}
+
+func (c *Config) normalize() error {
+	if c.Workers <= 0 {
+		return fmt.Errorf("core: config needs positive Workers")
+	}
+	if c.Backup < 0 {
+		return fmt.Errorf("core: Backup must be ≥ 0")
+	}
+	if c.Backup > 0 && c.Workers%(c.Backup+1) != 0 {
+		return fmt.Errorf("core: Workers (%d) must be divisible by Backup+1 (%d)", c.Workers, c.Backup+1)
+	}
+	if c.BatchSize <= 0 {
+		return fmt.Errorf("core: config needs positive BatchSize")
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 1024
+	}
+	if c.ModelName == "" {
+		c.ModelName = "lr"
+	}
+	if c.Scheme == "" {
+		c.Scheme = "roundrobin"
+	}
+	switch c.Access {
+	case "", "minibatch", "epoch":
+	default:
+		return fmt.Errorf("core: unknown access mode %q", c.Access)
+	}
+	if c.Net.Name == "" {
+		c.Net = simnet.Cluster1().WithWorkers(c.Workers)
+	}
+	if err := c.Net.Validate(); err != nil {
+		return err
+	}
+	switch c.Stragglers.Mode {
+	case "", "none", "random", "fixed":
+	default:
+		return fmt.Errorf("core: unknown straggler mode %q", c.Stragglers.Mode)
+	}
+	return nil
+}
+
+// Engine is the ColumnSGD master (Algorithm 3). It owns no model state:
+// it schedules the workers, aggregates statistics, and prices iterations.
+type Engine struct {
+	cfg     Config
+	prov    Provider
+	clients []cluster.Client
+	mdl     model.Model
+	scheme  partition.Scheme
+
+	// Exactly one data source is retained for worker-failure recovery:
+	// the in-memory dataset, or the path of a streamed LibSVM file.
+	ds          *dataset.Dataset
+	srcPath     string
+	srcFeatures int
+
+	numBlocks int
+	numRows   int
+	totalNNZ  int64
+	dataBytes int64
+	live      []bool
+	// partOwners[p] lists the workers holding partition p (S+1 replicas
+	// under backup).
+	partOwners [][]int
+	// workerParts[w] lists the partitions worker w holds.
+	workerParts [][]int
+
+	rng   *rand.Rand
+	iter  int64
+	trace *metrics.Trace
+}
+
+// NewEngine validates the config and prepares the master.
+func NewEngine(cfg Config, prov Provider) (*Engine, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	mdl, err := model.New(cfg.ModelName, cfg.ModelArg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := opt.New(cfg.Opt); err != nil {
+		return nil, err
+	}
+	clients := prov.Clients()
+	if len(clients) != cfg.Workers {
+		return nil, fmt.Errorf("core: provider has %d workers, config says %d", len(clients), cfg.Workers)
+	}
+	e := &Engine{
+		cfg:     cfg,
+		prov:    prov,
+		clients: clients,
+		mdl:     mdl,
+		rng:     rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+		live:    make([]bool, cfg.Workers),
+	}
+	for i := range e.live {
+		e.live[i] = true
+	}
+	// Group layout: with S-backup, workers are divided into K/(S+1)
+	// groups; group g's workers each hold partitions g(S+1)..g(S+1)+S.
+	e.partOwners = make([][]int, cfg.Workers)
+	e.workerParts = make([][]int, cfg.Workers)
+	span := cfg.Backup + 1
+	for w := 0; w < cfg.Workers; w++ {
+		g := w / span
+		for s := 0; s < span; s++ {
+			p := g*span + s
+			e.workerParts[w] = append(e.workerParts[w], p)
+			e.partOwners[p] = append(e.partOwners[p], w)
+		}
+	}
+	return e, nil
+}
+
+// Trace returns the run's metrics trace (nil before Load).
+func (e *Engine) Trace() *metrics.Trace { return e.trace }
+
+// Scheme returns the column partitioning in use (nil before Load).
+func (e *Engine) Scheme() partition.Scheme { return e.scheme }
+
+// Iter returns the number of completed iterations.
+func (e *Engine) Iter() int64 { return e.iter }
+
+// LiveWorkers returns the indices of workers the master still queries.
+func (e *Engine) LiveWorkers() []int {
+	var out []int
+	for w, ok := range e.live {
+		if ok {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func (e *Engine) newScheme(m int) (partition.Scheme, error) {
+	switch e.cfg.Scheme {
+	case "range":
+		return partition.NewRange(m, e.cfg.Workers)
+	case "roundrobin":
+		return partition.NewRoundRobin(m, e.cfg.Workers)
+	case "hash":
+		return partition.NewHash(m, e.cfg.Workers)
+	default:
+		return nil, fmt.Errorf("core: unknown scheme %q", e.cfg.Scheme)
+	}
+}
+
+// Load runs initModel + block-based column dispatching (Algorithms 3–4)
+// over an in-memory dataset and records the modeled loading time.
+func (e *Engine) Load(ds *dataset.Dataset) error {
+	if ds.N() == 0 {
+		return fmt.Errorf("core: empty dataset")
+	}
+	e.ds = ds
+	e.srcPath = ""
+	lo := 0
+	next := func() (*dataset.Block, error) {
+		if lo >= ds.N() {
+			return nil, nil
+		}
+		hi := lo + e.cfg.BlockSize
+		if hi > ds.N() {
+			hi = ds.N()
+		}
+		blk := &dataset.Block{ID: lo / e.cfg.BlockSize, Points: ds.Points[lo:hi]}
+		lo = hi
+		return blk, nil
+	}
+	return e.loadFrom(next, ds.NumFeatures)
+}
+
+// LoadFile streams a LibSVM file through the block queue without ever
+// materializing the dataset at the master — the paper's actual loading
+// path, where row-major data lives in distributed storage. features is
+// the model dimension m (fixed a priori, per the paper's setup).
+func (e *Engine) LoadFile(path string, features int) error {
+	if features <= 0 {
+		return fmt.Errorf("core: LoadFile needs the feature dimension")
+	}
+	br, err := dataset.OpenBlockFile(path, e.cfg.BlockSize, features)
+	if err != nil {
+		return err
+	}
+	defer br.Close()
+	e.ds = nil
+	e.srcPath = path
+	e.srcFeatures = features
+	return e.loadFrom(br.Next, features)
+}
+
+// loadFrom is the shared loading path: init workers, stream blocks
+// through block-based column dispatching, finalize, and price the load.
+func (e *Engine) loadFrom(next func() (*dataset.Block, error), features int) error {
+	scheme, err := e.newScheme(features)
+	if err != nil {
+		return err
+	}
+	e.scheme = scheme
+
+	if err := e.initWorkers(e.allWorkers()); err != nil {
+		return err
+	}
+
+	// Block-based dispatching: every workset goes to all replicas of its
+	// partition.
+	_, stats, err := partition.DispatchStream(next, scheme, func(part int, ws *partition.Workset) error {
+		for _, w := range e.partOwners[part] {
+			if err := e.clients[w].Call(MethodLoad, &LoadArgs{Partition: part, Workset: ws}, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if stats.Rows == 0 {
+		return fmt.Errorf("core: data source is empty")
+	}
+	e.numBlocks = stats.Blocks
+	e.numRows = stats.Rows
+	e.totalNNZ = stats.NNZ
+	e.dataBytes = int64(stats.Rows)*8 + stats.NNZ*12
+	e.trace = &metrics.Trace{
+		System:  e.systemName(),
+		Dataset: fmt.Sprintf("n%d-m%d", stats.Rows, features),
+		ModelID: e.mdl.Name(),
+	}
+
+	if errs := cluster.Broadcast(e.clients, MethodLoadDone, &LoadDoneArgs{}, nil); anyErr(errs) != nil {
+		return anyErr(errs)
+	}
+
+	// Modeled load time: the row-to-column shuffle moves stats.Bytes
+	// (×replication) across K parallel links, having read the whole
+	// dataset once, spread over K readers.
+	repl := int64(e.cfg.Backup + 1)
+	e.trace.LoadCost = e.cfg.Net.LoadTime(stats.Messages*repl, stats.Bytes*repl, e.cfg.Workers, stats.NNZ/int64(e.cfg.Workers))
+	e.recordMemory()
+	return nil
+}
+
+func (e *Engine) systemName() string {
+	name := "ColumnSGD"
+	if e.cfg.Backup > 0 {
+		name = fmt.Sprintf("ColumnSGD-backup%d", e.cfg.Backup)
+	}
+	if e.cfg.Stragglers.Mode != "" && e.cfg.Stragglers.Mode != "none" {
+		name += fmt.Sprintf("-SL%g", e.cfg.Stragglers.Level)
+	}
+	return name
+}
+
+func (e *Engine) allWorkers() []int {
+	out := make([]int, e.cfg.Workers)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// initWorkers initializes the listed workers' model partitions.
+func (e *Engine) initWorkers(workers []int) error {
+	for _, w := range workers {
+		widths := make([]int, len(e.workerParts[w]))
+		for i, p := range e.workerParts[w] {
+			widths[i] = e.scheme.PartSize(p)
+		}
+		args := &InitArgs{
+			Worker:     w,
+			Partitions: e.workerParts[w],
+			Widths:     widths,
+			ModelName:  e.cfg.ModelName,
+			ModelArg:   e.cfg.ModelArg,
+			Opt:        e.cfg.Opt,
+			Seed:       e.cfg.Seed,
+		}
+		if err := e.clients[w].Call(MethodInit, args, nil); err != nil {
+			return fmt.Errorf("core: init worker %d: %w", w, err)
+		}
+	}
+	return nil
+}
+
+func anyErr(errs []error) error {
+	_, err := cluster.FirstError(errs)
+	return err
+}
+
+// trafficDelta measures request+response bytes and messages across all
+// clients between two points.
+func (e *Engine) traffic() (msgs, bytes int64) {
+	for _, c := range e.clients {
+		msgs += c.Messages()
+		bytes += c.Bytes()
+	}
+	return
+}
+
+// stragglerFor picks this iteration's injected straggler (-1 for none).
+func (e *Engine) stragglerFor() int {
+	s := e.cfg.Stragglers
+	if s.Mode == "" || s.Mode == "none" || s.Level <= 0 {
+		return -1
+	}
+	if s.Mode == "fixed" {
+		if e.live[s.Worker] {
+			return s.Worker
+		}
+		return -1
+	}
+	lives := e.LiveWorkers()
+	if len(lives) == 0 {
+		return -1
+	}
+	return lives[e.rng.Intn(len(lives))]
+}
+
+// workerReply pairs a worker with its stats reply and modeled time.
+type workerReply struct {
+	worker int
+	reply  StatsReply
+	t      time.Duration
+}
+
+// IterStats summarizes one completed iteration.
+type IterStats struct {
+	Loss float64
+	Cost simnet.IterationCost
+}
+
+// Step runs one SGD iteration (Algorithm 3 lines 5–8) and records it in
+// the trace.
+func (e *Engine) Step() (IterStats, error) {
+	if e.trace == nil {
+		return IterStats{}, fmt.Errorf("core: Load must run before Step")
+	}
+	wallStart := time.Now()
+	straggler := e.stragglerFor()
+	iterSeed := e.cfg.Seed + e.iter
+	epoch := e.cfg.Access == "epoch"
+	var epochSeed int64
+	if epoch {
+		// Reshuffle the block order once per pass over the data.
+		epochSeed = e.cfg.Seed + e.iter/int64(e.numBlocks)
+	}
+
+	var extraRecovery time.Duration
+
+	// Phase 1: computeStatistics, issued to all live workers in parallel
+	// (Algorithm 3 line 5). Aggregation order stays deterministic: the
+	// replies are kept in worker order.
+	m0, b0 := e.traffic()
+	lives := e.LiveWorkers()
+	replies := make([]workerReply, len(lives))
+	errs := make([]error, len(lives))
+	extras := make([]time.Duration, len(lives))
+	var wg sync.WaitGroup
+	for i, w := range lives {
+		wg.Add(1)
+		go func(i, w int) {
+			defer wg.Done()
+			var r StatsReply
+			errs[i] = e.callWithRecovery(w, MethodComputeStats,
+				&StatsArgs{Iter: iterSeed, BatchSize: e.cfg.BatchSize, Epoch: epoch, EpochSeed: epochSeed}, &r, &extras[i])
+			t := time.Duration(float64(r.NNZ) / e.cfg.Net.ComputeNNZPerSec * float64(time.Second))
+			if w == straggler {
+				t = time.Duration(float64(t) * (1 + e.cfg.Stragglers.Level))
+			}
+			replies[i] = workerReply{worker: w, reply: r, t: t}
+		}(i, w)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			return IterStats{}, errs[i]
+		}
+		extraRecovery += extras[i]
+	}
+	m1, b1 := e.traffic()
+
+	// Aggregate (reduceStatistics): under backup, use the fastest replica
+	// of each group; without backup, every live worker contributes.
+	agg, statsCompute, err := e.aggregate(replies, straggler)
+	if err != nil {
+		return IterStats{}, err
+	}
+
+	// Phase 2: broadcast aggregated statistics in parallel; workers
+	// compute gradients and update their model partitions (lines 7–8).
+	lives = e.LiveWorkers() // backup may have killed the straggler
+	updReplies := make([]UpdateReply, len(lives))
+	updErrs := make([]error, len(lives))
+	updExtras := make([]time.Duration, len(lives))
+	var wg2 sync.WaitGroup
+	for i, w := range lives {
+		wg2.Add(1)
+		go func(i, w int) {
+			defer wg2.Done()
+			updErrs[i] = e.callWithRecovery(w, MethodUpdate,
+				&UpdateArgs{Iter: iterSeed, BatchSize: e.cfg.BatchSize, Epoch: epoch, EpochSeed: epochSeed, Stats: agg}, &updReplies[i], &updExtras[i])
+		}(i, w)
+	}
+	wg2.Wait()
+	var loss float64
+	gotLoss := false
+	var updCompute time.Duration
+	for i, w := range lives {
+		if updErrs[i] != nil {
+			return IterStats{}, updErrs[i]
+		}
+		extraRecovery += updExtras[i]
+		t := time.Duration(float64(updReplies[i].NNZ) / e.cfg.Net.ComputeNNZPerSec * float64(time.Second))
+		if w == straggler {
+			t = time.Duration(float64(t) * (1 + e.cfg.Stragglers.Level))
+		}
+		if t > updCompute {
+			updCompute = t
+		}
+		if !gotLoss {
+			loss, gotLoss = updReplies[i].Loss, true
+		}
+	}
+	m2, b2 := e.traffic()
+
+	cost := simnet.IterationCost{
+		Sched: e.cfg.Net.SchedulingOverhead,
+		// Compute: statistics phase (critical path through the group
+		// structure) plus update phase (max over live workers).
+		Compute: statsCompute + updCompute + extraRecovery,
+	}
+	phases := []simnet.Phase{
+		{Label: "gather-stats", Messages: m1 - m0, Bytes: b1 - b0, Links: 1},
+		{Label: "bcast-stats", Messages: m2 - m1, Bytes: b2 - b1, Links: 1},
+	}
+	for _, p := range phases {
+		cost.Network += e.cfg.Net.Time(p)
+	}
+
+	recLoss := loss
+	if e.cfg.EvalEvery > 0 {
+		if int(e.iter)%e.cfg.EvalEvery == 0 {
+			full, err := e.FullLoss()
+			if err != nil {
+				return IterStats{}, err
+			}
+			recLoss = full
+		} else {
+			recLoss = nanF()
+		}
+	}
+
+	e.trace.Append(metrics.Iteration{
+		Index:        int(e.iter),
+		Loss:         recLoss,
+		Cost:         cost,
+		Phases:       phases,
+		MaxWorkerNNZ: maxNNZ(replies),
+		Wall:         time.Since(wallStart),
+	})
+	e.iter++
+	return IterStats{Loss: loss, Cost: cost}, nil
+}
+
+func maxNNZ(replies []workerReply) int64 {
+	var m int64
+	for _, r := range replies {
+		if r.reply.NNZ > m {
+			m = r.reply.NNZ
+		}
+	}
+	return m
+}
+
+func nanF() float64 {
+	var z float64
+	return 0 / z
+}
+
+// aggregate implements reduceStatistics. Without backup it sums every
+// reply. With backup it sums, per group, the fastest replica's statistics
+// (they are identical across replicas — verified in tests) and returns the
+// critical-path compute time: max over groups of the fastest member, per
+// the gradient-coding recovery argument of §IV-B. Detected stragglers are
+// killed when configured.
+func (e *Engine) aggregate(replies []workerReply, straggler int) ([]float64, time.Duration, error) {
+	if len(replies) == 0 {
+		return nil, 0, fmt.Errorf("core: no statistics replies")
+	}
+	agg := make([]float64, len(replies[0].reply.Stats))
+
+	if e.cfg.Backup == 0 {
+		var maxT time.Duration
+		for _, r := range replies {
+			if len(r.reply.Stats) != len(agg) {
+				return nil, 0, fmt.Errorf("core: worker %d returned %d stats, want %d", r.worker, len(r.reply.Stats), len(agg))
+			}
+			for i, v := range r.reply.Stats {
+				agg[i] += v
+			}
+			if r.t > maxT {
+				maxT = r.t
+			}
+		}
+		return agg, maxT, nil
+	}
+
+	span := e.cfg.Backup + 1
+	groups := e.cfg.Workers / span
+	best := make([]*workerReply, groups)
+	for i := range replies {
+		r := &replies[i]
+		g := r.worker / span
+		if best[g] == nil || r.t < best[g].t {
+			best[g] = r
+		}
+	}
+	var critical time.Duration
+	for g := 0; g < groups; g++ {
+		if best[g] == nil {
+			return nil, 0, fmt.Errorf("core: group %d has no live replica", g)
+		}
+		if len(best[g].reply.Stats) != len(agg) {
+			return nil, 0, fmt.Errorf("core: group %d stats length mismatch", g)
+		}
+		for i, v := range best[g].reply.Stats {
+			agg[i] += v
+		}
+		if best[g].t > critical {
+			critical = best[g].t
+		}
+	}
+	// Kill recoverable stragglers: the master has the statistics it
+	// needs, so a detected straggler whose group has another live
+	// replica is dropped permanently (paper footnote 6).
+	if e.cfg.KillStragglers && straggler >= 0 && e.live[straggler] {
+		g := straggler / span
+		if best[g] != nil && best[g].worker != straggler {
+			e.live[straggler] = false
+		}
+	}
+	return agg, critical, nil
+}
+
+// callWithRecovery performs a worker call with the paper's §X recovery
+// semantics: a transient (task) failure is retried on the same worker; a
+// down worker is restarted, re-initialized, re-loaded, its model partition
+// freshly initialized, and the call retried. The modeled recovery time is
+// accumulated into extra.
+func (e *Engine) callWithRecovery(w int, method string, args, reply interface{}, extra *time.Duration) error {
+	const maxAttempts = 3
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		err := e.clients[w].Call(method, args, reply)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if errors.Is(err, cluster.ErrWorkerDown) {
+			if rerr := e.recoverWorker(w, extra); rerr != nil {
+				return fmt.Errorf("core: worker %d unrecoverable: %w", w, rerr)
+			}
+			continue
+		}
+		// Task failure: relaunch the task (retry) on the same worker.
+		// Cost: one scheduling overhead per retry.
+		*extra += e.cfg.Net.SchedulingOverhead
+	}
+	return fmt.Errorf("core: worker %d failed after %d attempts: %w", w, maxAttempts, lastErr)
+}
+
+// recoverWorker restarts a crashed worker and rebuilds its state from the
+// retained training data (paper §X: reload data, reinitialize the model
+// partition, rely on SGD's robustness).
+func (e *Engine) recoverWorker(w int, extra *time.Duration) error {
+	if err := e.prov.Restart(w); err != nil {
+		return err
+	}
+	if err := e.initWorkers([]int{w}); err != nil {
+		return err
+	}
+	// Re-dispatch only this worker's partitions, from whichever source
+	// the job loaded.
+	parts := make(map[int]bool, len(e.workerParts[w]))
+	for _, p := range e.workerParts[w] {
+		parts[p] = true
+	}
+	deliver := func(part int, ws *partition.Workset) error {
+		if !parts[part] {
+			return nil
+		}
+		return e.clients[w].Call(MethodLoad, &LoadArgs{Partition: part, Workset: ws}, nil)
+	}
+	m0, b0 := e.clients[w].Messages(), e.clients[w].Bytes()
+	if e.ds != nil {
+		if _, _, err := partition.Dispatch(e.ds, e.scheme, e.cfg.BlockSize, deliver); err != nil {
+			return err
+		}
+	} else {
+		br, err := dataset.OpenBlockFile(e.srcPath, e.cfg.BlockSize, e.srcFeatures)
+		if err != nil {
+			return err
+		}
+		_, _, derr := partition.DispatchStream(br.Next, e.scheme, deliver)
+		br.Close()
+		if derr != nil {
+			return derr
+		}
+	}
+	if err := e.clients[w].Call(MethodLoadDone, &LoadDoneArgs{}, nil); err != nil {
+		return err
+	}
+	m1, b1 := e.clients[w].Messages(), e.clients[w].Bytes()
+	// Modeled reload time: this worker re-reads and re-receives its
+	// shard over a single link (the ≈23 s reload the paper measures in
+	// Fig. 13(b), at their scale).
+	*extra += e.cfg.Net.LoadTime(m1-m0, b1-b0, 1, e.totalNNZ/int64(e.cfg.Workers))
+	return nil
+}
+
+// Run executes iters iterations and returns the trace.
+func (e *Engine) Run(iters int) (*metrics.Trace, error) {
+	for i := 0; i < iters; i++ {
+		if _, err := e.Step(); err != nil {
+			return e.trace, err
+		}
+	}
+	return e.trace, nil
+}
+
+// FullLoss evaluates the training loss over the entire dataset using the
+// distributed statistics path (no model movement).
+func (e *Engine) FullLoss() (float64, error) {
+	agg, err := e.fullStats()
+	if err != nil {
+		return 0, err
+	}
+	// Any live worker can finalize: labels are shared.
+	lives := e.LiveWorkers()
+	if len(lives) == 0 {
+		return 0, fmt.Errorf("core: no live workers")
+	}
+	var r EvalLossReply
+	if err := e.clients[lives[0]].Call(MethodEvalLoss, &EvalLossArgs{FromBlock: 0, ToBlock: e.numBlocks, Stats: agg}, &r); err != nil {
+		return 0, err
+	}
+	if r.Count == 0 {
+		return 0, fmt.Errorf("core: evaluation covered no points")
+	}
+	return r.LossSum / float64(r.Count), nil
+}
+
+// FullAccuracy evaluates classification accuracy over the entire training
+// set via the distributed statistics path — the model never moves.
+func (e *Engine) FullAccuracy() (float64, error) {
+	agg, err := e.fullStats()
+	if err != nil {
+		return 0, err
+	}
+	lives := e.LiveWorkers()
+	if len(lives) == 0 {
+		return 0, fmt.Errorf("core: no live workers")
+	}
+	var r EvalAccuracyReply
+	if err := e.clients[lives[0]].Call(MethodEvalAccuracy,
+		&EvalAccuracyArgs{FromBlock: 0, ToBlock: e.numBlocks, Stats: agg}, &r); err != nil {
+		return 0, err
+	}
+	if r.Count == 0 {
+		return 0, fmt.Errorf("core: accuracy evaluation covered no points")
+	}
+	return float64(r.Correct) / float64(r.Count), nil
+}
+
+// ImportModel scatters a full parameter block to the workers' partitions
+// (warm starting / restoring a previously exported model). Optimizer
+// state is reset on every partition.
+func (e *Engine) ImportModel(full *model.Params) error {
+	if e.scheme == nil {
+		return fmt.Errorf("core: Load must run before ImportModel")
+	}
+	m := e.numFeatures()
+	if full.Rows() != e.mdl.ParamRows() || full.Width() != m {
+		return fmt.Errorf("core: import shape %dx%d, want %dx%d",
+			full.Rows(), full.Width(), e.mdl.ParamRows(), m)
+	}
+	for p := 0; p < e.cfg.Workers; p++ {
+		width := e.scheme.PartSize(p)
+		w := make([][]float64, full.Rows())
+		for row := range w {
+			w[row] = make([]float64, width)
+			for local := 0; local < width; local++ {
+				w[row][local] = full.W[row][e.scheme.Global(p, int32(local))]
+			}
+		}
+		for _, owner := range e.partOwners[p] {
+			if !e.live[owner] {
+				continue
+			}
+			if err := e.clients[owner].Call(MethodSetParams, &SetParamsArgs{Partition: p, W: w}, nil); err != nil {
+				return fmt.Errorf("core: import partition %d to worker %d: %w", p, owner, err)
+			}
+		}
+	}
+	return nil
+}
+
+// fullStats aggregates complete statistics for every training point, one
+// live replica per partition.
+func (e *Engine) fullStats() ([]float64, error) {
+	var agg []float64
+	for p := 0; p < e.cfg.Workers; p++ {
+		owner := -1
+		for _, w := range e.partOwners[p] {
+			if e.live[w] {
+				owner = w
+				break
+			}
+		}
+		if owner < 0 {
+			return nil, fmt.Errorf("core: partition %d has no live owner", p)
+		}
+		var r EvalReply
+		if err := e.clients[owner].Call(MethodEvalStats, &EvalArgs{Partition: p, FromBlock: 0, ToBlock: e.numBlocks}, &r); err != nil {
+			return nil, err
+		}
+		if agg == nil {
+			agg = make([]float64, len(r.Stats))
+		}
+		if len(r.Stats) != len(agg) {
+			return nil, fmt.Errorf("core: partition %d returned %d stats, want %d", p, len(r.Stats), len(agg))
+		}
+		for i, v := range r.Stats {
+			agg[i] += v
+		}
+	}
+	return agg, nil
+}
+
+// ExportModel assembles the full model from the workers' partitions: one
+// Params block of ParamRows × NumFeatures.
+func (e *Engine) ExportModel() (*model.Params, error) {
+	if e.scheme == nil {
+		return nil, fmt.Errorf("core: Load must run before ExportModel")
+	}
+	m := e.numFeatures()
+	full := model.NewParams(e.mdl.ParamRows(), m)
+	for p := 0; p < e.cfg.Workers; p++ {
+		owner := -1
+		for _, w := range e.partOwners[p] {
+			if e.live[w] {
+				owner = w
+				break
+			}
+		}
+		if owner < 0 {
+			return nil, fmt.Errorf("core: partition %d has no live owner", p)
+		}
+		var r ParamsReply
+		if err := e.clients[owner].Call(MethodGetParams, &ParamsArgs{Partition: p}, &r); err != nil {
+			return nil, err
+		}
+		for row := range r.W {
+			for local, v := range r.W[row] {
+				g := e.scheme.Global(p, int32(local))
+				if g < 0 || int(g) >= m {
+					return nil, fmt.Errorf("core: partition %d local %d maps out of range", p, local)
+				}
+				full.W[row][g] = v
+			}
+		}
+	}
+	return full, nil
+}
+
+// Model returns the model kernels in use (for prediction on exported
+// parameters).
+func (e *Engine) Model() model.Model { return e.mdl }
+
+// InjectTaskFailure arms n transient task failures on a worker.
+func (e *Engine) InjectTaskFailure(worker, n int) error {
+	return e.clients[worker].Call(MethodFailNext, &FailNextArgs{Calls: n}, nil)
+}
+
+// InjectWorkerFailure crashes a worker if the provider supports it.
+func (e *Engine) InjectWorkerFailure(worker int) error {
+	fi, ok := e.prov.(FailureInjector)
+	if !ok {
+		return fmt.Errorf("core: provider cannot inject failures")
+	}
+	fi.Fail(worker)
+	return nil
+}
+
+// recordMemory captures the Table I memory model from live state: the
+// master holds only the statistics buffer (B·statsPerPoint); each worker
+// holds its data shard, its model partition(s), and two batch-sized
+// buffers.
+func (e *Engine) recordMemory() {
+	spp := int64(e.mdl.StatsPerPoint())
+	e.trace.PeakMasterBytes = int64(e.cfg.BatchSize) * spp * 8
+	var maxWorker int64
+	repl := int64(e.cfg.Backup + 1)
+	dataPerPart := e.dataBytes / int64(e.cfg.Workers)
+	rows := int64(e.mdl.ParamRows())
+	for w := 0; w < e.cfg.Workers; w++ {
+		var modelBytes int64
+		for _, p := range e.workerParts[w] {
+			modelBytes += int64(e.scheme.PartSize(p)) * rows * 8
+		}
+		total := dataPerPart*repl + modelBytes + 2*int64(e.cfg.BatchSize)*spp*8
+		if total > maxWorker {
+			maxWorker = total
+		}
+	}
+	e.trace.PeakWorkerBytes = maxWorker
+}
+
+// numFeatures returns the loaded model dimension.
+func (e *Engine) numFeatures() int {
+	if e.ds != nil {
+		return e.ds.NumFeatures
+	}
+	return e.srcFeatures
+}

@@ -1,0 +1,522 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"columnsgd/internal/dataset"
+	"columnsgd/internal/model"
+	"columnsgd/internal/opt"
+	"columnsgd/internal/partition"
+	"columnsgd/internal/simnet"
+	"columnsgd/internal/vec"
+)
+
+func testData(t *testing.T, n, m int, seed int64) *dataset.Dataset {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.SyntheticSpec{
+		Name: "core-test", N: n, Features: m, NNZPerRow: maxi(2, m/6), NoiseRate: 0.02, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func baseConfig(k int) Config {
+	return Config{
+		Workers:   k,
+		ModelName: "lr",
+		Opt:       opt.Config{Algo: "sgd", LR: 0.5},
+		BatchSize: 32,
+		BlockSize: 16,
+		Seed:      42,
+		Net:       simnet.Cluster1().WithWorkers(k),
+	}
+}
+
+func newTestEngine(t *testing.T, cfg Config) (*Engine, *LocalProvider) {
+	t.Helper()
+	prov, err := NewLocalProvider(cfg.Workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(cfg, prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, prov
+}
+
+func TestConfigValidation(t *testing.T) {
+	prov, _ := NewLocalProvider(4)
+	bad := []Config{
+		{Workers: 0, BatchSize: 1},
+		{Workers: 4, BatchSize: 0},
+		{Workers: 4, BatchSize: 1, Backup: -1},
+		{Workers: 4, BatchSize: 1, Backup: 2}, // 4 % 3 != 0
+		{Workers: 4, BatchSize: 1, ModelName: "nope"},
+		{Workers: 4, BatchSize: 1, Opt: opt.Config{Algo: "bogus", LR: 1}},
+		{Workers: 4, BatchSize: 1, Stragglers: StragglerSpec{Mode: "chaotic"}},
+		{Workers: 3, BatchSize: 1}, // provider has 4 workers
+	}
+	for i, cfg := range bad {
+		if cfg.Opt.LR == 0 {
+			cfg.Opt = opt.Config{LR: 1}
+		}
+		if _, err := NewEngine(cfg, prov); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestStepBeforeLoadFails(t *testing.T) {
+	e, _ := newTestEngine(t, baseConfig(2))
+	if _, err := e.Step(); err == nil {
+		t.Fatal("Step before Load succeeded")
+	}
+	if _, err := e.ExportModel(); err == nil {
+		t.Fatal("ExportModel before Load succeeded")
+	}
+}
+
+func TestLoadEmptyDataset(t *testing.T) {
+	e, _ := newTestEngine(t, baseConfig(2))
+	if err := e.Load(&dataset.Dataset{NumFeatures: 5}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestTrainLRConverges(t *testing.T) {
+	ds := testData(t, 400, 30, 1)
+	cfg := baseConfig(4)
+	e, _ := newTestEngine(t, cfg)
+	if err := e.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	first, err := e.FullLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(150); err != nil {
+		t.Fatal(err)
+	}
+	last, err := e.FullLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last >= first*0.7 {
+		t.Fatalf("loss did not decrease enough: %v -> %v", first, last)
+	}
+	// Exported model should classify the (low-noise) training data well.
+	full, err := e.ExportModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(e.Model(), full, ds); acc < 0.85 {
+		t.Fatalf("train accuracy = %v", acc)
+	}
+	// Load cost and trace populated.
+	tr := e.Trace()
+	if tr.LoadCost <= 0 || len(tr.Iterations) != 150 {
+		t.Fatalf("trace: load=%v iters=%d", tr.LoadCost, len(tr.Iterations))
+	}
+	if tr.PeakMasterBytes <= 0 || tr.PeakWorkerBytes <= tr.PeakMasterBytes {
+		t.Fatalf("memory model: master=%d worker=%d", tr.PeakMasterBytes, tr.PeakWorkerBytes)
+	}
+}
+
+func TestTrainAllModelsLossDecreases(t *testing.T) {
+	cases := []struct {
+		name string
+		arg  int
+		gen  dataset.SyntheticSpec
+		opt  opt.Config
+	}{
+		{"svm", 0, dataset.SyntheticSpec{Name: "s", N: 300, Features: 24, NNZPerRow: 5, Seed: 2}, opt.Config{LR: 0.2}},
+		{"linreg", 0, dataset.SyntheticSpec{Name: "r", N: 300, Features: 24, NNZPerRow: 5, Seed: 3}, opt.Config{LR: 0.05}},
+		{"mlr", 3, dataset.SyntheticSpec{Name: "m", N: 300, Features: 24, NNZPerRow: 5, Classes: 3, Seed: 4}, opt.Config{LR: 0.3}},
+		{"fm", 4, dataset.SyntheticSpec{Name: "f", N: 300, Features: 24, NNZPerRow: 5, Seed: 5}, opt.Config{LR: 0.05}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := tc.gen
+			if tc.name == "linreg" {
+				// Regression labels: reuse binary ±1, fine for squared loss.
+				spec.NoiseRate = 0
+			}
+			ds, err := dataset.Generate(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := baseConfig(3)
+			cfg.ModelName = tc.name
+			cfg.ModelArg = tc.arg
+			cfg.Opt = tc.opt
+			e, _ := newTestEngine(t, cfg)
+			if err := e.Load(ds); err != nil {
+				t.Fatal(err)
+			}
+			first, err := e.FullLoss()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.Run(120); err != nil {
+				t.Fatal(err)
+			}
+			last, err := e.FullLoss()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !(last < first) {
+				t.Fatalf("%s: loss %v -> %v", tc.name, first, last)
+			}
+		})
+	}
+}
+
+// The flagship correctness test: the distributed ColumnSGD engine must
+// produce exactly the parameters of the sequential Algorithm 1 when fed
+// identical batches — across schemes and worker counts.
+func TestDistributedMatchesSequential(t *testing.T) {
+	ds := testData(t, 120, 20, 7)
+	for _, scheme := range []string{"range", "roundrobin", "hash"} {
+		for _, k := range []int{1, 3, 4} {
+			cfg := baseConfig(k)
+			cfg.Scheme = scheme
+			cfg.ModelName = "lr"
+			cfg.Opt = opt.Config{Algo: "sgd", LR: 0.3, L2: 0.01}
+			cfg.BlockSize = 16
+			e, _ := newTestEngine(t, cfg)
+			if err := e.Load(ds); err != nil {
+				t.Fatal(err)
+			}
+
+			seq, err := NewSequential(ds, "lr", 0, cfg.Opt, cfg.BatchSize, cfg.Seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Reconstruct the engine's exact batches via the shared
+			// two-phase sampler and feed them to the sequential trainer.
+			meta := make([]partition.BlockMeta, 0)
+			for lo, id := 0, 0; lo < ds.N(); lo, id = lo+cfg.BlockSize, id+1 {
+				hi := lo + cfg.BlockSize
+				if hi > ds.N() {
+					hi = ds.N()
+				}
+				meta = append(meta, partition.BlockMeta{ID: id, Rows: hi - lo})
+			}
+			sampler, err := partition.NewSampler(meta)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			const iters = 25
+			for it := 0; it < iters; it++ {
+				if _, err := e.Step(); err != nil {
+					t.Fatal(err)
+				}
+				refs := sampler.SampleBatch(cfg.Seed+int64(it), cfg.BatchSize)
+				b := model.Batch{Rows: make([]vec.Sparse, len(refs)), Labels: make([]float64, len(refs))}
+				for i, ref := range refs {
+					row := ref.BlockID*cfg.BlockSize + ref.Offset
+					b.Rows[i] = ds.Points[row].Features
+					b.Labels[i] = ds.Points[row].Label
+				}
+				if _, err := seq.StepBatch(b); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			full, err := e.ExportModel()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := seq.Params()
+			for j := 0; j < ds.NumFeatures; j++ {
+				if diff := math.Abs(full.W[0][j] - want.W[0][j]); diff > 1e-9 {
+					t.Fatalf("scheme=%s k=%d: w[%d] distributed %v vs sequential %v",
+						scheme, k, j, full.W[0][j], want.W[0][j])
+				}
+			}
+			// Distributed full loss must agree with sequential full loss.
+			dl, err := e.FullLoss()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sl := seq.FullLoss(); math.Abs(dl-sl) > 1e-9 {
+				t.Fatalf("scheme=%s k=%d: full loss %v vs %v", scheme, k, dl, sl)
+			}
+		}
+	}
+}
+
+// Backup replication must not change the trained model: replicas compute
+// identical statistics, so the aggregate is identical to the pure run.
+func TestBackupProducesIdenticalModel(t *testing.T) {
+	ds := testData(t, 100, 16, 9)
+	train := func(backup int) *model.Params {
+		cfg := baseConfig(4)
+		cfg.Backup = backup
+		cfg.Opt = opt.Config{LR: 0.4}
+		e, _ := newTestEngine(t, cfg)
+		if err := e.Load(ds); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(20); err != nil {
+			t.Fatal(err)
+		}
+		full, err := e.ExportModel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return full
+	}
+	pure := train(0)
+	backup := train(1)
+	for j := range pure.W[0] {
+		if math.Abs(pure.W[0][j]-backup.W[0][j]) > 1e-12 {
+			t.Fatalf("w[%d]: pure %v vs backup %v", j, pure.W[0][j], backup.W[0][j])
+		}
+	}
+}
+
+func TestBackupSystemName(t *testing.T) {
+	ds := testData(t, 40, 8, 3)
+	cfg := baseConfig(4)
+	cfg.Backup = 1
+	cfg.Stragglers = StragglerSpec{Mode: "random", Level: 1}
+	e, _ := newTestEngine(t, cfg)
+	if err := e.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	if name := e.Trace().System; !strings.Contains(name, "backup1") || !strings.Contains(name, "SL1") {
+		t.Fatalf("system name = %q", name)
+	}
+}
+
+func TestStragglerSlowsIterations(t *testing.T) {
+	ds := testData(t, 200, 16, 11)
+	meanCompute := func(level float64) float64 {
+		cfg := baseConfig(4)
+		if level > 0 {
+			cfg.Stragglers = StragglerSpec{Mode: "random", Level: level}
+		}
+		e, _ := newTestEngine(t, cfg)
+		if err := e.Load(ds); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(30); err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, it := range e.Trace().Iterations {
+			sum += it.Cost.Compute.Seconds()
+		}
+		return sum / 30
+	}
+	pure := meanCompute(0)
+	sl1 := meanCompute(1)
+	sl5 := meanCompute(5)
+	if !(pure < sl1 && sl1 < sl5) {
+		t.Fatalf("compute times not ordered: pure=%v sl1=%v sl5=%v", pure, sl1, sl5)
+	}
+	// SL5 should be roughly 6× pure (straggler dominates the max).
+	if ratio := sl5 / pure; ratio < 3 || ratio > 8 {
+		t.Fatalf("SL5/pure = %v, want ≈6", ratio)
+	}
+}
+
+func TestBackupMitigatesStragglersAndKills(t *testing.T) {
+	ds := testData(t, 200, 16, 13)
+	cfg := baseConfig(4)
+	cfg.Backup = 1
+	cfg.KillStragglers = true
+	cfg.Stragglers = StragglerSpec{Mode: "fixed", Worker: 2, Level: 5}
+	e, _ := newTestEngine(t, cfg)
+	if err := e.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	// The fixed straggler must have been killed after detection.
+	for _, w := range e.LiveWorkers() {
+		if w == 2 {
+			t.Fatal("straggler 2 still live")
+		}
+	}
+	// Training continues (group partner carries partition 2's replicas).
+	if _, err := e.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	// Per-iteration compute should look like the pure run, not 6×:
+	// compare with a no-backup straggler run.
+	slow := baseConfig(4)
+	slow.Stragglers = StragglerSpec{Mode: "fixed", Worker: 2, Level: 5}
+	es, _ := newTestEngine(t, slow)
+	if err := es.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := es.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	backupMean := e.Trace().MeanIterTime(1)
+	slowMean := es.Trace().MeanIterTime(1)
+	if backupMean >= slowMean {
+		t.Fatalf("backup (%v) not faster than straggling pure (%v)", backupMean, slowMean)
+	}
+}
+
+func TestCommunicationScalesWithBatchNotModel(t *testing.T) {
+	// The paper's core claim (Table I): ColumnSGD's per-iteration traffic
+	// depends on B, not on m.
+	bytesFor := func(m, batch int) int64 {
+		ds := testData(t, 150, m, 17)
+		cfg := baseConfig(4)
+		cfg.BatchSize = batch
+		e, _ := newTestEngine(t, cfg)
+		if err := e.Load(ds); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(5); err != nil {
+			t.Fatal(err)
+		}
+		its := e.Trace().Iterations
+		var b int64
+		for _, p := range its[len(its)-1].Phases {
+			b += p.Bytes
+		}
+		return b
+	}
+	smallModel := bytesFor(20, 32)
+	bigModel := bytesFor(800, 32)
+	if ratio := float64(bigModel) / float64(smallModel); ratio > 1.2 {
+		t.Fatalf("traffic grew %.2f× with 40× more features", ratio)
+	}
+	smallBatch := bytesFor(100, 8)
+	bigBatch := bytesFor(100, 256)
+	if ratio := float64(bigBatch) / float64(smallBatch); ratio < 4 {
+		t.Fatalf("traffic grew only %.2f× with 32× larger batch", ratio)
+	}
+}
+
+func TestEvalEveryRecordsFullLoss(t *testing.T) {
+	ds := testData(t, 100, 12, 19)
+	cfg := baseConfig(2)
+	cfg.EvalEvery = 5
+	e, _ := newTestEngine(t, cfg)
+	if err := e.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(11); err != nil {
+		t.Fatal(err)
+	}
+	its := e.Trace().Iterations
+	for i, it := range its {
+		hasLoss := !math.IsNaN(it.Loss)
+		if (i%5 == 0) != hasLoss {
+			t.Fatalf("iteration %d: loss recorded = %v", i, hasLoss)
+		}
+	}
+}
+
+func TestFullLossMatchesDirectComputation(t *testing.T) {
+	ds := testData(t, 80, 14, 23)
+	cfg := baseConfig(3)
+	e, _ := newTestEngine(t, cfg)
+	if err := e.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	full, err := e.ExportModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct: evaluate with the exported model.
+	b := model.Batch{Rows: make([]vec.Sparse, ds.N()), Labels: make([]float64, ds.N())}
+	for i := range ds.Points {
+		b.Rows[i] = ds.Points[i].Features
+		b.Labels[i] = ds.Points[i].Label
+	}
+	stats := e.Model().PartialStats(full, b, nil)
+	direct := model.BatchLoss(e.Model(), b.Labels, stats)
+	distributed, err := e.FullLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(direct-distributed) > 1e-9 {
+		t.Fatalf("full loss: direct %v vs distributed %v", direct, distributed)
+	}
+}
+
+func TestFMEndToEnd(t *testing.T) {
+	ds := testData(t, 200, 20, 29)
+	cfg := baseConfig(4)
+	cfg.ModelName = "fm"
+	cfg.ModelArg = 5
+	cfg.Opt = opt.Config{LR: 0.05}
+	e, _ := newTestEngine(t, cfg)
+	if err := e.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	first, _ := e.FullLoss()
+	if _, err := e.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	last, _ := e.FullLoss()
+	if !(last < first) {
+		t.Fatalf("FM loss %v -> %v", first, last)
+	}
+	// Exported FM evaluated directly must match the distributed loss.
+	full, err := e.ExportModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := model.Batch{Rows: make([]vec.Sparse, ds.N()), Labels: make([]float64, ds.N())}
+	for i := range ds.Points {
+		b.Rows[i] = ds.Points[i].Features
+		b.Labels[i] = ds.Points[i].Label
+	}
+	stats := e.Model().PartialStats(full, b, nil)
+	direct := model.BatchLoss(e.Model(), b.Labels, stats)
+	if math.Abs(direct-last) > 1e-9 {
+		t.Fatalf("FM loss: direct %v vs distributed %v", direct, last)
+	}
+	// FM statistics volume: (F+1)·B per direction per worker.
+	its := e.Trace().Iterations
+	var statBytes int64
+	for _, p := range its[len(its)-1].Phases {
+		statBytes += p.Bytes
+	}
+	minExpected := int64(cfg.Workers) * int64(cfg.BatchSize) * int64(cfg.ModelArg+1) * 8 * 2
+	if statBytes < minExpected {
+		t.Fatalf("FM stats traffic %d < expected floor %d", statBytes, minExpected)
+	}
+}
+
+func TestIterationWallTimeRecorded(t *testing.T) {
+	ds := testData(t, 60, 10, 113)
+	e, _ := newTestEngine(t, baseConfig(2))
+	if err := e.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range e.Trace().Iterations {
+		if it.Wall <= 0 {
+			t.Fatalf("iteration %d has no wall time", i)
+		}
+	}
+}

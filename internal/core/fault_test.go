@@ -1,0 +1,164 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"columnsgd/internal/cluster"
+	"columnsgd/internal/opt"
+)
+
+func TestTaskFailureRecovery(t *testing.T) {
+	ds := testData(t, 120, 16, 31)
+	cfg := baseConfig(3)
+	e, _ := newTestEngine(t, cfg)
+	if err := e.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	base := e.Trace().Iterations[4].Cost.Total()
+
+	// Arm two transient task failures on worker 1: the master must retry
+	// and the iteration must still complete.
+	if err := e.InjectTaskFailure(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	st, err := e.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The failed iteration costs extra scheduling rounds but completes.
+	if st.Cost.Total() <= base {
+		t.Fatalf("task-failure iteration (%v) not more expensive than clean one (%v)", st.Cost.Total(), base)
+	}
+	// Training continues normally afterwards.
+	if _, err := e.Run(5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTaskFailureExhaustsRetries(t *testing.T) {
+	ds := testData(t, 60, 8, 37)
+	cfg := baseConfig(2)
+	e, _ := newTestEngine(t, cfg)
+	if err := e.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	// More consecutive failures than the retry budget.
+	if err := e.InjectTaskFailure(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Step(); err == nil {
+		t.Fatal("step with unrecoverable task failures succeeded")
+	}
+}
+
+func TestWorkerFailureRecovery(t *testing.T) {
+	ds := testData(t, 200, 24, 41)
+	cfg := baseConfig(4)
+	cfg.Opt = opt.Config{LR: 0.5}
+	e, _ := newTestEngine(t, cfg)
+	if err := e.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(60); err != nil {
+		t.Fatal(err)
+	}
+	healthy, err := e.FullLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash worker 2 mid-training: the next step must transparently
+	// restart it, reload its shard, and reinitialize its model partition.
+	if err := e.InjectWorkerFailure(2); err != nil {
+		t.Fatal(err)
+	}
+	st, err := e.Step()
+	if err != nil {
+		t.Fatalf("step across worker failure: %v", err)
+	}
+	// Recovery adds substantial modeled time (data reload), like the
+	// ≈23 s reload in Fig. 13(b).
+	if st.Cost.Compute < 100*time.Microsecond {
+		t.Fatalf("recovery cost suspiciously small: %v", st.Cost)
+	}
+	// The reinitialized partition perturbs the model: loss may rise, but
+	// training must reconverge (the paper's robustness argument).
+	afterFail, err := e.FullLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(150); err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := e.FullLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered > healthy+0.08 {
+		t.Fatalf("did not reconverge: healthy %v, post-failure %v, recovered %v", healthy, afterFail, recovered)
+	}
+	// All workers live again.
+	if len(e.LiveWorkers()) != 4 {
+		t.Fatalf("live workers = %v", e.LiveWorkers())
+	}
+}
+
+func TestWorkerFailureDuringUpdatePhase(t *testing.T) {
+	// Crash after stats are computed but before update: recovery happens
+	// inside the update broadcast.
+	ds := testData(t, 100, 12, 43)
+	cfg := baseConfig(2)
+	e, prov := newTestEngine(t, cfg)
+	if err := e.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	prov.Fail(1)
+	if _, err := e.Step(); err != nil {
+		t.Fatalf("step across crash: %v", err)
+	}
+	if _, err := e.Run(3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteProviderValidation(t *testing.T) {
+	if _, err := NewRemoteProvider(nil); err == nil {
+		t.Fatal("empty address list accepted")
+	}
+	if _, err := NewRemoteProvider([]string{"127.0.0.1:1"}); err == nil {
+		t.Fatal("unreachable address accepted")
+	}
+}
+
+func TestInjectWorkerFailureUnsupportedProvider(t *testing.T) {
+	// A provider that is not a FailureInjector must be rejected.
+	ds := testData(t, 40, 8, 47)
+	cfg := baseConfig(2)
+	inner, err := NewLocalProvider(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(cfg, plainProvider{inner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.InjectWorkerFailure(0); err == nil {
+		t.Fatal("failure injection accepted on non-injector provider")
+	}
+}
+
+// plainProvider hides LocalProvider's FailureInjector implementation.
+type plainProvider struct{ p *LocalProvider }
+
+func (p plainProvider) Clients() []cluster.Client { return p.p.Clients() }
+func (p plainProvider) Restart(w int) error       { return p.p.Restart(w) }

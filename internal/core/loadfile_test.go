@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"columnsgd/internal/dataset"
+)
+
+func writeLibSVM(t *testing.T, ds *dataset.Dataset) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "train.libsvm")
+	if err := dataset.SaveLibSVMFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// Streaming a file through LoadFile must produce an identical training
+// run to loading the same data in memory.
+func TestLoadFileMatchesLoad(t *testing.T) {
+	ds := testData(t, 150, 20, 107)
+	path := writeLibSVM(t, ds)
+
+	runMem := func() float64 {
+		e, _ := newTestEngine(t, baseConfig(3))
+		if err := e.Load(ds); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(25); err != nil {
+			t.Fatal(err)
+		}
+		l, err := e.FullLoss()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	runFile := func() float64 {
+		e, _ := newTestEngine(t, baseConfig(3))
+		if err := e.LoadFile(path, ds.NumFeatures); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(25); err != nil {
+			t.Fatal(err)
+		}
+		l, err := e.FullLoss()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	mem, file := runMem(), runFile()
+	if math.Abs(mem-file) > 1e-12 {
+		t.Fatalf("streamed load diverged: %v vs %v", file, mem)
+	}
+}
+
+func TestLoadFileValidation(t *testing.T) {
+	e, _ := newTestEngine(t, baseConfig(2))
+	if err := e.LoadFile("/no/such/file", 10); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := e.LoadFile("x", 0); err == nil {
+		t.Fatal("missing feature dimension accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.libsvm")
+	if err := dataset.SaveLibSVMFile(empty, &dataset.Dataset{NumFeatures: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.LoadFile(empty, 4); err == nil {
+		t.Fatal("empty file accepted")
+	}
+}
+
+// Worker-failure recovery must also work when the job was loaded from a
+// file: the failed worker's shard is re-streamed from disk.
+func TestWorkerFailureRecoveryFromFile(t *testing.T) {
+	ds := testData(t, 120, 16, 109)
+	path := writeLibSVM(t, ds)
+
+	e, _ := newTestEngine(t, baseConfig(2))
+	if err := e.LoadFile(path, ds.NumFeatures); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.InjectWorkerFailure(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Step(); err != nil {
+		t.Fatalf("recovery from file failed: %v", err)
+	}
+	if _, err := e.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.FullLoss(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"net"
+	"testing"
+
+	"columnsgd/internal/cluster"
+)
+
+// Master failure (§X, case 3): the paper restarts the whole job. The
+// important system property is that a *new* master can reuse running
+// worker processes — init must fully replace any stale state left by the
+// previous job, so no worker restart is needed.
+func TestNewMasterReusesRunningWorkers(t *testing.T) {
+	const k = 2
+	addrs := make([]string, k)
+	for i := 0; i < k; i++ {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := cluster.NewServer(NewWorkerService(), lis)
+		go srv.Serve() //nolint:errcheck
+		t.Cleanup(func() { srv.Close() })
+		addrs[i] = srv.Addr()
+	}
+
+	ds := testData(t, 120, 16, 101)
+	run := func(iters int) float64 {
+		prov, err := NewRemoteProvider(addrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer prov.Close()
+		e, err := NewEngine(baseConfig(k), prov)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Load(ds); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(iters); err != nil {
+			t.Fatal(err)
+		}
+		l, err := e.FullLoss()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+
+	// First master trains, then "dies" (we just drop it).
+	first := run(30)
+	// Second master starts from scratch on the same worker processes;
+	// determinism means it must land on exactly the same loss.
+	second := run(30)
+	if first != second {
+		t.Fatalf("restarted job diverged: %v vs %v (stale worker state?)", first, second)
+	}
+
+	// A third master with a *different* configuration also works: the
+	// workers' init path must not assume matching shapes.
+	prov, err := NewRemoteProvider(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prov.Close()
+	cfg := baseConfig(k)
+	cfg.ModelName = "fm"
+	cfg.ModelArg = 3
+	cfg.Opt.LR = 0.05
+	e, err := NewEngine(cfg, prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds2 := testData(t, 80, 10, 103)
+	if err := e.Load(ds2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(10); err != nil {
+		t.Fatal(err)
+	}
+}

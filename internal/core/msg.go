@@ -1,0 +1,197 @@
+// Package core implements the ColumnSGD framework itself (paper §III–IV):
+// the master/worker execution of Algorithm 3 over column-partitioned data
+// and model, block-based loading, two-phase mini-batch sampling, S-backup
+// computation for straggler tolerance, and the fault-tolerance behaviours
+// of §X. It runs over any cluster.Client transport (in-process or TCP) and
+// prices every iteration with a simnet cost model.
+package core
+
+import (
+	"encoding/gob"
+
+	"columnsgd/internal/opt"
+	"columnsgd/internal/partition"
+	"columnsgd/internal/vec"
+)
+
+// InitArgs configures one worker before loading (Algorithm 3, initModel).
+type InitArgs struct {
+	// Worker is this worker's index.
+	Worker int
+	// Partitions lists the column-partition indices this worker stores
+	// (one entry normally; S+1 entries under S-backup computation).
+	Partitions []int
+	// Widths holds the feature width of each listed partition.
+	Widths []int
+	// ModelName/ModelArg select the model (see model.New).
+	ModelName string
+	ModelArg  int
+	// Opt configures the per-partition optimizer.
+	Opt opt.Config
+	// Seed drives model initialization (FM factors); combined with the
+	// partition index so replicas initialize identically.
+	Seed int64
+}
+
+// LoadArgs delivers one workset to one of the worker's partitions.
+type LoadArgs struct {
+	// Partition is the column-partition index the workset belongs to.
+	Partition int
+	// Workset is the CSR-packed block slice.
+	Workset *partition.Workset
+}
+
+// LoadDoneArgs finalizes loading; the worker builds its sampling index.
+type LoadDoneArgs struct{}
+
+// StatsArgs asks for partial statistics over the iteration's mini-batch
+// (Algorithm 3, computeStatistics).
+type StatsArgs struct {
+	// Iter seeds the two-phase sampler; identical on all workers.
+	Iter int64
+	// BatchSize is B (ignored under epoch access).
+	BatchSize int
+	// Epoch switches from two-phase mini-batch sampling to sequential
+	// epoch access: the iteration's batch is one whole block, taken from
+	// a per-epoch shuffled block order (the access pattern of systems
+	// like MXNet/Petuum, §IV-A). EpochSeed shuffles the block order.
+	Epoch     bool
+	EpochSeed int64
+}
+
+// StatsReply carries one worker's partial statistics.
+type StatsReply struct {
+	// Stats is batch·statsPerPoint partial sums, summed over the
+	// worker's partitions (replicas of a backup group return identical
+	// values).
+	Stats []float64
+	// NNZ is the kernel work performed, for compute-time modeling.
+	NNZ int64
+}
+
+// UpdateArgs broadcasts aggregated statistics back (Algorithm 3,
+// updateModel). The sampling fields mirror StatsArgs so the worker can
+// rematerialize the identical batch.
+type UpdateArgs struct {
+	Iter      int64
+	BatchSize int
+	Epoch     bool
+	EpochSeed int64
+	// Stats is the aggregated statistics vector.
+	Stats []float64
+}
+
+// UpdateReply reports the batch loss (identical on every worker, since it
+// is a function of the aggregated stats and the shared labels).
+type UpdateReply struct {
+	Loss float64
+	NNZ  int64
+}
+
+// EvalArgs asks for partial statistics over a row range of the full
+// training set (loss-curve evaluation).
+type EvalArgs struct {
+	// Partition selects which of the worker's column partitions to use
+	// (under backup computation a worker holds several).
+	Partition int
+	// FromBlock/ToBlock bound the half-open block range to evaluate.
+	FromBlock, ToBlock int
+}
+
+// EvalReply carries partial statistics plus the labels' loss once
+// aggregated (labels live on workers, so loss is finalized worker-side in
+// a second pass).
+type EvalReply struct {
+	Stats []float64
+	NNZ   int64
+}
+
+// EvalLossArgs finalizes evaluation: the aggregated statistics come back
+// and the worker computes the loss against its labels.
+type EvalLossArgs struct {
+	FromBlock, ToBlock int
+	Stats              []float64
+}
+
+// EvalLossReply returns the summed loss and point count of the range.
+type EvalLossReply struct {
+	LossSum float64
+	Count   int
+}
+
+// EvalAccuracyArgs finalizes a distributed accuracy evaluation: the
+// worker compares the model's predictions (from aggregated statistics)
+// against its labels over the block range.
+type EvalAccuracyArgs struct {
+	FromBlock, ToBlock int
+	Stats              []float64
+}
+
+// EvalAccuracyReply returns the correct-prediction count of the range.
+type EvalAccuracyReply struct {
+	Correct int
+	Count   int
+}
+
+// ParamsArgs requests a partition's parameter block (model export).
+type ParamsArgs struct {
+	Partition int
+}
+
+// SetParamsArgs overwrites a partition's parameter block (warm start /
+// model import).
+type SetParamsArgs struct {
+	Partition int
+	W         [][]float64
+}
+
+// ParamsReply returns the parameter block.
+type ParamsReply struct {
+	W [][]float64
+}
+
+// ResetPartitionArgs reinitializes one partition's model after a worker
+// failure (§X: reload data, assign fresh values to the model partition).
+type ResetPartitionArgs struct {
+	Partition int
+}
+
+// PingArgs probes liveness.
+type PingArgs struct{}
+
+// PingReply answers a probe.
+type PingReply struct {
+	Worker int
+}
+
+// FailNextArgs arms transient task-failure injection: the next n task
+// calls (computeStats/update) return an error, then behaviour returns to
+// normal. Models Spark task failures (§X, Fig. 13(a)).
+type FailNextArgs struct {
+	Calls int
+}
+
+func init() {
+	gob.Register(&InitArgs{})
+	gob.Register(&LoadArgs{})
+	gob.Register(&LoadDoneArgs{})
+	gob.Register(&StatsArgs{})
+	gob.Register(&StatsReply{})
+	gob.Register(&UpdateArgs{})
+	gob.Register(&UpdateReply{})
+	gob.Register(&EvalArgs{})
+	gob.Register(&EvalReply{})
+	gob.Register(&EvalLossArgs{})
+	gob.Register(&EvalLossReply{})
+	gob.Register(&EvalAccuracyArgs{})
+	gob.Register(&EvalAccuracyReply{})
+	gob.Register(&ParamsArgs{})
+	gob.Register(&ParamsReply{})
+	gob.Register(&SetParamsArgs{})
+	gob.Register(&ResetPartitionArgs{})
+	gob.Register(&PingArgs{})
+	gob.Register(&PingReply{})
+	gob.Register(&FailNextArgs{})
+	gob.Register(&partition.Workset{})
+	gob.Register(&vec.CSR{})
+}

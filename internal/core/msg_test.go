@@ -1,0 +1,153 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"columnsgd/internal/dataset"
+	"columnsgd/internal/model"
+	"columnsgd/internal/opt"
+	"columnsgd/internal/partition"
+	"columnsgd/internal/vec"
+)
+
+// Every protocol message must survive a gob round trip through the
+// Envelope framing used by both transports — this is what guards against
+// unregistered or unencodable wire types sneaking into the protocol.
+func TestAllMessagesGobRoundTrip(t *testing.T) {
+	csr := vec.NewCSR(4, 2)
+	_ = csr.AppendRow(vec.Sparse{Indices: []int32{1}, Values: []float64{0.5}})
+	_ = csr.AppendRow(vec.Sparse{})
+	ws := &partition.Workset{BlockID: 3, Labels: []float64{1, -1}, Data: csr}
+
+	messages := []interface{}{
+		&InitArgs{Worker: 1, Partitions: []int{0, 1}, Widths: []int{4, 4}, ModelName: "fm", ModelArg: 3,
+			Opt: opt.Config{Algo: "adam", LR: 0.1}, Seed: 7},
+		&LoadArgs{Partition: 1, Workset: ws},
+		&LoadDoneArgs{},
+		&StatsArgs{Iter: 5, BatchSize: 32, Epoch: true, EpochSeed: 2},
+		&StatsReply{Stats: []float64{1, 2.5, -3}, NNZ: 42},
+		&UpdateArgs{Iter: 5, BatchSize: 32, Stats: []float64{0.1}},
+		&UpdateReply{Loss: 0.5, NNZ: 10},
+		&EvalArgs{Partition: 2, FromBlock: 0, ToBlock: 9},
+		&EvalReply{Stats: []float64{1}, NNZ: 1},
+		&EvalLossArgs{FromBlock: 0, ToBlock: 2, Stats: []float64{1, 2}},
+		&EvalLossReply{LossSum: 3.5, Count: 2},
+		&EvalAccuracyArgs{FromBlock: 0, ToBlock: 2, Stats: []float64{1}},
+		&EvalAccuracyReply{Correct: 1, Count: 2},
+		&ParamsArgs{Partition: 0},
+		&ParamsReply{W: [][]float64{{1, 2}, {3, 4}}},
+		&SetParamsArgs{Partition: 1, W: [][]float64{{9}}},
+		&ResetPartitionArgs{Partition: 0},
+		&PingArgs{},
+		&PingReply{Worker: 3},
+		&FailNextArgs{Calls: 2},
+	}
+	for _, msg := range messages {
+		var buf bytes.Buffer
+		env := struct {
+			Method string
+			Args   interface{}
+		}{"m", msg}
+		if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
+			t.Errorf("%T: encode: %v", msg, err)
+			continue
+		}
+		var back struct {
+			Method string
+			Args   interface{}
+		}
+		if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+			t.Errorf("%T: decode: %v", msg, err)
+			continue
+		}
+		if la, ok := msg.(*LoadArgs); ok {
+			// CSR equality needs structural comparison.
+			got, ok := back.Args.(*LoadArgs)
+			if !ok {
+				t.Errorf("LoadArgs decoded as %T", back.Args)
+				continue
+			}
+			if got.Partition != la.Partition || got.Workset.BlockID != la.Workset.BlockID ||
+				!reflect.DeepEqual(got.Workset.Labels, la.Workset.Labels) ||
+				got.Workset.Data.Rows() != la.Workset.Data.Rows() {
+				t.Errorf("LoadArgs round trip mismatch: %+v", got)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(back.Args, msg) {
+			t.Errorf("%T round trip mismatch:\n got %+v\nwant %+v", msg, back.Args, msg)
+		}
+	}
+}
+
+// The distributed==sequential equivalence must hold for stateful
+// optimizers too: their state is column-partitioned exactly like the
+// model.
+func TestDistributedMatchesSequentialStatefulOptimizers(t *testing.T) {
+	ds := testData(t, 80, 16, 97)
+	for _, algo := range []string{"adagrad", "adam", "momentum"} {
+		optCfg := opt.Config{Algo: algo, LR: 0.1, Momentum: 0.9}
+		cfg := baseConfig(4)
+		cfg.Opt = optCfg
+		cfg.BlockSize = 16
+		e, _ := newTestEngine(t, cfg)
+		if err := e.Load(ds); err != nil {
+			t.Fatal(err)
+		}
+
+		seq, err := NewSequential(ds, "lr", 0, optCfg, cfg.BatchSize, cfg.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meta := []partition.BlockMeta{}
+		for lo, id := 0, 0; lo < ds.N(); lo, id = lo+cfg.BlockSize, id+1 {
+			hi := lo + cfg.BlockSize
+			if hi > ds.N() {
+				hi = ds.N()
+			}
+			meta = append(meta, partition.BlockMeta{ID: id, Rows: hi - lo})
+		}
+		sampler, err := partition.NewSampler(meta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for it := 0; it < 15; it++ {
+			if _, err := e.Step(); err != nil {
+				t.Fatal(err)
+			}
+			refs := sampler.SampleBatch(cfg.Seed+int64(it), cfg.BatchSize)
+			b := seqBatchFromRefs(ds, refs, cfg.BlockSize)
+			if _, err := seq.StepBatch(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		full, err := e.ExportModel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := seq.Params()
+		for j := range want.W[0] {
+			diff := full.W[0][j] - want.W[0][j]
+			if diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("%s: w[%d] distributed %v vs sequential %v", algo, j, full.W[0][j], want.W[0][j])
+			}
+		}
+	}
+}
+
+// seqBatchFromRefs maps two-phase sampler refs back to dataset rows.
+func seqBatchFromRefs(ds *dataset.Dataset, refs []partition.RowRef, blockSize int) model.Batch {
+	b := model.Batch{
+		Rows:   make([]vec.Sparse, len(refs)),
+		Labels: make([]float64, len(refs)),
+	}
+	for i, ref := range refs {
+		row := ref.BlockID*blockSize + ref.Offset
+		b.Rows[i] = ds.Points[row].Features
+		b.Labels[i] = ds.Points[row].Label
+	}
+	return b
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"columnsgd/internal/cluster"
+)
+
+// Provider abstracts where the workers run: in-process (LocalProvider) or
+// across TCP (cmd/colsgd-node + RemoteProvider). The engine only needs
+// clients plus restart for fault tolerance.
+type Provider interface {
+	// Clients returns one client per worker, indexed by worker ID.
+	Clients() []cluster.Client
+	// Restart replaces a failed worker with a fresh, empty one.
+	Restart(worker int) error
+}
+
+// FailureInjector is implemented by providers that can simulate machine
+// crashes (the in-process provider; used by the fault-tolerance and
+// straggler experiments).
+type FailureInjector interface {
+	Fail(worker int)
+}
+
+// LocalProvider runs the workers in-process over the gob channel
+// transport.
+type LocalProvider struct {
+	local *cluster.Local
+}
+
+// NewLocalProvider starts k in-process ColumnSGD workers.
+func NewLocalProvider(k int) (*LocalProvider, error) {
+	local, err := cluster.NewLocal(k, func(worker int) (*cluster.Service, error) {
+		return NewWorkerService(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &LocalProvider{local: local}, nil
+}
+
+// Clients implements Provider.
+func (p *LocalProvider) Clients() []cluster.Client { return p.local.Clients() }
+
+// Restart implements Provider.
+func (p *LocalProvider) Restart(worker int) error { return p.local.Restart(worker) }
+
+// Fail implements FailureInjector.
+func (p *LocalProvider) Fail(worker int) { p.local.Fail(worker) }
+
+// RemoteProvider connects to already-running worker processes over TCP.
+type RemoteProvider struct {
+	addrs   []string
+	clients []cluster.Client
+}
+
+// NewRemoteProvider dials one worker per address.
+func NewRemoteProvider(addrs []string) (*RemoteProvider, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("core: remote provider needs at least one address")
+	}
+	p := &RemoteProvider{addrs: addrs, clients: make([]cluster.Client, len(addrs))}
+	for i, addr := range addrs {
+		c, err := cluster.Dial(addr)
+		if err != nil {
+			for _, prev := range p.clients[:i] {
+				prev.Close()
+			}
+			return nil, err
+		}
+		p.clients[i] = c
+	}
+	return p, nil
+}
+
+// Clients implements Provider.
+func (p *RemoteProvider) Clients() []cluster.Client { return p.clients }
+
+// Restart implements Provider by redialing the worker's address — the
+// worker process itself must have been restarted by the operator (or a
+// supervisor); the engine then reloads its state.
+func (p *RemoteProvider) Restart(worker int) error {
+	if worker < 0 || worker >= len(p.clients) {
+		return fmt.Errorf("core: restart: no worker %d", worker)
+	}
+	p.clients[worker].Close()
+	c, err := cluster.Dial(p.addrs[worker])
+	if err != nil {
+		return fmt.Errorf("core: redial worker %d: %w", worker, err)
+	}
+	p.clients[worker] = c
+	return nil
+}
+
+// Close closes all clients.
+func (p *RemoteProvider) Close() {
+	for _, c := range p.clients {
+		c.Close()
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"columnsgd/internal/dataset"
+	"columnsgd/internal/model"
+	"columnsgd/internal/opt"
+	"columnsgd/internal/vec"
+)
+
+func TestSequentialValidation(t *testing.T) {
+	ds := testData(t, 50, 10, 3)
+	if _, err := NewSequential(&dataset.Dataset{NumFeatures: 5}, "lr", 0, opt.Config{LR: 1}, 8, 1); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := NewSequential(ds, "lr", 0, opt.Config{LR: 1}, 0, 1); err == nil {
+		t.Error("batch 0 accepted")
+	}
+	if _, err := NewSequential(ds, "nope", 0, opt.Config{LR: 1}, 8, 1); err == nil {
+		t.Error("bad model accepted")
+	}
+	if _, err := NewSequential(ds, "lr", 0, opt.Config{LR: 0}, 8, 1); err == nil {
+		t.Error("bad optimizer accepted")
+	}
+}
+
+func TestSequentialConvergesAndScores(t *testing.T) {
+	ds := testData(t, 300, 20, 5)
+	s, err := NewSequential(ds, "lr", 0, opt.Config{LR: 0.5}, 32, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := s.FullLoss()
+	final, err := s.Run(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(final < first*0.6) {
+		t.Fatalf("loss %v -> %v", first, final)
+	}
+	if acc := s.Accuracy(ds); acc < 0.85 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+	if s.Model().Name() != "lr" || s.Params().Width() != 20 {
+		t.Fatal("accessors broken")
+	}
+}
+
+func TestSequentialDeterministic(t *testing.T) {
+	ds := testData(t, 100, 12, 9)
+	run := func() float64 {
+		s, err := NewSequential(ds, "svm", 0, opt.Config{LR: 0.2}, 16, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := s.Run(50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestAccuracyEmptyDataset(t *testing.T) {
+	ds := testData(t, 10, 5, 1)
+	s, _ := NewSequential(ds, "lr", 0, opt.Config{LR: 1}, 4, 1)
+	if got := s.Accuracy(&dataset.Dataset{NumFeatures: 5}); got != 0 {
+		t.Fatalf("empty accuracy = %v", got)
+	}
+}
+
+// Least squares has a closed-form optimum; full-batch gradient descent
+// through the shared kernels must converge to it — an absolute correctness
+// anchor independent of any reference implementation.
+func TestLeastSquaresReachesClosedForm(t *testing.T) {
+	// A tiny well-conditioned system: y = 2·x0 − 3·x1 + 0.5·x2, exactly.
+	examples := []struct {
+		x []float64
+		y float64
+	}{
+		{[]float64{1, 0, 0}, 2},
+		{[]float64{0, 1, 0}, -3},
+		{[]float64{0, 0, 1}, 0.5},
+		{[]float64{1, 1, 0}, -1},
+		{[]float64{0, 1, 1}, -2.5},
+		{[]float64{1, 1, 1}, -0.5},
+	}
+	ds := &dataset.Dataset{NumFeatures: 3}
+	for _, ex := range examples {
+		var idx []int32
+		var val []float64
+		for j, v := range ex.x {
+			if v != 0 {
+				idx = append(idx, int32(j))
+				val = append(val, v)
+			}
+		}
+		sp, err := vec.NewSparse(idx, val)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds.Points = append(ds.Points, dataset.Point{Label: ex.y, Features: sp})
+	}
+	// Full-batch GD: batch = N by sampling with replacement won't be
+	// exact, so drive StepBatch directly with the whole dataset.
+	s, err := NewSequential(ds, "linreg", 0, opt.Config{LR: 0.3}, ds.N(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := model.Batch{Rows: make([]vec.Sparse, ds.N()), Labels: make([]float64, ds.N())}
+	for i := range ds.Points {
+		full.Rows[i] = ds.Points[i].Features
+		full.Labels[i] = ds.Points[i].Label
+	}
+	for it := 0; it < 3000; it++ {
+		if _, err := s.StepBatch(full); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []float64{2, -3, 0.5}
+	for j, wj := range want {
+		if got := s.Params().W[0][j]; math.Abs(got-wj) > 1e-6 {
+			t.Fatalf("w[%d] = %v, want %v (closed form)", j, got, wj)
+		}
+	}
+	if loss := s.FullLoss(); loss > 1e-10 {
+		t.Fatalf("residual loss %v on consistent system", loss)
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+
+	"columnsgd/internal/cluster"
+)
+
+// Protocol method names exposed by every ColumnSGD worker.
+const (
+	MethodInit           = "columnsgd.init"
+	MethodLoad           = "columnsgd.load"
+	MethodLoadDone       = "columnsgd.loadDone"
+	MethodComputeStats   = "columnsgd.computeStats"
+	MethodUpdate         = "columnsgd.update"
+	MethodEvalStats      = "columnsgd.evalStats"
+	MethodEvalLoss       = "columnsgd.evalLoss"
+	MethodEvalAccuracy   = "columnsgd.evalAccuracy"
+	MethodGetParams      = "columnsgd.getParams"
+	MethodSetParams      = "columnsgd.setParams"
+	MethodResetPartition = "columnsgd.resetPartition"
+	MethodPing           = "columnsgd.ping"
+	MethodFailNext       = "columnsgd.failNext"
+)
+
+// RegisterWorker binds a worker's methods onto a cluster service.
+func RegisterWorker(w *Worker) *cluster.Service {
+	svc := cluster.NewService()
+	svc.Register(MethodInit, func(args interface{}) (interface{}, error) {
+		a, err := as[*InitArgs](args)
+		if err != nil {
+			return nil, err
+		}
+		return nil, w.init(a)
+	})
+	svc.Register(MethodLoad, func(args interface{}) (interface{}, error) {
+		a, err := as[*LoadArgs](args)
+		if err != nil {
+			return nil, err
+		}
+		return nil, w.load(a)
+	})
+	svc.Register(MethodLoadDone, func(args interface{}) (interface{}, error) {
+		return nil, w.loadDone()
+	})
+	svc.Register(MethodComputeStats, func(args interface{}) (interface{}, error) {
+		a, err := as[*StatsArgs](args)
+		if err != nil {
+			return nil, err
+		}
+		return w.computeStats(a)
+	})
+	svc.Register(MethodUpdate, func(args interface{}) (interface{}, error) {
+		a, err := as[*UpdateArgs](args)
+		if err != nil {
+			return nil, err
+		}
+		return w.update(a)
+	})
+	svc.Register(MethodEvalStats, func(args interface{}) (interface{}, error) {
+		a, err := as[*EvalArgs](args)
+		if err != nil {
+			return nil, err
+		}
+		return w.evalStats(a)
+	})
+	svc.Register(MethodEvalLoss, func(args interface{}) (interface{}, error) {
+		a, err := as[*EvalLossArgs](args)
+		if err != nil {
+			return nil, err
+		}
+		return w.evalLoss(a)
+	})
+	svc.Register(MethodEvalAccuracy, func(args interface{}) (interface{}, error) {
+		a, err := as[*EvalAccuracyArgs](args)
+		if err != nil {
+			return nil, err
+		}
+		return w.evalAccuracy(a)
+	})
+	svc.Register(MethodSetParams, func(args interface{}) (interface{}, error) {
+		a, err := as[*SetParamsArgs](args)
+		if err != nil {
+			return nil, err
+		}
+		return nil, w.setParams(a)
+	})
+	svc.Register(MethodGetParams, func(args interface{}) (interface{}, error) {
+		a, err := as[*ParamsArgs](args)
+		if err != nil {
+			return nil, err
+		}
+		return w.getParams(a)
+	})
+	svc.Register(MethodResetPartition, func(args interface{}) (interface{}, error) {
+		a, err := as[*ResetPartitionArgs](args)
+		if err != nil {
+			return nil, err
+		}
+		return nil, w.resetPartition(a)
+	})
+	svc.Register(MethodPing, func(args interface{}) (interface{}, error) {
+		return &PingReply{Worker: w.id}, nil
+	})
+	svc.Register(MethodFailNext, func(args interface{}) (interface{}, error) {
+		a, err := as[*FailNextArgs](args)
+		if err != nil {
+			return nil, err
+		}
+		w.armFailures(a)
+		return nil, nil
+	})
+	return svc
+}
+
+// NewWorkerService creates a fresh worker and its service — the unit a
+// worker process (cmd/colsgd-node) serves over TCP, and the factory the
+// in-process provider uses per worker.
+func NewWorkerService() *cluster.Service {
+	return RegisterWorker(NewWorker())
+}
+
+// as asserts the wire argument type.
+func as[T any](args interface{}) (T, error) {
+	v, ok := args.(T)
+	if !ok {
+		var zero T
+		return zero, fmt.Errorf("core: bad argument type %T (want %T)", args, zero)
+	}
+	return v, nil
+}

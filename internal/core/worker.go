@@ -1,0 +1,392 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"columnsgd/internal/model"
+	"columnsgd/internal/opt"
+	"columnsgd/internal/partition"
+	"columnsgd/internal/vec"
+)
+
+// partState is one column partition collocated on a worker: its data
+// (worksets), its model slice, and its optimizer state. Under S-backup a
+// worker holds S+1 of these.
+type partState struct {
+	index  int
+	width  int
+	store  *partition.Store
+	params *model.Params
+	opt    opt.Optimizer
+}
+
+// Worker is the worker-side implementation of Algorithm 3. It is exposed
+// over the cluster transport via NewWorkerService and holds everything a
+// ColumnSGD worker owns: column-partitioned data, the matching model
+// partition(s), optimizer state, and the sampling index.
+type Worker struct {
+	mu sync.Mutex
+
+	id      int
+	mdl     model.Model
+	parts   []*partState
+	sampler *partition.Sampler
+	seed    int64
+
+	// failNext injects transient task failures (Fig. 13(a)).
+	failNext int
+
+	// scratch buffers reused across iterations.
+	statsBuf []float64
+	partBuf  []float64
+}
+
+// NewWorker creates an empty worker; Init must be called before use.
+func NewWorker() *Worker { return &Worker{id: -1} }
+
+func (w *Worker) init(a *InitArgs) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(a.Partitions) == 0 || len(a.Partitions) != len(a.Widths) {
+		return fmt.Errorf("core: worker %d: bad partition spec: %d partitions, %d widths",
+			a.Worker, len(a.Partitions), len(a.Widths))
+	}
+	mdl, err := model.New(a.ModelName, a.ModelArg)
+	if err != nil {
+		return err
+	}
+	w.id = a.Worker
+	w.mdl = mdl
+	w.seed = a.Seed
+	w.sampler = nil
+	w.parts = make([]*partState, len(a.Partitions))
+	for i, p := range a.Partitions {
+		o, err := opt.New(a.Opt)
+		if err != nil {
+			return err
+		}
+		ps := &partState{
+			index:  p,
+			width:  a.Widths[i],
+			store:  partition.NewStore(),
+			params: model.NewParams(mdl.ParamRows(), a.Widths[i]),
+		}
+		// Replica determinism: seed by partition index so every replica
+		// of a partition initializes identically.
+		mdl.Init(ps.params, rand.New(rand.NewSource(a.Seed+int64(p)*7919)))
+		ps.opt = o
+		w.parts[i] = ps
+	}
+	return nil
+}
+
+func (w *Worker) findPart(index int) (*partState, error) {
+	for _, p := range w.parts {
+		if p.index == index {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("core: worker %d does not hold partition %d", w.id, index)
+}
+
+func (w *Worker) load(a *LoadArgs) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.parts == nil {
+		return fmt.Errorf("core: worker not initialized")
+	}
+	ps, err := w.findPart(a.Partition)
+	if err != nil {
+		return err
+	}
+	if int(a.Workset.Data.Cols) != ps.width {
+		return fmt.Errorf("core: worker %d partition %d: workset width %d, expected %d",
+			w.id, a.Partition, a.Workset.Data.Cols, ps.width)
+	}
+	return ps.store.Put(a.Workset)
+}
+
+func (w *Worker) loadDone() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.parts) == 0 {
+		return fmt.Errorf("core: worker not initialized")
+	}
+	meta := w.parts[0].store.Meta()
+	// All partitions on this worker must agree on the block structure —
+	// the sampler is shared.
+	for _, p := range w.parts[1:] {
+		other := p.store.Meta()
+		if len(other) != len(meta) {
+			return fmt.Errorf("core: worker %d: partitions disagree on block count", w.id)
+		}
+		for i := range meta {
+			if other[i] != meta[i] {
+				return fmt.Errorf("core: worker %d: partition %d block %d mismatch", w.id, p.index, i)
+			}
+		}
+	}
+	s, err := partition.NewSampler(meta)
+	if err != nil {
+		return fmt.Errorf("core: worker %d: %w", w.id, err)
+	}
+	w.sampler = s
+	return nil
+}
+
+// batchFor materializes the iteration's mini-batch for one partition:
+// local column slices plus shared labels. refs come from the shared
+// two-phase sampler.
+func batchFor(ps *partState, refs []partition.RowRef) (model.Batch, error) {
+	b := model.Batch{
+		Rows:   make([]vec.Sparse, len(refs)),
+		Labels: make([]float64, len(refs)),
+	}
+	for i, ref := range refs {
+		ws, ok := ps.store.Get(ref.BlockID)
+		if !ok {
+			return model.Batch{}, fmt.Errorf("core: partition %d missing block %d", ps.index, ref.BlockID)
+		}
+		b.Rows[i] = ws.Data.Row(ref.Offset)
+		b.Labels[i] = ws.Labels[ref.Offset]
+	}
+	return b, nil
+}
+
+// refsFor materializes the iteration's row references under either access
+// mode: two-phase mini-batch sampling, or sequential epoch access where
+// the batch is block perm[iter mod #blocks] of a seed-shuffled order —
+// identical on every worker either way.
+func (w *Worker) refsFor(a *StatsArgs) []partition.RowRef {
+	if !a.Epoch {
+		return w.sampler.SampleBatch(a.Iter, a.BatchSize)
+	}
+	perm := w.sampler.SampleEpochBlocks(a.EpochSeed)
+	blockID := perm[int(a.Iter%int64(len(perm))+int64(len(perm)))%len(perm)]
+	rows := 0
+	for _, b := range w.parts[0].store.Meta() {
+		if b.ID == blockID {
+			rows = b.Rows
+			break
+		}
+	}
+	refs := make([]partition.RowRef, rows)
+	for i := range refs {
+		refs[i] = partition.RowRef{BlockID: blockID, Offset: i}
+	}
+	return refs
+}
+
+func (w *Worker) maybeFail() error {
+	if w.failNext > 0 {
+		w.failNext--
+		return fmt.Errorf("core: injected task failure on worker %d", w.id)
+	}
+	return nil
+}
+
+func (w *Worker) computeStats(a *StatsArgs) (*StatsReply, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.maybeFail(); err != nil {
+		return nil, err
+	}
+	if w.sampler == nil {
+		return nil, fmt.Errorf("core: worker %d: load not finished", w.id)
+	}
+	refs := w.refsFor(a)
+	spp := w.mdl.StatsPerPoint()
+	if cap(w.statsBuf) < len(refs)*spp {
+		w.statsBuf = make([]float64, len(refs)*spp)
+	}
+	sum := w.statsBuf[:len(refs)*spp]
+	for i := range sum {
+		sum[i] = 0
+	}
+	var nnz int64
+	for _, ps := range w.parts {
+		batch, err := batchFor(ps, refs)
+		if err != nil {
+			return nil, err
+		}
+		w.partBuf = w.mdl.PartialStats(ps.params, batch, w.partBuf)
+		for i, v := range w.partBuf {
+			sum[i] += v
+		}
+		nnz += batch.NNZ()
+	}
+	// Copy out: the reply must not alias the scratch buffer.
+	out := append([]float64(nil), sum...)
+	return &StatsReply{Stats: out, NNZ: nnz}, nil
+}
+
+func (w *Worker) update(a *UpdateArgs) (*UpdateReply, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.maybeFail(); err != nil {
+		return nil, err
+	}
+	if w.sampler == nil {
+		return nil, fmt.Errorf("core: worker %d: load not finished", w.id)
+	}
+	refs := w.refsFor(&StatsArgs{Iter: a.Iter, BatchSize: a.BatchSize, Epoch: a.Epoch, EpochSeed: a.EpochSeed})
+	var loss float64
+	var nnz int64
+	for pi, ps := range w.parts {
+		batch, err := batchFor(ps, refs)
+		if err != nil {
+			return nil, err
+		}
+		grad := model.NewParams(w.mdl.ParamRows(), ps.width)
+		w.mdl.Gradient(ps.params, batch, a.Stats, grad)
+		if err := ps.opt.Apply(ps.params, grad); err != nil {
+			return nil, err
+		}
+		nnz += batch.NNZ()
+		if pi == 0 {
+			loss = model.BatchLoss(w.mdl, batch.Labels, a.Stats)
+		}
+	}
+	return &UpdateReply{Loss: loss, NNZ: nnz}, nil
+}
+
+func (w *Worker) evalStats(a *EvalArgs) (*EvalReply, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.sampler == nil {
+		return nil, fmt.Errorf("core: worker %d: load not finished", w.id)
+	}
+	ps, err := w.findPart(a.Partition)
+	if err != nil {
+		return nil, err
+	}
+	var out []float64
+	var nnz int64
+	var partStats []float64
+	for _, id := range ps.store.Blocks() {
+		if id < a.FromBlock || id >= a.ToBlock {
+			continue
+		}
+		ws, _ := ps.store.Get(id)
+		batch := model.Batch{Rows: make([]vec.Sparse, ws.Rows()), Labels: ws.Labels}
+		for i := range batch.Rows {
+			batch.Rows[i] = ws.Data.Row(i)
+		}
+		partStats = w.mdl.PartialStats(ps.params, batch, partStats[:0])
+		out = append(out, partStats...)
+		nnz += batch.NNZ()
+	}
+	return &EvalReply{Stats: out, NNZ: nnz}, nil
+}
+
+func (w *Worker) evalLoss(a *EvalLossArgs) (*EvalLossReply, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.parts) == 0 {
+		return nil, fmt.Errorf("core: worker not initialized")
+	}
+	ps := w.parts[0]
+	spp := w.mdl.StatsPerPoint()
+	var lossSum float64
+	var count int
+	pos := 0
+	for _, id := range ps.store.Blocks() {
+		if id < a.FromBlock || id >= a.ToBlock {
+			continue
+		}
+		ws, _ := ps.store.Get(id)
+		for i := 0; i < ws.Rows(); i++ {
+			if (pos+1)*spp > len(a.Stats) {
+				return nil, fmt.Errorf("core: eval stats too short: need %d, have %d", (pos+1)*spp, len(a.Stats))
+			}
+			lossSum += w.mdl.PointLoss(ws.Labels[i], a.Stats[pos*spp:(pos+1)*spp])
+			pos++
+			count++
+		}
+	}
+	return &EvalLossReply{LossSum: lossSum, Count: count}, nil
+}
+
+func (w *Worker) evalAccuracy(a *EvalAccuracyArgs) (*EvalAccuracyReply, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.parts) == 0 {
+		return nil, fmt.Errorf("core: worker not initialized")
+	}
+	ps := w.parts[0]
+	spp := w.mdl.StatsPerPoint()
+	reply := &EvalAccuracyReply{}
+	pos := 0
+	for _, id := range ps.store.Blocks() {
+		if id < a.FromBlock || id >= a.ToBlock {
+			continue
+		}
+		ws, _ := ps.store.Get(id)
+		for i := 0; i < ws.Rows(); i++ {
+			if (pos+1)*spp > len(a.Stats) {
+				return nil, fmt.Errorf("core: accuracy stats too short: need %d, have %d", (pos+1)*spp, len(a.Stats))
+			}
+			if w.mdl.Predict(a.Stats[pos*spp:(pos+1)*spp]) == ws.Labels[i] {
+				reply.Correct++
+			}
+			pos++
+			reply.Count++
+		}
+	}
+	return reply, nil
+}
+
+func (w *Worker) setParams(a *SetParamsArgs) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ps, err := w.findPart(a.Partition)
+	if err != nil {
+		return err
+	}
+	if len(a.W) != ps.params.Rows() {
+		return fmt.Errorf("core: setParams: %d rows, want %d", len(a.W), ps.params.Rows())
+	}
+	for r := range a.W {
+		if len(a.W[r]) != ps.width {
+			return fmt.Errorf("core: setParams: row %d width %d, want %d", r, len(a.W[r]), ps.width)
+		}
+		copy(ps.params.W[r], a.W[r])
+	}
+	// Imported parameters invalidate accumulated optimizer state.
+	ps.opt.Reset()
+	return nil
+}
+
+func (w *Worker) getParams(a *ParamsArgs) (*ParamsReply, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ps, err := w.findPart(a.Partition)
+	if err != nil {
+		return nil, err
+	}
+	// Deep copy; the reply is serialized anyway on real transports, but
+	// the in-process path must not alias live state either.
+	cp := ps.params.Clone()
+	return &ParamsReply{W: cp.W}, nil
+}
+
+func (w *Worker) resetPartition(a *ResetPartitionArgs) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ps, err := w.findPart(a.Partition)
+	if err != nil {
+		return err
+	}
+	mdl := w.mdl
+	mdl.Init(ps.params, rand.New(rand.NewSource(w.seed+int64(a.Partition)*7919)))
+	ps.opt.Reset()
+	return nil
+}
+
+func (w *Worker) armFailures(a *FailNextArgs) {
+	w.mu.Lock()
+	w.failNext = a.Calls
+	w.mu.Unlock()
+}

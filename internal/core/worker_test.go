@@ -1,0 +1,225 @@
+package core
+
+import (
+	"math"
+	"net"
+	"testing"
+
+	"columnsgd/internal/cluster"
+	"columnsgd/internal/opt"
+	"columnsgd/internal/partition"
+	"columnsgd/internal/vec"
+)
+
+func validInit() *InitArgs {
+	return &InitArgs{
+		Worker:     0,
+		Partitions: []int{0},
+		Widths:     []int{8},
+		ModelName:  "lr",
+		Opt:        opt.Config{LR: 0.1},
+		Seed:       1,
+	}
+}
+
+func mkWorkset(t *testing.T, blockID, rows, cols int) *partition.Workset {
+	t.Helper()
+	csr := vec.NewCSR(int32(cols), rows)
+	labels := make([]float64, rows)
+	for i := 0; i < rows; i++ {
+		if err := csr.AppendRow(vec.Sparse{Indices: []int32{int32(i % cols)}, Values: []float64{1}}); err != nil {
+			t.Fatal(err)
+		}
+		labels[i] = 1
+	}
+	return &partition.Workset{BlockID: blockID, Labels: labels, Data: csr}
+}
+
+func TestWorkerInitValidation(t *testing.T) {
+	w := NewWorker()
+	bad := []*InitArgs{
+		{Worker: 0, Partitions: nil, Widths: nil, ModelName: "lr", Opt: opt.Config{LR: 1}},
+		{Worker: 0, Partitions: []int{0}, Widths: []int{1, 2}, ModelName: "lr", Opt: opt.Config{LR: 1}},
+		{Worker: 0, Partitions: []int{0}, Widths: []int{1}, ModelName: "nope", Opt: opt.Config{LR: 1}},
+		{Worker: 0, Partitions: []int{0}, Widths: []int{1}, ModelName: "lr", Opt: opt.Config{LR: 0}},
+	}
+	for i, a := range bad {
+		if err := w.init(a); err == nil {
+			t.Errorf("bad init %d accepted", i)
+		}
+	}
+	if err := w.init(validInit()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkerLoadValidation(t *testing.T) {
+	w := NewWorker()
+	ws := mkWorkset(t, 0, 4, 8)
+	if err := w.load(&LoadArgs{Partition: 0, Workset: ws}); err == nil {
+		t.Error("load before init accepted")
+	}
+	if err := w.init(validInit()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.load(&LoadArgs{Partition: 5, Workset: ws}); err == nil {
+		t.Error("load to unheld partition accepted")
+	}
+	if err := w.load(&LoadArgs{Partition: 0, Workset: mkWorkset(t, 0, 4, 3)}); err == nil {
+		t.Error("width mismatch accepted")
+	}
+	if err := w.load(&LoadArgs{Partition: 0, Workset: ws}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkerStatsBeforeLoadDone(t *testing.T) {
+	w := NewWorker()
+	if err := w.init(validInit()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.computeStats(&StatsArgs{Iter: 1, BatchSize: 2}); err == nil {
+		t.Error("computeStats before loadDone accepted")
+	}
+	if _, err := w.update(&UpdateArgs{Iter: 1, BatchSize: 2}); err == nil {
+		t.Error("update before loadDone accepted")
+	}
+	if err := w.loadDone(); err == nil {
+		t.Error("loadDone with no worksets accepted")
+	}
+}
+
+func TestWorkerBackupPartitionsMustAgree(t *testing.T) {
+	w := NewWorker()
+	a := validInit()
+	a.Partitions = []int{0, 1}
+	a.Widths = []int{8, 8}
+	if err := w.init(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.load(&LoadArgs{Partition: 0, Workset: mkWorkset(t, 0, 4, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	// Partition 1 has different block structure → loadDone must reject.
+	if err := w.load(&LoadArgs{Partition: 1, Workset: mkWorkset(t, 1, 4, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.loadDone(); err == nil {
+		t.Error("disagreeing partition structure accepted")
+	}
+}
+
+func TestWorkerGetParamsIsCopy(t *testing.T) {
+	w := NewWorker()
+	if err := w.init(validInit()); err != nil {
+		t.Fatal(err)
+	}
+	r, err := w.getParams(&ParamsArgs{Partition: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.W[0][0] = 123
+	r2, _ := w.getParams(&ParamsArgs{Partition: 0})
+	if r2.W[0][0] == 123 {
+		t.Fatal("getParams exposed live state")
+	}
+	if _, err := w.getParams(&ParamsArgs{Partition: 9}); err == nil {
+		t.Fatal("unknown partition accepted")
+	}
+}
+
+func TestWorkerResetPartition(t *testing.T) {
+	w := NewWorker()
+	a := validInit()
+	a.ModelName = "fm"
+	a.ModelArg = 2
+	if err := w.init(a); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := w.getParams(&ParamsArgs{Partition: 0})
+	// Perturb live state.
+	w.parts[0].params.W[1][0] += 5
+	if err := w.resetPartition(&ResetPartitionArgs{Partition: 0}); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := w.getParams(&ParamsArgs{Partition: 0})
+	// Deterministic re-init: same seed ⇒ same factors as the original.
+	for row := range before.W {
+		for j := range before.W[row] {
+			if math.Abs(before.W[row][j]-after.W[row][j]) > 1e-15 {
+				t.Fatalf("reset not deterministic at [%d][%d]", row, j)
+			}
+		}
+	}
+	if err := w.resetPartition(&ResetPartitionArgs{Partition: 3}); err == nil {
+		t.Fatal("reset of unheld partition accepted")
+	}
+}
+
+func TestServiceBadArgumentTypes(t *testing.T) {
+	svc := NewWorkerService()
+	for _, method := range []string{
+		MethodInit, MethodLoad, MethodComputeStats, MethodUpdate,
+		MethodEvalStats, MethodEvalLoss, MethodGetParams,
+		MethodResetPartition, MethodFailNext,
+	} {
+		if _, err := svc.Dispatch(method, &PingArgs{}); err == nil {
+			t.Errorf("%s: wrong argument type accepted", method)
+		}
+	}
+	// Ping works regardless.
+	if _, err := svc.Dispatch(MethodPing, &PingArgs{}); err != nil {
+		t.Errorf("ping: %v", err)
+	}
+}
+
+// End-to-end over real TCP: a full ColumnSGD training run with workers in
+// separate goroutine-hosted TCP servers, exercising the same binary path
+// as cmd/colsgd-node.
+func TestEngineOverTCP(t *testing.T) {
+	const k = 3
+	addrs := make([]string, k)
+	for i := 0; i < k; i++ {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := cluster.NewServer(NewWorkerService(), lis)
+		go srv.Serve() //nolint:errcheck
+		t.Cleanup(func() { srv.Close() })
+		addrs[i] = srv.Addr()
+	}
+	prov, err := NewRemoteProvider(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prov.Close()
+
+	ds := testData(t, 150, 20, 53)
+	cfg := baseConfig(k)
+	e, err := NewEngine(cfg, prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	first, err := e.FullLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(60); err != nil {
+		t.Fatal(err)
+	}
+	last, err := e.FullLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(last < first) {
+		t.Fatalf("TCP run loss %v -> %v", first, last)
+	}
+	// Model export works across TCP too.
+	if _, err := e.ExportModel(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,284 @@
+// Package costmodel implements the paper's analytic model of memory and
+// communication overheads (Table I, §III-B) and uses it to predict
+// per-iteration times for each system at arbitrary scale — including the
+// full paper-scale datasets that cannot be materialized on one machine.
+// The benchmark harness validates these predictions against the byte
+// counts measured by the real engines at reduced scale.
+package costmodel
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"columnsgd/internal/simnet"
+)
+
+// Workload describes one training configuration in the terms of §III-B.
+type Workload struct {
+	// K is the number of workers (and servers for PS systems).
+	K int
+	// B is the global batch size.
+	B int
+	// M is the model dimension m.
+	M int
+	// Rho is the data sparsity ρ (fraction of zeros).
+	Rho float64
+	// N is the number of training instances.
+	N int
+	// StatsPerPoint is 1 for GLMs, F+1 for FMs, #classes for MLR.
+	StatsPerPoint int
+	// ParamRows is 1 for GLMs, F+1 for FMs, #classes for MLR.
+	ParamRows int
+	// Backup is S in S-backup computation (ColumnSGD only).
+	Backup int
+}
+
+// Validate checks the workload parameters.
+func (w Workload) Validate() error {
+	if w.K <= 0 || w.B <= 0 || w.M <= 0 || w.N <= 0 {
+		return fmt.Errorf("costmodel: K, B, M, N must be positive")
+	}
+	if w.Rho < 0 || w.Rho > 1 {
+		return fmt.Errorf("costmodel: sparsity ρ=%g outside [0,1]", w.Rho)
+	}
+	if w.StatsPerPoint <= 0 || w.ParamRows <= 0 {
+		return fmt.Errorf("costmodel: StatsPerPoint and ParamRows must be positive")
+	}
+	return nil
+}
+
+// normalized fills defaults.
+func (w Workload) normalized() Workload {
+	if w.StatsPerPoint == 0 {
+		w.StatsPerPoint = 1
+	}
+	if w.ParamRows == 0 {
+		w.ParamRows = 1
+	}
+	return w
+}
+
+// Phi1 is φ₁ = 1 − ρ^(B/K): the expected fraction of model dimensions
+// touched by one worker's share of the batch.
+func (w Workload) Phi1() float64 {
+	return 1 - math.Pow(w.Rho, float64(w.B)/float64(w.K))
+}
+
+// Phi2 is φ₂ = 1 − ρ^B: the fraction touched by the whole batch.
+func (w Workload) Phi2() float64 {
+	return 1 - math.Pow(w.Rho, float64(w.B))
+}
+
+// DataSize is S = N + N·m·(1−ρ), the paper's unit-count data size.
+func (w Workload) DataSize() float64 {
+	return float64(w.N) + float64(w.N)*float64(w.M)*(1-w.Rho)
+}
+
+// Units converts the unit counts of Table I into bytes (8 bytes per unit,
+// the FP64 convention the paper uses for its 21 GB FM example).
+const unitBytes = 8
+
+// Overheads is one cell pair of Table I.
+type Overheads struct {
+	// MasterMem / WorkerMem are in units (multiply by 8 for bytes).
+	MasterMem float64
+	WorkerMem float64
+	// MasterComm / WorkerComm are per-iteration communication in units.
+	MasterComm float64
+	WorkerComm float64
+}
+
+// RowSGD evaluates the RowSGD column of Table I:
+//
+//	master: mem m + mφ₂,        comm 2Kmφ₁
+//	worker: mem S/K + 2mφ₁,     comm 2mφ₁
+func RowSGD(w Workload) Overheads {
+	w = w.normalized()
+	m := float64(w.M) * float64(w.ParamRows)
+	return Overheads{
+		MasterMem:  m + m*w.Phi2(),
+		WorkerMem:  w.DataSize()/float64(w.K) + 2*m*w.Phi1(),
+		MasterComm: 2 * float64(w.K) * m * w.Phi1(),
+		WorkerComm: 2 * m * w.Phi1(),
+	}
+}
+
+// ColumnSGD evaluates the ColumnSGD column of Table I:
+//
+//	master: mem B,              comm 2KB
+//	worker: mem S/K + 2B + m/K, comm 2B
+//
+// with B scaled by StatsPerPoint (the FM generalization of §III-C) and
+// the worker's data/model replicated (S+1)× under backup computation.
+func ColumnSGD(w Workload) Overheads {
+	w = w.normalized()
+	b := float64(w.B) * float64(w.StatsPerPoint)
+	m := float64(w.M) * float64(w.ParamRows)
+	repl := float64(w.Backup + 1)
+	return Overheads{
+		MasterMem:  b,
+		WorkerMem:  repl*(w.DataSize()/float64(w.K)+m/float64(w.K)) + 2*b,
+		MasterComm: 2 * float64(w.K) * b,
+		WorkerComm: 2 * b,
+	}
+}
+
+// MasterMemBytes returns the master memory in bytes.
+func (o Overheads) MasterMemBytes() int64 { return int64(o.MasterMem * unitBytes) }
+
+// WorkerMemBytes returns the worker memory in bytes.
+func (o Overheads) WorkerMemBytes() int64 { return int64(o.WorkerMem * unitBytes) }
+
+// MasterCommBytes returns the per-iteration master traffic in bytes.
+func (o Overheads) MasterCommBytes() int64 { return int64(o.MasterComm * unitBytes) }
+
+// WorkerCommBytes returns the per-iteration worker traffic in bytes.
+func (o Overheads) WorkerCommBytes() int64 { return int64(o.WorkerComm * unitBytes) }
+
+// SystemID names a priced system.
+type SystemID string
+
+// The systems priced by IterationPhases.
+const (
+	SysMLlib     SystemID = "MLlib"
+	SysMLlibStar SystemID = "MLlib*"
+	SysPetuum    SystemID = "Petuum"
+	SysMXNet     SystemID = "MXNet"
+	SysColumnSGD SystemID = "ColumnSGD"
+)
+
+// IterationPhases produces the per-iteration communication phases of a
+// system at the workload's scale, ready for simnet pricing:
+//
+//   - MLlib:  dense model pull + sparse gradient push over one master link
+//   - MLlib*: local steps (no per-step sync) + dense AllReduce over K links
+//   - Petuum: dense model pull + sparse push over K server links
+//   - MXNet:  sparse pull (touched dims only) + sparse push over K links
+//   - ColumnSGD: statistics gather + broadcast, 2·B·spp·8 per worker
+func IterationPhases(sys SystemID, w Workload) ([]simnet.Phase, error) {
+	w = w.normalized()
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	k := int64(w.K)
+	mBytes := int64(w.M) * int64(w.ParamRows) * unitBytes
+	// Sparse entries cost 12 bytes (4-byte index + 8-byte value).
+	sparseTouched := int64(float64(w.M) * w.Phi1() * float64(w.ParamRows) * 12)
+	statBytes := int64(w.B) * int64(w.StatsPerPoint) * unitBytes
+
+	switch sys {
+	case SysMLlib:
+		return []simnet.Phase{
+			{Label: "pull-model", Messages: k, Bytes: k * mBytes, Links: 1},
+			{Label: "push-grads", Messages: k, Bytes: k * sparseTouched, Links: 1},
+		}, nil
+	case SysMLlibStar:
+		return []simnet.Phase{
+			{Label: "allreduce-gather", Messages: k, Bytes: k * mBytes, Links: int(k)},
+			{Label: "allreduce-bcast", Messages: k, Bytes: k * mBytes, Links: int(k)},
+		}, nil
+	case SysPetuum:
+		return []simnet.Phase{
+			{Label: "pull-model", Messages: k * k, Bytes: k * mBytes, Links: int(k)},
+			{Label: "push-grads", Messages: k * k, Bytes: k * sparseTouched, Links: int(k)},
+		}, nil
+	case SysMXNet:
+		return []simnet.Phase{
+			{Label: "sparse-pull", Messages: k * k, Bytes: k * sparseTouched, Links: int(k)},
+			{Label: "push-grads", Messages: k * k, Bytes: k * sparseTouched, Links: int(k)},
+		}, nil
+	case SysColumnSGD:
+		return []simnet.Phase{
+			{Label: "gather-stats", Messages: k, Bytes: k * statBytes, Links: 1},
+			{Label: "bcast-stats", Messages: k, Bytes: k * statBytes, Links: 1},
+		}, nil
+	default:
+		return nil, fmt.Errorf("costmodel: unknown system %q", sys)
+	}
+}
+
+// WorkerKernelNNZ estimates the per-iteration kernel work of the busiest
+// worker: (B/K rows)·(nnz per row), where nnz/row = m(1−ρ). ColumnSGD
+// splits each row's non-zeros over K workers but processes all B rows, so
+// the per-worker work is B·m(1−ρ)/K for both schemes (the paper's
+// observation that compute costs match). Backup multiplies ColumnSGD's
+// work by S+1.
+func WorkerKernelNNZ(sys SystemID, w Workload) int64 {
+	w = w.normalized()
+	nnzPerRow := float64(w.M) * (1 - w.Rho)
+	perWorker := float64(w.B) * nnzPerRow / float64(w.K)
+	if sys == SysColumnSGD {
+		perWorker *= float64(w.Backup + 1)
+	}
+	return int64(perWorker)
+}
+
+// ServerTouchTime models the per-iteration server-side key-store
+// maintenance of parameter servers: proportional to the server's model
+// shard, with factor-model rows adding partial extra work (sparse rows
+// share index bookkeeping). Zero for non-PS systems.
+func ServerTouchTime(sys SystemID, w Workload) time.Duration {
+	if sys != SysPetuum && sys != SysMXNet {
+		return 0
+	}
+	w = w.normalized()
+	keys := float64(w.M) / float64(w.K) * (1 + 0.15*float64(w.ParamRows-1))
+	return time.Duration(keys / simnet.PSKeyTouchPerSec * float64(time.Second))
+}
+
+// IterationTime prices one iteration of a system on a cluster model. PS
+// runtimes replace the task-launch overhead with their event-loop cost
+// but pay the per-shard server touch (see ServerTouchTime).
+func IterationTime(sys SystemID, w Workload, net simnet.Model) (simnet.IterationCost, error) {
+	phases, err := IterationPhases(sys, w)
+	if err != nil {
+		return simnet.IterationCost{}, err
+	}
+	if sys == SysPetuum || sys == SysMXNet {
+		net = net.WithScheduling(simnet.PSOverhead)
+	}
+	cost := net.IterationTime(WorkerKernelNNZ(sys, w), phases)
+	cost.Compute += ServerTouchTime(sys, w)
+	return cost, nil
+}
+
+// UsableMemoryFraction discounts physical RAM to the share a training
+// process can actually allocate (OS, runtime, network buffers take the
+// rest) — the standard ~75% heap sizing rule.
+const UsableMemoryFraction = 0.75
+
+// FitsMemory reports whether a system's resident state fits the given
+// per-machine memory budget (Table V's MXNet OOM row: servers must hold
+// the model; for MXNet/Petuum the sharded model plus update buffers must
+// fit alongside the data shard).
+func FitsMemory(sys SystemID, w Workload, machineBytes int64) bool {
+	w = w.normalized()
+	machineBytes = int64(float64(machineBytes) * UsableMemoryFraction)
+	switch sys {
+	case SysColumnSGD:
+		return ColumnSGD(w).WorkerMemBytes() <= machineBytes
+	case SysMLlib, SysMLlibStar:
+		o := RowSGD(w)
+		return o.MasterMemBytes() <= machineBytes && o.WorkerMemBytes() <= machineBytes
+	case SysPetuum, SysMXNet:
+		// Server shard collocated with a worker: the shard keeps ~3×
+		// model-shard bytes resident (parameters, gradients, optimizer
+		// state). Factor models (ParamRows > 1) additionally materialize
+		// a dense model-sized auxiliary buffer on the worker — the
+		// embedding-gradient aggregation buffer that makes MXNet fail on
+		// FM with F = 50 in Table V; GLMs keep only the 2mφ₁ sparse
+		// working set of Table I.
+		dataShard := int64(w.DataSize() / float64(w.K) * unitBytes)
+		serverShard := 3 * int64(float64(w.M)*float64(w.ParamRows)/float64(w.K)*unitBytes)
+		var aux int64
+		if w.ParamRows > 1 {
+			aux = int64(w.M) * int64(w.ParamRows) * unitBytes
+		} else {
+			aux = int64(2 * float64(w.M) * w.Phi1() * unitBytes)
+		}
+		return dataShard+serverShard+aux <= machineBytes
+	default:
+		return false
+	}
+}

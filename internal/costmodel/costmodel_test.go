@@ -1,0 +1,307 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"columnsgd/internal/simnet"
+)
+
+// kdd12LR is the paper's headline workload: LR on kdd12 (54.7M dims) with
+// batch 1000 on Cluster 1.
+func kdd12LR() Workload {
+	return Workload{
+		K: 8, B: 1000, M: 54686452, N: 149639105,
+		Rho: 1 - 11.0/54686452.0, // ≈11 nnz per row
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Workload{
+		{K: 0, B: 1, M: 1, N: 1, StatsPerPoint: 1, ParamRows: 1},
+		{K: 1, B: 1, M: 1, N: 1, Rho: 1.5, StatsPerPoint: 1, ParamRows: 1},
+		{K: 1, B: 1, M: 1, N: 1, StatsPerPoint: 0, ParamRows: 0},
+	}
+	for i, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Errorf("bad workload %d accepted", i)
+		}
+	}
+	if err := kdd12LR().normalized().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhiProperties(t *testing.T) {
+	w := kdd12LR()
+	phi1, phi2 := w.Phi1(), w.Phi2()
+	if !(phi1 > 0 && phi1 <= phi2 && phi2 < 1) {
+		t.Fatalf("phi1=%v phi2=%v violate 0 < φ1 ≤ φ2 < 1", phi1, phi2)
+	}
+	// Dense data: φ = 1 regardless of batch.
+	dense := Workload{K: 4, B: 10, M: 100, N: 1000, Rho: 0}
+	if dense.Phi1() != 1 || dense.Phi2() != 1 {
+		t.Fatal("dense phi should be 1")
+	}
+}
+
+// Table I structure: ColumnSGD's master memory and all communication
+// depend only on B (and spp); RowSGD's depend on m (at fixed sparsity ρ,
+// as in the table).
+func TestTable1Dependencies(t *testing.T) {
+	small := Workload{K: 8, B: 1000, M: 100000, N: 1000000, Rho: 0.999}
+	big := small
+	big.M *= 10 // same ρ: 10× more non-zeros per row too
+
+	colS, colB := ColumnSGD(small), ColumnSGD(big)
+	if colS.MasterMem != colB.MasterMem || colS.MasterComm != colB.MasterComm || colS.WorkerComm != colB.WorkerComm {
+		t.Fatal("ColumnSGD master mem/comm must be independent of m")
+	}
+	rowS, rowB := RowSGD(small), RowSGD(big)
+	if !(rowB.MasterComm > 5*rowS.MasterComm) {
+		t.Fatalf("RowSGD comm did not scale with m: %v -> %v", rowS.MasterComm, rowB.MasterComm)
+	}
+	if !(rowB.MasterMem > 5*rowS.MasterMem) {
+		t.Fatal("RowSGD master memory did not scale with m")
+	}
+	// ColumnSGD worker memory still holds the m/K model slice.
+	if !(colB.WorkerMem > colS.WorkerMem) {
+		t.Fatal("ColumnSGD worker memory should grow with m (model slice)")
+	}
+	// Even at constant nnz/row (Fig. 10 protocol), the dense model pull
+	// makes MLlib's measured cost grow with m — that is captured by
+	// IterationPhases, not the Table I worker formula.
+	bigConstNNZ := kdd12LR()
+	smallM := bigConstNNZ
+	smallM.M /= 50
+	smallM.Rho = 1 - (1-bigConstNNZ.Rho)*50
+	pBig, err := IterationPhases(SysMLlib, bigConstNNZ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pSmall, err := IterationPhases(SysMLlib, smallM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pBig[0].Bytes < 10*pSmall[0].Bytes {
+		t.Fatal("MLlib pull phase must scale with m")
+	}
+}
+
+func TestTable1ExactFormulas(t *testing.T) {
+	w := Workload{K: 4, B: 100, M: 1000, N: 10000, Rho: 0.99, StatsPerPoint: 1, ParamRows: 1}
+	phi1 := 1 - math.Pow(0.99, 25)
+	phi2 := 1 - math.Pow(0.99, 100)
+	s := 10000 + 10000*1000*0.01
+
+	row := RowSGD(w)
+	if got, want := row.MasterMem, 1000+1000*phi2; math.Abs(got-want) > 1e-9 {
+		t.Errorf("row master mem %v, want %v", got, want)
+	}
+	if got, want := row.WorkerMem, s/4+2*1000*phi1; math.Abs(got-want) > 1e-9 {
+		t.Errorf("row worker mem %v, want %v", got, want)
+	}
+	if got, want := row.MasterComm, 2*4*1000*phi1; math.Abs(got-want) > 1e-9 {
+		t.Errorf("row master comm %v, want %v", got, want)
+	}
+	col := ColumnSGD(w)
+	if col.MasterMem != 100 || col.MasterComm != 2*4*100 || col.WorkerComm != 2*100 {
+		t.Errorf("column overheads: %+v", col)
+	}
+	if got, want := col.WorkerMem, s/4+1000.0/4+2*100; math.Abs(got-want) > 1e-9 {
+		t.Errorf("column worker mem %v, want %v", got, want)
+	}
+}
+
+func TestBackupMultipliesWorkerState(t *testing.T) {
+	w := Workload{K: 4, B: 10, M: 100, N: 1000, Rho: 0.9}
+	pure := ColumnSGD(w)
+	w.Backup = 1
+	backed := ColumnSGD(w)
+	// Memory roughly doubles; communication unchanged (§IV-B).
+	if backed.MasterComm != pure.MasterComm || backed.WorkerComm != pure.WorkerComm {
+		t.Fatal("backup must not change communication")
+	}
+	ratio := (backed.WorkerMem - 2*10) / (pure.WorkerMem - 2*10)
+	if math.Abs(ratio-2) > 1e-9 {
+		t.Fatalf("backup worker state ratio = %v, want 2", ratio)
+	}
+}
+
+// Table IV shape: at kdd12 scale on Cluster 1, the modeled per-iteration
+// times must order MLlib ≫ Petuum ≫ MXNet > ColumnSGD with ratios in the
+// paper's ballpark (MLlib/Column ≈ 930×, Petuum/Column ≈ 63×,
+// MXNet/Column ≈ 6×).
+func TestTable4ShapeKDD12(t *testing.T) {
+	w := kdd12LR()
+	net := simnet.Cluster1()
+	times := map[SystemID]time.Duration{}
+	for _, sys := range []SystemID{SysMLlib, SysPetuum, SysMXNet, SysColumnSGD} {
+		c, err := IterationTime(sys, w, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[sys] = c.Total()
+	}
+	col := times[SysColumnSGD].Seconds()
+	checks := []struct {
+		sys    SystemID
+		lo, hi float64 // acceptable speedup band vs ColumnSGD
+	}{
+		{SysMLlib, 200, 3000},
+		{SysPetuum, 20, 300},
+		{SysMXNet, 0.5, 30},
+	}
+	for _, c := range checks {
+		ratio := times[c.sys].Seconds() / col
+		if ratio < c.lo || ratio > c.hi {
+			t.Errorf("%s/ColumnSGD = %.1f, want in [%g, %g] (paper Table IV)", c.sys, ratio, c.lo, c.hi)
+		}
+	}
+	// Absolute sanity: MLlib tens of seconds, ColumnSGD ≈0.06 s.
+	if times[SysMLlib] < 20*time.Second || times[SysMLlib] > 120*time.Second {
+		t.Errorf("MLlib per-iteration = %v, paper reports 55.81 s", times[SysMLlib])
+	}
+	if times[SysColumnSGD] < 30*time.Millisecond || times[SysColumnSGD] > 200*time.Millisecond {
+		t.Errorf("ColumnSGD per-iteration = %v, paper reports 0.06 s", times[SysColumnSGD])
+	}
+}
+
+// On the small avazu model, MXNet beats ColumnSGD (Table IV row 1:
+// speedup 0.3×) because Spark's scheduling overhead dominates.
+func TestMXNetWinsOnSmallModels(t *testing.T) {
+	avazu := Workload{K: 8, B: 1000, M: 1000000, N: 40428967, Rho: 1 - 15.0/1000000.0}
+	net := simnet.Cluster1()
+	mx, err := IterationTime(SysMXNet, avazu, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := IterationTime(SysColumnSGD, avazu, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mx.Total() >= col.Total() {
+		t.Fatalf("MXNet (%v) should beat ColumnSGD (%v) on avazu-scale models", mx.Total(), col.Total())
+	}
+}
+
+// Fig 10 shape: ColumnSGD per-iteration time stays flat from m=10 to
+// m=1e9 (nnz per row held constant).
+func TestFig10FlatScaling(t *testing.T) {
+	net := simnet.Cluster1()
+	var times []float64
+	for _, m := range []int{10, 1000, 1000000, 1000000000} {
+		rho := 1 - math.Min(1, 35.0/float64(m))
+		w := Workload{K: 8, B: 1000, M: m, N: 45840617, Rho: rho}
+		c, err := IterationTime(SysColumnSGD, w, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times = append(times, c.Total().Seconds())
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] > times[0]*1.5 {
+			t.Fatalf("ColumnSGD iteration time grew with m: %v", times)
+		}
+	}
+}
+
+// Table V: FM statistics are (F+1)·B, so ColumnSGD cost grows linearly in
+// F but stays far below MXNet's model-sized traffic at kdd12 scale; at
+// F=50 (2.8B params, 21 GB in FP64) MXNet exceeds a 32 GB machine.
+func TestTable5FM(t *testing.T) {
+	base := kdd12LR()
+	base.StatsPerPoint = 11 // F=10
+	base.ParamRows = 11
+	net := simnet.Cluster1()
+	mx, err := IterationTime(SysMXNet, base, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := IterationTime(SysColumnSGD, base, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := mx.Total().Seconds() / col.Total().Seconds(); ratio < 3 || ratio > 60 {
+		t.Errorf("MXNet/ColumnSGD for FM F=10 = %.1f, paper reports 14", ratio)
+	}
+
+	const machine = 32 << 30
+	big := base
+	big.StatsPerPoint = 51
+	big.ParamRows = 51 // 2.8B params
+	if FitsMemory(SysMXNet, big, machine) {
+		t.Error("MXNet F=50 should OOM on 32 GB machines (Table V)")
+	}
+	if !FitsMemory(SysColumnSGD, big, machine) {
+		t.Error("ColumnSGD F=50 should fit (Table V reports 0.15 s/iter)")
+	}
+}
+
+func TestFitsMemoryMLlib(t *testing.T) {
+	w := kdd12LR()
+	// 54.7M × 8 B model ≈ 437 MB fits a 32 GB master.
+	if !FitsMemory(SysMLlib, w, 32<<30) {
+		t.Error("MLlib should fit kdd12 LR on 32 GB")
+	}
+	// A 10B-dimension model (80 GB dense) does not.
+	big := w
+	big.M = 10000000000
+	big.Rho = 1 - 11.0/float64(big.M)
+	if FitsMemory(SysMLlib, big, 32<<30) {
+		t.Error("MLlib should OOM on a 10B-dim model")
+	}
+	if !FitsMemory(SysColumnSGD, big, 32<<30) {
+		t.Error("ColumnSGD shards the model; 10B dims over 8 workers fits")
+	}
+	if FitsMemory("bogus", w, 32<<30) {
+		t.Error("unknown system should not fit")
+	}
+}
+
+func TestIterationPhasesErrors(t *testing.T) {
+	if _, err := IterationPhases("bogus", kdd12LR()); err == nil {
+		t.Error("unknown system accepted")
+	}
+	if _, err := IterationPhases(SysMLlib, Workload{}); err == nil {
+		t.Error("invalid workload accepted")
+	}
+}
+
+// Property: communication costs are monotone in batch size for ColumnSGD
+// and in model size for RowSGD.
+func TestPropertyMonotonicity(t *testing.T) {
+	f := func(bRaw, mRaw uint16) bool {
+		b := int(bRaw)%10000 + 1
+		m := int(mRaw)%1000000 + 1000
+		w1 := Workload{K: 8, B: b, M: m, N: 100000, Rho: 0.999}
+		w2 := w1
+		w2.B = b * 2
+		if ColumnSGD(w2).MasterComm <= ColumnSGD(w1).MasterComm {
+			return false
+		}
+		w3 := w1
+		w3.M = m * 2
+		return RowSGD(w3).MasterMem > RowSGD(w1).MasterMem
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkerKernelNNZ(t *testing.T) {
+	w := Workload{K: 4, B: 100, M: 1000, N: 10000, Rho: 0.99}
+	// nnz/row = 10; per-worker = 100·10/4 = 250.
+	if got := WorkerKernelNNZ(SysMLlib, w); got != 250 {
+		t.Fatalf("row kernel nnz = %d", got)
+	}
+	if got := WorkerKernelNNZ(SysColumnSGD, w); got != 250 {
+		t.Fatalf("column kernel nnz = %d", got)
+	}
+	w.Backup = 1
+	if got := WorkerKernelNNZ(SysColumnSGD, w); got != 500 {
+		t.Fatalf("backup kernel nnz = %d", got)
+	}
+}

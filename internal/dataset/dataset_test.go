@@ -1,0 +1,350 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"columnsgd/internal/vec"
+)
+
+func TestParseLibSVMBasic(t *testing.T) {
+	in := `+1 0:0.3 2:0.5
+-1 2:0.8
+
+# comment line
++1 0:0.1 1:0.9 2:0.1
+`
+	ds, err := ParseLibSVM(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 3 {
+		t.Fatalf("N = %d", ds.N())
+	}
+	if ds.NumFeatures != 3 {
+		t.Fatalf("NumFeatures = %d", ds.NumFeatures)
+	}
+	if ds.Points[0].Label != 1 || ds.Points[1].Label != -1 {
+		t.Fatalf("labels = %v %v", ds.Points[0].Label, ds.Points[1].Label)
+	}
+	want := vec.Sparse{Indices: []int32{0, 2}, Values: []float64{0.3, 0.5}}
+	if !ds.Points[0].Features.Equal(want) {
+		t.Fatalf("point 0 = %+v", ds.Points[0].Features)
+	}
+}
+
+func TestParseLibSVMZeroValuesDropped(t *testing.T) {
+	ds, err := ParseLibSVM(strings.NewReader("1 0:0 1:2\n"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Points[0].Features.NNZ() != 1 {
+		t.Fatalf("explicit zero not dropped: %+v", ds.Points[0].Features)
+	}
+}
+
+func TestParseLibSVMErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+		dim      int
+	}{
+		{"bad label", "x 0:1\n", 0},
+		{"malformed feature", "1 0=1\n", 0},
+		{"bad index", "1 a:1\n", 0},
+		{"bad value", "1 0:z\n", 0},
+		{"dim overflow", "1 5:1\n", 3},
+	}
+	for _, tc := range cases {
+		if _, err := ParseLibSVM(strings.NewReader(tc.in), tc.dim); err == nil {
+			t.Errorf("%s: error not reported", tc.name)
+		}
+	}
+}
+
+func TestLibSVMRoundTrip(t *testing.T) {
+	spec := SyntheticSpec{Name: "rt", N: 50, Features: 40, NNZPerRow: 6, Seed: 7}
+	ds, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteLibSVM(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseLibSVM(&buf, ds.NumFeatures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != ds.N() {
+		t.Fatalf("N mismatch: %d vs %d", back.N(), ds.N())
+	}
+	for i := range ds.Points {
+		if ds.Points[i].Label != back.Points[i].Label {
+			t.Fatalf("label %d mismatch", i)
+		}
+		if !ds.Points[i].Features.Equal(back.Points[i].Features) {
+			t.Fatalf("features %d mismatch", i)
+		}
+	}
+}
+
+func TestLibSVMFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.libsvm")
+	ds, err := Generate(SyntheticSpec{Name: "f", N: 10, Features: 8, NNZPerRow: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveLibSVMFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadLibSVMFile(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 10 || back.NumFeatures != 8 {
+		t.Fatalf("roundtrip stats: N=%d m=%d", back.N(), back.NumFeatures)
+	}
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadLibSVMFile(path, 8); err == nil {
+		t.Fatal("missing file not reported")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []SyntheticSpec{
+		{Name: "n", N: 0, Features: 10, NNZPerRow: 1},
+		{Name: "m", N: 1, Features: 0, NNZPerRow: 1},
+		{Name: "nnz", N: 1, Features: 5, NNZPerRow: 6},
+		{Name: "noise", N: 1, Features: 5, NNZPerRow: 1, NoiseRate: 1.0},
+		{Name: "classes", N: 1, Features: 5, NNZPerRow: 1, Classes: 1},
+	}
+	for _, spec := range bad {
+		if _, err := Generate(spec); err == nil {
+			t.Errorf("spec %q: invalid spec accepted", spec.Name)
+		}
+	}
+}
+
+func TestGenerateBinaryLabels(t *testing.T) {
+	ds, err := Generate(SyntheticSpec{Name: "b", N: 200, Features: 50, NNZPerRow: 5, NoiseRate: 0.1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckBinaryLabels(ds); err != nil {
+		t.Fatal(err)
+	}
+	// Both classes should appear.
+	pos := 0
+	for _, p := range ds.Points {
+		if p.Label == 1 {
+			pos++
+		}
+	}
+	if pos == 0 || pos == ds.N() {
+		t.Fatalf("degenerate label distribution: %d/%d positive", pos, ds.N())
+	}
+}
+
+func TestGenerateMultinomialLabels(t *testing.T) {
+	ds, err := Generate(SyntheticSpec{Name: "m", N: 300, Features: 30, NNZPerRow: 4, Classes: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckClassLabels(ds, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckBinaryLabels(ds); err == nil {
+		t.Fatal("multinomial labels passed binary check")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := SyntheticSpec{Name: "d", N: 40, Features: 20, NNZPerRow: 4, Seed: 11}
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Points {
+		if a.Points[i].Label != b.Points[i].Label || !a.Points[i].Features.Equal(b.Points[i].Features) {
+			t.Fatalf("generation not deterministic at point %d", i)
+		}
+	}
+}
+
+func TestGenerateBinaryValuesAreOnes(t *testing.T) {
+	ds, err := Generate(SyntheticSpec{Name: "oh", N: 30, Features: 100, NNZPerRow: 5, Binary: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ds.Points {
+		for _, v := range p.Features.Values {
+			if v != 1 {
+				t.Fatalf("binary spec produced value %v", v)
+			}
+		}
+	}
+}
+
+// Property: every generated point respects the feature bound and has at
+// least one non-zero; nnz stays within the jittered envelope.
+func TestPropertyGenerateBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		spec := SyntheticSpec{Name: "p", N: 25, Features: 64, NNZPerRow: 8, Skew: 1.1, Seed: seed}
+		ds, err := Generate(spec)
+		if err != nil {
+			return false
+		}
+		for _, p := range ds.Points {
+			nnz := p.Features.NNZ()
+			if nnz < 1 || nnz > 2*spec.NNZPerRow {
+				return false
+			}
+			if int(p.Features.MaxIndex()) >= spec.Features {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	ds, err := Generate(SyntheticSpec{Name: "s", N: 100, Features: 1000, NNZPerRow: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Summarize(ds)
+	if st.Instances != 100 || st.Features != 1000 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Sparsity < 0.97 || st.Sparsity >= 1 {
+		t.Fatalf("sparsity = %v", st.Sparsity)
+	}
+	if st.AvgNNZPerRow < 5 || st.AvgNNZPerRow > 20 {
+		t.Fatalf("avg nnz = %v", st.AvgNNZPerRow)
+	}
+	if !strings.Contains(st.String(), "instances=100") {
+		t.Fatalf("String() = %q", st.String())
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:             "512B",
+		2048:            "2.0KiB",
+		3 * 1024 * 1024: "3.0MiB",
+		5 << 30:         "5.0GiB",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPresetsScale(t *testing.T) {
+	for _, mk := range []func(float64, int64) SyntheticSpec{Avazu, KDDB, KDD12, Criteo, WX} {
+		full := mk(1.0, 1)
+		small := mk(0.0001, 1)
+		if err := small.Validate(); err != nil {
+			t.Errorf("%s: scaled spec invalid: %v", full.Name, err)
+		}
+		if small.N >= full.N {
+			t.Errorf("%s: scaling did not shrink N", full.Name)
+		}
+	}
+	// Table II row counts at scale 1.
+	if got := Avazu(1, 0).N; got != 40428967 {
+		t.Errorf("avazu N = %d", got)
+	}
+	if got := KDDB(1, 0).Features; got != 29890095 {
+		t.Errorf("kddb m = %d", got)
+	}
+	if got := KDD12(1, 0).N; got != 149639105 {
+		t.Errorf("kdd12 N = %d", got)
+	}
+	if got := Criteo(1, 0).Features; got != 39 {
+		t.Errorf("criteo m = %d", got)
+	}
+	if got := WX(1, 0).Features; got != 51121518 {
+		t.Errorf("WX m = %d", got)
+	}
+}
+
+func TestCriteoScaledKeepsNNZStable(t *testing.T) {
+	for _, m := range []int{10, 1000, 1000000} {
+		spec := CriteoScaled(100, m, 1)
+		ds, err := Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := Summarize(ds)
+		wantMax := float64(min(35, m)) * 1.6
+		if st.AvgNNZPerRow > wantMax {
+			t.Errorf("m=%d: avg nnz %v exceeds %v", m, st.AvgNNZPerRow, wantMax)
+		}
+	}
+}
+
+func TestSliceView(t *testing.T) {
+	ds, _ := Generate(SyntheticSpec{Name: "v", N: 10, Features: 8, NNZPerRow: 2, Seed: 1})
+	s := ds.Slice(2, 5)
+	if s.N() != 3 || s.NumFeatures != 8 {
+		t.Fatalf("slice: N=%d m=%d", s.N(), s.NumFeatures)
+	}
+	if !s.Points[0].Features.Equal(ds.Points[2].Features) {
+		t.Fatal("slice does not alias source rows")
+	}
+}
+
+func TestPowerLawSamplerCoversRange(t *testing.T) {
+	ds, err := Generate(SyntheticSpec{Name: "pl", N: 2000, Features: 1 << 8, NNZPerRow: 8, Skew: 1.2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Head features must be much more popular than tail features.
+	counts := make([]int, ds.NumFeatures)
+	for _, p := range ds.Points {
+		for _, idx := range p.Features.Indices {
+			counts[idx]++
+		}
+	}
+	headSum, tailSum := 0, 0
+	for j, c := range counts {
+		if j < ds.NumFeatures/10 {
+			headSum += c
+		} else {
+			tailSum += c
+		}
+	}
+	if headSum <= tailSum {
+		t.Fatalf("power-law skew absent: head=%d tail=%d", headSum, tailSum)
+	}
+}
+
+func TestSparsityEdgeCases(t *testing.T) {
+	empty := &Dataset{}
+	if s := empty.Sparsity(); s != 0 {
+		t.Fatalf("empty sparsity = %v", s)
+	}
+	if n := empty.NNZ(); n != 0 {
+		t.Fatalf("empty nnz = %v", n)
+	}
+	if math.IsNaN(empty.Sparsity()) {
+		t.Fatal("NaN sparsity")
+	}
+}

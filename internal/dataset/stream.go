@@ -1,0 +1,155 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"columnsgd/internal/vec"
+)
+
+// BlockReader streams a LibSVM file block by block — the master-side view
+// of Algorithm 4's block queue, where row-major training data sits in
+// distributed storage and is consumed in fixed-size blocks without ever
+// materializing the whole dataset in the master's memory.
+type BlockReader struct {
+	r         *bufio.Scanner
+	closer    io.Closer
+	blockSize int
+	features  int
+	nextBlock int
+	rowsRead  int
+	maxIdx    int32
+	err       error
+	done      bool
+}
+
+// Block is one streamed block of rows.
+type Block struct {
+	// ID is the block's position in the queue (0, 1, ...).
+	ID int
+	// Points are the block's rows, at most blockSize of them.
+	Points []Point
+}
+
+// NewBlockReader streams LibSVM text from r in blocks of blockSize rows.
+// features > 0 enforces a feature bound; 0 accepts any indices (the
+// caller can read MaxIndex afterwards).
+func NewBlockReader(r io.Reader, blockSize, features int) (*BlockReader, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("dataset: block size must be positive, got %d", blockSize)
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	return &BlockReader{r: sc, blockSize: blockSize, features: features, maxIdx: -1}, nil
+}
+
+// OpenBlockFile streams a LibSVM file from disk; Close releases it.
+func OpenBlockFile(path string, blockSize, features int) (*BlockReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	br, err := NewBlockReader(f, blockSize, features)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	br.closer = f
+	return br, nil
+}
+
+// Next returns the next block, or (nil, nil) at end of input.
+func (b *BlockReader) Next() (*Block, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if b.done {
+		return nil, nil
+	}
+	blk := &Block{ID: b.nextBlock}
+	for len(blk.Points) < b.blockSize {
+		if !b.r.Scan() {
+			if err := b.r.Err(); err != nil {
+				b.err = fmt.Errorf("dataset: scan: %w", err)
+				return nil, b.err
+			}
+			b.done = true
+			break
+		}
+		line := strings.TrimSpace(b.r.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		p, maxIdx, err := parseLine(line, b.rowsRead+len(blk.Points)+1, b.features)
+		if err != nil {
+			b.err = err
+			return nil, err
+		}
+		if maxIdx > b.maxIdx {
+			b.maxIdx = maxIdx
+		}
+		blk.Points = append(blk.Points, p)
+	}
+	if len(blk.Points) == 0 {
+		return nil, nil
+	}
+	b.nextBlock++
+	b.rowsRead += len(blk.Points)
+	return blk, nil
+}
+
+// RowsRead returns the number of data rows streamed so far.
+func (b *BlockReader) RowsRead() int { return b.rowsRead }
+
+// MaxIndex returns the largest feature index seen so far (-1 if none).
+func (b *BlockReader) MaxIndex() int32 { return b.maxIdx }
+
+// Close releases the underlying file, if any.
+func (b *BlockReader) Close() error {
+	if b.closer != nil {
+		return b.closer.Close()
+	}
+	return nil
+}
+
+// parseLine parses one LibSVM line.
+func parseLine(line string, lineNo, features int) (Point, int32, error) {
+	fields := strings.Fields(line)
+	label, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return Point{}, -1, fmt.Errorf("dataset: line %d: bad label %q: %w", lineNo, fields[0], err)
+	}
+	idx := make([]int32, 0, len(fields)-1)
+	val := make([]float64, 0, len(fields)-1)
+	for _, f := range fields[1:] {
+		colon := strings.IndexByte(f, ':')
+		if colon < 0 {
+			return Point{}, -1, fmt.Errorf("dataset: line %d: malformed feature %q", lineNo, f)
+		}
+		i, err := strconv.Atoi(f[:colon])
+		if err != nil {
+			return Point{}, -1, fmt.Errorf("dataset: line %d: bad index %q: %w", lineNo, f[:colon], err)
+		}
+		v, err := strconv.ParseFloat(f[colon+1:], 64)
+		if err != nil {
+			return Point{}, -1, fmt.Errorf("dataset: line %d: bad value %q: %w", lineNo, f[colon+1:], err)
+		}
+		if v == 0 {
+			continue
+		}
+		if features > 0 && i >= features {
+			return Point{}, -1, fmt.Errorf("dataset: line %d: feature index %d exceeds dimension %d", lineNo, i, features)
+		}
+		idx = append(idx, int32(i))
+		val = append(val, v)
+	}
+	sp, err := vec.NewSparse(idx, val)
+	if err != nil {
+		return Point{}, -1, fmt.Errorf("dataset: line %d: %w", lineNo, err)
+	}
+	return Point{Label: label, Features: sp}, sp.MaxIndex(), nil
+}

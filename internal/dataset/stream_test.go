@@ -1,0 +1,115 @@
+package dataset
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBlockReaderBasic(t *testing.T) {
+	in := `+1 0:1 2:2
+-1 1:3
+
+# comment
++1 0:4
+-1 2:5
++1 1:6
+`
+	br, err := NewBlockReader(strings.NewReader(in), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blocks []*Block
+	for {
+		blk, err := br.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if blk == nil {
+			break
+		}
+		blocks = append(blocks, blk)
+	}
+	if len(blocks) != 3 {
+		t.Fatalf("blocks = %d", len(blocks))
+	}
+	if blocks[0].ID != 0 || blocks[1].ID != 1 || blocks[2].ID != 2 {
+		t.Fatal("block IDs not sequential")
+	}
+	if len(blocks[0].Points) != 2 || len(blocks[2].Points) != 1 {
+		t.Fatalf("block sizes: %d, %d, %d", len(blocks[0].Points), len(blocks[1].Points), len(blocks[2].Points))
+	}
+	if br.RowsRead() != 5 {
+		t.Fatalf("RowsRead = %d", br.RowsRead())
+	}
+	if br.MaxIndex() != 2 {
+		t.Fatalf("MaxIndex = %d", br.MaxIndex())
+	}
+	// Next after EOF stays nil.
+	if blk, err := br.Next(); blk != nil || err != nil {
+		t.Fatal("reader did not stay at EOF")
+	}
+}
+
+func TestBlockReaderValidation(t *testing.T) {
+	if _, err := NewBlockReader(strings.NewReader(""), 0, 0); err == nil {
+		t.Error("block size 0 accepted")
+	}
+	br, _ := NewBlockReader(strings.NewReader("x 0:1\n"), 2, 0)
+	if _, err := br.Next(); err == nil {
+		t.Error("bad label accepted")
+	}
+	// Errors are sticky.
+	if _, err := br.Next(); err == nil {
+		t.Error("error not sticky")
+	}
+	br2, _ := NewBlockReader(strings.NewReader("1 5:1\n"), 2, 3)
+	if _, err := br2.Next(); err == nil {
+		t.Error("feature bound not enforced")
+	}
+	br3, _ := NewBlockReader(strings.NewReader("1 0=1\n"), 2, 0)
+	if _, err := br3.Next(); err == nil {
+		t.Error("malformed feature accepted")
+	}
+}
+
+func TestBlockReaderMatchesFullParse(t *testing.T) {
+	ds, err := Generate(SyntheticSpec{Name: "s", N: 57, Features: 30, NNZPerRow: 5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "d.libsvm")
+	if err := SaveLibSVMFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	br, err := OpenBlockFile(path, 10, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer br.Close()
+	row := 0
+	for {
+		blk, err := br.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if blk == nil {
+			break
+		}
+		for _, p := range blk.Points {
+			if p.Label != ds.Points[row].Label || !p.Features.Equal(ds.Points[row].Features) {
+				t.Fatalf("row %d differs from full parse", row)
+			}
+			row++
+		}
+	}
+	if row != ds.N() {
+		t.Fatalf("streamed %d rows, want %d", row, ds.N())
+	}
+}
+
+func TestOpenBlockFileMissing(t *testing.T) {
+	if _, err := OpenBlockFile("/no/such/file", 4, 0); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,276 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"columnsgd/internal/core"
+	"columnsgd/internal/dataset"
+	"columnsgd/internal/metrics"
+	"columnsgd/internal/partition"
+)
+
+func init() {
+	register("ablation-wire",
+		"Ablation: workset wire formats — CSR vs COO vs dense encoding sizes",
+		runAblationWire)
+	register("ablation-sampling",
+		"Ablation: two-phase index sampling vs MLlib-style scan sampling",
+		runAblationSampling)
+	register("ablation-backup",
+		"Ablation: cost of S-backup computation (memory, compute, communication) vs S",
+		runAblationBackup)
+	register("ablation-stats",
+		"Ablation: measured statistics bytes per model vs the 2·K·B·spp·8 formula",
+		runAblationStats)
+	register("ablation-blocksize",
+		"Ablation: block size vs dispatch messages and modeled loading time",
+		runAblationBlockSize)
+}
+
+// runAblationWire compares the on-wire size of one block's workset in the
+// CSR format the system uses against COO (index pairs) and dense
+// encodings, justifying the design choice of §IV-A.
+func runAblationWire(cfg Config, w io.Writer) error {
+	ds, err := genSmall("kddb", cfg)
+	if err != nil {
+		return err
+	}
+	scheme, err := partition.NewRoundRobin(ds.NumFeatures, benchWorkers)
+	if err != nil {
+		return err
+	}
+	const blockSize = 256
+	stores, _, err := partition.Dispatch(ds, scheme, blockSize, nil)
+	if err != nil {
+		return err
+	}
+	ws, ok := stores[0].Get(0)
+	if !ok {
+		return fmt.Errorf("ablation-wire: block 0 missing")
+	}
+	rows := int64(ws.Data.Rows())
+	nnz := int64(ws.Data.NNZ())
+	csrBytes := ws.SizeBytes()
+	// COO: every non-zero carries (row int32, col int32, value float64).
+	cooBytes := nnz*16 + rows*8 + 16
+	// Dense: rows × partition width values.
+	denseBytes := rows*int64(ws.Data.Cols)*8 + rows*8 + 16
+
+	tbl := metrics.NewTable("Ablation — workset encodings for one block (kddb-like, 256 rows)",
+		"encoding", "bytes", "vs CSR")
+	tbl.AddRow("CSR (used)", csrBytes, "1.0x")
+	tbl.AddRow("COO", cooBytes, fmt.Sprintf("%.2fx", float64(cooBytes)/float64(csrBytes)))
+	tbl.AddRow("dense", denseBytes, fmt.Sprintf("%.2fx", float64(denseBytes)/float64(csrBytes)))
+	if err := tbl.Render(w); err != nil {
+		return err
+	}
+	if csrBytes >= cooBytes {
+		return fmt.Errorf("ablation-wire: CSR (%d) not smaller than COO (%d)", csrBytes, cooBytes)
+	}
+	if csrBytes >= denseBytes {
+		return fmt.Errorf("ablation-wire: CSR (%d) not smaller than dense (%d) on sparse data", csrBytes, denseBytes)
+	}
+	return nil
+}
+
+// runAblationSampling measures the CPU cost of drawing one mini-batch via
+// the two-phase index against an MLlib-style Bernoulli scan of the whole
+// dataset — the data-access design of §IV-A.
+func runAblationSampling(cfg Config, w io.Writer) error {
+	// Fixed, deliberately large N: the point is that scan sampling costs
+	// O(N) per batch while the two-phase index costs O(B·log blocks), so
+	// the gap must be visible regardless of the benchmark scale knob.
+	ds, err := dataset.Generate(dataset.SyntheticSpec{
+		Name: "sampling", N: 20000, Features: 1000, NNZPerRow: 11, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	const blockSize = 256
+	meta := []partition.BlockMeta{}
+	for lo, id := 0, 0; lo < ds.N(); lo, id = lo+blockSize, id+1 {
+		rows := blockSize
+		if ds.N()-lo < rows {
+			rows = ds.N() - lo
+		}
+		meta = append(meta, partition.BlockMeta{ID: id, Rows: rows})
+	}
+	sampler, err := partition.NewSampler(meta)
+	if err != nil {
+		return err
+	}
+	const batch = 128
+	const trials = 200
+
+	start := time.Now()
+	var sink int
+	for i := 0; i < trials; i++ {
+		refs := sampler.SampleBatch(int64(i), batch)
+		sink += refs[0].Offset
+	}
+	indexTime := time.Since(start)
+
+	start = time.Now()
+	for i := 0; i < trials; i++ {
+		rows := partition.ScanSample(ds, int64(i), batch)
+		if len(rows) > 0 {
+			sink += rows[0]
+		}
+	}
+	scanTime := time.Since(start)
+	_ = sink
+
+	tbl := metrics.NewTable(fmt.Sprintf("Ablation — sampling one batch of %d from %d rows (%d trials)", batch, ds.N(), trials),
+		"strategy", "total", "per batch")
+	tbl.AddRow("two-phase index (used)", indexTime, indexTime/trials)
+	tbl.AddRow("Bernoulli scan (MLlib)", scanTime, scanTime/trials)
+	if err := tbl.Render(w); err != nil {
+		return err
+	}
+	if float64(indexTime) >= 0.7*float64(scanTime) {
+		return fmt.Errorf("ablation-sampling: index (%v) not clearly faster than scan (%v)", indexTime, scanTime)
+	}
+	fmt.Fprintf(w, "\ncheck: two-phase index %.0f× faster per batch\n",
+		float64(scanTime)/float64(indexTime))
+	return nil
+}
+
+// runAblationBackup quantifies what S-backup computation costs: worker
+// memory and kernel work scale with S+1 while communication stays fixed —
+// the trade §IV-B argues for.
+func runAblationBackup(cfg Config, w io.Writer) error {
+	ds, err := genSmall("kddb", cfg)
+	if err != nil {
+		return err
+	}
+	tbl := metrics.NewTable("Ablation — S-backup cost (LR on kddb-like, K=4)",
+		"S", "worker mem (bytes)", "max kernel nnz/iter", "comm bytes/iter")
+	type obs struct {
+		mem, nnz, comm int64
+	}
+	results := map[int]obs{}
+	for _, s := range []int{0, 1, 3} {
+		eng, _, err := newColumnEngine(core.Config{
+			Workers: benchWorkers, Backup: s, ModelName: "lr", Opt: defaultOpt(0.1),
+			BatchSize: 128, Seed: cfg.Seed, Net: net1(benchWorkers),
+		}, ds)
+		if err != nil {
+			return err
+		}
+		if _, err := eng.Run(cfg.iters(5)); err != nil {
+			return err
+		}
+		tr := eng.Trace()
+		var nnz int64
+		for _, it := range tr.Iterations {
+			if it.MaxWorkerNNZ > nnz {
+				nnz = it.MaxWorkerNNZ
+			}
+		}
+		comm := tr.CommBytes() / int64(len(tr.Iterations))
+		results[s] = obs{tr.PeakWorkerBytes, nnz, comm}
+		tbl.AddRow(s, tr.PeakWorkerBytes, nnz, comm)
+	}
+	if err := tbl.Render(w); err != nil {
+		return err
+	}
+	// Memory and compute scale ≈(S+1); communication stays within 10%.
+	if r := float64(results[1].nnz) / float64(results[0].nnz); r < 1.6 || r > 2.4 {
+		return fmt.Errorf("ablation-backup: S=1 kernel work ratio %.2f, want ≈2", r)
+	}
+	if r := float64(results[3].nnz) / float64(results[0].nnz); r < 3.2 || r > 4.8 {
+		return fmt.Errorf("ablation-backup: S=3 kernel work ratio %.2f, want ≈4", r)
+	}
+	if r := float64(results[3].comm) / float64(results[0].comm); r < 0.9 || r > 1.1 {
+		return fmt.Errorf("ablation-backup: S=3 comm ratio %.2f, want ≈1", r)
+	}
+	return nil
+}
+
+// runAblationStats verifies the per-model statistics-size law: measured
+// per-iteration traffic tracks 2·K·B·spp·8 bytes for LR (spp=1), MLR
+// (spp=#classes) and FM (spp=F+1) — §III-C's communication argument.
+func runAblationStats(cfg Config, w io.Writer) error {
+	const batch = 64
+	tbl := metrics.NewTable("Ablation — statistics size per model (measured vs 2KB·spp·8 formula)",
+		"model", "spp", "measured bytes/iter", "formula", "ratio")
+	cases := []struct {
+		name string
+		arg  int
+		spp  int
+		gen  dataset.SyntheticSpec
+		lr   float64
+	}{
+		{"lr", 0, 1, dataset.SyntheticSpec{Name: "a", N: 500, Features: 256, NNZPerRow: 8, Seed: cfg.Seed}, 0.1},
+		{"mlr", 4, 4, dataset.SyntheticSpec{Name: "b", N: 500, Features: 256, NNZPerRow: 8, Classes: 4, Seed: cfg.Seed}, 0.1},
+		{"fm", 7, 8, dataset.SyntheticSpec{Name: "c", N: 500, Features: 256, NNZPerRow: 8, Seed: cfg.Seed}, 0.02},
+	}
+	for _, c := range cases {
+		ds, err := dataset.Generate(c.gen)
+		if err != nil {
+			return err
+		}
+		eng, _, err := newColumnEngine(core.Config{
+			Workers: benchWorkers, ModelName: c.name, ModelArg: c.arg, Opt: defaultOpt(c.lr),
+			BatchSize: batch, Seed: cfg.Seed, Net: net1(benchWorkers),
+		}, ds)
+		if err != nil {
+			return err
+		}
+		if _, err := eng.Run(cfg.iters(5)); err != nil {
+			return err
+		}
+		measured := eng.Trace().CommBytes() / int64(len(eng.Trace().Iterations))
+		formula := int64(2 * benchWorkers * batch * c.spp * 8)
+		r := float64(measured) / float64(formula)
+		tbl.AddRow(c.name, c.spp, measured, formula, fmt.Sprintf("%.2f", r))
+		if r < 0.9 || r > 2.0 {
+			return fmt.Errorf("ablation-stats %s: measured/formula = %.2f outside [0.9, 2.0]", c.name, r)
+		}
+	}
+	return tbl.Render(w)
+}
+
+// runAblationBlockSize sweeps the dispatch block size: tiny blocks
+// degenerate toward the naive per-row dispatch (message explosion), huge
+// blocks reduce messages with diminishing returns — the block-queue
+// design knob of Algorithm 4.
+func runAblationBlockSize(cfg Config, w io.Writer) error {
+	ds, err := genSmall("avazu", cfg)
+	if err != nil {
+		return err
+	}
+	scheme, err := partition.NewRoundRobin(ds.NumFeatures, benchWorkers)
+	if err != nil {
+		return err
+	}
+	net := net1(benchWorkers)
+	tbl := metrics.NewTable("Ablation — block size vs dispatch traffic (avazu-like)",
+		"block size", "messages", "bytes", "modeled load time")
+	var times []time.Duration
+	sizes := []int{1, 16, 256, 4096}
+	for _, bs := range sizes {
+		_, stats, err := partition.Dispatch(ds, scheme, bs, nil)
+		if err != nil {
+			return err
+		}
+		t := net.LoadTime(stats.Messages, stats.Bytes, benchWorkers, ds.NNZ()/int64(benchWorkers))
+		times = append(times, t)
+		tbl.AddRow(bs, stats.Messages, stats.Bytes, t)
+	}
+	if err := tbl.Render(w); err != nil {
+		return err
+	}
+	// Monotone improvement from 1 → 256, then diminishing returns.
+	if !(times[0] > times[1] && times[1] > times[2]) {
+		return fmt.Errorf("ablation-blocksize: load times not improving with block size: %v", times)
+	}
+	gain := times[2].Seconds() - times[3].Seconds()
+	firstGain := times[0].Seconds() - times[1].Seconds()
+	if gain > firstGain {
+		return fmt.Errorf("ablation-blocksize: returns not diminishing (%.4f vs %.4f)", gain, firstGain)
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"columnsgd/internal/metrics"
+	"columnsgd/internal/rowsgd"
+)
+
+func init() {
+	register("ablation-async",
+		"Ablation: BSP vs bounded-staleness RowSGD — why ColumnSGD keeps the barrier (§VI)",
+		runAblationAsync)
+}
+
+// runAblationAsync quantifies the trade the paper's related-work section
+// describes: asynchronous (bounded-staleness) RowSGD removes the
+// synchronization barrier but pays in statistical efficiency, and — the
+// paper's point — it "breaks the serial consistency of distributed SGD".
+// ColumnSGD instead keeps BSP and handles stragglers with backup
+// computation. The experiment trains Petuum-style engines at staleness 0,
+// 2, and 6 with identical seeds and compares the loss achieved per
+// iteration.
+func runAblationAsync(cfg Config, w io.Writer) error {
+	ds, err := genSmall("kddb", cfg)
+	if err != nil {
+		return err
+	}
+	iters := cfg.iters(60)
+	tbl := metrics.NewTable("Ablation — bounded staleness on Petuum-style RowSGD (LR, kddb-like, equal iterations)",
+		"staleness", "final full loss", "loss gap vs BSP")
+	losses := map[int]float64{}
+	for _, staleness := range []int{0, 2, 6} {
+		eng, err := newRowEngine(rowsgd.Config{
+			System: rowsgd.Petuum, Workers: benchWorkers, ModelName: "lr",
+			Opt: defaultOpt(2.0), BatchSize: 128, Seed: cfg.Seed,
+			Net: net1(benchWorkers), Staleness: staleness,
+		}, ds)
+		if err != nil {
+			return err
+		}
+		if _, err := eng.Run(iters); err != nil {
+			return err
+		}
+		loss, err := eng.FullLoss()
+		if err != nil {
+			return err
+		}
+		losses[staleness] = loss
+	}
+	for _, staleness := range []int{0, 2, 6} {
+		tbl.AddRow(staleness, losses[staleness], losses[staleness]-losses[0])
+	}
+	if err := tbl.Render(w); err != nil {
+		return err
+	}
+
+	// The asynchronous trade: small staleness roughly keeps statistical
+	// efficiency, but a loose bound destabilizes training at a learning
+	// rate that BSP handles fine — the consistency risk the paper cites
+	// for rejecting async in ColumnSGD.
+	if losses[2] > losses[0]*1.25 {
+		return fmt.Errorf("ablation-async: staleness 2 (%.4f) should stay near BSP (%.4f)", losses[2], losses[0])
+	}
+	if losses[6] < losses[0]*1.5 {
+		return fmt.Errorf("ablation-async: staleness 6 (%.4f) should visibly degrade vs BSP (%.4f)", losses[6], losses[0])
+	}
+	fmt.Fprintf(w, "\ncheck: equal iterations — BSP %.4f, stale-2 %.4f (stable), stale-6 %.4f (%.1f× worse: stale gradients break consistency)\n",
+		losses[0], losses[2], losses[6], losses[6]/losses[0])
+	return nil
+}

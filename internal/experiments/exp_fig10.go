@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"columnsgd/internal/core"
+	"columnsgd/internal/costmodel"
+	"columnsgd/internal/dataset"
+	"columnsgd/internal/metrics"
+	"columnsgd/internal/simnet"
+)
+
+func init() {
+	register("fig10",
+		"Fig 10: ColumnSGD per-iteration time vs model size (criteo-like, 10 → 1e9 dims, fixed nnz/row)",
+		runFig10)
+}
+
+// runFig10 follows the Boden et al. protocol the paper uses: criteo-like
+// synthetic data re-hashed to model dimensions from 10 to one billion,
+// keeping non-zeros per row constant. ColumnSGD's per-iteration time must
+// stay flat. Measured engines run up to 10⁶ dimensions; the analytic
+// model extends the sweep to the paper's 10⁹.
+func runFig10(cfg Config, w io.Writer) error {
+	fig := &metrics.Figure{
+		Title:  "Fig 10 — ColumnSGD per-iteration time vs model dimension (fixed nnz/row)",
+		XLabel: "model dimension",
+		YLabel: "seconds per iteration",
+	}
+	measured := metrics.Series{Name: "ColumnSGD (measured engines)"}
+	n := scaled(2000, cfg.Scale)
+	dims := []int{10, 1000, 100000, 1000000}
+	var times []float64
+	for _, m := range dims {
+		ds, err := dataset.Generate(dataset.CriteoScaled(n, m, cfg.Seed))
+		if err != nil {
+			return err
+		}
+		eng, _, err := newColumnEngine(core.Config{
+			Workers: benchWorkers, ModelName: "lr", Opt: defaultOpt(0.1),
+			BatchSize: 128, Seed: cfg.Seed, Net: net1(benchWorkers),
+		}, ds)
+		if err != nil {
+			return err
+		}
+		if _, err := eng.Run(cfg.iters(5)); err != nil {
+			return err
+		}
+		t := eng.Trace().MeanIterTime(1).Seconds()
+		measured.X = append(measured.X, float64(m))
+		measured.Y = append(measured.Y, t)
+		times = append(times, t)
+	}
+	fig.AddSeries(measured)
+
+	analytic := metrics.Series{Name: "ColumnSGD (analytic, paper scale)"}
+	for _, m := range []int{10, 1000, 1000000, 1000000000} {
+		rho := 1.0 - minF(1, 35.0/float64(m))
+		wl := costmodel.Workload{K: defaultWorkers, B: 1000, M: m, N: 45840617, Rho: rho}
+		c, err := costmodel.IterationTime(costmodel.SysColumnSGD, wl, simnet.Cluster1())
+		if err != nil {
+			return err
+		}
+		analytic.X = append(analytic.X, float64(m))
+		analytic.Y = append(analytic.Y, c.Total().Seconds())
+	}
+	fig.AddSeries(analytic)
+	if err := emitFigure(cfg, w, fig); err != nil {
+		return err
+	}
+
+	// Flatness check across five orders of magnitude of measured m.
+	for i := 1; i < len(times); i++ {
+		if times[i] > times[0]*1.5 {
+			return fmt.Errorf("fig10: per-iteration time rose with m: %v", times)
+		}
+	}
+	fmt.Fprintf(w, "\ncheck: measured per-iteration time flat across m=10..1e6: %.4fs .. %.4fs\n",
+		times[0], times[len(times)-1])
+	return nil
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"columnsgd/internal/core"
+	"columnsgd/internal/metrics"
+	"columnsgd/internal/partition"
+	"columnsgd/internal/simnet"
+)
+
+func init() {
+	register("fig11",
+		"Fig 11: scalability w.r.t. cluster size on WX-like data (loading time and per-iteration time)",
+		runFig11)
+}
+
+// runFig11 trains LR on the WX stand-in with 10–50 workers on the
+// Cluster 2 pricing model. The paper's two observations must re-emerge:
+// data transformation time decreases with more machines (sub-linearly —
+// about 2× from 10 to 40), and per-iteration time stays roughly flat
+// (the scalability limitation the paper discusses).
+func runFig11(cfg Config, w io.Writer) error {
+	ds, err := genSmall("WX", cfg)
+	if err != nil {
+		return err
+	}
+	loadFig := metrics.Series{Name: "data transformation (modeled)"}
+	iterFig := metrics.Series{Name: "per-iteration (modeled)"}
+	tbl := metrics.NewTable("Fig 11 — scalability w.r.t. cluster size (WX-like, Cluster 2 pricing)",
+		"machines", "loading", "per-iteration")
+
+	sizes := []int{10, 20, 30, 40, 50}
+	loads := make([]float64, 0, len(sizes))
+	iters := make([]float64, 0, len(sizes))
+	for _, k := range sizes {
+		// The engines really run with k workers; pricing uses Cluster 2.
+		net := simnet.Cluster2().WithWorkers(k)
+		scheme, err := partition.NewRoundRobin(ds.NumFeatures, k)
+		if err != nil {
+			return err
+		}
+		_, loadStats, err := partition.Dispatch(ds, scheme, 256, nil)
+		if err != nil {
+			return err
+		}
+		loadTime := net.LoadTime(loadStats.Messages, loadStats.Bytes, k, ds.NNZ()/int64(k))
+
+		eng, _, err := newColumnEngine(core.Config{
+			Workers: k, ModelName: "lr", Opt: defaultOpt(0.1),
+			BatchSize: 256, Seed: cfg.Seed, Net: net,
+		}, ds)
+		if err != nil {
+			return err
+		}
+		if _, err := eng.Run(cfg.iters(4)); err != nil {
+			return err
+		}
+		iterTime := eng.Trace().MeanIterTime(1)
+
+		loadFig.X = append(loadFig.X, float64(k))
+		loadFig.Y = append(loadFig.Y, loadTime.Seconds())
+		iterFig.X = append(iterFig.X, float64(k))
+		iterFig.Y = append(iterFig.Y, iterTime.Seconds())
+		loads = append(loads, loadTime.Seconds())
+		iters = append(iters, iterTime.Seconds())
+		tbl.AddRow(k, loadTime, iterTime)
+	}
+	fig := &metrics.Figure{
+		Title:  "Fig 11 — WX-like scalability",
+		XLabel: "machines",
+		YLabel: "seconds",
+	}
+	fig.AddSeries(loadFig)
+	fig.AddSeries(iterFig)
+	if err := emitFigure(cfg, w, fig); err != nil {
+		return err
+	}
+	if err := tbl.Render(w); err != nil {
+		return err
+	}
+
+	// Loading must shrink with machines but sub-linearly (paper: 2.05×
+	// from 10 → 40 machines).
+	speedup := loads[0] / loads[3]
+	if speedup < 1.2 {
+		return fmt.Errorf("fig11: loading speedup 10→40 machines = %.2f, want > 1.2", speedup)
+	}
+	if speedup > 4 {
+		return fmt.Errorf("fig11: loading speedup %.2f suspiciously superlinear (paper: 2.05)", speedup)
+	}
+	// Per-iteration time stays within a 2× band across cluster sizes.
+	minIt, maxIt := iters[0], iters[0]
+	for _, v := range iters {
+		if v < minIt {
+			minIt = v
+		}
+		if v > maxIt {
+			maxIt = v
+		}
+	}
+	if maxIt > 2*minIt {
+		return fmt.Errorf("fig11: per-iteration time varies %.4f..%.4f s, want near-flat", minIt, maxIt)
+	}
+	fmt.Fprintf(w, "\ncheck: loading speedup 10→40 = %.2f× (paper 2.05×); per-iteration %.4f–%.4f s (flat)\n",
+		speedup, minIt, maxIt)
+	return nil
+}

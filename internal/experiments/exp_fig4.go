@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"columnsgd/internal/core"
+	"columnsgd/internal/costmodel"
+	"columnsgd/internal/metrics"
+	"columnsgd/internal/simnet"
+)
+
+func init() {
+	register("fig4a",
+		"Fig 4(a): SVM convergence vs #iterations for varying batch sizes (kddb-like)",
+		runFig4a)
+	register("fig4b",
+		"Fig 4(b): ColumnSGD per-iteration time vs batch size (kddb-like, Cluster 1)",
+		runFig4b)
+}
+
+// runFig4a trains SVM with a fixed learning rate and batch sizes spanning
+// three orders of magnitude, recording the full-train loss per iteration.
+// The paper's observations must re-emerge: tiny batches thrash, and the
+// curves overlap once the batch passes a modest threshold.
+func runFig4a(cfg Config, w io.Writer) error {
+	ds, err := genSmall("kddb", cfg)
+	if err != nil {
+		return err
+	}
+	iters := cfg.iters(60)
+	batches := []int{4, 16, 64, 256, 1024}
+
+	fig := &metrics.Figure{
+		Title:  "Fig 4(a) — SVM on kddb-like: train loss vs iteration, by batch size",
+		XLabel: "iteration",
+		YLabel: "full train loss",
+	}
+	variance := map[int]float64{}
+	for _, b := range batches {
+		eng, _, err := newColumnEngine(core.Config{
+			Workers: benchWorkers, ModelName: "svm", Opt: defaultOpt(0.05),
+			BatchSize: b, Seed: cfg.Seed, Net: net1(benchWorkers), EvalEvery: 1,
+		}, ds)
+		if err != nil {
+			return err
+		}
+		if _, err := eng.Run(iters); err != nil {
+			return err
+		}
+		s := metrics.Series{Name: fmt.Sprintf("batch=%d", b)}
+		var prev float64
+		var jitter float64
+		for i, it := range eng.Trace().Iterations {
+			s.X = append(s.X, float64(i))
+			s.Y = append(s.Y, it.Loss)
+			if i > 0 {
+				d := it.Loss - prev
+				jitter += d * d
+			}
+			prev = it.Loss
+		}
+		variance[b] = jitter / float64(iters-1)
+		fig.AddSeries(s)
+	}
+	if err := emitFigure(cfg, w, fig); err != nil {
+		return err
+	}
+
+	// The paper's instability claim: the smallest batch's step-to-step
+	// loss variance must exceed the largest batch's.
+	if variance[batches[0]] <= variance[batches[len(batches)-1]] {
+		return fmt.Errorf("fig4a: batch=%d variance (%g) not above batch=%d variance (%g)",
+			batches[0], variance[batches[0]], batches[len(batches)-1], variance[batches[len(batches)-1]])
+	}
+	fmt.Fprintf(w, "\ncheck: loss-step variance batch=%d: %.3g ≫ batch=%d: %.3g\n",
+		batches[0], variance[batches[0]], batches[len(batches)-1], variance[batches[len(batches)-1]])
+	return nil
+}
+
+// runFig4b sweeps the batch size and reports the modeled per-iteration
+// time: flat while latency/scheduling dominate, then linear once the
+// statistics volume saturates the bandwidth (the paper's 100k knee).
+func runFig4b(cfg Config, w io.Writer) error {
+	ds, err := genSmall("kddb", cfg)
+	if err != nil {
+		return err
+	}
+	fig := &metrics.Figure{
+		Title:  "Fig 4(b) — ColumnSGD per-iteration time vs batch size (measured traffic, Cluster 1 pricing)",
+		XLabel: "batch size",
+		YLabel: "seconds per iteration",
+	}
+	measured := metrics.Series{Name: "ColumnSGD (measured, benchmark scale)"}
+	batches := []int{100, 1000, 10000, 300000}
+	times := make([]float64, 0, len(batches))
+	for _, b := range batches {
+		eng, _, err := newColumnEngine(core.Config{
+			Workers: benchWorkers, ModelName: "svm", Opt: defaultOpt(0.05),
+			BatchSize: b, Seed: cfg.Seed, Net: net1(benchWorkers),
+		}, ds)
+		if err != nil {
+			return err
+		}
+		if _, err := eng.Run(cfg.iters(3)); err != nil {
+			return err
+		}
+		t := eng.Trace().MeanIterTime(0).Seconds()
+		measured.X = append(measured.X, float64(b))
+		measured.Y = append(measured.Y, t)
+		times = append(times, t)
+	}
+	fig.AddSeries(measured)
+
+	// Analytic curve at paper scale, extending to the 10M batches the
+	// paper sweeps.
+	analytic := metrics.Series{Name: "ColumnSGD (analytic, kddb paper scale)"}
+	n, m, nnz, err := paperWorkload("kddb")
+	if err != nil {
+		return err
+	}
+	for _, b := range []int{100, 1000, 10000, 100000, 1000000, 10000000} {
+		wl := costmodel.Workload{K: defaultWorkers, B: b, M: m, N: n, Rho: 1 - float64(nnz)/float64(m)}
+		c, err := costmodel.IterationTime(costmodel.SysColumnSGD, wl, simnet.Cluster1())
+		if err != nil {
+			return err
+		}
+		analytic.X = append(analytic.X, float64(b))
+		analytic.Y = append(analytic.Y, c.Total().Seconds())
+	}
+	fig.AddSeries(analytic)
+	if err := emitFigure(cfg, w, fig); err != nil {
+		return err
+	}
+
+	// Shape checks: flat head (≤1.5× from 100 → 1000), steep tail
+	// (>3× from 10k → 100k at benchmark scale where bandwidth binds).
+	if times[1] > times[0]*1.5 {
+		return fmt.Errorf("fig4b: head not flat: %.4fs -> %.4fs", times[0], times[1])
+	}
+	if times[len(times)-1] < times[1]*2 {
+		return fmt.Errorf("fig4b: tail not rising: batch=1000 %.4fs vs batch=300000 %.4fs", times[1], times[len(times)-1])
+	}
+	fmt.Fprintf(w, "\ncheck: per-iteration time flat 100→1000 (%.4fs→%.4fs), rising at 100k (%.4fs)\n",
+		times[0], times[1], times[len(times)-1])
+	return nil
+}

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"columnsgd/internal/core"
+	"columnsgd/internal/costmodel"
+	"columnsgd/internal/metrics"
+	"columnsgd/internal/rowsgd"
+	"columnsgd/internal/simnet"
+)
+
+func init() {
+	register("fig8",
+		"Fig 8: loss vs time for ColumnSGD, MLlib, MLlib*, Petuum, MXNet on LR and SVM",
+		runFig8)
+}
+
+// systemCostID maps engine names to cost-model systems.
+var systemCostID = map[string]costmodel.SystemID{
+	"ColumnSGD": costmodel.SysColumnSGD,
+	"MLlib":     costmodel.SysMLlib,
+	"MLlib*":    costmodel.SysMLlibStar,
+	"Petuum":    costmodel.SysPetuum,
+	"MXNet":     costmodel.SysMXNet,
+}
+
+// runFig8 reproduces the paper's convergence comparison as a hybrid:
+// the loss trajectories are measured by really training each system at
+// benchmark scale (per-iteration statistics depend on B, not m, so the
+// trajectories transfer), while each iteration is priced at the paper's
+// full dataset scale with the Cluster 1 model. Time-to-target-loss per
+// system then reproduces Fig 8's orderings, including MXNet beating
+// ColumnSGD on avazu (small model) and losing on kddb/kdd12.
+func runFig8(cfg Config, w io.Writer) error {
+	iters := cfg.iters(40)
+	evalEvery := 4
+	const batch = 128
+	for _, mdl := range []string{"lr", "svm"} {
+		for _, name := range []string{"avazu", "kddb", "kdd12"} {
+			ds, err := genSmall(name, cfg)
+			if err != nil {
+				return err
+			}
+			lr := 0.5
+
+			// Paper-scale per-iteration cost per system.
+			n, m, nnz, err := paperWorkload(name)
+			if err != nil {
+				return err
+			}
+			wl := costmodel.Workload{K: defaultWorkers, B: 1000, M: m, N: n, Rho: 1 - float64(nnz)/float64(m)}
+			perIter := map[string]time.Duration{}
+			for sysName, id := range systemCostID {
+				c, err := costmodel.IterationTime(id, wl, simnet.Cluster1())
+				if err != nil {
+					return err
+				}
+				perIter[sysName] = c.Total()
+			}
+
+			traces := map[string]*metrics.Trace{}
+			colEng, _, err := newColumnEngine(core.Config{
+				Workers: benchWorkers, ModelName: mdl, Opt: defaultOpt(lr),
+				BatchSize: batch, Seed: cfg.Seed, Net: net1(benchWorkers), EvalEvery: evalEvery,
+			}, ds)
+			if err != nil {
+				return err
+			}
+			if _, err := colEng.Run(iters); err != nil {
+				return err
+			}
+			traces["ColumnSGD"] = colEng.Trace()
+
+			for _, sys := range []rowsgd.System{rowsgd.MLlib, rowsgd.MLlibStar, rowsgd.Petuum, rowsgd.MXNet} {
+				eng, err := newRowEngine(rowsgd.Config{
+					System: sys, Workers: benchWorkers, ModelName: mdl, Opt: defaultOpt(lr),
+					BatchSize: batch, Seed: cfg.Seed, Net: net1(benchWorkers), EvalEvery: evalEvery,
+				}, ds)
+				if err != nil {
+					return err
+				}
+				if _, err := eng.Run(iters); err != nil {
+					return err
+				}
+				traces[string(sys)] = eng.Trace()
+			}
+
+			// Common target loss: the worst of the systems' best losses,
+			// slightly relaxed (the paper's horizontal line).
+			target := 0.0
+			for _, tr := range traces {
+				best := math.Inf(1)
+				for _, it := range tr.Iterations {
+					if !math.IsNaN(it.Loss) && it.Loss < best {
+						best = it.Loss
+					}
+				}
+				if best > target {
+					target = best
+				}
+			}
+			target += 0.002 + 0.02*target
+
+			fig := &metrics.Figure{
+				Title:  fmt.Sprintf("Fig 8 — %s on %s: train loss vs time (trajectory measured, iterations priced at paper scale)", mdl, name),
+				XLabel: "seconds (modeled, Cluster 1, paper-scale model)",
+				YLabel: "full train loss",
+			}
+			tbl := metrics.NewTable(
+				fmt.Sprintf("Fig 8 — %s on %s: time to reach loss %.4f", mdl, name, target),
+				"system", "per-iteration", "iters-to-target", "time-to-target")
+			timeTo := map[string]time.Duration{}
+			for _, sysName := range []string{"ColumnSGD", "MLlib", "MLlib*", "Petuum", "MXNet"} {
+				tr := traces[sysName]
+				s := metrics.Series{Name: sysName}
+				itersTo := -1
+				for i, it := range tr.Iterations {
+					if math.IsNaN(it.Loss) {
+						continue
+					}
+					s.X = append(s.X, perIter[sysName].Seconds()*float64(i+1))
+					s.Y = append(s.Y, it.Loss)
+					if itersTo < 0 && it.Loss <= target {
+						itersTo = i + 1
+					}
+				}
+				fig.AddSeries(s)
+				if itersTo < 0 {
+					itersTo = iters
+				}
+				timeTo[sysName] = time.Duration(itersTo) * perIter[sysName]
+				tbl.AddRow(sysName, perIter[sysName], itersTo, timeTo[sysName])
+			}
+			if err := emitFigure(cfg, w, fig); err != nil {
+				return err
+			}
+			if err := tbl.Render(w); err != nil {
+				return err
+			}
+
+			// Fig 8 shape checks. On the big models, ColumnSGD dominates
+			// every baseline and MLlib is slowest; on avazu the paper
+			// observes MXNet beating ColumnSGD (Spark scheduling).
+			if name != "avazu" {
+				for _, sysName := range []string{"MLlib", "MLlib*", "Petuum", "MXNet"} {
+					if timeTo["ColumnSGD"] >= timeTo[sysName] {
+						return fmt.Errorf("fig8 %s/%s: ColumnSGD (%v) not faster than %s (%v)",
+							mdl, name, timeTo["ColumnSGD"], sysName, timeTo[sysName])
+					}
+				}
+				if timeTo["MLlib"] <= timeTo["Petuum"] {
+					return fmt.Errorf("fig8 %s/%s: MLlib (%v) should be slower than Petuum (%v)",
+						mdl, name, timeTo["MLlib"], timeTo["Petuum"])
+				}
+			} else if timeTo["MXNet"] >= timeTo["ColumnSGD"] {
+				return fmt.Errorf("fig8 %s/avazu: MXNet (%v) should beat ColumnSGD (%v) on the small model",
+					mdl, timeTo["MXNet"], timeTo["ColumnSGD"])
+			}
+			fmt.Fprintf(w, "\ncheck %s/%s: time-to-target ColumnSGD %.3gs, MXNet %.3gs, Petuum %.3gs, MLlib* %.3gs, MLlib %.3gs (MLlib/Column = %.0f×)\n\n",
+				mdl, name,
+				timeTo["ColumnSGD"].Seconds(), timeTo["MXNet"].Seconds(), timeTo["Petuum"].Seconds(),
+				timeTo["MLlib*"].Seconds(), timeTo["MLlib"].Seconds(),
+				timeTo["MLlib"].Seconds()/timeTo["ColumnSGD"].Seconds())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"columnsgd/internal/core"
+	"columnsgd/internal/costmodel"
+	"columnsgd/internal/metrics"
+	"columnsgd/internal/rowsgd"
+)
+
+func init() {
+	register("table1",
+		"Table I: analytic memory/communication overheads, validated against measured engine traffic",
+		runTable1)
+}
+
+// runTable1 prints the Table I formulas for the paper's workloads and
+// validates the communication entries against the real engines' measured
+// per-iteration byte counts at benchmark scale.
+func runTable1(cfg Config, w io.Writer) error {
+	// Part 1: the analytic table at paper scale (LR, B = 1000, K = 8).
+	tbl := metrics.NewTable("Table I — analytic overheads at paper scale (units of 8 bytes; LR, B=1000, K=8)",
+		"dataset", "row master mem", "row worker mem", "row master comm", "row worker comm",
+		"col master mem", "col worker mem", "col master comm", "col worker comm")
+	for _, name := range []string{"avazu", "kddb", "kdd12"} {
+		n, m, nnz, err := paperWorkload(name)
+		if err != nil {
+			return err
+		}
+		wl := costmodel.Workload{K: defaultWorkers, B: 1000, M: m, N: n, Rho: 1 - float64(nnz)/float64(m)}
+		row := costmodel.RowSGD(wl)
+		col := costmodel.ColumnSGD(wl)
+		tbl.AddRow(name,
+			row.MasterMem, row.WorkerMem, row.MasterComm, row.WorkerComm,
+			col.MasterMem, col.WorkerMem, col.MasterComm, col.WorkerComm)
+	}
+	if err := tbl.Render(w); err != nil {
+		return err
+	}
+
+	// Part 2: validation — measured per-iteration traffic of the real
+	// engines at benchmark scale vs the formulas' predictions.
+	// Validate on the model-heavy kddb stand-in (m ≫ B), the regime the
+	// table is about.
+	ds, err := genSmall("kddb", cfg)
+	if err != nil {
+		return err
+	}
+	const batch = 128
+	wl := costmodel.Workload{
+		K: benchWorkers, B: batch, M: ds.NumFeatures, N: ds.N(), Rho: ds.Sparsity(),
+	}
+
+	colEng, _, err := newColumnEngine(core.Config{
+		Workers: benchWorkers, ModelName: "lr", Opt: defaultOpt(0.1),
+		BatchSize: batch, Seed: cfg.Seed, Net: net1(benchWorkers),
+	}, ds)
+	if err != nil {
+		return err
+	}
+	if _, err := colEng.Run(cfg.iters(10)); err != nil {
+		return err
+	}
+	rowEng, err := newRowEngine(rowsgd.Config{
+		System: rowsgd.MLlib, Workers: benchWorkers, ModelName: "lr",
+		Opt: defaultOpt(0.1), BatchSize: batch, Seed: cfg.Seed, Net: net1(benchWorkers),
+	}, ds)
+	if err != nil {
+		return err
+	}
+	if _, err := rowEng.Run(cfg.iters(10)); err != nil {
+		return err
+	}
+
+	iters := int64(len(colEng.Trace().Iterations))
+	measuredCol := colEng.Trace().CommBytes() / iters
+	measuredRow := rowEng.Trace().CommBytes() / iters
+	predCol := costmodel.ColumnSGD(wl).MasterCommBytes()
+	// The measured MLlib pull is dense (the paper's systems pull all
+	// dimensions), so the prediction for the measured engine is
+	// K·m dense down plus K·mφ₁ sparse up.
+	predRow := int64(benchWorkers) * (int64(ds.NumFeatures)*8 + int64(float64(ds.NumFeatures)*wl.Phi1()*12))
+
+	val := metrics.NewTable("Table I validation — measured vs predicted per-iteration master traffic (bytes, benchmark scale)",
+		"system", "measured", "predicted", "ratio")
+	val.AddRow("ColumnSGD", measuredCol, predCol, ratio(measuredCol, predCol))
+	val.AddRow("MLlib", measuredRow, predRow, ratio(measuredRow, predRow))
+	if err := val.Render(w); err != nil {
+		return err
+	}
+
+	// Memory side: engines record the Table I memory model directly.
+	mem := metrics.NewTable("Table I validation — resident memory model (bytes, benchmark scale)",
+		"system", "master", "worker")
+	mem.AddRow("ColumnSGD", colEng.Trace().PeakMasterBytes, colEng.Trace().PeakWorkerBytes)
+	mem.AddRow("MLlib", rowEng.Trace().PeakMasterBytes, rowEng.Trace().PeakWorkerBytes)
+	if err := mem.Render(w); err != nil {
+		return err
+	}
+
+	// Hard checks so the bench fails loudly if the engines drift from
+	// the model.
+	if r := ratio(measuredCol, predCol); r < 0.6 || r > 2.5 {
+		return fmt.Errorf("table1: ColumnSGD measured/predicted = %.2f, outside [0.6, 2.5]", r)
+	}
+	if r := ratio(measuredRow, predRow); r < 0.6 || r > 2.5 {
+		return fmt.Errorf("table1: MLlib measured/predicted = %.2f, outside [0.6, 2.5]", r)
+	}
+	if measuredRow < 10*measuredCol {
+		return fmt.Errorf("table1: MLlib traffic (%d) not ≫ ColumnSGD traffic (%d)", measuredRow, measuredCol)
+	}
+	fmt.Fprintf(w, "\ncheck: MLlib/ColumnSGD measured traffic ratio = %.1f×\n",
+		float64(measuredRow)/float64(measuredCol))
+	return nil
+}
+
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"columnsgd/internal/core"
+	"columnsgd/internal/dataset"
+	"columnsgd/internal/metrics"
+)
+
+func init() {
+	register("table2",
+		"Table II: dataset statistics — paper's numbers and the synthetic stand-ins actually used",
+		runTable2)
+	register("table3",
+		"Table III: learning rates per workload, re-derived by grid search at benchmark scale",
+		runTable3)
+}
+
+// runTable2 reproduces the dataset-statistics table: the published numbers
+// side by side with the generated stand-ins' measured statistics, checking
+// that each stand-in preserves the nnz/row regime.
+func runTable2(cfg Config, w io.Writer) error {
+	tbl := metrics.NewTable("Table II — dataset statistics (paper / stand-in)",
+		"dataset", "instances", "features", "nnz/row", "stand-in instances", "stand-in features", "stand-in nnz/row", "stand-in sparsity")
+	for _, name := range []string{"avazu", "kddb", "kdd12", "criteo", "WX"} {
+		n, m, nnz, err := paperWorkload(name)
+		if err != nil {
+			return err
+		}
+		ds, err := genSmall(name, cfg)
+		if err != nil {
+			return err
+		}
+		st := dataset.Summarize(ds)
+		tbl.AddRow(name, n, m, nnz, st.Instances, st.Features,
+			fmt.Sprintf("%.1f", st.AvgNNZPerRow), fmt.Sprintf("%.5f", st.Sparsity))
+
+		// The stand-in must preserve the nnz/row regime within 2×.
+		// criteo's 39 features force a lower bound, and the WX stand-in
+		// deliberately reduces the density (40 vs 120 nnz/row) so the
+		// Fig. 11 sweep stays fast — both documented in EXPERIMENTS.md.
+		if name != "criteo" && name != "WX" {
+			if st.AvgNNZPerRow < float64(nnz)/2 || st.AvgNNZPerRow > float64(nnz)*2 {
+				return fmt.Errorf("table2 %s: stand-in nnz/row %.1f far from paper's %d", name, st.AvgNNZPerRow, nnz)
+			}
+		}
+	}
+	return tbl.Render(w)
+}
+
+// table3Paper holds the paper's grid-searched learning rates (Table III).
+var table3Paper = map[string]map[string]float64{
+	"avazu": {"lr": 10, "fm": 10, "svm": 1},
+	"kddb":  {"lr": 10, "fm": 10, "svm": 1},
+	"kdd12": {"lr": 100, "fm": 100, "svm": 1},
+}
+
+// runTable3 re-derives the learning-rate table with the same methodology
+// (grid search per workload, pick the best final loss). Absolute values
+// differ from the paper's — their feature scaling and data differ — but the
+// method reproduces, and the chosen rate must actually win its grid.
+func runTable3(cfg Config, w io.Writer) error {
+	grid := []float64{0.01, 0.1, 0.5, 2.0}
+	tbl := metrics.NewTable("Table III — grid-searched learning rates (benchmark scale; paper's value in parens)",
+		"dataset", "model", "chosen η", "final loss", "worst-in-grid loss")
+	iters := cfg.iters(30)
+	for _, name := range []string{"avazu", "kddb", "kdd12"} {
+		ds, err := genSmall(name, cfg)
+		if err != nil {
+			return err
+		}
+		for _, mdl := range []struct {
+			name string
+			arg  int
+		}{{"lr", 0}, {"svm", 0}, {"fm", 5}} {
+			bestLR, bestLoss := 0.0, math.Inf(1)
+			worstLoss := math.Inf(-1)
+			for _, lr := range grid {
+				eng, _, err := newColumnEngine(core.Config{
+					Workers: benchWorkers, ModelName: mdl.name, ModelArg: mdl.arg,
+					Opt: defaultOpt(lr), BatchSize: 128, Seed: cfg.Seed, Net: net1(benchWorkers),
+				}, ds)
+				if err != nil {
+					return err
+				}
+				if _, err := eng.Run(iters); err != nil {
+					return err
+				}
+				loss, err := eng.FullLoss()
+				if err != nil {
+					return err
+				}
+				if math.IsNaN(loss) || math.IsInf(loss, 0) {
+					loss = math.Inf(1) // diverged candidate
+				}
+				if loss < bestLoss {
+					bestLR, bestLoss = lr, loss
+				}
+				if loss > worstLoss && !math.IsInf(loss, 1) {
+					worstLoss = loss
+				}
+			}
+			if math.IsInf(bestLoss, 1) {
+				return fmt.Errorf("table3 %s/%s: every grid candidate diverged", name, mdl.name)
+			}
+			paperVal := table3Paper[name][mdl.name]
+			tbl.AddRow(name, mdl.name,
+				fmt.Sprintf("%g (paper %g)", bestLR, paperVal), bestLoss, worstLoss)
+			// The winner must beat the worst grid member decisively —
+			// i.e. the grid actually discriminates.
+			if bestLoss >= worstLoss {
+				return fmt.Errorf("table3 %s/%s: grid did not discriminate (best %.4f, worst %.4f)",
+					name, mdl.name, bestLoss, worstLoss)
+			}
+		}
+	}
+	return tbl.Render(w)
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table/figure of the paper plus the five design ablations must
+	// be registered (DESIGN.md §4–5).
+	want := []string{
+		"table1", "table2", "table3", "fig4a", "fig4b", "fig7", "fig8", "table4", "table5",
+		"fig9", "fig10", "fig11", "fig13",
+		"ablation-wire", "ablation-sampling", "ablation-backup",
+		"ablation-stats", "ablation-blocksize", "ablation-access", "ablation-async",
+	}
+	ids := IDs()
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+		if desc, ok := Describe(id); !ok || desc == "" {
+			t.Errorf("%s: missing description", id)
+		}
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if _, ok := Describe("nope"); ok {
+		t.Error("Describe accepted unknown id")
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if err := Run("nope", Config{}, io.Discard); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// Each experiment runs end-to-end at reduced scale with its built-in
+// shape checks; any deviation from the paper's qualitative results fails
+// the corresponding subtest.
+func TestAllExperimentsReproduceShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are seconds-long; skipped in -short")
+	}
+	cfg := Config{Scale: 0.25, Seed: 42}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			var sb strings.Builder
+			if err := Run(id, cfg, &sb); err != nil {
+				t.Fatalf("%s failed: %v\noutput:\n%s", id, err, sb.String())
+			}
+			if sb.Len() == 0 {
+				t.Fatalf("%s produced no output", id)
+			}
+		})
+	}
+}
+
+func TestRunAllProducesHeaders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite; skipped in -short")
+	}
+	var sb strings.Builder
+	if err := RunAll(Config{Scale: 0.2, Seed: 7, Iters: 8}, &sb); err != nil {
+		// Some shape checks need more iterations than the override
+		// provides; the point of this test is the harness wiring, so
+		// only harness errors fail it.
+		if strings.Contains(err.Error(), "unknown") {
+			t.Fatal(err)
+		}
+		t.Logf("shape check at tiny scale: %v (accepted)", err)
+	}
+	if !strings.Contains(sb.String(), "##########") {
+		t.Fatal("missing experiment headers")
+	}
+}
+
+func TestSmallSpecsValid(t *testing.T) {
+	cfg := Config{Scale: 1, Seed: 1}
+	for _, name := range []string{"avazu", "kddb", "kdd12", "criteo", "WX"} {
+		spec, err := smallSpec(name, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%s: invalid spec: %v", name, err)
+		}
+	}
+	if _, err := smallSpec("nope", cfg); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, _, _, err := paperWorkload("nope"); err == nil {
+		t.Error("unknown paper workload accepted")
+	}
+}
+
+func TestPaperWorkloadsMatchTable2(t *testing.T) {
+	n, m, _, err := paperWorkload("kdd12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 149639105 || m != 54686452 {
+		t.Fatalf("kdd12 = (%d, %d)", n, m)
+	}
+}

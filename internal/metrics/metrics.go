@@ -1,0 +1,295 @@
+// Package metrics collects the measurements the paper reports: per-phase
+// communication traffic, per-iteration modeled time, training-loss traces,
+// and memory footprints, plus table/CSV emitters for the benchmark
+// harness.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"columnsgd/internal/simnet"
+)
+
+// Counter accumulates message/byte traffic, safe for concurrent use by
+// transports.
+type Counter struct {
+	mu       sync.Mutex
+	messages int64
+	bytes    int64
+}
+
+// Add records one message of the given payload size.
+func (c *Counter) Add(bytes int64) {
+	c.mu.Lock()
+	c.messages++
+	c.bytes += bytes
+	c.mu.Unlock()
+}
+
+// Snapshot returns the current totals.
+func (c *Counter) Snapshot() (messages, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.messages, c.bytes
+}
+
+// Reset zeroes the counter and returns the totals it held.
+func (c *Counter) Reset() (messages, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, b := c.messages, c.bytes
+	c.messages, c.bytes = 0, 0
+	return m, b
+}
+
+// Iteration records one SGD iteration's observable behaviour.
+type Iteration struct {
+	// Index is the iteration number, starting at 0.
+	Index int
+	// Loss is the mini-batch training loss (the paper's Fig. 4/8/13
+	// y-axis); NaN when not evaluated this iteration.
+	Loss float64
+	// Cost is the modeled time breakdown.
+	Cost simnet.IterationCost
+	// Phases are the recorded communication phases.
+	Phases []simnet.Phase
+	// MaxWorkerNNZ is the busiest worker's kernel work this iteration.
+	MaxWorkerNNZ int64
+	// Wall is the real (not modeled) host time the iteration took —
+	// useful for profiling the harness itself.
+	Wall time.Duration
+}
+
+// Trace is an append-only log of iterations plus run-level facts.
+type Trace struct {
+	System  string
+	Dataset string
+	ModelID string
+	// LoadCost is the modeled data-loading time before iteration 0.
+	LoadCost time.Duration
+	// Iterations holds the per-iteration records in order.
+	Iterations []Iteration
+	// PeakMasterBytes / PeakWorkerBytes record the memory model
+	// (Table I validation).
+	PeakMasterBytes int64
+	PeakWorkerBytes int64
+}
+
+// Append adds an iteration record.
+func (t *Trace) Append(it Iteration) { t.Iterations = append(t.Iterations, it) }
+
+// TotalTime returns load time plus the sum of iteration costs.
+func (t *Trace) TotalTime() time.Duration {
+	d := t.LoadCost
+	for i := range t.Iterations {
+		d += t.Iterations[i].Cost.Total()
+	}
+	return d
+}
+
+// TimeToLoss returns the first modeled elapsed time (including loading if
+// includeLoad) at which the loss reaches the target, and whether it ever
+// does. This is how the paper compares systems in Fig. 8 ("the horizontal
+// line in each plot").
+func (t *Trace) TimeToLoss(target float64, includeLoad bool) (time.Duration, bool) {
+	var elapsed time.Duration
+	if includeLoad {
+		elapsed = t.LoadCost
+	}
+	for i := range t.Iterations {
+		elapsed += t.Iterations[i].Cost.Total()
+		if l := t.Iterations[i].Loss; l == l && l <= target { // l==l filters NaN
+			return elapsed, true
+		}
+	}
+	return elapsed, false
+}
+
+// MeanIterTime returns the average modeled per-iteration time, skipping
+// the first skip iterations (warm-up), matching the paper's "average
+// per-iteration time" tables.
+func (t *Trace) MeanIterTime(skip int) time.Duration {
+	if skip >= len(t.Iterations) {
+		return 0
+	}
+	var d time.Duration
+	for _, it := range t.Iterations[skip:] {
+		d += it.Cost.Total()
+	}
+	return d / time.Duration(len(t.Iterations)-skip)
+}
+
+// FinalLoss returns the last evaluated loss (NaN if none).
+func (t *Trace) FinalLoss() float64 {
+	for i := len(t.Iterations) - 1; i >= 0; i-- {
+		if l := t.Iterations[i].Loss; l == l {
+			return l
+		}
+	}
+	return nan()
+}
+
+// CommBytes sums all phase bytes over the run.
+func (t *Trace) CommBytes() int64 {
+	var b int64
+	for i := range t.Iterations {
+		for _, p := range t.Iterations[i].Phases {
+			b += p.Bytes
+		}
+	}
+	return b
+}
+
+func nan() float64 {
+	var z float64
+	return 0 / z
+}
+
+// Table is a simple fixed-column text table matching the paper's
+// presentation, rendered with aligned columns.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case time.Duration:
+			row[i] = fmtDuration(v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3gs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.3gms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.3gµs", float64(d)/float64(time.Microsecond))
+	}
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderCSV writes the table as CSV (no quoting needed for our numeric
+// content; commas in cells are replaced by semicolons defensively).
+func (t *Table) RenderCSV(w io.Writer) error {
+	clean := func(s string) string { return strings.ReplaceAll(s, ",", ";") }
+	var b strings.Builder
+	for i, c := range t.Columns {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(clean(c))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(clean(cell))
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Series is a named (x, y) curve — one line in a paper figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a collection of series, one per system/configuration.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// AddSeries appends a curve.
+func (f *Figure) AddSeries(s Series) { f.Series = append(f.Series, s) }
+
+// Render writes the figure as a column-per-series text block, X sorted.
+func (f *Figure) Render(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n# x: %s, y: %s\n", f.Title, f.XLabel, f.YLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "series %s\n", s.Name)
+		idx := make([]int, len(s.X))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, c int) bool { return s.X[idx[a]] < s.X[idx[c]] })
+		for _, i := range idx {
+			fmt.Fprintf(&b, "  %.6g\t%.6g\n", s.X[i], s.Y[i])
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"columnsgd/internal/simnet"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add(10)
+			}
+		}()
+	}
+	wg.Wait()
+	msgs, bytes := c.Snapshot()
+	if msgs != 8000 || bytes != 80000 {
+		t.Fatalf("msgs=%d bytes=%d", msgs, bytes)
+	}
+	m, b := c.Reset()
+	if m != 8000 || b != 80000 {
+		t.Fatalf("reset returned %d/%d", m, b)
+	}
+	if m2, b2 := c.Snapshot(); m2 != 0 || b2 != 0 {
+		t.Fatalf("after reset: %d/%d", m2, b2)
+	}
+}
+
+func mkTrace() *Trace {
+	tr := &Trace{System: "columnsgd", Dataset: "kddb", ModelID: "lr", LoadCost: time.Second}
+	losses := []float64{0.9, 0.5, 0.3, 0.2}
+	for i, l := range losses {
+		tr.Append(Iteration{
+			Index: i,
+			Loss:  l,
+			Cost: simnet.IterationCost{
+				Network: 10 * time.Millisecond,
+				Sched:   40 * time.Millisecond,
+			},
+			Phases: []simnet.Phase{{Bytes: 100}},
+		})
+	}
+	return tr
+}
+
+func TestTraceTotals(t *testing.T) {
+	tr := mkTrace()
+	want := time.Second + 4*50*time.Millisecond
+	if got := tr.TotalTime(); got != want {
+		t.Fatalf("TotalTime = %v, want %v", got, want)
+	}
+	if got := tr.CommBytes(); got != 400 {
+		t.Fatalf("CommBytes = %d", got)
+	}
+	if got := tr.FinalLoss(); got != 0.2 {
+		t.Fatalf("FinalLoss = %v", got)
+	}
+	if got := tr.MeanIterTime(0); got != 50*time.Millisecond {
+		t.Fatalf("MeanIterTime = %v", got)
+	}
+	if got := tr.MeanIterTime(2); got != 50*time.Millisecond {
+		t.Fatalf("MeanIterTime(skip) = %v", got)
+	}
+	if got := tr.MeanIterTime(10); got != 0 {
+		t.Fatalf("MeanIterTime(skip>len) = %v", got)
+	}
+}
+
+func TestTimeToLoss(t *testing.T) {
+	tr := mkTrace()
+	d, ok := tr.TimeToLoss(0.5, false)
+	if !ok || d != 100*time.Millisecond {
+		t.Fatalf("TimeToLoss(0.5) = %v, %v", d, ok)
+	}
+	d, ok = tr.TimeToLoss(0.5, true)
+	if !ok || d != time.Second+100*time.Millisecond {
+		t.Fatalf("TimeToLoss incl. load = %v, %v", d, ok)
+	}
+	if _, ok := tr.TimeToLoss(0.05, false); ok {
+		t.Fatal("unreachable loss reported reached")
+	}
+}
+
+func TestTraceNaNLossSkipped(t *testing.T) {
+	tr := &Trace{}
+	tr.Append(Iteration{Index: 0, Loss: 0.4})
+	tr.Append(Iteration{Index: 1, Loss: math.NaN()})
+	if got := tr.FinalLoss(); got != 0.4 {
+		t.Fatalf("FinalLoss = %v", got)
+	}
+	// NaN iterations never satisfy TimeToLoss.
+	empty := &Trace{}
+	empty.Append(Iteration{Index: 0, Loss: math.NaN()})
+	if _, ok := empty.TimeToLoss(1000, false); ok {
+		t.Fatal("NaN loss treated as reached")
+	}
+	if l := empty.FinalLoss(); !math.IsNaN(l) {
+		t.Fatalf("FinalLoss of NaN-only trace = %v", l)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Table IV", "dataset", "MLlib", "ColumnSGD", "speedup")
+	tb.AddRow("kdd12", 55.81, 0.06, "930x")
+	tb.AddRow("avazu", 1.43, 60*time.Millisecond, "24x")
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table IV", "dataset", "kdd12", "55.81", "60ms", "930x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("x,y", 1.5)
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); got != "a,b\nx;y,1.5\n" {
+		t.Fatalf("CSV = %q", got)
+	}
+}
+
+func TestDurationFormatting(t *testing.T) {
+	tb := NewTable("d", "v")
+	tb.AddRow(2 * time.Second)
+	tb.AddRow(3 * time.Millisecond)
+	tb.AddRow(700 * time.Microsecond)
+	var sb strings.Builder
+	_ = tb.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"2s", "3ms", "700µs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestFigureRenderSortsX(t *testing.T) {
+	f := &Figure{Title: "Fig 10", XLabel: "model dims", YLabel: "sec"}
+	f.AddSeries(Series{Name: "ColumnSGD", X: []float64{100, 1, 10}, Y: []float64{3, 1, 2}})
+	var sb strings.Builder
+	if err := f.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	i1 := strings.Index(out, "1\t1")
+	i2 := strings.Index(out, "10\t2")
+	i3 := strings.Index(out, "100\t3")
+	if i1 < 0 || i2 < 0 || i3 < 0 || !(i1 < i2 && i2 < i3) {
+		t.Fatalf("X not sorted in:\n%s", out)
+	}
+}

@@ -1,0 +1,65 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Factory constructs a model from its integer argument (class count,
+// factor count, or unused).
+type Factory func(arg int) (Model, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Factory{}
+)
+
+// Register installs a custom model factory under a name, implementing the
+// paper's programming framework (Fig. 12): any model expressible as
+// initModel / computeStat / reduceStat(sum) / updateModel plugs into both
+// the ColumnSGD and RowSGD engines. Worker processes must register the
+// same name before training starts (exactly like gob type registration);
+// the in-process provider shares the registry automatically.
+//
+// Built-in names (lr, svm, linreg, mlr, fm) cannot be overridden.
+func Register(name string, f Factory) error {
+	if name == "" || f == nil {
+		return fmt.Errorf("model: Register needs a name and a factory")
+	}
+	switch name {
+	case "lr", "svm", "linreg", "mlr", "fm":
+		return fmt.Errorf("model: cannot override built-in model %q", name)
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("model: %q already registered", name)
+	}
+	registry[name] = f
+	return nil
+}
+
+// Registered returns the custom model names, sorted.
+func Registered() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lookup consults the custom registry.
+func lookup(name string, arg int) (Model, error, bool) {
+	registryMu.RLock()
+	f, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, nil, false
+	}
+	m, err := f(arg)
+	return m, err, true
+}

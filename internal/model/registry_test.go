@@ -1,0 +1,65 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// constModel is a minimal Model for registry tests.
+type constModel struct{ arg int }
+
+func (constModel) Name() string                                { return "const" }
+func (constModel) StatsPerPoint() int                          { return 1 }
+func (constModel) ParamRows() int                              { return 1 }
+func (constModel) Init(p *Params, _ *rand.Rand)                { p.Zero() }
+func (constModel) PointLoss(float64, []float64) float64        { return 0 }
+func (constModel) Predict([]float64) float64                   { return 1 }
+func (constModel) Gradient(*Params, Batch, []float64, *Params) {}
+func (constModel) PartialStats(p *Params, b Batch, dst []float64) []float64 {
+	dst = dst[:0]
+	for range b.Rows {
+		dst = append(dst, 0)
+	}
+	return dst
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	if err := Register("", func(int) (Model, error) { return constModel{}, nil }); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := Register("x", nil); err == nil {
+		t.Error("nil factory accepted")
+	}
+	for _, builtin := range []string{"lr", "svm", "linreg", "mlr", "fm"} {
+		if err := Register(builtin, func(int) (Model, error) { return constModel{}, nil }); err == nil {
+			t.Errorf("built-in %q override accepted", builtin)
+		}
+	}
+
+	if err := Register("test-const", func(arg int) (Model, error) { return constModel{arg: arg}, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := Register("test-const", func(int) (Model, error) { return constModel{}, nil }); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	m, err := New("test-const", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm, ok := m.(constModel); !ok || cm.arg != 7 {
+		t.Fatalf("factory arg not threaded: %+v", m)
+	}
+	found := false
+	for _, name := range Registered() {
+		if name == "test-const" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("test-const missing from Registered()")
+	}
+	// Unknown names still rejected.
+	if _, err := New("definitely-not-registered", 0); err == nil {
+		t.Error("unknown name accepted")
+	}
+}

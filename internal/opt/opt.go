@@ -1,0 +1,213 @@
+// Package opt implements the SGD update rules the paper supports
+// (Algorithm 3, line 20 — "depends on the variant of SGD in use"):
+// vanilla SGD, momentum, AdaGrad, and Adam, each with optional L1/L2
+// regularization.
+//
+// Optimizer state is shaped like the parameter block it updates, so in
+// ColumnSGD the state is itself column-partitioned and lives on the worker
+// that owns the partition — no optimizer state ever crosses the network.
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"columnsgd/internal/model"
+)
+
+// Config selects and parameterizes an optimizer.
+type Config struct {
+	// Algo is one of "sgd", "momentum", "adagrad", "adam".
+	Algo string
+	// LR is the learning rate η.
+	LR float64
+	// L2 is the coefficient of ½λ‖w‖² (weight decay).
+	L2 float64
+	// L1 is the coefficient of λ‖w‖₁ (subgradient treatment).
+	L1 float64
+	// Momentum is the momentum coefficient (momentum only).
+	Momentum float64
+	// Beta1, Beta2, Eps are Adam's parameters (defaults 0.9/0.999/1e-8).
+	Beta1, Beta2, Eps float64
+}
+
+// Optimizer applies gradient blocks to parameter blocks, maintaining any
+// per-dimension state between calls.
+type Optimizer interface {
+	// Name identifies the update rule.
+	Name() string
+	// Apply performs one update of p given the batch gradient g. The two
+	// blocks must have identical shape across all calls.
+	Apply(p, g *model.Params) error
+	// Reset clears the optimizer state (used when a worker restarts and
+	// its parameter partition is reinitialized).
+	Reset()
+}
+
+// New constructs an optimizer from a config.
+func New(cfg Config) (Optimizer, error) {
+	if cfg.LR <= 0 {
+		return nil, fmt.Errorf("opt: learning rate must be positive, got %g", cfg.LR)
+	}
+	if cfg.L1 < 0 || cfg.L2 < 0 {
+		return nil, fmt.Errorf("opt: regularization must be non-negative")
+	}
+	switch cfg.Algo {
+	case "", "sgd":
+		return &sgd{cfg: cfg}, nil
+	case "momentum":
+		if cfg.Momentum <= 0 || cfg.Momentum >= 1 {
+			return nil, fmt.Errorf("opt: momentum must be in (0,1), got %g", cfg.Momentum)
+		}
+		return &momentum{cfg: cfg}, nil
+	case "adagrad":
+		if cfg.Eps == 0 {
+			cfg.Eps = 1e-8
+		}
+		return &adagrad{cfg: cfg}, nil
+	case "adam":
+		if cfg.Beta1 == 0 {
+			cfg.Beta1 = 0.9
+		}
+		if cfg.Beta2 == 0 {
+			cfg.Beta2 = 0.999
+		}
+		if cfg.Eps == 0 {
+			cfg.Eps = 1e-8
+		}
+		if cfg.Beta1 >= 1 || cfg.Beta2 >= 1 {
+			return nil, fmt.Errorf("opt: adam betas must be < 1")
+		}
+		return &adam{cfg: cfg}, nil
+	default:
+		return nil, fmt.Errorf("opt: unknown algorithm %q", cfg.Algo)
+	}
+}
+
+func checkShapes(p, g *model.Params) error {
+	if p.Rows() != g.Rows() || p.Width() != g.Width() {
+		return fmt.Errorf("opt: shape mismatch: params %dx%d vs grad %dx%d",
+			p.Rows(), p.Width(), g.Rows(), g.Width())
+	}
+	return nil
+}
+
+// regularize folds L2 (and an L1 subgradient) into the raw gradient value
+// for parameter w.
+func regularize(cfg Config, w, g float64) float64 {
+	g += cfg.L2 * w
+	if cfg.L1 > 0 {
+		switch {
+		case w > 0:
+			g += cfg.L1
+		case w < 0:
+			g -= cfg.L1
+		}
+	}
+	return g
+}
+
+type sgd struct{ cfg Config }
+
+func (s *sgd) Name() string { return "sgd" }
+func (s *sgd) Reset()       {}
+func (s *sgd) Apply(p, g *model.Params) error {
+	if err := checkShapes(p, g); err != nil {
+		return err
+	}
+	for r := range p.W {
+		pw, gw := p.W[r], g.W[r]
+		for j := range pw {
+			pw[j] -= s.cfg.LR * regularize(s.cfg, pw[j], gw[j])
+		}
+	}
+	return nil
+}
+
+type momentum struct {
+	cfg Config
+	v   *model.Params
+}
+
+func (m *momentum) Name() string { return "momentum" }
+func (m *momentum) Reset()       { m.v = nil }
+func (m *momentum) Apply(p, g *model.Params) error {
+	if err := checkShapes(p, g); err != nil {
+		return err
+	}
+	if m.v == nil {
+		m.v = model.NewParams(p.Rows(), p.Width())
+	} else if err := checkShapes(p, m.v); err != nil {
+		return fmt.Errorf("opt: momentum state stale: %w", err)
+	}
+	for r := range p.W {
+		pw, gw, vw := p.W[r], g.W[r], m.v.W[r]
+		for j := range pw {
+			vw[j] = m.cfg.Momentum*vw[j] + regularize(m.cfg, pw[j], gw[j])
+			pw[j] -= m.cfg.LR * vw[j]
+		}
+	}
+	return nil
+}
+
+type adagrad struct {
+	cfg Config
+	h   *model.Params // accumulated squared gradients
+}
+
+func (a *adagrad) Name() string { return "adagrad" }
+func (a *adagrad) Reset()       { a.h = nil }
+func (a *adagrad) Apply(p, g *model.Params) error {
+	if err := checkShapes(p, g); err != nil {
+		return err
+	}
+	if a.h == nil {
+		a.h = model.NewParams(p.Rows(), p.Width())
+	} else if err := checkShapes(p, a.h); err != nil {
+		return fmt.Errorf("opt: adagrad state stale: %w", err)
+	}
+	for r := range p.W {
+		pw, gw, hw := p.W[r], g.W[r], a.h.W[r]
+		for j := range pw {
+			grad := regularize(a.cfg, pw[j], gw[j])
+			hw[j] += grad * grad
+			pw[j] -= a.cfg.LR * grad / (math.Sqrt(hw[j]) + a.cfg.Eps)
+		}
+	}
+	return nil
+}
+
+type adam struct {
+	cfg  Config
+	m, v *model.Params
+	t    int
+}
+
+func (a *adam) Name() string { return "adam" }
+func (a *adam) Reset()       { a.m, a.v, a.t = nil, nil, 0 }
+func (a *adam) Apply(p, g *model.Params) error {
+	if err := checkShapes(p, g); err != nil {
+		return err
+	}
+	if a.m == nil {
+		a.m = model.NewParams(p.Rows(), p.Width())
+		a.v = model.NewParams(p.Rows(), p.Width())
+	} else if err := checkShapes(p, a.m); err != nil {
+		return fmt.Errorf("opt: adam state stale: %w", err)
+	}
+	a.t++
+	bc1 := 1 - math.Pow(a.cfg.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.cfg.Beta2, float64(a.t))
+	for r := range p.W {
+		pw, gw, mw, vw := p.W[r], g.W[r], a.m.W[r], a.v.W[r]
+		for j := range pw {
+			grad := regularize(a.cfg, pw[j], gw[j])
+			mw[j] = a.cfg.Beta1*mw[j] + (1-a.cfg.Beta1)*grad
+			vw[j] = a.cfg.Beta2*vw[j] + (1-a.cfg.Beta2)*grad*grad
+			mhat := mw[j] / bc1
+			vhat := vw[j] / bc2
+			pw[j] -= a.cfg.LR * mhat / (math.Sqrt(vhat) + a.cfg.Eps)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"columnsgd/internal/model"
+)
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{Algo: "sgd", LR: 0},
+		{Algo: "sgd", LR: -1},
+		{Algo: "sgd", LR: 1, L2: -0.1},
+		{Algo: "sgd", LR: 1, L1: -0.1},
+		{Algo: "momentum", LR: 1, Momentum: 0},
+		{Algo: "momentum", LR: 1, Momentum: 1},
+		{Algo: "adam", LR: 1, Beta1: 1.5},
+		{Algo: "bogus", LR: 1},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	good := []Config{
+		{LR: 0.1}, // empty algo defaults to sgd
+		{Algo: "sgd", LR: 0.1, L2: 0.01, L1: 0.001},
+		{Algo: "momentum", LR: 0.1, Momentum: 0.9},
+		{Algo: "adagrad", LR: 0.1},
+		{Algo: "adam", LR: 0.1},
+	}
+	for _, cfg := range good {
+		o, err := New(cfg)
+		if err != nil {
+			t.Errorf("config %+v rejected: %v", cfg, err)
+			continue
+		}
+		if o.Name() == "" {
+			t.Errorf("optimizer has empty name")
+		}
+	}
+}
+
+func TestSGDStep(t *testing.T) {
+	o, _ := New(Config{Algo: "sgd", LR: 0.5})
+	p := model.NewParams(1, 2)
+	p.W[0] = []float64{1, 2}
+	g := model.NewParams(1, 2)
+	g.W[0] = []float64{2, -2}
+	if err := o.Apply(p, g); err != nil {
+		t.Fatal(err)
+	}
+	if p.W[0][0] != 0 || p.W[0][1] != 3 {
+		t.Fatalf("params = %v", p.W[0])
+	}
+}
+
+func TestSGDL2Decay(t *testing.T) {
+	o, _ := New(Config{Algo: "sgd", LR: 0.1, L2: 1})
+	p := model.NewParams(1, 1)
+	p.W[0][0] = 1
+	g := model.NewParams(1, 1) // zero gradient: pure decay
+	_ = o.Apply(p, g)
+	if math.Abs(p.W[0][0]-0.9) > 1e-12 {
+		t.Fatalf("after decay = %v", p.W[0][0])
+	}
+}
+
+func TestSGDL1Subgradient(t *testing.T) {
+	o, _ := New(Config{Algo: "sgd", LR: 0.1, L1: 1})
+	p := model.NewParams(1, 3)
+	p.W[0] = []float64{1, -1, 0}
+	g := model.NewParams(1, 3)
+	_ = o.Apply(p, g)
+	if math.Abs(p.W[0][0]-0.9) > 1e-12 || math.Abs(p.W[0][1]+0.9) > 1e-12 {
+		t.Fatalf("L1 pull wrong: %v", p.W[0])
+	}
+	if p.W[0][2] != 0 {
+		t.Fatalf("L1 moved zero weight: %v", p.W[0][2])
+	}
+}
+
+func TestShapeMismatchRejected(t *testing.T) {
+	for _, algo := range []string{"sgd", "momentum", "adagrad", "adam"} {
+		cfg := Config{Algo: algo, LR: 0.1, Momentum: 0.9}
+		o, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := model.NewParams(1, 2)
+		g := model.NewParams(2, 2)
+		if err := o.Apply(p, g); err == nil {
+			t.Errorf("%s: shape mismatch accepted", algo)
+		}
+		// Stateful optimizers must also reject shape drift across calls.
+		g2 := model.NewParams(1, 2)
+		if err := o.Apply(p, g2); err != nil {
+			t.Fatalf("%s: valid apply failed: %v", algo, err)
+		}
+		p3 := model.NewParams(1, 3)
+		g3 := model.NewParams(1, 3)
+		if err := o.Apply(p3, g3); algo != "sgd" && err == nil {
+			t.Errorf("%s: state shape drift accepted", algo)
+		}
+	}
+}
+
+// quadratic is f(w) = ½‖w − target‖²; gradient w − target. Every optimizer
+// must converge to the target on it.
+func quadraticGrad(p *model.Params, target []float64) *model.Params {
+	g := model.NewParams(1, len(target))
+	for j := range target {
+		g.W[0][j] = p.W[0][j] - target[j]
+	}
+	return g
+}
+
+func TestAllOptimizersConvergeOnQuadratic(t *testing.T) {
+	target := []float64{3, -2, 0.5}
+	cfgs := []Config{
+		{Algo: "sgd", LR: 0.1},
+		{Algo: "momentum", LR: 0.05, Momentum: 0.9},
+		{Algo: "adagrad", LR: 1.0},
+		{Algo: "adam", LR: 0.2},
+	}
+	for _, cfg := range cfgs {
+		o, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := model.NewParams(1, 3)
+		for it := 0; it < 500; it++ {
+			if err := o.Apply(p, quadraticGrad(p, target)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for j := range target {
+			if math.Abs(p.W[0][j]-target[j]) > 0.05 {
+				t.Errorf("%s: w[%d] = %v, want %v", cfg.Algo, j, p.W[0][j], target[j])
+			}
+		}
+	}
+}
+
+func TestMomentumAcceleratesOverSGD(t *testing.T) {
+	target := []float64{10}
+	run := func(cfg Config, iters int) float64 {
+		o, _ := New(cfg)
+		p := model.NewParams(1, 1)
+		for it := 0; it < iters; it++ {
+			_ = o.Apply(p, quadraticGrad(p, target))
+		}
+		return math.Abs(p.W[0][0] - target[0])
+	}
+	sgdErr := run(Config{Algo: "sgd", LR: 0.01}, 50)
+	momErr := run(Config{Algo: "momentum", LR: 0.01, Momentum: 0.9}, 50)
+	if momErr >= sgdErr {
+		t.Fatalf("momentum (%v) not faster than sgd (%v) on ill-conditioned step", momErr, sgdErr)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	for _, algo := range []string{"momentum", "adagrad", "adam"} {
+		o, err := New(Config{Algo: algo, LR: 0.1, Momentum: 0.9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := model.NewParams(1, 2)
+		g := model.NewParams(1, 2)
+		g.W[0] = []float64{1, 1}
+		_ = o.Apply(p, g)
+		o.Reset()
+		// After reset, a different shape must be accepted (fresh state).
+		p2 := model.NewParams(1, 5)
+		g2 := model.NewParams(1, 5)
+		if err := o.Apply(p2, g2); err != nil {
+			t.Errorf("%s: apply after reset failed: %v", algo, err)
+		}
+	}
+}
+
+func TestAdagradShrinksSteps(t *testing.T) {
+	o, _ := New(Config{Algo: "adagrad", LR: 1})
+	p := model.NewParams(1, 1)
+	g := model.NewParams(1, 1)
+	g.W[0][0] = 1
+	_ = o.Apply(p, g)
+	first := math.Abs(p.W[0][0])
+	prev := p.W[0][0]
+	_ = o.Apply(p, g)
+	second := math.Abs(p.W[0][0] - prev)
+	if second >= first {
+		t.Fatalf("adagrad steps should shrink: first %v, second %v", first, second)
+	}
+}

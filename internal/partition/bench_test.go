@@ -1,0 +1,68 @@
+package partition
+
+import (
+	"testing"
+
+	"columnsgd/internal/dataset"
+)
+
+func benchDataset(b *testing.B, n, m int) *dataset.Dataset {
+	b.Helper()
+	ds, err := dataset.Generate(dataset.SyntheticSpec{
+		Name: "bench", N: n, Features: m, NNZPerRow: 15, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+func BenchmarkDispatch(b *testing.B) {
+	ds := benchDataset(b, 4000, 8000)
+	s, err := NewRoundRobin(8000, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Dispatch(ds, s, 512, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(ds.SizeBytes())
+}
+
+func BenchmarkSplitRow(b *testing.B) {
+	ds := benchDataset(b, 100, 8000)
+	s, _ := NewRoundRobin(8000, 8)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = SplitRow(ds.Points[i%ds.N()].Features, s)
+	}
+}
+
+func BenchmarkSampleBatch(b *testing.B) {
+	meta := make([]BlockMeta, 100)
+	for i := range meta {
+		meta[i] = BlockMeta{ID: i, Rows: 1000}
+	}
+	s, err := NewSampler(meta)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.SampleBatch(int64(i), 1000)
+	}
+}
+
+func BenchmarkScanSample(b *testing.B) {
+	ds := benchDataset(b, 100000, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ScanSample(ds, int64(i), 1000)
+	}
+}

@@ -1,0 +1,103 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+
+	"columnsgd/internal/dataset"
+)
+
+// RowRef addresses one data point under the two-phase index: phase one
+// selects a workset by block ID, phase two an ordinal offset inside it.
+type RowRef struct {
+	BlockID int
+	Offset  int
+}
+
+// Sampler implements the two-phase indexing scheme of §IV-A. Every worker
+// constructs a Sampler over the same block metadata (sorted by block ID)
+// and seeds each draw with the shared iteration number, so all workers
+// land on the same rows without any coordination.
+type Sampler struct {
+	meta []BlockMeta
+	// cum[i] is the total rows in meta[:i]; used for row-uniform draws.
+	cum  []int
+	rows int
+}
+
+// NewSampler builds a sampler over block metadata. The metadata must be
+// identical (same order, IDs, row counts) on every worker.
+func NewSampler(meta []BlockMeta) (*Sampler, error) {
+	if len(meta) == 0 {
+		return nil, fmt.Errorf("partition: sampler needs at least one block")
+	}
+	s := &Sampler{meta: append([]BlockMeta(nil), meta...), cum: make([]int, len(meta)+1)}
+	for i, b := range s.meta {
+		if b.Rows <= 0 {
+			return nil, fmt.Errorf("partition: block %d has %d rows", b.ID, b.Rows)
+		}
+		if i > 0 && s.meta[i-1].ID >= b.ID {
+			return nil, fmt.Errorf("partition: block metadata not sorted by ID at position %d", i)
+		}
+		s.cum[i+1] = s.cum[i] + b.Rows
+	}
+	s.rows = s.cum[len(s.meta)]
+	return s, nil
+}
+
+// Rows returns the total number of addressable rows.
+func (s *Sampler) Rows() int { return s.rows }
+
+// SampleBatch draws batchSize row references using the given seed
+// (typically the iteration number). Draws are row-uniform over the whole
+// dataset: a block is selected with probability proportional to its row
+// count, then an offset uniformly within it. Identical seeds produce
+// identical batches on every worker.
+func (s *Sampler) SampleBatch(seed int64, batchSize int) []RowRef {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]RowRef, batchSize)
+	for i := range out {
+		g := r.Intn(s.rows)
+		// Binary search the cumulative row counts for the owning block.
+		lo, hi := 0, len(s.meta)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if s.cum[mid+1] <= g {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		out[i] = RowRef{BlockID: s.meta[lo].ID, Offset: g - s.cum[lo]}
+	}
+	return out
+}
+
+// SampleEpochBlocks returns the block IDs in a seed-shuffled order, the
+// access pattern for epoch-style sequential passes (the alternative to
+// mini-batch sampling that systems like MXNet use between shuffles).
+func (s *Sampler) SampleEpochBlocks(seed int64) []int {
+	r := rand.New(rand.NewSource(seed))
+	ids := make([]int, len(s.meta))
+	for i, b := range s.meta {
+		ids[i] = b.ID
+	}
+	r.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	return ids
+}
+
+// ScanSample implements MLlib-style Bernoulli scan sampling over a
+// row-oriented dataset: a full O(N) pass including each row with
+// probability batchSize/N. Kept as the baseline for the sampling ablation
+// bench; its cost grows with the dataset, not the batch.
+func ScanSample(ds *dataset.Dataset, seed int64, batchSize int) []int {
+	r := rand.New(rand.NewSource(seed))
+	p := float64(batchSize) / float64(ds.N())
+	var out []int
+	for i := 0; i < ds.N(); i++ {
+		if r.Float64() < p {
+			out = append(out, i)
+		}
+	}
+	return out
+}

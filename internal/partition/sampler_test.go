@@ -1,0 +1,159 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"columnsgd/internal/dataset"
+)
+
+func TestNewSamplerValidation(t *testing.T) {
+	if _, err := NewSampler(nil); err == nil {
+		t.Error("empty metadata accepted")
+	}
+	if _, err := NewSampler([]BlockMeta{{ID: 0, Rows: 0}}); err == nil {
+		t.Error("zero-row block accepted")
+	}
+	if _, err := NewSampler([]BlockMeta{{ID: 2, Rows: 1}, {ID: 1, Rows: 1}}); err == nil {
+		t.Error("unsorted metadata accepted")
+	}
+}
+
+func TestSampleBatchDeterministicAcrossWorkers(t *testing.T) {
+	meta := []BlockMeta{{ID: 0, Rows: 10}, {ID: 1, Rows: 10}, {ID: 2, Rows: 3}}
+	// Two "workers" build samplers independently from the same metadata.
+	s1, err := NewSampler(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewSampler(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iter := int64(0); iter < 20; iter++ {
+		b1 := s1.SampleBatch(iter, 8)
+		b2 := s2.SampleBatch(iter, 8)
+		for i := range b1 {
+			if b1[i] != b2[i] {
+				t.Fatalf("iter %d draw %d: %+v vs %+v", iter, i, b1[i], b2[i])
+			}
+		}
+	}
+}
+
+func TestSampleBatchInBounds(t *testing.T) {
+	meta := []BlockMeta{{ID: 3, Rows: 4}, {ID: 9, Rows: 7}}
+	s, err := NewSampler(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rows() != 11 {
+		t.Fatalf("Rows = %d", s.Rows())
+	}
+	rowsByID := map[int]int{3: 4, 9: 7}
+	for seed := int64(0); seed < 50; seed++ {
+		for _, ref := range s.SampleBatch(seed, 32) {
+			n, ok := rowsByID[ref.BlockID]
+			if !ok {
+				t.Fatalf("sampled unknown block %d", ref.BlockID)
+			}
+			if ref.Offset < 0 || ref.Offset >= n {
+				t.Fatalf("offset %d out of range for block %d", ref.Offset, ref.BlockID)
+			}
+		}
+	}
+}
+
+// Property: sampling is row-uniform — over many draws every block receives
+// samples in proportion to its row count (checked within loose bounds).
+func TestSampleBatchRowUniform(t *testing.T) {
+	meta := []BlockMeta{{ID: 0, Rows: 100}, {ID: 1, Rows: 300}}
+	s, _ := NewSampler(meta)
+	counts := map[int]int{}
+	total := 0
+	for seed := int64(0); seed < 200; seed++ {
+		for _, ref := range s.SampleBatch(seed, 50) {
+			counts[ref.BlockID]++
+			total++
+		}
+	}
+	frac := float64(counts[1]) / float64(total)
+	if frac < 0.70 || frac > 0.80 { // expected 0.75
+		t.Fatalf("block 1 sampled fraction = %.3f, want ≈0.75", frac)
+	}
+}
+
+func TestSampleEpochBlocksIsPermutation(t *testing.T) {
+	meta := []BlockMeta{{ID: 1, Rows: 2}, {ID: 4, Rows: 2}, {ID: 6, Rows: 2}, {ID: 7, Rows: 2}}
+	s, _ := NewSampler(meta)
+	perm := s.SampleEpochBlocks(42)
+	if len(perm) != 4 {
+		t.Fatalf("len = %d", len(perm))
+	}
+	seen := map[int]bool{}
+	for _, id := range perm {
+		if seen[id] {
+			t.Fatalf("duplicate block %d", id)
+		}
+		seen[id] = true
+	}
+	for _, want := range []int{1, 4, 6, 7} {
+		if !seen[want] {
+			t.Fatalf("block %d missing from permutation", want)
+		}
+	}
+	// Deterministic per seed; identical across workers.
+	perm2 := s.SampleEpochBlocks(42)
+	for i := range perm {
+		if perm[i] != perm2[i] {
+			t.Fatal("epoch shuffle not deterministic")
+		}
+	}
+}
+
+func TestScanSampleApproximatesBatch(t *testing.T) {
+	ds, err := dataset.Generate(dataset.SyntheticSpec{Name: "s", N: 5000, Features: 10, NNZPerRow: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ScanSample(ds, 7, 500)
+	if len(got) < 350 || len(got) > 650 {
+		t.Fatalf("scan sample size %d far from 500", len(got))
+	}
+	for _, i := range got {
+		if i < 0 || i >= ds.N() {
+			t.Fatalf("row %d out of range", i)
+		}
+	}
+}
+
+// Property: samplers over the same metadata always agree, for arbitrary
+// block shapes and seeds — the invariant the two-phase index depends on.
+func TestPropertySamplerAgreement(t *testing.T) {
+	f := func(seed int64, nBlocksRaw uint8) bool {
+		nBlocks := int(nBlocksRaw)%6 + 1
+		meta := make([]BlockMeta, nBlocks)
+		for i := range meta {
+			meta[i] = BlockMeta{ID: i * 2, Rows: (i%3 + 1) * 5}
+		}
+		a, err := NewSampler(meta)
+		if err != nil {
+			return false
+		}
+		b, err := NewSampler(meta)
+		if err != nil {
+			return false
+		}
+		ba := a.SampleBatch(seed, 16)
+		bb := b.SampleBatch(seed, 16)
+		for i := range ba {
+			if ba[i] != bb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

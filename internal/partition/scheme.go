@@ -1,0 +1,183 @@
+// Package partition implements ColumnSGD's data layout machinery: column
+// partitioning schemes that co-partition the model and the training data,
+// the block-based column dispatching protocol of Algorithm 4, worksets in
+// CSR form, and the two-phase indexing scheme that lets every worker draw
+// the same row-oriented mini-batch from column-partitioned data (§IV-A).
+package partition
+
+import (
+	"fmt"
+
+	"columnsgd/internal/vec"
+)
+
+// Scheme maps global feature indices to (worker, local index) pairs. The
+// same scheme partitions both the training data's columns and the model,
+// which is what collocates them (the paper's core locality property).
+type Scheme interface {
+	// NumWorkers returns K, the number of column partitions.
+	NumWorkers() int
+	// Owner returns the worker that owns global feature j.
+	Owner(j int32) int
+	// Local converts a global feature index to the owner's local index.
+	Local(j int32) int32
+	// Global converts a worker-local index back to the global index.
+	Global(worker int, local int32) int32
+	// PartSize returns the number of features owned by a worker.
+	PartSize(worker int) int
+	// Name identifies the scheme in reports.
+	Name() string
+}
+
+// RangeScheme assigns contiguous index ranges: worker k owns
+// [k·ceil(m/K), (k+1)·ceil(m/K)) ∩ [0, m).
+type RangeScheme struct {
+	m, k int
+	per  int
+}
+
+// NewRange builds a contiguous range partitioning of m features over k
+// workers.
+func NewRange(m, k int) (*RangeScheme, error) {
+	if m <= 0 || k <= 0 {
+		return nil, fmt.Errorf("partition: range scheme needs positive m (%d) and k (%d)", m, k)
+	}
+	return &RangeScheme{m: m, k: k, per: (m + k - 1) / k}, nil
+}
+
+func (s *RangeScheme) NumWorkers() int { return s.k }
+func (s *RangeScheme) Name() string    { return "range" }
+func (s *RangeScheme) Owner(j int32) int {
+	o := int(j) / s.per
+	if o >= s.k {
+		o = s.k - 1
+	}
+	return o
+}
+func (s *RangeScheme) Local(j int32) int32 { return j - int32(s.Owner(j)*s.per) }
+func (s *RangeScheme) Global(worker int, local int32) int32 {
+	return int32(worker*s.per) + local
+}
+func (s *RangeScheme) PartSize(worker int) int {
+	lo := worker * s.per
+	hi := lo + s.per
+	if hi > s.m {
+		hi = s.m
+	}
+	if lo >= hi {
+		return 0
+	}
+	return hi - lo
+}
+
+// RoundRobinScheme assigns feature j to worker j mod K (the paper's
+// example scheme in Algorithm 4). It balances skewed feature popularity
+// better than range partitioning for power-law data.
+type RoundRobinScheme struct {
+	m, k int
+}
+
+// NewRoundRobin builds a round-robin partitioning of m features over k
+// workers.
+func NewRoundRobin(m, k int) (*RoundRobinScheme, error) {
+	if m <= 0 || k <= 0 {
+		return nil, fmt.Errorf("partition: round-robin scheme needs positive m (%d) and k (%d)", m, k)
+	}
+	return &RoundRobinScheme{m: m, k: k}, nil
+}
+
+func (s *RoundRobinScheme) NumWorkers() int     { return s.k }
+func (s *RoundRobinScheme) Name() string        { return "round-robin" }
+func (s *RoundRobinScheme) Owner(j int32) int   { return int(j) % s.k }
+func (s *RoundRobinScheme) Local(j int32) int32 { return j / int32(s.k) }
+func (s *RoundRobinScheme) Global(worker int, local int32) int32 {
+	return local*int32(s.k) + int32(worker)
+}
+func (s *RoundRobinScheme) PartSize(worker int) int {
+	full := s.m / s.k
+	if worker < s.m%s.k {
+		return full + 1
+	}
+	return full
+}
+
+// HashScheme assigns feature j to worker hash(j) mod K using a
+// multiplicative hash; useful when feature indices themselves are
+// range-clustered (e.g. grouped one-hot blocks).
+type HashScheme struct {
+	m, k   int
+	sizes  []int
+	locals []int32 // local index per global feature, precomputed
+}
+
+// NewHash builds a hashed partitioning of m features over k workers. It
+// precomputes the local index table (O(m) memory), so it is intended for
+// moderate m; range or round-robin scale to billions of features.
+func NewHash(m, k int) (*HashScheme, error) {
+	if m <= 0 || k <= 0 {
+		return nil, fmt.Errorf("partition: hash scheme needs positive m (%d) and k (%d)", m, k)
+	}
+	s := &HashScheme{m: m, k: k, sizes: make([]int, k), locals: make([]int32, m)}
+	for j := 0; j < m; j++ {
+		o := s.Owner(int32(j))
+		s.locals[j] = int32(s.sizes[o])
+		s.sizes[o]++
+	}
+	return s, nil
+}
+
+func (s *HashScheme) NumWorkers() int { return s.k }
+func (s *HashScheme) Name() string    { return "hash" }
+func (s *HashScheme) Owner(j int32) int {
+	h := uint32(j) * 2654435761 // Knuth multiplicative hash
+	return int(h % uint32(s.k))
+}
+func (s *HashScheme) Local(j int32) int32 { return s.locals[j] }
+func (s *HashScheme) Global(worker int, local int32) int32 {
+	// Inverse lookup; O(m/k). Kept simple since Global is only used in
+	// debugging and model reassembly paths.
+	for j := int32(0); int(j) < s.m; j++ {
+		if s.Owner(j) == worker && s.locals[j] == local {
+			return j
+		}
+	}
+	return -1
+}
+func (s *HashScheme) PartSize(worker int) int { return s.sizes[worker] }
+
+// SplitRow slices one data point's feature vector into K worker-local
+// sub-vectors under the given scheme, re-indexing each to the owner's
+// local coordinate space.
+func SplitRow(x vec.Sparse, s Scheme) []vec.Sparse {
+	parts := make([]vec.Sparse, s.NumWorkers())
+	for k, j := range x.Indices {
+		o := s.Owner(j)
+		parts[o].Indices = append(parts[o].Indices, s.Local(j))
+		parts[o].Values = append(parts[o].Values, x.Values[k])
+	}
+	return parts
+}
+
+// AssembleModel reconstructs the global model vector from per-worker
+// partitions, inverting the scheme's index mapping. Used by tests and by
+// model export after training.
+func AssembleModel(parts [][]float64, s Scheme, m int) ([]float64, error) {
+	if len(parts) != s.NumWorkers() {
+		return nil, fmt.Errorf("partition: %d parts for %d workers", len(parts), s.NumWorkers())
+	}
+	out := make([]float64, m)
+	for w := range parts {
+		if len(parts[w]) != s.PartSize(w) {
+			return nil, fmt.Errorf("partition: worker %d part has %d dims, scheme says %d",
+				w, len(parts[w]), s.PartSize(w))
+		}
+		for local := range parts[w] {
+			g := s.Global(w, int32(local))
+			if g < 0 || int(g) >= m {
+				return nil, fmt.Errorf("partition: worker %d local %d maps to out-of-range global %d", w, local, g)
+			}
+			out[g] = parts[w][local]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,235 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"columnsgd/internal/vec"
+)
+
+func allSchemes(t *testing.T, m, k int) []Scheme {
+	t.Helper()
+	rg, err := NewRange(m, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := NewRoundRobin(m, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHash(m, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Scheme{rg, rr, h}
+}
+
+func TestSchemeConstructorsReject(t *testing.T) {
+	if _, err := NewRange(0, 2); err == nil {
+		t.Error("range: m=0 accepted")
+	}
+	if _, err := NewRoundRobin(5, 0); err == nil {
+		t.Error("round-robin: k=0 accepted")
+	}
+	if _, err := NewHash(-1, 2); err == nil {
+		t.Error("hash: m=-1 accepted")
+	}
+}
+
+// Every scheme must be an exact partition: each feature has exactly one
+// owner, local/global are inverse bijections, and part sizes sum to m.
+func TestSchemePartitionInvariants(t *testing.T) {
+	for _, mk := range []struct{ m, k int }{{10, 3}, {7, 7}, {5, 8}, {100, 4}, {1, 1}} {
+		for _, s := range allSchemes(t, mk.m, mk.k) {
+			total := 0
+			for w := 0; w < s.NumWorkers(); w++ {
+				total += s.PartSize(w)
+			}
+			if total != mk.m {
+				t.Errorf("%s m=%d k=%d: part sizes sum to %d", s.Name(), mk.m, mk.k, total)
+			}
+			seen := make(map[int]map[int32]bool)
+			for j := int32(0); int(j) < mk.m; j++ {
+				o := s.Owner(j)
+				if o < 0 || o >= s.NumWorkers() {
+					t.Fatalf("%s: owner(%d) = %d out of range", s.Name(), j, o)
+				}
+				l := s.Local(j)
+				if l < 0 || int(l) >= s.PartSize(o) {
+					t.Fatalf("%s m=%d k=%d: local(%d) = %d outside part size %d",
+						s.Name(), mk.m, mk.k, j, l, s.PartSize(o))
+				}
+				if g := s.Global(o, l); g != j {
+					t.Fatalf("%s m=%d k=%d: global(owner(%d), local(%d)) = %d",
+						s.Name(), mk.m, mk.k, j, j, g)
+				}
+				if seen[o] == nil {
+					seen[o] = map[int32]bool{}
+				}
+				if seen[o][l] {
+					t.Fatalf("%s: local collision worker %d local %d", s.Name(), o, l)
+				}
+				seen[o][l] = true
+			}
+		}
+	}
+}
+
+func TestSplitRowPreservesEverything(t *testing.T) {
+	x := vec.Sparse{Indices: []int32{0, 3, 5, 9}, Values: []float64{1, 2, 3, 4}}
+	for _, s := range allSchemes(t, 10, 3) {
+		parts := SplitRow(x, s)
+		nnz := 0
+		for w, p := range parts {
+			nnz += p.NNZ()
+			for k, l := range p.Indices {
+				g := s.Global(w, l)
+				// Find value in original.
+				found := false
+				for ko, go_ := range x.Indices {
+					if go_ == g {
+						if x.Values[ko] != p.Values[k] {
+							t.Fatalf("%s: value mismatch at global %d", s.Name(), g)
+						}
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("%s: split invented global index %d", s.Name(), g)
+				}
+			}
+		}
+		if nnz != x.NNZ() {
+			t.Fatalf("%s: split lost non-zeros: %d vs %d", s.Name(), nnz, x.NNZ())
+		}
+	}
+}
+
+// Property: splitting preserves dot products against a co-partitioned
+// model — the fundamental ColumnSGD statistics decomposition.
+func TestPropertySplitPreservesDot(t *testing.T) {
+	f := func(seed int64, kRaw, schemeRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		const m = 60
+		k := int(kRaw)%6 + 1
+		schemes := []Scheme{}
+		if rg, err := NewRange(m, k); err == nil {
+			schemes = append(schemes, rg)
+		}
+		if rr, err := NewRoundRobin(m, k); err == nil {
+			schemes = append(schemes, rr)
+		}
+		if h, err := NewHash(m, k); err == nil {
+			schemes = append(schemes, h)
+		}
+		s := schemes[int(schemeRaw)%len(schemes)]
+
+		// Random sparse point and dense model.
+		var idx []int32
+		var val []float64
+		for j := 0; j < m; j++ {
+			if r.Float64() < 0.3 {
+				idx = append(idx, int32(j))
+				val = append(val, r.NormFloat64())
+			}
+		}
+		x := vec.Sparse{Indices: idx, Values: val}
+		w := make([]float64, m)
+		for i := range w {
+			w[i] = r.NormFloat64()
+		}
+		full := x.Dot(w)
+
+		// Partition the model the same way and sum partial dots.
+		parts := SplitRow(x, s)
+		var sum float64
+		for wk, p := range parts {
+			local := make([]float64, s.PartSize(wk))
+			for l := range local {
+				local[l] = w[s.Global(wk, int32(l))]
+			}
+			sum += p.Dot(local)
+		}
+		return math.Abs(full-sum) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssembleModel(t *testing.T) {
+	const m, k = 11, 3
+	for _, s := range allSchemes(t, m, k) {
+		want := make([]float64, m)
+		for j := range want {
+			want[j] = float64(j) + 0.5
+		}
+		parts := make([][]float64, k)
+		for w := 0; w < k; w++ {
+			parts[w] = make([]float64, s.PartSize(w))
+			for l := range parts[w] {
+				parts[w][l] = want[s.Global(w, int32(l))]
+			}
+		}
+		got, err := AssembleModel(parts, s, m)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("%s: assembled[%d] = %v, want %v", s.Name(), j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestAssembleModelErrors(t *testing.T) {
+	s, _ := NewRange(10, 2)
+	if _, err := AssembleModel(make([][]float64, 3), s, 10); err == nil {
+		t.Error("wrong part count accepted")
+	}
+	if _, err := AssembleModel([][]float64{make([]float64, 1), make([]float64, 5)}, s, 10); err == nil {
+		t.Error("wrong part size accepted")
+	}
+}
+
+func TestRoundRobinBalance(t *testing.T) {
+	s, _ := NewRoundRobin(103, 4)
+	sizes := []int{}
+	for w := 0; w < 4; w++ {
+		sizes = append(sizes, s.PartSize(w))
+	}
+	// 103 = 4*25 + 3 → sizes 26,26,26,25
+	want := []int{26, 26, 26, 25}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("sizes = %v, want %v", sizes, want)
+		}
+	}
+}
+
+func TestRangeDegenerateLastWorker(t *testing.T) {
+	// m=5, k=8: per=1, workers 5..7 own nothing.
+	s, _ := NewRange(5, 8)
+	for w := 5; w < 8; w++ {
+		if got := s.PartSize(w); got != 0 {
+			t.Fatalf("worker %d size = %d", w, got)
+		}
+	}
+	if s.Owner(4) != 4 {
+		t.Fatalf("owner(4) = %d", s.Owner(4))
+	}
+}
+
+func TestHashSchemeBalanceReasonable(t *testing.T) {
+	const m, k = 10000, 8
+	s, _ := NewHash(m, k)
+	for w := 0; w < k; w++ {
+		sz := s.PartSize(w)
+		if sz < m/k/2 || sz > m/k*2 {
+			t.Fatalf("hash partition badly balanced: worker %d owns %d of %d", w, sz, m)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+// Package plot renders metrics.Figure line charts as standalone SVG
+// documents using only the standard library — so `colsgd-bench -svg`
+// can emit the paper's figures as viewable files next to the text report.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"columnsgd/internal/metrics"
+)
+
+// Options controls the rendering.
+type Options struct {
+	// Width and Height are the SVG canvas size in pixels (defaults
+	// 640×420).
+	Width, Height int
+	// LogX / LogY use logarithmic axes (points with non-positive
+	// coordinates are dropped).
+	LogX, LogY bool
+}
+
+func (o Options) normalized() Options {
+	if o.Width <= 0 {
+		o.Width = 640
+	}
+	if o.Height <= 0 {
+		o.Height = 420
+	}
+	return o
+}
+
+// seriesColors is a color-blind-safe palette (Okabe–Ito).
+var seriesColors = []string{
+	"#0072B2", "#D55E00", "#009E73", "#CC79A7",
+	"#E69F00", "#56B4E9", "#F0E442", "#000000",
+}
+
+const (
+	marginLeft   = 70.0
+	marginRight  = 16.0
+	marginTop    = 40.0
+	marginBottom = 48.0
+)
+
+// Render writes fig as an SVG document.
+func Render(fig *metrics.Figure, opts Options, w io.Writer) error {
+	opts = opts.normalized()
+	plotW := float64(opts.Width) - marginLeft - marginRight
+	plotH := float64(opts.Height) - marginTop - marginBottom
+	if plotW <= 10 || plotH <= 10 {
+		return fmt.Errorf("plot: canvas %dx%d too small", opts.Width, opts.Height)
+	}
+
+	// Collect the data range across all series, applying log filters.
+	type pt struct{ x, y float64 }
+	series := make([][]pt, len(fig.Series))
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for si, s := range fig.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d x values and %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		pts := make([]pt, 0, len(s.X))
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			if (opts.LogX && x <= 0) || (opts.LogY && y <= 0) {
+				continue
+			}
+			if opts.LogX {
+				x = math.Log10(x)
+			}
+			if opts.LogY {
+				y = math.Log10(y)
+			}
+			pts = append(pts, pt{x, y})
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+		sort.Slice(pts, func(a, b int) bool { return pts[a].x < pts[b].x })
+		series[si] = pts
+	}
+	if minX > maxX || minY > maxY {
+		return fmt.Errorf("plot: figure %q has no drawable points", fig.Title)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	sx := func(x float64) float64 { return marginLeft + (x-minX)/(maxX-minX)*plotW }
+	sy := func(y float64) float64 { return marginTop + plotH - (y-minY)/(maxY-minY)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`+"\n",
+		opts.Width, opts.Height, opts.Width, opts.Height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", opts.Width, opts.Height)
+	fmt.Fprintf(&b, `<text x="%g" y="20" font-size="14" font-weight="bold">%s</text>`+"\n",
+		marginLeft, escape(fig.Title))
+
+	// Axes box.
+	fmt.Fprintf(&b, `<rect x="%g" y="%g" width="%g" height="%g" fill="none" stroke="#888"/>`+"\n",
+		marginLeft, marginTop, plotW, plotH)
+
+	// Ticks: five per axis, with grid lines.
+	for i := 0; i <= 4; i++ {
+		fx := minX + (maxX-minX)*float64(i)/4
+		fy := minY + (maxY-minY)*float64(i)/4
+		px, py := sx(fx), sy(fy)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#eee"/>`+"\n",
+			px, marginTop, px, marginTop+plotH)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#eee"/>`+"\n",
+			marginLeft, py, marginLeft+plotW, py)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			px, marginTop+plotH+16, tickLabel(fx, opts.LogX))
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="10" text-anchor="end">%s</text>`+"\n",
+			marginLeft-6, py+3, tickLabel(fy, opts.LogY))
+	}
+
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="11" text-anchor="middle">%s</text>`+"\n",
+		marginLeft+plotW/2, float64(opts.Height)-8, escape(axisLabel(fig.XLabel, opts.LogX)))
+	fmt.Fprintf(&b, `<text x="14" y="%g" font-size="11" text-anchor="middle" transform="rotate(-90 14 %g)">%s</text>`+"\n",
+		marginTop+plotH/2, marginTop+plotH/2, escape(axisLabel(fig.YLabel, opts.LogY)))
+
+	// Series polylines + legend.
+	for si, pts := range series {
+		color := seriesColors[si%len(seriesColors)]
+		if len(pts) > 0 {
+			var poly strings.Builder
+			for _, p := range pts {
+				fmt.Fprintf(&poly, "%.2f,%.2f ", sx(p.x), sy(p.y))
+			}
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+				strings.TrimSpace(poly.String()), color)
+			for _, p := range pts {
+				fmt.Fprintf(&b, `<circle cx="%.2f" cy="%.2f" r="2.2" fill="%s"/>`+"\n", sx(p.x), sy(p.y), color)
+			}
+		}
+		// Legend entry.
+		ly := marginTop + 8 + float64(si)*14
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/>`+"\n",
+			marginLeft+plotW-130, ly, marginLeft+plotW-112, ly, color)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="10">%s</text>`+"\n",
+			marginLeft+plotW-108, ly+3, escape(fig.Series[si].Name))
+	}
+
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func axisLabel(label string, log bool) string {
+	if log {
+		return label + " (log10)"
+	}
+	return label
+}
+
+func tickLabel(v float64, log bool) string {
+	if log {
+		return fmt.Sprintf("1e%.1f", v)
+	}
+	av := math.Abs(v)
+	switch {
+	case av != 0 && (av < 0.01 || av >= 100000):
+		return fmt.Sprintf("%.1e", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,103 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"columnsgd/internal/metrics"
+)
+
+func sampleFigure() *metrics.Figure {
+	f := &metrics.Figure{Title: "Fig X — loss vs time", XLabel: "seconds", YLabel: "loss"}
+	f.AddSeries(metrics.Series{Name: "ColumnSGD", X: []float64{1, 2, 3}, Y: []float64{0.9, 0.5, 0.3}})
+	f.AddSeries(metrics.Series{Name: "MLlib", X: []float64{10, 20, 30}, Y: []float64{0.9, 0.7, 0.5}})
+	return f
+}
+
+func TestRenderBasic(t *testing.T) {
+	var sb strings.Builder
+	if err := Render(sampleFigure(), Options{}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "ColumnSGD", "MLlib",
+		"Fig X — loss vs time", "seconds", "loss",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Two series → two polylines.
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d", got)
+	}
+}
+
+func TestRenderLogAxes(t *testing.T) {
+	f := &metrics.Figure{Title: "log", XLabel: "m", YLabel: "t"}
+	f.AddSeries(metrics.Series{Name: "s", X: []float64{10, 1000, 100000, -5, 0}, Y: []float64{1, 1, 1, 1, 1}})
+	var sb strings.Builder
+	if err := Render(f, Options{LogX: true}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "m (log10)") {
+		t.Error("log axis label missing")
+	}
+	// Non-positive x values dropped → 3 circles.
+	if got := strings.Count(out, "<circle"); got != 3 {
+		t.Errorf("circles = %d, want 3", got)
+	}
+}
+
+func TestRenderRejectsBadInput(t *testing.T) {
+	empty := &metrics.Figure{Title: "empty"}
+	var sb strings.Builder
+	if err := Render(empty, Options{}, &sb); err == nil {
+		t.Error("empty figure accepted")
+	}
+	ragged := &metrics.Figure{Title: "ragged"}
+	ragged.AddSeries(metrics.Series{Name: "r", X: []float64{1, 2}, Y: []float64{1}})
+	if err := Render(ragged, Options{}, &sb); err == nil {
+		t.Error("ragged series accepted")
+	}
+	allNaN := &metrics.Figure{Title: "nan"}
+	allNaN.AddSeries(metrics.Series{Name: "n", X: []float64{math.NaN()}, Y: []float64{1}})
+	if err := Render(allNaN, Options{}, &sb); err == nil {
+		t.Error("NaN-only figure accepted")
+	}
+	if err := Render(sampleFigure(), Options{Width: 5, Height: 5}, &sb); err == nil {
+		t.Error("tiny canvas accepted")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// Degenerate ranges (constant X or Y) must not divide by zero.
+	f := &metrics.Figure{Title: "flat", XLabel: "x", YLabel: "y"}
+	f.AddSeries(metrics.Series{Name: "c", X: []float64{5, 5, 5}, Y: []float64{2, 2, 2}})
+	var sb strings.Builder
+	if err := Render(f, Options{}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "NaN") {
+		t.Fatal("NaN leaked into SVG")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	f := &metrics.Figure{Title: `a<b&"c"`, XLabel: "x", YLabel: "y"}
+	f.AddSeries(metrics.Series{Name: "s>1", X: []float64{1, 2}, Y: []float64{1, 2}})
+	var sb strings.Builder
+	if err := Render(f, Options{}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, `a<b&"c"`) || !strings.Contains(out, "a&lt;b&amp;&quot;c&quot;") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(out, "s&gt;1") {
+		t.Error("series name not escaped")
+	}
+}

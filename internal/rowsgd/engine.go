@@ -1,0 +1,566 @@
+package rowsgd
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"columnsgd/internal/cluster"
+	"columnsgd/internal/dataset"
+	"columnsgd/internal/metrics"
+	"columnsgd/internal/model"
+	"columnsgd/internal/opt"
+	"columnsgd/internal/partition"
+	"columnsgd/internal/simnet"
+	"columnsgd/internal/vec"
+)
+
+// System selects which RowSGD baseline the engine emulates.
+type System string
+
+// The four baselines of the paper's evaluation (§V-A).
+const (
+	MLlib     System = "MLlib"
+	MLlibStar System = "MLlib*"
+	Petuum    System = "Petuum"
+	MXNet     System = "MXNet"
+)
+
+// Config configures a RowSGD training run.
+type Config struct {
+	// System picks the baseline architecture.
+	System System
+	// Workers is K. Parameter-server systems run K servers collocated
+	// with the K workers (the paper sets #servers = #workers).
+	Workers int
+	// ModelName/ModelArg select the model.
+	ModelName string
+	ModelArg  int
+	// Opt configures the optimizer (applied at the master/servers; for
+	// MLlib* it runs on each worker replica).
+	Opt opt.Config
+	// BatchSize is the global batch B; each worker processes B/K points.
+	BatchSize int
+	// LocalSteps is the number of local SGD steps per averaging round
+	// (MLlib* only; default 4).
+	LocalSteps int
+	// ChunkRows sizes the loading chunks (default 512).
+	ChunkRows int
+	// Seed drives sampling and initialization.
+	Seed int64
+	// Net prices communication and compute.
+	Net simnet.Model
+	// EvalEvery computes the full training loss every n iterations.
+	EvalEvery int
+	// Repartition adds a global shuffle during loading
+	// (MLlib-Repartition in Fig. 7).
+	Repartition bool
+	// Staleness > 0 switches MLlib/Petuum-style training from BSP to a
+	// bounded-staleness protocol (the asynchronous approach §VI of the
+	// paper discusses): worker w computes its gradient against the model
+	// from up to (w mod Staleness+1) iterations ago, removing the
+	// synchronization barrier at the price of statistical efficiency.
+	Staleness int
+}
+
+func (c *Config) normalize() error {
+	switch c.System {
+	case MLlib, MLlibStar, Petuum, MXNet:
+	case "":
+		c.System = MLlib
+	default:
+		return fmt.Errorf("rowsgd: unknown system %q", c.System)
+	}
+	if c.Workers <= 0 {
+		return fmt.Errorf("rowsgd: config needs positive Workers")
+	}
+	if c.BatchSize <= 0 {
+		return fmt.Errorf("rowsgd: config needs positive BatchSize")
+	}
+	if c.BatchSize < c.Workers {
+		return fmt.Errorf("rowsgd: batch size %d smaller than worker count %d", c.BatchSize, c.Workers)
+	}
+	if c.ModelName == "" {
+		c.ModelName = "lr"
+	}
+	if c.LocalSteps <= 0 {
+		c.LocalSteps = 4
+	}
+	if c.ChunkRows <= 0 {
+		c.ChunkRows = 512
+	}
+	if c.Staleness < 0 {
+		return fmt.Errorf("rowsgd: Staleness must be ≥ 0")
+	}
+	if c.Staleness > 0 && c.System != MLlib && c.System != Petuum {
+		return fmt.Errorf("rowsgd: staleness only applies to MLlib/Petuum-style engines")
+	}
+	if c.Net.Name == "" {
+		c.Net = simnet.Cluster1().WithWorkers(c.Workers)
+	}
+	if err := c.Net.Validate(); err != nil {
+		return err
+	}
+	// Parameter-server runtimes skip the per-iteration task launch.
+	if c.System == Petuum || c.System == MXNet {
+		c.Net = c.Net.WithScheduling(simnet.PSOverhead)
+	}
+	return nil
+}
+
+// links returns the parallel-link count of the system's bottleneck: the
+// single master link for MLlib, K server/ring links otherwise.
+func (c *Config) links() int {
+	if c.System == MLlib {
+		return 1
+	}
+	return c.Workers
+}
+
+// Engine is a RowSGD master. For MLlib/Petuum/MXNet it owns the global
+// model (conceptually sharded over servers for the PS systems); for
+// MLlib* the workers own replicas and the master only orchestrates the
+// averaging.
+type Engine struct {
+	cfg     Config
+	clients []cluster.Client
+	mdl     model.Model
+	o       opt.Optimizer
+	params  *model.Params // nil for MLlib*
+	m       int
+	n       int
+	trace   *metrics.Trace
+	iter    int64
+	// history holds recent model snapshots for bounded staleness
+	// (history[0] is the current model).
+	history   []*model.Params
+	wallStart time.Time
+}
+
+// NewEngine validates the config and prepares the master.
+func NewEngine(cfg Config, clients []cluster.Client) (*Engine, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if len(clients) != cfg.Workers {
+		return nil, fmt.Errorf("rowsgd: %d clients for %d workers", len(clients), cfg.Workers)
+	}
+	mdl, err := model.New(cfg.ModelName, cfg.ModelArg)
+	if err != nil {
+		return nil, err
+	}
+	var o opt.Optimizer
+	if cfg.System != MLlibStar {
+		if o, err = opt.New(cfg.Opt); err != nil {
+			return nil, err
+		}
+	} else if _, err := opt.New(cfg.Opt); err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg, clients: clients, mdl: mdl, o: o}, nil
+}
+
+// NewLocalEngine spins up an in-process cluster and engine together.
+func NewLocalEngine(cfg Config) (*Engine, error) {
+	local, err := cluster.NewLocal(cfg.Workers, func(int) (*cluster.Service, error) {
+		return NewWorkerService(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return NewEngine(cfg, local.Clients())
+}
+
+// Trace returns the run's metrics trace (nil before Load).
+func (e *Engine) Trace() *metrics.Trace { return e.trace }
+
+// Model returns the model kernels.
+func (e *Engine) Model() model.Model { return e.mdl }
+
+// Params returns the master's model (nil for MLlib*; use WorkerModel).
+func (e *Engine) Params() *model.Params { return e.params }
+
+// Load row-partitions the dataset across the workers and records the
+// modeled loading time (with the optional global repartition shuffle).
+func (e *Engine) Load(ds *dataset.Dataset) error {
+	if ds.N() == 0 {
+		return fmt.Errorf("rowsgd: empty dataset")
+	}
+	if ds.N() < e.cfg.Workers {
+		return fmt.Errorf("rowsgd: %d rows cannot feed %d workers", ds.N(), e.cfg.Workers)
+	}
+	e.m = ds.NumFeatures
+	e.n = ds.N()
+	e.trace = &metrics.Trace{
+		System:  string(e.cfg.System),
+		Dataset: fmt.Sprintf("n%d-m%d", ds.N(), ds.NumFeatures),
+		ModelID: e.mdl.Name(),
+	}
+
+	for w := 0; w < e.cfg.Workers; w++ {
+		args := &InitArgs{
+			Worker:      w,
+			NumFeatures: ds.NumFeatures,
+			ModelName:   e.cfg.ModelName,
+			ModelArg:    e.cfg.ModelArg,
+			Opt:         e.cfg.Opt,
+			HoldModel:   e.cfg.System == MLlibStar,
+			Seed:        e.cfg.Seed,
+		}
+		if err := e.clients[w].Call(MethodInit, args, nil); err != nil {
+			return fmt.Errorf("rowsgd: init worker %d: %w", w, err)
+		}
+	}
+
+	// Row shards: worker w gets rows [w·N/K, (w+1)·N/K), in chunks.
+	per := (ds.N() + e.cfg.Workers - 1) / e.cfg.Workers
+	for w := 0; w < e.cfg.Workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > ds.N() {
+			hi = ds.N()
+		}
+		if lo >= hi {
+			return fmt.Errorf("rowsgd: worker %d would receive no rows", w)
+		}
+		for clo := lo; clo < hi; clo += e.cfg.ChunkRows {
+			chi := clo + e.cfg.ChunkRows
+			if chi > hi {
+				chi = hi
+			}
+			csr := vec.NewCSR(int32(ds.NumFeatures), chi-clo)
+			labels := make([]float64, 0, chi-clo)
+			for i := clo; i < chi; i++ {
+				if err := csr.AppendRow(ds.Points[i].Features); err != nil {
+					return err
+				}
+				labels = append(labels, ds.Points[i].Label)
+			}
+			if err := e.clients[w].Call(MethodLoadRows, &LoadRowsArgs{Labels: labels, Data: csr}, nil); err != nil {
+				return fmt.Errorf("rowsgd: load worker %d: %w", w, err)
+			}
+		}
+	}
+	for w := 0; w < e.cfg.Workers; w++ {
+		if err := e.clients[w].Call(MethodLoadDone, &LoadDoneArgs{}, nil); err != nil {
+			return err
+		}
+	}
+
+	if e.cfg.System != MLlibStar {
+		e.params = model.NewParams(e.mdl.ParamRows(), ds.NumFeatures)
+		e.mdl.Init(e.params, rand.New(rand.NewSource(e.cfg.Seed)))
+	}
+
+	stats := partition.RowDispatchStats(ds, e.cfg.Workers, e.cfg.Repartition)
+	e.trace.LoadCost = e.cfg.Net.LoadTime(stats.Messages, stats.Bytes, e.cfg.Workers, ds.NNZ()/int64(e.cfg.Workers))
+	e.recordMemory(ds)
+	return nil
+}
+
+func (e *Engine) traffic() (msgs, bytes int64) {
+	for _, c := range e.clients {
+		msgs += c.Messages()
+		bytes += c.Bytes()
+	}
+	return
+}
+
+// Step runs one outer iteration of the selected system.
+func (e *Engine) Step() (float64, error) {
+	if e.trace == nil {
+		return 0, fmt.Errorf("rowsgd: Load must run before Step")
+	}
+	e.wallStart = time.Now()
+	switch e.cfg.System {
+	case MLlib, Petuum:
+		return e.stepPullPush()
+	case MXNet:
+		return e.stepSparse()
+	case MLlibStar:
+		return e.stepMA()
+	}
+	return 0, fmt.Errorf("rowsgd: unreachable system %q", e.cfg.System)
+}
+
+// perWorkerBatch splits the global batch.
+func (e *Engine) perWorkerBatch() int { return e.cfg.BatchSize / e.cfg.Workers }
+
+// stepPullPush implements Algorithm 2: broadcast the dense model, gather
+// sparse gradients, update at the master. MLlib and Petuum share the math;
+// only the link pricing differs. With Staleness > 0 each worker pulls a
+// model snapshot up to (w mod S+1) iterations old instead of the barrier-
+// synchronized current one.
+func (e *Engine) stepPullPush() (float64, error) {
+	if e.cfg.Staleness > 0 {
+		// Maintain the snapshot window: newest first.
+		e.history = append([]*model.Params{e.params.Clone()}, e.history...)
+		if len(e.history) > e.cfg.Staleness+1 {
+			e.history = e.history[:e.cfg.Staleness+1]
+		}
+	}
+	m0, b0 := e.traffic()
+	replies := make([]GradReply, e.cfg.Workers)
+	for w := 0; w < e.cfg.Workers; w++ {
+		pulled := e.params
+		if e.cfg.Staleness > 0 {
+			lag := w % (e.cfg.Staleness + 1)
+			if lag >= len(e.history) {
+				lag = len(e.history) - 1
+			}
+			pulled = e.history[lag]
+		}
+		args := &ComputeGradArgs{Iter: e.cfg.Seed + e.iter, BatchSize: e.perWorkerBatch(), Model: ToDense(pulled.W)}
+		if err := e.clients[w].Call(MethodComputeGrad, args, &replies[w]); err != nil {
+			return 0, err
+		}
+	}
+	m1, b1 := e.traffic()
+
+	loss, nnz, err := e.applyGrads(replies)
+	if err != nil {
+		return 0, err
+	}
+
+	// Phase split: the pull direction carries K dense model copies; the
+	// push direction is the remainder (sparse gradients).
+	pullBytes := int64(e.cfg.Workers) * e.modelWireBytes()
+	total := b1 - b0
+	pushBytes := total - pullBytes
+	if pushBytes < 0 {
+		pushBytes = 0
+		pullBytes = total
+	}
+	phases := []simnet.Phase{
+		{Label: "pull-model", Messages: (m1 - m0) / 2, Bytes: pullBytes, Links: e.cfg.links()},
+		{Label: "push-grads", Messages: (m1 - m0) / 2, Bytes: pushBytes, Links: e.cfg.links()},
+	}
+	return loss, e.finishIteration(loss, nnz, phases)
+}
+
+// stepSparse implements the MXNet sparse-pull path: workers report the
+// dimensions their batch touches, receive only those values, and push
+// sparse gradients.
+func (e *Engine) stepSparse() (float64, error) {
+	iter := e.cfg.Seed + e.iter
+	m0, b0 := e.traffic()
+	needs := make([]NeedReply, e.cfg.Workers)
+	for w := 0; w < e.cfg.Workers; w++ {
+		if err := e.clients[w].Call(MethodNeededDims, &NeedArgs{Iter: iter, BatchSize: e.perWorkerBatch()}, &needs[w]); err != nil {
+			return 0, err
+		}
+	}
+	m1, b1 := e.traffic()
+
+	replies := make([]GradReply, e.cfg.Workers)
+	for w := 0; w < e.cfg.Workers; w++ {
+		dims := needs[w].Dims
+		values := make([]DenseVec, e.mdl.ParamRows())
+		for r := range values {
+			values[r] = make([]float64, len(dims))
+			for i, d := range dims {
+				values[r][i] = e.params.W[r][d]
+			}
+		}
+		args := &SparseGradArgs{Iter: iter, BatchSize: e.perWorkerBatch(), Dims: dims, Values: values}
+		if err := e.clients[w].Call(MethodSparseGrad, args, &replies[w]); err != nil {
+			return 0, err
+		}
+	}
+	m2, b2 := e.traffic()
+
+	loss, nnz, err := e.applyGrads(replies)
+	if err != nil {
+		return 0, err
+	}
+	phases := []simnet.Phase{
+		{Label: "request-dims", Messages: m1 - m0, Bytes: b1 - b0, Links: e.cfg.links()},
+		{Label: "sparse-pull+push", Messages: m2 - m1, Bytes: b2 - b1, Links: e.cfg.links()},
+	}
+	return loss, e.finishIteration(loss, nnz, phases)
+}
+
+// stepMA implements MLlib*: local steps on each replica, then a model-
+// averaging AllReduce (master-mediated here; byte volume matches a ring).
+func (e *Engine) stepMA() (float64, error) {
+	iter := e.cfg.Seed + e.iter
+	m0, b0 := e.traffic()
+	var lossSum float64
+	var nnz int64
+	for w := 0; w < e.cfg.Workers; w++ {
+		var r LocalTrainReply
+		args := &LocalTrainArgs{Iter: iter, Steps: e.cfg.LocalSteps, BatchSize: e.perWorkerBatch()}
+		if err := e.clients[w].Call(MethodLocalTrain, args, &r); err != nil {
+			return 0, err
+		}
+		lossSum += r.LossMean
+		if r.NNZ > nnz {
+			nnz = r.NNZ
+		}
+	}
+	m1, b1 := e.traffic()
+
+	// AllReduce averaging.
+	avg := model.NewParams(e.mdl.ParamRows(), e.m)
+	for w := 0; w < e.cfg.Workers; w++ {
+		var r ModelReply
+		if err := e.clients[w].Call(MethodGetModel, &GetModelArgs{}, &r); err != nil {
+			return 0, err
+		}
+		if err := avg.Add(&model.Params{W: FromDenseVecs(r.W)}); err != nil {
+			return 0, err
+		}
+	}
+	avg.Scale(1 / float64(e.cfg.Workers))
+	for w := 0; w < e.cfg.Workers; w++ {
+		if err := e.clients[w].Call(MethodSetModel, &SetModelArgs{W: ToDense(avg.W)}, nil); err != nil {
+			return 0, err
+		}
+	}
+	m2, b2 := e.traffic()
+
+	loss := lossSum / float64(e.cfg.Workers)
+	phases := []simnet.Phase{
+		{Label: "local-train", Messages: m1 - m0, Bytes: b1 - b0, Links: e.cfg.links()},
+		{Label: "allreduce", Messages: m2 - m1, Bytes: b2 - b1, Links: e.cfg.links()},
+	}
+	return loss, e.finishIteration(loss, nnz, phases)
+}
+
+// applyGrads sums the workers' sparse gradients (scaled so the result is
+// the mean over the global batch), applies the optimizer, and returns the
+// batch loss and max worker kernel work.
+func (e *Engine) applyGrads(replies []GradReply) (float64, int64, error) {
+	grad := model.NewParams(e.mdl.ParamRows(), e.m)
+	var lossSum float64
+	var count int
+	var maxNNZ int64
+	for i := range replies {
+		r := &replies[i]
+		if len(r.Grad) != grad.Rows() {
+			return 0, 0, fmt.Errorf("rowsgd: gradient reply has %d rows, want %d", len(r.Grad), grad.Rows())
+		}
+		// Workers average over their local batch; rescale to the global
+		// mean: each contributes (local count / global count) weight.
+		for row := range r.Grad {
+			blk := r.Grad[row]
+			for k, idx := range blk.Indices {
+				if int(idx) >= e.m {
+					return 0, 0, fmt.Errorf("rowsgd: gradient index %d out of range", idx)
+				}
+				grad.W[row][idx] += blk.Values[k] * float64(r.Count)
+			}
+		}
+		lossSum += r.LossSum
+		count += r.Count
+		if r.NNZ > maxNNZ {
+			maxNNZ = r.NNZ
+		}
+	}
+	if count == 0 {
+		return 0, 0, fmt.Errorf("rowsgd: empty global batch")
+	}
+	grad.Scale(1 / float64(count))
+	if err := e.o.Apply(e.params, grad); err != nil {
+		return 0, 0, err
+	}
+	return lossSum / float64(count), maxNNZ, nil
+}
+
+// finishIteration prices the iteration and appends it to the trace.
+func (e *Engine) finishIteration(loss float64, maxNNZ int64, phases []simnet.Phase) error {
+	cost := e.cfg.Net.IterationTime(maxNNZ, phases)
+	recLoss := loss
+	if e.cfg.EvalEvery > 0 {
+		if int(e.iter)%e.cfg.EvalEvery == 0 {
+			full, err := e.FullLoss()
+			if err != nil {
+				return err
+			}
+			recLoss = full
+		} else {
+			recLoss = nanF()
+		}
+	}
+	e.trace.Append(metrics.Iteration{
+		Index:        int(e.iter),
+		Loss:         recLoss,
+		Cost:         cost,
+		Phases:       phases,
+		MaxWorkerNNZ: maxNNZ,
+		Wall:         time.Since(e.wallStart),
+	})
+	e.iter++
+	return nil
+}
+
+func nanF() float64 {
+	var z float64
+	return 0 / z
+}
+
+// modelWireBytes estimates the serialized size of one dense model copy.
+func (e *Engine) modelWireBytes() int64 {
+	return int64(e.mdl.ParamRows()) * (int64(e.m)*8 + 48)
+}
+
+// Run executes iters outer iterations.
+func (e *Engine) Run(iters int) (*metrics.Trace, error) {
+	for i := 0; i < iters; i++ {
+		if _, err := e.Step(); err != nil {
+			return e.trace, err
+		}
+	}
+	return e.trace, nil
+}
+
+// FullLoss evaluates the training loss over all shards.
+func (e *Engine) FullLoss() (float64, error) {
+	args := &EvalArgs{}
+	if e.params != nil {
+		args.Model = ToDense(e.params.W)
+	}
+	var lossSum float64
+	var count int
+	for w := 0; w < e.cfg.Workers; w++ {
+		var r EvalReply
+		if err := e.clients[w].Call(MethodEvalLoss, args, &r); err != nil {
+			return 0, err
+		}
+		lossSum += r.LossSum
+		count += r.Count
+	}
+	if count == 0 {
+		return 0, fmt.Errorf("rowsgd: no evaluation points")
+	}
+	return lossSum / float64(count), nil
+}
+
+// ExportModel returns the trained model: the master copy, or worker 0's
+// replica for MLlib* (replicas are identical right after averaging).
+func (e *Engine) ExportModel() (*model.Params, error) {
+	if e.params != nil {
+		return e.params.Clone(), nil
+	}
+	var r ModelReply
+	if err := e.clients[0].Call(MethodGetModel, &GetModelArgs{}, &r); err != nil {
+		return nil, err
+	}
+	return &model.Params{W: FromDenseVecs(r.W)}, nil
+}
+
+// recordMemory captures the Table I memory model: the master holds the
+// model plus a gradient aggregation buffer (m + mφ₂); each worker holds
+// its shard plus model- and gradient-sized buffers (S/K + 2mφ₁).
+func (e *Engine) recordMemory(ds *dataset.Dataset) {
+	rows := int64(e.mdl.ParamRows())
+	modelBytes := rows * int64(e.m) * 8
+	if e.cfg.System == MLlibStar {
+		// No central model; the driver only orchestrates averaging (one
+		// model-sized buffer during the reduce).
+		e.trace.PeakMasterBytes = modelBytes
+	} else {
+		e.trace.PeakMasterBytes = 2 * modelBytes
+	}
+	e.trace.PeakWorkerBytes = ds.SizeBytes()/int64(e.cfg.Workers) + 2*modelBytes
+}

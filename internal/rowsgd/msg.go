@@ -1,0 +1,205 @@
+// Package rowsgd implements the four row-oriented baseline systems the
+// paper evaluates against (§V-A):
+//
+//   - MLlib: one master holds the model; workers pull the full dense
+//     model each iteration and push sparse gradients (Algorithm 2).
+//   - MLlib*: model averaging — every worker holds a full model replica,
+//     runs local SGD steps, and the replicas are averaged with an
+//     AllReduce each outer iteration ([26] in the paper).
+//   - Petuum: a dense-pull parameter server — same synchronous math as
+//     MLlib but the model is sharded over K servers collocated with the
+//     workers, so traffic spreads over K links.
+//   - MXNet: a sparse-pull parameter server — workers pull only the
+//     dimensions their mini-batch touches.
+//
+// All engines do real training through the shared model kernels and real
+// serialized communication through the cluster transport; simnet prices
+// each phase with the link parallelism of the corresponding architecture.
+package rowsgd
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"math"
+
+	"columnsgd/internal/opt"
+	"columnsgd/internal/vec"
+)
+
+// InitArgs configures a row-oriented worker.
+type InitArgs struct {
+	Worker      int
+	NumFeatures int
+	ModelName   string
+	ModelArg    int
+	// Opt is used by MLlib* workers, which update a local model replica.
+	Opt opt.Config
+	// HoldModel makes the worker keep a full model replica (MLlib*).
+	HoldModel bool
+	Seed      int64
+}
+
+// LoadRowsArgs delivers a chunk of the worker's row shard.
+type LoadRowsArgs struct {
+	Labels []float64
+	Data   *vec.CSR
+}
+
+// LoadDoneArgs finalizes loading.
+type LoadDoneArgs struct{}
+
+// DenseVec is a dense float64 vector with a fixed-width wire encoding of
+// 8 bytes per element. Plain gob variable-length-compresses float64
+// zeros, which would understate the cost of shipping a dense model that
+// is still mostly zero early in training; real systems (Spark double[],
+// MXNet NDArray) always pay full width, and so does DenseVec.
+type DenseVec []float64
+
+// GobEncode implements gob.GobEncoder with fixed-width little-endian
+// float64s.
+func (v DenseVec) GobEncode() ([]byte, error) {
+	out := make([]byte, 8*len(v))
+	for i, f := range v {
+		bits := math.Float64bits(f)
+		binary.LittleEndian.PutUint64(out[i*8:], bits)
+	}
+	return out, nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (v *DenseVec) GobDecode(data []byte) error {
+	if len(data)%8 != 0 {
+		return fmt.Errorf("rowsgd: dense vector payload of %d bytes not a multiple of 8", len(data))
+	}
+	out := make([]float64, len(data)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+	}
+	*v = out
+	return nil
+}
+
+// ToDense converts parameter rows to wire form without copying.
+func ToDense(w [][]float64) []DenseVec {
+	out := make([]DenseVec, len(w))
+	for i := range w {
+		out[i] = DenseVec(w[i])
+	}
+	return out
+}
+
+// FromDenseVecs converts wire form back to parameter rows without
+// copying.
+func FromDenseVecs(w []DenseVec) [][]float64 {
+	out := make([][]float64, len(w))
+	for i := range w {
+		out[i] = []float64(w[i])
+	}
+	return out
+}
+
+// SparseBlock is one parameter row's sparse content on the wire.
+type SparseBlock struct {
+	Indices []int32
+	Values  []float64
+}
+
+// ComputeGradArgs carries the dense model and asks for the local batch
+// gradient (MLlib / Petuum pull+compute).
+type ComputeGradArgs struct {
+	Iter      int64
+	BatchSize int
+	// Model is the full dense model, one slice per parameter row.
+	Model []DenseVec
+}
+
+// GradReply returns the worker's sparse batch gradient.
+type GradReply struct {
+	// Grad has one sparse block per parameter row, global indices.
+	Grad []SparseBlock
+	// LossSum/Count accumulate the local batch loss.
+	LossSum float64
+	Count   int
+	// NNZ is the kernel work done (compute-time modeling).
+	NNZ int64
+}
+
+// NeedArgs asks which dimensions the iteration's local batch touches
+// (MXNet sparse pull, round 1).
+type NeedArgs struct {
+	Iter      int64
+	BatchSize int
+}
+
+// NeedReply lists the touched dimensions, sorted ascending.
+type NeedReply struct {
+	Dims []int32
+}
+
+// SparseGradArgs carries only the requested dimensions' parameter values
+// (MXNet sparse pull, round 2).
+type SparseGradArgs struct {
+	Iter      int64
+	BatchSize int
+	Dims      []int32
+	// Values holds, per parameter row, the model values at Dims.
+	Values []DenseVec
+}
+
+// LocalTrainArgs runs local SGD steps on the worker's model replica
+// (MLlib*).
+type LocalTrainArgs struct {
+	Iter      int64
+	Steps     int
+	BatchSize int
+}
+
+// LocalTrainReply reports the mean local batch loss across the steps.
+type LocalTrainReply struct {
+	LossMean float64
+	NNZ      int64
+}
+
+// SetModelArgs overwrites the worker's model replica (MLlib* averaging).
+type SetModelArgs struct {
+	W []DenseVec
+}
+
+// GetModelArgs requests the worker's model replica.
+type GetModelArgs struct{}
+
+// ModelReply returns a model replica.
+type ModelReply struct {
+	W []DenseVec
+}
+
+// EvalArgs evaluates loss over the worker's whole shard; Model may be nil
+// for systems where the worker holds a replica.
+type EvalArgs struct {
+	Model []DenseVec
+}
+
+// EvalReply returns the shard's loss sum and size.
+type EvalReply struct {
+	LossSum float64
+	Count   int
+}
+
+func init() {
+	gob.Register(&InitArgs{})
+	gob.Register(&LoadRowsArgs{})
+	gob.Register(&LoadDoneArgs{})
+	gob.Register(&ComputeGradArgs{})
+	gob.Register(&GradReply{})
+	gob.Register(&NeedArgs{})
+	gob.Register(&NeedReply{})
+	gob.Register(&SparseGradArgs{})
+	gob.Register(&LocalTrainArgs{})
+	gob.Register(&LocalTrainReply{})
+	gob.Register(&SetModelArgs{})
+	gob.Register(&GetModelArgs{})
+	gob.Register(&ModelReply{})
+	gob.Register(&EvalArgs{})
+	gob.Register(&EvalReply{})
+}

@@ -1,0 +1,59 @@
+package rowsgd
+
+import (
+	"net"
+	"testing"
+
+	"columnsgd/internal/cluster"
+)
+
+// The RowSGD baselines also run over real TCP workers — the deployment
+// mode a fair comparison against a distributed ColumnSGD needs.
+func TestMLlibOverTCP(t *testing.T) {
+	const k = 2
+	clients := make([]cluster.Client, k)
+	for i := 0; i < k; i++ {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := cluster.NewServer(NewWorkerService(), lis)
+		go srv.Serve() //nolint:errcheck
+		t.Cleanup(func() { srv.Close() })
+		c, err := cluster.Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		clients[i] = c
+	}
+
+	ds := testData(t, 150, 20, 59)
+	e, err := NewEngine(baseConfig(MLlib, k), clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	first, err := e.FullLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(40); err != nil {
+		t.Fatal(err)
+	}
+	last, err := e.FullLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(last < first) {
+		t.Fatalf("TCP MLlib loss %v -> %v", first, last)
+	}
+}
+
+func TestEngineClientCountMismatch(t *testing.T) {
+	if _, err := NewEngine(baseConfig(MLlib, 3), make([]cluster.Client, 2)); err == nil {
+		t.Fatal("client/worker mismatch accepted")
+	}
+}

@@ -1,0 +1,384 @@
+package rowsgd
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"columnsgd/internal/cluster"
+	"columnsgd/internal/model"
+	"columnsgd/internal/opt"
+	"columnsgd/internal/vec"
+)
+
+// Worker is a row-oriented worker: it holds a horizontal shard of the
+// training data (full-width rows) and, for MLlib*, a full model replica.
+type Worker struct {
+	mu sync.Mutex
+
+	id     int
+	m      int
+	mdl    model.Model
+	labels []float64
+	rows   []vec.Sparse
+	loaded bool
+
+	// replica is the MLlib* local model; nil otherwise.
+	replica *model.Params
+	o       opt.Optimizer
+	seed    int64
+}
+
+// NewWorker creates an empty row-oriented worker.
+func NewWorker() *Worker { return &Worker{id: -1} }
+
+func (w *Worker) init(a *InitArgs) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if a.NumFeatures <= 0 {
+		return fmt.Errorf("rowsgd: worker %d: bad feature count %d", a.Worker, a.NumFeatures)
+	}
+	mdl, err := model.New(a.ModelName, a.ModelArg)
+	if err != nil {
+		return err
+	}
+	w.id = a.Worker
+	w.m = a.NumFeatures
+	w.mdl = mdl
+	w.seed = a.Seed
+	w.labels = nil
+	w.rows = nil
+	w.loaded = false
+	w.replica = nil
+	w.o = nil
+	if a.HoldModel {
+		o, err := opt.New(a.Opt)
+		if err != nil {
+			return err
+		}
+		w.o = o
+		w.replica = model.NewParams(mdl.ParamRows(), a.NumFeatures)
+		mdl.Init(w.replica, rand.New(rand.NewSource(a.Seed)))
+	}
+	return nil
+}
+
+func (w *Worker) loadRows(a *LoadRowsArgs) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.mdl == nil {
+		return fmt.Errorf("rowsgd: worker not initialized")
+	}
+	if len(a.Labels) != a.Data.Rows() {
+		return fmt.Errorf("rowsgd: %d labels for %d rows", len(a.Labels), a.Data.Rows())
+	}
+	if int(a.Data.Cols) != w.m {
+		return fmt.Errorf("rowsgd: chunk width %d, expected %d", a.Data.Cols, w.m)
+	}
+	for i := 0; i < a.Data.Rows(); i++ {
+		w.rows = append(w.rows, a.Data.Row(i))
+		w.labels = append(w.labels, a.Labels[i])
+	}
+	return nil
+}
+
+func (w *Worker) loadDone() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.rows) == 0 {
+		return fmt.Errorf("rowsgd: worker %d has no data", w.id)
+	}
+	w.loaded = true
+	return nil
+}
+
+// sampleLocal draws a local mini-batch, seeded so reruns are
+// reproducible; different workers use disjoint streams.
+func (w *Worker) sampleLocal(iter int64, batch int) model.Batch {
+	r := rand.New(rand.NewSource(w.seed + iter*1000003 + int64(w.id)*7907))
+	b := model.Batch{Rows: make([]vec.Sparse, batch), Labels: make([]float64, batch)}
+	for i := 0; i < batch; i++ {
+		j := r.Intn(len(w.rows))
+		b.Rows[i] = w.rows[j]
+		b.Labels[i] = w.labels[j]
+	}
+	return b
+}
+
+// gradFromBatch computes the local batch gradient against a full model
+// and converts it to sparse per-row blocks.
+func (w *Worker) gradFromBatch(p *model.Params, b model.Batch) (*GradReply, error) {
+	stats := w.mdl.PartialStats(p, b, nil)
+	grad := model.NewParams(w.mdl.ParamRows(), w.m)
+	w.mdl.Gradient(p, b, stats, grad)
+	reply := &GradReply{
+		Grad:    make([]SparseBlock, len(grad.W)),
+		LossSum: model.BatchLoss(w.mdl, b.Labels, stats) * float64(b.Len()),
+		Count:   b.Len(),
+		NNZ:     b.NNZ(),
+	}
+	for row := range grad.W {
+		s := vec.FromDense(grad.W[row])
+		reply.Grad[row] = SparseBlock{Indices: s.Indices, Values: s.Values}
+	}
+	return reply, nil
+}
+
+func (w *Worker) computeGrad(a *ComputeGradArgs) (*GradReply, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.loaded {
+		return nil, fmt.Errorf("rowsgd: worker %d: not loaded", w.id)
+	}
+	if len(a.Model) != w.mdl.ParamRows() {
+		return nil, fmt.Errorf("rowsgd: model has %d rows, want %d", len(a.Model), w.mdl.ParamRows())
+	}
+	p := &model.Params{W: FromDenseVecs(a.Model)}
+	b := w.sampleLocal(a.Iter, a.BatchSize)
+	return w.gradFromBatch(p, b)
+}
+
+func (w *Worker) neededDims(a *NeedArgs) (*NeedReply, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.loaded {
+		return nil, fmt.Errorf("rowsgd: worker %d: not loaded", w.id)
+	}
+	b := w.sampleLocal(a.Iter, a.BatchSize)
+	seen := make(map[int32]bool)
+	for _, row := range b.Rows {
+		for _, idx := range row.Indices {
+			seen[idx] = true
+		}
+	}
+	dims := make([]int32, 0, len(seen))
+	for d := range seen {
+		dims = append(dims, d)
+	}
+	sort.Slice(dims, func(i, j int) bool { return dims[i] < dims[j] })
+	return &NeedReply{Dims: dims}, nil
+}
+
+func (w *Worker) computeGradSparse(a *SparseGradArgs) (*GradReply, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.loaded {
+		return nil, fmt.Errorf("rowsgd: worker %d: not loaded", w.id)
+	}
+	if len(a.Values) != w.mdl.ParamRows() {
+		return nil, fmt.Errorf("rowsgd: sparse model has %d rows, want %d", len(a.Values), w.mdl.ParamRows())
+	}
+	for _, row := range a.Values {
+		if len(row) != len(a.Dims) {
+			return nil, fmt.Errorf("rowsgd: sparse model width %d, want %d", len(row), len(a.Dims))
+		}
+	}
+	// Remap the batch into the compact dimension space of a.Dims.
+	pos := make(map[int32]int32, len(a.Dims))
+	for i, d := range a.Dims {
+		pos[d] = int32(i)
+	}
+	b := w.sampleLocal(a.Iter, a.BatchSize)
+	compact := model.Batch{Rows: make([]vec.Sparse, b.Len()), Labels: b.Labels}
+	for i, row := range b.Rows {
+		cr := vec.Sparse{Indices: make([]int32, len(row.Indices)), Values: row.Values}
+		for k, idx := range row.Indices {
+			p, ok := pos[idx]
+			if !ok {
+				return nil, fmt.Errorf("rowsgd: batch dim %d not in pulled set", idx)
+			}
+			cr.Indices[k] = p
+		}
+		compact.Rows[i] = cr
+	}
+	p := &model.Params{W: FromDenseVecs(a.Values)}
+	reply, err := w.gradFromBatchCompact(p, compact, a.Dims)
+	if err != nil {
+		return nil, err
+	}
+	return reply, nil
+}
+
+// gradFromBatchCompact computes gradients in the compact pulled-dimension
+// space and maps indices back to global dimensions.
+func (w *Worker) gradFromBatchCompact(p *model.Params, b model.Batch, dims []int32) (*GradReply, error) {
+	stats := w.mdl.PartialStats(p, b, nil)
+	grad := model.NewParams(w.mdl.ParamRows(), len(dims))
+	w.mdl.Gradient(p, b, stats, grad)
+	reply := &GradReply{
+		Grad:    make([]SparseBlock, len(grad.W)),
+		LossSum: model.BatchLoss(w.mdl, b.Labels, stats) * float64(b.Len()),
+		Count:   b.Len(),
+		NNZ:     b.NNZ(),
+	}
+	for row := range grad.W {
+		var idx []int32
+		var val []float64
+		for i, v := range grad.W[row] {
+			if v != 0 {
+				idx = append(idx, dims[i])
+				val = append(val, v)
+			}
+		}
+		reply.Grad[row] = SparseBlock{Indices: idx, Values: val}
+	}
+	return reply, nil
+}
+
+func (w *Worker) localTrain(a *LocalTrainArgs) (*LocalTrainReply, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.loaded {
+		return nil, fmt.Errorf("rowsgd: worker %d: not loaded", w.id)
+	}
+	if w.replica == nil {
+		return nil, fmt.Errorf("rowsgd: worker %d holds no model replica", w.id)
+	}
+	var lossSum float64
+	var nnz int64
+	for s := 0; s < a.Steps; s++ {
+		b := w.sampleLocal(a.Iter*1024+int64(s), a.BatchSize)
+		stats := w.mdl.PartialStats(w.replica, b, nil)
+		lossSum += model.BatchLoss(w.mdl, b.Labels, stats)
+		grad := model.NewParams(w.mdl.ParamRows(), w.m)
+		w.mdl.Gradient(w.replica, b, stats, grad)
+		if err := w.o.Apply(w.replica, grad); err != nil {
+			return nil, err
+		}
+		nnz += b.NNZ()
+	}
+	return &LocalTrainReply{LossMean: lossSum / float64(a.Steps), NNZ: nnz}, nil
+}
+
+func (w *Worker) setModel(a *SetModelArgs) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.replica == nil {
+		return fmt.Errorf("rowsgd: worker %d holds no model replica", w.id)
+	}
+	if len(a.W) != w.replica.Rows() {
+		return fmt.Errorf("rowsgd: setModel row mismatch")
+	}
+	for r := range a.W {
+		if len(a.W[r]) != w.m {
+			return fmt.Errorf("rowsgd: setModel width mismatch")
+		}
+		copy(w.replica.W[r], a.W[r])
+	}
+	return nil
+}
+
+func (w *Worker) getModel() (*ModelReply, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.replica == nil {
+		return nil, fmt.Errorf("rowsgd: worker %d holds no model replica", w.id)
+	}
+	cp := w.replica.Clone()
+	return &ModelReply{W: ToDense(cp.W)}, nil
+}
+
+func (w *Worker) evalLoss(a *EvalArgs) (*EvalReply, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.loaded {
+		return nil, fmt.Errorf("rowsgd: worker %d: not loaded", w.id)
+	}
+	var p *model.Params
+	switch {
+	case a.Model != nil:
+		p = &model.Params{W: FromDenseVecs(a.Model)}
+	case w.replica != nil:
+		p = w.replica
+	default:
+		return nil, fmt.Errorf("rowsgd: eval needs a model")
+	}
+	b := model.Batch{Rows: w.rows, Labels: w.labels}
+	stats := w.mdl.PartialStats(p, b, nil)
+	loss := model.BatchLoss(w.mdl, b.Labels, stats)
+	return &EvalReply{LossSum: loss * float64(len(w.rows)), Count: len(w.rows)}, nil
+}
+
+// Protocol method names.
+const (
+	MethodInit        = "rowsgd.init"
+	MethodLoadRows    = "rowsgd.loadRows"
+	MethodLoadDone    = "rowsgd.loadDone"
+	MethodComputeGrad = "rowsgd.computeGrad"
+	MethodNeededDims  = "rowsgd.neededDims"
+	MethodSparseGrad  = "rowsgd.computeGradSparse"
+	MethodLocalTrain  = "rowsgd.localTrain"
+	MethodSetModel    = "rowsgd.setModel"
+	MethodGetModel    = "rowsgd.getModel"
+	MethodEvalLoss    = "rowsgd.evalLoss"
+)
+
+// NewWorkerService builds a fresh row-oriented worker service.
+func NewWorkerService() *cluster.Service {
+	w := NewWorker()
+	svc := cluster.NewService()
+	svc.Register(MethodInit, func(args interface{}) (interface{}, error) {
+		a, ok := args.(*InitArgs)
+		if !ok {
+			return nil, fmt.Errorf("rowsgd: bad args %T", args)
+		}
+		return nil, w.init(a)
+	})
+	svc.Register(MethodLoadRows, func(args interface{}) (interface{}, error) {
+		a, ok := args.(*LoadRowsArgs)
+		if !ok {
+			return nil, fmt.Errorf("rowsgd: bad args %T", args)
+		}
+		return nil, w.loadRows(a)
+	})
+	svc.Register(MethodLoadDone, func(args interface{}) (interface{}, error) {
+		return nil, w.loadDone()
+	})
+	svc.Register(MethodComputeGrad, func(args interface{}) (interface{}, error) {
+		a, ok := args.(*ComputeGradArgs)
+		if !ok {
+			return nil, fmt.Errorf("rowsgd: bad args %T", args)
+		}
+		return w.computeGrad(a)
+	})
+	svc.Register(MethodNeededDims, func(args interface{}) (interface{}, error) {
+		a, ok := args.(*NeedArgs)
+		if !ok {
+			return nil, fmt.Errorf("rowsgd: bad args %T", args)
+		}
+		return w.neededDims(a)
+	})
+	svc.Register(MethodSparseGrad, func(args interface{}) (interface{}, error) {
+		a, ok := args.(*SparseGradArgs)
+		if !ok {
+			return nil, fmt.Errorf("rowsgd: bad args %T", args)
+		}
+		return w.computeGradSparse(a)
+	})
+	svc.Register(MethodLocalTrain, func(args interface{}) (interface{}, error) {
+		a, ok := args.(*LocalTrainArgs)
+		if !ok {
+			return nil, fmt.Errorf("rowsgd: bad args %T", args)
+		}
+		return w.localTrain(a)
+	})
+	svc.Register(MethodSetModel, func(args interface{}) (interface{}, error) {
+		a, ok := args.(*SetModelArgs)
+		if !ok {
+			return nil, fmt.Errorf("rowsgd: bad args %T", args)
+		}
+		return nil, w.setModel(a)
+	})
+	svc.Register(MethodGetModel, func(args interface{}) (interface{}, error) {
+		return w.getModel()
+	})
+	svc.Register(MethodEvalLoss, func(args interface{}) (interface{}, error) {
+		a, ok := args.(*EvalArgs)
+		if !ok {
+			return nil, fmt.Errorf("rowsgd: bad args %T", args)
+		}
+		return w.evalLoss(a)
+	})
+	return svc
+}

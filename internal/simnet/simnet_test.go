@@ -1,0 +1,151 @@
+package simnet
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPresetsValid(t *testing.T) {
+	for _, m := range []Model{Cluster1(), Cluster2()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+	bad := Model{Name: "bad"}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero model accepted")
+	}
+	if err := (Model{Name: "b", Workers: 1, BandwidthBytesPerSec: 1}).Validate(); err == nil {
+		t.Error("zero compute rate accepted")
+	}
+}
+
+func TestPhaseTimeComponents(t *testing.T) {
+	m := Model{
+		Workers:              4,
+		LatencyPerRound:      time.Millisecond,
+		BandwidthBytesPerSec: 1e6, // 1 MB/s
+		PerMessageOverhead:   time.Microsecond,
+		ComputeNNZPerSec:     1e6,
+	}
+	// 1 MB over one link: 1 ms latency + 1 s transfer + 10 µs messages.
+	got := m.Time(Phase{Messages: 10, Bytes: 1e6, Links: 1})
+	want := time.Millisecond + time.Second + 10*time.Microsecond
+	if got != want {
+		t.Fatalf("Time = %v, want %v", got, want)
+	}
+	// Four links quarter the transfer and message costs.
+	got4 := m.Time(Phase{Messages: 8, Bytes: 1e6, Links: 4})
+	want4 := time.Millisecond + 250*time.Millisecond + 2*time.Microsecond
+	if got4 != want4 {
+		t.Fatalf("Time(links=4) = %v, want %v", got4, want4)
+	}
+	// Links < 1 treated as 1.
+	if m.Time(Phase{Bytes: 100, Links: 0}) != m.Time(Phase{Bytes: 100, Links: 1}) {
+		t.Fatal("links=0 not normalized")
+	}
+}
+
+func TestIterationTime(t *testing.T) {
+	m := Model{
+		Workers:              2,
+		LatencyPerRound:      time.Millisecond,
+		BandwidthBytesPerSec: 1e6,
+		SchedulingOverhead:   10 * time.Millisecond,
+		ComputeNNZPerSec:     1e6,
+	}
+	c := m.IterationTime(1000, []Phase{
+		{Bytes: 1000, Links: 1},
+		{Bytes: 1000, Links: 1},
+	})
+	if c.Sched != 10*time.Millisecond {
+		t.Fatalf("Sched = %v", c.Sched)
+	}
+	if c.Compute != time.Millisecond {
+		t.Fatalf("Compute = %v", c.Compute)
+	}
+	wantNet := 2 * (time.Millisecond + time.Millisecond)
+	if c.Network != wantNet {
+		t.Fatalf("Network = %v, want %v", c.Network, wantNet)
+	}
+	if c.Total() != c.Sched+c.Compute+c.Network {
+		t.Fatal("Total mismatch")
+	}
+}
+
+// Property: modeled time is monotone in bytes and messages.
+func TestPropertyTimeMonotone(t *testing.T) {
+	m := Cluster1()
+	f := func(bytesRaw, msgsRaw uint32) bool {
+		b := int64(bytesRaw)
+		msgs := int64(msgsRaw % 10000)
+		t1 := m.Time(Phase{Messages: msgs, Bytes: b, Links: 1})
+		t2 := m.Time(Phase{Messages: msgs, Bytes: b + 1000, Links: 1})
+		t3 := m.Time(Phase{Messages: msgs + 100, Bytes: b, Links: 1})
+		return t2 >= t1 && t3 >= t1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The headline sanity check: on a kdd12-scale LR model, the modeled
+// per-iteration communication of a single-master RowSGD dwarfs
+// ColumnSGD's, with a ratio in the paper's reported ballpark (930×
+// overall; we check the communication-only ratio is ≫100×).
+func TestRowVsColumnShapeOnKDD12(t *testing.T) {
+	m := Cluster1()
+	const modelDims = 54686452
+	const batch = 1000
+	k := m.Workers
+
+	// MLlib: every worker pulls the dense model and pushes a gradient of
+	// the batch's non-zero dimensions; the master link carries K of each.
+	modelBytes := int64(modelDims) * 8
+	rowIter := m.IterationTime(0, []Phase{
+		{Label: "pull-model", Messages: int64(k), Bytes: int64(k) * modelBytes, Links: 1},
+		{Label: "push-grad", Messages: int64(k), Bytes: int64(k) * 11 * batch / int64(k) * 12, Links: 1},
+	})
+	// ColumnSGD: statistics of 8 bytes per batch row, each way.
+	colIter := m.IterationTime(11*batch/int64(k), []Phase{
+		{Label: "push-stats", Messages: int64(k), Bytes: int64(k) * batch * 8, Links: 1},
+		{Label: "bcast-stats", Messages: int64(k), Bytes: int64(k) * batch * 8, Links: 1},
+	})
+	ratio := float64(rowIter.Total()) / float64(colIter.Total())
+	if ratio < 100 {
+		t.Fatalf("RowSGD/ColumnSGD modeled ratio = %.1f, expected ≫100 for kdd12-size model", ratio)
+	}
+	// And the row-side absolute time should be tens of seconds, as in
+	// Table IV (55.81 s for MLlib on kdd12).
+	if rowIter.Total() < 20*time.Second || rowIter.Total() > 120*time.Second {
+		t.Fatalf("MLlib modeled per-iteration = %v, want tens of seconds", rowIter.Total())
+	}
+	// ColumnSGD should land near the paper's 0.06 s (dominated by the
+	// Spark scheduling constant).
+	if colIter.Total() < 30*time.Millisecond || colIter.Total() > 300*time.Millisecond {
+		t.Fatalf("ColumnSGD modeled per-iteration = %v, want ≈0.06 s", colIter.Total())
+	}
+}
+
+func TestLoadTime(t *testing.T) {
+	m := Cluster1()
+	// More messages for the same bytes must cost more (Fig. 7's naive
+	// dispatch penalty).
+	block := m.LoadTime(1000, 1e9, 8, 1e6)
+	naive := m.LoadTime(1e6, 1e9, 8, 1e6)
+	if naive <= block {
+		t.Fatalf("naive load (%v) should exceed block load (%v)", naive, block)
+	}
+}
+
+func TestWithHelpers(t *testing.T) {
+	m := Cluster1().WithWorkers(20).WithScheduling(time.Millisecond)
+	if m.Workers != 20 || m.SchedulingOverhead != time.Millisecond {
+		t.Fatalf("modifiers not applied: %+v", m)
+	}
+	// Original preset untouched.
+	if Cluster1().Workers != 8 {
+		t.Fatal("preset mutated")
+	}
+}

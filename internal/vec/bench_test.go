@@ -1,0 +1,95 @@
+package vec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchVectors(m, nnz int) (Sparse, []float64) {
+	r := rand.New(rand.NewSource(1))
+	idx := make([]int32, 0, nnz)
+	val := make([]float64, 0, nnz)
+	seen := map[int32]bool{}
+	for len(idx) < nnz {
+		j := int32(r.Intn(m))
+		if seen[j] {
+			continue
+		}
+		seen[j] = true
+		idx = append(idx, j)
+		val = append(val, r.NormFloat64())
+	}
+	s, err := NewSparse(idx, val)
+	if err != nil {
+		panic(err)
+	}
+	w := make([]float64, m)
+	for i := range w {
+		w[i] = r.NormFloat64()
+	}
+	return s, w
+}
+
+func BenchmarkSparseDot(b *testing.B) {
+	s, w := benchVectors(100000, 100)
+	b.ResetTimer()
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += s.Dot(w)
+	}
+	_ = sink
+}
+
+func BenchmarkSparseAddScaled(b *testing.B) {
+	s, w := benchVectors(100000, 100)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.AddScaled(w, 0.001)
+	}
+}
+
+func BenchmarkCSRRowDot(b *testing.B) {
+	const rows, m, nnz = 1000, 10000, 20
+	c := NewCSR(m, rows)
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < rows; i++ {
+		idx := make([]int32, 0, nnz)
+		val := make([]float64, 0, nnz)
+		seen := map[int32]bool{}
+		for len(idx) < nnz {
+			j := int32(r.Intn(m))
+			if seen[j] {
+				continue
+			}
+			seen[j] = true
+			idx = append(idx, j)
+			val = append(val, 1)
+		}
+		s, _ := NewSparse(idx, val)
+		if err := c.AppendRow(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	w := make([]float64, m)
+	for i := range w {
+		w[i] = 1
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += c.RowDot(i%rows, w)
+	}
+	_ = sink
+}
+
+func BenchmarkSliceColumns(b *testing.B) {
+	s, _ := benchVectors(100000, 200)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.SliceColumns(25000, 75000)
+	}
+}

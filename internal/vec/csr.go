@@ -1,0 +1,135 @@
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// CSR is a compressed-sparse-row matrix. It is the wire and storage format
+// for worksets in block-based column dispatching (§IV-A of the paper): each
+// workset packs the column slice of one block's rows into a single CSR so
+// that a block travels as one object instead of one object per row.
+//
+// Row i occupies Indices[IndPtr[i]:IndPtr[i+1]] and the parallel Values
+// range. len(IndPtr) == Rows()+1 always holds.
+type CSR struct {
+	IndPtr  []int64
+	Indices []int32
+	Values  []float64
+	// Cols is the column dimension (features in this partition). Indices
+	// are < Cols.
+	Cols int32
+}
+
+// NewCSR creates an empty CSR with the given column dimension and row
+// capacity hint.
+func NewCSR(cols int32, rowsHint int) *CSR {
+	return &CSR{
+		IndPtr: append(make([]int64, 0, rowsHint+1), 0),
+		Cols:   cols,
+	}
+}
+
+// Rows returns the number of rows stored.
+func (c *CSR) Rows() int { return len(c.IndPtr) - 1 }
+
+// NNZ returns the total number of stored non-zeros.
+func (c *CSR) NNZ() int { return len(c.Indices) }
+
+// AppendRow appends a sparse row. The row's indices must be < Cols.
+func (c *CSR) AppendRow(r Sparse) error {
+	if mi := r.MaxIndex(); mi >= c.Cols {
+		return fmt.Errorf("vec: row index %d exceeds CSR column bound %d", mi, c.Cols)
+	}
+	c.Indices = append(c.Indices, r.Indices...)
+	c.Values = append(c.Values, r.Values...)
+	c.IndPtr = append(c.IndPtr, int64(len(c.Indices)))
+	return nil
+}
+
+// Row returns row i as a Sparse view sharing storage with the CSR. The
+// caller must not mutate it.
+func (c *CSR) Row(i int) Sparse {
+	lo, hi := c.IndPtr[i], c.IndPtr[i+1]
+	return Sparse{Indices: c.Indices[lo:hi], Values: c.Values[lo:hi]}
+}
+
+// RowDot returns the dot product of row i with dense vector w.
+func (c *CSR) RowDot(i int, w []float64) float64 {
+	lo, hi := c.IndPtr[i], c.IndPtr[i+1]
+	var sum float64
+	for k := lo; k < hi; k++ {
+		sum += c.Values[k] * w[c.Indices[k]]
+	}
+	return sum
+}
+
+// RowDotSquared returns Σ_j w[j]² x_ij² for row i (used by FM statistics).
+func (c *CSR) RowDotSquared(i int, w []float64) float64 {
+	lo, hi := c.IndPtr[i], c.IndPtr[i+1]
+	var sum float64
+	for k := lo; k < hi; k++ {
+		t := c.Values[k] * w[c.Indices[k]]
+		sum += t * t
+	}
+	return sum
+}
+
+// RowAddScaled accumulates alpha * row i into dst.
+func (c *CSR) RowAddScaled(i int, dst []float64, alpha float64) {
+	lo, hi := c.IndPtr[i], c.IndPtr[i+1]
+	for k := lo; k < hi; k++ {
+		dst[c.Indices[k]] += alpha * c.Values[k]
+	}
+}
+
+// Validate checks structural invariants: monotone IndPtr, in-bound indices,
+// strictly increasing indices within each row, finite values. It is used by
+// tests and by transport decode paths to reject corrupt worksets.
+func (c *CSR) Validate() error {
+	if len(c.IndPtr) == 0 || c.IndPtr[0] != 0 {
+		return fmt.Errorf("vec: CSR IndPtr must start with 0")
+	}
+	last := c.IndPtr[len(c.IndPtr)-1]
+	if last != int64(len(c.Indices)) || len(c.Indices) != len(c.Values) {
+		return fmt.Errorf("vec: CSR storage lengths inconsistent: indptr end %d, %d indices, %d values",
+			last, len(c.Indices), len(c.Values))
+	}
+	for i := 1; i < len(c.IndPtr); i++ {
+		if c.IndPtr[i] < c.IndPtr[i-1] {
+			return fmt.Errorf("vec: CSR IndPtr not monotone at row %d", i-1)
+		}
+		prev := int32(-1)
+		for k := c.IndPtr[i-1]; k < c.IndPtr[i]; k++ {
+			idx := c.Indices[k]
+			if idx <= prev {
+				return fmt.Errorf("vec: CSR row %d indices not strictly increasing", i-1)
+			}
+			if idx >= c.Cols {
+				return fmt.Errorf("vec: CSR row %d index %d out of bound %d", i-1, idx, c.Cols)
+			}
+			if v := c.Values[k]; math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("vec: CSR row %d has non-finite value", i-1)
+			}
+			prev = idx
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (c *CSR) Clone() *CSR {
+	return &CSR{
+		IndPtr:  append([]int64(nil), c.IndPtr...),
+		Indices: append([]int32(nil), c.Indices...),
+		Values:  append([]float64(nil), c.Values...),
+		Cols:    c.Cols,
+	}
+}
+
+// SizeBytes estimates the in-memory / wire footprint of the CSR payload
+// (excluding fixed header overheads): 8 bytes per IndPtr entry, 4 per
+// index, 8 per value. The paper's cost analysis counts the same quantities.
+func (c *CSR) SizeBytes() int64 {
+	return int64(len(c.IndPtr))*8 + int64(len(c.Indices))*4 + int64(len(c.Values))*8
+}

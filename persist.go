@@ -1,0 +1,157 @@
+package columnsgd
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// The model file format: a small magic header, the shape, then
+// fixed-width little-endian float64 rows. Version bumps change the magic.
+var modelMagic = [8]byte{'c', 'o', 'l', 's', 'g', 'd', 'm', '1'}
+
+// SaveModel writes the trained parameters to a file that LoadModel (or a
+// Trainer.SetWeights after LoadModel) can restore.
+func (r *Result) SaveModel(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("columnsgd: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	werr := writeModel(w, r.params.W)
+	if err := w.Flush(); err != nil && werr == nil {
+		werr = err
+	}
+	if err := f.Close(); err != nil && werr == nil {
+		werr = err
+	}
+	return werr
+}
+
+func writeModel(w io.Writer, rows [][]float64) error {
+	if _, err := w.Write(modelMagic[:]); err != nil {
+		return err
+	}
+	hdr := make([]byte, 16)
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(len(rows)))
+	width := 0
+	if len(rows) > 0 {
+		width = len(rows[0])
+	}
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(width))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	buf := make([]byte, 8)
+	for _, row := range rows {
+		if len(row) != width {
+			return fmt.Errorf("columnsgd: ragged parameter rows")
+		}
+		for _, v := range row {
+			binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// LoadModel reads parameter rows saved by SaveModel. Feed the result to
+// Trainer.SetWeights to warm-start training, or inspect it directly.
+func LoadModel(path string) ([][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("columnsgd: %w", err)
+	}
+	defer f.Close()
+	return readModel(bufio.NewReader(f))
+}
+
+func readModel(r io.Reader) ([][]float64, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("columnsgd: model header: %w", err)
+	}
+	if magic != modelMagic {
+		return nil, fmt.Errorf("columnsgd: not a columnsgd model file")
+	}
+	hdr := make([]byte, 16)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("columnsgd: model shape: %w", err)
+	}
+	nRows := binary.LittleEndian.Uint64(hdr[0:])
+	width := binary.LittleEndian.Uint64(hdr[8:])
+	const maxDim = 1 << 33 // 8B values ≈ 64 GiB; reject corrupt headers
+	if nRows == 0 || width == 0 || nRows*width > maxDim {
+		return nil, fmt.Errorf("columnsgd: implausible model shape %d×%d", nRows, width)
+	}
+	out := make([][]float64, nRows)
+	buf := make([]byte, 8)
+	for i := range out {
+		out[i] = make([]float64, width)
+		for j := range out[i] {
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return nil, fmt.Errorf("columnsgd: model payload: %w", err)
+			}
+			out[i][j] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+		}
+	}
+	return out, nil
+}
+
+// AUC computes the area under the ROC curve of the model's scores over a
+// binary (±1) dataset — the standard quality metric for the CTR workloads
+// that motivate the paper. Returns an error on non-binary labels or
+// single-class data.
+func (r *Result) AUC(ds *Dataset) (float64, error) {
+	type scored struct {
+		score float64
+		pos   bool
+	}
+	items := make([]scored, 0, ds.N())
+	var statsBuf []float64
+	for i := range ds.ds.Points {
+		p := &ds.ds.Points[i]
+		switch p.Label {
+		case 1, -1:
+		default:
+			return 0, fmt.Errorf("columnsgd: AUC needs ±1 labels, got %g", p.Label)
+		}
+		b := batchOf(p.Features)
+		statsBuf = r.mdl.PartialStats(r.params, b, statsBuf[:0])
+		// Use the raw first statistic as the ranking score; for every
+		// built-in binary model this is monotone in the margin.
+		items = append(items, scored{score: statsBuf[0], pos: p.Label == 1})
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].score < items[j].score })
+
+	// Rank-sum (Mann–Whitney) AUC with midrank tie handling.
+	var pos, neg float64
+	var rankSum float64
+	i := 0
+	for i < len(items) {
+		j := i
+		for j < len(items) && items[j].score == items[i].score {
+			j++
+		}
+		midRank := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			if items[k].pos {
+				rankSum += midRank
+				pos++
+			} else {
+				neg++
+			}
+		}
+		i = j
+	}
+	if pos == 0 || neg == 0 {
+		return 0, fmt.Errorf("columnsgd: AUC needs both classes present")
+	}
+	return (rankSum - pos*(pos+1)/2) / (pos * neg), nil
+}

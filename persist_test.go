@@ -1,0 +1,196 @@
+package columnsgd_test
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	columnsgd "columnsgd"
+)
+
+func TestSaveLoadModelRoundTrip(t *testing.T) {
+	ds := genBinary(t, 250, 30, 41)
+	res, err := columnsgd.Train(ds, columnsgd.Config{
+		LearningRate: 0.5, Workers: 3, BatchSize: 64, Iterations: 100, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.bin")
+	if err := res.SaveModel(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := columnsgd.LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.Weights()
+	if len(back) != len(want) || len(back[0]) != len(want[0]) {
+		t.Fatalf("shape %dx%d, want %dx%d", len(back), len(back[0]), len(want), len(want[0]))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if back[i][j] != want[i][j] {
+				t.Fatalf("w[%d][%d] = %v, want %v", i, j, back[i][j], want[i][j])
+			}
+		}
+	}
+	// Warm-start a fresh trainer from the file; losses must match.
+	tr, err := columnsgd.NewTrainer(ds, columnsgd.Config{
+		LearningRate: 0.5, Workers: 3, BatchSize: 64, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.SetWeights(back); err != nil {
+		t.Fatal(err)
+	}
+	loss, err := tr.FullLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(loss-res.FinalLoss) > 1e-12 {
+		t.Fatalf("restored loss %v vs %v", loss, res.FinalLoss)
+	}
+}
+
+func TestLoadModelRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.bin")
+	if err := os.WriteFile(bad, []byte("definitely not a model"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := columnsgd.LoadModel(bad); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := columnsgd.LoadModel(filepath.Join(dir, "missing.bin")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	// Truncated payload.
+	ds := genBinary(t, 50, 10, 43)
+	res, err := columnsgd.Train(ds, columnsgd.Config{LearningRate: 0.5, Workers: 2, BatchSize: 16, Iterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := filepath.Join(dir, "full.bin")
+	if err := res.SaveModel(full); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(dir, "trunc.bin")
+	if err := os.WriteFile(trunc, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := columnsgd.LoadModel(trunc); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+}
+
+func TestAUC(t *testing.T) {
+	ds := genBinary(t, 400, 40, 47)
+	res, err := columnsgd.Train(ds, columnsgd.Config{
+		LearningRate: 0.5, Workers: 2, BatchSize: 64, Iterations: 150, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := res.AUC(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trained on low-noise separable data, AUC must be well above chance.
+	if auc < 0.85 || auc > 1.0 {
+		t.Fatalf("AUC = %v", auc)
+	}
+
+	// An untrained model scores every example 0 (all ties) → AUC = 0.5.
+	blank, err := columnsgd.Train(ds, columnsgd.Config{
+		LearningRate: 0.5, Workers: 2, BatchSize: 64, Iterations: 1, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = blank // one iteration already moves weights; use fresh trainer for a true blank
+	tr, err := columnsgd.NewTrainer(ds, columnsgd.Config{LearningRate: 0.5, Workers: 2, BatchSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := tr.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	zauc, err := zero.AUC(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(zauc-0.5) > 1e-9 {
+		t.Fatalf("all-ties AUC = %v, want 0.5", zauc)
+	}
+}
+
+func TestAUCValidation(t *testing.T) {
+	// Regression labels rejected.
+	examples := []columnsgd.Example{
+		{Label: 3.5, Features: columnsgd.SparseVector{Indices: []int32{0}, Values: []float64{1}}},
+		{Label: -1, Features: columnsgd.SparseVector{Indices: []int32{1}, Values: []float64{1}}},
+	}
+	reg, err := columnsgd.FromExamples(examples, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := genBinary(t, 50, 10, 51)
+	res, err := columnsgd.Train(bin, columnsgd.Config{LearningRate: 0.5, Workers: 2, BatchSize: 16, Iterations: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.AUC(reg); err == nil {
+		t.Error("non-binary labels accepted")
+	}
+	// Single-class data rejected.
+	oneClass := []columnsgd.Example{
+		{Label: 1, Features: columnsgd.SparseVector{Indices: []int32{0}, Values: []float64{1}}},
+		{Label: 1, Features: columnsgd.SparseVector{Indices: []int32{1}, Values: []float64{1}}},
+	}
+	oc, err := columnsgd.FromExamples(oneClass, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.AUC(oc); err == nil {
+		t.Error("single-class data accepted")
+	}
+}
+
+func TestNewTrainerFromFile(t *testing.T) {
+	ds := genBinary(t, 200, 25, 53)
+	path := filepath.Join(t.TempDir(), "d.libsvm")
+	if err := ds.SaveLibSVMFile(path); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := columnsgd.NewTrainerFromFile(path, 25, columnsgd.Config{
+		LearningRate: 0.5, Workers: 2, BatchSize: 32, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := tr.FullLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Run(60); err != nil {
+		t.Fatal(err)
+	}
+	last, err := tr.FullLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(last < first) {
+		t.Fatalf("file-streamed training loss %v -> %v", first, last)
+	}
+	if _, err := columnsgd.NewTrainerFromFile("/no/such", 5, columnsgd.Config{LearningRate: 1}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,55 @@
+package columnsgd
+
+import (
+	"fmt"
+	"math"
+)
+
+// GridSearch tunes the learning rate the way the paper's evaluation does
+// ("for each workload, we use grid search to tune the batch size and
+// learning rate"): it trains once per candidate with the given base
+// config and returns the config whose final full-training loss is lowest,
+// together with all per-candidate results.
+//
+// Candidates with non-finite final losses (diverged runs) are discarded;
+// GridSearch fails only if every candidate diverges.
+func GridSearch(ds *Dataset, base Config, learningRates []float64) (Config, []TuneResult, error) {
+	if len(learningRates) == 0 {
+		return Config{}, nil, fmt.Errorf("columnsgd: GridSearch needs at least one learning rate")
+	}
+	results := make([]TuneResult, 0, len(learningRates))
+	best := -1
+	for _, lr := range learningRates {
+		cfg := base
+		cfg.LearningRate = lr
+		res, err := Train(ds, cfg)
+		tr := TuneResult{LearningRate: lr}
+		if err != nil {
+			tr.Err = err
+		} else {
+			tr.FinalLoss = res.FinalLoss
+			if !math.IsNaN(res.FinalLoss) && !math.IsInf(res.FinalLoss, 0) {
+				if best < 0 || res.FinalLoss < results[best].FinalLoss {
+					best = len(results)
+				}
+			}
+		}
+		results = append(results, tr)
+	}
+	if best < 0 {
+		return Config{}, results, fmt.Errorf("columnsgd: every grid-search candidate diverged or failed")
+	}
+	winner := base
+	winner.LearningRate = results[best].LearningRate
+	return winner, results, nil
+}
+
+// TuneResult records one grid-search candidate.
+type TuneResult struct {
+	// LearningRate is the candidate η.
+	LearningRate float64
+	// FinalLoss is the run's final full-training loss (NaN on error).
+	FinalLoss float64
+	// Err is non-nil if the run failed outright.
+	Err error
+}
