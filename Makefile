@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: check build vet test race
+
+# The full gate: what CI runs.
+check: vet build test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	columnsgd "columnsgd"
+)
+
+// syncBuffer guards the run() output buffer: the test reads it while the
+// server goroutine writes.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func trainCheckpoint(t *testing.T, path string) {
+	t.Helper()
+	ds, err := columnsgd.Generate(columnsgd.Synthetic{
+		N: 200, Features: 30, NNZPerRow: 5, NoiseRate: 0.02, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := columnsgd.Train(ds, columnsgd.Config{
+		LearningRate: 0.5, Workers: 2, BatchSize: 32, Iterations: 40, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.SaveModel(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeBinaryEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "model.bin")
+	trainCheckpoint(t, ckpt)
+
+	var out syncBuffer
+	sig := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-model", ckpt, "-listen", "127.0.0.1:0", "-shards", "3", "-drain", "2s"}, &out, sig)
+	}()
+
+	// Wait for the listen line and extract the bound address.
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address; output: %q", out.String())
+		}
+		if s := out.String(); strings.Contains(s, "listening on ") {
+			addr = strings.TrimSpace(s[strings.Index(s, "listening on ")+len("listening on "):])
+			addr = strings.SplitN(addr, "\n", 2)[0]
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(base+"/predict", "application/json",
+		strings.NewReader(`{"instances":[{"indices":[0,3],"values":[1,-1]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr struct {
+		ModelVersion int64 `json:"model_version"`
+		Predictions  []struct {
+			Label float64 `json:"label"`
+		} `json:"predictions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(pr.Predictions) != 1 || pr.ModelVersion != 1 {
+		t.Fatalf("predict: %d %+v", resp.StatusCode, pr)
+	}
+
+	// Hot reload over HTTP from a second checkpoint.
+	ckpt2 := filepath.Join(dir, "model2.bin")
+	trainCheckpoint(t, ckpt2)
+	body, _ := json.Marshal(map[string]string{"path": ckpt2})
+	resp, err = http.Post(base+"/reload", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(base + "/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if m["requests"].(float64) < 1 || m["model_version"].(float64) != 2 {
+		t.Fatalf("metricz: %v", m)
+	}
+
+	// SIGTERM drains and exits cleanly.
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	if !strings.Contains(out.String(), "draining") {
+		t.Fatalf("no drain notice in output: %q", out.String())
+	}
+}
+
+func TestServeBinaryErrors(t *testing.T) {
+	var out syncBuffer
+	sig := make(chan os.Signal)
+	if err := run([]string{}, &out, sig); err == nil {
+		t.Fatal("missing -model accepted")
+	}
+	if err := run([]string{"-model", "/no/such/model.bin"}, &out, sig); err == nil {
+		t.Fatal("missing checkpoint accepted")
+	}
+	ckpt := filepath.Join(t.TempDir(), "model.bin")
+	trainCheckpoint(t, ckpt)
+	if err := run([]string{"-model", ckpt, "-kind", "nope"}, &out, sig); err == nil {
+		t.Fatal("unknown model kind accepted")
+	}
+	if err := run([]string{"-model", ckpt, "-listen", "256.0.0.1:-1"}, &out, sig); err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+}

@@ -48,6 +48,7 @@ func run(args []string, stdout io.Writer) error {
 		evalEvery = fs.Int("eval-every", 10, "full-loss evaluation interval (0 = batch loss)")
 		addrs     = fs.String("addrs", "", "comma-separated TCP worker addresses (empty = in-process)")
 		modelOut  = fs.String("model-out", "", "write final weights (one value per line) to this file")
+		savePath  = fs.String("save", "", "write a binary model checkpoint (loadable by colsgd-serve and LoadModel)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -135,6 +136,12 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stdout, "weights written to %s\n", *modelOut)
+	}
+	if *savePath != "" {
+		if err := res.SaveModel(*savePath); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "model checkpoint written to %s\n", *savePath)
 	}
 	return nil
 }

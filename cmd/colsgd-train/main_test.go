@@ -50,6 +50,30 @@ func TestRunTrainsAndWritesModel(t *testing.T) {
 	}
 }
 
+func TestRunSavesCheckpoint(t *testing.T) {
+	data := writeData(t)
+	ckpt := filepath.Join(t.TempDir(), "model.bin")
+	var sb strings.Builder
+	err := run([]string{
+		"-data", data, "-iters", "40", "-batch", "32", "-lr", "0.5",
+		"-workers", "2", "-save", ckpt,
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "model checkpoint written") {
+		t.Fatalf("output missing checkpoint notice:\n%s", sb.String())
+	}
+	// The checkpoint must round-trip through the serving loader.
+	w, err := columnsgd.LoadModel(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != 1 || len(w[0]) != 40 {
+		t.Fatalf("checkpoint shape %dx%d, want 1x40", len(w), len(w[0]))
+	}
+}
+
 func TestRunGridSearch(t *testing.T) {
 	data := writeData(t)
 	var sb strings.Builder

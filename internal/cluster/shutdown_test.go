@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// slowService registers a handler that holds the request for d before
+// replying — the in-flight RPC graceful shutdown must wait for.
+func slowService(d time.Duration) *Service {
+	svc := NewService()
+	svc.Register("slow", func(args interface{}) (interface{}, error) {
+		time.Sleep(d)
+		return &echoReply{Text: "done"}, nil
+	})
+	return svc
+}
+
+func TestShutdownWaitsForInFlightRPC(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(slowService(150*time.Millisecond), lis)
+	go srv.Serve() //nolint:errcheck // exits on Shutdown
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var callErr error
+	var reply echoReply
+	go func() {
+		defer wg.Done()
+		callErr = c.Call("slow", &echoArgs{}, &reply)
+	}()
+	time.Sleep(30 * time.Millisecond) // let the RPC reach the handler
+	if err := srv.Shutdown(2 * time.Second); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	wg.Wait()
+	if callErr != nil {
+		t.Fatalf("in-flight RPC failed across graceful shutdown: %v", callErr)
+	}
+	if reply.Text != "done" {
+		t.Fatalf("reply %+v", reply)
+	}
+	// The listener is gone: new dials fail.
+	if _, err := Dial(srv.Addr()); err == nil {
+		t.Fatal("dial succeeded after shutdown")
+	}
+}
+
+func TestShutdownTimeoutForcesClose(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(slowService(2*time.Second), lis)
+	go srv.Serve() //nolint:errcheck // exits on Shutdown
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- c.Call("slow", &echoArgs{}, nil) }()
+	time.Sleep(30 * time.Millisecond)
+	start := time.Now()
+	if err := srv.Shutdown(50 * time.Millisecond); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("shutdown took %v despite 50ms grace", elapsed)
+	}
+	// The handler outlived the grace period, so the connection was cut
+	// and the client sees the worker as down.
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrWorkerDown) {
+			t.Fatalf("call error = %v, want ErrWorkerDown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("call never returned")
+	}
+}
+
+func TestShutdownIdleServer(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(slowService(time.Millisecond), lis)
+	go srv.Serve() //nolint:errcheck // exits on Shutdown
+	start := time.Now()
+	if err := srv.Shutdown(5 * time.Second); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("idle shutdown took %v", elapsed)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // maxFrame bounds a single framed message (worksets for huge blocks stay
@@ -53,11 +54,18 @@ type Server struct {
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed atomic.Bool
+
+	// Drain bookkeeping: activeN counts requests being handled right now;
+	// idle is closed (once) when draining begins and activeN reaches 0.
+	activeN  int
+	draining bool
+	idle     chan struct{}
+	idleOnce sync.Once
 }
 
 // NewServer wraps a service and a listener.
 func NewServer(svc *Service, lis net.Listener) *Server {
-	return &Server{svc: svc, lis: lis, conns: make(map[net.Conn]struct{})}
+	return &Server{svc: svc, lis: lis, conns: make(map[net.Conn]struct{}), idle: make(chan struct{})}
 }
 
 // Addr returns the listen address.
@@ -94,6 +102,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return // connection closed or broken; master will redial
 		}
+		s.beginRequest()
 		var env Envelope
 		resp := Response{}
 		if err := decode(reqBytes, &env); err != nil {
@@ -111,19 +120,65 @@ func (s *Server) serveConn(conn net.Conn) {
 			// report it instead of the value.
 			respBytes, err = encode(&Response{Err: err.Error()})
 			if err != nil {
+				s.endRequest()
 				return
 			}
 		}
-		if err := writeFrame(conn, respBytes); err != nil {
+		werr := writeFrame(conn, respBytes)
+		s.endRequest()
+		if werr != nil {
 			return
 		}
 	}
+}
+
+func (s *Server) beginRequest() {
+	s.mu.Lock()
+	s.activeN++
+	s.mu.Unlock()
+}
+
+func (s *Server) endRequest() {
+	s.mu.Lock()
+	s.activeN--
+	if s.draining && s.activeN == 0 {
+		s.idleOnce.Do(func() { close(s.idle) })
+	}
+	s.mu.Unlock()
 }
 
 // Close shuts the server down, terminating open connections.
 func (s *Server) Close() error {
 	s.closed.Store(true)
 	err := s.lis.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// Shutdown drains the server gracefully: it stops accepting connections,
+// waits up to timeout for requests that are mid-dispatch to finish and
+// flush their responses, then closes the remaining connections — a
+// signalled worker completes the RPC it is serving instead of dying
+// mid-frame.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	s.closed.Store(true)
+	err := s.lis.Close()
+	s.mu.Lock()
+	s.draining = true
+	if s.activeN == 0 {
+		s.idleOnce.Do(func() { close(s.idle) })
+	}
+	s.mu.Unlock()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-s.idle:
+	case <-timer.C:
+	}
 	s.mu.Lock()
 	for c := range s.conns {
 		c.Close()

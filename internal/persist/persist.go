@@ -1,0 +1,127 @@
+// Package persist implements the on-disk model checkpoint format shared
+// by training (Result.SaveModel / LoadModel) and serving (hot reload): a
+// small magic header, the row×width shape, then fixed-width little-endian
+// float64 rows. Version bumps change the magic.
+//
+// Read is strict: it rejects bad magic, implausible shapes, payloads
+// shorter than the declared shape, and trailing bytes after it — a
+// truncated or corrupted checkpoint never yields partial weights.
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// magic identifies a columnsgd model file (format version 1).
+var magic = [8]byte{'c', 'o', 'l', 's', 'g', 'd', 'm', '1'}
+
+// maxDim bounds the total value count (8B values ≈ 64 GiB); larger shapes
+// are treated as corrupt headers.
+const maxDim = 1 << 33
+
+// Write serializes parameter rows to w. All rows must share one width.
+func Write(w io.Writer, rows [][]float64) error {
+	if _, err := w.Write(magic[:]); err != nil {
+		return err
+	}
+	width := 0
+	if len(rows) > 0 {
+		width = len(rows[0])
+	}
+	hdr := make([]byte, 16)
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(len(rows)))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(width))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	buf := make([]byte, 8*width)
+	for _, row := range rows {
+		if len(row) != width {
+			return fmt.Errorf("persist: ragged parameter rows (%d vs %d values)", len(row), width)
+		}
+		for j, v := range row {
+			binary.LittleEndian.PutUint64(buf[8*j:], math.Float64bits(v))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read deserializes parameter rows written by Write, validating the
+// payload against the header: a short payload or trailing data is an
+// error, never a silently partial model.
+func Read(r io.Reader) ([][]float64, error) {
+	var m [8]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		return nil, fmt.Errorf("persist: model header: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("persist: not a columnsgd model file")
+	}
+	hdr := make([]byte, 16)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("persist: model shape: %w", err)
+	}
+	nRows := binary.LittleEndian.Uint64(hdr[0:])
+	width := binary.LittleEndian.Uint64(hdr[8:])
+	if nRows == 0 || width == 0 || nRows > maxDim || width > maxDim || nRows > maxDim/width {
+		return nil, fmt.Errorf("persist: implausible model shape %d×%d", nRows, width)
+	}
+	out := make([][]float64, nRows)
+	buf := make([]byte, 8*width)
+	for i := range out {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("persist: truncated model payload at row %d of the declared %d×%d shape: %w",
+				i, nRows, width, err)
+		}
+		row := make([]float64, width)
+		for j := range row {
+			row[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*j:]))
+		}
+		out[i] = row
+	}
+	var one [1]byte
+	switch _, err := io.ReadFull(r, one[:]); {
+	case err == nil:
+		return nil, fmt.Errorf("persist: trailing data after the declared %d×%d payload", nRows, width)
+	case errors.Is(err, io.EOF):
+	default:
+		return nil, fmt.Errorf("persist: reading past payload: %w", err)
+	}
+	return out, nil
+}
+
+// Save writes parameter rows to a checkpoint file.
+func Save(path string, rows [][]float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	werr := Write(w, rows)
+	if err := w.Flush(); err != nil && werr == nil {
+		werr = err
+	}
+	if err := f.Close(); err != nil && werr == nil {
+		werr = err
+	}
+	return werr
+}
+
+// Load reads a checkpoint file written by Save.
+func Load(path string) ([][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	defer f.Close()
+	return Read(bufio.NewReader(f))
+}

@@ -1,0 +1,119 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sample() [][]float64 {
+	return [][]float64{
+		{1.5, -2.25, 0, 3.75e-3},
+		{0, 0, 42, -1e-9},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.bin")
+	want := sample()
+	if err := Save(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("rows %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("w[%d][%d] = %v, want %v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestRejectsRagged(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, [][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+}
+
+func corrupt(t *testing.T, mutate func([]byte) []byte) error {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "c.bin")
+	if err := os.WriteFile(path, mutate(buf.Bytes()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(path)
+	return err
+}
+
+func TestRejectsCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantMsg string
+	}{
+		{"bad magic", func(b []byte) []byte {
+			b[0] = 'X'
+			return b
+		}, "not a columnsgd model"},
+		{"truncated header", func(b []byte) []byte { return b[:12] }, "model shape"},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-5] }, "truncated model payload"},
+		{"whole row missing", func(b []byte) []byte { return b[:len(b)-8*4] }, "truncated model payload"},
+		{"trailing data", func(b []byte) []byte { return append(b, 0xde, 0xad) }, "trailing data"},
+		{"zero rows header", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[8:], 0)
+			return b
+		}, "implausible model shape"},
+		{"absurd width header", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[16:], 1<<62)
+			return b
+		}, "implausible model shape"},
+		{"overflowing shape", func(b []byte) []byte {
+			// nRows·width wraps uint64 to a tiny product; the per-factor
+			// bound must still reject it.
+			binary.LittleEndian.PutUint64(b[8:], 1<<33)
+			binary.LittleEndian.PutUint64(b[16:], 1<<33)
+			return b
+		}, "implausible model shape"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := corrupt(t, tc.mutate)
+			if err == nil {
+				t.Fatal("corrupt file accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantMsg)
+			}
+		})
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.bin")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.bin")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("empty file accepted")
+	}
+}

@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"columnsgd/internal/vec"
+)
+
+// Handler returns the HTTP/JSON frontend:
+//
+//	POST /predict  {"instances":[{"indices":[1,5],"values":[1,0.5]}]}
+//	POST /reload   {"path":"model.bin"}
+//	GET  /metricz  observability snapshot
+//	GET  /healthz  liveness + served model version
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/reload", s.handleReload)
+	mux.HandleFunc("/metricz", s.handleMetricz)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+type httpInstance struct {
+	Indices []int32   `json:"indices"`
+	Values  []float64 `json:"values"`
+}
+
+type predictRequest struct {
+	Instances []httpInstance `json:"instances"`
+}
+
+type httpPrediction struct {
+	Label  float64 `json:"label"`
+	Margin float64 `json:"margin"`
+}
+
+type predictResponse struct {
+	ModelVersion int64            `json:"model_version"`
+	Predictions  []httpPrediction `json:"predictions"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone is not actionable
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// statusFor maps admission errors to HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrNoModel), errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("serve: POST required"))
+		return
+	}
+	var req predictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+		return
+	}
+	if len(req.Instances) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("serve: no instances"))
+		return
+	}
+	rows := make([]vec.Sparse, len(req.Instances))
+	for i, inst := range req.Instances {
+		row, err := vec.NewSparse(inst.Indices, inst.Values)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: instance %d: %w", i, err))
+			return
+		}
+		rows[i] = row
+	}
+
+	// Submit every instance concurrently so one HTTP request's instances
+	// share micro-batches with each other and with other connections.
+	preds := make([]Prediction, len(rows))
+	errs := make([]error, len(rows))
+	var wg sync.WaitGroup
+	for i := range rows {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			preds[i], errs[i] = s.Predict(r.Context(), rows[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+	}
+
+	resp := predictResponse{Predictions: make([]httpPrediction, len(preds))}
+	for i, p := range preds {
+		resp.Predictions[i] = httpPrediction{Label: p.Label, Margin: p.Margin}
+		if p.Version > resp.ModelVersion {
+			resp.ModelVersion = p.Version
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type reloadRequest struct {
+	Path string `json:"path"`
+}
+
+type reloadResponse struct {
+	ModelVersion int64 `json:"model_version"`
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("serve: POST required"))
+		return
+	}
+	var req reloadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+		return
+	}
+	if req.Path == "" {
+		writeError(w, http.StatusBadRequest, errors.New("serve: path required"))
+		return
+	}
+	v, err := s.InstallFile(req.Path)
+	if err != nil {
+		// Degraded mode: the last good model keeps serving.
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, reloadResponse{ModelVersion: v})
+}
+
+func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("serve: GET required"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+type healthResponse struct {
+	Status       string `json:"status"`
+	ModelVersion int64  `json:"model_version"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("serve: GET required"))
+		return
+	}
+	v := s.Version()
+	if v == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, healthResponse{Status: "no model"})
+		return
+	}
+	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", ModelVersion: v})
+}

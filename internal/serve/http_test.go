@@ -1,0 +1,208 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"columnsgd/internal/persist"
+	"columnsgd/internal/serve"
+)
+
+func newHTTPServer(t *testing.T) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	s, err := serve.New(serve.Options{ModelName: "lr", Shards: 2, MaxWait: time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func post(t *testing.T, url, body string) (*http.Response, map[string]interface{}) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp, out
+}
+
+func get(t *testing.T, url string) (*http.Response, map[string]interface{}) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp, out
+}
+
+func TestHTTPPredict(t *testing.T) {
+	s, ts := newHTTPServer(t)
+	if _, err := s.Install([][]float64{{1, 2, 3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, out := post(t, ts.URL+"/predict",
+		`{"instances":[{"indices":[0,3],"values":[1,1]},{"indices":[1],"values":[2]}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+	preds := out["predictions"].([]interface{})
+	if len(preds) != 2 {
+		t.Fatalf("predictions %v", preds)
+	}
+	m0 := preds[0].(map[string]interface{})["margin"].(float64)
+	m1 := preds[1].(map[string]interface{})["margin"].(float64)
+	if m0 != 5 || m1 != 4 { // w0+w3 and 2·w1
+		t.Fatalf("margins %v, %v", m0, m1)
+	}
+	if out["model_version"].(float64) != 1 {
+		t.Fatalf("model_version %v", out["model_version"])
+	}
+}
+
+func TestHTTPPredictBadRequests(t *testing.T) {
+	s, ts := newHTTPServer(t)
+	if _, err := s.Install([][]float64{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name, body string
+	}{
+		{"garbage body", `not json`},
+		{"no instances", `{"instances":[]}`},
+		{"mismatched instance", `{"instances":[{"indices":[0,1],"values":[1]}]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, out := post(t, ts.URL+"/predict", tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d: %v", resp.StatusCode, out)
+			}
+			if out["error"] == "" {
+				t.Fatal("no error message")
+			}
+		})
+	}
+}
+
+func TestHTTPPredictNoModel(t *testing.T) {
+	_, ts := newHTTPServer(t)
+	resp, _ := post(t, ts.URL+"/predict", `{"instances":[{"indices":[0],"values":[1]}]}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestHTTPReload(t *testing.T) {
+	s, ts := newHTTPServer(t)
+	good := filepath.Join(t.TempDir(), "m.bin")
+	if err := persist.Save(good, [][]float64{{5, 6, 7}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, out := post(t, ts.URL+"/reload", `{"path":`+jsonString(good)+`}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+	if out["model_version"].(float64) != 1 {
+		t.Fatalf("version %v", out["model_version"])
+	}
+
+	// Failed reload: 409, old model keeps serving at the old version.
+	resp, out = post(t, ts.URL+"/reload", `{"path":"/no/such/checkpoint.bin"}`)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+	if s.Version() != 1 {
+		t.Fatalf("version moved to %d after failed reload", s.Version())
+	}
+	resp, _ = post(t, ts.URL+"/predict", `{"instances":[{"indices":[2],"values":[1]}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal("old model stopped serving after failed reload")
+	}
+
+	// Bad request shapes.
+	if resp, _ := post(t, ts.URL+"/reload", `{}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty path: status %d", resp.StatusCode)
+	}
+	if resp, _ := post(t, ts.URL+"/reload", `garbage`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage body: status %d", resp.StatusCode)
+	}
+}
+
+func jsonString(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+func TestHTTPMetricz(t *testing.T) {
+	s, ts := newHTTPServer(t)
+	if _, err := s.Install([][]float64{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	post(t, ts.URL+"/predict", `{"instances":[{"indices":[0],"values":[1]}]}`)
+	resp, out := get(t, ts.URL+"/metricz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	for _, field := range []string{
+		"model_version", "requests", "latency_p50_us", "latency_p99_us",
+		"batches", "batch_mean", "fanout_bytes", "reloads", "queue_depth",
+	} {
+		if _, ok := out[field]; !ok {
+			t.Fatalf("metricz missing %q: %v", field, out)
+		}
+	}
+	if out["requests"].(float64) != 1 || out["latency_p50_us"].(float64) <= 0 {
+		t.Fatalf("metricz not populated: %v", out)
+	}
+}
+
+func TestHTTPHealthz(t *testing.T) {
+	s, ts := newHTTPServer(t)
+	resp, out := get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable || out["status"] != "no model" {
+		t.Fatalf("pre-model health: %d %v", resp.StatusCode, out)
+	}
+	if _, err := s.Install([][]float64{{1}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, out = get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || out["status"] != "ok" || out["model_version"].(float64) != 1 {
+		t.Fatalf("health: %d %v", resp.StatusCode, out)
+	}
+}
+
+func TestHTTPMethodNotAllowed(t *testing.T) {
+	_, ts := newHTTPServer(t)
+	if resp, _ := get(t, ts.URL+"/predict"); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /predict: %d", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts.URL+"/reload"); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /reload: %d", resp.StatusCode)
+	}
+	if resp, _ := post(t, ts.URL+"/metricz", `{}`); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /metricz: %d", resp.StatusCode)
+	}
+	if resp, _ := post(t, ts.URL+"/healthz", `{}`); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /healthz: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"columnsgd/internal/metrics"
+)
+
+// Metrics is the serving subsystem's observability surface, built on the
+// shared internal/metrics primitives and reported on /metricz.
+type Metrics struct {
+	// Latency is the per-request queue-to-prediction latency in seconds.
+	Latency *metrics.Histogram
+	// BatchSize is the micro-batch size distribution.
+	BatchSize *metrics.Histogram
+	// Fanout counts shard round-trips (messages) and their modeled
+	// payload bytes.
+	Fanout metrics.Counter
+
+	// Requests counts successfully scored requests; Errors counts
+	// requests failed by shard errors; Rejected counts admission-queue
+	// rejections.
+	Requests, Errors, Rejected atomic.Int64
+	// ShardRetries, ShardTimeouts, and ShardFailures count the shard
+	// robustness machinery's activations.
+	ShardRetries, ShardTimeouts, ShardFailures atomic.Int64
+	// Reloads counts installed model versions; ReloadFailures counts
+	// rejected installs (the last good model kept serving).
+	Reloads, ReloadFailures atomic.Int64
+}
+
+// NewMetrics builds the registry: latency buckets 1µs–~5min, batch-size
+// buckets 1–~2k.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		Latency:   metrics.NewHistogram(metrics.ExpBuckets(1e-6, 1.5, 48)),
+		BatchSize: metrics.NewHistogram(metrics.ExpBuckets(1, 1.3, 30)),
+	}
+}
+
+// Snapshot is a point-in-time JSON-able view of the metrics — the
+// /metricz payload.
+type Snapshot struct {
+	ModelVersion int64 `json:"model_version"`
+	Features     int   `json:"features"`
+
+	Requests   int64 `json:"requests"`
+	Errors     int64 `json:"errors"`
+	Rejected   int64 `json:"rejected"`
+	QueueDepth int   `json:"queue_depth"`
+
+	LatencyP50Micros  float64 `json:"latency_p50_us"`
+	LatencyP95Micros  float64 `json:"latency_p95_us"`
+	LatencyP99Micros  float64 `json:"latency_p99_us"`
+	LatencyMeanMicros float64 `json:"latency_mean_us"`
+
+	Batches   int64   `json:"batches"`
+	BatchP50  float64 `json:"batch_p50"`
+	BatchP99  float64 `json:"batch_p99"`
+	BatchMean float64 `json:"batch_mean"`
+
+	FanoutMessages int64 `json:"fanout_messages"`
+	FanoutBytes    int64 `json:"fanout_bytes"`
+
+	ShardRetries  int64 `json:"shard_retries"`
+	ShardTimeouts int64 `json:"shard_timeouts"`
+	ShardFailures int64 `json:"shard_failures"`
+
+	Reloads        int64 `json:"reloads"`
+	ReloadFailures int64 `json:"reload_failures"`
+}
+
+// Snapshot captures the server's current metrics.
+func (s *Server) Snapshot() Snapshot {
+	m := s.met
+	msgs, bytes := m.Fanout.Snapshot()
+	return Snapshot{
+		ModelVersion: s.Version(),
+		Features:     s.Features(),
+
+		Requests:   m.Requests.Load(),
+		Errors:     m.Errors.Load(),
+		Rejected:   m.Rejected.Load(),
+		QueueDepth: s.QueueDepth(),
+
+		LatencyP50Micros:  m.Latency.Quantile(0.50) * 1e6,
+		LatencyP95Micros:  m.Latency.Quantile(0.95) * 1e6,
+		LatencyP99Micros:  m.Latency.Quantile(0.99) * 1e6,
+		LatencyMeanMicros: m.Latency.Mean() * 1e6,
+
+		Batches:   m.BatchSize.Count(),
+		BatchP50:  m.BatchSize.Quantile(0.50),
+		BatchP99:  m.BatchSize.Quantile(0.99),
+		BatchMean: m.BatchSize.Mean(),
+
+		FanoutMessages: msgs,
+		FanoutBytes:    bytes,
+
+		ShardRetries:  m.ShardRetries.Load(),
+		ShardTimeouts: m.ShardTimeouts.Load(),
+		ShardFailures: m.ShardFailures.Load(),
+
+		Reloads:        m.Reloads.Load(),
+		ReloadFailures: m.ReloadFailures.Load(),
+	}
+}

@@ -1,0 +1,45 @@
+package serve
+
+import (
+	"context"
+
+	"columnsgd/internal/model"
+)
+
+// ShardRequest is the unit of fan-out: one column shard's slice of a
+// micro-batch, plus the parameter block of the snapshot that pinned it.
+type ShardRequest struct {
+	// Shard is the column shard index.
+	Shard int
+	// Version is the model version the batch pinned.
+	Version int64
+	// Params is the shard's parameter block for that version.
+	Params *model.Params
+	// Batch holds the shard-local row slices (labels are zeros; scoring
+	// ignores them).
+	Batch model.Batch
+}
+
+// Scorer computes one shard's partial statistics for a micro-batch.
+// Implementations must honor ctx cancellation where possible; the server
+// additionally enforces its ShardTimeout from outside and retries a
+// failed call once.
+type Scorer interface {
+	PartialStats(ctx context.Context, req ShardRequest) ([]float64, error)
+}
+
+// LocalScorer scores in-process with the shared model kernels — the
+// loopback transport. A remote deployment would put the same computation
+// behind the cluster RPC layer; the server's timeout/retry machinery is
+// transport-agnostic.
+type LocalScorer struct {
+	Model model.Model
+}
+
+// PartialStats implements Scorer.
+func (l LocalScorer) PartialStats(ctx context.Context, req ShardRequest) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return l.Model.PartialStats(req.Params, req.Batch, nil), nil
+}

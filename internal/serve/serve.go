@@ -1,0 +1,505 @@
+// Package serve implements ColumnServe, the online-inference counterpart
+// of the training engine: the same column partitioning that lets training
+// exchange only O(batch) statistics is reused at query time. A frontend
+// micro-batches incoming examples, column-splits each batch under a
+// partition.Scheme, fans the shard slices out to scorers that compute
+// partial statistics with the shared model kernels, sums the partials,
+// and maps the aggregated statistics to predictions — so sharded serving
+// agrees with scoring the assembled model locally.
+//
+// Models are published as immutable snapshots swapped in atomically: a
+// batch pins the snapshot it started with, which makes hot reload safe
+// for in-flight requests, and a failed reload simply keeps the last good
+// snapshot serving (degraded mode).
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"columnsgd/internal/model"
+	"columnsgd/internal/partition"
+	"columnsgd/internal/persist"
+	"columnsgd/internal/vec"
+)
+
+// Errors returned by the admission path.
+var (
+	// ErrNoModel means no model version has been installed yet.
+	ErrNoModel = errors.New("serve: no model installed")
+	// ErrClosed means the server is draining or closed.
+	ErrClosed = errors.New("serve: server closed")
+	// ErrQueueFull means the admission queue rejected the request.
+	ErrQueueFull = errors.New("serve: admission queue full")
+)
+
+// Options configures a Server.
+type Options struct {
+	// ModelName/ModelArg select the model kernels (see model.New);
+	// default "lr".
+	ModelName string
+	ModelArg  int
+	// Shards is the number of column shards (default 4).
+	Shards int
+	// Scheme selects column partitioning: "range", "roundrobin" (default),
+	// or "hash" — same choices as training.
+	Scheme string
+	// MaxBatch caps a micro-batch (default 64).
+	MaxBatch int
+	// MaxWait bounds how long the batcher holds the first request of a
+	// batch while it fills (default 2ms).
+	MaxWait time.Duration
+	// QueueCap bounds the admission queue; requests beyond it are
+	// rejected with ErrQueueFull (default 4096).
+	QueueCap int
+	// ShardTimeout bounds one shard scoring call; a timed-out or failed
+	// call is retried once (default 250ms).
+	ShardTimeout time.Duration
+	// MaxConcurrent bounds batches scored at once (default 16). When all
+	// slots are busy the batcher stalls, the queue fills, and admission
+	// rejects — bounded work under overload instead of goroutine pileup.
+	MaxConcurrent int
+	// NewScorer overrides the per-shard scorer (tests, remote shards).
+	// nil uses the in-process LocalScorer.
+	NewScorer func(shard int) Scorer
+}
+
+func (o Options) normalized() Options {
+	if o.ModelName == "" {
+		o.ModelName = "lr"
+	}
+	if o.Shards <= 0 {
+		o.Shards = 4
+	}
+	if o.Scheme == "" {
+		o.Scheme = "roundrobin"
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
+	}
+	if o.MaxWait <= 0 {
+		o.MaxWait = 2 * time.Millisecond
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 4096
+	}
+	if o.ShardTimeout <= 0 {
+		o.ShardTimeout = 250 * time.Millisecond
+	}
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = 16
+	}
+	return o
+}
+
+// snapshot is one immutable published model version. Scoring a batch
+// loads the pointer once and works entirely off the snapshot, so a
+// concurrent Install never disturbs it.
+type snapshot struct {
+	version  int64
+	features int
+	scheme   partition.Scheme
+	shards   []*model.Params
+}
+
+// Prediction is one scored example.
+type Prediction struct {
+	// Label is the predicted label: ±1 for binary models, the class index
+	// for multinomial, the regression value for least squares.
+	Label float64
+	// Margin is the first aggregated statistic — the raw model score for
+	// GLMs (monotone in the margin for every built-in binary model).
+	Margin float64
+	// Version is the model version that scored the request.
+	Version int64
+}
+
+type outcome struct {
+	pred Prediction
+	err  error
+}
+
+type request struct {
+	row  vec.Sparse
+	enq  time.Time
+	done chan outcome
+}
+
+// Server is the ColumnServe frontend: admission queue, micro-batcher,
+// shard fan-out, and metrics.
+type Server struct {
+	opts    Options
+	mdl     model.Model
+	scorers []Scorer
+	met     *Metrics
+
+	cur         atomic.Pointer[snapshot]
+	nextVersion atomic.Int64
+
+	mu       sync.RWMutex // guards closed and queue close
+	closed   bool
+	queue    chan *request
+	slots    chan struct{} // in-flight batch semaphore
+	loopDone chan struct{}
+	inflight sync.WaitGroup
+}
+
+// New builds a server. No model is installed yet: Predict returns
+// ErrNoModel until the first Install/InstallFile.
+func New(opts Options) (*Server, error) {
+	opts = opts.normalized()
+	mdl, err := model.New(opts.ModelName, opts.ModelArg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		opts:     opts,
+		mdl:      mdl,
+		met:      NewMetrics(),
+		queue:    make(chan *request, opts.QueueCap),
+		slots:    make(chan struct{}, opts.MaxConcurrent),
+		loopDone: make(chan struct{}),
+	}
+	s.scorers = make([]Scorer, opts.Shards)
+	for k := range s.scorers {
+		if opts.NewScorer != nil {
+			s.scorers[k] = opts.NewScorer(k)
+		} else {
+			s.scorers[k] = LocalScorer{Model: mdl}
+		}
+	}
+	go s.batchLoop()
+	return s, nil
+}
+
+// Model returns the model kernels in use.
+func (s *Server) Model() model.Model { return s.mdl }
+
+// Version returns the currently served model version (0 before the first
+// install).
+func (s *Server) Version() int64 {
+	if snap := s.cur.Load(); snap != nil {
+		return snap.version
+	}
+	return 0
+}
+
+// Features returns the served model dimension (0 before the first
+// install).
+func (s *Server) Features() int {
+	if snap := s.cur.Load(); snap != nil {
+		return snap.features
+	}
+	return 0
+}
+
+// QueueDepth returns the current admission-queue occupancy.
+func (s *Server) QueueDepth() int { return len(s.queue) }
+
+// Metrics returns the live metrics registry.
+func (s *Server) Metrics() *Metrics { return s.met }
+
+func newScheme(name string, m, k int) (partition.Scheme, error) {
+	switch name {
+	case "range":
+		return partition.NewRange(m, k)
+	case "roundrobin":
+		return partition.NewRoundRobin(m, k)
+	case "hash":
+		return partition.NewHash(m, k)
+	default:
+		return nil, fmt.Errorf("serve: unknown scheme %q", name)
+	}
+}
+
+// Install atomically publishes a new model version built from full
+// parameter rows (Result.Weights / LoadModel / Engine.ExportModel order).
+// In-flight batches finish on the version they pinned — nothing is
+// dropped. On error the previous version keeps serving.
+func (s *Server) Install(rows [][]float64) (int64, error) {
+	snap, err := s.buildSnapshot(rows)
+	if err != nil {
+		s.met.ReloadFailures.Add(1)
+		return 0, err
+	}
+	s.cur.Store(snap)
+	s.met.Reloads.Add(1)
+	return snap.version, nil
+}
+
+// InstallFile hot-reloads from a checkpoint file written by persist.Save
+// (Result.SaveModel). On any error — missing file, corrupt or truncated
+// checkpoint, shape mismatch — the last good model keeps serving and the
+// failure is counted.
+func (s *Server) InstallFile(path string) (int64, error) {
+	rows, err := persist.Load(path)
+	if err != nil {
+		s.met.ReloadFailures.Add(1)
+		return 0, err
+	}
+	return s.Install(rows)
+}
+
+func (s *Server) buildSnapshot(rows [][]float64) (*snapshot, error) {
+	if len(rows) != s.mdl.ParamRows() {
+		return nil, fmt.Errorf("serve: model %q needs %d parameter rows, got %d",
+			s.mdl.Name(), s.mdl.ParamRows(), len(rows))
+	}
+	features := len(rows[0])
+	if features == 0 {
+		return nil, fmt.Errorf("serve: zero-width model")
+	}
+	for i := range rows {
+		if len(rows[i]) != features {
+			return nil, fmt.Errorf("serve: ragged parameter rows (%d vs %d values)", len(rows[i]), features)
+		}
+	}
+	scheme, err := newScheme(s.opts.Scheme, features, s.opts.Shards)
+	if err != nil {
+		return nil, err
+	}
+	shards := make([]*model.Params, s.opts.Shards)
+	for p := range shards {
+		width := scheme.PartSize(p)
+		blk := model.NewParams(len(rows), width)
+		for row := range rows {
+			for local := 0; local < width; local++ {
+				blk.W[row][local] = rows[row][scheme.Global(p, int32(local))]
+			}
+		}
+		shards[p] = blk
+	}
+	return &snapshot{
+		version:  s.nextVersion.Add(1),
+		features: features,
+		scheme:   scheme,
+		shards:   shards,
+	}, nil
+}
+
+// Predict scores one example through the micro-batching path, blocking
+// until it is scored, the context is cancelled, or admission fails.
+func (s *Server) Predict(ctx context.Context, row vec.Sparse) (Prediction, error) {
+	if s.cur.Load() == nil {
+		return Prediction{}, ErrNoModel
+	}
+	req := &request{row: row, enq: time.Now(), done: make(chan outcome, 1)}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return Prediction{}, ErrClosed
+	}
+	select {
+	case s.queue <- req:
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		s.met.Rejected.Add(1)
+		return Prediction{}, ErrQueueFull
+	}
+	select {
+	case out := <-req.done:
+		return out.pred, out.err
+	case <-ctx.Done():
+		return Prediction{}, ctx.Err()
+	}
+}
+
+// batchLoop is the micro-batcher: it holds the first request of a batch
+// for at most MaxWait while up to MaxBatch requests accumulate, then
+// dispatches the batch. Concurrent requests share one fan-out round-trip.
+func (s *Server) batchLoop() {
+	defer close(s.loopDone)
+	for {
+		first, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch := make([]*request, 1, s.opts.MaxBatch)
+		batch[0] = first
+		timer := time.NewTimer(s.opts.MaxWait)
+	fill:
+		for len(batch) < s.opts.MaxBatch {
+			select {
+			case r, ok := <-s.queue:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, r)
+			case <-timer.C:
+				break fill
+			}
+		}
+		timer.Stop()
+		s.slots <- struct{}{}
+		s.inflight.Add(1)
+		go func(b []*request) {
+			defer func() {
+				<-s.slots
+				s.inflight.Done()
+			}()
+			s.scoreBatch(b)
+		}(batch)
+	}
+}
+
+// scoreBatch runs one micro-batch: pin the snapshot, column-split the
+// rows, fan out to shard scorers, aggregate, predict.
+func (s *Server) scoreBatch(batch []*request) {
+	snap := s.cur.Load()
+	if snap == nil {
+		s.fail(batch, ErrNoModel)
+		return
+	}
+	s.met.BatchSize.Observe(float64(len(batch)))
+
+	// Column-split once per batch: shard k sees every row re-indexed to
+	// its local coordinate space (the serving analogue of Algorithm 4).
+	// Feature indices past the model dimension contribute zero, matching
+	// local scoring with the assembled model.
+	shardRows := make([][]vec.Sparse, len(snap.shards))
+	for k := range shardRows {
+		shardRows[k] = make([]vec.Sparse, len(batch))
+	}
+	for i, req := range batch {
+		for k, j := range req.row.Indices {
+			if int(j) >= snap.features {
+				continue
+			}
+			o := snap.scheme.Owner(j)
+			shardRows[o][i].Indices = append(shardRows[o][i].Indices, snap.scheme.Local(j))
+			shardRows[o][i].Values = append(shardRows[o][i].Values, req.row.Values[k])
+		}
+	}
+
+	spp := s.mdl.StatsPerPoint()
+	want := len(batch) * spp
+	labels := make([]float64, len(batch)) // kernels ignore labels for stats
+	stats := make([][]float64, len(snap.shards))
+	errs := make([]error, len(snap.shards))
+	var wg sync.WaitGroup
+	for k := range snap.shards {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			stats[k], errs[k] = s.callShard(k, snap, model.Batch{Rows: shardRows[k], Labels: labels})
+		}(k)
+	}
+	wg.Wait()
+
+	// Sum partial statistics in shard order — deterministic aggregation,
+	// like the training engine's reduce.
+	agg := make([]float64, want)
+	for k := range snap.shards {
+		if errs[k] != nil {
+			s.met.ShardFailures.Add(1)
+			s.fail(batch, fmt.Errorf("serve: shard %d: %w", k, errs[k]))
+			return
+		}
+		if len(stats[k]) != want {
+			s.fail(batch, fmt.Errorf("serve: shard %d returned %d stats, want %d", k, len(stats[k]), want))
+			return
+		}
+		for i, v := range stats[k] {
+			agg[i] += v
+		}
+	}
+
+	now := time.Now()
+	for i, req := range batch {
+		st := agg[i*spp : (i+1)*spp]
+		s.met.Requests.Add(1)
+		s.met.Latency.Observe(now.Sub(req.enq).Seconds())
+		req.done <- outcome{pred: Prediction{
+			Label:   s.mdl.Predict(st),
+			Margin:  st[0],
+			Version: snap.version,
+		}}
+	}
+}
+
+func (s *Server) fail(batch []*request, err error) {
+	for _, req := range batch {
+		s.met.Errors.Add(1)
+		req.done <- outcome{err: err}
+	}
+}
+
+// callShard invokes one shard scorer with a per-call timeout and a single
+// retry: a transient shard failure costs one extra round-trip, not the
+// whole batch.
+func (s *Server) callShard(k int, snap *snapshot, batch model.Batch) ([]float64, error) {
+	req := ShardRequest{Shard: k, Version: snap.version, Params: snap.shards[k], Batch: batch}
+	reqBytes := shardRequestBytes(batch)
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		if attempt > 0 {
+			s.met.ShardRetries.Add(1)
+		}
+		stats, err := s.callOnce(k, req)
+		if err == nil {
+			s.met.Fanout.Add(reqBytes + int64(len(stats))*8)
+			return stats, nil
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.met.ShardTimeouts.Add(1)
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// callOnce enforces ShardTimeout even against scorers that ignore their
+// context: the call runs in its own goroutine and is abandoned on
+// deadline.
+func (s *Server) callOnce(k int, req ShardRequest) ([]float64, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.opts.ShardTimeout)
+	defer cancel()
+	type res struct {
+		stats []float64
+		err   error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		stats, err := s.scorers[k].PartialStats(ctx, req)
+		ch <- res{stats, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.stats, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// shardRequestBytes models one shard call's request payload: 12 bytes per
+// non-zero (4-byte index + 8-byte value) plus a fixed header — the same
+// accounting the training transport uses for statistics traffic.
+func shardRequestBytes(b model.Batch) int64 {
+	n := int64(16)
+	for i := range b.Rows {
+		n += int64(b.Rows[i].NNZ()) * 12
+	}
+	return n
+}
+
+// Close drains the server: no new requests are admitted, everything
+// already queued is scored, and in-flight batches complete before Close
+// returns.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	<-s.loopDone
+	s.inflight.Wait()
+	return nil
+}

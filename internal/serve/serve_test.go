@@ -1,0 +1,732 @@
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"columnsgd/internal/model"
+	"columnsgd/internal/persist"
+	"columnsgd/internal/serve"
+	"columnsgd/internal/vec"
+)
+
+// randomRows builds paramRows×features weights from a fixed seed.
+func randomRows(rng *rand.Rand, paramRows, features int) [][]float64 {
+	rows := make([][]float64, paramRows)
+	for i := range rows {
+		rows[i] = make([]float64, features)
+		for j := range rows[i] {
+			rows[i][j] = rng.NormFloat64()
+		}
+	}
+	return rows
+}
+
+// integerRows builds weights whose entries are small integers: float64
+// addition over integers is exact, so sharded per-shard-sum aggregation
+// matches a full local dot product bit for bit regardless of association
+// order.
+func integerRows(rng *rand.Rand, paramRows, features int) [][]float64 {
+	rows := make([][]float64, paramRows)
+	for i := range rows {
+		rows[i] = make([]float64, features)
+		for j := range rows[i] {
+			rows[i][j] = float64(rng.Intn(21) - 10)
+		}
+	}
+	return rows
+}
+
+func randomSparse(rng *rand.Rand, features int, integer bool) vec.Sparse {
+	nnz := 1 + rng.Intn(8)
+	seen := map[int32]bool{}
+	var s vec.Sparse
+	for len(s.Indices) < nnz {
+		j := int32(rng.Intn(features))
+		if seen[j] {
+			continue
+		}
+		seen[j] = true
+		v := rng.NormFloat64()
+		if integer {
+			v = float64(rng.Intn(9) - 4)
+		}
+		s.Indices = append(s.Indices, j)
+		s.Values = append(s.Values, v)
+	}
+	sorted, err := vec.NewSparse(s.Indices, s.Values)
+	if err != nil {
+		panic(err)
+	}
+	return sorted
+}
+
+// localScore is the unsharded reference: full Params, full row, one worker.
+func localScore(mdl model.Model, rows [][]float64, row vec.Sparse) ([]float64, float64) {
+	p := &model.Params{W: rows}
+	stats := mdl.PartialStats(p, model.Batch{Rows: []vec.Sparse{row}, Labels: []float64{0}}, nil)
+	return stats, mdl.Predict(stats)
+}
+
+func TestShardedMatchesLocalExactly(t *testing.T) {
+	// Integer weights and values: sums are exact in float64, so the
+	// sharded margin must equal the local margin byte for byte across
+	// every shard count and partitioning scheme.
+	const features = 97
+	for _, shards := range []int{1, 2, 3, 8} {
+		for _, scheme := range []string{"range", "roundrobin", "hash"} {
+			t.Run(fmt.Sprintf("%s-%d", scheme, shards), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(42))
+				rows := integerRows(rng, 1, features)
+				s, err := serve.New(serve.Options{
+					ModelName: "lr",
+					Shards:    shards,
+					Scheme:    scheme,
+					MaxWait:   time.Microsecond,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer s.Close()
+				if _, err := s.Install(rows); err != nil {
+					t.Fatal(err)
+				}
+				mdl := s.Model()
+				for i := 0; i < 50; i++ {
+					row := randomSparse(rng, features, true)
+					stats, wantLabel := localScore(mdl, rows, row)
+					got, err := s.Predict(context.Background(), row)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got.Margin != stats[0] {
+						t.Fatalf("row %d: sharded margin %v != local %v", i, got.Margin, stats[0])
+					}
+					if got.Label != wantLabel {
+						t.Fatalf("row %d: label %v != %v", i, got.Label, wantLabel)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestAllModelKindsAgree(t *testing.T) {
+	const features = 60
+	cases := []struct {
+		name string
+		arg  int
+	}{
+		{"lr", 0}, {"svm", 0}, {"linreg", 0}, {"mlr", 4}, {"fm", 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mdl, err := model.New(tc.name, tc.arg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(7))
+			rows := randomRows(rng, mdl.ParamRows(), features)
+			s, err := serve.New(serve.Options{
+				ModelName: tc.name,
+				ModelArg:  tc.arg,
+				Shards:    3,
+				MaxWait:   time.Microsecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			if _, err := s.Install(rows); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 40; i++ {
+				row := randomSparse(rng, features, false)
+				stats, wantLabel := localScore(mdl, rows, row)
+				got, err := s.Predict(context.Background(), row)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Binary/multiclass labels are sign/argmax decisions, robust
+				// to ulp-level reassociation noise; regression labels are the
+				// margin itself, so they get the margin's tolerance.
+				if diff := got.Label - wantLabel; diff > 1e-9 || diff < -1e-9 {
+					t.Fatalf("row %d: label %v != local %v (margin %v vs %v)",
+						i, got.Label, wantLabel, got.Margin, stats[0])
+				}
+				if diff := got.Margin - stats[0]; diff > 1e-9 || diff < -1e-9 {
+					t.Fatalf("row %d: margin %v drifted from local %v", i, got.Margin, stats[0])
+				}
+			}
+		})
+	}
+}
+
+func TestOutOfRangeIndicesIgnored(t *testing.T) {
+	// Indices past the model dimension contribute zero in local scoring
+	// (Sparse.Dot ignores them); the sharded path must agree instead of
+	// crashing the partitioner.
+	rows := [][]float64{{1, 2, 3, 4}}
+	s, err := serve.New(serve.Options{ModelName: "lr", Shards: 2, MaxWait: time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Install(rows); err != nil {
+		t.Fatal(err)
+	}
+	row := vec.Sparse{Indices: []int32{1, 3, 1000}, Values: []float64{1, 1, 99}}
+	got, err := s.Predict(context.Background(), row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Margin != 6 { // w[1]+w[3] = 2+4; index 1000 ignored
+		t.Fatalf("margin %v, want 6", got.Margin)
+	}
+}
+
+func TestMicroBatchingUnderLoad(t *testing.T) {
+	const features = 80
+	rng := rand.New(rand.NewSource(3))
+	rows := integerRows(rng, 1, features)
+	s, err := serve.New(serve.Options{
+		ModelName: "lr",
+		Shards:    4,
+		MaxBatch:  32,
+		MaxWait:   2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Install(rows); err != nil {
+		t.Fatal(err)
+	}
+	mdl := s.Model()
+
+	const n = 500
+	type probe struct {
+		row    vec.Sparse
+		margin float64
+	}
+	probes := make([]probe, n)
+	for i := range probes {
+		row := randomSparse(rng, features, true)
+		stats, _ := localScore(mdl, rows, row)
+		probes[i] = probe{row: row, margin: stats[0]}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := range probes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, err := s.Predict(context.Background(), probes[i].row)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if got.Margin != probes[i].margin {
+				errs[i] = fmt.Errorf("margin %v != %v", got.Margin, probes[i].margin)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+
+	snap := s.Snapshot()
+	if snap.Requests != n {
+		t.Fatalf("requests %d, want %d", snap.Requests, n)
+	}
+	if snap.Batches >= n {
+		t.Fatalf("no batching happened: %d batches for %d requests", snap.Batches, n)
+	}
+	if snap.BatchMean <= 1 {
+		t.Fatalf("batch mean %v, want > 1", snap.BatchMean)
+	}
+	if snap.LatencyP50Micros <= 0 || snap.LatencyP99Micros <= 0 {
+		t.Fatalf("latency percentiles not populated: %+v", snap)
+	}
+	if snap.FanoutBytes <= 0 || snap.FanoutMessages <= 0 {
+		t.Fatalf("fan-out accounting not populated: %+v", snap)
+	}
+}
+
+func TestHotReloadUnderLoad(t *testing.T) {
+	// Reload repeatedly while predictions stream; every response must
+	// match the reference margin for the version it reports, and nothing
+	// may fail. Weights are version-scaled integers so margins are exact.
+	const features = 50
+	rng := rand.New(rand.NewSource(11))
+	base := integerRows(rng, 1, features)
+	weightsFor := func(version int64) [][]float64 {
+		rows := make([][]float64, 1)
+		rows[0] = make([]float64, features)
+		for j, v := range base[0] {
+			rows[0][j] = v * float64(version)
+		}
+		return rows
+	}
+
+	s, err := serve.New(serve.Options{
+		ModelName: "lr",
+		Shards:    3,
+		MaxBatch:  16,
+		MaxWait:   500 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Install(weightsFor(1)); err != nil {
+		t.Fatal(err)
+	}
+	mdl := s.Model()
+
+	row := randomSparse(rng, features, true)
+	refStats, _ := localScore(mdl, weightsFor(1), row)
+	baseMargin := refStats[0] // margin under version v is v·baseMargin
+
+	stop := make(chan struct{})
+	var reloadWG sync.WaitGroup
+	reloadWG.Add(1)
+	go func() {
+		defer reloadWG.Done()
+		for v := int64(2); ; v++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := s.Install(weightsFor(v)); err != nil {
+				t.Errorf("reload: %v", err)
+				return
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	const n = 400
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := s.Predict(context.Background(), row)
+			if err != nil {
+				failures.Add(1)
+				t.Errorf("predict: %v", err)
+				return
+			}
+			want := baseMargin * float64(got.Version)
+			if got.Margin != want {
+				failures.Add(1)
+				t.Errorf("version %d: margin %v, want %v", got.Version, got.Margin, want)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	reloadWG.Wait()
+
+	if failures.Load() != 0 {
+		t.Fatalf("%d requests failed or mismatched across hot reloads", failures.Load())
+	}
+	if s.Snapshot().Errors != 0 {
+		t.Fatalf("server counted %d errors", s.Snapshot().Errors)
+	}
+	if s.Version() < 2 {
+		t.Fatalf("expected multiple reloads, at version %d", s.Version())
+	}
+}
+
+func TestDegradedReloadKeepsServing(t *testing.T) {
+	rows := [][]float64{{1, 2, 3, 4, 5, 6}}
+	s, err := serve.New(serve.Options{ModelName: "lr", Shards: 2, MaxWait: time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	v1, err := s.Install(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Missing file.
+	if _, err := s.InstallFile(filepath.Join(t.TempDir(), "nope.bin")); err == nil {
+		t.Fatal("missing checkpoint accepted")
+	}
+	// Corrupt file.
+	bad := filepath.Join(t.TempDir(), "bad.bin")
+	if err := os.WriteFile(bad, []byte("colsgdm1 but then garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.InstallFile(bad); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+	// Wrong shape for the model (lr needs 1 row).
+	if _, err := s.Install([][]float64{{1}, {2}}); err == nil {
+		t.Fatal("wrong-shape weights accepted")
+	}
+
+	if got := s.Version(); got != v1 {
+		t.Fatalf("version moved to %d after failed reloads, want %d", got, v1)
+	}
+	if got := s.Metrics().ReloadFailures.Load(); got != 3 {
+		t.Fatalf("reload failures %d, want 3", got)
+	}
+	// Still serving the old model.
+	row := vec.Sparse{Indices: []int32{0, 5}, Values: []float64{1, 1}}
+	got, err := s.Predict(context.Background(), row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Margin != 7 || got.Version != v1 {
+		t.Fatalf("degraded serving broke: %+v", got)
+	}
+
+	// A good checkpoint recovers.
+	good := filepath.Join(t.TempDir(), "good.bin")
+	if err := persist.Save(good, [][]float64{{10, 0, 0, 0, 0, 10}}); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := s.InstallFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 <= v1 {
+		t.Fatalf("recovery version %d not after %d", v2, v1)
+	}
+	got, err = s.Predict(context.Background(), row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Margin != 20 || got.Version != v2 {
+		t.Fatalf("recovered serving wrong: %+v", got)
+	}
+}
+
+// flakyScorer fails each shard's first call, then delegates.
+type flakyScorer struct {
+	inner serve.LocalScorer
+	calls *atomic.Int64
+}
+
+func (f flakyScorer) PartialStats(ctx context.Context, req serve.ShardRequest) ([]float64, error) {
+	if f.calls.Add(1) == 1 {
+		return nil, errors.New("transient shard failure")
+	}
+	return f.inner.PartialStats(ctx, req)
+}
+
+func TestShardRetrySucceeds(t *testing.T) {
+	rows := [][]float64{{1, 2, 3, 4}}
+	mdl, err := model.New("lr", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counters := map[int]*atomic.Int64{}
+	s, err := serve.New(serve.Options{
+		ModelName: "lr",
+		Shards:    2,
+		MaxWait:   time.Microsecond,
+		NewScorer: func(shard int) serve.Scorer {
+			counters[shard] = &atomic.Int64{}
+			return flakyScorer{inner: serve.LocalScorer{Model: mdl}, calls: counters[shard]}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Install(rows); err != nil {
+		t.Fatal(err)
+	}
+	row := vec.Sparse{Indices: []int32{0, 1, 2, 3}, Values: []float64{1, 1, 1, 1}}
+	got, err := s.Predict(context.Background(), row)
+	if err != nil {
+		t.Fatalf("retry did not save the batch: %v", err)
+	}
+	if got.Margin != 10 {
+		t.Fatalf("margin %v, want 10", got.Margin)
+	}
+	if retries := s.Metrics().ShardRetries.Load(); retries != 2 {
+		t.Fatalf("retries %d, want one per shard", retries)
+	}
+	if s.Snapshot().Errors != 0 {
+		t.Fatal("errors counted despite successful retries")
+	}
+}
+
+// stuckScorer ignores its context and sleeps past any deadline.
+type stuckScorer struct{ d time.Duration }
+
+func (s stuckScorer) PartialStats(ctx context.Context, req serve.ShardRequest) ([]float64, error) {
+	time.Sleep(s.d)
+	return nil, errors.New("too late anyway")
+}
+
+func TestShardTimeout(t *testing.T) {
+	s, err := serve.New(serve.Options{
+		ModelName:    "lr",
+		Shards:       1,
+		MaxWait:      time.Microsecond,
+		ShardTimeout: 10 * time.Millisecond,
+		NewScorer:    func(int) serve.Scorer { return stuckScorer{d: 200 * time.Millisecond} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Install([][]float64{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = s.Predict(context.Background(), vec.Sparse{Indices: []int32{0}, Values: []float64{1}})
+	if err == nil {
+		t.Fatal("stuck shard produced a prediction")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+		t.Fatalf("timeout did not abandon the stuck scorer (%v elapsed)", elapsed)
+	}
+	m := s.Metrics()
+	if m.ShardTimeouts.Load() < 2 { // initial call + retry both time out
+		t.Fatalf("timeouts %d, want 2", m.ShardTimeouts.Load())
+	}
+	if m.Errors.Load() != 1 {
+		t.Fatalf("errors %d, want 1", m.Errors.Load())
+	}
+}
+
+// gatedScorer blocks until released, signalling when a call starts.
+type gatedScorer struct {
+	inner   serve.LocalScorer
+	started chan struct{}
+	release chan struct{}
+}
+
+func (g gatedScorer) PartialStats(ctx context.Context, req serve.ShardRequest) ([]float64, error) {
+	g.started <- struct{}{}
+	<-g.release
+	return g.inner.PartialStats(ctx, req)
+}
+
+func TestBackpressureRejectsWhenSaturated(t *testing.T) {
+	// With one scoring slot (gated shut), one-element batches, and a
+	// one-element queue, at most three requests can be pending: one
+	// scoring, one held by the stalled batcher, one queued. Everything
+	// past that must be rejected at admission, and everything admitted
+	// must succeed once the gate opens.
+	mdl, err := model.New("lr", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{}, 16)
+	release := make(chan struct{})
+	s, err := serve.New(serve.Options{
+		ModelName:     "lr",
+		Shards:        1,
+		MaxBatch:      1,
+		MaxWait:       time.Microsecond,
+		QueueCap:      1,
+		MaxConcurrent: 1,
+		ShardTimeout:  time.Minute,
+		NewScorer: func(int) serve.Scorer {
+			return gatedScorer{inner: serve.LocalScorer{Model: mdl}, started: started, release: release}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Install([][]float64{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	row := vec.Sparse{Indices: []int32{0}, Values: []float64{1}}
+
+	// Occupy the scoring slot, then saturate.
+	first := make(chan error, 1)
+	go func() {
+		_, err := s.Predict(context.Background(), row)
+		first <- err
+	}()
+	<-started
+
+	const extra = 10
+	results := make(chan error, extra)
+	for i := 0; i < extra; i++ {
+		go func() {
+			_, err := s.Predict(context.Background(), row)
+			results <- err
+		}()
+	}
+	// The batcher can absorb one stalled batch and the queue one request,
+	// so at least extra-2 of the extras are rejected immediately; wait for
+	// them so saturation is established before opening the gate.
+	var rejected int
+	for rejected < extra-2 {
+		select {
+		case err := <-results:
+			if !errors.Is(err, serve.ErrQueueFull) {
+				t.Fatalf("saturated admission returned %v, want ErrQueueFull", err)
+			}
+			rejected++
+		case <-time.After(5 * time.Second):
+			t.Fatalf("saturation never rejected (got %d rejections)", rejected)
+		}
+	}
+
+	close(release) // open the gate: every admitted request must succeed
+	if err := <-first; err != nil {
+		t.Fatalf("first request: %v", err)
+	}
+	for got := rejected; got < extra; got++ {
+		select {
+		case err := <-results:
+			if err != nil && !errors.Is(err, serve.ErrQueueFull) {
+				t.Fatalf("admitted request failed: %v", err)
+			}
+			if errors.Is(err, serve.ErrQueueFull) {
+				rejected++
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("admitted request never completed")
+		}
+	}
+	if got := s.Metrics().Rejected.Load(); got != int64(rejected) {
+		t.Fatalf("rejected counter %d, want %d", got, rejected)
+	}
+	if rejected < extra-2 || rejected > extra {
+		t.Fatalf("rejected %d of %d extras, want at least %d", rejected, extra, extra-2)
+	}
+	s.Close()
+}
+
+func TestPredictCancellation(t *testing.T) {
+	mdl, err := model.New("lr", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	s, err := serve.New(serve.Options{
+		ModelName:    "lr",
+		Shards:       1,
+		MaxWait:      time.Microsecond,
+		ShardTimeout: time.Minute,
+		NewScorer: func(int) serve.Scorer {
+			return gatedScorer{inner: serve.LocalScorer{Model: mdl}, started: make(chan struct{}, 64), release: release}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Install([][]float64{{1}}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err = s.Predict(ctx, vec.Sparse{Indices: []int32{0}, Values: []float64{1}})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want caller deadline", err)
+	}
+	close(release)
+	s.Close()
+}
+
+func TestErrNoModel(t *testing.T) {
+	s, err := serve.New(serve.Options{ModelName: "lr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	_, err = s.Predict(context.Background(), vec.Sparse{Indices: []int32{0}, Values: []float64{1}})
+	if !errors.Is(err, serve.ErrNoModel) {
+		t.Fatalf("err = %v, want ErrNoModel", err)
+	}
+	if s.Version() != 0 || s.Features() != 0 {
+		t.Fatal("empty server reports a model")
+	}
+}
+
+func TestCloseDrainsAndRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rows := integerRows(rng, 1, 40)
+	s, err := serve.New(serve.Options{ModelName: "lr", Shards: 2, MaxBatch: 8, MaxWait: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Install(rows); err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	probes := make([]vec.Sparse, n)
+	for i := range probes {
+		probes[i] = randomSparse(rng, 40, true)
+	}
+	var wg sync.WaitGroup
+	var ok, closed atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := s.Predict(context.Background(), probes[i])
+			switch {
+			case err == nil:
+				ok.Add(1)
+			case errors.Is(err, serve.ErrClosed):
+				closed.Add(1)
+			default:
+				t.Errorf("request %d: %v", i, err)
+			}
+		}(i)
+	}
+	time.Sleep(500 * time.Microsecond)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if got := ok.Load() + closed.Load(); got != n {
+		t.Fatalf("accounted for %d of %d requests", got, n)
+	}
+	// Everything admitted before Close was scored, not dropped.
+	if s.Snapshot().Errors != 0 {
+		t.Fatalf("%d admitted requests errored during drain", s.Snapshot().Errors)
+	}
+	// After Close, admission fails cleanly and Close is idempotent.
+	if _, err := s.Predict(context.Background(), randomSparse(rng, 40, true)); !errors.Is(err, serve.ErrClosed) {
+		t.Fatalf("post-close predict: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRejectsBadOptions(t *testing.T) {
+	if _, err := serve.New(serve.Options{ModelName: "no-such-model"}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	s, err := serve.New(serve.Options{ModelName: "lr", Scheme: "no-such-scheme"})
+	if err != nil {
+		t.Fatal(err) // scheme is validated at install time (needs dimension)
+	}
+	defer s.Close()
+	if _, err := s.Install([][]float64{{1, 2}}); err == nil {
+		t.Fatal("unknown scheme accepted at install")
+	}
+}

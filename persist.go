@@ -1,107 +1,42 @@
 package columnsgd
 
 import (
-	"bufio"
-	"encoding/binary"
 	"fmt"
-	"io"
-	"math"
-	"os"
 	"sort"
+
+	"columnsgd/internal/persist"
 )
 
-// The model file format: a small magic header, the shape, then
-// fixed-width little-endian float64 rows. Version bumps change the magic.
-var modelMagic = [8]byte{'c', 'o', 'l', 's', 'g', 'd', 'm', '1'}
-
-// SaveModel writes the trained parameters to a file that LoadModel (or a
-// Trainer.SetWeights after LoadModel) can restore.
+// SaveModel writes the trained parameters to a checkpoint file that
+// LoadModel (or a Trainer.SetWeights after LoadModel) can restore, and
+// that Server.LoadModelFile serves and hot-reloads from.
 func (r *Result) SaveModel(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
+	if err := persist.Save(path, r.params.W); err != nil {
 		return fmt.Errorf("columnsgd: %w", err)
 	}
-	w := bufio.NewWriter(f)
-	werr := writeModel(w, r.params.W)
-	if err := w.Flush(); err != nil && werr == nil {
-		werr = err
-	}
-	if err := f.Close(); err != nil && werr == nil {
-		werr = err
-	}
-	return werr
+	return nil
 }
 
-func writeModel(w io.Writer, rows [][]float64) error {
-	if _, err := w.Write(modelMagic[:]); err != nil {
-		return err
-	}
-	hdr := make([]byte, 16)
-	binary.LittleEndian.PutUint64(hdr[0:], uint64(len(rows)))
-	width := 0
-	if len(rows) > 0 {
-		width = len(rows[0])
-	}
-	binary.LittleEndian.PutUint64(hdr[8:], uint64(width))
-	if _, err := w.Write(hdr); err != nil {
-		return err
-	}
-	buf := make([]byte, 8)
-	for _, row := range rows {
-		if len(row) != width {
-			return fmt.Errorf("columnsgd: ragged parameter rows")
-		}
-		for _, v := range row {
-			binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
-			if _, err := w.Write(buf); err != nil {
-				return err
-			}
-		}
+// SaveWeights writes bare parameter rows (as returned by Result.Weights or
+// LoadModel) to a checkpoint file in the same format as SaveModel.
+func SaveWeights(path string, w [][]float64) error {
+	if err := persist.Save(path, w); err != nil {
+		return fmt.Errorf("columnsgd: %w", err)
 	}
 	return nil
 }
 
 // LoadModel reads parameter rows saved by SaveModel. Feed the result to
-// Trainer.SetWeights to warm-start training, or inspect it directly.
+// Trainer.SetWeights to warm-start training, or Server.LoadWeights to
+// serve it. Truncated or corrupted checkpoints are rejected with an
+// error — the row/column counts and payload length are validated against
+// the header, so a bad file never yields partial weights.
 func LoadModel(path string) ([][]float64, error) {
-	f, err := os.Open(path)
+	rows, err := persist.Load(path)
 	if err != nil {
 		return nil, fmt.Errorf("columnsgd: %w", err)
 	}
-	defer f.Close()
-	return readModel(bufio.NewReader(f))
-}
-
-func readModel(r io.Reader) ([][]float64, error) {
-	var magic [8]byte
-	if _, err := io.ReadFull(r, magic[:]); err != nil {
-		return nil, fmt.Errorf("columnsgd: model header: %w", err)
-	}
-	if magic != modelMagic {
-		return nil, fmt.Errorf("columnsgd: not a columnsgd model file")
-	}
-	hdr := make([]byte, 16)
-	if _, err := io.ReadFull(r, hdr); err != nil {
-		return nil, fmt.Errorf("columnsgd: model shape: %w", err)
-	}
-	nRows := binary.LittleEndian.Uint64(hdr[0:])
-	width := binary.LittleEndian.Uint64(hdr[8:])
-	const maxDim = 1 << 33 // 8B values ≈ 64 GiB; reject corrupt headers
-	if nRows == 0 || width == 0 || nRows*width > maxDim {
-		return nil, fmt.Errorf("columnsgd: implausible model shape %d×%d", nRows, width)
-	}
-	out := make([][]float64, nRows)
-	buf := make([]byte, 8)
-	for i := range out {
-		out[i] = make([]float64, width)
-		for j := range out[i] {
-			if _, err := io.ReadFull(r, buf); err != nil {
-				return nil, fmt.Errorf("columnsgd: model payload: %w", err)
-			}
-			out[i][j] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
-		}
-	}
-	return out, nil
+	return rows, nil
 }
 
 // AUC computes the area under the ROC curve of the model's scores over a

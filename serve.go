@@ -3,6 +3,7 @@ package columnsgd
 import (
 	"fmt"
 	"net"
+	"time"
 
 	"columnsgd/internal/cluster"
 	"columnsgd/internal/core"
@@ -29,8 +30,14 @@ func ServeWorker(addr string) (*WorkerServer, error) {
 // Addr returns the worker's listen address.
 func (w *WorkerServer) Addr() string { return w.srv.Addr() }
 
-// Close stops the worker.
+// Close stops the worker immediately, terminating in-flight RPCs.
 func (w *WorkerServer) Close() error { return w.srv.Close() }
+
+// Shutdown drains the worker gracefully: it stops accepting connections,
+// lets RPCs that are mid-dispatch finish and flush their responses (up to
+// timeout), then closes. Use this on SIGINT/SIGTERM so a master never
+// sees a worker die mid-frame.
+func (w *WorkerServer) Shutdown(timeout time.Duration) error { return w.srv.Shutdown(timeout) }
 
 // ServeWorkerBlocking runs a worker in the calling goroutine until the
 // listener fails or is closed — the loop cmd/colsgd-node runs.

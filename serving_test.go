@@ -1,0 +1,286 @@
+package columnsgd_test
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	columnsgd "columnsgd"
+)
+
+// probeVectors generates feature vectors whose reference margin is safely
+// away from zero, so the ±1 label decision is stable under the ulp-level
+// reassociation differences sharded aggregation allows.
+func probeVectors(t *testing.T, res *columnsgd.Result, m, n int, seed int64) ([]columnsgd.SparseVector, []float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	vecs := make([]columnsgd.SparseVector, 0, n)
+	labels := make([]float64, 0, n)
+	for len(vecs) < n {
+		nnz := 1 + rng.Intn(8)
+		seen := map[int32]bool{}
+		var sv columnsgd.SparseVector
+		for len(sv.Indices) < nnz {
+			j := int32(rng.Intn(m))
+			if seen[j] {
+				continue
+			}
+			seen[j] = true
+			sv.Indices = append(sv.Indices, j)
+			sv.Values = append(sv.Values, rng.NormFloat64())
+		}
+		label, err := res.Predict(sv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vecs = append(vecs, sv)
+		labels = append(labels, label)
+	}
+	return vecs, labels
+}
+
+// The loopback integration test of the serving satellite: ≥1k concurrent
+// requests through the micro-batching path, predictions identical to
+// scoring the exported model unsharded, metrics populated.
+func TestServingLoopbackIntegration(t *testing.T) {
+	const features = 60
+	ds := genBinary(t, 500, features, 61)
+	res, err := columnsgd.Train(ds, columnsgd.Config{
+		LearningRate: 0.5, Workers: 3, BatchSize: 64, Iterations: 120, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := columnsgd.NewServer(columnsgd.ServeConfig{
+		Shards:   3,
+		MaxBatch: 32,
+		MaxWait:  2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := srv.LoadResult(res); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 1200
+	vecs, want := probeVectors(t, res, features, n, 17)
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	got := make([]columnsgd.Prediction, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = srv.Predict(context.Background(), vecs[i])
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if got[i].Label != want[i] {
+			t.Fatalf("request %d: sharded label %v != unsharded %v (margin %v)",
+				i, got[i].Label, want[i], got[i].Margin)
+		}
+	}
+
+	m := srv.Metrics()
+	if m.Requests != n {
+		t.Fatalf("requests %d, want %d", m.Requests, n)
+	}
+	if m.Errors != 0 || m.Rejected != 0 {
+		t.Fatalf("errors %d rejected %d under loopback load", m.Errors, m.Rejected)
+	}
+	if m.LatencyP50Micros <= 0 || m.LatencyP99Micros <= 0 || m.LatencyP99Micros < m.LatencyP50Micros {
+		t.Fatalf("latency percentiles p50=%vus p99=%vus", m.LatencyP50Micros, m.LatencyP99Micros)
+	}
+	if m.Batches <= 0 || m.Batches >= n || m.BatchMean <= 1 {
+		t.Fatalf("batching stats: %d batches, mean %v", m.Batches, m.BatchMean)
+	}
+	if m.FanoutBytes <= 0 || m.FanoutMessages < m.Batches*3 {
+		t.Fatalf("fan-out stats: %d messages, %d bytes", m.FanoutMessages, m.FanoutBytes)
+	}
+	if m.ModelVersion != srv.Version() || m.Features != features {
+		t.Fatalf("snapshot identity: %+v", m)
+	}
+}
+
+func TestServingHotReloadFromCheckpoint(t *testing.T) {
+	const features = 40
+	ds := genBinary(t, 300, features, 67)
+	res1, err := columnsgd.Train(ds, columnsgd.Config{
+		LearningRate: 0.5, Workers: 2, BatchSize: 32, Iterations: 40, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := columnsgd.Train(ds, columnsgd.Config{
+		LearningRate: 0.5, Workers: 2, BatchSize: 32, Iterations: 200, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(t.TempDir(), "v2.bin")
+	if err := res2.SaveModel(ckpt); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := columnsgd.NewServer(columnsgd.ServeConfig{Shards: 2, MaxWait: 500 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	v1, err := srv.LoadResult(res1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 300
+	vecs, want1 := probeVectors(t, res1, features, n, 23)
+	want2 := make([]float64, n)
+	for i, sv := range vecs {
+		if want2[i], err = res2.Predict(sv); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Stream predictions while the checkpoint reload lands mid-flight.
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	reloaded := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(2 * time.Millisecond)
+		v2, err := srv.LoadModelFile(ckpt)
+		if err != nil || v2 <= v1 {
+			t.Errorf("reload: version %d err %v", v2, err)
+		}
+		close(reloaded)
+	}()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i == n/2 {
+				<-reloaded // force some requests onto the new version
+			}
+			p, err := srv.Predict(context.Background(), vecs[i])
+			if err != nil {
+				failed.Add(1)
+				t.Errorf("request %d failed during hot reload: %v", i, err)
+				return
+			}
+			// Each response must match the unsharded reference for the
+			// version that actually served it.
+			want := want1[i]
+			if p.ModelVersion > v1 {
+				want = want2[i]
+			}
+			if p.Label != want {
+				failed.Add(1)
+				t.Errorf("request %d (version %d): label %v, want %v", i, p.ModelVersion, p.Label, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if failed.Load() != 0 {
+		t.Fatalf("%d in-flight requests failed across hot reload", failed.Load())
+	}
+	m := srv.Metrics()
+	if m.Errors != 0 {
+		t.Fatalf("server errors %d during hot reload", m.Errors)
+	}
+	if m.Reloads != 2 || m.ReloadFailures != 0 {
+		t.Fatalf("reload accounting: %d reloads, %d failures", m.Reloads, m.ReloadFailures)
+	}
+	if srv.Version() <= v1 {
+		t.Fatalf("version %d did not advance past %d", srv.Version(), v1)
+	}
+}
+
+func TestServingMarginMatchesMargin(t *testing.T) {
+	// Margins agree with the unsharded reference to float tolerance, and
+	// binary labels are consistent with the margin sign.
+	const features = 30
+	ds := genBinary(t, 200, features, 71)
+	res, err := columnsgd.Train(ds, columnsgd.Config{
+		LearningRate: 0.5, Workers: 2, BatchSize: 32, Iterations: 80, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := res.Weights()
+	srv, err := columnsgd.NewServer(columnsgd.ServeConfig{Shards: 4, MaxWait: time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := srv.LoadWeights(w); err != nil {
+		t.Fatal(err)
+	}
+	vecs, _ := probeVectors(t, res, features, 100, 29)
+	for _, sv := range vecs {
+		p, err := srv.Predict(context.Background(), sv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var local float64
+		for k, j := range sv.Indices {
+			local += w[0][j] * sv.Values[k]
+		}
+		if math.Abs(p.Margin-local) > 1e-9 {
+			t.Fatalf("margin %v vs local dot %v", p.Margin, local)
+		}
+		if (p.Margin >= 0) != (p.Label > 0) {
+			t.Fatalf("label %v inconsistent with margin %v", p.Label, p.Margin)
+		}
+	}
+}
+
+func TestServingValidation(t *testing.T) {
+	srv, err := columnsgd.NewServer(columnsgd.ServeConfig{Model: columnsgd.LinearSVM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Predict before any load.
+	_, err = srv.Predict(context.Background(), columnsgd.SparseVector{Indices: []int32{0}, Values: []float64{1}})
+	if err == nil {
+		t.Fatal("predict before load succeeded")
+	}
+
+	// Model-kind mismatch between server and result.
+	ds := genBinary(t, 100, 20, 73)
+	res, err := columnsgd.Train(ds, columnsgd.Config{
+		Model: columnsgd.LogisticRegression, LearningRate: 0.5, Workers: 2, BatchSize: 16, Iterations: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.LoadResult(res); err == nil {
+		t.Fatal("lr result accepted by svm server")
+	}
+
+	// Malformed feature vector.
+	if _, err := srv.LoadWeights(res.Weights()); err != nil {
+		t.Fatal(err) // svm and lr share the 1-row shape
+	}
+	if _, err := srv.Predict(context.Background(), columnsgd.SparseVector{
+		Indices: []int32{0, 1}, Values: []float64{1},
+	}); err == nil {
+		t.Fatal("mismatched indices/values accepted")
+	}
+}
