@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race
+.PHONY: check build vet test race chaos fuzz
 
 # The full gate: what CI runs.
 check: vet build test race
@@ -8,11 +8,28 @@ check: vet build test race
 build:
 	$(GO) build ./...
 
+# test runs vet first and includes the race detector: the chaos harness
+# exercises concurrent fault paths that only -race can vouch for.
+test: vet
+	$(GO) test ./...
+	$(GO) test -race ./...
+
 vet:
 	$(GO) vet ./...
 
-test:
-	$(GO) test ./...
-
 race:
 	$(GO) test -race ./...
+
+# chaos runs the fault-injection suites: the injector's own tests plus
+# the top-level differential harness (all five engines under fault
+# matrices, golden determinism, replay bit-identity).
+chaos:
+	$(GO) test -race ./internal/chaos/...
+	$(GO) test -race -run 'Chaos|Golden' .
+
+# fuzz gives each transport fuzzer a short live budget on top of the
+# checked-in corpus (which plain `go test` always replays).
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzReadFrame -fuzztime=10s ./internal/cluster/
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeEnvelope -fuzztime=10s ./internal/cluster/
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeResponse -fuzztime=10s ./internal/cluster/

@@ -1,0 +1,334 @@
+package columnsgd_test
+
+// Differential chaos harness: the same seeded workload runs through the
+// sequential reference, the ColumnSGD engine, and the four RowSGD
+// baselines behind seeded fault schedules (internal/chaos), asserting
+// the §X fault-tolerance story end to end:
+//
+//	(a) zero-fault chaos runs are bit-identical to the plain transport;
+//	(b) absorbed transient faults keep the final loss inside a tolerance
+//	    band of the fault-free run, with retry/restart counters proving
+//	    the faults were exercised;
+//	(c) unabsorbable faults surface as typed errors under a watchdog —
+//	    never hangs or silent divergence.
+//
+// Every failure message embeds the chaos spec and seed; replay with
+//
+//	go run ./cmd/colsgd-bench -chaos "<spec>" -seed <seed>
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"columnsgd/internal/chaos"
+	"columnsgd/internal/chaos/diff"
+	"columnsgd/internal/cluster"
+)
+
+// watchdog bounds any single run — invariant (c)'s "never hangs".
+const watchdog = 2 * time.Minute
+
+// lossBand is the allowed |faulted − fault-free| final-loss gap for
+// absorbed transient faults. SGD's robustness (the paper's recovery
+// argument) keeps the gap far smaller in practice; the band only has to
+// exclude divergence and dead training.
+const lossBand = 0.3
+
+func replayHint(spec chaos.Spec) string {
+	return fmt.Sprintf("replay: go run ./cmd/colsgd-bench -chaos %q -seed %d", spec.String(), spec.Seed)
+}
+
+// runUnderWatchdog fails the test on a hang instead of timing out the
+// whole binary.
+func runUnderWatchdog(t *testing.T, spec chaos.Spec, fn func() (*diff.Result, error)) (*diff.Result, error) {
+	t.Helper()
+	res, err := diff.WithDeadline(watchdog, fn)
+	if errors.Is(err, diff.ErrDeadline) {
+		t.Fatalf("run hung past the watchdog; %s", replayHint(spec))
+	}
+	return res, err
+}
+
+// TestChaosZeroFaultBitIdentical is invariant (a): wrapping the
+// transport in a chaos injector with all probabilities zero must not
+// perturb a single bit of the final model, for every engine.
+func TestChaosZeroFaultBitIdentical(t *testing.T) {
+	zero := chaos.Spec{Seed: 999}
+	for _, eng := range diff.Engines() {
+		t.Run(eng, func(t *testing.T) {
+			w := diff.Workload{Seed: 21}
+			plain, err := diff.Run(eng, w, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			chaotic, err := diff.Run(eng, w, &zero)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if chaotic.Faults.Injected() != 0 {
+				t.Fatalf("zero spec injected faults: %s", chaotic.Faults)
+			}
+			if math.Float64bits(plain.Loss) != math.Float64bits(chaotic.Loss) {
+				t.Errorf("loss differs: plain %v vs chaos-0 %v", plain.Loss, chaotic.Loss)
+			}
+			if !diff.BitIdentical(plain.Weights, chaotic.Weights) {
+				t.Errorf("weights differ (max |Δ| = %g); the injector is not transparent at zero probability",
+					diff.MaxAbsDiff(plain.Weights, chaotic.Weights))
+			}
+		})
+	}
+}
+
+// TestGoldenDeterminism is the cross-transport satellite: the same seed
+// must produce a bit-identical final model over the in-process channel
+// transport, a real TCP loopback cluster, and a chaos transport with
+// zero fault probability, for every model family. Catches accidental
+// map-iteration or goroutine-order nondeterminism anywhere in the stack.
+func TestGoldenDeterminism(t *testing.T) {
+	zero := chaos.Spec{Seed: 4242}
+	for _, m := range []string{"lr", "svm", "mlr", "fm"} {
+		t.Run(m, func(t *testing.T) {
+			w := diff.Workload{Model: m, Seed: 31}
+			channel, err := diff.RunColumnSGD(w, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			again, err := diff.RunColumnSGD(w, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !diff.BitIdentical(channel.Weights, again.Weights) {
+				t.Fatalf("channel transport is not deterministic with itself (max |Δ| = %g)",
+					diff.MaxAbsDiff(channel.Weights, again.Weights))
+			}
+			tcp, err := diff.RunColumnSGDTCP(w, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !diff.BitIdentical(channel.Weights, tcp.Weights) {
+				t.Errorf("TCP loopback diverges from channel transport (max |Δ| = %g)",
+					diff.MaxAbsDiff(channel.Weights, tcp.Weights))
+			}
+			chaos0, err := diff.RunColumnSGD(w, &zero)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !diff.BitIdentical(channel.Weights, chaos0.Weights) {
+				t.Errorf("chaos-0 transport diverges from channel transport (max |Δ| = %g)",
+					diff.MaxAbsDiff(channel.Weights, chaos0.Weights))
+			}
+		})
+	}
+}
+
+// TestChaosTransientFaultMatrix is invariant (b) across the full
+// engine × fault-type matrix: drops, duplicates, delays/reorders, and
+// corrupt/truncated frames must all be absorbed by the retry machinery,
+// leaving the final loss within the tolerance band — and the counters
+// must prove the faults actually fired.
+func TestChaosTransientFaultMatrix(t *testing.T) {
+	faults := []struct {
+		name string
+		spec chaos.Spec
+		// retried marks fault types the engines absorb via task retry,
+		// where the retry counter must be nonzero.
+		retried bool
+		// injected extracts the relevant fault counter.
+		injected func(chaos.Snapshot) int64
+	}{
+		{
+			name:     "drop",
+			spec:     chaos.Spec{Seed: 101, Drop: 0.04},
+			retried:  true,
+			injected: func(s chaos.Snapshot) int64 { return s.Dropped },
+		},
+		{
+			name:     "duplicate",
+			spec:     chaos.Spec{Seed: 102, Dup: 0.08},
+			injected: func(s chaos.Snapshot) int64 { return s.Duplicated },
+		},
+		{
+			name:     "delay-reorder",
+			spec:     chaos.Spec{Seed: 103, Delay: 0.2, Reorder: 0.05, MaxDelay: 200 * time.Microsecond},
+			injected: func(s chaos.Snapshot) int64 { return s.Delayed + s.Reordered },
+		},
+		{
+			name:     "corrupt-truncate",
+			spec:     chaos.Spec{Seed: 104, Corrupt: 0.02, Truncate: 0.02},
+			retried:  true,
+			injected: func(s chaos.Snapshot) int64 { return s.Corrupted + s.Truncated },
+		},
+	}
+	for _, eng := range diff.Engines() {
+		t.Run(eng, func(t *testing.T) {
+			w := diff.Workload{Seed: 51}
+			ref, err := diff.Run(eng, w, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range faults {
+				f := f
+				t.Run(f.name, func(t *testing.T) {
+					res, err := runUnderWatchdog(t, f.spec, func() (*diff.Result, error) {
+						return diff.Run(eng, w, &f.spec)
+					})
+					if err != nil {
+						t.Fatalf("transient faults were not absorbed: %v\n%s", err, replayHint(f.spec))
+					}
+					if n := f.injected(res.Faults); n == 0 {
+						t.Fatalf("no %s faults fired (%s); the matrix cell is vacuous — raise the probability. %s",
+							f.name, res.Faults, replayHint(f.spec))
+					}
+					if f.retried && res.Retries == 0 {
+						t.Errorf("faults fired (%s) but the engine never retried; %s",
+							res.Faults, replayHint(f.spec))
+					}
+					if gap := math.Abs(res.Loss - ref.Loss); !(gap <= lossBand) {
+						t.Errorf("final loss %v drifted %v from fault-free %v (band %v); %s",
+							res.Loss, gap, ref.Loss, lossBand, replayHint(f.spec))
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestChaosWorkerCrashRecovery is the §X machine-failure path end to
+// end: a worker crashes mid-training at a chosen message boundary, the
+// master restarts it, reloads its shard, reinitializes its model
+// partition, and training converges on — with the restart counter
+// proving recovery ran.
+func TestChaosWorkerCrashRecovery(t *testing.T) {
+	spec := chaos.Spec{Seed: 201, Crashes: []chaos.Crash{{Link: 1, AtMsg: 40}}}
+	w := diff.Workload{Seed: 61}
+	ref, err := diff.RunColumnSGD(w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runUnderWatchdog(t, spec, func() (*diff.Result, error) {
+		return diff.RunColumnSGD(w, &spec)
+	})
+	if err != nil {
+		t.Fatalf("crash was not recovered: %v\n%s", err, replayHint(spec))
+	}
+	if res.Faults.Crashes == 0 {
+		t.Fatalf("crash never fired (%s); %s", res.Faults, replayHint(spec))
+	}
+	if res.Restarts == 0 {
+		t.Fatalf("crash fired but the master never restarted the worker; %s", replayHint(spec))
+	}
+	if gap := math.Abs(res.Loss - ref.Loss); !(gap <= lossBand) {
+		t.Errorf("post-recovery loss %v drifted %v from fault-free %v; %s",
+			res.Loss, gap, ref.Loss, replayHint(spec))
+	}
+}
+
+// TestChaosSeverHealedByRestart: an asymmetric partition that heals when
+// the worker restarts is just a recoverable machine failure.
+func TestChaosSeverHealedByRestart(t *testing.T) {
+	spec := chaos.Spec{Seed: 202, Severs: []chaos.Sever{{Link: 0, AtMsg: 11, HealOnRestart: true}}}
+	w := diff.Workload{Seed: 61}
+	res, err := runUnderWatchdog(t, spec, func() (*diff.Result, error) {
+		return diff.RunColumnSGD(w, &spec)
+	})
+	if err != nil {
+		t.Fatalf("healable sever was not recovered: %v\n%s", err, replayHint(spec))
+	}
+	if res.Faults.Severed == 0 || res.Restarts == 0 {
+		t.Fatalf("sever/restart not exercised (faults %s, restarts %d); %s",
+			res.Faults, res.Restarts, replayHint(spec))
+	}
+}
+
+// TestChaosPermanentSeverSurfacesTypedError is invariant (c): a
+// partition that restarts cannot heal must fail the run with the typed
+// chaos error wrapping cluster.ErrWorkerDown — promptly, not as a hang
+// or a silently wrong model.
+func TestChaosPermanentSeverSurfacesTypedError(t *testing.T) {
+	spec := chaos.Spec{Seed: 203, Severs: []chaos.Sever{{Link: 1, AtMsg: 10}}}
+	w := diff.Workload{Seed: 61}
+
+	t.Run("columnsgd", func(t *testing.T) {
+		_, err := runUnderWatchdog(t, spec, func() (*diff.Result, error) {
+			return diff.RunColumnSGD(w, &spec)
+		})
+		if err == nil {
+			t.Fatalf("permanent sever went unnoticed; %s", replayHint(spec))
+		}
+		if !errors.Is(err, chaos.ErrLinkSevered) || !errors.Is(err, cluster.ErrWorkerDown) {
+			t.Fatalf("want ErrLinkSevered∧ErrWorkerDown, got %v; %s", err, replayHint(spec))
+		}
+	})
+
+	// RowSGD baselines have no worker-restart path at all: the first
+	// down-class fault must surface immediately as a typed error.
+	t.Run("mllib", func(t *testing.T) {
+		_, err := runUnderWatchdog(t, spec, func() (*diff.Result, error) {
+			return diff.RunRowSGD(w, "MLlib", &spec)
+		})
+		if err == nil {
+			t.Fatalf("sever went unnoticed; %s", replayHint(spec))
+		}
+		if !errors.Is(err, cluster.ErrWorkerDown) {
+			t.Fatalf("want ErrWorkerDown, got %v; %s", err, replayHint(spec))
+		}
+	})
+}
+
+// TestChaosReplayBitIdentical: running the identical spec twice must
+// reproduce the identical fault schedule, counters, and final model —
+// the property that makes a printed seed a complete bug report.
+func TestChaosReplayBitIdentical(t *testing.T) {
+	spec := chaos.Spec{Seed: 301, Drop: 0.05, Corrupt: 0.03}
+	for _, eng := range []string{"columnsgd", "mllib"} {
+		t.Run(eng, func(t *testing.T) {
+			w := diff.Workload{Seed: 71}
+			a, err := diff.Run(eng, w, &spec)
+			if err != nil {
+				t.Fatalf("%v\n%s", err, replayHint(spec))
+			}
+			b, err := diff.Run(eng, w, &spec)
+			if err != nil {
+				t.Fatalf("%v\n%s", err, replayHint(spec))
+			}
+			if a.Faults != b.Faults {
+				t.Fatalf("replay drew different faults:\n%s\n%s\n%s", a.Faults, b.Faults, replayHint(spec))
+			}
+			if fmt.Sprint(a.Schedule) != fmt.Sprint(b.Schedule) {
+				t.Fatalf("replay produced a different schedule; %s", replayHint(spec))
+			}
+			if !diff.BitIdentical(a.Weights, b.Weights) {
+				t.Fatalf("replay produced a different model (max |Δ| = %g); %s",
+					diff.MaxAbsDiff(a.Weights, b.Weights), replayHint(spec))
+			}
+			if a.Faults.Injected() == 0 {
+				t.Fatalf("replay test injected nothing; %s", replayHint(spec))
+			}
+			t.Logf("%s absorbed %d faults (%s), retries=%d; %s",
+				eng, a.Faults.Injected(), a.Faults, a.Retries, replayHint(spec))
+		})
+	}
+}
+
+// TestChaosAgreesWithSequential sanity-checks the differential anchor:
+// fault-free distributed training lands near the sequential Algorithm 1
+// reference (they sample differently, so this is a band, not equality).
+func TestChaosAgreesWithSequential(t *testing.T) {
+	w := diff.Workload{Seed: 81}
+	seq, err := diff.RunSequential(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range diff.Engines() {
+		res, err := diff.Run(eng, w, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+		if gap := math.Abs(res.Loss - seq.Loss); !(gap <= lossBand) {
+			t.Errorf("%s final loss %v is %v from sequential %v", eng, res.Loss, gap, seq.Loss)
+		}
+	}
+}

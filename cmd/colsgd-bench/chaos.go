@@ -1,0 +1,56 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"columnsgd/internal/chaos"
+	"columnsgd/internal/chaos/diff"
+)
+
+// runChaos replays a seeded fault schedule against every engine the
+// differential harness knows, printing the injected-fault counters,
+// retry/restart activity, and the loss delta against the same workload
+// on a clean transport. This is the command a failing chaos test's
+// replay hint points at: the spec string plus the seed reproduce the
+// exact per-link fault schedule the test saw.
+func runChaos(specStr string, seed int64, engines []string, w io.Writer) error {
+	spec, err := chaos.ParseSpec(specStr)
+	if err != nil {
+		return err
+	}
+	spec.Seed = seed
+	fmt.Fprintf(w, "chaos replay: spec=%q seed=%d\n", spec.String(), spec.Seed)
+	fmt.Fprintf(w, "replay: go run ./cmd/colsgd-bench -chaos %q -seed %d\n\n", spec.String(), spec.Seed)
+
+	for _, engine := range engines {
+		wl := diff.Workload{Model: "lr", Seed: spec.Seed}.Defaults()
+		ref, err := diff.Run(engine, wl, nil)
+		if err != nil {
+			return fmt.Errorf("%s reference run: %w", engine, err)
+		}
+		res, err := diff.Run(engine, wl, &spec)
+		fmt.Fprintf(w, "[%s]\n", engine)
+		if res != nil {
+			fmt.Fprintf(w, "  faults:   %s\n", res.Faults.String())
+			fmt.Fprintf(w, "  retries:  %d  restarts: %d\n", res.Retries, res.Restarts)
+			for _, ev := range res.Schedule {
+				fmt.Fprintf(w, "  schedule: %s\n", ev)
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(w, "  error:    %v\n\n", err)
+			continue
+		}
+		fmt.Fprintf(w, "  loss:     %.6f  (clean %.6f, |Δ| %.6f)\n\n",
+			res.Loss, ref.Loss, absDiff(res.Loss, ref.Loss))
+	}
+	return nil
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

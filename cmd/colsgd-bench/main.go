@@ -6,6 +6,7 @@
 //	colsgd-bench -exp table4     # one experiment
 //	colsgd-bench -list           # list experiment IDs
 //	colsgd-bench -scale 1.0      # dataset scale multiplier
+//	colsgd-bench -chaos "drop=0.05" -seed 7   # replay a seeded fault schedule
 //
 // Each experiment prints the regenerated table/figure plus "check" lines
 // that assert the paper's qualitative result (orderings, speedup bands,
@@ -20,6 +21,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"columnsgd/internal/chaos/diff"
 	"columnsgd/internal/experiments"
 	"columnsgd/internal/metrics"
 	"columnsgd/internal/plot"
@@ -42,9 +44,19 @@ func run(args []string, stdout io.Writer) error {
 		iters = fs.Int("iters", 0, "override per-run iteration count (0 = defaults)")
 		out   = fs.String("out", "", "also write the report to this file")
 		svg   = fs.String("svg", "", "also render every figure as an SVG file into this directory")
+		chaos = fs.String("chaos", "", "replay a chaos fault spec (e.g. \"drop=0.05,corrupt=0.03\") against every engine and exit")
+		eng   = fs.String("engine", "", "with -chaos: restrict the replay to one engine")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *chaos != "" {
+		engines := diff.Engines()
+		if *eng != "" {
+			engines = []string{*eng}
+		}
+		return runChaos(*chaos, *seed, engines, stdout)
 	}
 
 	if *list {

@@ -83,3 +83,34 @@ func TestSlug(t *testing.T) {
 		t.Fatalf("slug of punctuation = %q", got)
 	}
 }
+
+func TestBenchChaosReplay(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-chaos", "drop=0.05", "-seed", "7", "-engine", "columnsgd"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"chaos replay: spec=\"drop=0.05\" seed=7",
+		"replay: go run ./cmd/colsgd-bench -chaos \"drop=0.05\" -seed 7",
+		"[columnsgd]",
+		"faults:",
+		"retries:",
+		"loss:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chaos replay output missing %q:\n%s", want, out)
+		}
+	}
+	// The schedule and counters must reflect real injected faults.
+	if strings.Contains(out, "faults:   quiet") {
+		t.Errorf("drop=0.05 replay injected nothing:\n%s", out)
+	}
+}
+
+func TestBenchChaosRejectsBadSpec(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-chaos", "drop=nan"}, &sb); err == nil {
+		t.Fatal("bad chaos spec accepted")
+	}
+}

@@ -1,0 +1,373 @@
+package chaos_test
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"columnsgd/internal/chaos"
+	"columnsgd/internal/cluster"
+	"columnsgd/internal/model"
+	"columnsgd/internal/serve"
+	"columnsgd/internal/vec"
+)
+
+// echoClient is a live fake worker link: every call succeeds and is
+// counted, so tests can see exactly which calls the injector let through.
+type echoClient struct {
+	calls int
+}
+
+func (c *echoClient) Call(method string, args, reply interface{}) error {
+	c.calls++
+	return nil
+}
+func (c *echoClient) Bytes() int64    { return 0 }
+func (c *echoClient) Messages() int64 { return int64(c.calls) }
+func (c *echoClient) Close() error    { return nil }
+
+// chaosArgs is a gob-encodable payload for corruption tests.
+type chaosArgs struct {
+	Payload []float64
+	Note    string
+}
+
+func init() {
+	gob.Register(&chaosArgs{})
+}
+
+func someArgs() *chaosArgs {
+	return &chaosArgs{Payload: []float64{1, 2, 3, 4.5}, Note: "chaos probe"}
+}
+
+func TestZeroSpecIsTransparent(t *testing.T) {
+	inner := &echoClient{}
+	c := chaos.NewInjector(chaos.Spec{Seed: 7}).WrapClient(0, inner)
+	for i := 0; i < 100; i++ {
+		if err := c.Call("m", someArgs(), nil); err != nil {
+			t.Fatalf("call %d: unexpected fault %v", i, err)
+		}
+	}
+	if inner.calls != 100 {
+		t.Fatalf("inner saw %d calls, want 100", inner.calls)
+	}
+}
+
+func TestDisabledInjectorPassesThrough(t *testing.T) {
+	in := chaos.NewInjector(chaos.Spec{Seed: 1, Drop: 1})
+	in.SetEnabled(false)
+	c := in.WrapClient(0, &echoClient{})
+	for i := 0; i < 10; i++ {
+		if err := c.Call("m", someArgs(), nil); err != nil {
+			t.Fatalf("disabled injector injected: %v", err)
+		}
+	}
+	if got := in.Counters().Calls; got != 0 {
+		t.Fatalf("disabled injector counted %d calls, want 0", got)
+	}
+}
+
+// faultSchedule records which calls fault, as a replayable signature.
+func faultSchedule(spec chaos.Spec, n int) []string {
+	c := chaos.NewInjector(spec).WrapClient(0, &echoClient{})
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		if err := c.Call("m", someArgs(), nil); err != nil {
+			out = append(out, fmt.Sprintf("%d:%v", i, err))
+		}
+	}
+	return out
+}
+
+func TestScheduleDeterministicInSeed(t *testing.T) {
+	spec := chaos.Spec{Seed: 42, Drop: 0.2, Corrupt: 0.1, Truncate: 0.05, Dup: 0.1}
+	a := faultSchedule(spec, 200)
+	b := faultSchedule(spec, 200)
+	if len(a) == 0 {
+		t.Fatal("schedule injected no faults; probabilities too low for the test to mean anything")
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed produced different schedules:\n%v\n%v", a, b)
+	}
+	spec.Seed = 43
+	if c := faultSchedule(spec, 200); fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestLinksHaveIndependentStreams(t *testing.T) {
+	in := chaos.NewInjector(chaos.Spec{Seed: 9, Drop: 0.5})
+	c0 := in.WrapClient(0, &echoClient{})
+	c1 := in.WrapClient(1, &echoClient{})
+	var s0, s1 []int
+	for i := 0; i < 64; i++ {
+		if c0.Call("m", someArgs(), nil) != nil {
+			s0 = append(s0, i)
+		}
+		if c1.Call("m", someArgs(), nil) != nil {
+			s1 = append(s1, i)
+		}
+	}
+	if fmt.Sprint(s0) == fmt.Sprint(s1) {
+		t.Fatal("links 0 and 1 drew identical fault streams; per-link decorrelation is broken")
+	}
+}
+
+func TestDropTyping(t *testing.T) {
+	inner := &echoClient{}
+	in := chaos.NewInjector(chaos.Spec{Seed: 3, DropEvery: 2})
+	c := in.WrapClient(0, inner)
+	var faults int
+	for i := 0; i < 20; i++ {
+		err := c.Call("m", someArgs(), nil)
+		if i%2 == 1 {
+			if !errors.Is(err, chaos.ErrDropped) || !errors.Is(err, chaos.ErrInjected) {
+				t.Fatalf("msg %d: want ErrDropped∧ErrInjected, got %v", i, err)
+			}
+			if errors.Is(err, cluster.ErrWorkerDown) {
+				t.Fatalf("msg %d: a drop must not look like a dead worker", i)
+			}
+			faults++
+		} else if err != nil {
+			t.Fatalf("msg %d: unexpected fault %v", i, err)
+		}
+	}
+	snap := in.Counters()
+	if int64(faults) != snap.Dropped || snap.Dropped != 10 {
+		t.Fatalf("dropped=%d (saw %d), want 10", snap.Dropped, faults)
+	}
+	// Reply-side drops still execute on the worker (at-least-once), so the
+	// inner client must have seen more than the 10 delivered requests.
+	if snap.DroppedReplies == 0 {
+		t.Skip("schedule drew only request-side drops; acceptable but uncheckable")
+	}
+	if want := 10 + int(snap.DroppedReplies); inner.calls != want {
+		t.Fatalf("inner saw %d calls, want %d (10 delivered + %d executed-but-lost)",
+			inner.calls, want, snap.DroppedReplies)
+	}
+}
+
+func TestCorruptionSurfacesRealDecodeError(t *testing.T) {
+	in := chaos.NewInjector(chaos.Spec{Seed: 5, Corrupt: 1})
+	c := in.WrapClient(0, &echoClient{})
+	sawDecode := false
+	for i := 0; i < 32; i++ {
+		err := c.Call("m", someArgs(), nil)
+		if !errors.Is(err, chaos.ErrCorrupted) {
+			t.Fatalf("msg %d: want ErrCorrupted, got %v", i, err)
+		}
+		if errors.Is(err, cluster.ErrDecode) {
+			sawDecode = true
+		}
+	}
+	// Most byte flips break gob decoding; the error must carry the
+	// codec's own taxonomy so callers see the same failure a real
+	// corrupted frame would produce.
+	if !sawDecode {
+		t.Fatal("no corruption produced a cluster.ErrDecode cause in 32 tries")
+	}
+}
+
+func TestTruncationTyping(t *testing.T) {
+	in := chaos.NewInjector(chaos.Spec{Seed: 6, Truncate: 1})
+	c := in.WrapClient(0, &echoClient{})
+	err := c.Call("m", someArgs(), nil)
+	if !errors.Is(err, chaos.ErrTruncated) || !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("want ErrTruncated∧ErrInjected, got %v", err)
+	}
+}
+
+func TestDuplicateDeliversTwice(t *testing.T) {
+	inner := &echoClient{}
+	c := chaos.NewInjector(chaos.Spec{Seed: 8, Dup: 1}).WrapClient(0, inner)
+	for i := 0; i < 10; i++ {
+		if err := c.Call("m", someArgs(), nil); err != nil {
+			t.Fatalf("dup is not an error fault, got %v", err)
+		}
+	}
+	if inner.calls != 20 {
+		t.Fatalf("inner saw %d calls, want 20 (each delivered twice)", inner.calls)
+	}
+}
+
+func TestSeverAndCrashWrapWorkerDown(t *testing.T) {
+	in := chaos.NewInjector(chaos.Spec{
+		Seed:    1,
+		Severs:  []chaos.Sever{{Link: 0, AtMsg: 0}},
+		Crashes: []chaos.Crash{{Link: 1, AtMsg: 0}},
+	})
+	c0 := in.WrapClient(0, &echoClient{})
+	c1 := in.WrapClient(1, &echoClient{})
+
+	if err := c0.Call("m", someArgs(), nil); !errors.Is(err, chaos.ErrLinkSevered) || !errors.Is(err, cluster.ErrWorkerDown) {
+		t.Fatalf("sever: want ErrLinkSevered∧ErrWorkerDown, got %v", err)
+	}
+	if err := c1.Call("m", someArgs(), nil); !errors.Is(err, chaos.ErrCrashed) || !errors.Is(err, cluster.ErrWorkerDown) {
+		t.Fatalf("crash: want ErrCrashed∧ErrWorkerDown, got %v", err)
+	}
+
+	// Restart heals the crash but not the heal-less sever — a permanent
+	// asymmetric partition survives worker restarts.
+	in.RestartLink(0)
+	in.RestartLink(1)
+	if err := c0.Call("m", someArgs(), nil); !errors.Is(err, chaos.ErrLinkSevered) {
+		t.Fatalf("heal-less sever healed on restart: %v", err)
+	}
+	if err := c1.Call("m", someArgs(), nil); err != nil {
+		t.Fatalf("crash did not heal on restart: %v", err)
+	}
+	snap := in.Counters()
+	if snap.Crashes != 1 || snap.Severed != 1 || snap.Restarts != 2 {
+		t.Fatalf("counters crashes=%d severed=%d restarts=%d, want 1/1/2", snap.Crashes, snap.Severed, snap.Restarts)
+	}
+	if len(in.Schedule()) == 0 {
+		t.Fatal("sever/crash events missing from the schedule log")
+	}
+}
+
+func TestSeverWithHealRecoversOnRestart(t *testing.T) {
+	in := chaos.NewInjector(chaos.Spec{Seed: 1, Severs: []chaos.Sever{{Link: 0, AtMsg: 2, HealOnRestart: true}}})
+	c := in.WrapClient(0, &echoClient{})
+	for i := 0; i < 2; i++ {
+		if err := c.Call("m", someArgs(), nil); err != nil {
+			t.Fatalf("msg %d before sever: %v", i, err)
+		}
+	}
+	if err := c.Call("m", someArgs(), nil); !errors.Is(err, chaos.ErrLinkSevered) {
+		t.Fatalf("want sever at msg 2, got %v", err)
+	}
+	in.RestartLink(0)
+	if err := c.Call("m", someArgs(), nil); err != nil {
+		t.Fatalf("healed sever still failing: %v", err)
+	}
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	spec := chaos.Spec{
+		Drop: 0.05, DropEvery: 7, Dup: 0.02, Delay: 0.1, Reorder: 0.01,
+		Corrupt: 0.03, Truncate: 0.04, MaxDelay: 3 * time.Millisecond,
+		Severs:  []chaos.Sever{{Link: 2, AtMsg: 30, HealOnRestart: true}, {Link: 0, AtMsg: 9}},
+		Crashes: []chaos.Crash{{Link: 1, AtMsg: 40}},
+	}
+	text := spec.String()
+	back, err := chaos.ParseSpec(text)
+	if err != nil {
+		t.Fatalf("ParseSpec(%q): %v", text, err)
+	}
+	if back.String() != text {
+		t.Fatalf("round trip changed the spec: %q → %q", text, back.String())
+	}
+	if zero, err := chaos.ParseSpec("none"); err != nil || zero.Stochastic() {
+		t.Fatalf("ParseSpec(none) = %+v, %v", zero, err)
+	}
+}
+
+func TestParseSpecRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"drop", "drop=nan", "drop=1.5", "drop=-0.1", "warp=0.5",
+		"dropevery=-3", "sever=1", "sever=x@3", "crash=1@-2", "maxdelay=fast",
+	} {
+		if _, err := chaos.ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted garbage", bad)
+		}
+	}
+}
+
+// TestScorerFanoutAbsorbsDrops runs ColumnServe's shard fan-out through
+// chaos links: every 4th shard call is dropped, the server's single
+// retry absorbs each one (drops are never back-to-back on a link), and
+// the retry counter proves the faults were exercised.
+func TestScorerFanoutAbsorbsDrops(t *testing.T) {
+	const features = 32
+	mdl, err := model.New("lr", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := chaos.NewInjector(chaos.Spec{Seed: 11, DropEvery: 4})
+	s, err := serve.New(serve.Options{
+		ModelName:     "lr",
+		Shards:        2,
+		MaxBatch:      1,
+		MaxWait:       time.Microsecond,
+		MaxConcurrent: 1,
+		NewScorer: func(shard int) serve.Scorer {
+			return in.WrapScorer(shard, serve.LocalScorer{Model: mdl})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	rng := rand.New(rand.NewSource(4))
+	rows := [][]float64{make([]float64, features)}
+	for j := range rows[0] {
+		rows[0][j] = rng.NormFloat64()
+	}
+	if _, err := s.Install(rows); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		row, err := vec.NewSparse([]int32{int32(i % features)}, []float64{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Predict(context.Background(), row); err != nil {
+			t.Fatalf("predict %d failed under absorbed drops: %v", i, err)
+		}
+	}
+	snap := in.Counters()
+	if snap.Dropped == 0 {
+		t.Fatal("no shard calls were dropped; the chaos path was not exercised")
+	}
+	if got := s.Metrics().ShardRetries.Load(); got < snap.Dropped {
+		t.Fatalf("server retried %d shard calls for %d drops", got, snap.Dropped)
+	}
+}
+
+// TestScorerFanoutSeverSurfacesTypedError severs one shard permanently:
+// predictions must fail with the typed chaos error, not hang.
+func TestScorerFanoutSeverSurfacesTypedError(t *testing.T) {
+	mdl, err := model.New("lr", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := chaos.NewInjector(chaos.Spec{Seed: 12, Severs: []chaos.Sever{{Link: 1, AtMsg: 0}}})
+	s, err := serve.New(serve.Options{
+		ModelName: "lr",
+		Shards:    2,
+		MaxBatch:  1,
+		MaxWait:   time.Microsecond,
+		NewScorer: func(shard int) serve.Scorer {
+			return in.WrapScorer(shard, serve.LocalScorer{Model: mdl})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	if _, err := s.Install([][]float64{make([]float64, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	row, err := vec.NewSparse([]int32{1}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, perr := s.Predict(context.Background(), row)
+		done <- perr
+	}()
+	select {
+	case perr := <-done:
+		if !errors.Is(perr, chaos.ErrLinkSevered) {
+			t.Fatalf("want ErrLinkSevered, got %v", perr)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("prediction hung on a severed shard link")
+	}
+}

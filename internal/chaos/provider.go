@@ -1,0 +1,66 @@
+package chaos
+
+import (
+	"columnsgd/internal/cluster"
+	"columnsgd/internal/core"
+)
+
+// Provider decorates a core.Provider with chaos links. Restarting a
+// worker restarts the inner worker (fresh state, per §X recovery) and
+// heals the chaos link's crash state — so the master's recovery machinery
+// is exercised end to end against the injected schedule.
+type Provider struct {
+	inner core.Provider
+	inj   *Injector
+}
+
+// NewProvider wraps a provider with an injector.
+func NewProvider(inner core.Provider, inj *Injector) *Provider {
+	return &Provider{inner: inner, inj: inj}
+}
+
+// Injector returns the fault injector for counter/schedule inspection.
+func (p *Provider) Injector() *Injector { return p.inj }
+
+// Clients implements core.Provider; worker i gets chaos link i. The
+// chaos client resolves the inner client through the provider on every
+// call, so providers whose Restart swaps the client object (RemoteProvider
+// redials) keep working under chaos.
+func (p *Provider) Clients() []cluster.Client {
+	inner := p.inner.Clients()
+	out := make([]cluster.Client, len(inner))
+	for i := range inner {
+		out[i] = p.inj.WrapClient(i, &providerClient{prov: p.inner, worker: i})
+	}
+	return out
+}
+
+// providerClient defers client resolution to call time.
+type providerClient struct {
+	prov   core.Provider
+	worker int
+}
+
+func (c *providerClient) Call(method string, args, reply interface{}) error {
+	return c.prov.Clients()[c.worker].Call(method, args, reply)
+}
+func (c *providerClient) Bytes() int64    { return c.prov.Clients()[c.worker].Bytes() }
+func (c *providerClient) Messages() int64 { return c.prov.Clients()[c.worker].Messages() }
+func (c *providerClient) Close() error    { return c.prov.Clients()[c.worker].Close() }
+
+// Restart implements core.Provider.
+func (p *Provider) Restart(worker int) error {
+	if err := p.inner.Restart(worker); err != nil {
+		return err
+	}
+	p.inj.RestartLink(worker)
+	return nil
+}
+
+// Fail implements core.FailureInjector when the inner provider does,
+// so hand-armed failure tests still work under a chaos wrapper.
+func (p *Provider) Fail(worker int) {
+	if f, ok := p.inner.(core.FailureInjector); ok {
+		f.Fail(worker)
+	}
+}

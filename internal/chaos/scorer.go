@@ -1,0 +1,79 @@
+package chaos
+
+import (
+	"context"
+	"time"
+
+	"columnsgd/internal/serve"
+)
+
+// WrapScorer decorates a serving-path scorer with the link's fault
+// stream, putting the inference fan-out (ColumnServe's per-shard
+// PartialStats calls) under the same seeded schedule as training RPCs.
+// Corrupt and truncate behave as integrity-check rejects (no payload to
+// mangle on the in-process path); sever/crash make the shard unreachable
+// until RestartLink.
+func (in *Injector) WrapScorer(linkID int, s serve.Scorer) serve.Scorer {
+	return &scorer{inner: s, link: in.linkFor(linkID)}
+}
+
+type scorer struct {
+	inner serve.Scorer
+	link  *link
+}
+
+// PartialStats implements serve.Scorer.
+func (s *scorer) PartialStats(ctx context.Context, req serve.ShardRequest) ([]float64, error) {
+	l := s.link
+	in := l.inj
+	if !in.enabled.Load() {
+		return s.inner.PartialStats(ctx, req)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	msg := l.msgs
+	l.msgs++
+	in.calls.Add(1)
+
+	if f := l.checkDownLocked(msg); f != nil {
+		return nil, f
+	}
+	d := l.draw(in.spec, msg)
+
+	if d.drop {
+		in.dropped.Add(1)
+		if d.dropReq {
+			l.recordLocked(msg, "drop request partialStats")
+			return nil, &Fault{Kind: ErrDropped, Link: l.id, Msg: msg}
+		}
+		in.droppedReplies.Add(1)
+		l.recordLocked(msg, "drop reply partialStats")
+		_, _ = s.inner.PartialStats(ctx, req)
+		return nil, &Fault{Kind: ErrDropped, Link: l.id, Msg: msg}
+	}
+	if d.corrupt {
+		in.corrupted.Add(1)
+		l.recordLocked(msg, "corrupt partialStats")
+		return nil, &Fault{Kind: ErrCorrupted, Link: l.id, Msg: msg}
+	}
+	if d.truncate {
+		in.truncated.Add(1)
+		l.recordLocked(msg, "truncate partialStats")
+		return nil, &Fault{Kind: ErrTruncated, Link: l.id, Msg: msg}
+	}
+	if d.dup {
+		in.duplicated.Add(1)
+		l.recordLocked(msg, "duplicate partialStats")
+		_, _ = s.inner.PartialStats(ctx, req)
+	}
+	if d.delay > 0 {
+		in.delayed.Add(1)
+		time.Sleep(d.delay)
+	}
+	if d.reorder {
+		in.reordered.Add(1)
+		l.recordLocked(msg, "reorder partialStats")
+		time.Sleep(in.spec.maxDelay())
+	}
+	return s.inner.PartialStats(ctx, req)
+}

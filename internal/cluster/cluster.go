@@ -35,8 +35,25 @@ type Response struct {
 	Err   string
 }
 
-// ErrWorkerDown is returned by calls to a failed worker.
-var ErrWorkerDown = errors.New("cluster: worker down")
+// Error taxonomy. Every transport failure maps onto one of these
+// sentinels so callers (the engines' retry/restart machinery, the chaos
+// harness) can branch on the failure class with errors.Is instead of
+// string matching:
+//
+//   - ErrWorkerDown: the worker is unreachable — crash, severed link,
+//     closed connection. Recoverable only by restarting the worker.
+//   - ErrBadFrame: the length-prefixed framing itself is violated
+//     (oversized or truncated frame). The connection cannot be resynced.
+//   - ErrDecode: a frame arrived but its gob payload does not decode —
+//     corruption, truncation inside the payload, or a type mismatch.
+var (
+	// ErrWorkerDown is returned by calls to a failed worker.
+	ErrWorkerDown = errors.New("cluster: worker down")
+	// ErrBadFrame marks violations of the length-prefixed framing.
+	ErrBadFrame = errors.New("cluster: bad frame")
+	// ErrDecode marks payloads that fail to gob-decode.
+	ErrDecode = errors.New("cluster: decode failed")
+)
 
 // Client is the master's handle to one worker.
 type Client interface {
@@ -93,12 +110,33 @@ func encode(v interface{}) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// decode gob-decodes data into v.
-func decode(data []byte, v interface{}) error {
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
-		return fmt.Errorf("cluster: decode: %w", err)
+// decode gob-decodes data into v. Arbitrary (corrupted, truncated,
+// adversarial) bytes must surface as ErrDecode, never a panic: gob
+// recovers its own internal panics, but a defensive guard keeps any that
+// escape from killing a worker that was fed a mangled frame.
+func decode(data []byte, v interface{}) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: decoder panic: %v", ErrDecode, r)
+		}
+	}()
+	if derr := gob.NewDecoder(bytes.NewReader(data)).Decode(v); derr != nil {
+		return fmt.Errorf("%w: %v", ErrDecode, derr)
 	}
 	return nil
+}
+
+// Encode serializes a value exactly as the transports do — the seam
+// decorators (fault injectors, recorders) use to manipulate wire bytes
+// without reimplementing the codec.
+func Encode(v interface{}) ([]byte, error) { return encode(v) }
+
+// Decode is the inverse seam: any error wraps ErrDecode.
+func Decode(data []byte, v interface{}) error { return decode(data, v) }
+
+// EncodeEnvelope frames a request the way Client.Call does.
+func EncodeEnvelope(method string, args interface{}) ([]byte, error) {
+	return encode(&Envelope{Method: method, Args: args})
 }
 
 // storeReply copies a decoded value into the caller's reply pointer.

@@ -8,12 +8,14 @@ import (
 	"time"
 )
 
-// slowService registers a handler that holds the request for d before
-// replying — the in-flight RPC graceful shutdown must wait for.
-func slowService(d time.Duration) *Service {
+// gateService registers a handler that signals entry on started and then
+// holds the request until release is closed. Tests synchronize on the
+// handler actually running instead of guessing with real-clock sleeps.
+func gateService(started chan<- struct{}, release <-chan struct{}) *Service {
 	svc := NewService()
 	svc.Register("slow", func(args interface{}) (interface{}, error) {
-		time.Sleep(d)
+		started <- struct{}{}
+		<-release
 		return &echoReply{Text: "done"}, nil
 	})
 	return svc
@@ -24,13 +26,15 @@ func TestShutdownWaitsForInFlightRPC(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := NewServer(slowService(150*time.Millisecond), lis)
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	srv := NewServer(gateService(started, release), lis)
 	go srv.Serve() //nolint:errcheck // exits on Shutdown
 	c, err := Dial(srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer c.Close()
+	t.Cleanup(func() { _ = c.Close() })
 
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -40,8 +44,20 @@ func TestShutdownWaitsForInFlightRPC(t *testing.T) {
 		defer wg.Done()
 		callErr = c.Call("slow", &echoArgs{}, &reply)
 	}()
-	time.Sleep(30 * time.Millisecond) // let the RPC reach the handler
-	if err := srv.Shutdown(2 * time.Second); err != nil {
+	<-started // the RPC has reached the handler
+
+	shutDone := make(chan error, 1)
+	go func() { shutDone <- srv.Shutdown(2 * time.Second) }()
+	// Graceful shutdown must hold while the handler is still running.
+	// This can only false-pass on an impossibly slow scheduler, never
+	// flake-fail: a correct server blocks here indefinitely.
+	select {
+	case err := <-shutDone:
+		t.Fatalf("shutdown returned before in-flight RPC finished (err=%v)", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	if err := <-shutDone; err != nil {
 		t.Fatalf("shutdown: %v", err)
 	}
 	wg.Wait()
@@ -62,17 +78,20 @@ func TestShutdownTimeoutForcesClose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := NewServer(slowService(2*time.Second), lis)
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	t.Cleanup(func() { close(release) }) // unblock the held handler at test end
+	srv := NewServer(gateService(started, release), lis)
 	go srv.Serve() //nolint:errcheck // exits on Shutdown
 	c, err := Dial(srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer c.Close()
+	t.Cleanup(func() { _ = c.Close() })
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- c.Call("slow", &echoArgs{}, nil) }()
-	time.Sleep(30 * time.Millisecond)
+	<-started // the RPC has reached the handler, which never releases
 	start := time.Now()
 	if err := srv.Shutdown(50 * time.Millisecond); err != nil {
 		t.Fatalf("shutdown: %v", err)
@@ -97,7 +116,7 @@ func TestShutdownIdleServer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := NewServer(slowService(time.Millisecond), lis)
+	srv := NewServer(NewService(), lis)
 	go srv.Serve() //nolint:errcheck // exits on Shutdown
 	start := time.Now()
 	if err := srv.Shutdown(5 * time.Second); err != nil {

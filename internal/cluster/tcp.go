@@ -19,7 +19,7 @@ const maxFrame = 1 << 30
 func writeFrame(w io.Writer, payload []byte) error {
 	var hdr [4]byte
 	if len(payload) > maxFrame {
-		return fmt.Errorf("cluster: frame of %d bytes exceeds limit", len(payload))
+		return fmt.Errorf("%w: frame of %d bytes exceeds limit", ErrBadFrame, len(payload))
 	}
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
 	if _, err := w.Write(hdr[:]); err != nil {
@@ -37,10 +37,13 @@ func readFrame(r io.Reader) ([]byte, error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > maxFrame {
-		return nil, fmt.Errorf("cluster: frame length %d exceeds limit", n)
+		return nil, fmt.Errorf("%w: frame length %d exceeds limit", ErrBadFrame, n)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("%w: truncated payload: %v", ErrBadFrame, err)
+		}
 		return nil, err
 	}
 	return payload, nil

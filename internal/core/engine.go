@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"columnsgd/internal/cluster"
@@ -138,7 +139,21 @@ type Engine struct {
 	rng   *rand.Rand
 	iter  int64
 	trace *metrics.Trace
+
+	// Fault-tolerance counters (§X), exposed so harnesses can assert
+	// that injected faults were actually absorbed, not silently skipped.
+	retries  atomic.Int64
+	restarts atomic.Int64
 }
+
+// Retries returns how many task-level retries (transient call failures
+// relaunched on the same worker) the master has performed.
+func (e *Engine) Retries() int64 { return e.retries.Load() }
+
+// Restarts returns how many worker restarts (ErrWorkerDown recoveries
+// with data reload and model-partition reinitialization) the master has
+// performed.
+func (e *Engine) Restarts() int64 { return e.restarts.Load() }
 
 // NewEngine validates the config and prepares the master.
 func NewEngine(cfg Config, prov Provider) (*Engine, error) {
@@ -631,10 +646,12 @@ func (e *Engine) callWithRecovery(w int, method string, args, reply interface{},
 			if rerr := e.recoverWorker(w, extra); rerr != nil {
 				return fmt.Errorf("core: worker %d unrecoverable: %w", w, rerr)
 			}
+			e.restarts.Add(1)
 			continue
 		}
 		// Task failure: relaunch the task (retry) on the same worker.
 		// Cost: one scheduling overhead per retry.
+		e.retries.Add(1)
 		*extra += e.cfg.Net.SchedulingOverhead
 	}
 	return fmt.Errorf("core: worker %d failed after %d attempts: %w", w, maxAttempts, lastErr)

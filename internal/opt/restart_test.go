@@ -1,0 +1,156 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"columnsgd/internal/model"
+)
+
+// restartConfigs covers every update rule, including the stateless one,
+// so the restart contract is uniform: Reset + reinitialized parameters
+// must be indistinguishable from a brand-new optimizer.
+var restartConfigs = []Config{
+	{Algo: "sgd", LR: 0.05, L2: 0.01},
+	{Algo: "momentum", LR: 0.05, Momentum: 0.9},
+	{Algo: "adagrad", LR: 0.05, L1: 0.001},
+	{Algo: "adam", LR: 0.05},
+}
+
+// statefulAlgos are the rules that accumulate per-dimension state and
+// therefore genuinely depend on Reset for restart correctness.
+var statefulAlgos = map[string]bool{"momentum": true, "adagrad": true, "adam": true}
+
+func restartParams(rows, width int) *model.Params {
+	p := model.NewParams(rows, width)
+	rng := rand.New(rand.NewSource(11))
+	for r := range p.W {
+		for j := range p.W[r] {
+			p.W[r][j] = rng.NormFloat64()
+		}
+	}
+	return p
+}
+
+func restartGrads(n, rows, width int) []*model.Params {
+	rng := rand.New(rand.NewSource(23))
+	grads := make([]*model.Params, n)
+	for i := range grads {
+		g := model.NewParams(rows, width)
+		for r := range g.W {
+			for j := range g.W[r] {
+				g.W[r][j] = rng.NormFloat64()
+			}
+		}
+		grads[i] = g
+	}
+	return grads
+}
+
+func paramsBitIdentical(a, b *model.Params) bool {
+	for r := range a.W {
+		for j := range a.W[r] {
+			if math.Float64bits(a.W[r][j]) != math.Float64bits(b.W[r][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestResetMatchesFreshOptimizer models the §X worker restart: the
+// recovered worker reinitializes its parameter partition and calls
+// Reset. From that point it must track a never-crashed fresh optimizer
+// bit for bit over an identical gradient sequence — any state surviving
+// the restart would silently skew recovery.
+func TestResetMatchesFreshOptimizer(t *testing.T) {
+	const rows, width, warm, steps = 2, 6, 5, 5
+	grads := restartGrads(warm+steps, rows, width)
+	for _, cfg := range restartConfigs {
+		t.Run(cfg.Algo, func(t *testing.T) {
+			veteran, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := restartParams(rows, width)
+			for i := 0; i < warm; i++ {
+				if err := veteran.Apply(p, grads[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Worker restarts: partition reinitialized, optimizer reset.
+			veteran.Reset()
+			p = restartParams(rows, width)
+
+			fresh, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q := restartParams(rows, width)
+
+			for i := warm; i < warm+steps; i++ {
+				if err := veteran.Apply(p, grads[i]); err != nil {
+					t.Fatal(err)
+				}
+				if err := fresh.Apply(q, grads[i]); err != nil {
+					t.Fatal(err)
+				}
+				if !paramsBitIdentical(p, q) {
+					t.Fatalf("step %d: restarted %s diverges from fresh optimizer", i-warm+1, cfg.Algo)
+				}
+			}
+		})
+	}
+}
+
+// TestStaleStateDivergesWithoutReset gives the restart test teeth: for
+// every stateful rule, skipping Reset after the partition reinit must
+// produce different updates than a fresh optimizer — proving the warm
+// state the previous test cleared was real.
+func TestStaleStateDivergesWithoutReset(t *testing.T) {
+	const rows, width, warm, steps = 2, 6, 5, 5
+	grads := restartGrads(warm+steps, rows, width)
+	for _, cfg := range restartConfigs {
+		if !statefulAlgos[cfg.Algo] {
+			continue
+		}
+		t.Run(cfg.Algo, func(t *testing.T) {
+			stale, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := restartParams(rows, width)
+			for i := 0; i < warm; i++ {
+				if err := stale.Apply(p, grads[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			p = restartParams(rows, width) // reinit but NO Reset
+
+			fresh, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q := restartParams(rows, width)
+
+			diverged := false
+			for i := warm; i < warm+steps; i++ {
+				if err := stale.Apply(p, grads[i]); err != nil {
+					t.Fatal(err)
+				}
+				if err := fresh.Apply(q, grads[i]); err != nil {
+					t.Fatal(err)
+				}
+				if !paramsBitIdentical(p, q) {
+					diverged = true
+					break
+				}
+			}
+			if !diverged {
+				t.Fatalf("%s: stale optimizer state had no effect — restart test is vacuous", cfg.Algo)
+			}
+		})
+	}
+}

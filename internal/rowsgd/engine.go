@@ -1,8 +1,10 @@
 package rowsgd
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"columnsgd/internal/cluster"
@@ -135,6 +137,38 @@ type Engine struct {
 	// (history[0] is the current model).
 	history   []*model.Params
 	wallStart time.Time
+	// retries counts transient call failures relaunched on the same
+	// worker — the RowSGD analogue of Spark's task retry. RowSGD baselines
+	// have no worker-restart path (a dead worker loses its row shard), so
+	// ErrWorkerDown surfaces immediately instead of retrying.
+	retries atomic.Int64
+}
+
+// Retries returns how many transient call failures were retried.
+func (e *Engine) Retries() int64 { return e.retries.Load() }
+
+// call invokes a worker method with task-retry semantics: transient
+// errors (dropped or corrupted messages) relaunch the call on the same
+// worker up to maxAttempts times; ErrWorkerDown is terminal. Compute
+// calls are pure on the worker, so at-least-once re-execution is safe;
+// for MLlib* local training a retry advances the replica twice, which the
+// differential harness treats as tolerance-band noise, matching Spark
+// recomputation semantics.
+func (e *Engine) call(w int, method string, args, reply interface{}) error {
+	const maxAttempts = 3
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		err := e.clients[w].Call(method, args, reply)
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, cluster.ErrWorkerDown) {
+			return fmt.Errorf("rowsgd: worker %d down (no restart path): %w", w, err)
+		}
+		lastErr = err
+		e.retries.Add(1)
+	}
+	return fmt.Errorf("rowsgd: worker %d failed after %d attempts: %w", w, maxAttempts, lastErr)
 }
 
 // NewEngine validates the config and prepares the master.
@@ -311,7 +345,7 @@ func (e *Engine) stepPullPush() (float64, error) {
 			pulled = e.history[lag]
 		}
 		args := &ComputeGradArgs{Iter: e.cfg.Seed + e.iter, BatchSize: e.perWorkerBatch(), Model: ToDense(pulled.W)}
-		if err := e.clients[w].Call(MethodComputeGrad, args, &replies[w]); err != nil {
+		if err := e.call(w, MethodComputeGrad, args, &replies[w]); err != nil {
 			return 0, err
 		}
 	}
@@ -346,7 +380,7 @@ func (e *Engine) stepSparse() (float64, error) {
 	m0, b0 := e.traffic()
 	needs := make([]NeedReply, e.cfg.Workers)
 	for w := 0; w < e.cfg.Workers; w++ {
-		if err := e.clients[w].Call(MethodNeededDims, &NeedArgs{Iter: iter, BatchSize: e.perWorkerBatch()}, &needs[w]); err != nil {
+		if err := e.call(w, MethodNeededDims, &NeedArgs{Iter: iter, BatchSize: e.perWorkerBatch()}, &needs[w]); err != nil {
 			return 0, err
 		}
 	}
@@ -363,7 +397,7 @@ func (e *Engine) stepSparse() (float64, error) {
 			}
 		}
 		args := &SparseGradArgs{Iter: iter, BatchSize: e.perWorkerBatch(), Dims: dims, Values: values}
-		if err := e.clients[w].Call(MethodSparseGrad, args, &replies[w]); err != nil {
+		if err := e.call(w, MethodSparseGrad, args, &replies[w]); err != nil {
 			return 0, err
 		}
 	}
@@ -390,7 +424,7 @@ func (e *Engine) stepMA() (float64, error) {
 	for w := 0; w < e.cfg.Workers; w++ {
 		var r LocalTrainReply
 		args := &LocalTrainArgs{Iter: iter, Steps: e.cfg.LocalSteps, BatchSize: e.perWorkerBatch()}
-		if err := e.clients[w].Call(MethodLocalTrain, args, &r); err != nil {
+		if err := e.call(w, MethodLocalTrain, args, &r); err != nil {
 			return 0, err
 		}
 		lossSum += r.LossMean
@@ -404,7 +438,7 @@ func (e *Engine) stepMA() (float64, error) {
 	avg := model.NewParams(e.mdl.ParamRows(), e.m)
 	for w := 0; w < e.cfg.Workers; w++ {
 		var r ModelReply
-		if err := e.clients[w].Call(MethodGetModel, &GetModelArgs{}, &r); err != nil {
+		if err := e.call(w, MethodGetModel, &GetModelArgs{}, &r); err != nil {
 			return 0, err
 		}
 		if err := avg.Add(&model.Params{W: FromDenseVecs(r.W)}); err != nil {
@@ -413,7 +447,7 @@ func (e *Engine) stepMA() (float64, error) {
 	}
 	avg.Scale(1 / float64(e.cfg.Workers))
 	for w := 0; w < e.cfg.Workers; w++ {
-		if err := e.clients[w].Call(MethodSetModel, &SetModelArgs{W: ToDense(avg.W)}, nil); err != nil {
+		if err := e.call(w, MethodSetModel, &SetModelArgs{W: ToDense(avg.W)}, nil); err != nil {
 			return 0, err
 		}
 	}
@@ -524,7 +558,7 @@ func (e *Engine) FullLoss() (float64, error) {
 	var count int
 	for w := 0; w < e.cfg.Workers; w++ {
 		var r EvalReply
-		if err := e.clients[w].Call(MethodEvalLoss, args, &r); err != nil {
+		if err := e.call(w, MethodEvalLoss, args, &r); err != nil {
 			return 0, err
 		}
 		lossSum += r.LossSum
@@ -543,7 +577,7 @@ func (e *Engine) ExportModel() (*model.Params, error) {
 		return e.params.Clone(), nil
 	}
 	var r ModelReply
-	if err := e.clients[0].Call(MethodGetModel, &GetModelArgs{}, &r); err != nil {
+	if err := e.call(0, MethodGetModel, &GetModelArgs{}, &r); err != nil {
 		return nil, err
 	}
 	return &model.Params{W: FromDenseVecs(r.W)}, nil

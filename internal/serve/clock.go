@@ -1,0 +1,30 @@
+package serve
+
+import "time"
+
+// Clock abstracts the server's time source — the batcher's MaxWait timer
+// and latency stamps — so tests can drive time deterministically instead
+// of racing real-clock sleeps. Production uses the real clock; tests
+// inject a fake and advance it explicitly.
+type Clock interface {
+	Now() time.Time
+	NewTimer(d time.Duration) Timer
+}
+
+// Timer is the minimal timer surface the batcher needs.
+type Timer interface {
+	// C returns the firing channel.
+	C() <-chan time.Time
+	// Stop releases the timer; the channel is not drained.
+	Stop() bool
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                { return time.Now() }
+func (realClock) NewTimer(d time.Duration) Timer { return realTimer{time.NewTimer(d)} }
+
+type realTimer struct{ t *time.Timer }
+
+func (t realTimer) C() <-chan time.Time { return t.t.C }
+func (t realTimer) Stop() bool          { return t.t.Stop() }

@@ -1,0 +1,193 @@
+package serve_test
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"columnsgd/internal/serve"
+	"columnsgd/internal/vec"
+)
+
+// fakeClock is a manually advanced serve.Clock. Timers fire only when
+// Advance crosses their deadline, so batcher tests are independent of
+// scheduler latency and wall-clock speed.
+type fakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiting []*fakeTimer
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) NewTimer(d time.Duration) serve.Timer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &fakeTimer{c: c, fire: c.now.Add(d), ch: make(chan time.Time, 1)}
+	if d <= 0 {
+		t.done = true
+		t.ch <- c.now
+		return t
+	}
+	c.waiting = append(c.waiting, t)
+	return t
+}
+
+// Waiters reports how many live timers are armed — the test's signal
+// that the batcher has started a MaxWait window.
+func (c *fakeClock) Waiters() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, t := range c.waiting {
+		if !t.done {
+			n++
+		}
+	}
+	return n
+}
+
+// Advance moves the clock and fires every timer whose deadline passed.
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	kept := c.waiting[:0]
+	for _, t := range c.waiting {
+		if t.done {
+			continue
+		}
+		if !t.fire.After(c.now) {
+			t.done = true
+			t.ch <- c.now
+			continue
+		}
+		kept = append(kept, t)
+	}
+	c.waiting = kept
+}
+
+type fakeTimer struct {
+	c    *fakeClock
+	fire time.Time
+	ch   chan time.Time
+	done bool
+}
+
+func (t *fakeTimer) C() <-chan time.Time { return t.ch }
+
+func (t *fakeTimer) Stop() bool {
+	t.c.mu.Lock()
+	defer t.c.mu.Unlock()
+	active := !t.done
+	t.done = true
+	return active
+}
+
+// newTestServer builds a server and ties its shutdown to test cleanup.
+func newTestServer(t *testing.T, opts serve.Options) *serve.Server {
+	t.Helper()
+	s, err := serve.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+// waitUntil polls cond with a generous deadline; the deadline only
+// bounds a genuinely wedged run, it never gates a passing one.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestBatcherMaxWaitFakeClock pins the MaxWait path to injected time: a
+// partial batch must sit until the fake clock crosses the deadline, and
+// must flush the instant it does — no real-clock sleep tuning.
+func TestBatcherMaxWaitFakeClock(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	fc := newFakeClock()
+	s := newTestServer(t, serve.Options{
+		ModelName: "lr", Shards: 2, MaxBatch: 4, MaxWait: time.Hour, Clock: fc,
+	})
+	if _, err := s.Install(integerRows(rng, 1, 16)); err != nil {
+		t.Fatal(err)
+	}
+
+	res := make(chan error, 1)
+	go func() {
+		_, err := s.Predict(context.Background(), randomSparse(rng, 16, true))
+		res <- err
+	}()
+
+	// The request is in the batch once the MaxWait timer is armed.
+	waitUntil(t, "batcher to arm its MaxWait timer", func() bool {
+		return fc.Waiters() == 1
+	})
+	select {
+	case err := <-res:
+		t.Fatalf("partial batch flushed with no clock advance (err=%v)", err)
+	case <-time.After(20 * time.Millisecond):
+		// Real time passed; injected time did not. The batch must hold.
+	}
+
+	fc.Advance(time.Hour)
+	select {
+	case err := <-res:
+		if err != nil {
+			t.Fatalf("predict after advance: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("batch never flushed after clock advance")
+	}
+	snap := s.Snapshot()
+	if snap.Requests != 1 || snap.Batches != 1 {
+		t.Fatalf("requests=%d batches=%d, want 1/1", snap.Requests, snap.Batches)
+	}
+}
+
+// TestBatcherSizeTriggerFakeClock proves the size trigger is independent
+// of time: with the fake clock frozen, a full batch still flushes.
+func TestBatcherSizeTriggerFakeClock(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	fc := newFakeClock()
+	s := newTestServer(t, serve.Options{
+		ModelName: "lr", Shards: 2, MaxBatch: 2, MaxWait: time.Hour, Clock: fc,
+	})
+	if _, err := s.Install(integerRows(rng, 1, 16)); err != nil {
+		t.Fatal(err)
+	}
+
+	probes := []vec.Sparse{randomSparse(rng, 16, true), randomSparse(rng, 16, true)}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := s.Predict(context.Background(), probes[i]); err != nil {
+				t.Errorf("predict: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait() // completes only via the size trigger; the clock never moves
+	if got := s.Snapshot().Requests; got != 2 {
+		t.Fatalf("requests = %d, want 2", got)
+	}
+}

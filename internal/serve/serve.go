@@ -66,6 +66,9 @@ type Options struct {
 	// NewScorer overrides the per-shard scorer (tests, remote shards).
 	// nil uses the in-process LocalScorer.
 	NewScorer func(shard int) Scorer
+	// Clock overrides the time source for the batcher's MaxWait timer
+	// and latency stamps (tests inject a fake clock; nil uses real time).
+	Clock Clock
 }
 
 func (o Options) normalized() Options {
@@ -92,6 +95,9 @@ func (o Options) normalized() Options {
 	}
 	if o.MaxConcurrent <= 0 {
 		o.MaxConcurrent = 16
+	}
+	if o.Clock == nil {
+		o.Clock = realClock{}
 	}
 	return o
 }
@@ -287,7 +293,7 @@ func (s *Server) Predict(ctx context.Context, row vec.Sparse) (Prediction, error
 	if s.cur.Load() == nil {
 		return Prediction{}, ErrNoModel
 	}
-	req := &request{row: row, enq: time.Now(), done: make(chan outcome, 1)}
+	req := &request{row: row, enq: s.opts.Clock.Now(), done: make(chan outcome, 1)}
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
@@ -321,7 +327,7 @@ func (s *Server) batchLoop() {
 		}
 		batch := make([]*request, 1, s.opts.MaxBatch)
 		batch[0] = first
-		timer := time.NewTimer(s.opts.MaxWait)
+		timer := s.opts.Clock.NewTimer(s.opts.MaxWait)
 	fill:
 		for len(batch) < s.opts.MaxBatch {
 			select {
@@ -330,7 +336,7 @@ func (s *Server) batchLoop() {
 					break fill
 				}
 				batch = append(batch, r)
-			case <-timer.C:
+			case <-timer.C():
 				break fill
 			}
 		}
@@ -409,7 +415,7 @@ func (s *Server) scoreBatch(batch []*request) {
 		}
 	}
 
-	now := time.Now()
+	now := s.opts.Clock.Now()
 	for i, req := range batch {
 		st := agg[i*spp : (i+1)*spp]
 		s.met.Requests.Add(1)

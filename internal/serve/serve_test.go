@@ -95,7 +95,7 @@ func TestShardedMatchesLocalExactly(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				defer s.Close()
+				t.Cleanup(func() { _ = s.Close() })
 				if _, err := s.Install(rows); err != nil {
 					t.Fatal(err)
 				}
@@ -144,7 +144,7 @@ func TestAllModelKindsAgree(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			defer s.Close()
+			t.Cleanup(func() { _ = s.Close() })
 			if _, err := s.Install(rows); err != nil {
 				t.Fatal(err)
 			}
@@ -179,7 +179,7 @@ func TestOutOfRangeIndicesIgnored(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer s.Close()
+	t.Cleanup(func() { _ = s.Close() })
 	if _, err := s.Install(rows); err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +206,7 @@ func TestMicroBatchingUnderLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer s.Close()
+	t.Cleanup(func() { _ = s.Close() })
 	if _, err := s.Install(rows); err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +290,7 @@ func TestHotReloadUnderLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer s.Close()
+	t.Cleanup(func() { _ = s.Close() })
 	if _, err := s.Install(weightsFor(1)); err != nil {
 		t.Fatal(err)
 	}
@@ -360,7 +360,7 @@ func TestDegradedReloadKeepsServing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer s.Close()
+	t.Cleanup(func() { _ = s.Close() })
 	v1, err := s.Install(rows)
 	if err != nil {
 		t.Fatal(err)
@@ -452,7 +452,7 @@ func TestShardRetrySucceeds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer s.Close()
+	t.Cleanup(func() { _ = s.Close() })
 	if _, err := s.Install(rows); err != nil {
 		t.Fatal(err)
 	}
@@ -491,7 +491,7 @@ func TestShardTimeout(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer s.Close()
+	t.Cleanup(func() { _ = s.Close() })
 	if _, err := s.Install([][]float64{{1, 2}}); err != nil {
 		t.Fatal(err)
 	}
@@ -654,7 +654,7 @@ func TestErrNoModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer s.Close()
+	t.Cleanup(func() { _ = s.Close() })
 	_, err = s.Predict(context.Background(), vec.Sparse{Indices: []int32{0}, Values: []float64{1}})
 	if !errors.Is(err, serve.ErrNoModel) {
 		t.Fatalf("err = %v, want ErrNoModel", err)
@@ -696,7 +696,12 @@ func TestCloseDrainsAndRejects(t *testing.T) {
 			}
 		}(i)
 	}
-	time.Sleep(500 * time.Microsecond)
+	// Close only after at least one request has been admitted and scored,
+	// so the drain path genuinely has work; a fixed sleep raced on slow
+	// machines.
+	waitUntil(t, "a request to be scored before Close", func() bool {
+		return ok.Load() > 0
+	})
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -725,7 +730,7 @@ func TestNewRejectsBadOptions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err) // scheme is validated at install time (needs dimension)
 	}
-	defer s.Close()
+	t.Cleanup(func() { _ = s.Close() })
 	if _, err := s.Install([][]float64{{1, 2}}); err == nil {
 		t.Fatal("unknown scheme accepted at install")
 	}
