@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race chaos fuzz
+.PHONY: check build vet test race chaos fuzz bench benchdiff
 
 # The full gate: what CI runs.
 check: vet build test race
@@ -26,6 +26,20 @@ race:
 chaos:
 	$(GO) test -race ./internal/chaos/...
 	$(GO) test -race -run 'Chaos|Golden' .
+
+# bench runs the perf-regression micro-benchmark suite (worker hot loop,
+# engine step, rowsgd step, serve latency, each per model × parallelism)
+# and writes BENCH_<rev>.json for later benchdiff comparison.
+REV := $(shell git rev-parse --short HEAD)
+bench:
+	$(GO) run ./cmd/colsgd-bench -benchjson BENCH_$(REV).json -rev $(REV)
+
+# benchdiff compares two bench reports and exits non-zero when any
+# matched benchmark's ns/iter regressed by more than 15%:
+#   make benchdiff OLD=BENCH_aaa.json NEW=BENCH_bbb.json
+benchdiff:
+	@test -n "$(OLD)" -a -n "$(NEW)" || (echo "usage: make benchdiff OLD=a.json NEW=b.json" && exit 2)
+	$(GO) run ./cmd/colsgd-bench -benchdiff -old $(OLD) -new $(NEW)
 
 # fuzz gives each transport fuzzer a short live budget on top of the
 # checked-in corpus (which plain `go test` always replays).

@@ -1,0 +1,438 @@
+package main
+
+// Perf-regression harness: -benchjson runs a fixed micro-benchmark suite
+// over the worker hot loop (per engine × model × compute parallelism) and
+// writes machine-readable results; -benchdiff compares two such files and
+// exits non-zero on regression. Wired up as `make bench` / `make
+// benchdiff`.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+
+	"columnsgd/internal/chaos/diff"
+	"columnsgd/internal/core"
+	"columnsgd/internal/opt"
+	"columnsgd/internal/partition"
+	"columnsgd/internal/rowsgd"
+	"columnsgd/internal/serve"
+	"columnsgd/internal/vec"
+)
+
+// BenchResult is one benchmark's steady-state measurements.
+type BenchResult struct {
+	// Name identifies the benchmark: suite/model/P<parallelism>.
+	Name string `json:"name"`
+	// Engine is the subsystem under test.
+	Engine string `json:"engine"`
+	// Model is the model family.
+	Model string `json:"model"`
+	// P is the compute-pool parallelism.
+	P int `json:"p"`
+	// NsPerIter is wall nanoseconds per operation.
+	NsPerIter float64 `json:"ns_per_iter"`
+	// BytesPerIter / AllocsPerIter are heap bytes and allocations per
+	// operation.
+	BytesPerIter  int64 `json:"bytes_per_iter"`
+	AllocsPerIter int64 `json:"allocs_per_iter"`
+}
+
+// BenchReport is the file `make bench` writes (BENCH_<rev>.json).
+type BenchReport struct {
+	// Rev is the git revision the suite ran at (-rev flag).
+	Rev string `json:"rev"`
+	// GoVersion / CPUs / GOMAXPROCS pin the measurement environment;
+	// speedup shapes only transfer between machines with comparable CPU
+	// counts.
+	GoVersion  string        `json:"go_version"`
+	CPUs       int           `json:"cpus"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Results    []BenchResult `json:"results"`
+}
+
+// Suite shape: large enough that a batch spans many fixed chunks (1024
+// rows ≫ the 16-row grain), small enough that the whole suite runs in
+// well under a minute.
+const (
+	benchRows     = 4096
+	benchFeatures = 65536
+	benchNNZ      = 128
+	benchBatch    = 1024
+	benchBlock    = 256
+)
+
+func benchModels() []struct {
+	Name string
+	Arg  int
+} {
+	return []struct {
+		Name string
+		Arg  int
+	}{{"lr", 0}, {"svm", 0}, {"mlr", 3}, {"fm", 4}}
+}
+
+// benchBlocks generates the synthetic column-partition worksets the
+// worker benchmark loads (single partition spanning all features).
+func benchBlocks(classes int) []*partition.Workset {
+	r := rand.New(rand.NewSource(4242))
+	var out []*partition.Workset
+	for b := 0; b*benchBlock < benchRows; b++ {
+		csr := vec.NewCSR(benchFeatures, benchBlock)
+		labels := make([]float64, benchBlock)
+		for i := 0; i < benchBlock; i++ {
+			seen := make(map[int32]bool, benchNNZ)
+			idx := make([]int32, 0, benchNNZ)
+			for len(idx) < benchNNZ {
+				j := int32(r.Intn(benchFeatures))
+				if seen[j] {
+					continue
+				}
+				seen[j] = true
+				idx = append(idx, j)
+			}
+			sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+			val := make([]float64, benchNNZ)
+			for k := range val {
+				val[k] = r.NormFloat64()
+			}
+			if err := csr.AppendRow(vec.Sparse{Indices: idx, Values: val}); err != nil {
+				panic(err)
+			}
+			if classes > 0 {
+				labels[i] = float64(r.Intn(classes))
+			} else if r.Intn(2) == 0 {
+				labels[i] = -1
+			} else {
+				labels[i] = 1
+			}
+		}
+		out = append(out, &partition.Workset{BlockID: b, Labels: labels, Data: csr})
+	}
+	return out
+}
+
+// benchWorker measures the worker hot loop — one computeStats → update
+// round per op, driven through the service dispatch seam exactly as the
+// transports do (typed args, no serialization cost).
+func benchWorker(modelName string, modelArg, p int) (testing.BenchmarkResult, error) {
+	w := core.NewWorker()
+	svc := core.RegisterWorker(w)
+	if _, err := svc.Dispatch(core.MethodInit, &core.InitArgs{
+		Worker:      0,
+		Partitions:  []int{0},
+		Widths:      []int{benchFeatures},
+		ModelName:   modelName,
+		ModelArg:    modelArg,
+		Opt:         opt.Config{LR: 0.05},
+		Seed:        1,
+		Parallelism: p,
+	}); err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	classes := 0
+	if modelName == "mlr" {
+		classes = modelArg
+	}
+	for _, ws := range benchBlocks(classes) {
+		if _, err := svc.Dispatch(core.MethodLoad, &core.LoadArgs{Partition: 0, Workset: ws}); err != nil {
+			return testing.BenchmarkResult{}, err
+		}
+	}
+	if _, err := svc.Dispatch(core.MethodLoadDone, &core.LoadDoneArgs{}); err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	defer w.Shutdown()
+
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			iter := int64(i)
+			v, err := svc.Dispatch(core.MethodComputeStats, &core.StatsArgs{Iter: iter, BatchSize: benchBatch})
+			if err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+			sr := v.(*core.StatsReply)
+			if _, err := svc.Dispatch(core.MethodUpdate, &core.UpdateArgs{Iter: iter, BatchSize: benchBatch, Stats: sr.Stats}); err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+		}
+	})
+	return res, benchErr
+}
+
+// benchWorkload is the smaller end-to-end shape shared by the engine-level
+// benchmarks (full K=4 cluster per op is far costlier than one worker).
+func benchWorkload(p int) diff.Workload {
+	return diff.Workload{
+		N: 2048, Features: 2048, NNZPerRow: 32,
+		Model: "lr", Batch: 512, Workers: 4, Seed: 5,
+		Opt:         opt.Config{Algo: "sgd", LR: 0.05},
+		Parallelism: p,
+	}
+}
+
+// benchEngineStep measures one full ColumnSGD iteration (sample, stats,
+// aggregate, update across a 4-worker in-process cluster).
+func benchEngineStep(p int) (testing.BenchmarkResult, error) {
+	w := benchWorkload(p)
+	prov, err := core.NewLocalProvider(w.Workers)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	e, err := core.NewEngine(core.Config{
+		Workers:            w.Workers,
+		ModelName:          w.Model,
+		Opt:                w.Opt,
+		BatchSize:          w.Batch,
+		BlockSize:          64,
+		Seed:               w.Seed,
+		ComputeParallelism: p,
+	}, prov)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	ds, err := w.Dataset()
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	if err := e.Load(ds); err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Step(); err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+		}
+	})
+	return res, benchErr
+}
+
+// benchRowSGDStep measures one RowSGD (MLlib-style) iteration.
+func benchRowSGDStep(p int) (testing.BenchmarkResult, error) {
+	w := benchWorkload(p)
+	e, err := rowsgd.NewLocalEngine(rowsgd.Config{
+		System:      rowsgd.MLlib,
+		Workers:     w.Workers,
+		ModelName:   w.Model,
+		Opt:         w.Opt,
+		BatchSize:   w.Batch,
+		Seed:        w.Seed,
+		Parallelism: p,
+	})
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	ds, err := w.Dataset()
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	if err := e.Load(ds); err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Step(); err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+		}
+	})
+	return res, benchErr
+}
+
+// benchServe measures single-request scoring latency through the full
+// admission → micro-batch → shard fan-out path (MaxBatch 1 so the
+// batcher dispatches immediately instead of waiting out MaxWait).
+func benchServe(p int) (testing.BenchmarkResult, error) {
+	s, err := serve.New(serve.Options{
+		ModelName:   "lr",
+		Shards:      4,
+		MaxBatch:    1,
+		Parallelism: p,
+	})
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	defer s.Close()
+	const features = 2048
+	weights := make([]float64, features)
+	r := rand.New(rand.NewSource(11))
+	for i := range weights {
+		weights[i] = r.NormFloat64()
+	}
+	if _, err := s.Install([][]float64{weights}); err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	idx := make([]int32, 64)
+	val := make([]float64, 64)
+	for k := range idx {
+		idx[k] = int32(k * (features / 64))
+		val[k] = r.NormFloat64()
+	}
+	row, err := vec.NewSparse(idx, val)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	ctx := context.Background()
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Predict(ctx, row); err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+		}
+	})
+	return res, benchErr
+}
+
+// runBenchJSON runs the whole suite and writes the report.
+func runBenchJSON(path, rev string, stdout io.Writer) error {
+	report := BenchReport{
+		Rev:        rev,
+		GoVersion:  runtime.Version(),
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	add := func(name, engine, model string, p int, res testing.BenchmarkResult, err error) error {
+		if err != nil {
+			return fmt.Errorf("bench %s: %w", name, err)
+		}
+		report.Results = append(report.Results, BenchResult{
+			Name:          name,
+			Engine:        engine,
+			Model:         model,
+			P:             p,
+			NsPerIter:     float64(res.NsPerOp()),
+			BytesPerIter:  res.AllocedBytesPerOp(),
+			AllocsPerIter: res.AllocsPerOp(),
+		})
+		fmt.Fprintf(stdout, "[bench] %-24s %12.0f ns/iter %10d B/iter %7d allocs/iter\n",
+			name, float64(res.NsPerOp()), res.AllocedBytesPerOp(), res.AllocsPerOp())
+		return nil
+	}
+
+	for _, m := range benchModels() {
+		for _, p := range []int{1, 2, 4} {
+			res, err := benchWorker(m.Name, m.Arg, p)
+			if err := add(fmt.Sprintf("worker/%s/P%d", m.Name, p), "columnsgd", m.Name, p, res, err); err != nil {
+				return err
+			}
+		}
+	}
+	for _, p := range []int{1, 4} {
+		res, err := benchEngineStep(p)
+		if err := add(fmt.Sprintf("engine-step/lr/P%d", p), "columnsgd", "lr", p, res, err); err != nil {
+			return err
+		}
+	}
+	for _, p := range []int{1, 4} {
+		res, err := benchRowSGDStep(p)
+		if err := add(fmt.Sprintf("rowsgd/lr/P%d", p), "rowsgd-mllib", "lr", p, res, err); err != nil {
+			return err
+		}
+	}
+	for _, p := range []int{1, 4} {
+		res, err := benchServe(p)
+		if err := add(fmt.Sprintf("serve/lr/P%d", p), "serve", "lr", p, res, err); err != nil {
+			return err
+		}
+	}
+
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "[bench] wrote %s (%d results, rev %s, %d CPUs)\n",
+		path, len(report.Results), report.Rev, report.CPUs)
+	return nil
+}
+
+// loadBenchReport reads a BENCH_*.json file.
+func loadBenchReport(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// runBenchDiff compares two reports: any matched benchmark whose
+// ns/iter grew by more than threshold (fraction, e.g. 0.15) is a
+// regression and the command errors. Benchmarks present on only one
+// side are reported but not fatal — the suite is allowed to grow.
+func runBenchDiff(oldPath, newPath string, threshold float64, stdout io.Writer) error {
+	oldRep, err := loadBenchReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadBenchReport(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := make(map[string]BenchResult, len(oldRep.Results))
+	for _, r := range oldRep.Results {
+		oldBy[r.Name] = r
+	}
+	fmt.Fprintf(stdout, "benchdiff: %s (rev %s) -> %s (rev %s), threshold +%.0f%%\n",
+		oldPath, oldRep.Rev, newPath, newRep.Rev, threshold*100)
+	var regressions []string
+	matched := 0
+	for _, nr := range newRep.Results {
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			fmt.Fprintf(stdout, "  new      %-24s %12.0f ns/iter (no baseline)\n", nr.Name, nr.NsPerIter)
+			continue
+		}
+		matched++
+		delete(oldBy, nr.Name)
+		ratio := nr.NsPerIter / or.NsPerIter
+		status := "ok"
+		if ratio > 1+threshold {
+			status = "REGRESSED"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f -> %.0f ns/iter (%+.1f%%)", nr.Name, or.NsPerIter, nr.NsPerIter, (ratio-1)*100))
+		}
+		fmt.Fprintf(stdout, "  %-8s %-24s %12.0f -> %-12.0f ns/iter (%+6.1f%%)\n",
+			status, nr.Name, or.NsPerIter, nr.NsPerIter, (ratio-1)*100)
+	}
+	for name := range oldBy {
+		fmt.Fprintf(stdout, "  gone     %-24s (present only in %s)\n", name, oldPath)
+	}
+	if matched == 0 {
+		return fmt.Errorf("benchdiff: no benchmarks in common between %s and %s", oldPath, newPath)
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintf(stdout, "REGRESSION %s\n", r)
+		}
+		return fmt.Errorf("benchdiff: %d benchmark(s) regressed more than %.0f%%", len(regressions), threshold*100)
+	}
+	fmt.Fprintf(stdout, "benchdiff: %d benchmarks within +%.0f%%\n", matched, threshold*100)
+	return nil
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, path string, rev string, results []BenchResult) {
+	t.Helper()
+	data, err := json.Marshal(&BenchReport{Rev: rev, GoVersion: "go-test", CPUs: 1, GOMAXPROCS: 1, Results: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBenchDiffPassesWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	oldP, newP := filepath.Join(dir, "old.json"), filepath.Join(dir, "new.json")
+	writeReport(t, oldP, "aaa", []BenchResult{
+		{Name: "worker/lr/P1", NsPerIter: 1000},
+		{Name: "worker/lr/P4", NsPerIter: 900},
+	})
+	writeReport(t, newP, "bbb", []BenchResult{
+		{Name: "worker/lr/P1", NsPerIter: 1100}, // +10%: inside the 15% band
+		{Name: "worker/lr/P4", NsPerIter: 850},
+		{Name: "serve/lr/P1", NsPerIter: 50}, // new benchmark: not fatal
+	})
+	var sb strings.Builder
+	if err := run([]string{"-benchdiff", "-old", oldP, "-new", newP}, &sb); err != nil {
+		t.Fatalf("diff within threshold failed: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "2 benchmarks within") {
+		t.Errorf("summary missing: %q", sb.String())
+	}
+	if !strings.Contains(sb.String(), "no baseline") {
+		t.Errorf("new benchmark not reported: %q", sb.String())
+	}
+}
+
+func TestBenchDiffFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldP, newP := filepath.Join(dir, "old.json"), filepath.Join(dir, "new.json")
+	writeReport(t, oldP, "aaa", []BenchResult{{Name: "worker/lr/P1", NsPerIter: 1000}})
+	writeReport(t, newP, "bbb", []BenchResult{{Name: "worker/lr/P1", NsPerIter: 1200}}) // +20%
+	var sb strings.Builder
+	err := run([]string{"-benchdiff", "-old", oldP, "-new", newP}, &sb)
+	if err == nil {
+		t.Fatalf("+20%% regression passed:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "REGRESSED") {
+		t.Errorf("regression not flagged: %q", sb.String())
+	}
+	// A looser threshold waves the same pair through.
+	sb.Reset()
+	if err := run([]string{"-benchdiff", "-old", oldP, "-new", newP, "-threshold", "0.30"}, &sb); err != nil {
+		t.Fatalf("diff with -threshold 0.30 failed: %v", err)
+	}
+}
+
+func TestBenchDiffErrors(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")
+	writeReport(t, a, "aaa", []BenchResult{{Name: "x", NsPerIter: 1}})
+	writeReport(t, b, "bbb", []BenchResult{{Name: "y", NsPerIter: 1}})
+	if err := run([]string{"-benchdiff", "-old", a, "-new", b}, &strings.Builder{}); err == nil {
+		t.Error("disjoint reports accepted")
+	}
+	if err := run([]string{"-benchdiff", "-old", a}, &strings.Builder{}); err == nil {
+		t.Error("missing -new accepted")
+	}
+	if err := run([]string{"-benchdiff", "-old", filepath.Join(dir, "nope.json"), "-new", b}, &strings.Builder{}); err == nil {
+		t.Error("missing file accepted")
+	}
+}

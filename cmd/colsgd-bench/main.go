@@ -7,6 +7,8 @@
 //	colsgd-bench -list           # list experiment IDs
 //	colsgd-bench -scale 1.0      # dataset scale multiplier
 //	colsgd-bench -chaos "drop=0.05" -seed 7   # replay a seeded fault schedule
+//	colsgd-bench -benchjson BENCH_abc.json -rev abc   # micro-benchmark suite
+//	colsgd-bench -benchdiff -old a.json -new b.json   # fail on >15% regression
 //
 // Each experiment prints the regenerated table/figure plus "check" lines
 // that assert the paper's qualitative result (orderings, speedup bands,
@@ -46,9 +48,26 @@ func run(args []string, stdout io.Writer) error {
 		svg   = fs.String("svg", "", "also render every figure as an SVG file into this directory")
 		chaos = fs.String("chaos", "", "replay a chaos fault spec (e.g. \"drop=0.05,corrupt=0.03\") against every engine and exit")
 		eng   = fs.String("engine", "", "with -chaos: restrict the replay to one engine")
+
+		benchjson = fs.String("benchjson", "", "run the micro-benchmark suite and write JSON results to this path")
+		rev       = fs.String("rev", "unknown", "with -benchjson: git revision to record in the report")
+		benchdiff = fs.Bool("benchdiff", false, "compare two -benchjson reports (-old, -new) and fail on regression")
+		oldJSON   = fs.String("old", "", "with -benchdiff: baseline report")
+		newJSON   = fs.String("new", "", "with -benchdiff: candidate report")
+		threshold = fs.Float64("threshold", 0.15, "with -benchdiff: ns/iter growth fraction that counts as a regression")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *benchjson != "" {
+		return runBenchJSON(*benchjson, *rev, stdout)
+	}
+	if *benchdiff {
+		if *oldJSON == "" || *newJSON == "" {
+			return fmt.Errorf("-benchdiff needs both -old and -new")
+		}
+		return runBenchDiff(*oldJSON, *newJSON, *threshold, stdout)
 	}
 
 	if *chaos != "" {

@@ -58,6 +58,7 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal) error {
 		queueCap     = fs.Int("queue", 4096, "admission queue capacity")
 		shardTimeout = fs.Duration("shard-timeout", 250*time.Millisecond, "per-shard call timeout (one retry)")
 		drain        = fs.Duration("drain", 10*time.Second, "grace period for in-flight requests on shutdown")
+		par          = fs.Int("parallelism", 0, "scoring goroutines shared by the shard scorers (0 = GOMAXPROCS; bit-identical at any value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +74,7 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal) error {
 		Factors:      *factors,
 		Shards:       *shards,
 		MaxBatch:     *maxBatch,
+		Parallelism:  *par,
 		MaxWait:      *maxWait,
 		QueueCap:     *queueCap,
 		ShardTimeout: *shardTimeout,

@@ -45,6 +45,7 @@ func run(args []string, stdout io.Writer) error {
 		blockSize = fs.Int("block", 1024, "loading block size")
 		epoch     = fs.Bool("epoch", false, "sequential epoch access instead of mini-batch sampling")
 		seed      = fs.Int64("seed", 1, "random seed")
+		par       = fs.Int("parallelism", 0, "per-worker compute goroutines (0 = GOMAXPROCS; any value is bit-identical)")
 		evalEvery = fs.Int("eval-every", 10, "full-loss evaluation interval (0 = batch loss)")
 		addrs     = fs.String("addrs", "", "comma-separated TCP worker addresses (empty = in-process)")
 		modelOut  = fs.String("model-out", "", "write final weights (one value per line) to this file")
@@ -80,6 +81,7 @@ func run(args []string, stdout io.Writer) error {
 		EpochAccess:  *epoch,
 		Seed:         *seed,
 		EvalEvery:    *evalEvery,
+		Parallelism:  *par,
 	}
 	if *addrs != "" {
 		cfg.WorkerAddrs = strings.Split(*addrs, ",")

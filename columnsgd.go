@@ -118,6 +118,12 @@ type Config struct {
 	// KillStragglers permanently drops detected stragglers whose backup
 	// group has a live replica (requires Backup > 0).
 	KillStragglers bool
+
+	// Parallelism sizes each worker's deterministic compute pool
+	// (internal/par): 0 means GOMAXPROCS, 1 computes inline. Any value
+	// yields a bit-identical model — fixed chunk boundaries and ordered
+	// reduction make it purely a throughput knob.
+	Parallelism int
 }
 
 func (c Config) normalized() (Config, error) {
@@ -193,11 +199,12 @@ func (c Config) coreConfig() core.Config {
 			Beta2:    c.AdamBeta2,
 			Eps:      c.Eps,
 		},
-		BatchSize: c.BatchSize,
-		BlockSize: c.BlockSize,
-		Seed:      c.Seed,
-		Net:       simnet.Cluster1().WithWorkers(c.Workers),
-		EvalEvery: c.EvalEvery,
+		BatchSize:          c.BatchSize,
+		BlockSize:          c.BlockSize,
+		Seed:               c.Seed,
+		Net:                simnet.Cluster1().WithWorkers(c.Workers),
+		EvalEvery:          c.EvalEvery,
+		ComputeParallelism: c.Parallelism,
 	}
 }
 

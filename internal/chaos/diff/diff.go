@@ -53,6 +53,10 @@ type Workload struct {
 	Batch, Iters, Workers int
 	// Seed drives data generation, initialization, and sampling.
 	Seed int64
+	// Parallelism sizes each worker's deterministic compute pool
+	// (internal/par); 0 means GOMAXPROCS. Bit-identical for every value —
+	// the golden-determinism matrix asserts exactly that.
+	Parallelism int
 }
 
 // Result is one engine run's comparable outcome.
@@ -218,13 +222,14 @@ func runColumnSGD(w Workload, prov core.Provider, spec *chaos.Spec) (*Result, er
 		prov = chaos.NewProvider(prov, inj)
 	}
 	cfg := core.Config{
-		Workers:   w.Workers,
-		ModelName: w.Model,
-		ModelArg:  w.ModelArg,
-		Opt:       w.Opt,
-		BatchSize: w.Batch,
-		BlockSize: 16,
-		Seed:      w.Seed,
+		Workers:            w.Workers,
+		ModelName:          w.Model,
+		ModelArg:           w.ModelArg,
+		Opt:                w.Opt,
+		BatchSize:          w.Batch,
+		BlockSize:          16,
+		Seed:               w.Seed,
+		ComputeParallelism: w.Parallelism,
 	}
 	e, err := core.NewEngine(cfg, prov)
 	if err != nil {

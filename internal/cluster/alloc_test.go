@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"encoding/gob"
+	"testing"
+)
+
+// statsPayload mimics the per-iteration statistics reply — the payload
+// that crosses the wire twice per iteration per worker and therefore
+// dominates transport encode traffic.
+type statsPayload struct {
+	Stats []float64
+	NNZ   int64
+}
+
+func init() { gob.Register(&statsPayload{}) }
+
+// maxAllocsEncodePooled is the checked-in allocation ceiling for one
+// pooled encode of a 1024-float statistics response. encoding/gob
+// inherently allocates per encode (encoder state, type bookkeeping, the
+// temporary it copies float slices through), so this cannot be zero; the
+// ceiling pins the count so a regression — most plausibly losing buffer
+// reuse and re-growing a fresh bytes.Buffer to ~8 KiB every call — fails
+// the test. Measured 23 allocs/op on go1.24; 30 leaves headroom for
+// stdlib drift without masking a lost pool.
+const maxAllocsEncodePooled = 30
+
+func TestEncodePooledAllocs(t *testing.T) {
+	stats := make([]float64, 1024)
+	for i := range stats {
+		stats[i] = float64(i) * 0.5
+	}
+	resp := &Response{Value: &statsPayload{Stats: stats, NNZ: 12345}}
+
+	// Warm up: first encodes pay one-time gob type registration and grow
+	// the pooled buffer to steady-state size.
+	for i := 0; i < 8; i++ {
+		buf, err := encodePooled(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		releaseEncBuf(buf)
+	}
+
+	got := testing.AllocsPerRun(200, func() {
+		buf, err := encodePooled(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		releaseEncBuf(buf)
+	})
+	if got > maxAllocsEncodePooled {
+		t.Errorf("encodePooled allocates %.1f/run, ceiling %d", got, maxAllocsEncodePooled)
+	}
+	t.Logf("encodePooled: %.1f allocs/run (ceiling %d)", got, maxAllocsEncodePooled)
+}
+
+// TestEncodePooledRoundTrip: pooled bytes must decode identically to the
+// fresh-buffer seam, and releasing must not corrupt a decode that already
+// copied the data out.
+func TestEncodePooledRoundTrip(t *testing.T) {
+	want := &statsPayload{Stats: []float64{1, 2, 3.5}, NNZ: 7}
+	buf, err := encodePooled(&Response{Value: want})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := decode(buf.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	releaseEncBuf(buf)
+	got, ok := resp.Value.(*statsPayload)
+	if !ok {
+		t.Fatalf("decoded %T, want *statsPayload", resp.Value)
+	}
+	if got.NNZ != want.NNZ || len(got.Stats) != len(want.Stats) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, want)
+	}
+	for i := range want.Stats {
+		if got.Stats[i] != want.Stats[i] {
+			t.Fatalf("stats[%d] = %v, want %v", i, got.Stats[i], want.Stats[i])
+		}
+	}
+}

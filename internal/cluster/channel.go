@@ -96,18 +96,21 @@ func (c *localClient) Call(method string, args, reply interface{}) error {
 	if w.down.Load() {
 		return fmt.Errorf("%w: worker %d", ErrWorkerDown, w.id)
 	}
-	reqBytes, err := encode(&Envelope{Method: method, Args: args})
+	reqBuf, err := encodePooled(&Envelope{Method: method, Args: args})
 	if err != nil {
 		return err
 	}
+	reqLen := reqBuf.Len()
 
 	w.mu.Lock()
 	svc := w.svc
 	// Decode into a fresh envelope: the worker sees its own copy.
 	var env Envelope
-	if err := decode(reqBytes, &env); err != nil {
+	derr := decode(reqBuf.Bytes(), &env)
+	releaseEncBuf(reqBuf) // decode copied everything out
+	if derr != nil {
 		w.mu.Unlock()
-		return err
+		return derr
 	}
 	value, herr := svc.Dispatch(env.Method, env.Args)
 	w.mu.Unlock()
@@ -116,20 +119,23 @@ func (c *localClient) Call(method string, args, reply interface{}) error {
 	if herr != nil {
 		resp.Err = herr.Error()
 	}
-	respBytes, err := encode(&resp)
+	respBuf, err := encodePooled(&resp)
 	if err != nil {
 		return err
 	}
-	w.bytes.Add(int64(len(reqBytes) + len(respBytes)))
+	w.bytes.Add(int64(reqLen + respBuf.Len()))
 	w.msgs.Add(2)
 
 	if w.down.Load() {
 		// Crash raced with the call: the reply is lost.
+		releaseEncBuf(respBuf)
 		return fmt.Errorf("%w: worker %d (reply lost)", ErrWorkerDown, w.id)
 	}
 	var back Response
-	if err := decode(respBytes, &back); err != nil {
-		return err
+	derr = decode(respBuf.Bytes(), &back)
+	releaseEncBuf(respBuf)
+	if derr != nil {
+		return derr
 	}
 	if back.Err != "" {
 		return fmt.Errorf("cluster: worker %d: %s", w.id, back.Err)

@@ -110,6 +110,29 @@ func encode(v interface{}) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// encBufs pools encode buffers for the transport hot path. The public
+// Encode seam keeps returning fresh byte slices (decorators like the
+// chaos injector hold onto and mutate them); the transports instead use
+// encodePooled and hand the buffer back once its bytes are consumed —
+// gob decoding copies everything out, so release-after-decode (or
+// release-after-write for TCP) is safe.
+var encBufs = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+
+// encodePooled gob-encodes v into a pooled buffer. The caller must pass
+// the buffer to releaseEncBuf exactly once when done with its bytes.
+func encodePooled(v interface{}) (*bytes.Buffer, error) {
+	buf := encBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(v); err != nil {
+		releaseEncBuf(buf)
+		return nil, fmt.Errorf("cluster: encode: %w", err)
+	}
+	return buf, nil
+}
+
+// releaseEncBuf returns a pooled encode buffer.
+func releaseEncBuf(buf *bytes.Buffer) { encBufs.Put(buf) }
+
 // decode gob-decodes data into v. Arbitrary (corrupted, truncated,
 // adversarial) bytes must surface as ErrDecode, never a panic: gob
 // recovers its own internal panics, but a defensive guard keeps any that

@@ -117,17 +117,18 @@ func (s *Server) serveConn(conn net.Conn) {
 				resp.Err = herr.Error()
 			}
 		}
-		respBytes, err := encode(&resp)
+		respBuf, err := encodePooled(&resp)
 		if err != nil {
 			// Encoding the handler result failed (unregistered type);
 			// report it instead of the value.
-			respBytes, err = encode(&Response{Err: err.Error()})
+			respBuf, err = encodePooled(&Response{Err: err.Error()})
 			if err != nil {
 				s.endRequest()
 				return
 			}
 		}
-		werr := writeFrame(conn, respBytes)
+		werr := writeFrame(conn, respBuf.Bytes())
+		releaseEncBuf(respBuf) // the frame is on the wire (or failed)
 		s.endRequest()
 		if werr != nil {
 			return
@@ -209,17 +210,21 @@ func Dial(addr string) (Client, error) {
 
 // Call implements Client.
 func (c *tcpClient) Call(method string, args, reply interface{}) error {
-	reqBytes, err := encode(&Envelope{Method: method, Args: args})
+	reqBuf, err := encodePooled(&Envelope{Method: method, Args: args})
 	if err != nil {
 		return err
 	}
+	reqLen := reqBuf.Len()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn == nil {
+		releaseEncBuf(reqBuf)
 		return ErrWorkerDown
 	}
-	if err := writeFrame(c.conn, reqBytes); err != nil {
-		return fmt.Errorf("%w: %v", ErrWorkerDown, err)
+	werr := writeFrame(c.conn, reqBuf.Bytes())
+	releaseEncBuf(reqBuf)
+	if werr != nil {
+		return fmt.Errorf("%w: %v", ErrWorkerDown, werr)
 	}
 	respBytes, err := readFrame(c.conn)
 	if err != nil {
@@ -228,7 +233,7 @@ func (c *tcpClient) Call(method string, args, reply interface{}) error {
 		}
 		return fmt.Errorf("%w: %v", ErrWorkerDown, err)
 	}
-	c.bytes.Add(int64(len(reqBytes) + len(respBytes)))
+	c.bytes.Add(int64(reqLen + len(respBytes)))
 	c.msgs.Add(2)
 	var resp Response
 	if err := decode(respBytes, &resp); err != nil {

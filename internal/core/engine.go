@@ -60,6 +60,11 @@ type Config struct {
 	Access string
 	// Seed drives sampling, initialization, and straggler choice.
 	Seed int64
+	// ComputeParallelism sizes each worker's deterministic compute pool
+	// (goroutines per worker for the statistics/gradient hot loop).
+	// 0 means GOMAXPROCS; 1 disables intra-worker parallelism. The model
+	// is bit-identical for every value — see internal/par.
+	ComputeParallelism int
 	// Net prices communication and compute.
 	Net simnet.Model
 	// Stragglers optionally injects stragglers.
@@ -75,6 +80,9 @@ func (c *Config) normalize() error {
 	}
 	if c.Backup < 0 {
 		return fmt.Errorf("core: Backup must be ≥ 0")
+	}
+	if c.ComputeParallelism < 0 {
+		return fmt.Errorf("core: ComputeParallelism must be ≥ 0")
 	}
 	if c.Backup > 0 && c.Workers%(c.Backup+1) != 0 {
 		return fmt.Errorf("core: Workers (%d) must be divisible by Backup+1 (%d)", c.Workers, c.Backup+1)
@@ -353,13 +361,14 @@ func (e *Engine) initWorkers(workers []int) error {
 			widths[i] = e.scheme.PartSize(p)
 		}
 		args := &InitArgs{
-			Worker:     w,
-			Partitions: e.workerParts[w],
-			Widths:     widths,
-			ModelName:  e.cfg.ModelName,
-			ModelArg:   e.cfg.ModelArg,
-			Opt:        e.cfg.Opt,
-			Seed:       e.cfg.Seed,
+			Worker:      w,
+			Partitions:  e.workerParts[w],
+			Widths:      widths,
+			ModelName:   e.cfg.ModelName,
+			ModelArg:    e.cfg.ModelArg,
+			Opt:         e.cfg.Opt,
+			Seed:        e.cfg.Seed,
+			Parallelism: e.cfg.ComputeParallelism,
 		}
 		if err := e.clients[w].Call(MethodInit, args, nil); err != nil {
 			return fmt.Errorf("core: init worker %d: %w", w, err)

@@ -31,6 +31,11 @@ type InitArgs struct {
 	// Seed drives model initialization (FM factors); combined with the
 	// partition index so replicas initialize identically.
 	Seed int64
+	// Parallelism sizes the worker's deterministic compute pool
+	// (internal/par): 0 means GOMAXPROCS. Any value produces bit-identical
+	// models — the pool's fixed chunking and ordered reduction guarantee
+	// it — so this is purely a throughput knob.
+	Parallelism int
 }
 
 // LoadArgs delivers one workset to one of the worker's partitions.

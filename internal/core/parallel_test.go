@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"columnsgd/internal/opt"
+	"columnsgd/internal/partition"
+	"columnsgd/internal/vec"
+)
+
+// poolWorker builds a loaded single-partition worker with the given
+// compute parallelism: 4 blocks of 64 rows over 32 features, enough rows
+// per batch to span several fixed chunks.
+func poolWorker(t *testing.T, parallelism int) *Worker {
+	t.Helper()
+	const width = 32
+	w := NewWorker()
+	if err := w.init(&InitArgs{
+		Worker:      0,
+		Partitions:  []int{0},
+		Widths:      []int{width},
+		ModelName:   "lr",
+		Opt:         opt.Config{LR: 0.1},
+		Seed:        7,
+		Parallelism: parallelism,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 4; b++ {
+		csr := vec.NewCSR(width, 64)
+		labels := make([]float64, 64)
+		for i := 0; i < 64; i++ {
+			j := int32((b*64 + i*3) % width)
+			if err := csr.AppendRow(vec.Sparse{Indices: []int32{j}, Values: []float64{1 + float64(i%5)/4}}); err != nil {
+				t.Fatal(err)
+			}
+			if (b+i)%2 == 0 {
+				labels[i] = 1
+			} else {
+				labels[i] = -1
+			}
+		}
+		if err := w.load(&LoadArgs{Partition: 0, Workset: &partition.Workset{BlockID: b, Labels: labels, Data: csr}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.loadDone(); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// trainStep runs one deterministic computeStats → update round.
+func trainStep(t *testing.T, w *Worker, iter int64) {
+	t.Helper()
+	sr, err := w.computeStats(&StatsArgs{Iter: iter, BatchSize: 48})
+	if err != nil {
+		t.Error(err)
+		return
+	}
+	if _, err := w.update(&UpdateArgs{Iter: iter, BatchSize: 48, Stats: sr.Stats}); err != nil {
+		t.Error(err)
+	}
+}
+
+// exportParams pulls the worker's partition-0 parameter block.
+func exportParams(t *testing.T, w *Worker) [][]float64 {
+	t.Helper()
+	pr, err := w.getParams(&ParamsArgs{Partition: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr.W
+}
+
+// TestPoolRaceUnderConcurrentLoad is the dedicated -race hammer for the
+// worker compute pool: while one goroutine runs the deterministic
+// training sequence, a second hammers computeStats (a read-only task,
+// so it cannot perturb the math) and a third shuts the pool down
+// mid-training on a channel signal — the post-shutdown iterations take
+// the pool's inline fallback, which runs the identical chunked
+// arithmetic. The final model must still be bit-identical to a quiet
+// sequential (P=1) run of the same training sequence. All coordination
+// is by channels; no sleeps.
+func TestPoolRaceUnderConcurrentLoad(t *testing.T) {
+	const iters = 24
+	const shutdownAfter = 12
+
+	// Quiet reference run at P=1.
+	ref := poolWorker(t, 1)
+	for i := int64(0); i < iters; i++ {
+		trainStep(t, ref, i)
+	}
+	want := exportParams(t, ref)
+
+	w := poolWorker(t, 4)
+	stop := make(chan struct{})
+	shutdownNow := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Hammer: concurrent computeStats calls racing the trainer and the
+	// pool shutdown.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var iter int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := w.computeStats(&StatsArgs{Iter: 1000 + iter, BatchSize: 48}); err != nil {
+				t.Error(err)
+				return
+			}
+			iter++
+		}
+	}()
+
+	// Shutdown: fires mid-training when the trainer says so.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-shutdownNow
+		w.Shutdown()
+	}()
+
+	// Trainer: the deterministic sequence, signalling the shutdown
+	// goroutine halfway through.
+	for i := int64(0); i < iters; i++ {
+		trainStep(t, w, i)
+		if i == shutdownAfter {
+			close(shutdownNow)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	got := exportParams(t, w)
+	if len(got) != len(want) {
+		t.Fatalf("row count %d, want %d", len(got), len(want))
+	}
+	for r := range want {
+		for j := range want[r] {
+			if math.Float64bits(got[r][j]) != math.Float64bits(want[r][j]) {
+				t.Fatalf("w[%d][%d] = %v under concurrent load, want %v (sequential P=1)",
+					r, j, got[r][j], want[r][j])
+			}
+		}
+	}
+}
+
+// TestWorkerShutdownIdempotent: Shutdown twice, then keep training — the
+// inline fallback must keep producing bit-identical results.
+func TestWorkerShutdownIdempotent(t *testing.T) {
+	ref := poolWorker(t, 1)
+	w := poolWorker(t, 4)
+	for i := int64(0); i < 4; i++ {
+		trainStep(t, ref, i)
+		trainStep(t, w, i)
+	}
+	w.Shutdown()
+	w.Shutdown()
+	for i := int64(4); i < 8; i++ {
+		trainStep(t, ref, i)
+		trainStep(t, w, i)
+	}
+	want, got := exportParams(t, ref), exportParams(t, w)
+	for r := range want {
+		for j := range want[r] {
+			if math.Float64bits(got[r][j]) != math.Float64bits(want[r][j]) {
+				t.Fatalf("w[%d][%d] diverged after shutdown: %v vs %v", r, j, got[r][j], want[r][j])
+			}
+		}
+	}
+}

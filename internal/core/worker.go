@@ -7,6 +7,7 @@ import (
 
 	"columnsgd/internal/model"
 	"columnsgd/internal/opt"
+	"columnsgd/internal/par"
 	"columnsgd/internal/partition"
 	"columnsgd/internal/vec"
 )
@@ -20,6 +21,12 @@ type partState struct {
 	store  *partition.Store
 	params *model.Params
 	opt    opt.Optimizer
+
+	// Iteration-scoped scratch, reused across the hot loop: the
+	// materialized mini-batch views and the gradient block.
+	rowsBuf   []vec.Sparse
+	labelsBuf []float64
+	grad      *model.Params
 }
 
 // Worker is the worker-side implementation of Algorithm 3. It is exposed
@@ -37,6 +44,11 @@ type Worker struct {
 
 	// failNext injects transient task failures (Fig. 13(a)).
 	failNext int
+
+	// pool is the worker's deterministic compute pool (fixed chunking +
+	// ordered reduction, see internal/par): results are bit-identical for
+	// every pool size, so parallelism is purely a throughput knob.
+	pool *par.Pool
 
 	// scratch buffers reused across iterations.
 	statsBuf []float64
@@ -61,6 +73,10 @@ func (w *Worker) init(a *InitArgs) error {
 	w.mdl = mdl
 	w.seed = a.Seed
 	w.sampler = nil
+	if w.pool != nil {
+		w.pool.Shutdown()
+	}
+	w.pool = par.New(a.Parallelism)
 	w.parts = make([]*partState, len(a.Partitions))
 	for i, p := range a.Partitions {
 		o, err := opt.New(a.Opt)
@@ -138,11 +154,16 @@ func (w *Worker) loadDone() error {
 
 // batchFor materializes the iteration's mini-batch for one partition:
 // local column slices plus shared labels. refs come from the shared
-// two-phase sampler.
+// two-phase sampler. The batch views live in the partition's scratch
+// buffers and are valid until its next batchFor call.
 func batchFor(ps *partState, refs []partition.RowRef) (model.Batch, error) {
+	if cap(ps.rowsBuf) < len(refs) {
+		ps.rowsBuf = make([]vec.Sparse, len(refs))
+		ps.labelsBuf = make([]float64, len(refs))
+	}
 	b := model.Batch{
-		Rows:   make([]vec.Sparse, len(refs)),
-		Labels: make([]float64, len(refs)),
+		Rows:   ps.rowsBuf[:len(refs)],
+		Labels: ps.labelsBuf[:len(refs)],
 	}
 	for i, ref := range refs {
 		ws, ok := ps.store.Get(ref.BlockID)
@@ -211,7 +232,9 @@ func (w *Worker) computeStats(a *StatsArgs) (*StatsReply, error) {
 		if err != nil {
 			return nil, err
 		}
-		w.partBuf = w.mdl.PartialStats(ps.params, batch, w.partBuf)
+		// Per-point statistics fill disjoint slots, so the parallel path
+		// is bit-identical to the sequential kernel for every pool size.
+		w.partBuf = model.ParallelStats(w.pool, w.mdl, ps.params, batch, w.partBuf)
 		for i, v := range w.partBuf {
 			sum[i] += v
 		}
@@ -239,9 +262,13 @@ func (w *Worker) update(a *UpdateArgs) (*UpdateReply, error) {
 		if err != nil {
 			return nil, err
 		}
-		grad := model.NewParams(w.mdl.ParamRows(), ps.width)
-		w.mdl.Gradient(ps.params, batch, a.Stats, grad)
-		if err := ps.opt.Apply(ps.params, grad); err != nil {
+		if ps.grad == nil || ps.grad.Rows() != w.mdl.ParamRows() || ps.grad.Width() != ps.width {
+			ps.grad = model.NewParams(w.mdl.ParamRows(), ps.width)
+		}
+		// Chunked gradient with ordered reduction: bit-identical for
+		// every pool size (see model.ParallelGradient).
+		model.ParallelGradient(w.pool, w.mdl, ps.params, batch, a.Stats, ps.grad)
+		if err := ps.opt.Apply(ps.params, ps.grad); err != nil {
 			return nil, err
 		}
 		nnz += batch.NNZ()
@@ -274,7 +301,7 @@ func (w *Worker) evalStats(a *EvalArgs) (*EvalReply, error) {
 		for i := range batch.Rows {
 			batch.Rows[i] = ws.Data.Row(i)
 		}
-		partStats = w.mdl.PartialStats(ps.params, batch, partStats[:0])
+		partStats = model.ParallelStats(w.pool, w.mdl, ps.params, batch, partStats[:0])
 		out = append(out, partStats...)
 		nnz += batch.NNZ()
 	}
@@ -389,4 +416,14 @@ func (w *Worker) armFailures(a *FailNextArgs) {
 	w.mu.Lock()
 	w.failNext = a.Calls
 	w.mu.Unlock()
+}
+
+// Shutdown releases the worker's compute pool. Calls arriving afterwards
+// still succeed — the pool's inline fallback runs the identical chunked
+// arithmetic — so shutdown can race in-flight tasks safely.
+func (w *Worker) Shutdown() {
+	w.mu.Lock()
+	pool := w.pool
+	w.mu.Unlock()
+	pool.Shutdown()
 }

@@ -1,0 +1,122 @@
+package model
+
+import (
+	"fmt"
+	"sync"
+
+	"columnsgd/internal/par"
+	"columnsgd/internal/vec"
+)
+
+// Deterministic chunking of a batch: boundaries are a pure function of
+// the batch size (never of pool parallelism), per the par package
+// contract. Small batches stay in one chunk — and one-chunk calls take
+// the plain sequential kernel path, bit-identical to the historical
+// arithmetic.
+const (
+	// minGrain is the smallest rows-per-chunk worth dispatching.
+	minGrain = 16
+	// maxBatchChunks bounds chunk count so dispatch overhead stays flat
+	// as batches grow.
+	maxBatchChunks = 64
+)
+
+// batchGrain returns the chunk grain for an n-row batch. Pure function
+// of n.
+func batchGrain(n int) int {
+	g := (n + maxBatchChunks - 1) / maxBatchChunks
+	if g < minGrain {
+		g = minGrain
+	}
+	return g
+}
+
+// ParallelStats computes m.PartialStats over batch, fanning fixed row
+// chunks across pool (nil pool ⇒ inline). The result is bit-identical to
+// the sequential m.PartialStats call for every pool size: each point's
+// statistics occupy a dedicated slot of the output, so chunking changes
+// no arithmetic at all — only which goroutine fills which slots.
+//
+// dst is reused when it has capacity, like Model.PartialStats.
+func ParallelStats(pool *par.Pool, m Model, p *Params, batch Batch, dst []float64) []float64 {
+	n := batch.Len()
+	spp := m.StatsPerPoint()
+	need := n * spp
+	grain := batchGrain(n)
+	if pool.Procs() == 1 || par.NumChunks(n, grain) <= 1 {
+		return m.PartialStats(p, batch, dst)
+	}
+	if cap(dst) < need {
+		dst = make([]float64, need)
+	}
+	dst = dst[:need]
+	pool.Run(n, grain, func(c, lo, hi int) {
+		sub := Batch{Rows: batch.Rows[lo:hi], Labels: batch.Labels[lo:hi]}
+		// Hand the kernel a zero-length slice with exactly the chunk's
+		// capacity: a conforming PartialStats appends in place and the
+		// chunk's statistics land directly in dst[lo*spp:hi*spp].
+		out := m.PartialStats(p, sub, dst[lo*spp:lo*spp:hi*spp])
+		if len(out) != (hi-lo)*spp {
+			panic(fmt.Sprintf("model: %s.PartialStats returned %d stats for a %d-row chunk (want %d)",
+				m.Name(), len(out), hi-lo, (hi-lo)*spp))
+		}
+		if &out[0] != &dst[lo*spp] {
+			// The kernel reallocated (non-append implementation); copy
+			// the chunk back into its slot.
+			copy(dst[lo*spp:hi*spp], out)
+		}
+	})
+	return dst
+}
+
+// gradScratch pools per-chunk gradient blocks so the parallel gradient
+// path allocates nothing in steady state. Blocks of the wrong shape are
+// simply dropped back to the allocator.
+var gradScratch = sync.Pool{New: func() interface{} { return (*Params)(nil) }}
+
+func getGradScratch(rows, width int) *Params {
+	if g, _ := gradScratch.Get().(*Params); g != nil && g.Rows() == rows && g.Width() == width {
+		return g
+	}
+	return NewParams(rows, width)
+}
+
+func putGradScratch(g *Params) { gradScratch.Put(g) }
+
+// ParallelGradient computes m.Gradient over batch into grad, fanning
+// fixed row chunks across pool (nil pool ⇒ inline). Each chunk computes
+// its sub-batch's mean gradient into pooled scratch; the partials are
+// then combined in ascending chunk order, rescaled by chunkRows/batchRows
+// so the result is the batch mean.
+//
+// Determinism: chunk boundaries depend only on the batch size and the
+// reduction order is fixed, so the result is bit-identical for every
+// pool size — including nil and shut-down pools, which run the identical
+// chunked arithmetic inline. One-chunk batches (≤ minGrain rows) take
+// the plain sequential kernel, preserving historical bit patterns.
+func ParallelGradient(pool *par.Pool, m Model, p *Params, batch Batch, stats []float64, grad *Params) {
+	n := batch.Len()
+	grain := batchGrain(n)
+	nc := par.NumChunks(n, grain)
+	if nc <= 1 {
+		m.Gradient(p, batch, stats, grad)
+		return
+	}
+	spp := m.StatsPerPoint()
+	parts := make([]*Params, nc)
+	pool.Run(n, grain, func(c, lo, hi int) {
+		g := getGradScratch(grad.Rows(), grad.Width())
+		sub := Batch{Rows: batch.Rows[lo:hi], Labels: batch.Labels[lo:hi]}
+		m.Gradient(p, sub, stats[lo*spp:hi*spp], g)
+		parts[c] = g
+	})
+	grad.Zero()
+	for c, g := range parts {
+		lo, hi := par.Bounds(c, n, grain)
+		scale := float64(hi-lo) / float64(n)
+		for r := range grad.W {
+			vec.Axpy(grad.W[r], scale, g.W[r])
+		}
+		putGradScratch(g)
+	}
+}

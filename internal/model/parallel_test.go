@@ -1,0 +1,172 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"columnsgd/internal/par"
+	"columnsgd/internal/vec"
+)
+
+// synthBatch builds a deterministic sparse batch over m features.
+func synthBatch(n, m, nnz int, classes int, seed int64) Batch {
+	r := rand.New(rand.NewSource(seed))
+	b := Batch{Rows: make([]vec.Sparse, n), Labels: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		idx := make([]int32, 0, nnz)
+		val := make([]float64, 0, nnz)
+		seen := map[int32]bool{}
+		for len(idx) < nnz {
+			j := int32(r.Intn(m))
+			if seen[j] {
+				continue
+			}
+			seen[j] = true
+			idx = append(idx, j)
+			val = append(val, r.NormFloat64())
+		}
+		s, err := vec.NewSparse(idx, val)
+		if err != nil {
+			panic(err)
+		}
+		b.Rows[i] = s
+		if classes > 0 {
+			b.Labels[i] = float64(r.Intn(classes))
+		} else if r.Intn(2) == 0 {
+			b.Labels[i] = -1
+		} else {
+			b.Labels[i] = 1
+		}
+	}
+	return b
+}
+
+func testModels(t *testing.T) []Model {
+	t.Helper()
+	mlr, err := NewMLR(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm, err := NewFM(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Model{LR{}, SVM{}, LeastSquares{}, mlr, fm}
+}
+
+// TestParallelStatsBitIdentical: for every model and every pool size,
+// ParallelStats must match the sequential kernel bit for bit — chunking
+// assigns slots, it never changes arithmetic.
+func TestParallelStatsBitIdentical(t *testing.T) {
+	const m = 600
+	for _, mdl := range testModels(t) {
+		classes := 0
+		if mlr, ok := mdl.(MLR); ok {
+			classes = mlr.Classes()
+		}
+		for _, n := range []int{1, 16, 17, 100, 257} {
+			batch := synthBatch(n, m, 12, classes, 7)
+			p := NewParams(mdl.ParamRows(), m)
+			mdl.Init(p, rand.New(rand.NewSource(3)))
+			want := mdl.PartialStats(p, batch, nil)
+			for _, procs := range []int{1, 2, 4, 7} {
+				pool := par.New(procs)
+				got := ParallelStats(pool, mdl, p, batch, nil)
+				pool.Shutdown()
+				if len(got) != len(want) {
+					t.Fatalf("%s n=%d P=%d: %d stats, want %d", mdl.Name(), n, procs, len(got), len(want))
+				}
+				for i := range want {
+					if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+						t.Fatalf("%s n=%d P=%d: stat %d = %v, want %v", mdl.Name(), n, procs, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelGradientBitIdenticalAcrossP: the chunked gradient must be
+// byte-stable across every pool size (including nil), and equal to the
+// sequential kernel whenever the batch fits one chunk.
+func TestParallelGradientBitIdenticalAcrossP(t *testing.T) {
+	const m = 600
+	for _, mdl := range testModels(t) {
+		classes := 0
+		if mlr, ok := mdl.(MLR); ok {
+			classes = mlr.Classes()
+		}
+		for _, n := range []int{1, 16, 40, 257} {
+			batch := synthBatch(n, m, 12, classes, 11)
+			p := NewParams(mdl.ParamRows(), m)
+			mdl.Init(p, rand.New(rand.NewSource(5)))
+			stats := mdl.PartialStats(p, batch, nil)
+
+			var nilPool *par.Pool
+			ref := NewParams(mdl.ParamRows(), m)
+			ParallelGradient(nilPool, mdl, p, batch, stats, ref)
+
+			if par.NumChunks(n, batchGrain(n)) <= 1 {
+				seq := NewParams(mdl.ParamRows(), m)
+				mdl.Gradient(p, batch, stats, seq)
+				if !bitEqual(ref, seq) {
+					t.Fatalf("%s n=%d: one-chunk parallel gradient differs from sequential kernel", mdl.Name(), n)
+				}
+			}
+			for _, procs := range []int{2, 4, 7} {
+				pool := par.New(procs)
+				got := NewParams(mdl.ParamRows(), m)
+				ParallelGradient(pool, mdl, p, batch, stats, got)
+				pool.Shutdown()
+				if !bitEqual(ref, got) {
+					t.Fatalf("%s n=%d P=%d: gradient differs from inline chunked reference", mdl.Name(), n, procs)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelGradientMatchesSequentialClosely: chunked mean-of-means
+// reassembly is algebraically the batch mean; numerically it may differ
+// from the row-order fold only in the last bits.
+func TestParallelGradientMatchesSequentialClosely(t *testing.T) {
+	const m, n = 400, 128
+	for _, mdl := range testModels(t) {
+		classes := 0
+		if mlr, ok := mdl.(MLR); ok {
+			classes = mlr.Classes()
+		}
+		batch := synthBatch(n, m, 10, classes, 13)
+		p := NewParams(mdl.ParamRows(), m)
+		mdl.Init(p, rand.New(rand.NewSource(9)))
+		stats := mdl.PartialStats(p, batch, nil)
+		seq := NewParams(mdl.ParamRows(), m)
+		mdl.Gradient(p, batch, stats, seq)
+		chunked := NewParams(mdl.ParamRows(), m)
+		var nilPool *par.Pool
+		ParallelGradient(nilPool, mdl, p, batch, stats, chunked)
+		for r := range seq.W {
+			for j := range seq.W[r] {
+				a, b := seq.W[r][j], chunked.W[r][j]
+				if d := math.Abs(a - b); d > 1e-12*(1+math.Abs(a)) {
+					t.Fatalf("%s grad[%d][%d]: sequential %v vs chunked %v", mdl.Name(), r, j, a, b)
+				}
+			}
+		}
+	}
+}
+
+func bitEqual(a, b *Params) bool {
+	if a.Rows() != b.Rows() || a.Width() != b.Width() {
+		return false
+	}
+	for r := range a.W {
+		for j := range a.W[r] {
+			if math.Float64bits(a.W[r][j]) != math.Float64bits(b.W[r][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,170 @@
+// Package par provides the deterministic per-worker goroutine pool that
+// parallelizes the engines' hot loops (worker statistics, gradients, shard
+// scoring) across cores without perturbing a single bit of the result.
+//
+// # Determinism contract
+//
+// Parallel floating-point reductions are bit-stable only if the grouping
+// of the arithmetic never depends on how many goroutines happen to run.
+// The pool therefore guarantees:
+//
+//  1. Fixed chunk boundaries. Run splits [0,n) into chunks whose
+//     boundaries are a pure function of (n, grain) — never of the pool's
+//     parallelism, GOMAXPROCS, or scheduling. Chunk c covers
+//     [c·grain, min((c+1)·grain, n)).
+//  2. Ordered reduction. Each chunk writes only its own disjoint output
+//     (slots, scratch buffers); callers combine per-chunk partials in
+//     ascending chunk order after Run returns. No chunk ever observes or
+//     accumulates into another chunk's state concurrently.
+//
+// Under this contract a pool of P goroutines, a pool of 1, a nil pool,
+// and a shut-down pool all produce byte-identical results: the arithmetic
+// performed is the same sequence of operations in every case, only the
+// wall-clock interleaving differs. The golden-determinism and
+// cross-parallelism property tests (chaos_test.go, parallel_test.go at
+// the repo root) hold the engines to exactly this.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a fixed-size worker pool executing chunked loops. The zero
+// value is not usable; construct with New. A nil *Pool is valid and runs
+// everything inline, preserving the chunked arithmetic.
+type Pool struct {
+	procs int
+	tasks chan func()
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+// New creates a pool of procs workers. procs <= 0 selects
+// runtime.GOMAXPROCS(0). A pool of one worker spawns no goroutines at
+// all — Run executes inline over the same chunks.
+func New(procs int) *Pool {
+	if procs <= 0 {
+		procs = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{procs: procs}
+	if procs > 1 {
+		p.tasks = make(chan func(), 4*procs)
+		for i := 0; i < procs; i++ {
+			go worker(p.tasks)
+		}
+		// Backstop for pools whose owner never calls Shutdown (e.g.
+		// in-process test workers that are simply dropped): release the
+		// worker goroutines when the pool becomes unreachable.
+		runtime.SetFinalizer(p, (*Pool).Shutdown)
+	}
+	return p
+}
+
+func worker(tasks <-chan func()) {
+	for fn := range tasks {
+		fn()
+	}
+}
+
+// Procs returns the configured parallelism.
+func (p *Pool) Procs() int {
+	if p == nil {
+		return 1
+	}
+	return p.procs
+}
+
+// Shutdown stops the pool's workers. Idempotent and safe to call
+// concurrently with Run: chunks already submitted complete, and any Run
+// in flight (or issued afterwards) falls back to inline execution — with
+// identical results, per the determinism contract.
+func (p *Pool) Shutdown() {
+	if p == nil || p.procs <= 1 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	close(p.tasks)
+	runtime.SetFinalizer(p, nil)
+}
+
+// trySubmit enqueues fn if the pool is open and has queue space.
+func (p *Pool) trySubmit(fn func()) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.tasks <- fn:
+		return true
+	default:
+		return false
+	}
+}
+
+// NumChunks returns how many chunks Run splits an n-item loop into for a
+// given grain (≥1). It is a pure function of (n, grain).
+func NumChunks(n, grain int) int {
+	if n <= 0 {
+		return 0
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	return (n + grain - 1) / grain
+}
+
+// Bounds returns chunk c's half-open range [lo, hi) of an n-item loop
+// chunked at grain.
+func Bounds(c, n, grain int) (lo, hi int) {
+	if grain < 1 {
+		grain = 1
+	}
+	lo = c * grain
+	hi = lo + grain
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// Run executes fn once per chunk of [0,n), passing the chunk index and
+// its [lo, hi) bounds. Chunks run concurrently on the pool's workers
+// (the calling goroutine executes any chunk the pool cannot take) and
+// Run returns only when every chunk has finished. fn must confine its
+// writes to chunk-local state; combine partials in ascending chunk order
+// after Run returns (see the package comment).
+func (p *Pool) Run(n, grain int, fn func(chunk, lo, hi int)) {
+	nc := NumChunks(n, grain)
+	if nc == 0 {
+		return
+	}
+	if p == nil || p.procs <= 1 || nc == 1 {
+		for c := 0; c < nc; c++ {
+			lo, hi := Bounds(c, n, grain)
+			fn(c, lo, hi)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(nc)
+	for c := 0; c < nc; c++ {
+		c := c
+		lo, hi := Bounds(c, n, grain)
+		task := func() {
+			defer wg.Done()
+			fn(c, lo, hi)
+		}
+		if !p.trySubmit(task) {
+			task()
+		}
+	}
+	wg.Wait()
+}

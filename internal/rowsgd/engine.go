@@ -50,6 +50,9 @@ type Config struct {
 	ChunkRows int
 	// Seed drives sampling and initialization.
 	Seed int64
+	// Parallelism sizes each worker's deterministic compute pool
+	// (0 = GOMAXPROCS); purely a throughput knob, see internal/par.
+	Parallelism int
 	// Net prices communication and compute.
 	Net simnet.Model
 	// EvalEvery computes the full training loss every n iterations.
@@ -240,6 +243,7 @@ func (e *Engine) Load(ds *dataset.Dataset) error {
 			Opt:         e.cfg.Opt,
 			HoldModel:   e.cfg.System == MLlibStar,
 			Seed:        e.cfg.Seed,
+			Parallelism: e.cfg.Parallelism,
 		}
 		if err := e.clients[w].Call(MethodInit, args, nil); err != nil {
 			return fmt.Errorf("rowsgd: init worker %d: %w", w, err)

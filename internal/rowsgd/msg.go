@@ -38,6 +38,9 @@ type InitArgs struct {
 	// HoldModel makes the worker keep a full model replica (MLlib*).
 	HoldModel bool
 	Seed      int64
+	// Parallelism sizes the worker's deterministic compute pool
+	// (internal/par); 0 means GOMAXPROCS. Bit-identical for every value.
+	Parallelism int
 }
 
 // LoadRowsArgs delivers a chunk of the worker's row shard.

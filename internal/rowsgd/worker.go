@@ -9,6 +9,7 @@ import (
 	"columnsgd/internal/cluster"
 	"columnsgd/internal/model"
 	"columnsgd/internal/opt"
+	"columnsgd/internal/par"
 	"columnsgd/internal/vec"
 )
 
@@ -28,6 +29,12 @@ type Worker struct {
 	replica *model.Params
 	o       opt.Optimizer
 	seed    int64
+
+	// pool is the deterministic compute pool mirrored from the ColumnSGD
+	// worker (internal/par): bit-identical results for every size.
+	pool *par.Pool
+	// statsBuf is the per-batch statistics scratch, reused across calls.
+	statsBuf []float64
 }
 
 // NewWorker creates an empty row-oriented worker.
@@ -47,6 +54,10 @@ func (w *Worker) init(a *InitArgs) error {
 	w.m = a.NumFeatures
 	w.mdl = mdl
 	w.seed = a.Seed
+	if w.pool != nil {
+		w.pool.Shutdown()
+	}
+	w.pool = par.New(a.Parallelism)
 	w.labels = nil
 	w.rows = nil
 	w.loaded = false
@@ -109,9 +120,10 @@ func (w *Worker) sampleLocal(iter int64, batch int) model.Batch {
 // gradFromBatch computes the local batch gradient against a full model
 // and converts it to sparse per-row blocks.
 func (w *Worker) gradFromBatch(p *model.Params, b model.Batch) (*GradReply, error) {
-	stats := w.mdl.PartialStats(p, b, nil)
+	w.statsBuf = model.ParallelStats(w.pool, w.mdl, p, b, w.statsBuf)
+	stats := w.statsBuf
 	grad := model.NewParams(w.mdl.ParamRows(), w.m)
-	w.mdl.Gradient(p, b, stats, grad)
+	model.ParallelGradient(w.pool, w.mdl, p, b, stats, grad)
 	reply := &GradReply{
 		Grad:    make([]SparseBlock, len(grad.W)),
 		LossSum: model.BatchLoss(w.mdl, b.Labels, stats) * float64(b.Len()),
@@ -203,9 +215,10 @@ func (w *Worker) computeGradSparse(a *SparseGradArgs) (*GradReply, error) {
 // gradFromBatchCompact computes gradients in the compact pulled-dimension
 // space and maps indices back to global dimensions.
 func (w *Worker) gradFromBatchCompact(p *model.Params, b model.Batch, dims []int32) (*GradReply, error) {
-	stats := w.mdl.PartialStats(p, b, nil)
+	w.statsBuf = model.ParallelStats(w.pool, w.mdl, p, b, w.statsBuf)
+	stats := w.statsBuf
 	grad := model.NewParams(w.mdl.ParamRows(), len(dims))
-	w.mdl.Gradient(p, b, stats, grad)
+	model.ParallelGradient(w.pool, w.mdl, p, b, stats, grad)
 	reply := &GradReply{
 		Grad:    make([]SparseBlock, len(grad.W)),
 		LossSum: model.BatchLoss(w.mdl, b.Labels, stats) * float64(b.Len()),
@@ -239,10 +252,11 @@ func (w *Worker) localTrain(a *LocalTrainArgs) (*LocalTrainReply, error) {
 	var nnz int64
 	for s := 0; s < a.Steps; s++ {
 		b := w.sampleLocal(a.Iter*1024+int64(s), a.BatchSize)
-		stats := w.mdl.PartialStats(w.replica, b, nil)
+		w.statsBuf = model.ParallelStats(w.pool, w.mdl, w.replica, b, w.statsBuf)
+		stats := w.statsBuf
 		lossSum += model.BatchLoss(w.mdl, b.Labels, stats)
 		grad := model.NewParams(w.mdl.ParamRows(), w.m)
-		w.mdl.Gradient(w.replica, b, stats, grad)
+		model.ParallelGradient(w.pool, w.mdl, w.replica, b, stats, grad)
 		if err := w.o.Apply(w.replica, grad); err != nil {
 			return nil, err
 		}
@@ -295,7 +309,7 @@ func (w *Worker) evalLoss(a *EvalArgs) (*EvalReply, error) {
 		return nil, fmt.Errorf("rowsgd: eval needs a model")
 	}
 	b := model.Batch{Rows: w.rows, Labels: w.labels}
-	stats := w.mdl.PartialStats(p, b, nil)
+	stats := model.ParallelStats(w.pool, w.mdl, p, b, nil)
 	loss := model.BatchLoss(w.mdl, b.Labels, stats)
 	return &EvalReply{LossSum: loss * float64(len(w.rows)), Count: len(w.rows)}, nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"columnsgd/internal/model"
+	"columnsgd/internal/par"
 )
 
 // ShardRequest is the unit of fan-out: one column shard's slice of a
@@ -34,6 +35,10 @@ type Scorer interface {
 // transport-agnostic.
 type LocalScorer struct {
 	Model model.Model
+	// Pool is the deterministic compute pool (internal/par) shared across
+	// shards; nil scores inline. Any pool size yields bit-identical
+	// statistics — the pool's fixed chunking guarantees it.
+	Pool *par.Pool
 }
 
 // PartialStats implements Scorer.
@@ -41,5 +46,5 @@ func (l LocalScorer) PartialStats(ctx context.Context, req ShardRequest) ([]floa
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return l.Model.PartialStats(req.Params, req.Batch, nil), nil
+	return model.ParallelStats(l.Pool, l.Model, req.Params, req.Batch, nil), nil
 }

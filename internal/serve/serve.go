@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"columnsgd/internal/model"
+	"columnsgd/internal/par"
 	"columnsgd/internal/partition"
 	"columnsgd/internal/persist"
 	"columnsgd/internal/vec"
@@ -63,6 +64,10 @@ type Options struct {
 	// slots are busy the batcher stalls, the queue fills, and admission
 	// rejects — bounded work under overload instead of goroutine pileup.
 	MaxConcurrent int
+	// Parallelism sizes the deterministic compute pool shared by the
+	// in-process LocalScorers: 0 means GOMAXPROCS, 1 scores inline.
+	// Results are bit-identical for every value (internal/par contract).
+	Parallelism int
 	// NewScorer overrides the per-shard scorer (tests, remote shards).
 	// nil uses the in-process LocalScorer.
 	NewScorer func(shard int) Scorer
@@ -148,6 +153,7 @@ type Server struct {
 
 	mu       sync.RWMutex // guards closed and queue close
 	closed   bool
+	pool     *par.Pool // shared LocalScorer compute pool; nil with NewScorer
 	queue    chan *request
 	slots    chan struct{} // in-flight batch semaphore
 	loopDone chan struct{}
@@ -171,13 +177,18 @@ func New(opts Options) (*Server, error) {
 		loopDone: make(chan struct{}),
 	}
 	s.scorers = make([]Scorer, opts.Shards)
+	var pool *par.Pool
 	for k := range s.scorers {
 		if opts.NewScorer != nil {
 			s.scorers[k] = opts.NewScorer(k)
 		} else {
-			s.scorers[k] = LocalScorer{Model: mdl}
+			if pool == nil {
+				pool = par.New(opts.Parallelism)
+			}
+			s.scorers[k] = LocalScorer{Model: mdl, Pool: pool}
 		}
 	}
+	s.pool = pool
 	go s.batchLoop()
 	return s, nil
 }
@@ -507,5 +518,6 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	<-s.loopDone
 	s.inflight.Wait()
+	s.pool.Shutdown()
 	return nil
 }

@@ -1,0 +1,103 @@
+package vec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Allocation ceilings for the hot-loop kernels. These are regression
+// tests: the kernels below sit inside the per-iteration compute path
+// (statistics and gradient fan-out), so a single allocation per call
+// multiplies into millions per training run. All of them must stay at
+// exactly zero.
+const (
+	maxAllocsDot        = 0
+	maxAllocsSparseDot  = 0
+	maxAllocsAxpy       = 0
+	maxAllocsAxpySparse = 0
+)
+
+func allocSparse(tb testing.TB, m, nnz int, seed int64) Sparse {
+	tb.Helper()
+	r := rand.New(rand.NewSource(seed))
+	idx := make([]int32, 0, nnz)
+	val := make([]float64, 0, nnz)
+	seen := map[int32]bool{}
+	for len(idx) < nnz {
+		j := int32(r.Intn(m))
+		if seen[j] {
+			continue
+		}
+		seen[j] = true
+		idx = append(idx, j)
+		val = append(val, r.NormFloat64())
+	}
+	s, err := NewSparse(idx, val)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+func TestDotAllocs(t *testing.T) {
+	a := make([]float64, 4096)
+	b := make([]float64, 4096)
+	for i := range a {
+		a[i] = float64(i%7) - 3
+		b[i] = float64(i%5) - 2
+	}
+	var sink float64
+	got := testing.AllocsPerRun(100, func() { sink += Dot(a, b) })
+	if got > maxAllocsDot {
+		t.Errorf("vec.Dot allocates %.1f/run, ceiling %d", got, maxAllocsDot)
+	}
+	_ = sink
+}
+
+func TestSparseDotAllocs(t *testing.T) {
+	s := allocSparse(t, 4096, 128, 1)
+	w := make([]float64, 4096)
+	for i := range w {
+		w[i] = float64(i%3) - 1
+	}
+	var sink float64
+	got := testing.AllocsPerRun(100, func() { sink += s.Dot(w) })
+	if got > maxAllocsSparseDot {
+		t.Errorf("Sparse.Dot allocates %.1f/run, ceiling %d", got, maxAllocsSparseDot)
+	}
+	_ = sink
+}
+
+func TestAxpyAllocs(t *testing.T) {
+	dst := make([]float64, 4096)
+	src := make([]float64, 4096)
+	for i := range src {
+		src[i] = float64(i % 11)
+	}
+	got := testing.AllocsPerRun(100, func() { Axpy(dst, 0.5, src) })
+	if got > maxAllocsAxpy {
+		t.Errorf("vec.Axpy allocates %.1f/run, ceiling %d", got, maxAllocsAxpy)
+	}
+}
+
+func TestAxpySparseAllocs(t *testing.T) {
+	s := allocSparse(t, 4096, 128, 2)
+	dst := make([]float64, 4096)
+	got := testing.AllocsPerRun(100, func() { AxpySparse(dst, -0.25, s) })
+	if got > maxAllocsAxpySparse {
+		t.Errorf("vec.AxpySparse allocates %.1f/run, ceiling %d", got, maxAllocsAxpySparse)
+	}
+}
+
+func TestAxpySparseMatchesAddScaled(t *testing.T) {
+	s := allocSparse(t, 512, 32, 3)
+	a := make([]float64, 512)
+	b := make([]float64, 512)
+	AxpySparse(a, 1.75, s)
+	s.AddScaled(b, 1.75)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("AxpySparse[%d]=%v differs from AddScaled %v", i, a[i], b[i])
+		}
+	}
+}

@@ -2,9 +2,12 @@
 // throughout ColumnSGD: sparse feature vectors, dense model vectors, and
 // CSR matrices for column-partitioned worksets.
 //
-// All kernels are single-threaded BLAS-1 style operations; parallelism in
-// ColumnSGD comes from partitioning work across workers, not from
-// multi-threaded kernels, matching the paper's per-worker execution model.
+// Each kernel is a single-threaded, allocation-free BLAS-1 style
+// operation. Within a worker, batches are fanned across these kernels by
+// the deterministic compute pool in internal/par — fixed chunk boundaries
+// and ordered reduction keep results bit-identical to a sequential run at
+// any parallelism — while across workers parallelism still comes from
+// column partitioning, matching the paper's execution model.
 package vec
 
 import (
@@ -107,6 +110,13 @@ func (s Sparse) AddScaled(dst []float64, alpha float64) {
 			dst[idx] += alpha * s.Values[k]
 		}
 	}
+}
+
+// AxpySparse computes dst += alpha * s for a sparse s — the sparse
+// counterpart of Axpy. Entries beyond len(dst) are dropped, like
+// AddScaled (of which this is the free-function form).
+func AxpySparse(dst []float64, alpha float64, s Sparse) {
+	s.AddScaled(dst, alpha)
 }
 
 // SliceColumns returns the sub-vector of s containing only indices in

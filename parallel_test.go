@@ -1,0 +1,55 @@
+package columnsgd_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"columnsgd/internal/chaos/diff"
+)
+
+// TestParallelismGoldenDeterminism extends the golden-determinism matrix
+// along the compute-pool axis: for every model family, training with a
+// worker compute pool of P ∈ {2, 4, 7} goroutines must produce a model
+// bit-identical to the sequential P=1 run. The batch (60 rows) spans
+// several fixed chunks, so the parallel fan-out and ordered reduction are
+// genuinely exercised — this is the contract that makes ComputeParallelism
+// a pure throughput knob.
+func TestParallelismGoldenDeterminism(t *testing.T) {
+	for _, m := range []string{"lr", "svm", "mlr", "fm"} {
+		t.Run(m, func(t *testing.T) {
+			base := diff.Workload{Model: m, Seed: 33, Batch: 60, Iters: 12, Parallelism: 1}
+			seq, err := diff.RunColumnSGD(base, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seqBytes := gobWeights(t, seq.Weights)
+			for _, p := range []int{2, 4, 7} {
+				w := base
+				w.Parallelism = p
+				par, err := diff.RunColumnSGD(w, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !diff.BitIdentical(seq.Weights, par.Weights) {
+					t.Errorf("P=%d diverges from P=1 (max |Δ| = %g); the compute pool leaked scheduling into the math",
+						p, diff.MaxAbsDiff(seq.Weights, par.Weights))
+				}
+				// Belt and braces: the serialized form must be byte-equal
+				// too, catching shape changes BitIdentical could miss.
+				if !bytes.Equal(seqBytes, gobWeights(t, par.Weights)) {
+					t.Errorf("P=%d: gob-serialized weights differ from P=1", p)
+				}
+			}
+		})
+	}
+}
+
+func gobWeights(t *testing.T, w [][]float64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}

@@ -24,6 +24,9 @@ type ServeConfig struct {
 	Shards int
 	// MaxBatch caps a micro-batch (default 64).
 	MaxBatch int
+	// Parallelism sizes the deterministic compute pool the shard scorers
+	// share (0 = GOMAXPROCS); predictions are bit-identical at any value.
+	Parallelism int
 	// MaxWait bounds how long the first request of a micro-batch waits
 	// for company (default 2ms).
 	MaxWait time.Duration
@@ -81,6 +84,7 @@ func NewServer(cfg ServeConfig) (*Server, error) {
 		QueueCap:      cfg.QueueCap,
 		ShardTimeout:  cfg.ShardTimeout,
 		MaxConcurrent: cfg.MaxConcurrent,
+		Parallelism:   cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("columnsgd: %w", err)
