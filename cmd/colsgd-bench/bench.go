@@ -58,8 +58,8 @@ type BenchReport struct {
 }
 
 // Suite shape: large enough that a batch spans many fixed chunks (1024
-// rows ≫ the 16-row grain), small enough that the whole suite runs in
-// well under a minute.
+// rows ≫ the 16-row grain), small enough that the whole suite (3 rounds
+// per benchmark) runs in a few minutes.
 const (
 	benchRows     = 4096
 	benchFeatures = 65536
@@ -303,6 +303,28 @@ func benchServe(p int) (testing.BenchmarkResult, error) {
 	return res, benchErr
 }
 
+// benchRounds is how many times each benchmark runs; the fastest round
+// is reported. Wall-clock noise on a loaded machine only ever slows a
+// round down, so min-of-N is the standard estimator of the true cost —
+// single rounds on a busy single-core box swing well past the 15%
+// regression threshold.
+const benchRounds = 3
+
+// bestOf runs fn benchRounds times and keeps the fastest round.
+func bestOf(fn func() (testing.BenchmarkResult, error)) (testing.BenchmarkResult, error) {
+	var best testing.BenchmarkResult
+	for i := 0; i < benchRounds; i++ {
+		res, err := fn()
+		if err != nil {
+			return res, err
+		}
+		if i == 0 || res.NsPerOp() < best.NsPerOp() {
+			best = res
+		}
+	}
+	return best, nil
+}
+
 // runBenchJSON runs the whole suite and writes the report.
 func runBenchJSON(path, rev string, stdout io.Writer) error {
 	report := BenchReport{
@@ -331,26 +353,26 @@ func runBenchJSON(path, rev string, stdout io.Writer) error {
 
 	for _, m := range benchModels() {
 		for _, p := range []int{1, 2, 4} {
-			res, err := benchWorker(m.Name, m.Arg, p)
+			res, err := bestOf(func() (testing.BenchmarkResult, error) { return benchWorker(m.Name, m.Arg, p) })
 			if err := add(fmt.Sprintf("worker/%s/P%d", m.Name, p), "columnsgd", m.Name, p, res, err); err != nil {
 				return err
 			}
 		}
 	}
 	for _, p := range []int{1, 4} {
-		res, err := benchEngineStep(p)
+		res, err := bestOf(func() (testing.BenchmarkResult, error) { return benchEngineStep(p) })
 		if err := add(fmt.Sprintf("engine-step/lr/P%d", p), "columnsgd", "lr", p, res, err); err != nil {
 			return err
 		}
 	}
 	for _, p := range []int{1, 4} {
-		res, err := benchRowSGDStep(p)
+		res, err := bestOf(func() (testing.BenchmarkResult, error) { return benchRowSGDStep(p) })
 		if err := add(fmt.Sprintf("rowsgd/lr/P%d", p), "rowsgd-mllib", "lr", p, res, err); err != nil {
 			return err
 		}
 	}
 	for _, p := range []int{1, 4} {
-		res, err := benchServe(p)
+		res, err := bestOf(func() (testing.BenchmarkResult, error) { return benchServe(p) })
 		if err := add(fmt.Sprintf("serve/lr/P%d", p), "serve", "lr", p, res, err); err != nil {
 			return err
 		}
