@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race chaos fuzz bench benchdiff
+.PHONY: check build vet test race chaos fuzz bench benchdiff cover
 
 # The full gate: what CI runs.
 check: vet build test race
@@ -9,8 +9,9 @@ build:
 	$(GO) build ./...
 
 # test runs vet first and includes the race detector: the chaos harness
-# exercises concurrent fault paths that only -race can vouch for.
-test: vet
+# exercises concurrent fault paths that only -race can vouch for. The
+# cover gate rides along so a codec change cannot silently shed tests.
+test: vet cover
 	$(GO) test ./...
 	$(GO) test -race ./...
 
@@ -47,3 +48,18 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzReadFrame -fuzztime=10s ./internal/cluster/
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeEnvelope -fuzztime=10s ./internal/cluster/
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeResponse -fuzztime=10s ./internal/cluster/
+	$(GO) test -run=^$$ -fuzz=FuzzWireDecode -fuzztime=10s ./internal/wire/
+	$(GO) test -run=^$$ -fuzz=FuzzWireRoundTrip -fuzztime=10s ./internal/wire/
+
+# cover reports statement coverage everywhere and enforces a floor on
+# internal/wire — the one package whose bugs corrupt bytes silently
+# instead of failing loudly, so its tests may never quietly shrink.
+WIRE_COVER_FLOOR := 70
+cover:
+	@$(GO) test -cover ./... | tee cover.txt
+	@cov=$$(sed -n 's|^ok[[:space:]]*columnsgd/internal/wire[[:space:]].*coverage: \([0-9.]*\)%.*|\1|p' cover.txt); \
+	rm -f cover.txt; \
+	test -n "$$cov" || { echo "cover: no coverage line for internal/wire"; exit 1; }; \
+	echo "internal/wire coverage: $$cov% (floor $(WIRE_COVER_FLOOR)%)"; \
+	awk -v c="$$cov" -v f="$(WIRE_COVER_FLOOR)" 'BEGIN { exit (c + 0 < f) ? 1 : 0 }' || \
+	{ echo "cover: internal/wire coverage $$cov% is below the $(WIRE_COVER_FLOOR)% floor"; exit 1; }

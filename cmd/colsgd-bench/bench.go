@@ -18,12 +18,14 @@ import (
 	"testing"
 
 	"columnsgd/internal/chaos/diff"
+	"columnsgd/internal/cluster"
 	"columnsgd/internal/core"
 	"columnsgd/internal/opt"
 	"columnsgd/internal/partition"
 	"columnsgd/internal/rowsgd"
 	"columnsgd/internal/serve"
 	"columnsgd/internal/vec"
+	"columnsgd/internal/wire"
 )
 
 // BenchResult is one benchmark's steady-state measurements.
@@ -303,6 +305,50 @@ func benchServe(p int) (testing.BenchmarkResult, error) {
 	return res, benchErr
 }
 
+// codecStatsReply builds a representative sparse statistics response: one
+// worker's partial sums for a 1024-row LR batch where most rows have no
+// nonzero feature on this worker (the shape §III-C's traffic argument is
+// about). Roughly 1/8 of the entries are nonzero.
+func codecStatsReply() *core.StatsReply {
+	r := rand.New(rand.NewSource(99))
+	stats := make([]float64, benchBatch)
+	for i := range stats {
+		if r.Intn(8) == 0 {
+			stats[i] = r.NormFloat64()
+		}
+	}
+	return &core.StatsReply{Stats: stats, NNZ: benchBatch * benchNNZ / 4}
+}
+
+// benchCodec measures one statistics-response encode + decode round trip
+// under the given codec — the per-iteration serialization cost of the
+// master↔worker exchange.
+func benchCodec(c wire.Codec) (testing.BenchmarkResult, error) {
+	reply := codecStatsReply()
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			frame, err := cluster.EncodeResponseFrame(c, reply, "")
+			if err == nil {
+				_, _, err = cluster.DecodeResponseFrame(c, frame)
+			}
+			if err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+		}
+	})
+	return res, benchErr
+}
+
+// codecFrameBytes reports the encoded size of the representative
+// statistics response under the codec.
+func codecFrameBytes(c wire.Codec) (int, error) {
+	frame, err := cluster.EncodeResponseFrame(c, codecStatsReply(), "")
+	return len(frame), err
+}
+
 // benchRounds is how many times each benchmark runs; the fastest round
 // is reported. Wall-clock noise on a loaded machine only ever slows a
 // round down, so min-of-N is the standard estimator of the true cost —
@@ -374,6 +420,26 @@ func runBenchJSON(path, rev string, stdout io.Writer) error {
 	for _, p := range []int{1, 4} {
 		res, err := bestOf(func() (testing.BenchmarkResult, error) { return benchServe(p) })
 		if err := add(fmt.Sprintf("serve/lr/P%d", p), "serve", "lr", p, res, err); err != nil {
+			return err
+		}
+	}
+	gobBytes, err := codecFrameBytes(wire.Gob)
+	if err != nil {
+		return fmt.Errorf("bench codec: %w", err)
+	}
+	for _, name := range []string{"gob", "wire", "wire-f32", "wire-f16"} {
+		c, err := wire.ParseCodec(name)
+		if err != nil {
+			return err
+		}
+		n, err := codecFrameBytes(c)
+		if err != nil {
+			return fmt.Errorf("bench codec %s: %w", name, err)
+		}
+		fmt.Fprintf(stdout, "[bench] codec/stats/%-11s frame %6d bytes (%5.1f%% of gob)\n",
+			name, n, 100*float64(n)/float64(gobBytes))
+		res, err := bestOf(func() (testing.BenchmarkResult, error) { return benchCodec(c) })
+		if err := add("codec/stats/"+name, "codec", name, 1, res, err); err != nil {
 			return err
 		}
 	}

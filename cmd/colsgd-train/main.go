@@ -48,6 +48,7 @@ func run(args []string, stdout io.Writer) error {
 		par       = fs.Int("parallelism", 0, "per-worker compute goroutines (0 = GOMAXPROCS; any value is bit-identical)")
 		evalEvery = fs.Int("eval-every", 10, "full-loss evaluation interval (0 = batch loss)")
 		addrs     = fs.String("addrs", "", "comma-separated TCP worker addresses (empty = in-process)")
+		codec     = fs.String("codec", "", "statistics codec: gob, wire, wire-f32, wire-f16 (default: compact lossless)")
 		modelOut  = fs.String("model-out", "", "write final weights (one value per line) to this file")
 		savePath  = fs.String("save", "", "write a binary model checkpoint (loadable by colsgd-serve and LoadModel)")
 	)
@@ -82,6 +83,7 @@ func run(args []string, stdout io.Writer) error {
 		Seed:         *seed,
 		EvalEvery:    *evalEvery,
 		Parallelism:  *par,
+		Codec:        *codec,
 	}
 	if *addrs != "" {
 		cfg.WorkerAddrs = strings.Split(*addrs, ",")

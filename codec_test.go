@@ -1,0 +1,109 @@
+package columnsgd_test
+
+// Codec-axis correctness tests. Two contracts:
+//
+//  1. Golden determinism: the compact wire codec is a pure byte-level
+//     optimization — under any lossless codec every engine's final model
+//     is bit-identical to the gob baseline, at every compute parallelism.
+//  2. Quantization accuracy: the lossy f32/f16 statistics encodings stay
+//     inside a small tolerance of the lossless final loss for LR, SVM,
+//     and MLR (measured deltas are recorded in EXPERIMENTS.md).
+
+import (
+	"math"
+	"testing"
+
+	"columnsgd/internal/chaos/diff"
+)
+
+// TestCodecGoldenDeterminism runs all five engines under gob and under
+// the compact lossless wire codec: final weights must match bit for bit.
+// Any divergence means the codec changed the math, not just the bytes.
+func TestCodecGoldenDeterminism(t *testing.T) {
+	for _, eng := range diff.Engines() {
+		t.Run(eng, func(t *testing.T) {
+			gob, err := diff.Run(eng, diff.Workload{Seed: 77, Codec: "gob"}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wire, err := diff.Run(eng, diff.Workload{Seed: 77, Codec: "wire"}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(gob.Loss) != math.Float64bits(wire.Loss) {
+				t.Errorf("loss differs: gob %v vs wire %v", gob.Loss, wire.Loss)
+			}
+			if !diff.BitIdentical(gob.Weights, wire.Weights) {
+				t.Errorf("weights differ under the lossless wire codec (max |Δ| = %g)",
+					diff.MaxAbsDiff(gob.Weights, wire.Weights))
+			}
+		})
+	}
+}
+
+// TestCodecDeterminismAcrossParallelism pins the codec × compute-pool
+// interaction: the wire codec must stay bit-identical to gob when the
+// workers' deterministic compute pools are sized differently — encoding
+// must not introduce any order sensitivity the pools could amplify.
+func TestCodecDeterminismAcrossParallelism(t *testing.T) {
+	base := diff.Workload{Seed: 19, Batch: 60, Iters: 10, Parallelism: 1, Codec: "gob"}
+	ref, err := diff.RunColumnSGD(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 2, 4} {
+		w := base
+		w.Parallelism = p
+		w.Codec = "wire"
+		got, err := diff.RunColumnSGD(w, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !diff.BitIdentical(ref.Weights, got.Weights) {
+			t.Errorf("wire codec at P=%d diverges from gob P=1 (max |Δ| = %g)",
+				p, diff.MaxAbsDiff(ref.Weights, got.Weights))
+		}
+	}
+}
+
+// TestQuantizationAccuracy trains LR, SVM, and MLR under the lossy f32
+// and f16 statistics encodings and checks the final full-data loss lands
+// within tolerance of the lossless run. f32 keeps 24 significand bits —
+// indistinguishable at these scales; f16's 11 bits cost a visible but
+// bounded drift. The measured deltas live in EXPERIMENTS.md.
+func TestQuantizationAccuracy(t *testing.T) {
+	tolerances := []struct {
+		codec string
+		tol   float64
+	}{
+		{"wire-f32", 1e-6},
+		{"wire-f16", 1e-3},
+	}
+	for _, m := range []string{"lr", "svm", "mlr"} {
+		t.Run(m, func(t *testing.T) {
+			w := diff.Workload{Model: m, Seed: 55, Iters: 40}
+			exact, err := diff.RunColumnSGD(w, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.IsNaN(exact.Loss) || math.IsInf(exact.Loss, 0) {
+				t.Fatalf("lossless run produced loss %v", exact.Loss)
+			}
+			for _, tc := range tolerances {
+				lw := w
+				lw.Codec = tc.codec
+				lossy, err := diff.RunColumnSGD(lw, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				delta := math.Abs(lossy.Loss - exact.Loss)
+				t.Logf("%s %s: loss %.9f vs lossless %.9f (|Δ| = %.3g)",
+					m, tc.codec, lossy.Loss, exact.Loss, delta)
+				if delta > tc.tol {
+					t.Errorf("%s final loss %v drifts %.3g from lossless %v (tolerance %.3g)",
+						tc.codec, lossy.Loss, delta, exact.Loss, tc.tol)
+				}
+			}
+		})
+	}
+}

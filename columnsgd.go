@@ -32,6 +32,7 @@ import (
 	"columnsgd/internal/opt"
 	"columnsgd/internal/simnet"
 	"columnsgd/internal/vec"
+	"columnsgd/internal/wire"
 )
 
 // ModelKind selects what to train.
@@ -124,6 +125,14 @@ type Config struct {
 	// yields a bit-identical model — fixed chunk boundaries and ordered
 	// reduction make it purely a throughput knob.
 	Parallelism int
+
+	// Codec selects the statistics wire codec: "wire" (compact lossless,
+	// the default), "gob" (legacy encoding/gob), or the lossy "wire-f32" /
+	// "wire-f16" variants that quantize statistics values to trade
+	// accuracy for bytes. Lossless codecs are bit-identical to gob; over
+	// TCP the codec is negotiated per connection and old workers fall
+	// back to gob automatically.
+	Codec string
 }
 
 func (c Config) normalized() (Config, error) {
@@ -154,7 +163,17 @@ func (c Config) normalized() (Config, error) {
 	if len(c.WorkerAddrs) > 0 && len(c.WorkerAddrs) != c.Workers {
 		return c, fmt.Errorf("columnsgd: %d worker addresses for %d workers", len(c.WorkerAddrs), c.Workers)
 	}
+	if _, err := wire.ParseCodec(c.Codec); err != nil {
+		return c, fmt.Errorf("columnsgd: %w", err)
+	}
 	return c, nil
+}
+
+// codec resolves the configured wire codec (normalized() has already
+// validated the string).
+func (c Config) codec() wire.Codec {
+	codec, _ := wire.ParseCodec(c.Codec)
+	return codec
 }
 
 func (c Config) modelArg() int {
@@ -241,6 +260,16 @@ type Trainer struct {
 	engine *core.Engine
 }
 
+// newProvider starts the configured worker set: in-process workers, or
+// remote TCP workers when Config.WorkerAddrs is set, on the configured
+// statistics codec.
+func (c Config) newProvider() (core.Provider, error) {
+	if len(c.WorkerAddrs) > 0 {
+		return core.NewRemoteProviderCodec(c.WorkerAddrs, c.codec())
+	}
+	return core.NewLocalProviderCodec(c.Workers, c.codec())
+}
+
 // NewTrainer starts workers (in-process, or remote when
 // Config.WorkerAddrs is set) and loads the dataset.
 func NewTrainer(ds *Dataset, cfg Config) (*Trainer, error) {
@@ -248,19 +277,9 @@ func NewTrainer(ds *Dataset, cfg Config) (*Trainer, error) {
 	if err != nil {
 		return nil, err
 	}
-	var prov core.Provider
-	if len(cfg.WorkerAddrs) > 0 {
-		p, err := core.NewRemoteProvider(cfg.WorkerAddrs)
-		if err != nil {
-			return nil, err
-		}
-		prov = p
-	} else {
-		p, err := core.NewLocalProvider(cfg.Workers)
-		if err != nil {
-			return nil, err
-		}
-		prov = p
+	prov, err := cfg.newProvider()
+	if err != nil {
+		return nil, err
 	}
 	engine, err := core.NewEngine(cfg.coreConfig(), prov)
 	if err != nil {
@@ -280,19 +299,9 @@ func NewTrainerFromFile(path string, features int, cfg Config) (*Trainer, error)
 	if err != nil {
 		return nil, err
 	}
-	var prov core.Provider
-	if len(cfg.WorkerAddrs) > 0 {
-		p, err := core.NewRemoteProvider(cfg.WorkerAddrs)
-		if err != nil {
-			return nil, err
-		}
-		prov = p
-	} else {
-		p, err := core.NewLocalProvider(cfg.Workers)
-		if err != nil {
-			return nil, err
-		}
-		prov = p
+	prov, err := cfg.newProvider()
+	if err != nil {
+		return nil, err
 	}
 	engine, err := core.NewEngine(cfg.coreConfig(), prov)
 	if err != nil {

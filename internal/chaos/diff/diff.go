@@ -27,6 +27,7 @@ import (
 	"columnsgd/internal/model"
 	"columnsgd/internal/opt"
 	"columnsgd/internal/rowsgd"
+	"columnsgd/internal/wire"
 )
 
 // ErrDeadline marks a run that exceeded the watchdog deadline — the
@@ -57,6 +58,20 @@ type Workload struct {
 	// (internal/par); 0 means GOMAXPROCS. Bit-identical for every value —
 	// the golden-determinism matrix asserts exactly that.
 	Parallelism int
+	// Codec selects the transport statistics codec ("gob", "wire",
+	// "wire-f32", "wire-f16"); empty means the default compact lossless
+	// codec. Lossless codecs are bit-identical to gob; lossy ones trade
+	// bytes for quantization error (asserted by the accuracy suite).
+	Codec string
+}
+
+// codec parses the workload's codec selection.
+func (w Workload) codec() (wire.Codec, error) {
+	c, err := wire.ParseCodec(w.Codec)
+	if err != nil {
+		return wire.Codec{}, fmt.Errorf("diff: %w", err)
+	}
+	return c, nil
 }
 
 // Result is one engine run's comparable outcome.
@@ -176,7 +191,11 @@ func RunSequential(w Workload) (*Result, error) {
 // determinism.
 func RunColumnSGD(w Workload, spec *chaos.Spec) (*Result, error) {
 	w = w.Defaults()
-	local, err := core.NewLocalProvider(w.Workers)
+	codec, err := w.codec()
+	if err != nil {
+		return nil, err
+	}
+	local, err := core.NewLocalProviderCodec(w.Workers, codec)
 	if err != nil {
 		return nil, err
 	}
@@ -187,6 +206,10 @@ func RunColumnSGD(w Workload, spec *chaos.Spec) (*Result, error) {
 // golden-determinism leg proving the transport does not change the math.
 func RunColumnSGDTCP(w Workload, spec *chaos.Spec) (*Result, error) {
 	w = w.Defaults()
+	codec, err := w.codec()
+	if err != nil {
+		return nil, err
+	}
 	servers := make([]*cluster.Server, w.Workers)
 	addrs := make([]string, w.Workers)
 	defer func() {
@@ -206,7 +229,7 @@ func RunColumnSGDTCP(w Workload, spec *chaos.Spec) (*Result, error) {
 		servers[i] = srv
 		addrs[i] = srv.Addr()
 	}
-	prov, err := core.NewRemoteProvider(addrs)
+	prov, err := core.NewRemoteProviderCodec(addrs, codec)
 	if err != nil {
 		return nil, err
 	}
@@ -271,9 +294,13 @@ func runColumnSGD(w Workload, prov core.Provider, spec *chaos.Spec) (*Result, er
 // transport, behind a chaos injector when spec is non-nil.
 func RunRowSGD(w Workload, sys rowsgd.System, spec *chaos.Spec) (*Result, error) {
 	w = w.Defaults()
-	local, err := cluster.NewLocal(w.Workers, func(int) (*cluster.Service, error) {
+	codec, err := w.codec()
+	if err != nil {
+		return nil, err
+	}
+	local, err := cluster.NewLocalCodec(w.Workers, func(int) (*cluster.Service, error) {
 		return rowsgd.NewWorkerService(), nil
-	})
+	}, codec)
 	if err != nil {
 		return nil, err
 	}

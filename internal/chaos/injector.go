@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"columnsgd/internal/cluster"
+	"columnsgd/internal/wire"
 )
 
 // linkLogCap bounds each link's event log. Capping per link (not
@@ -323,12 +324,12 @@ func (c *client) Call(method string, args, reply interface{}) error {
 	if d.corrupt {
 		in.corrupted.Add(1)
 		l.recordLocked(msg, "corrupt "+method)
-		return &Fault{Kind: ErrCorrupted, Link: l.id, Msg: msg, Cause: mangleError(method, args, d.mangle, false)}
+		return &Fault{Kind: ErrCorrupted, Link: l.id, Msg: msg, Cause: mangleError(c.codec(), method, args, d.mangle, false)}
 	}
 	if d.truncate {
 		in.truncated.Add(1)
 		l.recordLocked(msg, "truncate "+method)
-		return &Fault{Kind: ErrTruncated, Link: l.id, Msg: msg, Cause: mangleError(method, args, d.mangle, true)}
+		return &Fault{Kind: ErrTruncated, Link: l.id, Msg: msg, Cause: mangleError(c.codec(), method, args, d.mangle, true)}
 	}
 	if d.dup {
 		// At-least-once delivery: the worker dispatches the message twice;
@@ -354,38 +355,46 @@ func (c *client) Call(method string, args, reply interface{}) error {
 	return c.inner.Call(method, args, reply)
 }
 
+// codec reports the codec the decorated transport negotiated, so
+// injected corruption exercises the format actually on the wire.
+func (c *client) codec() wire.Codec {
+	if cc, ok := c.inner.(cluster.CodecCarrier); ok {
+		return cc.WireCodec()
+	}
+	return wire.Gob
+}
+
 // mangleError runs the real codec over a mangled copy of the request
 // frame and returns the decode error a receiver would report — so chaos
-// corruption surfaces the genuine cluster.ErrDecode taxonomy, not a
+// corruption surfaces the genuine cluster.ErrDecode taxonomy (wrapping
+// wire.ErrCorrupt/ErrTruncated under the compact codec), not a
 // synthetic stand-in. mangle in [0,1) picks the byte position or cut.
-func mangleError(method string, args interface{}, mangle float64, truncate bool) error {
-	raw, err := cluster.EncodeEnvelope(method, args)
+func mangleError(codec wire.Codec, method string, args interface{}, mangle float64, truncate bool) error {
+	raw, err := cluster.EncodeRequestFrame(codec, method, args)
 	if err != nil || len(raw) == 0 {
 		// Nothing to mangle; the frame is rejected as a checksum failure
 		// would be, without a codec-level cause.
 		return nil
 	}
-	var env cluster.Envelope
 	if truncate {
 		cut := 1 + int(mangle*float64(len(raw)-1))
 		if cut >= len(raw) {
 			cut = len(raw) - 1
 		}
-		if derr := cluster.Decode(raw[:cut], &env); derr != nil {
-			return derr
+		raw = raw[:cut]
+	} else {
+		pos := int(mangle * float64(len(raw)))
+		if pos >= len(raw) {
+			pos = len(raw) - 1
 		}
-		return nil
+		raw[pos] ^= 0xA5
 	}
-	pos := int(mangle * float64(len(raw)))
-	if pos >= len(raw) {
-		pos = len(raw) - 1
-	}
-	raw[pos] ^= 0xA5
-	if derr := cluster.Decode(raw, &env); derr != nil {
+	if _, _, derr := cluster.DecodeRequestFrame(codec, raw); derr != nil {
 		return derr
 	}
-	// The flip happened to survive decoding; the frame is still rejected
-	// (a transport checksum would catch it) but carries no codec cause.
+	// The mangling happened to survive decoding; the frame is still
+	// rejected (a transport checksum would catch it) but carries no
+	// codec cause.
 	return nil
 }
 

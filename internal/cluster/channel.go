@@ -4,16 +4,19 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"columnsgd/internal/wire"
 )
 
 // Local is an in-process cluster: K workers, each an isolated Service
-// behind a gob-serializing channel transport. Serialization means worker
+// behind a serializing channel transport. Serialization means worker
 // state never aliases master state (as in a real deployment), byte counts
 // are exact wire counts, and any type that wouldn't survive a real network
 // fails here too.
 type Local struct {
 	factory func(worker int) (*Service, error)
 	workers []*localWorker
+	codec   wire.Codec
 }
 
 type localWorker struct {
@@ -26,14 +29,21 @@ type localWorker struct {
 	factory func(worker int) (*Service, error)
 }
 
-// NewLocal builds an in-process cluster of k workers. factory constructs
-// each worker's service; it is also invoked on Restart, modelling a fresh
-// process with empty state.
+// NewLocal builds an in-process cluster of k workers using the default
+// codec. factory constructs each worker's service; it is also invoked on
+// Restart, modelling a fresh process with empty state.
 func NewLocal(k int, factory func(worker int) (*Service, error)) (*Local, error) {
+	return NewLocalCodec(k, factory, wire.Default)
+}
+
+// NewLocalCodec is NewLocal with an explicit codec. There is no
+// negotiation in-process — both ends are this process — so the codec is
+// fixed at construction.
+func NewLocalCodec(k int, factory func(worker int) (*Service, error), codec wire.Codec) (*Local, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("cluster: need at least one worker, got %d", k)
 	}
-	l := &Local{factory: factory, workers: make([]*localWorker, k)}
+	l := &Local{factory: factory, workers: make([]*localWorker, k), codec: codec}
 	for i := 0; i < k; i++ {
 		svc, err := factory(i)
 		if err != nil {
@@ -51,7 +61,7 @@ func (l *Local) NumWorkers() int { return len(l.workers) }
 func (l *Local) Clients() []Client {
 	out := make([]Client, len(l.workers))
 	for i, w := range l.workers {
-		out[i] = &localClient{w: w}
+		out[i] = &localClient{w: w, codec: l.codec}
 	}
 	return out
 }
@@ -86,8 +96,12 @@ func (l *Local) TotalTraffic() (messages, bytes int64) {
 }
 
 type localClient struct {
-	w *localWorker
+	w     *localWorker
+	codec wire.Codec
 }
+
+// WireCodec implements CodecCarrier.
+func (c *localClient) WireCodec() wire.Codec { return c.codec }
 
 // Call implements Client with a full encode → dispatch → encode → decode
 // round trip.
@@ -96,51 +110,49 @@ func (c *localClient) Call(method string, args, reply interface{}) error {
 	if w.down.Load() {
 		return fmt.Errorf("%w: worker %d", ErrWorkerDown, w.id)
 	}
-	reqBuf, err := encodePooled(&Envelope{Method: method, Args: args})
+	reqBuf, err := encodeRequestFrame(c.codec, method, args)
 	if err != nil {
 		return err
 	}
-	reqLen := reqBuf.Len()
+	reqLen := len(reqBuf.b)
 
 	w.mu.Lock()
 	svc := w.svc
-	// Decode into a fresh envelope: the worker sees its own copy.
-	var env Envelope
-	derr := decode(reqBuf.Bytes(), &env)
-	releaseEncBuf(reqBuf) // decode copied everything out
+	// Decode into fresh values: the worker sees its own copy.
+	reqMethod, reqArgs, derr := decodeRequestFrame(c.codec, reqBuf.b)
+	putFrameBuf(reqBuf) // decode copied everything out
 	if derr != nil {
 		w.mu.Unlock()
 		return derr
 	}
-	value, herr := svc.Dispatch(env.Method, env.Args)
+	value, herr := svc.Dispatch(reqMethod, reqArgs)
 	w.mu.Unlock()
 
-	resp := Response{Value: value}
+	errStr := ""
 	if herr != nil {
-		resp.Err = herr.Error()
+		errStr = herr.Error()
 	}
-	respBuf, err := encodePooled(&resp)
+	respBuf, err := encodeResponseFrame(c.codec, value, errStr)
 	if err != nil {
 		return err
 	}
-	w.bytes.Add(int64(reqLen + respBuf.Len()))
+	w.bytes.Add(int64(reqLen + len(respBuf.b)))
 	w.msgs.Add(2)
 
 	if w.down.Load() {
 		// Crash raced with the call: the reply is lost.
-		releaseEncBuf(respBuf)
+		putFrameBuf(respBuf)
 		return fmt.Errorf("%w: worker %d (reply lost)", ErrWorkerDown, w.id)
 	}
-	var back Response
-	derr = decode(respBuf.Bytes(), &back)
-	releaseEncBuf(respBuf)
+	backValue, backErr, derr := decodeResponseFrame(c.codec, respBuf.b)
+	putFrameBuf(respBuf)
 	if derr != nil {
 		return derr
 	}
-	if back.Err != "" {
-		return fmt.Errorf("cluster: worker %d: %s", w.id, back.Err)
+	if backErr != "" {
+		return fmt.Errorf("cluster: worker %d: %s", w.id, backErr)
 	}
-	return storeReply(reply, back.Value)
+	return storeReply(reply, backValue)
 }
 
 // Bytes implements Client.

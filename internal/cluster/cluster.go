@@ -157,7 +157,8 @@ func Encode(v interface{}) ([]byte, error) { return encode(v) }
 // Decode is the inverse seam: any error wraps ErrDecode.
 func Decode(data []byte, v interface{}) error { return decode(data, v) }
 
-// EncodeEnvelope frames a request the way Client.Call does.
+// EncodeEnvelope frames a request the way a gob-codec Client.Call does
+// (wire-codec sessions use EncodeRequestFrame instead).
 func EncodeEnvelope(method string, args interface{}) ([]byte, error) {
 	return encode(&Envelope{Method: method, Args: args})
 }

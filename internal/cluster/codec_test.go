@@ -1,0 +1,237 @@
+package cluster
+
+// Codec seam tests: hello negotiation over real TCP (including the
+// legacy-server fallback), wire-message round trips on both transports,
+// and the typed-error guarantee for mangled frames — the contract the
+// chaos injector's corrupt/truncate faults rely on.
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"columnsgd/internal/wire"
+)
+
+// pingMsg is a registered wire message standing in for the statistics
+// payloads (IDs 0x70+ stay clear of core's 0x01–0x0F and rowsgd's
+// 0x10–0x1F ranges).
+type pingMsg struct {
+	Vals []float64
+	N    int64
+}
+
+func (m *pingMsg) WireID() byte { return 0x70 }
+
+func (m *pingMsg) AppendWire(buf []byte, enc wire.Encoding) []byte {
+	buf = wire.AppendUvarint(buf, uint64(m.N))
+	return wire.AppendVec(buf, m.Vals, enc)
+}
+
+func (m *pingMsg) DecodeWire(data []byte) error {
+	v, data, err := wire.Uvarint(data)
+	if err != nil {
+		return err
+	}
+	m.N = int64(v)
+	if m.Vals, data, err = wire.DecodeVec(data); err != nil {
+		return err
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("%w: trailing bytes", wire.ErrCorrupt)
+	}
+	return nil
+}
+
+func init() {
+	wire.Register(0x70, func() wire.Message { return new(pingMsg) })
+	gob.Register(&pingMsg{})
+}
+
+// pingService echoes the message back doubled, so the test can verify
+// the handler saw real decoded values.
+func pingService(int) (*Service, error) {
+	svc := NewService()
+	svc.Register("ping", func(args interface{}) (interface{}, error) {
+		a, ok := args.(*pingMsg)
+		if !ok {
+			return nil, fmt.Errorf("bad args type %T", args)
+		}
+		out := &pingMsg{N: a.N * 2, Vals: make([]float64, len(a.Vals))}
+		for i, v := range a.Vals {
+			out.Vals[i] = v * 2
+		}
+		return out, nil
+	})
+	return svc, nil
+}
+
+func pingCall(t *testing.T, c Client) {
+	t.Helper()
+	args := &pingMsg{N: 21, Vals: []float64{0, 1.5, 0, -2.25}}
+	var reply pingMsg
+	if err := c.Call("ping", args, &reply); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if reply.N != 42 || len(reply.Vals) != 4 || reply.Vals[3] != -4.5 {
+		t.Fatalf("ping reply %+v", reply)
+	}
+}
+
+// TestTCPCodecNegotiationMatrix covers client preference × server limit:
+// the session codec must be the meet of the two, and calls must work on
+// every combination.
+func TestTCPCodecNegotiationMatrix(t *testing.T) {
+	cases := []struct {
+		name        string
+		pref, limit wire.Codec
+		want        wire.Codec
+	}{
+		{"wire-wire", wire.Default, wire.Default, wire.Default},
+		{"wire-f16-server", wire.Codec{Wire: true, Enc: wire.F16}, wire.Default, wire.Codec{Wire: true, Enc: wire.F16}},
+		{"gob-client", wire.Gob, wire.Default, wire.Gob},
+		{"gob-server", wire.Default, wire.Gob, wire.Gob},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			lis, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			svc, _ := pingService(0)
+			srv := NewServer(svc, lis)
+			srv.RestrictCodec(tc.limit)
+			go srv.Serve() //nolint:errcheck
+			defer srv.Close()
+			c, err := DialCodec(srv.Addr(), tc.pref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			got := c.(CodecCarrier).WireCodec()
+			if got != tc.want {
+				t.Fatalf("negotiated %v, want %v", got, tc.want)
+			}
+			pingCall(t, c)
+		})
+	}
+}
+
+// TestLegacyServerFallback dials a hand-rolled pre-codec server — a bare
+// gob request/response loop with no hello handling. The client's hello
+// must come back as an ordinary error Response, after which the session
+// silently proceeds on gob.
+func TestLegacyServerFallback(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	svc, _ := pingService(0)
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		for {
+			payload, err := readFrame(conn)
+			if err != nil {
+				return
+			}
+			var resp Response
+			var env Envelope
+			if err := Decode(payload, &env); err != nil {
+				resp.Err = err.Error()
+			} else if v, herr := svc.Dispatch(env.Method, env.Args); herr != nil {
+				resp.Err = herr.Error()
+			} else {
+				resp.Value = v
+			}
+			out, err := Encode(&resp)
+			if err != nil {
+				return
+			}
+			if writeFrame(conn, out) != nil {
+				return
+			}
+		}
+	}()
+	c, err := DialCodec(lis.Addr().String(), wire.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := c.(CodecCarrier).WireCodec(); got != wire.Gob {
+		t.Fatalf("negotiated %v against a legacy server, want gob", got)
+	}
+	pingCall(t, c)
+	pingCall(t, c) // the session must stay healthy past the first call
+}
+
+// TestChannelCodecCarrier pins the in-process transport's codec plumbing:
+// clients report the codec they were built with and wire messages round
+// trip through the frame encoder (fresh structs, no aliasing).
+func TestChannelCodecCarrier(t *testing.T) {
+	for _, codec := range []wire.Codec{wire.Gob, wire.Default, {Wire: true, Enc: wire.F16}} {
+		l, err := NewLocalCodec(2, pingService, codec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range l.Clients() {
+			if got := c.(CodecCarrier).WireCodec(); got != codec {
+				t.Fatalf("channel client codec %v, want %v", got, codec)
+			}
+			pingCall(t, c)
+		}
+	}
+}
+
+// TestMangledWireFramesAreTypedErrors corrupts and truncates valid wire
+// frames at every position: decoding must never panic and every failure
+// must wrap ErrDecode — the class the engines' retry machinery and the
+// chaos injector branch on.
+func TestMangledWireFramesAreTypedErrors(t *testing.T) {
+	codec := wire.Default
+	reqFrame, err := EncodeRequestFrame(codec, "ping", &pingMsg{N: 5, Vals: []float64{1, 0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	respFrame, err := EncodeResponseFrame(codec, &pingMsg{N: 6, Vals: []float64{3}}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, decode func([]byte) error, frame []byte) {
+		for cut := 0; cut < len(frame); cut++ {
+			if err := decode(frame[:cut]); err != nil && !errors.Is(err, ErrDecode) {
+				t.Fatalf("%s truncated at %d: untyped error %v", name, cut, err)
+			}
+		}
+		for pos := 0; pos < len(frame); pos++ {
+			mangled := append([]byte(nil), frame...)
+			mangled[pos] ^= 0xA5
+			if err := decode(mangled); err != nil && !errors.Is(err, ErrDecode) {
+				t.Fatalf("%s corrupted at %d: untyped error %v", name, pos, err)
+			}
+		}
+	}
+	check("request", func(b []byte) error {
+		_, _, err := DecodeRequestFrame(codec, b)
+		return err
+	}, reqFrame)
+	check("response", func(b []byte) error {
+		_, _, err := DecodeResponseFrame(codec, b)
+		return err
+	}, respFrame)
+}
+
+// TestWireRequestFrameRejectsLongMethod bounds the method-name length a
+// hostile frame can claim.
+func TestWireRequestFrameRejectsLongMethod(t *testing.T) {
+	if _, err := EncodeRequestFrame(wire.Default, strings.Repeat("m", 2000), &pingMsg{}); err == nil {
+		t.Fatal("expected an error encoding an oversized method name")
+	}
+}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -9,11 +10,60 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"columnsgd/internal/wire"
 )
 
 // maxFrame bounds a single framed message (worksets for huge blocks stay
 // far below this; the bound rejects corrupt length prefixes).
 const maxFrame = 1 << 30
+
+// Codec negotiation. A codec-aware client opens every connection with a
+// 7-byte hello frame; a codec-aware server answers with an ack choosing
+// the session codec. A legacy server instead gob-decodes the hello,
+// fails, and returns an ordinary error Response — the framing survives,
+// the client sees a non-ack first frame and falls back to gob. A legacy
+// client sends no hello and is served gob frames as before. Hello
+// traffic is session setup, not statistics exchange, so it is excluded
+// from the byte counters.
+const (
+	helloRequestTag = 1
+	helloAckTag     = 2
+)
+
+var helloMagic = [4]byte{'c', 'S', 'G', 'D'}
+
+func helloFrame(tag byte, c wire.Codec) []byte {
+	ver := byte(0)
+	if c.Wire {
+		ver = 1
+	}
+	return []byte{helloMagic[0], helloMagic[1], helloMagic[2], helloMagic[3], tag, ver, byte(c.Enc)}
+}
+
+// parseHello recognizes a hello or ack frame. The exact-length and magic
+// requirements make collision with a gob envelope practically impossible
+// (a gob stream would need a 7-byte first message spelling the magic).
+func parseHello(frame []byte, tag byte) (wire.Codec, bool) {
+	if len(frame) != 7 || !bytes.Equal(frame[:4], helloMagic[:]) || frame[4] != tag {
+		return wire.Codec{}, false
+	}
+	c := wire.Codec{Wire: frame[5] == 1, Enc: wire.Encoding(frame[6])}
+	if !c.Enc.Valid() {
+		c.Enc = wire.F64
+	}
+	return c, true
+}
+
+// negotiate picks the session codec from a client's request and the
+// server's limit: the compact format only if both sides support it, at
+// the client's requested value encoding.
+func negotiate(req, limit wire.Codec) wire.Codec {
+	if req.Wire && limit.Wire {
+		return wire.Codec{Wire: true, Enc: req.Enc}
+	}
+	return wire.Gob
+}
 
 // writeFrame writes a length-prefixed payload.
 func writeFrame(w io.Writer, payload []byte) error {
@@ -64,12 +114,26 @@ type Server struct {
 	draining bool
 	idle     chan struct{}
 	idleOnce sync.Once
+
+	// codecLimit caps what the server will negotiate; Default accepts
+	// the compact codec, Gob forces every session onto gob.
+	codecLimit wire.Codec
 }
 
-// NewServer wraps a service and a listener.
+// NewServer wraps a service and a listener. The server accepts the
+// compact codec by default; clients that never send a hello are served
+// gob.
 func NewServer(svc *Service, lis net.Listener) *Server {
-	return &Server{svc: svc, lis: lis, conns: make(map[net.Conn]struct{}), idle: make(chan struct{})}
+	return &Server{
+		svc: svc, lis: lis, conns: make(map[net.Conn]struct{}), idle: make(chan struct{}),
+		codecLimit: wire.Default,
+	}
 }
+
+// RestrictCodec caps the codec this server will negotiate — wire.Gob
+// makes it behave like a pre-codec server (every hello is answered with
+// a gob ack), which is also how the tests exercise the fallback path.
+func (s *Server) RestrictCodec(limit wire.Codec) { s.codecLimit = limit }
 
 // Addr returns the listen address.
 func (s *Server) Addr() string { return s.lis.Addr().String() }
@@ -100,35 +164,44 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
+	codec := wire.Gob // sessions start gob until a hello upgrades them
 	for {
 		reqBytes, err := readFrame(conn)
 		if err != nil {
 			return // connection closed or broken; master will redial
 		}
+		if req, ok := parseHello(reqBytes, helloRequestTag); ok {
+			codec = negotiate(req, s.codecLimit)
+			if writeFrame(conn, helloFrame(helloAckTag, codec)) != nil {
+				return
+			}
+			continue
+		}
 		s.beginRequest()
-		var env Envelope
-		resp := Response{}
-		if err := decode(reqBytes, &env); err != nil {
-			resp.Err = err.Error()
+		method, args, derr := decodeRequestFrame(codec, reqBytes)
+		var value interface{}
+		errStr := ""
+		if derr != nil {
+			errStr = derr.Error()
 		} else {
-			value, herr := s.svc.Dispatch(env.Method, env.Args)
-			resp.Value = value
+			var herr error
+			value, herr = s.svc.Dispatch(method, args)
 			if herr != nil {
-				resp.Err = herr.Error()
+				errStr = herr.Error()
 			}
 		}
-		respBuf, err := encodePooled(&resp)
+		respBuf, err := encodeResponseFrame(codec, value, errStr)
 		if err != nil {
 			// Encoding the handler result failed (unregistered type);
 			// report it instead of the value.
-			respBuf, err = encodePooled(&Response{Err: err.Error()})
+			respBuf, err = encodeResponseFrame(codec, nil, err.Error())
 			if err != nil {
 				s.endRequest()
 				return
 			}
 		}
-		werr := writeFrame(conn, respBuf.Bytes())
-		releaseEncBuf(respBuf) // the frame is on the wire (or failed)
+		werr := writeFrame(conn, respBuf.b)
+		putFrameBuf(respBuf) // the frame is on the wire (or failed)
 		s.endRequest()
 		if werr != nil {
 			return
@@ -195,34 +268,66 @@ func (s *Server) Shutdown(timeout time.Duration) error {
 type tcpClient struct {
 	mu    sync.Mutex
 	conn  net.Conn
+	codec wire.Codec
 	bytes atomic.Int64
 	msgs  atomic.Int64
 }
 
-// Dial connects to a worker server.
-func Dial(addr string) (Client, error) {
+// Dial connects to a worker server, negotiating the default codec.
+func Dial(addr string) (Client, error) { return DialCodec(addr, wire.Default) }
+
+// DialCodec connects to a worker server, requesting pref. A gob
+// preference skips the hello entirely (legacy behaviour); otherwise the
+// session runs whatever the server acks — gob when the far side is a
+// pre-codec server, which answers the hello with an ordinary gob error
+// Response instead of an ack.
+func DialCodec(addr string, pref wire.Codec) (Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
 	}
-	return &tcpClient{conn: conn}, nil
+	c := &tcpClient{conn: conn}
+	if pref.Wire {
+		if err := writeFrame(conn, helloFrame(helloRequestTag, pref)); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("cluster: hello %s: %w", addr, err)
+		}
+		first, err := readFrame(conn)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("cluster: hello %s: %w", addr, err)
+		}
+		if ack, ok := parseHello(first, helloAckTag); ok {
+			c.codec = ack
+		}
+		// A non-ack first frame is a legacy server's error Response to
+		// the hello it could not decode: discard it and stay on gob.
+	}
+	return c, nil
+}
+
+// WireCodec implements CodecCarrier.
+func (c *tcpClient) WireCodec() wire.Codec {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.codec
 }
 
 // Call implements Client.
 func (c *tcpClient) Call(method string, args, reply interface{}) error {
-	reqBuf, err := encodePooled(&Envelope{Method: method, Args: args})
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	reqBuf, err := encodeRequestFrame(c.codec, method, args)
 	if err != nil {
 		return err
 	}
-	reqLen := reqBuf.Len()
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	reqLen := len(reqBuf.b)
 	if c.conn == nil {
-		releaseEncBuf(reqBuf)
+		putFrameBuf(reqBuf)
 		return ErrWorkerDown
 	}
-	werr := writeFrame(c.conn, reqBuf.Bytes())
-	releaseEncBuf(reqBuf)
+	werr := writeFrame(c.conn, reqBuf.b)
+	putFrameBuf(reqBuf)
 	if werr != nil {
 		return fmt.Errorf("%w: %v", ErrWorkerDown, werr)
 	}
@@ -235,14 +340,14 @@ func (c *tcpClient) Call(method string, args, reply interface{}) error {
 	}
 	c.bytes.Add(int64(reqLen + len(respBytes)))
 	c.msgs.Add(2)
-	var resp Response
-	if err := decode(respBytes, &resp); err != nil {
-		return err
+	value, errStr, derr := decodeResponseFrame(c.codec, respBytes)
+	if derr != nil {
+		return derr
 	}
-	if resp.Err != "" {
-		return fmt.Errorf("cluster: remote: %s", resp.Err)
+	if errStr != "" {
+		return fmt.Errorf("cluster: remote: %s", errStr)
 	}
-	return storeReply(reply, resp.Value)
+	return storeReply(reply, value)
 }
 
 // Bytes implements Client.

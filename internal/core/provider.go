@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"columnsgd/internal/cluster"
+	"columnsgd/internal/wire"
 )
 
 // Provider abstracts where the workers run: in-process (LocalProvider) or
@@ -29,11 +30,18 @@ type LocalProvider struct {
 	local *cluster.Local
 }
 
-// NewLocalProvider starts k in-process ColumnSGD workers.
+// NewLocalProvider starts k in-process ColumnSGD workers on the default
+// codec.
 func NewLocalProvider(k int) (*LocalProvider, error) {
-	local, err := cluster.NewLocal(k, func(worker int) (*cluster.Service, error) {
+	return NewLocalProviderCodec(k, wire.Default)
+}
+
+// NewLocalProviderCodec starts k in-process workers on an explicit
+// statistics codec.
+func NewLocalProviderCodec(k int, codec wire.Codec) (*LocalProvider, error) {
+	local, err := cluster.NewLocalCodec(k, func(worker int) (*cluster.Service, error) {
 		return NewWorkerService(), nil
-	})
+	}, codec)
 	if err != nil {
 		return nil, err
 	}
@@ -52,17 +60,25 @@ func (p *LocalProvider) Fail(worker int) { p.local.Fail(worker) }
 // RemoteProvider connects to already-running worker processes over TCP.
 type RemoteProvider struct {
 	addrs   []string
+	codec   wire.Codec
 	clients []cluster.Client
 }
 
-// NewRemoteProvider dials one worker per address.
+// NewRemoteProvider dials one worker per address, negotiating the
+// default codec (old workers fall back to gob per connection).
 func NewRemoteProvider(addrs []string) (*RemoteProvider, error) {
+	return NewRemoteProviderCodec(addrs, wire.Default)
+}
+
+// NewRemoteProviderCodec dials one worker per address requesting an
+// explicit codec preference.
+func NewRemoteProviderCodec(addrs []string, codec wire.Codec) (*RemoteProvider, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("core: remote provider needs at least one address")
 	}
-	p := &RemoteProvider{addrs: addrs, clients: make([]cluster.Client, len(addrs))}
+	p := &RemoteProvider{addrs: addrs, codec: codec, clients: make([]cluster.Client, len(addrs))}
 	for i, addr := range addrs {
-		c, err := cluster.Dial(addr)
+		c, err := cluster.DialCodec(addr, codec)
 		if err != nil {
 			for _, prev := range p.clients[:i] {
 				prev.Close()
@@ -85,7 +101,7 @@ func (p *RemoteProvider) Restart(worker int) error {
 		return fmt.Errorf("core: restart: no worker %d", worker)
 	}
 	p.clients[worker].Close()
-	c, err := cluster.Dial(p.addrs[worker])
+	c, err := cluster.DialCodec(p.addrs[worker], p.codec)
 	if err != nil {
 		return fmt.Errorf("core: redial worker %d: %w", worker, err)
 	}

@@ -1,0 +1,315 @@
+package core
+
+// This file defines compact wire forms for the per-iteration statistics
+// message family (internal/wire). Only the O(batch) hot-path messages
+// get one — the control plane (init, load, params, ping) stays on the
+// gob fallback.
+//
+// Wire IDs are protocol: the golden-format tests under internal/wire
+// pin these layouts byte-for-byte. Never renumber or reshape a released
+// message; add a new ID instead.
+
+import (
+	"fmt"
+
+	"columnsgd/internal/wire"
+)
+
+// Wire IDs 0x01–0x0F are reserved for package core.
+const (
+	wireIDStatsArgs         = 0x01
+	wireIDStatsReply        = 0x02
+	wireIDUpdateArgs        = 0x03
+	wireIDUpdateReply       = 0x04
+	wireIDEvalReply         = 0x05
+	wireIDEvalLossArgs      = 0x06
+	wireIDEvalLossReply     = 0x07
+	wireIDEvalAccuracyArgs  = 0x08
+	wireIDEvalAccuracyReply = 0x09
+)
+
+func init() {
+	wire.Register(wireIDStatsArgs, func() wire.Message { return new(StatsArgs) })
+	wire.Register(wireIDStatsReply, func() wire.Message { return new(StatsReply) })
+	wire.Register(wireIDUpdateArgs, func() wire.Message { return new(UpdateArgs) })
+	wire.Register(wireIDUpdateReply, func() wire.Message { return new(UpdateReply) })
+	wire.Register(wireIDEvalReply, func() wire.Message { return new(EvalReply) })
+	wire.Register(wireIDEvalLossArgs, func() wire.Message { return new(EvalLossArgs) })
+	wire.Register(wireIDEvalLossReply, func() wire.Message { return new(EvalLossReply) })
+	wire.Register(wireIDEvalAccuracyArgs, func() wire.Message { return new(EvalAccuracyArgs) })
+	wire.Register(wireIDEvalAccuracyReply, func() wire.Message { return new(EvalAccuracyReply) })
+}
+
+// maxWireCount bounds decoded counters so a hostile frame cannot smuggle
+// a value that wraps negative when narrowed to int.
+const maxWireCount = 1 << 48
+
+func readCount(data []byte, what string) (int64, []byte, error) {
+	v, rest, err := wire.Uvarint(data)
+	if err != nil {
+		return 0, nil, err
+	}
+	if v > maxWireCount {
+		return 0, nil, fmt.Errorf("%w: %s %d out of range", wire.ErrCorrupt, what, v)
+	}
+	return int64(v), rest, nil
+}
+
+func appendBool(buf []byte, v bool) []byte {
+	if v {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+func readBool(data []byte) (bool, []byte, error) {
+	if len(data) < 1 {
+		return false, nil, fmt.Errorf("%w: missing bool", wire.ErrTruncated)
+	}
+	switch data[0] {
+	case 0:
+		return false, data[1:], nil
+	case 1:
+		return true, data[1:], nil
+	}
+	return false, nil, fmt.Errorf("%w: bool byte %d", wire.ErrCorrupt, data[0])
+}
+
+// expectEnd rejects trailing garbage: every message owns its whole body.
+func expectEnd(data []byte) error {
+	if len(data) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", wire.ErrCorrupt, len(data))
+	}
+	return nil
+}
+
+// WireID implements wire.Message.
+func (a *StatsArgs) WireID() byte { return wireIDStatsArgs }
+
+// AppendWire implements wire.Message.
+func (a *StatsArgs) AppendWire(buf []byte, enc wire.Encoding) []byte {
+	buf = wire.AppendVarint(buf, a.Iter)
+	buf = wire.AppendUvarint(buf, uint64(a.BatchSize))
+	buf = appendBool(buf, a.Epoch)
+	return wire.AppendVarint(buf, a.EpochSeed)
+}
+
+// DecodeWire implements wire.Message.
+func (a *StatsArgs) DecodeWire(data []byte) error {
+	var err error
+	if a.Iter, data, err = wire.Varint(data); err != nil {
+		return err
+	}
+	var n int64
+	if n, data, err = readCount(data, "batch size"); err != nil {
+		return err
+	}
+	a.BatchSize = int(n)
+	if a.Epoch, data, err = readBool(data); err != nil {
+		return err
+	}
+	if a.EpochSeed, data, err = wire.Varint(data); err != nil {
+		return err
+	}
+	return expectEnd(data)
+}
+
+// WireID implements wire.Message.
+func (r *StatsReply) WireID() byte { return wireIDStatsReply }
+
+// AppendWire implements wire.Message.
+func (r *StatsReply) AppendWire(buf []byte, enc wire.Encoding) []byte {
+	buf = wire.AppendUvarint(buf, uint64(r.NNZ))
+	return wire.AppendVec(buf, r.Stats, enc)
+}
+
+// DecodeWire implements wire.Message.
+func (r *StatsReply) DecodeWire(data []byte) error {
+	var err error
+	if r.NNZ, data, err = readCount(data, "nnz"); err != nil {
+		return err
+	}
+	if r.Stats, data, err = wire.DecodeVec(data); err != nil {
+		return err
+	}
+	return expectEnd(data)
+}
+
+// WireID implements wire.Message.
+func (a *UpdateArgs) WireID() byte { return wireIDUpdateArgs }
+
+// AppendWire implements wire.Message.
+func (a *UpdateArgs) AppendWire(buf []byte, enc wire.Encoding) []byte {
+	buf = wire.AppendVarint(buf, a.Iter)
+	buf = wire.AppendUvarint(buf, uint64(a.BatchSize))
+	buf = appendBool(buf, a.Epoch)
+	buf = wire.AppendVarint(buf, a.EpochSeed)
+	return wire.AppendVec(buf, a.Stats, enc)
+}
+
+// DecodeWire implements wire.Message.
+func (a *UpdateArgs) DecodeWire(data []byte) error {
+	var err error
+	if a.Iter, data, err = wire.Varint(data); err != nil {
+		return err
+	}
+	var n int64
+	if n, data, err = readCount(data, "batch size"); err != nil {
+		return err
+	}
+	a.BatchSize = int(n)
+	if a.Epoch, data, err = readBool(data); err != nil {
+		return err
+	}
+	if a.EpochSeed, data, err = wire.Varint(data); err != nil {
+		return err
+	}
+	if a.Stats, data, err = wire.DecodeVec(data); err != nil {
+		return err
+	}
+	return expectEnd(data)
+}
+
+// WireID implements wire.Message.
+func (r *UpdateReply) WireID() byte { return wireIDUpdateReply }
+
+// AppendWire implements wire.Message. Loss is a reported metric, so it
+// stays full-width under every value encoding.
+func (r *UpdateReply) AppendWire(buf []byte, enc wire.Encoding) []byte {
+	buf = wire.AppendF64(buf, r.Loss)
+	return wire.AppendUvarint(buf, uint64(r.NNZ))
+}
+
+// DecodeWire implements wire.Message.
+func (r *UpdateReply) DecodeWire(data []byte) error {
+	var err error
+	if r.Loss, data, err = wire.ReadF64(data); err != nil {
+		return err
+	}
+	if r.NNZ, data, err = readCount(data, "nnz"); err != nil {
+		return err
+	}
+	return expectEnd(data)
+}
+
+// WireID implements wire.Message.
+func (r *EvalReply) WireID() byte { return wireIDEvalReply }
+
+// AppendWire implements wire.Message.
+func (r *EvalReply) AppendWire(buf []byte, enc wire.Encoding) []byte {
+	buf = wire.AppendUvarint(buf, uint64(r.NNZ))
+	return wire.AppendVec(buf, r.Stats, enc)
+}
+
+// DecodeWire implements wire.Message.
+func (r *EvalReply) DecodeWire(data []byte) error {
+	var err error
+	if r.NNZ, data, err = readCount(data, "nnz"); err != nil {
+		return err
+	}
+	if r.Stats, data, err = wire.DecodeVec(data); err != nil {
+		return err
+	}
+	return expectEnd(data)
+}
+
+// WireID implements wire.Message.
+func (a *EvalLossArgs) WireID() byte { return wireIDEvalLossArgs }
+
+// AppendWire implements wire.Message.
+func (a *EvalLossArgs) AppendWire(buf []byte, enc wire.Encoding) []byte {
+	buf = wire.AppendUvarint(buf, uint64(a.FromBlock))
+	buf = wire.AppendUvarint(buf, uint64(a.ToBlock))
+	return wire.AppendVec(buf, a.Stats, enc)
+}
+
+// DecodeWire implements wire.Message.
+func (a *EvalLossArgs) DecodeWire(data []byte) error {
+	var from, to int64
+	var err error
+	if from, data, err = readCount(data, "from block"); err != nil {
+		return err
+	}
+	if to, data, err = readCount(data, "to block"); err != nil {
+		return err
+	}
+	a.FromBlock, a.ToBlock = int(from), int(to)
+	if a.Stats, data, err = wire.DecodeVec(data); err != nil {
+		return err
+	}
+	return expectEnd(data)
+}
+
+// WireID implements wire.Message.
+func (r *EvalLossReply) WireID() byte { return wireIDEvalLossReply }
+
+// AppendWire implements wire.Message. LossSum is a reported metric,
+// never quantized.
+func (r *EvalLossReply) AppendWire(buf []byte, enc wire.Encoding) []byte {
+	buf = wire.AppendF64(buf, r.LossSum)
+	return wire.AppendUvarint(buf, uint64(r.Count))
+}
+
+// DecodeWire implements wire.Message.
+func (r *EvalLossReply) DecodeWire(data []byte) error {
+	var err error
+	if r.LossSum, data, err = wire.ReadF64(data); err != nil {
+		return err
+	}
+	var n int64
+	if n, data, err = readCount(data, "count"); err != nil {
+		return err
+	}
+	r.Count = int(n)
+	return expectEnd(data)
+}
+
+// WireID implements wire.Message.
+func (a *EvalAccuracyArgs) WireID() byte { return wireIDEvalAccuracyArgs }
+
+// AppendWire implements wire.Message.
+func (a *EvalAccuracyArgs) AppendWire(buf []byte, enc wire.Encoding) []byte {
+	buf = wire.AppendUvarint(buf, uint64(a.FromBlock))
+	buf = wire.AppendUvarint(buf, uint64(a.ToBlock))
+	return wire.AppendVec(buf, a.Stats, enc)
+}
+
+// DecodeWire implements wire.Message.
+func (a *EvalAccuracyArgs) DecodeWire(data []byte) error {
+	var from, to int64
+	var err error
+	if from, data, err = readCount(data, "from block"); err != nil {
+		return err
+	}
+	if to, data, err = readCount(data, "to block"); err != nil {
+		return err
+	}
+	a.FromBlock, a.ToBlock = int(from), int(to)
+	if a.Stats, data, err = wire.DecodeVec(data); err != nil {
+		return err
+	}
+	return expectEnd(data)
+}
+
+// WireID implements wire.Message.
+func (r *EvalAccuracyReply) WireID() byte { return wireIDEvalAccuracyReply }
+
+// AppendWire implements wire.Message.
+func (r *EvalAccuracyReply) AppendWire(buf []byte, enc wire.Encoding) []byte {
+	buf = wire.AppendUvarint(buf, uint64(r.Correct))
+	return wire.AppendUvarint(buf, uint64(r.Count))
+}
+
+// DecodeWire implements wire.Message.
+func (r *EvalAccuracyReply) DecodeWire(data []byte) error {
+	var correct, count int64
+	var err error
+	if correct, data, err = readCount(data, "correct"); err != nil {
+		return err
+	}
+	if count, data, err = readCount(data, "count"); err != nil {
+		return err
+	}
+	r.Correct, r.Count = int(correct), int(count)
+	return expectEnd(data)
+}

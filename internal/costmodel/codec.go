@@ -1,0 +1,35 @@
+package costmodel
+
+// Exact encoded-frame arithmetic for the compact statistics codec
+// (internal/wire). The analytic Table-I model above works in abstract
+// 8-byte units; these helpers instead mirror the transport's response
+// framing byte-for-byte, so tests can pin the model to what the wire
+// actually carries (codec_test.go asserts equality against frames
+// produced by the real encoder).
+
+import "columnsgd/internal/wire"
+
+// ResponseOverheadBytes is the fixed framing cost of one successful
+// wire-codec response: the response marker, the empty-error length, and
+// the payload's wire ID — one byte each.
+const ResponseOverheadBytes = 3
+
+// StatsFrameBytes returns the exact on-the-wire size of one worker's
+// statistics response (core.StatsReply) under a compact wire codec with
+// value encoding enc: framing overhead, the NNZ counter as a uvarint,
+// and the statistics vector in whichever of the dense/sparse layouts the
+// encoder auto-selects for these values.
+func StatsFrameBytes(stats []float64, nnz int64, enc wire.Encoding) int64 {
+	return ResponseOverheadBytes +
+		int64(wire.UvarintSize(uint64(nnz))) +
+		int64(wire.VecSize(stats, enc))
+}
+
+// DenseStatsFrameBytes is StatsFrameBytes for a fully dense statistics
+// vector of n values — the worst case the 2·K·B·spp·8 formula models,
+// useful when only the shape (not the values) is known.
+func DenseStatsFrameBytes(n int, nnz int64, enc wire.Encoding) int64 {
+	return ResponseOverheadBytes +
+		int64(wire.UvarintSize(uint64(nnz))) +
+		int64(wire.DenseVecSize(n, enc))
+}

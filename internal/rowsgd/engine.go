@@ -13,6 +13,7 @@ import (
 	"columnsgd/internal/model"
 	"columnsgd/internal/opt"
 	"columnsgd/internal/partition"
+	"columnsgd/internal/wire"
 	"columnsgd/internal/simnet"
 	"columnsgd/internal/vec"
 )
@@ -66,6 +67,10 @@ type Config struct {
 	// from up to (w mod Staleness+1) iterations ago, removing the
 	// synchronization barrier at the price of statistical efficiency.
 	Staleness int
+	// Codec names the statistics wire codec for NewLocalEngine's
+	// in-process transport: "gob", "wire", "wire-f32", "wire-f16".
+	// Empty means the default (compact, lossless).
+	Codec string
 }
 
 func (c *Config) normalize() error {
@@ -199,9 +204,13 @@ func NewEngine(cfg Config, clients []cluster.Client) (*Engine, error) {
 
 // NewLocalEngine spins up an in-process cluster and engine together.
 func NewLocalEngine(cfg Config) (*Engine, error) {
-	local, err := cluster.NewLocal(cfg.Workers, func(int) (*cluster.Service, error) {
+	codec, err := wire.ParseCodec(cfg.Codec)
+	if err != nil {
+		return nil, err
+	}
+	local, err := cluster.NewLocalCodec(cfg.Workers, func(int) (*cluster.Service, error) {
 		return NewWorkerService(), nil
-	})
+	}, codec)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,160 @@
+package rowsgd
+
+// Compact wire forms for the row-oriented baselines' gradient-statistics
+// messages (internal/wire). Gradient values follow the negotiated value
+// encoding; pulled model parameters (SparseGradArgs.Values) are always
+// full-width — quantization is for statistics, never for the model.
+//
+// Wire IDs 0x10–0x1F are reserved for package rowsgd and pinned by the
+// golden-format tests under internal/wire.
+
+import (
+	"fmt"
+
+	"columnsgd/internal/wire"
+)
+
+const (
+	wireIDGradReply      = 0x10
+	wireIDNeedReply      = 0x11
+	wireIDSparseGradArgs = 0x12
+)
+
+func init() {
+	wire.Register(wireIDGradReply, func() wire.Message { return new(GradReply) })
+	wire.Register(wireIDNeedReply, func() wire.Message { return new(NeedReply) })
+	wire.Register(wireIDSparseGradArgs, func() wire.Message { return new(SparseGradArgs) })
+}
+
+// maxWireRows bounds decoded row counts before allocation.
+const maxWireRows = 1 << 20
+
+func readRows(data []byte, what string) (int, []byte, error) {
+	v, rest, err := wire.Uvarint(data)
+	if err != nil {
+		return 0, nil, err
+	}
+	if v > maxWireRows {
+		return 0, nil, fmt.Errorf("%w: %s %d out of range", wire.ErrCorrupt, what, v)
+	}
+	return int(v), rest, nil
+}
+
+// WireID implements wire.Message.
+func (r *GradReply) WireID() byte { return wireIDGradReply }
+
+// AppendWire implements wire.Message.
+func (r *GradReply) AppendWire(buf []byte, enc wire.Encoding) []byte {
+	buf = wire.AppendUvarint(buf, uint64(len(r.Grad)))
+	for _, blk := range r.Grad {
+		buf = wire.AppendSparse(buf, blk.Indices, blk.Values, enc)
+	}
+	buf = wire.AppendF64(buf, r.LossSum)
+	buf = wire.AppendUvarint(buf, uint64(r.Count))
+	return wire.AppendUvarint(buf, uint64(r.NNZ))
+}
+
+// DecodeWire implements wire.Message.
+func (r *GradReply) DecodeWire(data []byte) error {
+	rows, data, err := readRows(data, "gradient rows")
+	if err != nil {
+		return err
+	}
+	r.Grad = make([]SparseBlock, rows)
+	for i := range r.Grad {
+		if r.Grad[i].Indices, r.Grad[i].Values, data, err = wire.DecodeSparse(data); err != nil {
+			return err
+		}
+	}
+	if r.LossSum, data, err = wire.ReadF64(data); err != nil {
+		return err
+	}
+	var count, nnz uint64
+	if count, data, err = wire.Uvarint(data); err != nil {
+		return err
+	}
+	if nnz, data, err = wire.Uvarint(data); err != nil {
+		return err
+	}
+	if count > 1<<48 || nnz > 1<<48 {
+		return fmt.Errorf("%w: gradient counters out of range", wire.ErrCorrupt)
+	}
+	r.Count, r.NNZ = int(count), int64(nnz)
+	if len(data) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", wire.ErrCorrupt, len(data))
+	}
+	return nil
+}
+
+// WireID implements wire.Message.
+func (r *NeedReply) WireID() byte { return wireIDNeedReply }
+
+// AppendWire implements wire.Message.
+func (r *NeedReply) AppendWire(buf []byte, enc wire.Encoding) []byte {
+	return wire.AppendDims(buf, r.Dims)
+}
+
+// DecodeWire implements wire.Message.
+func (r *NeedReply) DecodeWire(data []byte) error {
+	dims, rest, err := wire.DecodeDims(data)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", wire.ErrCorrupt, len(rest))
+	}
+	r.Dims = dims
+	return nil
+}
+
+// WireID implements wire.Message.
+func (a *SparseGradArgs) WireID() byte { return wireIDSparseGradArgs }
+
+// AppendWire implements wire.Message. The pulled parameter values are
+// encoded lossless regardless of enc: quantizing the model itself would
+// change what the worker trains on, not just what it reports.
+func (a *SparseGradArgs) AppendWire(buf []byte, enc wire.Encoding) []byte {
+	buf = wire.AppendVarint(buf, a.Iter)
+	buf = wire.AppendUvarint(buf, uint64(a.BatchSize))
+	buf = wire.AppendDims(buf, a.Dims)
+	buf = wire.AppendUvarint(buf, uint64(len(a.Values)))
+	for _, row := range a.Values {
+		buf = wire.AppendVec(buf, row, wire.F64)
+	}
+	return buf
+}
+
+// DecodeWire implements wire.Message.
+func (a *SparseGradArgs) DecodeWire(data []byte) error {
+	var err error
+	if a.Iter, data, err = wire.Varint(data); err != nil {
+		return err
+	}
+	var batch uint64
+	if batch, data, err = wire.Uvarint(data); err != nil {
+		return err
+	}
+	if batch > 1<<48 {
+		return fmt.Errorf("%w: batch size %d out of range", wire.ErrCorrupt, batch)
+	}
+	a.BatchSize = int(batch)
+	if a.Dims, data, err = wire.DecodeDims(data); err != nil {
+		return err
+	}
+	rows, data, err := readRows(data, "parameter rows")
+	if err != nil {
+		return err
+	}
+	a.Values = make([]DenseVec, rows)
+	for i := range a.Values {
+		var row []float64
+		if row, data, err = wire.DecodeVec(data); err != nil {
+			return err
+		}
+		a.Values[i] = row
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", wire.ErrCorrupt, len(data))
+	}
+	return nil
+}

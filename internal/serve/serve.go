@@ -26,6 +26,7 @@ import (
 	"columnsgd/internal/partition"
 	"columnsgd/internal/persist"
 	"columnsgd/internal/vec"
+	"columnsgd/internal/wire"
 )
 
 // Errors returned by the admission path.
@@ -68,6 +69,12 @@ type Options struct {
 	// in-process LocalScorers: 0 means GOMAXPROCS, 1 scores inline.
 	// Results are bit-identical for every value (internal/par contract).
 	Parallelism int
+	// Codec selects the statistics codec whose encoded sizes the fan-out
+	// byte accounting models ("gob", "wire", "wire-f32", "wire-f16");
+	// empty means the default compact lossless codec. Lossy codecs only
+	// shrink the modeled statistics bytes — scoring itself always runs in
+	// float64.
+	Codec string
 	// NewScorer overrides the per-shard scorer (tests, remote shards).
 	// nil uses the in-process LocalScorer.
 	NewScorer func(shard int) Scorer
@@ -144,6 +151,7 @@ type request struct {
 // shard fan-out, and metrics.
 type Server struct {
 	opts    Options
+	codec   wire.Codec
 	mdl     model.Model
 	scorers []Scorer
 	met     *Metrics
@@ -164,12 +172,17 @@ type Server struct {
 // ErrNoModel until the first Install/InstallFile.
 func New(opts Options) (*Server, error) {
 	opts = opts.normalized()
+	codec, err := wire.ParseCodec(opts.Codec)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
 	mdl, err := model.New(opts.ModelName, opts.ModelArg)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
 		opts:     opts,
+		codec:    codec,
 		mdl:      mdl,
 		met:      NewMetrics(),
 		queue:    make(chan *request, opts.QueueCap),
@@ -451,7 +464,7 @@ func (s *Server) fail(batch []*request, err error) {
 // whole batch.
 func (s *Server) callShard(k int, snap *snapshot, batch model.Batch) ([]float64, error) {
 	req := ShardRequest{Shard: k, Version: snap.version, Params: snap.shards[k], Batch: batch}
-	reqBytes := shardRequestBytes(batch)
+	reqBytes := s.shardRequestBytes(batch)
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
 		if attempt > 0 {
@@ -459,7 +472,7 @@ func (s *Server) callShard(k int, snap *snapshot, batch model.Batch) ([]float64,
 		}
 		stats, err := s.callOnce(k, req)
 		if err == nil {
-			s.met.Fanout.Add(reqBytes + int64(len(stats))*8)
+			s.met.Fanout.Add(reqBytes + s.shardReplyBytes(stats))
 			return stats, nil
 		}
 		if errors.Is(err, context.DeadlineExceeded) {
@@ -493,15 +506,32 @@ func (s *Server) callOnce(k int, req ShardRequest) ([]float64, error) {
 	}
 }
 
-// shardRequestBytes models one shard call's request payload: 12 bytes per
-// non-zero (4-byte index + 8-byte value) plus a fixed header — the same
-// accounting the training transport uses for statistics traffic.
-func shardRequestBytes(b model.Batch) int64 {
+// shardRequestBytes models one shard call's request payload under the
+// configured codec. For the compact wire codec it is the exact encoded
+// size of each row's sparse pair (delta-varint indices + values at the
+// codec's width) plus a fixed header; for gob it keeps the legacy
+// 12-bytes-per-nonzero estimate (4-byte index + 8-byte value).
+func (s *Server) shardRequestBytes(b model.Batch) int64 {
 	n := int64(16)
+	if !s.codec.Wire {
+		for i := range b.Rows {
+			n += int64(b.Rows[i].NNZ()) * 12
+		}
+		return n
+	}
 	for i := range b.Rows {
-		n += int64(b.Rows[i].NNZ()) * 12
+		n += int64(wire.SparseSize(b.Rows[i].Indices, s.codec.Enc))
 	}
 	return n
+}
+
+// shardReplyBytes models one shard reply's statistics payload: the exact
+// encoded vector size under the wire codec, 8 bytes per value under gob.
+func (s *Server) shardReplyBytes(stats []float64) int64 {
+	if !s.codec.Wire {
+		return int64(len(stats)) * 8
+	}
+	return int64(wire.VecSize(stats, s.codec.Enc))
 }
 
 // Close drains the server: no new requests are admitted, everything

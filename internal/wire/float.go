@@ -1,0 +1,115 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// F16FromFloat converts to IEEE 754 binary16 with round-to-nearest-even,
+// via float32 (double rounding is harmless here: binary16's 11-bit
+// significand is far below binary32's 24 bits). Overflow saturates to
+// ±Inf, underflow flushes through subnormals to signed zero.
+func F16FromFloat(f float64) uint16 { return f32ToF16(float32(f)) }
+
+// F16ToFloat widens a binary16 value back to float64 exactly.
+func F16ToFloat(h uint16) float64 { return float64(f16ToF32(h)) }
+
+func f32ToF16(f float32) uint16 {
+	b := math.Float32bits(f)
+	sign := uint16(b >> 16 & 0x8000)
+	exp := int32(b>>23&0xff) - 127 + 15
+	man := b & 0x7fffff
+	if exp >= 0x1f {
+		if b&0x7fffffff > 0x7f800000 { // NaN: keep a quiet payload bit
+			return sign | 0x7e00
+		}
+		return sign | 0x7c00 // Inf or finite overflow
+	}
+	if exp <= 0 {
+		if exp < -10 {
+			return sign // underflows past the smallest subnormal
+		}
+		// Subnormal half: shift the (implicit-bit-restored) significand.
+		man |= 0x800000
+		shift := uint32(14 - exp)
+		half := sign | uint16(man>>shift)
+		rem := man & (1<<shift - 1)
+		mid := uint32(1) << (shift - 1)
+		if rem > mid || (rem == mid && half&1 == 1) {
+			half++
+		}
+		return half
+	}
+	half := sign | uint16(exp)<<10 | uint16(man>>13)
+	rem := man & 0x1fff
+	// Round to nearest even; a carry out of the significand correctly
+	// bumps the exponent (and saturates to Inf at the top).
+	if rem > 0x1000 || (rem == 0x1000 && half&1 == 1) {
+		half++
+	}
+	return half
+}
+
+func f16ToF32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1f)
+	man := uint32(h & 0x3ff)
+	switch {
+	case exp == 0:
+		if man == 0 {
+			return math.Float32frombits(sign) // ±0
+		}
+		// Subnormal half: renormalize into binary32.
+		e := uint32(127 - 15 + 1)
+		for man&0x400 == 0 {
+			man <<= 1
+			e--
+		}
+		man &= 0x3ff
+		return math.Float32frombits(sign | e<<23 | man<<13)
+	case exp == 0x1f:
+		return math.Float32frombits(sign | 0x7f800000 | man<<13) // Inf/NaN
+	default:
+		return math.Float32frombits(sign | (exp+127-15)<<23 | man<<13)
+	}
+}
+
+// appendFloat appends one value at e's width, little-endian.
+func appendFloat(b []byte, v float64, e Encoding) []byte {
+	switch e {
+	case F64:
+		return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	case F32:
+		return binary.LittleEndian.AppendUint32(b, math.Float32bits(float32(v)))
+	default:
+		return binary.LittleEndian.AppendUint16(b, F16FromFloat(v))
+	}
+}
+
+// readFloat reads one value at e's width. The caller has already
+// bounds-checked data against e.Width().
+func readFloat(data []byte, e Encoding) float64 {
+	switch e {
+	case F64:
+		return math.Float64frombits(binary.LittleEndian.Uint64(data))
+	case F32:
+		return float64(math.Float32frombits(binary.LittleEndian.Uint32(data)))
+	default:
+		return F16ToFloat(binary.LittleEndian.Uint16(data))
+	}
+}
+
+// AppendF64 appends a scalar at full width regardless of the vector
+// encoding — losses and counters are reporting values, never quantized.
+func AppendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// ReadF64 consumes one full-width scalar.
+func ReadF64(data []byte) (float64, []byte, error) {
+	if len(data) < 8 {
+		return 0, nil, fmt.Errorf("%w: need 8 bytes for float64, have %d", ErrTruncated, len(data))
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(data)), data[8:], nil
+}

@@ -1,0 +1,181 @@
+package wire_test
+
+// Fuzzers for the compact codec: arbitrary bytes must never panic a
+// decoder, every failure must carry the typed taxonomy (wire.ErrTruncated
+// / wire.ErrCorrupt at the primitive layer, cluster.ErrDecode at the
+// frame layer — the classes the chaos corrupt/truncate faults surface
+// as), and everything that encodes must decode back bit-identically.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+
+	"columnsgd/internal/cluster"
+	"columnsgd/internal/core"
+	"columnsgd/internal/rowsgd"
+	"columnsgd/internal/wire"
+)
+
+// registeredIDs are the message IDs pinned by TestGoldenWireIDsPinned.
+var registeredIDs = []byte{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x10, 0x11, 0x12}
+
+func typedWireErr(t *testing.T, what string, err error, data []byte) {
+	t.Helper()
+	if err != nil && !errors.Is(err, wire.ErrTruncated) && !errors.Is(err, wire.ErrCorrupt) {
+		t.Fatalf("%s: untyped error %v for % x", what, err, data)
+	}
+}
+
+// FuzzWireDecode hardens every decoder layer against arbitrary bytes:
+// the vector/sparse/dims primitives, each registered message's
+// DecodeWire, and the full request/response frame decoders.
+func FuzzWireDecode(f *testing.F) {
+	// Seed with valid encodings of each layout plus classic mutations.
+	dense := wire.AppendVec(nil, []float64{1.5, -2.25, 3.75}, wire.F64)
+	sparse := wire.AppendVec(nil, []float64{0, 0, 0, 0, 0, 0, 0, 9.5}, wire.F16)
+	pair := wire.AppendSparse(nil, []int32{3, 9, 4000}, []float64{1, 2, 3}, wire.F32)
+	dims := wire.AppendDims(nil, []int32{1, 2, 70000})
+	reply := (&core.StatsReply{Stats: []float64{0, 1.5, 0}, NNZ: 7}).AppendWire(nil, wire.F64)
+	grad := (&rowsgd.GradReply{Grad: []rowsgd.SparseBlock{{Indices: []int32{1}, Values: []float64{2}}},
+		LossSum: 0.5, Count: 3, NNZ: 9}).AppendWire(nil, wire.F16)
+	respFrame, err := cluster.EncodeResponseFrame(wire.Default, &core.StatsReply{Stats: []float64{1, 0, 2}}, "")
+	if err != nil {
+		f.Fatal(err)
+	}
+	reqFrame, err := cluster.EncodeRequestFrame(wire.Default, "computeStats", &core.StatsArgs{Iter: 1, BatchSize: 8})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, seed := range [][]byte{dense, sparse, pair, dims, reply, grad, respFrame, reqFrame, {}, {0xFF}} {
+		f.Add(seed)
+		if len(seed) > 2 {
+			f.Add(seed[:len(seed)/2])
+			mangled := append([]byte(nil), seed...)
+			mangled[len(mangled)/3] ^= 0xA5
+			f.Add(mangled)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, err := wire.DecodeVec(data)
+		typedWireErr(t, "DecodeVec", err, data)
+		_, _, _, err = wire.DecodeSparse(data)
+		typedWireErr(t, "DecodeSparse", err, data)
+		_, _, err = wire.DecodeDims(data)
+		typedWireErr(t, "DecodeDims", err, data)
+		for _, id := range registeredIDs {
+			msg, ok := wire.New(id)
+			if !ok {
+				t.Fatalf("ID 0x%02X not registered", id)
+			}
+			typedWireErr(t, "DecodeWire", msg.DecodeWire(data), data)
+		}
+		if _, _, err := cluster.DecodeRequestFrame(wire.Default, data); err != nil && !errors.Is(err, cluster.ErrDecode) {
+			t.Fatalf("request frame: untyped error %v for % x", err, data)
+		}
+		if _, _, err := cluster.DecodeResponseFrame(wire.Default, data); err != nil && !errors.Is(err, cluster.ErrDecode) {
+			t.Fatalf("response frame: untyped error %v for % x", err, data)
+		}
+	})
+}
+
+// fuzzFloats carves the raw fuzz bytes into float64s.
+func fuzzFloats(raw []byte, max int) []float64 {
+	n := len(raw) / 8
+	if n > max {
+		n = max
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	return out
+}
+
+// FuzzWireRoundTrip drives arbitrary values through encode → decode →
+// re-encode: lossless decoding must reproduce the input bit for bit, and
+// every encoding (including lossy f32/f16) must be idempotent — decoding
+// and re-encoding yields the identical bytes.
+func FuzzWireRoundTrip(f *testing.F) {
+	var seed []byte
+	// Seeds include the nasty cases the quantization-aware elision rule
+	// exists for: negative zero (sign bit must survive F64 sparse
+	// layouts) and values that underflow to half-precision zero (must be
+	// elided up front so re-encode is idempotent).
+	for _, v := range []float64{0, 1.5, -2.25, math.Inf(1), math.NaN(), 6.1e-5, 65504,
+		math.Copysign(0, -1), 9.9e-76, -3e-8} {
+		seed = binary.LittleEndian.AppendUint64(seed, math.Float64bits(v))
+	}
+	f.Add(seed, uint8(0), true)
+	f.Add(seed, uint8(1), false)
+	f.Add(seed[:24], uint8(2), true)
+	f.Add([]byte{}, uint8(0), false)
+	f.Fuzz(func(t *testing.T, raw []byte, encB uint8, sparseIdx bool) {
+		enc := wire.Encoding(encB % 3)
+		vals := fuzzFloats(raw, 1<<12)
+
+		buf := wire.AppendVec(nil, vals, enc)
+		if got := wire.VecSize(vals, enc); got != len(buf) {
+			t.Fatalf("VecSize %d, encoded %d bytes", got, len(buf))
+		}
+		dec, rest, err := wire.DecodeVec(buf)
+		if err != nil {
+			t.Fatalf("decode own encoding: %v", err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%d trailing bytes", len(rest))
+		}
+		if enc == wire.F64 {
+			if len(dec) != len(vals) {
+				t.Fatalf("lossless length %d, want %d", len(dec), len(vals))
+			}
+			for i := range vals {
+				if math.Float64bits(dec[i]) != math.Float64bits(vals[i]) {
+					t.Fatalf("lossless value %d: %x -> %x", i, math.Float64bits(vals[i]), math.Float64bits(dec[i]))
+				}
+			}
+		}
+		again := wire.AppendVec(nil, dec, enc)
+		if !bytes.Equal(buf, again) {
+			t.Fatalf("re-encode not idempotent for enc %v", enc)
+		}
+
+		// Sparse pair round trip with indices synthesized from the values.
+		idx := make([]int32, len(vals))
+		prev := int32(-1)
+		for i := range idx {
+			step := int32(1 + (math.Float64bits(vals[i]) & 0x3FF))
+			prev += step
+			idx[i] = prev
+		}
+		if !sparseIdx {
+			for i, j := 0, len(idx)-1; i < j; i, j = i+1, j-1 {
+				idx[i], idx[j] = idx[j], idx[i]
+			}
+		}
+		pair := wire.AppendSparse(nil, idx, vals, enc)
+		if got := wire.SparseSize(idx, enc); got != len(pair) {
+			t.Fatalf("SparseSize %d, encoded %d bytes", got, len(pair))
+		}
+		gotIdx, gotVals, rest, err := wire.DecodeSparse(pair)
+		if err != nil {
+			t.Fatalf("decode own sparse encoding: %v", err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%d trailing sparse bytes", len(rest))
+		}
+		if len(gotIdx) != len(idx) || len(gotVals) != len(vals) {
+			t.Fatalf("sparse shape (%d,%d), want (%d,%d)", len(gotIdx), len(gotVals), len(idx), len(vals))
+		}
+		for i := range idx {
+			if gotIdx[i] != idx[i] {
+				t.Fatalf("sparse index %d: %d, want %d", i, gotIdx[i], idx[i])
+			}
+			if enc == wire.F64 && math.Float64bits(gotVals[i]) != math.Float64bits(vals[i]) {
+				t.Fatalf("sparse value %d not bit-identical", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,55 @@
+package wire
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Message is implemented by payload types with a compact wire form.
+// Implementations live next to their message definitions (internal/core,
+// internal/rowsgd) and register a factory here in init(), so the
+// transport layer can decode them without importing those packages.
+//
+// AppendWire trusts in-memory state and cannot fail; DecodeWire must
+// tolerate arbitrary adversarial bytes, returning errors that wrap
+// ErrTruncated or ErrCorrupt and never panicking.
+type Message interface {
+	// WireID is the stable one-byte type tag. IDs are part of the wire
+	// format: never reuse or renumber a released ID (the golden-format
+	// tests pin them). 0x00 and 0xFF are reserved framing tags.
+	WireID() byte
+	// AppendWire appends the message body at the given value encoding.
+	AppendWire(buf []byte, enc Encoding) []byte
+	// DecodeWire parses a complete message body.
+	DecodeWire(data []byte) error
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[byte]func() Message{}
+)
+
+// Register binds a wire ID to a message factory. It panics on reserved
+// or duplicate IDs — both are build-time wiring mistakes.
+func Register(id byte, factory func() Message) {
+	if id == 0x00 || id == 0xFF {
+		panic(fmt.Sprintf("wire: message ID 0x%02X is reserved", id))
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[id]; dup {
+		panic(fmt.Sprintf("wire: message ID 0x%02X registered twice", id))
+	}
+	registry[id] = factory
+}
+
+// New returns a fresh instance for a registered wire ID.
+func New(id byte) (Message, bool) {
+	registryMu.RLock()
+	factory, ok := registry[id]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	return factory(), true
+}

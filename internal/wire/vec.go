@@ -1,0 +1,374 @@
+package wire
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector layout tags. Every encoded vector is self-describing:
+//
+//	[enc:1][layout:1][uvarint n][body]
+//
+// dense body:  n values at enc's width
+// sparse body: [uvarint nnz][nnz delta-uvarint positions][nnz values]
+//
+// Sparse positions are deltas against the previous position (the first
+// is absolute), so clustered nonzeros cost one byte each. The encoder
+// picks whichever layout is smaller for the actual value pattern.
+const (
+	layoutDense  = 0
+	layoutSparse = 1
+)
+
+// MaxVecLen bounds the logical length a decoder will allocate for —
+// far above any statistics vector this system ships (B·statsPerPoint),
+// low enough that a hostile length claim cannot OOM a worker.
+const MaxVecLen = 1 << 24
+
+// stored reports whether v must be written explicitly in a sparse
+// layout at encoding e. A value is elidable only when its encoded bits
+// equal those of +0.0, because the decoder reconstructs elided entries
+// as exactly +0.0. Deciding on the quantized bits (not the float64
+// value) keeps encode→decode→re-encode byte-identical for the lossy
+// encodings — a tiny value that underflows to half-precision zero is
+// elided up front, not stored once and dropped on re-encode — and keeps
+// -0.0's sign bit through the lossless path.
+func stored(v float64, e Encoding) bool {
+	switch e {
+	case F64:
+		return math.Float64bits(v) != 0
+	case F32:
+		return math.Float32bits(float32(v)) != 0
+	default:
+		return F16FromFloat(v) != 0
+	}
+}
+
+// sparseCost scans vals once, returning the stored-entry count and the
+// total delta-varint index bytes a sparse layout would spend.
+func sparseCost(vals []float64, enc Encoding) (nnz, idxBytes int) {
+	prev := 0
+	for i, v := range vals {
+		if stored(v, enc) {
+			idxBytes += UvarintSize(uint64(i - prev))
+			prev = i
+			nnz++
+		}
+	}
+	return nnz, idxBytes
+}
+
+// AppendVec appends the encoded form of vals at encoding enc.
+func AppendVec(buf []byte, vals []float64, enc Encoding) []byte {
+	w := enc.Width()
+	nnz, idxBytes := sparseCost(vals, enc)
+	sparseBody := UvarintSize(uint64(nnz)) + idxBytes + nnz*w
+	buf = append(buf, byte(enc))
+	if sparseBody < len(vals)*w {
+		buf = append(buf, layoutSparse)
+		buf = AppendUvarint(buf, uint64(len(vals)))
+		buf = AppendUvarint(buf, uint64(nnz))
+		prev := 0
+		for i, v := range vals {
+			if stored(v, enc) {
+				buf = AppendUvarint(buf, uint64(i-prev))
+				prev = i
+			}
+		}
+		for _, v := range vals {
+			if stored(v, enc) {
+				buf = appendFloat(buf, v, enc)
+			}
+		}
+		return buf
+	}
+	buf = append(buf, layoutDense)
+	buf = AppendUvarint(buf, uint64(len(vals)))
+	for _, v := range vals {
+		buf = appendFloat(buf, v, enc)
+	}
+	return buf
+}
+
+// VecSize returns exactly len(AppendVec(nil, vals, enc)) without
+// encoding — the seam the cost model shares with the transports so
+// modeled bytes cannot drift from real frames.
+func VecSize(vals []float64, enc Encoding) int {
+	w := enc.Width()
+	nnz, idxBytes := sparseCost(vals, enc)
+	sparseBody := UvarintSize(uint64(nnz)) + idxBytes + nnz*w
+	body := len(vals) * w
+	if sparseBody < body {
+		body = sparseBody
+	}
+	return 2 + UvarintSize(uint64(len(vals))) + body
+}
+
+// DenseVecSize is the encoded size of an n-length vector with no zero
+// values — the analytic worst case the cost model prices.
+func DenseVecSize(n int, enc Encoding) int {
+	return 2 + UvarintSize(uint64(n)) + n*enc.Width()
+}
+
+// DecodeVec decodes one vector, returning it and the remaining bytes.
+func DecodeVec(data []byte) ([]float64, []byte, error) {
+	if len(data) < 2 {
+		return nil, nil, fmt.Errorf("%w: vector header", ErrTruncated)
+	}
+	enc, layout := Encoding(data[0]), data[1]
+	if !enc.Valid() {
+		return nil, nil, fmt.Errorf("%w: unknown value encoding %d", ErrCorrupt, data[0])
+	}
+	if layout != layoutDense && layout != layoutSparse {
+		return nil, nil, fmt.Errorf("%w: unknown vector layout %d", ErrCorrupt, layout)
+	}
+	n64, rest, err := Uvarint(data[2:])
+	if err != nil {
+		return nil, nil, err
+	}
+	if n64 > MaxVecLen {
+		return nil, nil, fmt.Errorf("%w: vector length %d exceeds limit", ErrCorrupt, n64)
+	}
+	n, w := int(n64), enc.Width()
+	if layout == layoutDense {
+		if len(rest) < n*w {
+			return nil, nil, fmt.Errorf("%w: dense vector body", ErrTruncated)
+		}
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = readFloat(rest[i*w:], enc)
+		}
+		return vals, rest[n*w:], nil
+	}
+	nnz64, rest, err := Uvarint(rest)
+	if err != nil {
+		return nil, nil, err
+	}
+	if nnz64 > uint64(n) {
+		return nil, nil, fmt.Errorf("%w: sparse nnz %d exceeds length %d", ErrCorrupt, nnz64, n)
+	}
+	nnz := int(nnz64)
+	idx := make([]int, nnz)
+	prev := 0
+	for k := 0; k < nnz; k++ {
+		d, r, err := Uvarint(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		rest = r
+		if k > 0 && d == 0 {
+			return nil, nil, fmt.Errorf("%w: duplicate sparse position", ErrCorrupt)
+		}
+		pos := uint64(prev) + d
+		if pos >= uint64(n) {
+			return nil, nil, fmt.Errorf("%w: sparse position %d out of range %d", ErrCorrupt, pos, n)
+		}
+		idx[k] = int(pos)
+		prev = int(pos)
+	}
+	if len(rest) < nnz*w {
+		return nil, nil, fmt.Errorf("%w: sparse vector values", ErrTruncated)
+	}
+	vals := make([]float64, n)
+	for k, i := range idx {
+		vals[i] = readFloat(rest[k*w:], enc)
+	}
+	return vals, rest[nnz*w:], nil
+}
+
+// Sparse pair layout, for (indices, values) pairs with global int32
+// indices (gradient blocks, parameter pulls):
+//
+//	[enc:1][idxmode:1][uvarint nnz][indices][nnz values]
+//
+// idxmode 0 stores strictly-ascending indices as deltas (first
+// absolute); idxmode 1 stores absolute uvarints for unsorted input.
+const (
+	idxDelta    = 0
+	idxAbsolute = 1
+)
+
+func ascending(idx []int32) bool {
+	for i := 1; i < len(idx); i++ {
+		if idx[i] <= idx[i-1] {
+			return false
+		}
+	}
+	return len(idx) == 0 || idx[0] >= 0
+}
+
+// AppendSparse appends an (indices, values) pair; the slices must be the
+// same length. Encoders trust in-memory state — validation is the
+// decoder's job.
+func AppendSparse(buf []byte, idx []int32, vals []float64, enc Encoding) []byte {
+	if len(idx) != len(vals) {
+		panic(fmt.Sprintf("wire: sparse pair length mismatch: %d indices, %d values", len(idx), len(vals)))
+	}
+	buf = append(buf, byte(enc))
+	if ascending(idx) {
+		buf = append(buf, idxDelta)
+		buf = AppendUvarint(buf, uint64(len(idx)))
+		prev := int32(0)
+		for _, i := range idx {
+			buf = AppendUvarint(buf, uint64(i-prev))
+			prev = i
+		}
+	} else {
+		buf = append(buf, idxAbsolute)
+		buf = AppendUvarint(buf, uint64(len(idx)))
+		for _, i := range idx {
+			buf = AppendUvarint(buf, uint64(uint32(i)))
+		}
+	}
+	for _, v := range vals {
+		buf = appendFloat(buf, v, enc)
+	}
+	return buf
+}
+
+// SparseSize returns exactly len(AppendSparse(nil, idx, vals, enc)).
+func SparseSize(idx []int32, enc Encoding) int {
+	n := 2 + UvarintSize(uint64(len(idx)))
+	if ascending(idx) {
+		prev := int32(0)
+		for _, i := range idx {
+			n += UvarintSize(uint64(i - prev))
+			prev = i
+		}
+	} else {
+		for _, i := range idx {
+			n += UvarintSize(uint64(uint32(i)))
+		}
+	}
+	return n + len(idx)*enc.Width()
+}
+
+// DecodeSparse decodes one (indices, values) pair.
+func DecodeSparse(data []byte) ([]int32, []float64, []byte, error) {
+	if len(data) < 2 {
+		return nil, nil, nil, fmt.Errorf("%w: sparse header", ErrTruncated)
+	}
+	enc, mode := Encoding(data[0]), data[1]
+	if !enc.Valid() {
+		return nil, nil, nil, fmt.Errorf("%w: unknown value encoding %d", ErrCorrupt, data[0])
+	}
+	if mode != idxDelta && mode != idxAbsolute {
+		return nil, nil, nil, fmt.Errorf("%w: unknown index mode %d", ErrCorrupt, mode)
+	}
+	nnz64, rest, err := Uvarint(data[2:])
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	// Each index costs at least one byte and each value enc.Width(), so
+	// the remaining bytes bound nnz before any allocation.
+	if nnz64 > uint64(len(rest)) {
+		return nil, nil, nil, fmt.Errorf("%w: sparse pair nnz %d exceeds payload", ErrTruncated, nnz64)
+	}
+	nnz := int(nnz64)
+	idx := make([]int32, nnz)
+	prev := uint64(0)
+	for k := 0; k < nnz; k++ {
+		v, r, err := Uvarint(rest)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		rest = r
+		if mode == idxDelta {
+			if k > 0 && v == 0 {
+				return nil, nil, nil, fmt.Errorf("%w: duplicate sparse index", ErrCorrupt)
+			}
+			v += prev
+			prev = v
+		}
+		if v >= 1<<31 {
+			return nil, nil, nil, fmt.Errorf("%w: sparse index %d overflows int32", ErrCorrupt, v)
+		}
+		idx[k] = int32(v)
+	}
+	w := enc.Width()
+	if len(rest) < nnz*w {
+		return nil, nil, nil, fmt.Errorf("%w: sparse pair values", ErrTruncated)
+	}
+	vals := make([]float64, nnz)
+	for k := range vals {
+		vals[k] = readFloat(rest[k*w:], enc)
+	}
+	return idx, vals, rest[nnz*w:], nil
+}
+
+// AppendDims appends an index-only list (the MXNet "needed dimensions"
+// request): [idxmode:1][uvarint n][indices].
+func AppendDims(buf []byte, idx []int32) []byte {
+	if ascending(idx) {
+		buf = append(buf, idxDelta)
+		buf = AppendUvarint(buf, uint64(len(idx)))
+		prev := int32(0)
+		for _, i := range idx {
+			buf = AppendUvarint(buf, uint64(i-prev))
+			prev = i
+		}
+		return buf
+	}
+	buf = append(buf, idxAbsolute)
+	buf = AppendUvarint(buf, uint64(len(idx)))
+	for _, i := range idx {
+		buf = AppendUvarint(buf, uint64(uint32(i)))
+	}
+	return buf
+}
+
+// DimsSize returns exactly len(AppendDims(nil, idx)).
+func DimsSize(idx []int32) int {
+	n := 1 + UvarintSize(uint64(len(idx)))
+	if ascending(idx) {
+		prev := int32(0)
+		for _, i := range idx {
+			n += UvarintSize(uint64(i - prev))
+			prev = i
+		}
+		return n
+	}
+	for _, i := range idx {
+		n += UvarintSize(uint64(uint32(i)))
+	}
+	return n
+}
+
+// DecodeDims decodes an index-only list.
+func DecodeDims(data []byte) ([]int32, []byte, error) {
+	if len(data) < 1 {
+		return nil, nil, fmt.Errorf("%w: dims header", ErrTruncated)
+	}
+	mode := data[0]
+	if mode != idxDelta && mode != idxAbsolute {
+		return nil, nil, fmt.Errorf("%w: unknown index mode %d", ErrCorrupt, mode)
+	}
+	n64, rest, err := Uvarint(data[1:])
+	if err != nil {
+		return nil, nil, err
+	}
+	if n64 > uint64(len(rest)) {
+		return nil, nil, fmt.Errorf("%w: dims count %d exceeds payload", ErrTruncated, n64)
+	}
+	idx := make([]int32, int(n64))
+	prev := uint64(0)
+	for k := range idx {
+		v, r, err := Uvarint(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		rest = r
+		if mode == idxDelta {
+			if k > 0 && v == 0 {
+				return nil, nil, fmt.Errorf("%w: duplicate dim", ErrCorrupt)
+			}
+			v += prev
+			prev = v
+		}
+		if v >= 1<<31 {
+			return nil, nil, fmt.Errorf("%w: dim %d overflows int32", ErrCorrupt, v)
+		}
+		idx[k] = int32(v)
+	}
+	return idx, rest, nil
+}

@@ -39,6 +39,10 @@ type ServeConfig struct {
 	// MaxConcurrent bounds micro-batches scored at once (default 16);
 	// beyond it the queue fills and admission rejects.
 	MaxConcurrent int
+	// Codec selects the statistics codec the fan-out byte accounting
+	// models ("gob", "wire", "wire-f32", "wire-f16"); empty means the
+	// default compact lossless codec.
+	Codec string
 }
 
 // Prediction is one served prediction.
@@ -85,6 +89,7 @@ func NewServer(cfg ServeConfig) (*Server, error) {
 		ShardTimeout:  cfg.ShardTimeout,
 		MaxConcurrent: cfg.MaxConcurrent,
 		Parallelism:   cfg.Parallelism,
+		Codec:         cfg.Codec,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("columnsgd: %w", err)
