@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race chaos fuzz bench benchdiff cover
+.PHONY: check build vet test race chaos fuzz bench benchdiff cover fmt
 
 # The full gate: what CI runs.
 check: vet build test race
@@ -8,15 +8,26 @@ check: vet build test race
 build:
 	$(GO) build ./...
 
-# test runs vet first and includes the race detector: the chaos harness
-# exercises concurrent fault paths that only -race can vouch for. The
-# cover gate rides along so a codec change cannot silently shed tests.
-test: vet cover
+# test runs vet and the formatting gate first and includes the race
+# detector: the chaos harness exercises concurrent fault paths that only
+# -race can vouch for. The cover gate rides along so a codec change
+# cannot silently shed tests.
+test: vet fmt cover
 	$(GO) test ./...
 	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
+
+# fmt fails when any file is not gofmt-clean (this includes unsorted
+# import blocks, which gofmt canonicalizes within each group).
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt: the following files need formatting:"; \
+		echo "$$out"; \
+		exit 1; \
+	fi
 
 race:
 	$(GO) test -race ./...

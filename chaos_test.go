@@ -120,6 +120,19 @@ func TestGoldenDeterminism(t *testing.T) {
 				t.Errorf("chaos-0 transport diverges from channel transport (max |Δ| = %g)",
 					diff.MaxAbsDiff(channel.Weights, chaos0.Weights))
 			}
+			// Pipelined fan-out is a pure wall-clock optimization: batch
+			// plans are model-independent, so prefetching iteration t+1's
+			// stats behind iteration t's update must not move a bit.
+			wp := w
+			wp.Pipeline = true
+			piped, err := diff.RunColumnSGD(wp, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !diff.BitIdentical(channel.Weights, piped.Weights) {
+				t.Errorf("pipelined driver diverges from unpipelined (max |Δ| = %g)",
+					diff.MaxAbsDiff(channel.Weights, piped.Weights))
+			}
 		})
 	}
 }
@@ -194,6 +207,53 @@ func TestChaosTransientFaultMatrix(t *testing.T) {
 			}
 		})
 	}
+
+	// Pipelined cells: the injector draws faults per link-local message
+	// index, and pipelining preserves per-link message order, so every
+	// chaotic pipelined run must be bit-identical to its unpipelined
+	// twin — same fault schedule, same counters, same model.
+	t.Run("columnsgd-pipelined", func(t *testing.T) {
+		w := diff.Workload{Seed: 51}
+		wp := w
+		wp.Pipeline = true
+		for _, f := range faults {
+			f := f
+			t.Run(f.name, func(t *testing.T) {
+				plain, err := runUnderWatchdog(t, f.spec, func() (*diff.Result, error) {
+					return diff.RunColumnSGD(w, &f.spec)
+				})
+				if err != nil {
+					t.Fatalf("unpipelined twin failed: %v\n%s", err, replayHint(f.spec))
+				}
+				res, err := runUnderWatchdog(t, f.spec, func() (*diff.Result, error) {
+					return diff.RunColumnSGD(wp, &f.spec)
+				})
+				if err != nil {
+					t.Fatalf("pipelined run did not absorb transient faults: %v\n%s", err, replayHint(f.spec))
+				}
+				if n := f.injected(res.Faults); n == 0 {
+					t.Fatalf("no %s faults fired under pipelining (%s); %s",
+						f.name, res.Faults, replayHint(f.spec))
+				}
+				if f.retried && res.Retries == 0 {
+					t.Errorf("faults fired (%s) but the pipelined driver never retried; %s",
+						res.Faults, replayHint(f.spec))
+				}
+				if res.Faults != plain.Faults {
+					t.Errorf("pipelining changed the fault schedule:\nplain %s\npiped %s\n%s",
+						plain.Faults, res.Faults, replayHint(f.spec))
+				}
+				if res.Retries != plain.Retries || res.Restarts != plain.Restarts {
+					t.Errorf("pipelining changed recovery counters: plain %d/%d, piped %d/%d; %s",
+						plain.Retries, plain.Restarts, res.Retries, res.Restarts, replayHint(f.spec))
+				}
+				if !diff.BitIdentical(plain.Weights, res.Weights) {
+					t.Errorf("pipelined chaos run diverges from unpipelined twin (max |Δ| = %g); %s",
+						diff.MaxAbsDiff(plain.Weights, res.Weights), replayHint(f.spec))
+				}
+			})
+		}
+	})
 }
 
 // TestChaosWorkerCrashRecovery is the §X machine-failure path end to

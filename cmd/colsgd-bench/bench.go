@@ -8,6 +8,7 @@ package main
 
 import (
 	"context"
+	"encoding/gob"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -20,6 +21,7 @@ import (
 	"columnsgd/internal/chaos/diff"
 	"columnsgd/internal/cluster"
 	"columnsgd/internal/core"
+	"columnsgd/internal/driver"
 	"columnsgd/internal/opt"
 	"columnsgd/internal/partition"
 	"columnsgd/internal/rowsgd"
@@ -184,8 +186,10 @@ func benchWorkload(p int) diff.Workload {
 }
 
 // benchEngineStep measures one full ColumnSGD iteration (sample, stats,
-// aggregate, update across a 4-worker in-process cluster).
-func benchEngineStep(p int) (testing.BenchmarkResult, error) {
+// aggregate, update across a 4-worker in-process cluster), optionally
+// with the driver's pipelined fan-out prefetching the next iteration's
+// statistics behind the update broadcast.
+func benchEngineStep(p int, pipeline bool) (testing.BenchmarkResult, error) {
 	w := benchWorkload(p)
 	prov, err := core.NewLocalProvider(w.Workers)
 	if err != nil {
@@ -199,6 +203,7 @@ func benchEngineStep(p int) (testing.BenchmarkResult, error) {
 		BlockSize:          64,
 		Seed:               w.Seed,
 		ComputeParallelism: p,
+		Pipeline:           pipeline,
 	}, prov)
 	if err != nil {
 		return testing.BenchmarkResult{}, err
@@ -215,6 +220,50 @@ func benchEngineStep(p int) (testing.BenchmarkResult, error) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := e.Step(); err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+		}
+	})
+	return res, benchErr
+}
+
+// fanoutEchoArgs is the trivial payload of the driver fan-out benchmark.
+type fanoutEchoArgs struct{ X int64 }
+
+func init() { gob.Register(&fanoutEchoArgs{}) }
+
+// benchDriverFanout measures the master-side round runtime in isolation:
+// one driver.Gather across a 4-worker in-process cluster whose handler
+// does no work, so the cost is pure fan-out machinery — goroutine
+// launch, per-worker locking, transport round trip, traffic accounting.
+func benchDriverFanout() (testing.BenchmarkResult, error) {
+	const k = 4
+	local, err := cluster.NewLocal(k, func(int) (*cluster.Service, error) {
+		svc := cluster.NewService()
+		svc.Register("echo", func(args interface{}) (interface{}, error) {
+			return args, nil
+		})
+		return svc, nil
+	})
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	d := driver.New(local.Clients(), driver.Options{})
+	workers := make([]int, k)
+	for i := range workers {
+		workers[i] = i
+	}
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		replies := make([]fanoutEchoArgs, k)
+		var tr driver.Traffic
+		for i := 0; i < b.N; i++ {
+			args := &fanoutEchoArgs{X: int64(i)}
+			if _, err := d.Gather(workers, &tr, func(slot, _ int) driver.Call {
+				return driver.Call{Method: "echo", Args: args, Reply: &replies[slot], Retry: true}
+			}); err != nil {
 				benchErr = err
 				b.FailNow()
 			}
@@ -406,8 +455,20 @@ func runBenchJSON(path, rev string, stdout io.Writer) error {
 		}
 	}
 	for _, p := range []int{1, 4} {
-		res, err := bestOf(func() (testing.BenchmarkResult, error) { return benchEngineStep(p) })
+		res, err := bestOf(func() (testing.BenchmarkResult, error) { return benchEngineStep(p, false) })
 		if err := add(fmt.Sprintf("engine-step/lr/P%d", p), "columnsgd", "lr", p, res, err); err != nil {
+			return err
+		}
+	}
+	for _, p := range []int{1, 4} {
+		res, err := bestOf(func() (testing.BenchmarkResult, error) { return benchEngineStep(p, true) })
+		if err := add(fmt.Sprintf("engine-step-pipelined/lr/P%d", p), "columnsgd", "lr", p, res, err); err != nil {
+			return err
+		}
+	}
+	{
+		res, err := bestOf(benchDriverFanout)
+		if err := add("driver/fanout/K4", "driver", "none", 1, res, err); err != nil {
 			return err
 		}
 	}

@@ -14,7 +14,7 @@ import (
 // on a clean transport. This is the command a failing chaos test's
 // replay hint points at: the spec string plus the seed reproduce the
 // exact per-link fault schedule the test saw.
-func runChaos(specStr string, seed int64, engines []string, w io.Writer) error {
+func runChaos(specStr string, seed int64, engines []string, pipeline bool, w io.Writer) error {
 	spec, err := chaos.ParseSpec(specStr)
 	if err != nil {
 		return err
@@ -24,7 +24,7 @@ func runChaos(specStr string, seed int64, engines []string, w io.Writer) error {
 	fmt.Fprintf(w, "replay: go run ./cmd/colsgd-bench -chaos %q -seed %d\n\n", spec.String(), spec.Seed)
 
 	for _, engine := range engines {
-		wl := diff.Workload{Model: "lr", Seed: spec.Seed}.Defaults()
+		wl := diff.Workload{Model: "lr", Seed: spec.Seed, Pipeline: pipeline}.Defaults()
 		ref, err := diff.Run(engine, wl, nil)
 		if err != nil {
 			return fmt.Errorf("%s reference run: %w", engine, err)

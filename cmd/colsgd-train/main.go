@@ -46,6 +46,7 @@ func run(args []string, stdout io.Writer) error {
 		epoch     = fs.Bool("epoch", false, "sequential epoch access instead of mini-batch sampling")
 		seed      = fs.Int64("seed", 1, "random seed")
 		par       = fs.Int("parallelism", 0, "per-worker compute goroutines (0 = GOMAXPROCS; any value is bit-identical)")
+		pipeline  = fs.Bool("pipeline", true, "overlap next iteration's batch-plan broadcast with the current update (bit-identical)")
 		evalEvery = fs.Int("eval-every", 10, "full-loss evaluation interval (0 = batch loss)")
 		addrs     = fs.String("addrs", "", "comma-separated TCP worker addresses (empty = in-process)")
 		codec     = fs.String("codec", "", "statistics codec: gob, wire, wire-f32, wire-f16 (default: compact lossless)")
@@ -83,6 +84,7 @@ func run(args []string, stdout io.Writer) error {
 		Seed:         *seed,
 		EvalEvery:    *evalEvery,
 		Parallelism:  *par,
+		Pipeline:     *pipeline,
 		Codec:        *codec,
 	}
 	if *addrs != "" {

@@ -126,6 +126,13 @@ type Config struct {
 	// reduction make it purely a throughput knob.
 	Parallelism int
 
+	// Pipeline overlaps iteration t+1's batch-plan broadcast and
+	// statistics computation with iteration t's update broadcast. Batch
+	// plans are model-independent, so the trained model is bit-identical
+	// with or without pipelining — it is purely a wall-clock
+	// optimization (cmd/colsgd-train enables it by default).
+	Pipeline bool
+
 	// Codec selects the statistics wire codec: "wire" (compact lossless,
 	// the default), "gob" (legacy encoding/gob), or the lossy "wire-f32" /
 	// "wire-f16" variants that quantize statistics values to trade
@@ -224,6 +231,7 @@ func (c Config) coreConfig() core.Config {
 		Net:                simnet.Cluster1().WithWorkers(c.Workers),
 		EvalEvery:          c.EvalEvery,
 		ComputeParallelism: c.Parallelism,
+		Pipeline:           c.Pipeline,
 	}
 }
 

@@ -291,11 +291,11 @@ type Snapshot struct {
 	// Calls counts messages that passed through the injector.
 	Calls int64
 	// Per-fault counts.
-	Dropped, DroppedReplies       int64
+	Dropped, DroppedReplies        int64
 	Duplicated, Delayed, Reordered int64
-	Corrupted, Truncated          int64
-	SeveredCalls, CrashedCalls    int64
-	Crashes, Severed, Restarts    int64
+	Corrupted, Truncated           int64
+	SeveredCalls, CrashedCalls     int64
+	Crashes, Severed, Restarts     int64
 }
 
 // Injected totals the fault events (not the per-call consequences of a

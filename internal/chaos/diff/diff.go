@@ -63,6 +63,11 @@ type Workload struct {
 	// codec. Lossless codecs are bit-identical to gob; lossy ones trade
 	// bytes for quantization error (asserted by the accuracy suite).
 	Codec string
+	// Pipeline enables the ColumnSGD driver's pipelined fan-out
+	// (prefetching iteration t+1's stats behind iteration t's update).
+	// Bit-identical to the unpipelined schedule — the golden and chaos
+	// matrices assert exactly that. Ignored by the RowSGD baselines.
+	Pipeline bool
 }
 
 // codec parses the workload's codec selection.
@@ -253,6 +258,7 @@ func runColumnSGD(w Workload, prov core.Provider, spec *chaos.Spec) (*Result, er
 		BlockSize:          16,
 		Seed:               w.Seed,
 		ComputeParallelism: w.Parallelism,
+		Pipeline:           w.Pipeline,
 	}
 	e, err := core.NewEngine(cfg, prov)
 	if err != nil {
@@ -341,7 +347,7 @@ func RunRowSGD(w Workload, sys rowsgd.System, spec *chaos.Spec) (*Result, error)
 		res.Faults = inj.Counters()
 		res.Schedule = inj.Schedule()
 	}
-	res.Retries = e.Retries()
+	res.Retries, res.Restarts = e.Retries(), e.Restarts()
 	if runErr != nil {
 		return res, runErr
 	}

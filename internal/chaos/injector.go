@@ -42,7 +42,6 @@ type Injector struct {
 	crashes        atomic.Int64
 	severed        atomic.Int64
 	restarts       atomic.Int64
-
 }
 
 // NewInjector builds an enabled injector for spec.
@@ -210,12 +209,12 @@ func (l *link) recordLocked(msg int64, what string) {
 // with a fixed number of rng consumptions so the stream stays aligned
 // whatever subset of faults the spec enables.
 type draws struct {
-	drop, dropReq              bool
-	dup                        bool
-	delay                      time.Duration
-	reorder                    bool
-	corrupt, truncate          bool
-	mangle                     float64
+	drop, dropReq     bool
+	dup               bool
+	delay             time.Duration
+	reorder           bool
+	corrupt, truncate bool
+	mangle            float64
 }
 
 func (l *link) draw(spec Spec, msg int64) draws {

@@ -17,8 +17,9 @@ import (
 //	response: [0xC2][uvarint len(err)][err][payload]
 //
 // payload:  [wireID][compact body]   for registered wire.Message types
-//	         [0x00][gob bytes]        fallback: any gob-registered type
-//	         [0xFF]                   nil value (or error responses)
+//
+//	[0x00][gob bytes]        fallback: any gob-registered type
+//	[0xFF]                   nil value (or error responses)
 //
 // The fallback keeps the control plane (init, load, params, ping) on
 // gob — those messages are rare and structural — while the per-iteration

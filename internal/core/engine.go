@@ -1,15 +1,14 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"math/rand"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"columnsgd/internal/cluster"
+	"columnsgd/internal/costmodel"
 	"columnsgd/internal/dataset"
+	"columnsgd/internal/driver"
 	"columnsgd/internal/metrics"
 	"columnsgd/internal/model"
 	"columnsgd/internal/opt"
@@ -18,17 +17,10 @@ import (
 )
 
 // StragglerSpec injects stragglers into the modeled execution (§IV-B).
-type StragglerSpec struct {
-	// Level is the paper's StragglerLevel: the ratio between a
-	// straggler's extra time and a normal worker's time (SL1 ⇒ 2×
-	// total, SL5 ⇒ 6×).
-	Level float64
-	// Mode selects injection: "none", "random" (a random live worker
-	// each iteration), or "fixed" (always Worker).
-	Mode string
-	// Worker is the fixed straggler for Mode == "fixed".
-	Worker int
-}
+// Straggler injection lives in the shared round runtime; this alias
+// keeps the engine's config surface unchanged. Level is the paper's
+// StragglerLevel (SL1 ⇒ 2× total time, SL5 ⇒ 6×).
+type StragglerSpec = driver.StragglerSpec
 
 // Config configures a ColumnSGD training run.
 type Config struct {
@@ -72,6 +64,14 @@ type Config struct {
 	// EvalEvery computes the full training loss every n iterations
 	// (0 ⇒ record the mini-batch loss each iteration instead).
 	EvalEvery int
+	// Pipeline overlaps iteration t+1's statistics fan-out with
+	// iteration t's update application: each worker's next-round
+	// ComputeStats call is chained immediately behind its update, with
+	// no cross-worker barrier in between. Batch indices derive from the
+	// iteration seed, not the model, and per-worker call order is
+	// unchanged, so results are bit-identical to the unpipelined
+	// schedule (enforced by the golden-determinism and chaos suites).
+	Pipeline bool
 }
 
 func (c *Config) normalize() error {
@@ -148,20 +148,28 @@ type Engine struct {
 	iter  int64
 	trace *metrics.Trace
 
-	// Fault-tolerance counters (§X), exposed so harnesses can assert
-	// that injected faults were actually absorbed, not silently skipped.
-	retries  atomic.Int64
-	restarts atomic.Int64
+	// drv executes the round plan: fan-out, retry-with-recovery,
+	// traffic accounting, and the unified fault-tolerance counters.
+	drv *driver.Driver
+	// pending is the in-flight pipelined prefetch of the next
+	// iteration's statistics (nil when Pipeline is off or nothing is in
+	// flight).
+	pending *pendingStats
+	// lastStep suppresses the prefetch when Run knows no further
+	// iteration follows: a trailing prefetch would put extra messages on
+	// every link and shift the deterministic per-link fault/traffic
+	// schedule relative to an unpipelined run.
+	lastStep bool
 }
 
 // Retries returns how many task-level retries (transient call failures
 // relaunched on the same worker) the master has performed.
-func (e *Engine) Retries() int64 { return e.retries.Load() }
+func (e *Engine) Retries() int64 { return e.drv.Retries() }
 
 // Restarts returns how many worker restarts (ErrWorkerDown recoveries
 // with data reload and model-partition reinitialization) the master has
 // performed.
-func (e *Engine) Restarts() int64 { return e.restarts.Load() }
+func (e *Engine) Restarts() int64 { return e.drv.Restarts() }
 
 // NewEngine validates the config and prepares the master.
 func NewEngine(cfg Config, prov Provider) (*Engine, error) {
@@ -187,6 +195,15 @@ func NewEngine(cfg Config, prov Provider) (*Engine, error) {
 		rng:     rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
 		live:    make([]bool, cfg.Workers),
 	}
+	// The driver holds the provider's clients slice: a restart swaps
+	// the failed worker's client in place and the driver re-resolves it
+	// per attempt. Recovery follows the paper's §X path (restart,
+	// reload, reinitialize the partition), and each transient retry is
+	// charged one scheduling overhead, as before.
+	e.drv = driver.New(clients, driver.Options{
+		RetryExtra: cfg.Net.SchedulingOverhead,
+		Recover:    e.recoverWorker,
+	})
 	for i := range e.live {
 		e.live[i] = true
 	}
@@ -299,7 +316,8 @@ func (e *Engine) loadFrom(next func() (*dataset.Block, error), features int) err
 	// partition.
 	_, stats, err := partition.DispatchStream(next, scheme, func(part int, ws *partition.Workset) error {
 		for _, w := range e.partOwners[part] {
-			if err := e.clients[w].Call(MethodLoad, &LoadArgs{Partition: part, Workset: ws}, nil); err != nil {
+			// Loads are not idempotent, so they never retry (Retry false).
+			if err := e.drv.Call(w, driver.Call{Method: MethodLoad, Args: &LoadArgs{Partition: part, Workset: ws}}, nil, nil); err != nil {
 				return err
 			}
 		}
@@ -321,8 +339,10 @@ func (e *Engine) loadFrom(next func() (*dataset.Block, error), features int) err
 		ModelID: e.mdl.Name(),
 	}
 
-	if errs := cluster.Broadcast(e.clients, MethodLoadDone, &LoadDoneArgs{}, nil); anyErr(errs) != nil {
-		return anyErr(errs)
+	if _, err := e.drv.Gather(e.allWorkers(), nil, func(int, int) driver.Call {
+		return driver.Call{Method: MethodLoadDone, Args: &LoadDoneArgs{}}
+	}); err != nil {
+		return err
 	}
 
 	// Modeled load time: the row-to-column shuffle moves stats.Bytes
@@ -353,62 +373,37 @@ func (e *Engine) allWorkers() []int {
 	return out
 }
 
+// initArgs builds worker w's model-partition initialization request.
+func (e *Engine) initArgs(w int) *InitArgs {
+	widths := make([]int, len(e.workerParts[w]))
+	for i, p := range e.workerParts[w] {
+		widths[i] = e.scheme.PartSize(p)
+	}
+	return &InitArgs{
+		Worker:      w,
+		Partitions:  e.workerParts[w],
+		Widths:      widths,
+		ModelName:   e.cfg.ModelName,
+		ModelArg:    e.cfg.ModelArg,
+		Opt:         e.cfg.Opt,
+		Seed:        e.cfg.Seed,
+		Parallelism: e.cfg.ComputeParallelism,
+	}
+}
+
 // initWorkers initializes the listed workers' model partitions.
 func (e *Engine) initWorkers(workers []int) error {
 	for _, w := range workers {
-		widths := make([]int, len(e.workerParts[w]))
-		for i, p := range e.workerParts[w] {
-			widths[i] = e.scheme.PartSize(p)
-		}
-		args := &InitArgs{
-			Worker:      w,
-			Partitions:  e.workerParts[w],
-			Widths:      widths,
-			ModelName:   e.cfg.ModelName,
-			ModelArg:    e.cfg.ModelArg,
-			Opt:         e.cfg.Opt,
-			Seed:        e.cfg.Seed,
-			Parallelism: e.cfg.ComputeParallelism,
-		}
-		if err := e.clients[w].Call(MethodInit, args, nil); err != nil {
+		if err := e.drv.Call(w, driver.Call{Method: MethodInit, Args: e.initArgs(w)}, nil, nil); err != nil {
 			return fmt.Errorf("core: init worker %d: %w", w, err)
 		}
 	}
 	return nil
 }
 
-func anyErr(errs []error) error {
-	_, err := cluster.FirstError(errs)
-	return err
-}
-
-// trafficDelta measures request+response bytes and messages across all
-// clients between two points.
-func (e *Engine) traffic() (msgs, bytes int64) {
-	for _, c := range e.clients {
-		msgs += c.Messages()
-		bytes += c.Bytes()
-	}
-	return
-}
-
 // stragglerFor picks this iteration's injected straggler (-1 for none).
 func (e *Engine) stragglerFor() int {
-	s := e.cfg.Stragglers
-	if s.Mode == "" || s.Mode == "none" || s.Level <= 0 {
-		return -1
-	}
-	if s.Mode == "fixed" {
-		if e.live[s.Worker] {
-			return s.Worker
-		}
-		return -1
-	}
-	lives := e.LiveWorkers()
-	if len(lives) == 0 {
-		return -1
-	}
-	return lives[e.rng.Intn(len(lives))]
+	return e.cfg.Stragglers.Pick(e.LiveWorkers(), e.rng)
 }
 
 // workerReply pairs a worker with its stats reply and modeled time.
@@ -424,55 +419,111 @@ type IterStats struct {
 	Cost simnet.IterationCost
 }
 
+// statsArgs builds the iteration's batch plan broadcast (Algorithm 3
+// line 5). The plan depends only on the seed and iteration number —
+// never on model state — which is what makes the pipelined prefetch
+// bit-identical.
+func (e *Engine) statsArgs(iter int64) *StatsArgs {
+	epoch := e.cfg.Access == "epoch"
+	var epochSeed int64
+	if epoch {
+		// Reshuffle the block order once per pass over the data.
+		epochSeed = e.cfg.Seed + iter/int64(e.numBlocks)
+	}
+	return &StatsArgs{Iter: e.cfg.Seed + iter, BatchSize: e.cfg.BatchSize, Epoch: epoch, EpochSeed: epochSeed}
+}
+
+// pendingStats is an in-flight pipelined prefetch: iteration iter's
+// ComputeStats fan-out, launched chained behind iteration iter-1's
+// per-worker update calls. Each worker observes exactly the message
+// order a sequential schedule would produce.
+type pendingStats struct {
+	iter    int64
+	lives   []int
+	replies []StatsReply
+	traffic driver.Traffic
+	p       *driver.Pending
+}
+
+// takePending claims a prefetch matching the current iteration. A stale
+// prefetch (a failed Step being retried, or state imported since it was
+// launched) is drained and discarded so its calls cannot interleave
+// with the fresh fan-out.
+func (e *Engine) takePending() *pendingStats {
+	pend := e.pending
+	if pend == nil {
+		return nil
+	}
+	e.pending = nil
+	if pend.iter != e.iter {
+		_, _ = pend.p.Await()
+		return nil
+	}
+	return pend
+}
+
+// quiesce drains an in-flight prefetch without discarding it, so
+// read-side traffic (evaluation, export) never interleaves with
+// prefetch calls and fault counters stay replay-deterministic.
+func (e *Engine) quiesce() {
+	if e.pending != nil {
+		_, _ = e.pending.p.Await()
+	}
+}
+
 // Step runs one SGD iteration (Algorithm 3 lines 5–8) and records it in
-// the trace.
+// the trace. The driver executes the round plan; Step owns only the
+// plan itself and the modeled-time bookkeeping.
 func (e *Engine) Step() (IterStats, error) {
 	if e.trace == nil {
 		return IterStats{}, fmt.Errorf("core: Load must run before Step")
 	}
 	wallStart := time.Now()
 	straggler := e.stragglerFor()
-	iterSeed := e.cfg.Seed + e.iter
-	epoch := e.cfg.Access == "epoch"
-	var epochSeed int64
-	if epoch {
-		// Reshuffle the block order once per pass over the data.
-		epochSeed = e.cfg.Seed + e.iter/int64(e.numBlocks)
-	}
 
+	// Phase 1: computeStatistics, fanned out to all live workers
+	// (Algorithm 3 line 5) — or already in flight from the pipelined
+	// prefetch. Aggregation order stays deterministic: replies are kept
+	// in worker order either way.
+	var (
+		lives        []int
+		statsReplies []StatsReply
+		statsTraffic *driver.Traffic
+	)
 	var extraRecovery time.Duration
-
-	// Phase 1: computeStatistics, issued to all live workers in parallel
-	// (Algorithm 3 line 5). Aggregation order stays deterministic: the
-	// replies are kept in worker order.
-	m0, b0 := e.traffic()
-	lives := e.LiveWorkers()
-	replies := make([]workerReply, len(lives))
-	errs := make([]error, len(lives))
-	extras := make([]time.Duration, len(lives))
-	var wg sync.WaitGroup
-	for i, w := range lives {
-		wg.Add(1)
-		go func(i, w int) {
-			defer wg.Done()
-			var r StatsReply
-			errs[i] = e.callWithRecovery(w, MethodComputeStats,
-				&StatsArgs{Iter: iterSeed, BatchSize: e.cfg.BatchSize, Epoch: epoch, EpochSeed: epochSeed}, &r, &extras[i])
-			t := time.Duration(float64(r.NNZ) / e.cfg.Net.ComputeNNZPerSec * float64(time.Second))
-			if w == straggler {
-				t = time.Duration(float64(t) * (1 + e.cfg.Stragglers.Level))
-			}
-			replies[i] = workerReply{worker: w, reply: r, t: t}
-		}(i, w)
-	}
-	wg.Wait()
-	for i := range errs {
-		if errs[i] != nil {
-			return IterStats{}, errs[i]
+	if pend := e.takePending(); pend != nil {
+		extra, err := pend.p.Await()
+		if err != nil {
+			e.drv.Publish(e.trace)
+			return IterStats{}, err
 		}
-		extraRecovery += extras[i]
+		lives, statsReplies, statsTraffic = pend.lives, pend.replies, &pend.traffic
+		extraRecovery += extra
+	} else {
+		lives = e.LiveWorkers()
+		statsReplies = make([]StatsReply, len(lives))
+		statsTraffic = &driver.Traffic{}
+		args := e.statsArgs(e.iter)
+		extra, err := e.drv.Gather(lives, statsTraffic, func(slot, _ int) driver.Call {
+			return driver.Call{Method: MethodComputeStats, Args: args, Reply: &statsReplies[slot], Retry: true}
+		})
+		if err != nil {
+			e.drv.Publish(e.trace)
+			return IterStats{}, err
+		}
+		extraRecovery += extra
 	}
-	m1, b1 := e.traffic()
+
+	// Model each worker's statistics compute time, stretching the
+	// injected straggler's.
+	replies := make([]workerReply, len(lives))
+	for i, w := range lives {
+		t := time.Duration(float64(statsReplies[i].NNZ) / e.cfg.Net.ComputeNNZPerSec * float64(time.Second))
+		if w == straggler {
+			t = e.cfg.Stragglers.Stretch(t)
+		}
+		replies[i] = workerReply{worker: w, reply: statsReplies[i], t: t}
+	}
 
 	// Aggregate (reduceStatistics): under backup, use the fastest replica
 	// of each group; without backup, every live worker contributes.
@@ -481,33 +532,47 @@ func (e *Engine) Step() (IterStats, error) {
 		return IterStats{}, err
 	}
 
-	// Phase 2: broadcast aggregated statistics in parallel; workers
-	// compute gradients and update their model partitions (lines 7–8).
+	// Phase 2: broadcast aggregated statistics; workers compute
+	// gradients and update their model partitions (lines 7–8).
 	lives = e.LiveWorkers() // backup may have killed the straggler
 	updReplies := make([]UpdateReply, len(lives))
-	updErrs := make([]error, len(lives))
-	updExtras := make([]time.Duration, len(lives))
-	var wg2 sync.WaitGroup
-	for i, w := range lives {
-		wg2.Add(1)
-		go func(i, w int) {
-			defer wg2.Done()
-			updErrs[i] = e.callWithRecovery(w, MethodUpdate,
-				&UpdateArgs{Iter: iterSeed, BatchSize: e.cfg.BatchSize, Epoch: epoch, EpochSeed: epochSeed, Stats: agg}, &updReplies[i], &updExtras[i])
-		}(i, w)
+	updTraffic := &driver.Traffic{}
+	updArgs := e.statsArgs(e.iter)
+	upd := e.drv.Start(lives, updTraffic, func(slot, _ int) driver.Call {
+		return driver.Call{
+			Method: MethodUpdate,
+			Args: &UpdateArgs{Iter: updArgs.Iter, BatchSize: updArgs.BatchSize,
+				Epoch: updArgs.Epoch, EpochSeed: updArgs.EpochSeed, Stats: agg},
+			Reply: &updReplies[slot],
+			Retry: true,
+		}
+	}, nil)
+	// Pipelined fan-out: launch the next iteration's statistics calls
+	// chained per worker behind this update broadcast. The batch plan
+	// is model-independent, so computing it (and transmitting it) early
+	// changes nothing about the result — only the wall-clock barrier.
+	if e.cfg.Pipeline && !e.lastStep {
+		np := &pendingStats{iter: e.iter + 1, lives: lives, replies: make([]StatsReply, len(lives))}
+		nextArgs := e.statsArgs(e.iter + 1)
+		np.p = e.drv.Start(lives, &np.traffic, func(slot, _ int) driver.Call {
+			return driver.Call{Method: MethodComputeStats, Args: nextArgs, Reply: &np.replies[slot], Retry: true}
+		}, upd)
+		e.pending = np
 	}
-	wg2.Wait()
+	updExtra, err := upd.Await()
+	if err != nil {
+		e.drv.Publish(e.trace)
+		return IterStats{}, err
+	}
+	extraRecovery += updExtra
+
 	var loss float64
 	gotLoss := false
 	var updCompute time.Duration
 	for i, w := range lives {
-		if updErrs[i] != nil {
-			return IterStats{}, updErrs[i]
-		}
-		extraRecovery += updExtras[i]
 		t := time.Duration(float64(updReplies[i].NNZ) / e.cfg.Net.ComputeNNZPerSec * float64(time.Second))
 		if w == straggler {
-			t = time.Duration(float64(t) * (1 + e.cfg.Stragglers.Level))
+			t = e.cfg.Stragglers.Stretch(t)
 		}
 		if t > updCompute {
 			updCompute = t
@@ -516,7 +581,6 @@ func (e *Engine) Step() (IterStats, error) {
 			loss, gotLoss = updReplies[i].Loss, true
 		}
 	}
-	m2, b2 := e.traffic()
 
 	cost := simnet.IterationCost{
 		Sched: e.cfg.Net.SchedulingOverhead,
@@ -525,12 +589,14 @@ func (e *Engine) Step() (IterStats, error) {
 		Compute: statsCompute + updCompute + extraRecovery,
 	}
 	phases := []simnet.Phase{
-		{Label: "gather-stats", Messages: m1 - m0, Bytes: b1 - b0, Links: 1},
-		{Label: "bcast-stats", Messages: m2 - m1, Bytes: b2 - b1, Links: 1},
+		statsTraffic.Phase("gather-stats", 1),
+		updTraffic.Phase("bcast-stats", 1),
 	}
-	for _, p := range phases {
-		cost.Network += e.cfg.Net.Time(p)
+	net, err := costmodel.NetworkTime(costmodel.Measured(phases), e.cfg.Net)
+	if err != nil {
+		return IterStats{}, err
 	}
+	cost.Network = net
 
 	recLoss := loss
 	if e.cfg.EvalEvery > 0 {
@@ -553,6 +619,7 @@ func (e *Engine) Step() (IterStats, error) {
 		MaxWorkerNNZ: maxNNZ(replies),
 		Wall:         time.Since(wallStart),
 	})
+	e.drv.Publish(e.trace)
 	e.iter++
 	return IterStats{Loss: loss, Cost: cost}, nil
 }
@@ -637,44 +704,17 @@ func (e *Engine) aggregate(replies []workerReply, straggler int) ([]float64, tim
 	return agg, critical, nil
 }
 
-// callWithRecovery performs a worker call with the paper's §X recovery
-// semantics: a transient (task) failure is retried on the same worker; a
-// down worker is restarted, re-initialized, re-loaded, its model partition
-// freshly initialized, and the call retried. The modeled recovery time is
-// accumulated into extra.
-func (e *Engine) callWithRecovery(w int, method string, args, reply interface{}, extra *time.Duration) error {
-	const maxAttempts = 3
-	var lastErr error
-	for attempt := 0; attempt < maxAttempts; attempt++ {
-		err := e.clients[w].Call(method, args, reply)
-		if err == nil {
-			return nil
-		}
-		lastErr = err
-		if errors.Is(err, cluster.ErrWorkerDown) {
-			if rerr := e.recoverWorker(w, extra); rerr != nil {
-				return fmt.Errorf("core: worker %d unrecoverable: %w", w, rerr)
-			}
-			e.restarts.Add(1)
-			continue
-		}
-		// Task failure: relaunch the task (retry) on the same worker.
-		// Cost: one scheduling overhead per retry.
-		e.retries.Add(1)
-		*extra += e.cfg.Net.SchedulingOverhead
-	}
-	return fmt.Errorf("core: worker %d failed after %d attempts: %w", w, maxAttempts, lastErr)
-}
-
-// recoverWorker restarts a crashed worker and rebuilds its state from the
-// retained training data (paper §X: reload data, reinitialize the model
-// partition, rely on SGD's robustness).
-func (e *Engine) recoverWorker(w int, extra *time.Duration) error {
+// recoverWorker is the driver's Recover hook: restart a crashed worker
+// and rebuild its state from the retained training data (paper §X:
+// reload data, reinitialize the model partition, rely on SGD's
+// robustness). It runs with the worker's call slot held, so every
+// worker interaction goes through the Conn.
+func (e *Engine) recoverWorker(w int, c driver.Conn) error {
 	if err := e.prov.Restart(w); err != nil {
 		return err
 	}
-	if err := e.initWorkers([]int{w}); err != nil {
-		return err
+	if err := c.Call(MethodInit, e.initArgs(w), nil); err != nil {
+		return fmt.Errorf("core: init worker %d: %w", w, err)
 	}
 	// Re-dispatch only this worker's partitions, from whichever source
 	// the job loaded.
@@ -686,7 +726,7 @@ func (e *Engine) recoverWorker(w int, extra *time.Duration) error {
 		if !parts[part] {
 			return nil
 		}
-		return e.clients[w].Call(MethodLoad, &LoadArgs{Partition: part, Workset: ws}, nil)
+		return c.Call(MethodLoad, &LoadArgs{Partition: part, Workset: ws}, nil)
 	}
 	m0, b0 := e.clients[w].Messages(), e.clients[w].Bytes()
 	if e.ds != nil {
@@ -704,24 +744,32 @@ func (e *Engine) recoverWorker(w int, extra *time.Duration) error {
 			return derr
 		}
 	}
-	if err := e.clients[w].Call(MethodLoadDone, &LoadDoneArgs{}, nil); err != nil {
+	if err := c.Call(MethodLoadDone, &LoadDoneArgs{}, nil); err != nil {
 		return err
 	}
 	m1, b1 := e.clients[w].Messages(), e.clients[w].Bytes()
 	// Modeled reload time: this worker re-reads and re-receives its
 	// shard over a single link (the ≈23 s reload the paper measures in
-	// Fig. 13(b), at their scale).
-	*extra += e.cfg.Net.LoadTime(m1-m0, b1-b0, 1, e.totalNNZ/int64(e.cfg.Workers))
+	// Fig. 13(b), at their scale), charged to the call that found the
+	// worker down.
+	c.AddExtra(e.cfg.Net.LoadTime(m1-m0, b1-b0, 1, e.totalNNZ/int64(e.cfg.Workers)))
 	return nil
 }
 
-// Run executes iters iterations and returns the trace.
+// Run executes iters iterations and returns the trace. Any dangling
+// pipelined prefetch is drained before returning, so counters and fault
+// schedules observed after Run are deterministic.
 func (e *Engine) Run(iters int) (*metrics.Trace, error) {
 	for i := 0; i < iters; i++ {
-		if _, err := e.Step(); err != nil {
+		e.lastStep = i == iters-1
+		_, err := e.Step()
+		e.lastStep = false
+		if err != nil {
+			e.quiesce()
 			return e.trace, err
 		}
 	}
+	e.quiesce()
 	return e.trace, nil
 }
 
@@ -738,7 +786,8 @@ func (e *Engine) FullLoss() (float64, error) {
 		return 0, fmt.Errorf("core: no live workers")
 	}
 	var r EvalLossReply
-	if err := e.clients[lives[0]].Call(MethodEvalLoss, &EvalLossArgs{FromBlock: 0, ToBlock: e.numBlocks, Stats: agg}, &r); err != nil {
+	if err := e.drv.Call(lives[0], driver.Call{Method: MethodEvalLoss,
+		Args: &EvalLossArgs{FromBlock: 0, ToBlock: e.numBlocks, Stats: agg}, Reply: &r}, nil, nil); err != nil {
 		return 0, err
 	}
 	if r.Count == 0 {
@@ -759,8 +808,8 @@ func (e *Engine) FullAccuracy() (float64, error) {
 		return 0, fmt.Errorf("core: no live workers")
 	}
 	var r EvalAccuracyReply
-	if err := e.clients[lives[0]].Call(MethodEvalAccuracy,
-		&EvalAccuracyArgs{FromBlock: 0, ToBlock: e.numBlocks, Stats: agg}, &r); err != nil {
+	if err := e.drv.Call(lives[0], driver.Call{Method: MethodEvalAccuracy,
+		Args: &EvalAccuracyArgs{FromBlock: 0, ToBlock: e.numBlocks, Stats: agg}, Reply: &r}, nil, nil); err != nil {
 		return 0, err
 	}
 	if r.Count == 0 {
@@ -775,6 +824,12 @@ func (e *Engine) FullAccuracy() (float64, error) {
 func (e *Engine) ImportModel(full *model.Params) error {
 	if e.scheme == nil {
 		return fmt.Errorf("core: Load must run before ImportModel")
+	}
+	// A prefetch in flight computed statistics against the pre-import
+	// model; drain and discard it so the next Step issues fresh calls.
+	if pend := e.pending; pend != nil {
+		e.pending = nil
+		_, _ = pend.p.Await()
 	}
 	m := e.numFeatures()
 	if full.Rows() != e.mdl.ParamRows() || full.Width() != m {
@@ -794,7 +849,8 @@ func (e *Engine) ImportModel(full *model.Params) error {
 			if !e.live[owner] {
 				continue
 			}
-			if err := e.clients[owner].Call(MethodSetParams, &SetParamsArgs{Partition: p, W: w}, nil); err != nil {
+			if err := e.drv.Call(owner, driver.Call{Method: MethodSetParams,
+				Args: &SetParamsArgs{Partition: p, W: w}}, nil, nil); err != nil {
 				return fmt.Errorf("core: import partition %d to worker %d: %w", p, owner, err)
 			}
 		}
@@ -805,6 +861,7 @@ func (e *Engine) ImportModel(full *model.Params) error {
 // fullStats aggregates complete statistics for every training point, one
 // live replica per partition.
 func (e *Engine) fullStats() ([]float64, error) {
+	e.quiesce()
 	var agg []float64
 	for p := 0; p < e.cfg.Workers; p++ {
 		owner := -1
@@ -818,7 +875,8 @@ func (e *Engine) fullStats() ([]float64, error) {
 			return nil, fmt.Errorf("core: partition %d has no live owner", p)
 		}
 		var r EvalReply
-		if err := e.clients[owner].Call(MethodEvalStats, &EvalArgs{Partition: p, FromBlock: 0, ToBlock: e.numBlocks}, &r); err != nil {
+		if err := e.drv.Call(owner, driver.Call{Method: MethodEvalStats,
+			Args: &EvalArgs{Partition: p, FromBlock: 0, ToBlock: e.numBlocks}, Reply: &r}, nil, nil); err != nil {
 			return nil, err
 		}
 		if agg == nil {
@@ -840,6 +898,7 @@ func (e *Engine) ExportModel() (*model.Params, error) {
 	if e.scheme == nil {
 		return nil, fmt.Errorf("core: Load must run before ExportModel")
 	}
+	e.quiesce()
 	m := e.numFeatures()
 	full := model.NewParams(e.mdl.ParamRows(), m)
 	for p := 0; p < e.cfg.Workers; p++ {
@@ -854,7 +913,8 @@ func (e *Engine) ExportModel() (*model.Params, error) {
 			return nil, fmt.Errorf("core: partition %d has no live owner", p)
 		}
 		var r ParamsReply
-		if err := e.clients[owner].Call(MethodGetParams, &ParamsArgs{Partition: p}, &r); err != nil {
+		if err := e.drv.Call(owner, driver.Call{Method: MethodGetParams,
+			Args: &ParamsArgs{Partition: p}, Reply: &r}, nil, nil); err != nil {
 			return nil, err
 		}
 		for row := range r.W {
@@ -876,7 +936,8 @@ func (e *Engine) Model() model.Model { return e.mdl }
 
 // InjectTaskFailure arms n transient task failures on a worker.
 func (e *Engine) InjectTaskFailure(worker, n int) error {
-	return e.clients[worker].Call(MethodFailNext, &FailNextArgs{Calls: n}, nil)
+	e.quiesce()
+	return e.drv.Call(worker, driver.Call{Method: MethodFailNext, Args: &FailNextArgs{Calls: n}}, nil, nil)
 }
 
 // InjectWorkerFailure crashes a worker if the provider supports it.
@@ -885,6 +946,7 @@ func (e *Engine) InjectWorkerFailure(worker int) error {
 	if !ok {
 		return fmt.Errorf("core: provider cannot inject failures")
 	}
+	e.quiesce()
 	fi.Fail(worker)
 	return nil
 }

@@ -162,3 +162,40 @@ type plainProvider struct{ p *LocalProvider }
 
 func (p plainProvider) Clients() []cluster.Client { return p.p.Clients() }
 func (p plainProvider) Restart(w int) error       { return p.p.Restart(w) }
+
+// TestWorkerFailureDuringBackupGather crashes one replica of a backup
+// group mid-run: the statistics gather must restart it through the
+// driver's recovery hook while the group's other replica keeps the
+// round alive, and the step must still complete.
+func TestWorkerFailureDuringBackupGather(t *testing.T) {
+	ds := testData(t, 200, 24, 47)
+	cfg := baseConfig(4)
+	cfg.Backup = 1
+	e, prov := newTestEngine(t, cfg)
+	if err := e.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	prov.Fail(1)
+	st, err := e.Step()
+	if err != nil {
+		t.Fatalf("step across backup-group crash: %v", err)
+	}
+	if st.Loss != st.Loss {
+		t.Fatal("loss is NaN after recovery")
+	}
+	if e.Restarts() != 1 {
+		t.Fatalf("restarts = %d, want 1", e.Restarts())
+	}
+	if e.Trace().Restarts != 1 {
+		t.Fatalf("trace restarts = %d, want 1", e.Trace().Restarts)
+	}
+	if len(e.LiveWorkers()) != 4 {
+		t.Fatalf("live workers = %v", e.LiveWorkers())
+	}
+	if _, err := e.Run(5); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+// Pipelined fan-out must be a pure wall-clock optimization: batch plans
+// are model-independent and per-worker call order is unchanged, so a
+// pipelined run has to be bit-identical to an unpipelined one — losses,
+// traffic, modeled costs, and the full exported parameter matrix.
+
+import (
+	"math"
+	"testing"
+)
+
+func runPair(t *testing.T, cfg Config, iters int) (*Engine, *Engine) {
+	t.Helper()
+	ds := testData(t, 240, 24, 91)
+	plain, _ := newTestEngine(t, cfg)
+	cfg.Pipeline = true
+	piped, _ := newTestEngine(t, cfg)
+	for _, e := range []*Engine{plain, piped} {
+		if err := e.Load(ds); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(iters); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return plain, piped
+}
+
+func assertTracesEqual(t *testing.T, plain, piped *Engine) {
+	t.Helper()
+	a, b := plain.Trace(), piped.Trace()
+	if len(a.Iterations) != len(b.Iterations) {
+		t.Fatalf("iteration counts differ: %d vs %d", len(a.Iterations), len(b.Iterations))
+	}
+	for i := range a.Iterations {
+		ia, ib := a.Iterations[i], b.Iterations[i]
+		if math.Float64bits(ia.Loss) != math.Float64bits(ib.Loss) {
+			t.Fatalf("iter %d: loss %v (plain) vs %v (pipelined)", i, ia.Loss, ib.Loss)
+		}
+		if ia.Cost != ib.Cost {
+			t.Fatalf("iter %d: cost %+v vs %+v", i, ia.Cost, ib.Cost)
+		}
+		for p := range ia.Phases {
+			pa, pb := ia.Phases[p], ib.Phases[p]
+			if pa.Messages != pb.Messages || pa.Bytes != pb.Bytes {
+				t.Fatalf("iter %d phase %s: %d msgs/%d B vs %d msgs/%d B",
+					i, pa.Label, pa.Messages, pa.Bytes, pb.Messages, pb.Bytes)
+			}
+		}
+	}
+	wa, err := plain.ExportModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := piped.ExportModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for row := range wa.W {
+		for col := range wa.W[row] {
+			if math.Float64bits(wa.W[row][col]) != math.Float64bits(wb.W[row][col]) {
+				t.Fatalf("weight [%d][%d]: %v vs %v", row, col, wa.W[row][col], wb.W[row][col])
+			}
+		}
+	}
+}
+
+func TestPipelinedBitIdentical(t *testing.T) {
+	plain, piped := runPair(t, baseConfig(3), 25)
+	assertTracesEqual(t, plain, piped)
+}
+
+func TestPipelinedBitIdenticalBackup(t *testing.T) {
+	cfg := baseConfig(4)
+	cfg.Backup = 1
+	plain, piped := runPair(t, cfg, 25)
+	assertTracesEqual(t, plain, piped)
+}
+
+func TestPipelinedBitIdenticalEpochAccess(t *testing.T) {
+	cfg := baseConfig(3)
+	cfg.Access = "epoch"
+	plain, piped := runPair(t, cfg, 25)
+	assertTracesEqual(t, plain, piped)
+}
+
+func TestPipelinedEvalEvery(t *testing.T) {
+	cfg := baseConfig(3)
+	cfg.EvalEvery = 4
+	plain, piped := runPair(t, cfg, 13)
+	assertTracesEqual(t, plain, piped)
+}
+
+// TestPipelinedTaskFailureRecovery injects transient failures with the
+// prefetch in flight: the driver must absorb them on whichever call
+// (update or prefetched stats) hits the armed failure.
+func TestPipelinedTaskFailureRecovery(t *testing.T) {
+	ds := testData(t, 120, 16, 31)
+	cfg := baseConfig(3)
+	cfg.Pipeline = true
+	e, _ := newTestEngine(t, cfg)
+	if err := e.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.InjectTaskFailure(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if e.Retries() == 0 {
+		t.Fatal("armed task failures were never retried")
+	}
+	if got := e.Trace().Retries; got != e.Retries() {
+		t.Fatalf("trace reports %d retries, driver %d", got, e.Retries())
+	}
+}
+
+// TestPipelinedImportInvalidatesPrefetch warm-starts mid-run: the
+// prefetch computed against the pre-import model must be discarded, so
+// the pipelined run still matches an unpipelined one doing the same
+// import at the same point.
+func TestPipelinedImportInvalidatesPrefetch(t *testing.T) {
+	ds := testData(t, 240, 24, 91)
+	cfg := baseConfig(3)
+	plain, _ := newTestEngine(t, cfg)
+	cfg.Pipeline = true
+	piped, _ := newTestEngine(t, cfg)
+	for _, e := range []*Engine{plain, piped} {
+		if err := e.Load(ds); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(10); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := e.ExportModel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap.Scale(0.5)
+		if err := e.ImportModel(snap); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertTracesEqual(t, plain, piped)
+}

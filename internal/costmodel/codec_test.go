@@ -1,4 +1,4 @@
-package costmodel
+package costmodel_test
 
 // The satellite contract of the compact-codec work: the modeled frame
 // sizes must equal the sizes of frames the real transport encoder emits,
@@ -11,6 +11,7 @@ import (
 
 	"columnsgd/internal/cluster"
 	"columnsgd/internal/core"
+	"columnsgd/internal/costmodel"
 	"columnsgd/internal/wire"
 )
 
@@ -45,7 +46,7 @@ func TestStatsFrameBytesMatchesEncoder(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s/%v: encode: %v", name, enc, err)
 			}
-			modeled := StatsFrameBytes(stats, reply.NNZ, enc)
+			modeled := costmodel.StatsFrameBytes(stats, reply.NNZ, enc)
 			if modeled != int64(len(frame)) {
 				t.Errorf("%s/%v: modeled %d bytes, encoder produced %d", name, enc, modeled, len(frame))
 			}
@@ -63,7 +64,7 @@ func TestDenseStatsFrameBytesIsUpperBound(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: encode: %v", name, err)
 		}
-		bound := DenseStatsFrameBytes(len(stats), reply.NNZ, wire.F64)
+		bound := costmodel.DenseStatsFrameBytes(len(stats), reply.NNZ, wire.F64)
 		if int64(len(frame)) > bound {
 			t.Errorf("%s: frame %d bytes exceeds dense bound %d", name, len(frame), bound)
 		}

@@ -1,0 +1,62 @@
+package costmodel
+
+// The PhaseSource seam is the one interface per-round byte accounting
+// flows through. Two producers exist: the analytic Table-I model
+// (Predicted — what the paper derives from the workload shape) and the
+// driver's measured traffic accumulators (Measured — what the engines
+// actually put on the wire each round, see internal/driver.Traffic).
+// Consumers — iteration pricing in the engines, model-validation tests,
+// the experiment harness — read phases through this interface without
+// knowing which side produced the numbers.
+
+import (
+	"time"
+
+	"columnsgd/internal/simnet"
+)
+
+// PhaseSource yields one round's communication phases.
+type PhaseSource interface {
+	RoundPhases() ([]simnet.Phase, error)
+}
+
+// Predicted is the analytic source: Table I evaluated at a workload.
+type Predicted struct {
+	Sys SystemID
+	W   Workload
+}
+
+// RoundPhases returns the modeled phases for the system.
+func (p Predicted) RoundPhases() ([]simnet.Phase, error) {
+	return IterationPhases(p.Sys, p.W)
+}
+
+// Measured wraps phases recorded from a live round's traffic
+// accumulators.
+type Measured []simnet.Phase
+
+// RoundPhases returns the recorded phases unchanged.
+func (m Measured) RoundPhases() ([]simnet.Phase, error) { return m, nil }
+
+// NetworkTime prices one round's communication from any source.
+func NetworkTime(src PhaseSource, net simnet.Model) (time.Duration, error) {
+	phases, err := src.RoundPhases()
+	if err != nil {
+		return 0, err
+	}
+	var d time.Duration
+	for _, p := range phases {
+		d += net.Time(p)
+	}
+	return d, nil
+}
+
+// PriceRound prices one full round (scheduling + compute + network)
+// from any source, the way the RowSGD engines cost their iterations.
+func PriceRound(src PhaseSource, maxWorkerNNZ int64, net simnet.Model) (simnet.IterationCost, error) {
+	phases, err := src.RoundPhases()
+	if err != nil {
+		return simnet.IterationCost{}, err
+	}
+	return net.IterationTime(maxWorkerNNZ, phases), nil
+}

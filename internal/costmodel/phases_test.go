@@ -1,0 +1,74 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+
+	"columnsgd/internal/simnet"
+)
+
+// The PhaseSource seam must price a round identically whether the phases
+// came from the analytic Table-I model (Predicted) or from the driver's
+// live traffic accumulators (Measured) — engines and validation tests
+// depend on the two sides being interchangeable.
+func TestPhaseSourcesPriceIdentically(t *testing.T) {
+	w := kdd12LR().normalized()
+	net := simnet.Cluster1().WithWorkers(w.K)
+
+	analytic, err := IterationPhases(SysColumnSGD, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := Predicted{Sys: SysColumnSGD, W: w}
+	got, err := pred.RoundPhases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(analytic) {
+		t.Fatalf("Predicted yields %d phases, IterationPhases %d", len(got), len(analytic))
+	}
+
+	// Feed the analytic phases back as if the driver had measured them:
+	// every consumer must see the same price.
+	dPred, err := NetworkTime(pred, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dMeas, err := NetworkTime(Measured(analytic), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dPred != dMeas || dPred <= 0 {
+		t.Fatalf("NetworkTime differs across sources: predicted %v, measured %v", dPred, dMeas)
+	}
+
+	var manual time.Duration
+	for _, p := range analytic {
+		manual += net.Time(p)
+	}
+	if dMeas != manual {
+		t.Fatalf("NetworkTime %v != per-phase sum %v", dMeas, manual)
+	}
+
+	maxNNZ := int64(float64(w.N) * (1 - w.Rho) / float64(w.K))
+	cPred, err := PriceRound(pred, maxNNZ, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cMeas, err := PriceRound(Measured(analytic), maxNNZ, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cPred != cMeas {
+		t.Fatalf("PriceRound differs across sources: %+v vs %+v", cPred, cMeas)
+	}
+	if want := net.IterationTime(maxNNZ, analytic); cMeas != want {
+		t.Fatalf("PriceRound %+v != IterationTime %+v", cMeas, want)
+	}
+}
+
+func TestPredictedSurfacesModelErrors(t *testing.T) {
+	if _, err := NetworkTime(Predicted{Sys: "no-such-system", W: kdd12LR()}, simnet.Cluster1()); err == nil {
+		t.Fatal("unknown system must fail, not price as zero")
+	}
+}

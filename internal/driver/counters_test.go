@@ -1,0 +1,116 @@
+package driver_test
+
+// The unified-counters contract: both engine families report fault
+// tolerance through the one driver the refactor extracted, and
+// driver.Publish is the only writer of metrics.Trace.{Retries,Restarts}.
+// One shared test keeps the two engines from growing divergent
+// accounting again.
+
+import (
+	"testing"
+
+	"columnsgd/internal/chaos"
+	"columnsgd/internal/cluster"
+	"columnsgd/internal/core"
+	"columnsgd/internal/dataset"
+	"columnsgd/internal/opt"
+	"columnsgd/internal/rowsgd"
+	"columnsgd/internal/wire"
+)
+
+func countersDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.SyntheticSpec{
+		Name: "counters", N: 120, Features: 16, NNZPerRow: 8, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestUnifiedCountersOnTrace(t *testing.T) {
+	ds := countersDataset(t)
+
+	t.Run("columnsgd", func(t *testing.T) {
+		prov, err := core.NewLocalProvider(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := core.NewEngine(core.Config{
+			Workers:   3,
+			ModelName: "lr",
+			Opt:       opt.Config{Algo: "sgd", LR: 0.5},
+			BatchSize: 30,
+			BlockSize: 16,
+			Seed:      42,
+		}, prov)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Load(ds); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.InjectTaskFailure(1, 2); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(3); err != nil {
+			t.Fatal(err)
+		}
+		prov.Fail(2)
+		if _, err := e.Run(3); err != nil {
+			t.Fatal(err)
+		}
+		if e.Retries() == 0 || e.Restarts() == 0 {
+			t.Fatalf("expected faults absorbed: retries=%d restarts=%d", e.Retries(), e.Restarts())
+		}
+		tr := e.Trace()
+		if tr.Retries != e.Retries() || tr.Restarts != e.Restarts() {
+			t.Fatalf("trace (%d, %d) != driver (%d, %d)",
+				tr.Retries, tr.Restarts, e.Retries(), e.Restarts())
+		}
+	})
+
+	t.Run("rowsgd", func(t *testing.T) {
+		local, err := cluster.NewLocalCodec(3, func(int) (*cluster.Service, error) {
+			return rowsgd.NewWorkerService(), nil
+		}, wire.Codec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// RowSGD has no fault-injection hooks of its own; drop every 4th
+		// message on each link so the driver's retry path fires.
+		inj := chaos.NewInjector(chaos.Spec{Seed: 11, DropEvery: 4})
+		inj.SetEnabled(false) // loads are not idempotent
+		clients := inj.Wrap(local.Clients())
+		e, err := rowsgd.NewEngine(rowsgd.Config{
+			System:    rowsgd.Petuum,
+			Workers:   3,
+			ModelName: "lr",
+			Opt:       opt.Config{Algo: "sgd", LR: 0.5},
+			BatchSize: 30,
+			Seed:      42,
+		}, clients)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Load(ds); err != nil {
+			t.Fatal(err)
+		}
+		inj.SetEnabled(true)
+		if _, err := e.Run(6); err != nil {
+			t.Fatal(err)
+		}
+		inj.SetEnabled(false)
+		if e.Retries() == 0 {
+			t.Fatal("dropped messages were never retried")
+		}
+		tr := e.Trace()
+		if tr.Retries != e.Retries() {
+			t.Fatalf("trace reports %d retries, driver %d", tr.Retries, e.Retries())
+		}
+		if e.Restarts() != 0 || tr.Restarts != 0 {
+			t.Fatalf("rowsgd has no restart path: driver=%d trace=%d", e.Restarts(), tr.Restarts)
+		}
+	})
+}

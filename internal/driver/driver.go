@@ -1,0 +1,286 @@
+// Package driver is the master-side distributed-round runtime shared by
+// every engine. The paper's Algorithm 1 is a pure round structure —
+// broadcast a plan, compute on workers, gather statistics, apply
+// updates — and the engines (ColumnSGD in internal/core, the four
+// RowSGD baselines in internal/rowsgd) each reduce to a round *plan*:
+// which methods to call on which workers with which payloads. The
+// driver owns everything else about executing that plan:
+//
+//   - concurrent per-worker scatter/gather fan-out with optional
+//     per-call deadlines (Gather, Start);
+//   - retry-with-recovery: transient failures are retried up to
+//     MaxAttempts, ErrWorkerDown triggers the engine-supplied Recover
+//     hook (worker restart + state reload) before the retry;
+//   - exact per-call traffic accounting (request+response messages and
+//     bytes, measured as client-counter deltas around each attempt)
+//     accumulated into phase-scoped Traffic counters;
+//   - unified retry/restart counters published into metrics.Trace;
+//   - straggler injection (StragglerSpec, §IV-B of the paper);
+//   - pipelined fan-out: Start can chain a fan-out behind a previous
+//     Pending per worker, which lets an engine overlap iteration t+1's
+//     statistics computation with iteration t's update application
+//     without a cross-worker barrier (see internal/core).
+//
+// Calls to the same worker are serialized by a per-worker mutex, so a
+// chained fan-out observes exactly the per-link message order a
+// sequential issue would produce — the property the chaos replay and
+// golden-determinism suites pin down.
+package driver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"columnsgd/internal/cluster"
+	"columnsgd/internal/metrics"
+)
+
+// Options configures a Driver.
+type Options struct {
+	// MaxAttempts bounds retryable calls (default 3, matching the
+	// paper's Spark-style task retry budget).
+	MaxAttempts int
+	// RetryExtra is modeled time charged per transient retry (the
+	// engines charge one scheduling overhead per relaunched task).
+	RetryExtra time.Duration
+	// CallTimeout, when positive, bounds each call attempt. A timed-out
+	// attempt's goroutine is abandoned (the transport has no
+	// cancellation), so the reply value must not be reused after a
+	// deadline error. Zero disables deadlines — the engines run over
+	// deterministic transports and rely on retries instead.
+	CallTimeout time.Duration
+	// Recover restarts a down worker and reloads its state. It runs
+	// with the worker's call slot held, so it must reach the worker
+	// only through the provided Conn (never Driver.Call, which would
+	// deadlock). Nil means ErrWorkerDown is terminal — the RowSGD
+	// baselines have no restart path.
+	Recover func(worker int, c Conn) error
+}
+
+// Call describes one worker invocation within a round plan.
+type Call struct {
+	Method string
+	Args   interface{}
+	// Reply receives the decoded result (nil to discard).
+	Reply interface{}
+	// Retry opts the call into the retry-with-recovery policy. Leave
+	// false for non-idempotent calls (data loading) and one-shot reads
+	// (evaluation, export): those surface their raw error.
+	Retry bool
+}
+
+// Driver executes round plans against a fixed set of workers. The
+// clients slice is shared with the provider that built it — a restart
+// may replace an element in place, so the driver indexes it at call
+// time and never caches a Client across attempts.
+type Driver struct {
+	clients []cluster.Client
+	locks   []sync.Mutex
+	opts    Options
+
+	retries  atomic.Int64
+	restarts atomic.Int64
+}
+
+// New builds a driver over the provider's client slice.
+func New(clients []cluster.Client, opts Options) *Driver {
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 3
+	}
+	return &Driver{clients: clients, locks: make([]sync.Mutex, len(clients)), opts: opts}
+}
+
+// Workers returns the cluster size.
+func (d *Driver) Workers() int { return len(d.clients) }
+
+// Retries counts transient per-call retries across the run.
+func (d *Driver) Retries() int64 { return d.retries.Load() }
+
+// Restarts counts worker restarts (successful Recover invocations).
+func (d *Driver) Restarts() int64 { return d.restarts.Load() }
+
+// Publish copies the driver's fault-tolerance counters into a trace.
+// Engines call it whenever they append an iteration, so a trace always
+// carries the run's unified retry/restart accounting.
+func (d *Driver) Publish(t *metrics.Trace) {
+	if t == nil {
+		return
+	}
+	t.Retries = d.retries.Load()
+	t.Restarts = d.restarts.Load()
+}
+
+// Call invokes one worker, holding its call slot for the duration.
+// Traffic deltas for every attempt (including recovery reloads made
+// through the Conn) accumulate into tr; modeled retry/recovery time
+// accumulates into extra. Both may be nil.
+func (d *Driver) Call(w int, c Call, tr *Traffic, extra *time.Duration) error {
+	d.locks[w].Lock()
+	defer d.locks[w].Unlock()
+	return d.locked(w, c, tr, extra)
+}
+
+// locked runs the retry-with-recovery loop with worker w's slot held.
+func (d *Driver) locked(w int, c Call, tr *Traffic, extra *time.Duration) error {
+	attempts := 1
+	if c.Retry {
+		attempts = d.opts.MaxAttempts
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		err := d.once(w, c.Method, c.Args, c.Reply, tr)
+		if err == nil {
+			return nil
+		}
+		if !c.Retry {
+			return err
+		}
+		lastErr = err
+		if errors.Is(err, cluster.ErrWorkerDown) {
+			if d.opts.Recover == nil {
+				return fmt.Errorf("driver: worker %d down (no restart path): %w", w, err)
+			}
+			if rerr := d.opts.Recover(w, Conn{d: d, w: w, tr: tr, extra: extra}); rerr != nil {
+				return fmt.Errorf("driver: worker %d unrecoverable: %w", w, rerr)
+			}
+			d.restarts.Add(1)
+			continue
+		}
+		d.retries.Add(1)
+		if extra != nil {
+			*extra += d.opts.RetryExtra
+		}
+	}
+	return fmt.Errorf("driver: worker %d failed after %d attempts: %w", w, attempts, lastErr)
+}
+
+// once issues a single attempt and records its exact traffic delta.
+// The client is re-resolved from the shared slice each attempt: a
+// recovery may have swapped it in place.
+func (d *Driver) once(w int, method string, args, reply interface{}, tr *Traffic) error {
+	cl := d.clients[w]
+	m0, b0 := cl.Messages(), cl.Bytes()
+	var err error
+	if d.opts.CallTimeout > 0 {
+		_, err = Policy{Timeout: d.opts.CallTimeout}.Do(func(context.Context) (interface{}, error) {
+			return nil, cl.Call(method, args, reply)
+		})
+	} else {
+		err = cl.Call(method, args, reply)
+	}
+	if tr != nil {
+		tr.Add(cl.Messages()-m0, cl.Bytes()-b0)
+	}
+	return err
+}
+
+// Conn is the restricted worker handle handed to Recover. It reaches
+// the worker through the already-held call slot (re-entering
+// Driver.Call from inside Recover would self-deadlock) and attributes
+// reload traffic and modeled time to the call that triggered recovery.
+type Conn struct {
+	d     *Driver
+	w     int
+	tr    *Traffic
+	extra *time.Duration
+}
+
+// Worker returns the worker index this Conn is bound to.
+func (c Conn) Worker() int { return c.w }
+
+// Call issues a single-attempt request on the held slot.
+func (c Conn) Call(method string, args, reply interface{}) error {
+	return c.d.once(c.w, method, args, reply, c.tr)
+}
+
+// AddExtra charges modeled recovery time (e.g. the reload's LoadTime)
+// to the triggering call.
+func (c Conn) AddExtra(d time.Duration) {
+	if c.extra != nil {
+		*c.extra += d
+	}
+}
+
+// Pending is an in-flight fan-out started by Start. Results land in the
+// caller's reply slots; Await collects errors and modeled extra time.
+type Pending struct {
+	workers []int
+	errs    []error
+	extras  []time.Duration
+	done    []chan struct{}
+	wg      sync.WaitGroup
+}
+
+// Await blocks until every call has finished and returns the summed
+// modeled retry/recovery time and the first error in slot order. It is
+// idempotent; a nil Pending awaits trivially.
+func (p *Pending) Await() (time.Duration, error) {
+	if p == nil {
+		return 0, nil
+	}
+	p.wg.Wait()
+	var extra time.Duration
+	for i := range p.errs {
+		if p.errs[i] != nil {
+			return 0, p.errs[i]
+		}
+		extra += p.extras[i]
+	}
+	return extra, nil
+}
+
+// doneFor returns the completion channel of worker w's slot, or nil if
+// w is not part of this fan-out (or p is nil).
+func (p *Pending) doneFor(w int) <-chan struct{} {
+	if p == nil {
+		return nil
+	}
+	for i, pw := range p.workers {
+		if pw == w {
+			return p.done[i]
+		}
+	}
+	return nil
+}
+
+// Start launches one call per worker concurrently and returns without
+// waiting. prep builds each worker's Call at launch time (slot is the
+// index into workers). When after is non-nil, each worker's call is
+// chained behind that worker's slot in the prior fan-out — a per-worker
+// ordering constraint, not a barrier: a fast worker proceeds to its
+// chained call while slow workers are still on the previous one. This
+// is the pipelining primitive: per-link message order stays exactly
+// sequential even though rounds overlap across workers.
+func (d *Driver) Start(workers []int, tr *Traffic, prep func(slot, worker int) Call, after *Pending) *Pending {
+	p := &Pending{
+		workers: workers,
+		errs:    make([]error, len(workers)),
+		extras:  make([]time.Duration, len(workers)),
+		done:    make([]chan struct{}, len(workers)),
+	}
+	for i := range p.done {
+		p.done[i] = make(chan struct{})
+	}
+	p.wg.Add(len(workers))
+	for i, w := range workers {
+		go func(i, w int) {
+			defer p.wg.Done()
+			defer close(p.done[i])
+			if ch := after.doneFor(w); ch != nil {
+				<-ch
+			}
+			p.errs[i] = d.Call(w, prep(i, w), tr, &p.extras[i])
+		}(i, w)
+	}
+	return p
+}
+
+// Gather is the scatter/gather primitive: fan out one call per worker,
+// wait for all, and surface the first error in worker order.
+func (d *Driver) Gather(workers []int, tr *Traffic, prep func(slot, worker int) Call) (time.Duration, error) {
+	return d.Start(workers, tr, prep, nil).Await()
+}

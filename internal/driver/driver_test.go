@@ -1,0 +1,323 @@
+package driver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"columnsgd/internal/cluster"
+)
+
+// fakeClient is a scriptable cluster.Client: it counts traffic like a
+// real transport (2 messages, 10 bytes per call) and fails on demand.
+type fakeClient struct {
+	mu        sync.Mutex
+	msgs      int64
+	bytes     int64
+	transient int  // next n calls fail with a transient error
+	down      bool // calls fail with ErrWorkerDown
+	calls     []string
+	sleep     time.Duration
+}
+
+var errTransient = errors.New("fake: transient")
+
+func (c *fakeClient) Call(method string, args, reply interface{}) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sleep > 0 {
+		time.Sleep(c.sleep)
+	}
+	c.msgs += 2
+	c.bytes += 10
+	c.calls = append(c.calls, method)
+	if c.down {
+		return cluster.ErrWorkerDown
+	}
+	if c.transient > 0 {
+		c.transient--
+		return errTransient
+	}
+	return nil
+}
+
+func (c *fakeClient) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+func (c *fakeClient) Messages() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.msgs
+}
+
+func (c *fakeClient) Close() error { return nil }
+
+func newFakes(n int) ([]*fakeClient, []cluster.Client) {
+	fakes := make([]*fakeClient, n)
+	clients := make([]cluster.Client, n)
+	for i := range fakes {
+		fakes[i] = &fakeClient{}
+		clients[i] = fakes[i]
+	}
+	return fakes, clients
+}
+
+func TestTransientRetryCountsTrafficAndExtra(t *testing.T) {
+	fakes, clients := newFakes(1)
+	fakes[0].transient = 1
+	d := New(clients, Options{RetryExtra: 7 * time.Millisecond})
+	tr := &Traffic{}
+	var extra time.Duration
+	if err := d.Call(0, Call{Method: "m", Retry: true}, tr, &extra); err != nil {
+		t.Fatal(err)
+	}
+	if d.Retries() != 1 {
+		t.Fatalf("retries = %d, want 1", d.Retries())
+	}
+	if extra != 7*time.Millisecond {
+		t.Fatalf("extra = %v, want 7ms", extra)
+	}
+	// Both attempts' traffic is accounted, like the old whole-phase
+	// counter snapshots did.
+	if tr.Messages() != 4 || tr.Bytes() != 20 {
+		t.Fatalf("traffic = %d msgs / %d bytes, want 4/20", tr.Messages(), tr.Bytes())
+	}
+}
+
+func TestRetryExhaustionKeepsCause(t *testing.T) {
+	fakes, clients := newFakes(1)
+	fakes[0].transient = 10
+	d := New(clients, Options{})
+	err := d.Call(0, Call{Method: "m", Retry: true}, nil, nil)
+	if err == nil {
+		t.Fatal("exhausted retries reported success")
+	}
+	if !errors.Is(err, errTransient) {
+		t.Fatalf("cause lost: %v", err)
+	}
+	if d.Retries() != 3 {
+		t.Fatalf("retries = %d, want 3", d.Retries())
+	}
+}
+
+func TestWorkerDownTerminalWithoutRecover(t *testing.T) {
+	fakes, clients := newFakes(1)
+	fakes[0].down = true
+	d := New(clients, Options{})
+	err := d.Call(0, Call{Method: "m", Retry: true}, nil, nil)
+	if !errors.Is(err, cluster.ErrWorkerDown) {
+		t.Fatalf("ErrWorkerDown not surfaced: %v", err)
+	}
+	// Exactly one attempt: down is terminal with no restart path.
+	if got := len(fakes[0].calls); got != 1 {
+		t.Fatalf("%d attempts, want 1", got)
+	}
+}
+
+func TestRecoverRestartsAndRetries(t *testing.T) {
+	fakes, clients := newFakes(1)
+	fakes[0].down = true
+	var recovered int
+	d := New(clients, Options{Recover: func(w int, c Conn) error {
+		recovered++
+		fakes[w].mu.Lock()
+		fakes[w].down = false
+		fakes[w].mu.Unlock()
+		// Reload through the Conn: must not deadlock (slot is held) and
+		// must attribute traffic to the triggering call.
+		c.AddExtra(3 * time.Millisecond)
+		return c.Call("reload", nil, nil)
+	}})
+	tr := &Traffic{}
+	var extra time.Duration
+	if err := d.Call(0, Call{Method: "m", Retry: true}, tr, &extra); err != nil {
+		t.Fatal(err)
+	}
+	if recovered != 1 || d.Restarts() != 1 {
+		t.Fatalf("recovered=%d restarts=%d, want 1/1", recovered, d.Restarts())
+	}
+	if extra != 3*time.Millisecond {
+		t.Fatalf("extra = %v, want 3ms", extra)
+	}
+	// failed call + reload + retried call = 3 calls, 6 messages.
+	if tr.Messages() != 6 {
+		t.Fatalf("traffic = %d msgs, want 6", tr.Messages())
+	}
+}
+
+func TestRecoverFailureWrapsCause(t *testing.T) {
+	fakes, clients := newFakes(1)
+	fakes[0].down = true
+	reloadErr := fmt.Errorf("reload: %w", cluster.ErrWorkerDown)
+	d := New(clients, Options{Recover: func(int, Conn) error { return reloadErr }})
+	err := d.Call(0, Call{Method: "m", Retry: true}, nil, nil)
+	if err == nil {
+		t.Fatal("unrecoverable worker reported success")
+	}
+	// The typed cause chain survives the "unrecoverable" wrap — chaos
+	// tests assert on it with errors.Is.
+	if !errors.Is(err, cluster.ErrWorkerDown) {
+		t.Fatalf("cause lost: %v", err)
+	}
+	if d.Restarts() != 0 {
+		t.Fatalf("failed recovery counted as restart")
+	}
+}
+
+func TestOnceSurfacesRawError(t *testing.T) {
+	fakes, clients := newFakes(1)
+	fakes[0].transient = 1
+	d := New(clients, Options{})
+	// Retry=false: single attempt, raw error (load-path semantics).
+	if err := d.Call(0, Call{Method: "load"}, nil, nil); err != errTransient {
+		t.Fatalf("err = %v, want raw errTransient", err)
+	}
+	if d.Retries() != 0 {
+		t.Fatalf("non-retryable call counted a retry")
+	}
+}
+
+func TestGatherFirstErrorInWorkerOrder(t *testing.T) {
+	fakes, clients := newFakes(3)
+	fakes[1].down = true
+	fakes[2].down = true
+	d := New(clients, Options{})
+	_, err := d.Gather([]int{0, 1, 2}, nil, func(int, int) Call {
+		return Call{Method: "m", Retry: true}
+	})
+	if err == nil || !errors.Is(err, cluster.ErrWorkerDown) {
+		t.Fatalf("err = %v", err)
+	}
+	// Slot order: worker 1's error wins over worker 2's.
+	want := fmt.Sprintf("driver: worker %d down (no restart path): %v", 1, cluster.ErrWorkerDown)
+	if err.Error() != want {
+		t.Fatalf("err = %q, want %q", err, want)
+	}
+}
+
+// TestStartChainsPerWorkerWithoutBarrier is the pipelining contract:
+// worker w's chained call runs strictly after w's primary, but a fast
+// worker's chained call must not wait for a slow worker's primary.
+func TestStartChainsPerWorkerWithoutBarrier(t *testing.T) {
+	fakes, clients := newFakes(2)
+	fakes[0].sleep = 100 * time.Millisecond // slow worker
+	d := New(clients, Options{})
+	first := d.Start([]int{0, 1}, nil, func(int, int) Call {
+		return Call{Method: "a"}
+	}, nil)
+	second := d.Start([]int{0, 1}, nil, func(int, int) Call {
+		return Call{Method: "b"}
+	}, first)
+
+	// Worker 1 (fast) should finish both calls while worker 0 is still
+	// inside its first sleep.
+	deadline := time.After(80 * time.Millisecond)
+	select {
+	case <-second.doneFor(1):
+	case <-deadline:
+		t.Fatal("fast worker's chained call waited on the slow worker (global barrier)")
+	}
+	if _, err := second.Await(); err != nil {
+		t.Fatal(err)
+	}
+	for w, f := range fakes {
+		f.mu.Lock()
+		got := fmt.Sprint(f.calls)
+		f.mu.Unlock()
+		if got != "[a b]" {
+			t.Fatalf("worker %d call order %s, want [a b]", w, got)
+		}
+	}
+}
+
+func TestPendingAwaitIdempotent(t *testing.T) {
+	_, clients := newFakes(2)
+	d := New(clients, Options{})
+	p := d.Start([]int{0, 1}, nil, func(int, int) Call { return Call{Method: "m"} }, nil)
+	for i := 0; i < 3; i++ {
+		if _, err := p.Await(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var nilP *Pending
+	if _, err := nilP.Await(); err != nil {
+		t.Fatal("nil Pending must await trivially")
+	}
+}
+
+func TestPolicyTimeoutRetryAndHooks(t *testing.T) {
+	var retries, timeouts int
+	var attempts atomic.Int32 // attempt 1's goroutine outlives its deadline
+	p := Policy{
+		Attempts:  2,
+		Timeout:   20 * time.Millisecond,
+		OnRetry:   func(error) { retries++ },
+		OnTimeout: func() { timeouts++ },
+	}
+	v, err := p.Do(func(ctx context.Context) (interface{}, error) {
+		if attempts.Add(1) == 1 {
+			<-ctx.Done() // overrun the deadline
+			return nil, ctx.Err()
+		}
+		return 42, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int) != 42 {
+		t.Fatalf("value = %v", v)
+	}
+	if retries != 1 || timeouts != 1 {
+		t.Fatalf("retries=%d timeouts=%d, want 1/1", retries, timeouts)
+	}
+}
+
+func TestPolicyTerminalStopsEarly(t *testing.T) {
+	calls := 0
+	p := Policy{Attempts: 5, Terminal: func(err error) bool { return errors.Is(err, cluster.ErrWorkerDown) }}
+	_, err := p.Do(func(context.Context) (interface{}, error) {
+		calls++
+		return nil, cluster.ErrWorkerDown
+	})
+	if !errors.Is(err, cluster.ErrWorkerDown) || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want terminal after 1", err, calls)
+	}
+}
+
+func TestStragglerPick(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	none := StragglerSpec{}
+	if got := none.Pick([]int{0, 1}, rng); got != -1 {
+		t.Fatalf("disabled spec picked %d", got)
+	}
+	fixed := StragglerSpec{Level: 1, Mode: "fixed", Worker: 2}
+	if got := fixed.Pick([]int{0, 1, 2}, rng); got != 2 {
+		t.Fatalf("fixed picked %d, want 2", got)
+	}
+	if got := fixed.Pick([]int{0, 1}, rng); got != -1 {
+		t.Fatalf("fixed picked dead worker: %d", got)
+	}
+	random := StragglerSpec{Level: 1, Mode: "random"}
+	lives := []int{3, 5, 9}
+	seen := map[int]bool{}
+	for i := 0; i < 50; i++ {
+		w := random.Pick(lives, rng)
+		seen[w] = true
+	}
+	for w := range seen {
+		if w != 3 && w != 5 && w != 9 {
+			t.Fatalf("random picked non-live worker %d", w)
+		}
+	}
+	if stretched := fixed.Stretch(10 * time.Millisecond); stretched != 20*time.Millisecond {
+		t.Fatalf("stretch = %v, want 20ms", stretched)
+	}
+}

@@ -1,0 +1,81 @@
+package driver
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// Policy is the reusable attempt/deadline loop underneath both the
+// driver's per-call deadlines and the serving path's shard fan-out
+// (internal/serve). It is deliberately engine-agnostic: no worker
+// locking, no traffic accounting — just bounded attempts, a per-attempt
+// timeout, and observer hooks.
+type Policy struct {
+	// Attempts bounds the attempt loop (default 1).
+	Attempts int
+	// Timeout bounds each attempt. A timed-out attempt's goroutine is
+	// abandoned — fn must tolerate outliving its context. Zero disables
+	// the deadline.
+	Timeout time.Duration
+	// Terminal, when non-nil, stops the loop early for errors that
+	// retrying cannot fix.
+	Terminal func(error) bool
+	// OnRetry observes the prior error before each non-first attempt.
+	OnRetry func(error)
+	// OnTimeout observes each attempt that ends in a deadline error.
+	OnTimeout func()
+}
+
+// Do runs fn under the policy and returns the last attempt's result.
+// Results cross a buffered channel, so an abandoned (timed-out) attempt
+// can never race with a later one over shared state.
+func (p Policy) Do(fn func(ctx context.Context) (interface{}, error)) (interface{}, error) {
+	attempts := p.Attempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	var lastVal interface{}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 && p.OnRetry != nil {
+			p.OnRetry(lastErr)
+		}
+		v, err := p.one(fn)
+		if err == nil {
+			return v, nil
+		}
+		if errors.Is(err, context.DeadlineExceeded) && p.OnTimeout != nil {
+			p.OnTimeout()
+		}
+		lastVal, lastErr = v, err
+		if p.Terminal != nil && p.Terminal(err) {
+			break
+		}
+	}
+	return lastVal, lastErr
+}
+
+// one runs a single attempt, racing fn against the deadline.
+func (p Policy) one(fn func(ctx context.Context) (interface{}, error)) (interface{}, error) {
+	if p.Timeout <= 0 {
+		return fn(context.Background())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), p.Timeout)
+	defer cancel()
+	type result struct {
+		v   interface{}
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		v, err := fn(ctx)
+		ch <- result{v, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.v, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}

@@ -1,0 +1,53 @@
+package driver
+
+import (
+	"math/rand"
+	"time"
+)
+
+// StragglerSpec configures straggler injection for the §IV-B
+// experiments: one worker per round is slowed by a multiplicative
+// factor on its modeled compute time.
+type StragglerSpec struct {
+	// Level is the slowdown fraction: the straggler's compute time is
+	// stretched to (1 + Level)×. Zero disables injection.
+	Level float64
+	// Mode picks the victim: "fixed" always slows Worker, "random"
+	// draws uniformly from the live set each round. "" / "none"
+	// disables injection.
+	Mode string
+	// Worker is the fixed-mode victim.
+	Worker int
+}
+
+// Enabled reports whether injection is active.
+func (s StragglerSpec) Enabled() bool {
+	return s.Level > 0 && s.Mode != "" && s.Mode != "none"
+}
+
+// Pick selects this round's straggler from the live worker set, or -1
+// for none. Fixed mode returns Worker only while it is live; random
+// mode consumes exactly one rng draw per round (so an engine's seeded
+// stream stays aligned whether or not any worker has failed).
+func (s StragglerSpec) Pick(lives []int, rng *rand.Rand) int {
+	if !s.Enabled() {
+		return -1
+	}
+	if s.Mode == "fixed" {
+		for _, w := range lives {
+			if w == s.Worker {
+				return s.Worker
+			}
+		}
+		return -1
+	}
+	if len(lives) == 0 {
+		return -1
+	}
+	return lives[rng.Intn(len(lives))]
+}
+
+// Stretch scales a straggler's modeled compute time by (1 + Level).
+func (s StragglerSpec) Stretch(t time.Duration) time.Duration {
+	return time.Duration(float64(t) * (1 + s.Level))
+}

@@ -1,0 +1,40 @@
+package driver
+
+import (
+	"sync/atomic"
+
+	"columnsgd/internal/simnet"
+)
+
+// Traffic accumulates exact per-call message and byte counts for one
+// communication phase. The driver adds each attempt's client-counter
+// delta (measured inside the worker's call slot, so concurrent fan-outs
+// never misattribute another phase's traffic), which reproduces the
+// numbers the engines used to take from whole-phase counter snapshots.
+type Traffic struct {
+	msgs  atomic.Int64
+	bytes atomic.Int64
+}
+
+// Add records one call's message and byte delta.
+func (t *Traffic) Add(msgs, bytes int64) {
+	t.msgs.Add(msgs)
+	t.bytes.Add(bytes)
+}
+
+// Messages returns the accumulated message count.
+func (t *Traffic) Messages() int64 { return t.msgs.Load() }
+
+// Bytes returns the accumulated payload bytes.
+func (t *Traffic) Bytes() int64 { return t.bytes.Load() }
+
+// Phase snapshots the accumulated traffic as a simnet phase, the unit
+// the cost model prices (see costmodel.Measured).
+func (t *Traffic) Phase(label string, links int) simnet.Phase {
+	return simnet.Phase{
+		Label:    label,
+		Messages: t.msgs.Load(),
+		Bytes:    t.bytes.Load(),
+		Links:    links,
+	}
+}

@@ -78,6 +78,11 @@ type Trace struct {
 	// (Table I validation).
 	PeakMasterBytes int64
 	PeakWorkerBytes int64
+	// Retries / Restarts are the run's fault-tolerance counters —
+	// transient task retries and worker restarts — reported uniformly
+	// by the round driver (internal/driver) for every engine.
+	Retries  int64
+	Restarts int64
 }
 
 // Append adds an iteration record.

@@ -1,21 +1,21 @@
 package rowsgd
 
 import (
-	"errors"
 	"fmt"
 	"math/rand"
-	"sync/atomic"
 	"time"
 
 	"columnsgd/internal/cluster"
+	"columnsgd/internal/costmodel"
 	"columnsgd/internal/dataset"
+	"columnsgd/internal/driver"
 	"columnsgd/internal/metrics"
 	"columnsgd/internal/model"
 	"columnsgd/internal/opt"
 	"columnsgd/internal/partition"
-	"columnsgd/internal/wire"
 	"columnsgd/internal/simnet"
 	"columnsgd/internal/vec"
+	"columnsgd/internal/wire"
 )
 
 // System selects which RowSGD baseline the engine emulates.
@@ -145,39 +145,24 @@ type Engine struct {
 	// (history[0] is the current model).
 	history   []*model.Params
 	wallStart time.Time
-	// retries counts transient call failures relaunched on the same
-	// worker — the RowSGD analogue of Spark's task retry. RowSGD baselines
-	// have no worker-restart path (a dead worker loses its row shard), so
-	// ErrWorkerDown surfaces immediately instead of retrying.
-	retries atomic.Int64
+	// drv executes the round plan: concurrent fan-out with task-retry
+	// semantics (transient errors relaunch the call on the same worker;
+	// at-least-once re-execution is safe for the pure compute calls,
+	// and for MLlib* local training a retry advances the replica twice,
+	// which the differential harness treats as tolerance-band noise,
+	// matching Spark recomputation semantics). RowSGD baselines have no
+	// worker-restart path (a dead worker loses its row shard), so the
+	// driver gets no Recover hook and ErrWorkerDown is terminal.
+	drv *driver.Driver
 }
 
 // Retries returns how many transient call failures were retried.
-func (e *Engine) Retries() int64 { return e.retries.Load() }
+func (e *Engine) Retries() int64 { return e.drv.Retries() }
 
-// call invokes a worker method with task-retry semantics: transient
-// errors (dropped or corrupted messages) relaunch the call on the same
-// worker up to maxAttempts times; ErrWorkerDown is terminal. Compute
-// calls are pure on the worker, so at-least-once re-execution is safe;
-// for MLlib* local training a retry advances the replica twice, which the
-// differential harness treats as tolerance-band noise, matching Spark
-// recomputation semantics.
-func (e *Engine) call(w int, method string, args, reply interface{}) error {
-	const maxAttempts = 3
-	var lastErr error
-	for attempt := 0; attempt < maxAttempts; attempt++ {
-		err := e.clients[w].Call(method, args, reply)
-		if err == nil {
-			return nil
-		}
-		if errors.Is(err, cluster.ErrWorkerDown) {
-			return fmt.Errorf("rowsgd: worker %d down (no restart path): %w", w, err)
-		}
-		lastErr = err
-		e.retries.Add(1)
-	}
-	return fmt.Errorf("rowsgd: worker %d failed after %d attempts: %w", w, maxAttempts, lastErr)
-}
+// Restarts returns how many worker restarts were performed — always
+// zero here (no restart path), exposed so all engines report
+// fault-tolerance counters through the same surface.
+func (e *Engine) Restarts() int64 { return e.drv.Restarts() }
 
 // NewEngine validates the config and prepares the master.
 func NewEngine(cfg Config, clients []cluster.Client) (*Engine, error) {
@@ -199,7 +184,18 @@ func NewEngine(cfg Config, clients []cluster.Client) (*Engine, error) {
 	} else if _, err := opt.New(cfg.Opt); err != nil {
 		return nil, err
 	}
-	return &Engine{cfg: cfg, clients: clients, mdl: mdl, o: o}, nil
+	return &Engine{cfg: cfg, clients: clients, mdl: mdl, o: o,
+		drv: driver.New(clients, driver.Options{})}, nil
+}
+
+// workers lists all worker indices (RowSGD has no live/dead set: losing
+// a worker loses its shard).
+func (e *Engine) workers() []int {
+	out := make([]int, e.cfg.Workers)
+	for i := range out {
+		out[i] = i
+	}
+	return out
 }
 
 // NewLocalEngine spins up an in-process cluster and engine together.
@@ -254,7 +250,7 @@ func (e *Engine) Load(ds *dataset.Dataset) error {
 			Seed:        e.cfg.Seed,
 			Parallelism: e.cfg.Parallelism,
 		}
-		if err := e.clients[w].Call(MethodInit, args, nil); err != nil {
+		if err := e.drv.Call(w, driver.Call{Method: MethodInit, Args: args}, nil, nil); err != nil {
 			return fmt.Errorf("rowsgd: init worker %d: %w", w, err)
 		}
 	}
@@ -283,13 +279,15 @@ func (e *Engine) Load(ds *dataset.Dataset) error {
 				}
 				labels = append(labels, ds.Points[i].Label)
 			}
-			if err := e.clients[w].Call(MethodLoadRows, &LoadRowsArgs{Labels: labels, Data: csr}, nil); err != nil {
+			// Loads are not idempotent, so they never retry (Retry false).
+			if err := e.drv.Call(w, driver.Call{Method: MethodLoadRows,
+				Args: &LoadRowsArgs{Labels: labels, Data: csr}}, nil, nil); err != nil {
 				return fmt.Errorf("rowsgd: load worker %d: %w", w, err)
 			}
 		}
 	}
 	for w := 0; w < e.cfg.Workers; w++ {
-		if err := e.clients[w].Call(MethodLoadDone, &LoadDoneArgs{}, nil); err != nil {
+		if err := e.drv.Call(w, driver.Call{Method: MethodLoadDone, Args: &LoadDoneArgs{}}, nil, nil); err != nil {
 			return err
 		}
 	}
@@ -303,14 +301,6 @@ func (e *Engine) Load(ds *dataset.Dataset) error {
 	e.trace.LoadCost = e.cfg.Net.LoadTime(stats.Messages, stats.Bytes, e.cfg.Workers, ds.NNZ()/int64(e.cfg.Workers))
 	e.recordMemory(ds)
 	return nil
-}
-
-func (e *Engine) traffic() (msgs, bytes int64) {
-	for _, c := range e.clients {
-		msgs += c.Messages()
-		bytes += c.Bytes()
-	}
-	return
 }
 
 // Step runs one outer iteration of the selected system.
@@ -346,9 +336,13 @@ func (e *Engine) stepPullPush() (float64, error) {
 			e.history = e.history[:e.cfg.Staleness+1]
 		}
 	}
-	m0, b0 := e.traffic()
+	iter := e.cfg.Seed + e.iter
+	batch := e.perWorkerBatch()
+	tr := &driver.Traffic{}
 	replies := make([]GradReply, e.cfg.Workers)
-	for w := 0; w < e.cfg.Workers; w++ {
+	// Concurrent fan-out; replies land in worker-indexed slots so the
+	// gradient aggregation below stays in deterministic worker order.
+	if _, err := e.drv.Gather(e.workers(), tr, func(_, w int) driver.Call {
 		pulled := e.params
 		if e.cfg.Staleness > 0 {
 			lag := w % (e.cfg.Staleness + 1)
@@ -357,12 +351,12 @@ func (e *Engine) stepPullPush() (float64, error) {
 			}
 			pulled = e.history[lag]
 		}
-		args := &ComputeGradArgs{Iter: e.cfg.Seed + e.iter, BatchSize: e.perWorkerBatch(), Model: ToDense(pulled.W)}
-		if err := e.call(w, MethodComputeGrad, args, &replies[w]); err != nil {
-			return 0, err
-		}
+		return driver.Call{Method: MethodComputeGrad,
+			Args:  &ComputeGradArgs{Iter: iter, BatchSize: batch, Model: ToDense(pulled.W)},
+			Reply: &replies[w], Retry: true}
+	}); err != nil {
+		return 0, err
 	}
-	m1, b1 := e.traffic()
 
 	loss, nnz, err := e.applyGrads(replies)
 	if err != nil {
@@ -372,15 +366,15 @@ func (e *Engine) stepPullPush() (float64, error) {
 	// Phase split: the pull direction carries K dense model copies; the
 	// push direction is the remainder (sparse gradients).
 	pullBytes := int64(e.cfg.Workers) * e.modelWireBytes()
-	total := b1 - b0
+	total := tr.Bytes()
 	pushBytes := total - pullBytes
 	if pushBytes < 0 {
 		pushBytes = 0
 		pullBytes = total
 	}
 	phases := []simnet.Phase{
-		{Label: "pull-model", Messages: (m1 - m0) / 2, Bytes: pullBytes, Links: e.cfg.links()},
-		{Label: "push-grads", Messages: (m1 - m0) / 2, Bytes: pushBytes, Links: e.cfg.links()},
+		{Label: "pull-model", Messages: tr.Messages() / 2, Bytes: pullBytes, Links: e.cfg.links()},
+		{Label: "push-grads", Messages: tr.Messages() / 2, Bytes: pushBytes, Links: e.cfg.links()},
 	}
 	return loss, e.finishIteration(loss, nnz, phases)
 }
@@ -390,17 +384,21 @@ func (e *Engine) stepPullPush() (float64, error) {
 // sparse gradients.
 func (e *Engine) stepSparse() (float64, error) {
 	iter := e.cfg.Seed + e.iter
-	m0, b0 := e.traffic()
+	batch := e.perWorkerBatch()
+	needArgs := &NeedArgs{Iter: iter, BatchSize: batch}
+	trNeed := &driver.Traffic{}
 	needs := make([]NeedReply, e.cfg.Workers)
-	for w := 0; w < e.cfg.Workers; w++ {
-		if err := e.call(w, MethodNeededDims, &NeedArgs{Iter: iter, BatchSize: e.perWorkerBatch()}, &needs[w]); err != nil {
-			return 0, err
-		}
+	if _, err := e.drv.Gather(e.workers(), trNeed, func(_, w int) driver.Call {
+		return driver.Call{Method: MethodNeededDims, Args: needArgs, Reply: &needs[w], Retry: true}
+	}); err != nil {
+		return 0, err
 	}
-	m1, b1 := e.traffic()
 
+	// The second fan-out genuinely depends on the first: each worker's
+	// pulled values are gathered from the dimensions it just reported.
+	trGrad := &driver.Traffic{}
 	replies := make([]GradReply, e.cfg.Workers)
-	for w := 0; w < e.cfg.Workers; w++ {
+	if _, err := e.drv.Gather(e.workers(), trGrad, func(_, w int) driver.Call {
 		dims := needs[w].Dims
 		values := make([]DenseVec, e.mdl.ParamRows())
 		for r := range values {
@@ -409,20 +407,20 @@ func (e *Engine) stepSparse() (float64, error) {
 				values[r][i] = e.params.W[r][d]
 			}
 		}
-		args := &SparseGradArgs{Iter: iter, BatchSize: e.perWorkerBatch(), Dims: dims, Values: values}
-		if err := e.call(w, MethodSparseGrad, args, &replies[w]); err != nil {
-			return 0, err
-		}
+		return driver.Call{Method: MethodSparseGrad,
+			Args:  &SparseGradArgs{Iter: iter, BatchSize: batch, Dims: dims, Values: values},
+			Reply: &replies[w], Retry: true}
+	}); err != nil {
+		return 0, err
 	}
-	m2, b2 := e.traffic()
 
 	loss, nnz, err := e.applyGrads(replies)
 	if err != nil {
 		return 0, err
 	}
 	phases := []simnet.Phase{
-		{Label: "request-dims", Messages: m1 - m0, Bytes: b1 - b0, Links: e.cfg.links()},
-		{Label: "sparse-pull+push", Messages: m2 - m1, Bytes: b2 - b1, Links: e.cfg.links()},
+		trNeed.Phase("request-dims", e.cfg.links()),
+		trGrad.Phase("sparse-pull+push", e.cfg.links()),
 	}
 	return loss, e.finishIteration(loss, nnz, phases)
 }
@@ -431,45 +429,50 @@ func (e *Engine) stepSparse() (float64, error) {
 // averaging AllReduce (master-mediated here; byte volume matches a ring).
 func (e *Engine) stepMA() (float64, error) {
 	iter := e.cfg.Seed + e.iter
-	m0, b0 := e.traffic()
+	ltArgs := &LocalTrainArgs{Iter: iter, Steps: e.cfg.LocalSteps, BatchSize: e.perWorkerBatch()}
+	trLocal := &driver.Traffic{}
+	ltReplies := make([]LocalTrainReply, e.cfg.Workers)
+	if _, err := e.drv.Gather(e.workers(), trLocal, func(_, w int) driver.Call {
+		return driver.Call{Method: MethodLocalTrain, Args: ltArgs, Reply: &ltReplies[w], Retry: true}
+	}); err != nil {
+		return 0, err
+	}
 	var lossSum float64
 	var nnz int64
-	for w := 0; w < e.cfg.Workers; w++ {
-		var r LocalTrainReply
-		args := &LocalTrainArgs{Iter: iter, Steps: e.cfg.LocalSteps, BatchSize: e.perWorkerBatch()}
-		if err := e.call(w, MethodLocalTrain, args, &r); err != nil {
-			return 0, err
-		}
-		lossSum += r.LossMean
-		if r.NNZ > nnz {
-			nnz = r.NNZ
+	for w := range ltReplies {
+		lossSum += ltReplies[w].LossMean
+		if ltReplies[w].NNZ > nnz {
+			nnz = ltReplies[w].NNZ
 		}
 	}
-	m1, b1 := e.traffic()
 
-	// AllReduce averaging.
+	// AllReduce averaging: gather all replicas, then sum in worker
+	// order (floating-point addition order is part of bit-identity).
+	trAll := &driver.Traffic{}
+	mReplies := make([]ModelReply, e.cfg.Workers)
+	if _, err := e.drv.Gather(e.workers(), trAll, func(_, w int) driver.Call {
+		return driver.Call{Method: MethodGetModel, Args: &GetModelArgs{}, Reply: &mReplies[w], Retry: true}
+	}); err != nil {
+		return 0, err
+	}
 	avg := model.NewParams(e.mdl.ParamRows(), e.m)
-	for w := 0; w < e.cfg.Workers; w++ {
-		var r ModelReply
-		if err := e.call(w, MethodGetModel, &GetModelArgs{}, &r); err != nil {
-			return 0, err
-		}
-		if err := avg.Add(&model.Params{W: FromDenseVecs(r.W)}); err != nil {
+	for w := range mReplies {
+		if err := avg.Add(&model.Params{W: FromDenseVecs(mReplies[w].W)}); err != nil {
 			return 0, err
 		}
 	}
 	avg.Scale(1 / float64(e.cfg.Workers))
-	for w := 0; w < e.cfg.Workers; w++ {
-		if err := e.call(w, MethodSetModel, &SetModelArgs{W: ToDense(avg.W)}, nil); err != nil {
-			return 0, err
-		}
+	setArgs := &SetModelArgs{W: ToDense(avg.W)}
+	if _, err := e.drv.Gather(e.workers(), trAll, func(_, w int) driver.Call {
+		return driver.Call{Method: MethodSetModel, Args: setArgs, Retry: true}
+	}); err != nil {
+		return 0, err
 	}
-	m2, b2 := e.traffic()
 
 	loss := lossSum / float64(e.cfg.Workers)
 	phases := []simnet.Phase{
-		{Label: "local-train", Messages: m1 - m0, Bytes: b1 - b0, Links: e.cfg.links()},
-		{Label: "allreduce", Messages: m2 - m1, Bytes: b2 - b1, Links: e.cfg.links()},
+		trLocal.Phase("local-train", e.cfg.links()),
+		trAll.Phase("allreduce", e.cfg.links()),
 	}
 	return loss, e.finishIteration(loss, nnz, phases)
 }
@@ -514,9 +517,13 @@ func (e *Engine) applyGrads(replies []GradReply) (float64, int64, error) {
 	return lossSum / float64(count), maxNNZ, nil
 }
 
-// finishIteration prices the iteration and appends it to the trace.
+// finishIteration prices the iteration (through the shared measured-
+// phase seam) and appends it to the trace.
 func (e *Engine) finishIteration(loss float64, maxNNZ int64, phases []simnet.Phase) error {
-	cost := e.cfg.Net.IterationTime(maxNNZ, phases)
+	cost, err := costmodel.PriceRound(costmodel.Measured(phases), maxNNZ, e.cfg.Net)
+	if err != nil {
+		return err
+	}
 	recLoss := loss
 	if e.cfg.EvalEvery > 0 {
 		if int(e.iter)%e.cfg.EvalEvery == 0 {
@@ -537,6 +544,7 @@ func (e *Engine) finishIteration(loss float64, maxNNZ int64, phases []simnet.Pha
 		MaxWorkerNNZ: maxNNZ,
 		Wall:         time.Since(e.wallStart),
 	})
+	e.drv.Publish(e.trace)
 	e.iter++
 	return nil
 }
@@ -571,7 +579,7 @@ func (e *Engine) FullLoss() (float64, error) {
 	var count int
 	for w := 0; w < e.cfg.Workers; w++ {
 		var r EvalReply
-		if err := e.call(w, MethodEvalLoss, args, &r); err != nil {
+		if err := e.drv.Call(w, driver.Call{Method: MethodEvalLoss, Args: args, Reply: &r, Retry: true}, nil, nil); err != nil {
 			return 0, err
 		}
 		lossSum += r.LossSum
@@ -590,7 +598,7 @@ func (e *Engine) ExportModel() (*model.Params, error) {
 		return e.params.Clone(), nil
 	}
 	var r ModelReply
-	if err := e.call(0, MethodGetModel, &GetModelArgs{}, &r); err != nil {
+	if err := e.drv.Call(0, driver.Call{Method: MethodGetModel, Args: &GetModelArgs{}, Reply: &r, Retry: true}, nil, nil); err != nil {
 		return nil, err
 	}
 	return &model.Params{W: FromDenseVecs(r.W)}, nil

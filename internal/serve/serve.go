@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"columnsgd/internal/driver"
 	"columnsgd/internal/model"
 	"columnsgd/internal/par"
 	"columnsgd/internal/partition"
@@ -461,49 +462,32 @@ func (s *Server) fail(batch []*request, err error) {
 
 // callShard invokes one shard scorer with a per-call timeout and a single
 // retry: a transient shard failure costs one extra round-trip, not the
-// whole batch.
+// whole batch. The attempt/deadline loop is the training driver's
+// driver.Policy, so serving and training share one timeout/retry
+// implementation (a timed-out attempt's goroutine is abandoned — the
+// buffered result channel inside Policy keeps it from racing a retry).
 func (s *Server) callShard(k int, snap *snapshot, batch model.Batch) ([]float64, error) {
 	req := ShardRequest{Shard: k, Version: snap.version, Params: snap.shards[k], Batch: batch}
 	reqBytes := s.shardRequestBytes(batch)
-	var lastErr error
-	for attempt := 0; attempt < 2; attempt++ {
-		if attempt > 0 {
-			s.met.ShardRetries.Add(1)
-		}
-		stats, err := s.callOnce(k, req)
-		if err == nil {
-			s.met.Fanout.Add(reqBytes + s.shardReplyBytes(stats))
-			return stats, nil
-		}
-		if errors.Is(err, context.DeadlineExceeded) {
-			s.met.ShardTimeouts.Add(1)
-		}
-		lastErr = err
+	p := driver.Policy{
+		Attempts:  2,
+		Timeout:   s.opts.ShardTimeout,
+		OnRetry:   func(error) { s.met.ShardRetries.Add(1) },
+		OnTimeout: func() { s.met.ShardTimeouts.Add(1) },
 	}
-	return nil, lastErr
-}
-
-// callOnce enforces ShardTimeout even against scorers that ignore their
-// context: the call runs in its own goroutine and is abandoned on
-// deadline.
-func (s *Server) callOnce(k int, req ShardRequest) ([]float64, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), s.opts.ShardTimeout)
-	defer cancel()
-	type res struct {
-		stats []float64
-		err   error
-	}
-	ch := make(chan res, 1)
-	go func() {
+	v, err := p.Do(func(ctx context.Context) (interface{}, error) {
 		stats, err := s.scorers[k].PartialStats(ctx, req)
-		ch <- res{stats, err}
-	}()
-	select {
-	case r := <-ch:
-		return r.stats, r.err
-	case <-ctx.Done():
-		return nil, ctx.Err()
+		if err != nil {
+			return nil, err
+		}
+		return stats, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	stats := v.([]float64)
+	s.met.Fanout.Add(reqBytes + s.shardReplyBytes(stats))
+	return stats, nil
 }
 
 // shardRequestBytes models one shard call's request payload under the

@@ -81,11 +81,11 @@ func TestF16Rounding(t *testing.T) {
 		{0, 0},
 		{1, 1},
 		{-2, -2},
-		{65504, 65504},            // max finite half
-		{65536, math.Inf(1)},      // overflow saturates
-		{-1e10, math.Inf(-1)},     // overflow saturates
+		{65504, 65504},        // max finite half
+		{65536, math.Inf(1)},  // overflow saturates
+		{-1e10, math.Inf(-1)}, // overflow saturates
 		{5.960464477539063e-08, 5.960464477539063e-08}, // smallest subnormal
-		{1e-10, 0},                // underflow flushes to zero
+		{1e-10, 0},                  // underflow flushes to zero
 		{1.0 / 3.0, 0.333251953125}, // nearest half to 1/3
 	}
 	for _, c := range cases {
