@@ -61,6 +61,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeResponse -fuzztime=10s ./internal/cluster/
 	$(GO) test -run=^$$ -fuzz=FuzzWireDecode -fuzztime=10s ./internal/wire/
 	$(GO) test -run=^$$ -fuzz=FuzzWireRoundTrip -fuzztime=10s ./internal/wire/
+	$(GO) test -run=^$$ -fuzz=FuzzStalenessClock -fuzztime=10s ./internal/ssp/
 
 # cover reports statement coverage everywhere and enforces a floor on
 # internal/wire — the one package whose bugs corrupt bytes silently

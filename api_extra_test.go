@@ -86,6 +86,42 @@ func TestEpochAccessViaAPI(t *testing.T) {
 	}
 }
 
+func TestStalenessViaAPI(t *testing.T) {
+	ds := genBinary(t, 300, 30, 17)
+	cfg := columnsgd.Config{
+		LearningRate: 0.5, Workers: 3, BatchSize: 64, Iterations: 120, Seed: 5,
+		Staleness: 2, StalenessSeed: 7,
+	}
+	res, err := columnsgd.Train(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.FinalLoss) || res.FinalLoss > 0.35 {
+		t.Fatalf("SSP run did not converge: final loss %v", res.FinalLoss)
+	}
+	// Same staleness seed, same schedule, same model — bit for bit.
+	again, err := columnsgd.Train(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(res.FinalLoss) != math.Float64bits(again.FinalLoss) {
+		t.Fatalf("SSP replay diverged: %v vs %v", res.FinalLoss, again.FinalLoss)
+	}
+
+	// Backup and Pipeline are BSP round mechanisms; the conflict must
+	// surface as a config error, not silent misbehavior.
+	bad := cfg
+	bad.Workers, bad.Backup = 4, 1
+	if _, err := columnsgd.Train(ds, bad); err == nil {
+		t.Fatal("Staleness+Backup accepted")
+	}
+	bad = cfg
+	bad.Pipeline = true
+	if _, err := columnsgd.Train(ds, bad); err == nil {
+		t.Fatal("Staleness+Pipeline accepted")
+	}
+}
+
 func TestStragglerSimulationViaAPI(t *testing.T) {
 	ds := genBinary(t, 200, 16, 29)
 	base := columnsgd.Config{LearningRate: 0.3, Workers: 4, BatchSize: 32, Iterations: 20, Seed: 3}

@@ -55,6 +55,7 @@ func BenchmarkAblationStatisticsSize(b *testing.B) { benchExperiment(b, "ablatio
 func BenchmarkAblationBlockSize(b *testing.B)      { benchExperiment(b, "ablation-blocksize") }
 func BenchmarkAblationAccess(b *testing.B)         { benchExperiment(b, "ablation-access") }
 func BenchmarkAblationAsync(b *testing.B)          { benchExperiment(b, "ablation-async") }
+func BenchmarkStalenessSSP(b *testing.B)           { benchExperiment(b, "staleness") }
 
 // Kernel micro-benchmarks: the per-iteration hot path of a ColumnSGD
 // worker (statistics + update) across models and batch sizes.

@@ -373,6 +373,157 @@ func TestChaosReplayBitIdentical(t *testing.T) {
 	}
 }
 
+// asyncReplayHint is the one-command reproduction line for bounded-
+// staleness cells: the chaos seed alone is not a complete bug report
+// under SSP — the staleness bound and lag-schedule seed pick the
+// execution schedule, so they ride along.
+func asyncReplayHint(spec chaos.Spec, w diff.Workload) string {
+	return fmt.Sprintf("replay: go run ./cmd/colsgd-bench -chaos %q -seed %d -staleness %d -staleness-seed %d",
+		spec.String(), spec.Seed, w.Staleness, w.StalenessSeed)
+}
+
+// TestChaosAsyncTwinMatrix is the bounded-staleness twin of the
+// transient matrix: every engine runs the same seeded fault schedules
+// under the SSP runtime (s = 2). BSP's bit-identity-with-plain gate
+// does not transfer — stale reads change the math — so the async cells
+// assert the SSP replacements:
+//
+//	(a') a zero-fault chaos run is bit-identical to the plain SSP run
+//	     (the injector stays transparent under async gather);
+//	(b') the transient faults are absorbed with nonzero counters and a
+//	     final loss inside the band of the fault-free SSP run;
+//	(r)  schedule-replay determinism: the identical (chaos seed,
+//	     staleness seed) pair reproduces the identical fault schedule,
+//	     counters, and final model bit for bit.
+func TestChaosAsyncTwinMatrix(t *testing.T) {
+	faults := []struct {
+		name     string
+		spec     chaos.Spec
+		retried  bool
+		injected func(chaos.Snapshot) int64
+	}{
+		{
+			name:     "drop",
+			spec:     chaos.Spec{Seed: 401, Drop: 0.04},
+			retried:  true,
+			injected: func(s chaos.Snapshot) int64 { return s.Dropped },
+		},
+		{
+			name:     "delay-reorder",
+			spec:     chaos.Spec{Seed: 402, Delay: 0.2, Reorder: 0.05, MaxDelay: 200 * time.Microsecond},
+			injected: func(s chaos.Snapshot) int64 { return s.Delayed + s.Reordered },
+		},
+		{
+			name:     "corrupt-truncate",
+			spec:     chaos.Spec{Seed: 403, Corrupt: 0.02, Truncate: 0.02},
+			retried:  true,
+			injected: func(s chaos.Snapshot) int64 { return s.Corrupted + s.Truncated },
+		},
+	}
+	for _, eng := range diff.Engines() {
+		t.Run(eng, func(t *testing.T) {
+			w := diff.Workload{Seed: 51, Staleness: 2, StalenessSeed: 7}
+			ref, err := diff.Run(eng, w, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// (a') injector transparency survives the async runtime.
+			zero := chaos.Spec{Seed: 400}
+			chaos0, err := diff.Run(eng, w, &zero)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if chaos0.Faults.Injected() != 0 {
+				t.Fatalf("zero spec injected faults under SSP: %s", chaos0.Faults)
+			}
+			if !diff.BitIdentical(ref.Weights, chaos0.Weights) {
+				t.Errorf("chaos-0 SSP run diverges from plain SSP run (max |Δ| = %g)",
+					diff.MaxAbsDiff(ref.Weights, chaos0.Weights))
+			}
+
+			for _, f := range faults {
+				f := f
+				t.Run(f.name, func(t *testing.T) {
+					run := func() (*diff.Result, error) {
+						return runUnderWatchdog(t, f.spec, func() (*diff.Result, error) {
+							return diff.Run(eng, w, &f.spec)
+						})
+					}
+					// (b') absorbed, exercised, inside the band.
+					res, err := run()
+					if err != nil {
+						t.Fatalf("transient faults were not absorbed under staleness %d: %v\n%s",
+							w.Staleness, err, asyncReplayHint(f.spec, w))
+					}
+					if n := f.injected(res.Faults); n == 0 {
+						t.Fatalf("no %s faults fired under SSP (%s); the twin cell is vacuous. %s",
+							f.name, res.Faults, asyncReplayHint(f.spec, w))
+					}
+					if f.retried && res.Retries == 0 {
+						t.Errorf("faults fired (%s) but the engine never retried; %s",
+							res.Faults, asyncReplayHint(f.spec, w))
+					}
+					if gap := math.Abs(res.Loss - ref.Loss); !(gap <= lossBand) {
+						t.Errorf("final loss %v drifted %v from fault-free SSP %v (band %v); %s",
+							res.Loss, gap, ref.Loss, lossBand, asyncReplayHint(f.spec, w))
+					}
+					// (r) schedule-replay bit-identity replaces BSP's
+					// bit-identity gate: same seeds, same everything.
+					again, err := run()
+					if err != nil {
+						t.Fatalf("replay failed: %v\n%s", err, asyncReplayHint(f.spec, w))
+					}
+					if res.Faults != again.Faults {
+						t.Errorf("replay drew different faults:\n%s\n%s\n%s",
+							res.Faults, again.Faults, asyncReplayHint(f.spec, w))
+					}
+					if fmt.Sprint(res.Schedule) != fmt.Sprint(again.Schedule) {
+						t.Errorf("replay produced a different fault schedule; %s", asyncReplayHint(f.spec, w))
+					}
+					if !diff.BitIdentical(res.Weights, again.Weights) {
+						t.Errorf("replay produced a different model (max |Δ| = %g); %s",
+							diff.MaxAbsDiff(res.Weights, again.Weights), asyncReplayHint(f.spec, w))
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestChaosAsyncPermanentSeverTypedError extends invariant (c) to the
+// async runtime: a permanent partition under SSP must still surface the
+// typed error chain promptly — merge-on-arrival must not absorb a dead
+// worker into a silent hang or a partial aggregate.
+func TestChaosAsyncPermanentSeverTypedError(t *testing.T) {
+	spec := chaos.Spec{Seed: 404, Severs: []chaos.Sever{{Link: 1, AtMsg: 10}}}
+	w := diff.Workload{Seed: 61, Staleness: 2, StalenessSeed: 7}
+
+	t.Run("columnsgd", func(t *testing.T) {
+		_, err := runUnderWatchdog(t, spec, func() (*diff.Result, error) {
+			return diff.RunColumnSGD(w, &spec)
+		})
+		if err == nil {
+			t.Fatalf("permanent sever went unnoticed under SSP; %s", asyncReplayHint(spec, w))
+		}
+		if !errors.Is(err, chaos.ErrLinkSevered) || !errors.Is(err, cluster.ErrWorkerDown) {
+			t.Fatalf("want ErrLinkSevered∧ErrWorkerDown, got %v; %s", err, asyncReplayHint(spec, w))
+		}
+	})
+
+	t.Run("petuum", func(t *testing.T) {
+		_, err := runUnderWatchdog(t, spec, func() (*diff.Result, error) {
+			return diff.RunRowSGD(w, "Petuum", &spec)
+		})
+		if err == nil {
+			t.Fatalf("sever went unnoticed under SSP; %s", asyncReplayHint(spec, w))
+		}
+		if !errors.Is(err, cluster.ErrWorkerDown) {
+			t.Fatalf("want ErrWorkerDown, got %v; %s", err, asyncReplayHint(spec, w))
+		}
+	})
+}
+
 // TestChaosAgreesWithSequential sanity-checks the differential anchor:
 // fault-free distributed training lands near the sequential Algorithm 1
 // reference (they sample differently, so this is a band, not equality).

@@ -26,6 +26,7 @@ import (
 	"columnsgd/internal/partition"
 	"columnsgd/internal/rowsgd"
 	"columnsgd/internal/serve"
+	"columnsgd/internal/ssp"
 	"columnsgd/internal/vec"
 	"columnsgd/internal/wire"
 )
@@ -222,6 +223,89 @@ func benchEngineStep(p int, pipeline bool) (testing.BenchmarkResult, error) {
 			if _, err := e.Step(); err != nil {
 				benchErr = err
 				b.FailNow()
+			}
+		}
+	})
+	return res, benchErr
+}
+
+// benchEngineStepSSP measures one full ColumnSGD iteration under the
+// bounded-staleness runtime (s = 2, jittered lag schedule): async
+// gather, per-worker clocks, and merge-on-arrival aggregation replace
+// engine-step's barrier. Step is BSP-only, so each benchmark invocation
+// drives b.N rounds through Run on a persistent engine — per-op cost is
+// one SSP iteration.
+func benchEngineStepSSP(p int) (testing.BenchmarkResult, error) {
+	w := benchWorkload(p)
+	prov, err := core.NewLocalProvider(w.Workers)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	e, err := core.NewEngine(core.Config{
+		Workers:            w.Workers,
+		ModelName:          w.Model,
+		Opt:                w.Opt,
+		BatchSize:          w.Batch,
+		BlockSize:          64,
+		Seed:               w.Seed,
+		ComputeParallelism: p,
+		Staleness:          2,
+		StalenessSeed:      1,
+	}, prov)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	ds, err := w.Dataset()
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	if err := e.Load(ds); err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		if _, err := e.Run(b.N); err != nil {
+			benchErr = err
+			b.FailNow()
+		}
+	})
+	return res, benchErr
+}
+
+// benchMergeAccumulator measures the merge-on-arrival hot path in
+// isolation: one iteration per op — K statistics frames merged in
+// reverse slot order (the worst case: K−1 frames park in the reorder
+// buffer and fold when slot 0 lands), one Wait on the completed
+// aggregate, and K releases returning the buffer to the pool.
+func benchMergeAccumulator() (testing.BenchmarkResult, error) {
+	const k = 4
+	r := rand.New(rand.NewSource(77))
+	frames := make([][]float64, k)
+	for w := range frames {
+		frames[w] = make([]float64, benchBatch)
+		for i := range frames[w] {
+			frames[w][i] = r.NormFloat64()
+		}
+	}
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		acc := ssp.NewAccumulator(k, 3)
+		for i := 0; i < b.N; i++ {
+			iter := int64(i)
+			for slot := k - 1; slot >= 0; slot-- {
+				if _, err := acc.Merge(iter, slot, frames[slot]); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+			if _, err := acc.Wait(iter); err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+			for w := 0; w < k; w++ {
+				acc.Release(iter)
 			}
 		}
 	})
@@ -466,9 +550,21 @@ func runBenchJSON(path, rev string, stdout io.Writer) error {
 			return err
 		}
 	}
+	for _, p := range []int{1, 4} {
+		res, err := bestOf(func() (testing.BenchmarkResult, error) { return benchEngineStepSSP(p) })
+		if err := add(fmt.Sprintf("engine-step-ssp/lr/P%d", p), "columnsgd", "lr", p, res, err); err != nil {
+			return err
+		}
+	}
 	{
 		res, err := bestOf(benchDriverFanout)
 		if err := add("driver/fanout/K4", "driver", "none", 1, res, err); err != nil {
+			return err
+		}
+	}
+	{
+		res, err := bestOf(benchMergeAccumulator)
+		if err := add("ssp/merge-accumulator", "ssp", "none", 1, res, err); err != nil {
 			return err
 		}
 	}

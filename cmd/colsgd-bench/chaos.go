@@ -13,18 +13,24 @@ import (
 // retry/restart activity, and the loss delta against the same workload
 // on a clean transport. This is the command a failing chaos test's
 // replay hint points at: the spec string plus the seed reproduce the
-// exact per-link fault schedule the test saw.
-func runChaos(specStr string, seed int64, engines []string, pipeline bool, w io.Writer) error {
+// exact per-link fault schedule the test saw. Under bounded staleness
+// the chaos seed alone is not a complete bug report — the staleness
+// bound and lag-schedule seed pick the execution schedule — so both
+// ride along in the printed replay line.
+func runChaos(specStr string, seed int64, engines []string, pipeline bool, staleness int, staleSeed int64, w io.Writer) error {
 	spec, err := chaos.ParseSpec(specStr)
 	if err != nil {
 		return err
 	}
 	spec.Seed = seed
-	fmt.Fprintf(w, "chaos replay: spec=%q seed=%d\n", spec.String(), spec.Seed)
-	fmt.Fprintf(w, "replay: go run ./cmd/colsgd-bench -chaos %q -seed %d\n\n", spec.String(), spec.Seed)
+	fmt.Fprintf(w, "chaos replay: spec=%q seed=%d staleness=%d staleness-seed=%d\n",
+		spec.String(), spec.Seed, staleness, staleSeed)
+	fmt.Fprintf(w, "replay: go run ./cmd/colsgd-bench -chaos %q -seed %d -staleness %d -staleness-seed %d\n\n",
+		spec.String(), spec.Seed, staleness, staleSeed)
 
 	for _, engine := range engines {
-		wl := diff.Workload{Model: "lr", Seed: spec.Seed, Pipeline: pipeline}.Defaults()
+		wl := diff.Workload{Model: "lr", Seed: spec.Seed, Pipeline: pipeline,
+			Staleness: staleness, StalenessSeed: staleSeed}.Defaults()
 		ref, err := diff.Run(engine, wl, nil)
 		if err != nil {
 			return fmt.Errorf("%s reference run: %w", engine, err)

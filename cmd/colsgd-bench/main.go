@@ -39,16 +39,18 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("colsgd-bench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "", "experiment ID (empty = all)")
-		list     = fs.Bool("list", false, "list experiment IDs and exit")
-		scale    = fs.Float64("scale", 1.0, "dataset scale multiplier")
-		seed     = fs.Int64("seed", 42, "random seed")
-		iters    = fs.Int("iters", 0, "override per-run iteration count (0 = defaults)")
-		out      = fs.String("out", "", "also write the report to this file")
-		svg      = fs.String("svg", "", "also render every figure as an SVG file into this directory")
-		chaos    = fs.String("chaos", "", "replay a chaos fault spec (e.g. \"drop=0.05,corrupt=0.03\") against every engine and exit")
-		eng      = fs.String("engine", "", "with -chaos: restrict the replay to one engine")
-		pipeline = fs.Bool("pipeline", false, "with -chaos: run the ColumnSGD engine with pipelined fan-out (bit-identical; default off to match checked-in schedules)")
+		exp       = fs.String("exp", "", "experiment ID (empty = all)")
+		list      = fs.Bool("list", false, "list experiment IDs and exit")
+		scale     = fs.Float64("scale", 1.0, "dataset scale multiplier")
+		seed      = fs.Int64("seed", 42, "random seed")
+		iters     = fs.Int("iters", 0, "override per-run iteration count (0 = defaults)")
+		out       = fs.String("out", "", "also write the report to this file")
+		svg       = fs.String("svg", "", "also render every figure as an SVG file into this directory")
+		chaos     = fs.String("chaos", "", "replay a chaos fault spec (e.g. \"drop=0.05,corrupt=0.03\") against every engine and exit")
+		eng       = fs.String("engine", "", "with -chaos: restrict the replay to one engine")
+		pipeline  = fs.Bool("pipeline", false, "with -chaos: run the ColumnSGD engine with pipelined fan-out (bit-identical; default off to match checked-in schedules)")
+		staleness = fs.Int("staleness", 0, "with -chaos: bounded-staleness bound s for every engine (0 = synchronous BSP rounds)")
+		staleSeed = fs.Int64("staleness-seed", 0, "with -chaos: staleness lag-schedule seed (0 = max slack)")
 
 		benchjson = fs.String("benchjson", "", "run the micro-benchmark suite and write JSON results to this path")
 		rev       = fs.String("rev", "unknown", "with -benchjson: git revision to record in the report")
@@ -76,7 +78,7 @@ func run(args []string, stdout io.Writer) error {
 		if *eng != "" {
 			engines = []string{*eng}
 		}
-		return runChaos(*chaos, *seed, engines, *pipeline, stdout)
+		return runChaos(*chaos, *seed, engines, *pipeline, *staleness, *staleSeed, stdout)
 	}
 
 	if *list {

@@ -108,6 +108,28 @@ func TestBenchChaosReplay(t *testing.T) {
 	}
 }
 
+func TestBenchChaosReplayStaleness(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-chaos", "drop=0.05", "-seed", "7", "-engine", "petuum",
+		"-staleness", "2", "-staleness-seed", "9"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// The printed replay line must carry the full schedule identity —
+	// chaos seed AND staleness schedule seed — so one command reproduces
+	// the failure.
+	for _, want := range []string{
+		"chaos replay: spec=\"drop=0.05\" seed=7 staleness=2 staleness-seed=9",
+		"replay: go run ./cmd/colsgd-bench -chaos \"drop=0.05\" -seed 7 -staleness 2 -staleness-seed 9",
+		"[petuum]",
+		"loss:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("staleness chaos replay output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestBenchChaosRejectsBadSpec(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-chaos", "drop=nan"}, &sb); err == nil {

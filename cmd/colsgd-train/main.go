@@ -47,6 +47,8 @@ func run(args []string, stdout io.Writer) error {
 		seed      = fs.Int64("seed", 1, "random seed")
 		par       = fs.Int("parallelism", 0, "per-worker compute goroutines (0 = GOMAXPROCS; any value is bit-identical)")
 		pipeline  = fs.Bool("pipeline", true, "overlap next iteration's batch-plan broadcast with the current update (bit-identical)")
+		staleness = fs.Int("staleness", 0, "bounded-staleness bound s: workers run up to s iterations ahead (0 = synchronous BSP; s > 0 disables -pipeline)")
+		staleSeed = fs.Int64("staleness-seed", 0, "staleness lag-schedule seed (0 = max slack; same seed replays the same schedule)")
 		evalEvery = fs.Int("eval-every", 10, "full-loss evaluation interval (0 = batch loss)")
 		addrs     = fs.String("addrs", "", "comma-separated TCP worker addresses (empty = in-process)")
 		codec     = fs.String("codec", "", "statistics codec: gob, wire, wire-f32, wire-f16 (default: compact lossless)")
@@ -68,24 +70,31 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "loaded %s: %s\n", *dataPath, ds.Stats())
 
 	cfg := columnsgd.Config{
-		Model:        columnsgd.ModelKind(*modelName),
-		Classes:      *classes,
-		Factors:      *factors,
-		Workers:      *workers,
-		Backup:       *backup,
-		Optimizer:    columnsgd.Optimizer(*optimizer),
-		LearningRate: *lr,
-		L2:           *l2,
-		L1:           *l1,
-		BatchSize:    *batch,
-		Iterations:   *iters,
-		BlockSize:    *blockSize,
-		EpochAccess:  *epoch,
-		Seed:         *seed,
-		EvalEvery:    *evalEvery,
-		Parallelism:  *par,
-		Pipeline:     *pipeline,
-		Codec:        *codec,
+		Model:         columnsgd.ModelKind(*modelName),
+		Classes:       *classes,
+		Factors:       *factors,
+		Workers:       *workers,
+		Backup:        *backup,
+		Optimizer:     columnsgd.Optimizer(*optimizer),
+		LearningRate:  *lr,
+		L2:            *l2,
+		L1:            *l1,
+		BatchSize:     *batch,
+		Iterations:    *iters,
+		BlockSize:     *blockSize,
+		EpochAccess:   *epoch,
+		Seed:          *seed,
+		EvalEvery:     *evalEvery,
+		Parallelism:   *par,
+		Pipeline:      *pipeline,
+		Staleness:     *staleness,
+		StalenessSeed: *staleSeed,
+		Codec:         *codec,
+	}
+	if *staleness > 0 {
+		// Pipelining is a BSP round mechanism; SSP already overlaps
+		// iterations through the staleness window.
+		cfg.Pipeline = false
 	}
 	if *addrs != "" {
 		cfg.WorkerAddrs = strings.Split(*addrs, ",")

@@ -89,6 +89,23 @@ func TestRunGridSearch(t *testing.T) {
 	}
 }
 
+func TestRunStaleness(t *testing.T) {
+	data := writeData(t)
+	var sb strings.Builder
+	// -staleness runs the SSP runtime; -pipeline (on by default) is a
+	// BSP mechanism and must be dropped automatically, not rejected.
+	err := run([]string{
+		"-data", data, "-iters", "40", "-batch", "32", "-lr", "0.5",
+		"-workers", "2", "-staleness", "2", "-staleness-seed", "7",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "final loss:") {
+		t.Fatalf("staleness run produced no summary:\n%s", sb.String())
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{}, &sb); err == nil {

@@ -133,6 +133,20 @@ type Config struct {
 	// optimization (cmd/colsgd-train enables it by default).
 	Pipeline bool
 
+	// Staleness runs training under bounded-staleness (SSP) execution:
+	// workers may run up to Staleness iterations ahead of the slowest,
+	// overlapping straggler delays instead of serializing them at a
+	// barrier, with statistics merged on arrival in deterministic worker
+	// order. 0 (the default) keeps synchronous BSP rounds. Incompatible
+	// with Backup and Pipeline (both are BSP round mechanisms).
+	Staleness int
+	// StalenessSeed selects the per-worker lag schedule under Staleness:
+	// 0 means max slack (every read exactly Staleness rounds stale);
+	// nonzero seeds a jittered lag in [0, Staleness] per (worker,
+	// iteration). The same seed replays the identical schedule bit for
+	// bit.
+	StalenessSeed int64
+
 	// Codec selects the statistics wire codec: "wire" (compact lossless,
 	// the default), "gob" (legacy encoding/gob), or the lossy "wire-f32" /
 	// "wire-f16" variants that quantize statistics values to trade
@@ -232,6 +246,8 @@ func (c Config) coreConfig() core.Config {
 		EvalEvery:          c.EvalEvery,
 		ComputeParallelism: c.Parallelism,
 		Pipeline:           c.Pipeline,
+		Staleness:          c.Staleness,
+		StalenessSeed:      c.StalenessSeed,
 	}
 }
 

@@ -68,6 +68,14 @@ type Workload struct {
 	// Bit-identical to the unpipelined schedule — the golden and chaos
 	// matrices assert exactly that. Ignored by the RowSGD baselines.
 	Pipeline bool
+	// Staleness runs every engine under the bounded-staleness (SSP)
+	// runtime with workers up to Staleness iterations apart; 0 keeps
+	// synchronous BSP rounds. StalenessSeed selects the per-worker lag
+	// schedule (0 = max slack). The async chaos matrix asserts that the
+	// same fault schedule is absorbed under SSP and that replays are
+	// bit-identical.
+	Staleness     int
+	StalenessSeed int64
 }
 
 // codec parses the workload's codec selection.
@@ -259,6 +267,8 @@ func runColumnSGD(w Workload, prov core.Provider, spec *chaos.Spec) (*Result, er
 		Seed:               w.Seed,
 		ComputeParallelism: w.Parallelism,
 		Pipeline:           w.Pipeline,
+		Staleness:          w.Staleness,
+		StalenessSeed:      w.StalenessSeed,
 	}
 	e, err := core.NewEngine(cfg, prov)
 	if err != nil {
@@ -318,13 +328,15 @@ func RunRowSGD(w Workload, sys rowsgd.System, spec *chaos.Spec) (*Result, error)
 		clients = inj.Wrap(clients)
 	}
 	cfg := rowsgd.Config{
-		System:    sys,
-		Workers:   w.Workers,
-		ModelName: w.Model,
-		ModelArg:  w.ModelArg,
-		Opt:       w.Opt,
-		BatchSize: w.Batch,
-		Seed:      w.Seed,
+		System:        sys,
+		Workers:       w.Workers,
+		ModelName:     w.Model,
+		ModelArg:      w.ModelArg,
+		Opt:           w.Opt,
+		BatchSize:     w.Batch,
+		Seed:          w.Seed,
+		Staleness:     w.Staleness,
+		StalenessSeed: w.StalenessSeed,
 	}
 	e, err := rowsgd.NewEngine(cfg, clients)
 	if err != nil {

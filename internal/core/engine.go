@@ -72,6 +72,24 @@ type Config struct {
 	// unchanged, so results are bit-identical to the unpipelined
 	// schedule (enforced by the golden-determinism and chaos suites).
 	Pipeline bool
+	// Staleness switches Run from BSP to bounded-staleness (SSP)
+	// execution: each worker loops at its own pace, admitted to
+	// iteration t only while it is at most Staleness iterations ahead
+	// of the slowest worker (internal/ssp). 0 is exact BSP. SSP is
+	// incompatible with Backup (backup groups need the synchronous
+	// aggregate to pick the fastest replica) and with Pipeline (SSP
+	// subsumes it: every worker free-runs). EvalEvery is ignored under
+	// SSP — a mid-run full evaluation would re-serialize the
+	// asynchronous schedule — so the mini-batch loss is recorded each
+	// iteration instead.
+	Staleness int
+	// StalenessSeed selects the deterministic staleness schedule each
+	// worker replays: how many iterations stale the aggregate it reads
+	// before iteration t is, in [0, Staleness]. Seed 0 is the max-slack
+	// schedule (always Staleness stale — the worst case the bound
+	// admits); a nonzero seed draws per-(worker, iteration) jitter.
+	// Runs with the same seed are bit-identical (schedule replay).
+	StalenessSeed int64
 }
 
 func (c *Config) normalize() error {
@@ -114,6 +132,15 @@ func (c *Config) normalize() error {
 	case "", "none", "random", "fixed":
 	default:
 		return fmt.Errorf("core: unknown straggler mode %q", c.Stragglers.Mode)
+	}
+	if c.Staleness < 0 {
+		return fmt.Errorf("core: Staleness must be ≥ 0")
+	}
+	if c.Staleness > 0 && c.Backup > 0 {
+		return fmt.Errorf("core: Staleness and Backup are incompatible (backup groups need the synchronous aggregate)")
+	}
+	if c.Staleness > 0 && c.Pipeline {
+		return fmt.Errorf("core: Pipeline is a BSP overlap; SSP (Staleness > 0) subsumes it")
 	}
 	return nil
 }
@@ -359,6 +386,9 @@ func (e *Engine) systemName() string {
 	if e.cfg.Backup > 0 {
 		name = fmt.Sprintf("ColumnSGD-backup%d", e.cfg.Backup)
 	}
+	if e.cfg.Staleness > 0 {
+		name += fmt.Sprintf("-ssp%d", e.cfg.Staleness)
+	}
 	if e.cfg.Stragglers.Mode != "" && e.cfg.Stragglers.Mode != "none" {
 		name += fmt.Sprintf("-SL%g", e.cfg.Stragglers.Level)
 	}
@@ -478,6 +508,9 @@ func (e *Engine) Step() (IterStats, error) {
 	if e.trace == nil {
 		return IterStats{}, fmt.Errorf("core: Load must run before Step")
 	}
+	if e.cfg.Staleness > 0 {
+		return IterStats{}, fmt.Errorf("core: Step is BSP-only; Run drives bounded-staleness execution")
+	}
 	wallStart := time.Now()
 	straggler := e.stragglerFor()
 
@@ -504,8 +537,16 @@ func (e *Engine) Step() (IterStats, error) {
 		statsReplies = make([]StatsReply, len(lives))
 		statsTraffic = &driver.Traffic{}
 		args := e.statsArgs(e.iter)
-		extra, err := e.drv.Gather(lives, statsTraffic, func(slot, _ int) driver.Call {
-			return driver.Call{Method: MethodComputeStats, Args: args, Reply: &statsReplies[slot], Retry: true}
+		extra, err := e.drv.Gather(lives, statsTraffic, func(slot, w int) driver.Call {
+			c := driver.Call{Method: MethodComputeStats, Args: args, Reply: &statsReplies[slot], Retry: true}
+			if w == straggler {
+				// A wall-clock straggler holds its slot for real host
+				// time; modeled Level stretching is applied separately
+				// below. The pipelined prefetch launches before the
+				// victim is drawn, so Wall applies only here.
+				c.Delay = e.cfg.Stragglers.Wall
+			}
+			return c
 		})
 		if err != nil {
 			e.drv.Publish(e.trace)
@@ -758,8 +799,13 @@ func (e *Engine) recoverWorker(w int, c driver.Conn) error {
 
 // Run executes iters iterations and returns the trace. Any dangling
 // pipelined prefetch is drained before returning, so counters and fault
-// schedules observed after Run are deterministic.
+// schedules observed after Run are deterministic. With Staleness > 0
+// the run executes under the bounded-staleness engine instead of
+// barriered Steps.
 func (e *Engine) Run(iters int) (*metrics.Trace, error) {
+	if e.cfg.Staleness > 0 {
+		return e.runSSP(iters)
+	}
 	for i := 0; i < iters; i++ {
 		e.lastStep = i == iters-1
 		_, err := e.Step()

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"columnsgd/internal/costmodel"
+	"columnsgd/internal/driver"
+	"columnsgd/internal/metrics"
+	"columnsgd/internal/simnet"
+	"columnsgd/internal/ssp"
+)
+
+// sspRound is one iteration's bookkeeping under bounded-staleness
+// execution. Workers fill it concurrently as their calls for the
+// iteration land; runSSP assembles the trace from it in iteration order
+// once the run drains. Traffic counters are internally synchronized;
+// everything else is guarded by mu.
+type sspRound struct {
+	mu           sync.Mutex
+	statsTraffic driver.Traffic
+	updTraffic   driver.Traffic
+	// extra is recovery/retry time attributed to this iteration's calls
+	// (per-attempt deltas summed over all workers' stats and update
+	// calls for the round).
+	extra time.Duration
+	// statsMax / updMax are the modeled compute maxima over workers,
+	// straggler-stretched — the BSP critical-path analog.
+	statsMax time.Duration
+	updMax   time.Duration
+	maxNNZ   int64
+	// loss is slot 0's update-reply loss, matching BSP's "first live
+	// worker" convention so SSP traces are replay-deterministic.
+	loss float64
+	// clockLag / mergeDepth / doneAt are sampled by whichever worker's
+	// frame completed the aggregate.
+	clockLag   int64
+	mergeDepth int
+	doneAt     time.Duration
+}
+
+// runSSP executes iters iterations under bounded staleness: every live
+// worker runs its own admit → apply-stale-updates → compute-statistics →
+// merge loop over the driver's async gather, synchronized only by the
+// staleness clock and the merge-on-arrival accumulator. With
+// Staleness = 0 the admission rule degenerates to a barrier and the
+// per-link call schedule — and therefore the model — is bit-identical
+// to BSP Run.
+func (e *Engine) runSSP(iters int) (*metrics.Trace, error) {
+	if e.trace == nil {
+		return nil, fmt.Errorf("core: Load must run before Run")
+	}
+	if iters <= 0 {
+		return e.trace, nil
+	}
+	base := e.iter
+	end := base + int64(iters)
+	lives := e.LiveWorkers()
+	sched := ssp.Schedule{S: e.cfg.Staleness, Seed: e.cfg.StalenessSeed}
+	clock := ssp.NewClock(lives, e.cfg.Staleness)
+	// Window s+1 suffices: a worker merging iteration t implies the
+	// slowest clock is ≥ t−s, and a clock at c means that worker merged
+	// through c−1, so iteration t−s−1 is fully aggregated and its slot
+	// recyclable (see internal/ssp).
+	acc := ssp.NewAccumulator(len(lives), e.cfg.Staleness+1)
+	rounds := make([]sspRound, iters)
+	// One straggler draw per iteration, same as BSP Step, so straggler
+	// schedules line up across execution modes.
+	victims := make([]int, iters)
+	for i := range victims {
+		victims[i] = e.stragglerFor()
+	}
+	start := time.Now()
+
+	computeTime := func(nnz int64, w int, victim int) time.Duration {
+		t := time.Duration(float64(nnz) / e.cfg.Net.ComputeNNZPerSec * float64(time.Second))
+		if w == victim {
+			t = e.cfg.Stragglers.Stretch(t)
+		}
+		return t
+	}
+
+	err := e.drv.Async(lives, func(slot, w int, call driver.LoopCall) error {
+		applied := base
+		// applyUpTo applies completed aggregates through iteration
+		// target on this worker, in order — the stale reads the
+		// schedule prescribes.
+		applyUpTo := func(target int64) error {
+			for ; applied <= target; applied++ {
+				agg, err := acc.Wait(applied)
+				if err != nil {
+					return err
+				}
+				r := &rounds[applied-base]
+				a := e.statsArgs(applied)
+				var rep UpdateReply
+				var ex time.Duration
+				err = call(driver.Call{
+					Method: MethodUpdate,
+					Args: &UpdateArgs{Iter: a.Iter, BatchSize: a.BatchSize,
+						Epoch: a.Epoch, EpochSeed: a.EpochSeed, Stats: agg},
+					Reply: &rep,
+					Retry: true,
+				}, &r.updTraffic, &ex)
+				if err != nil {
+					return err
+				}
+				acc.Release(applied)
+				ut := computeTime(rep.NNZ, w, victims[applied-base])
+				r.mu.Lock()
+				r.extra += ex
+				if ut > r.updMax {
+					r.updMax = ut
+				}
+				if slot == 0 {
+					r.loss = rep.Loss
+				}
+				r.mu.Unlock()
+			}
+			return nil
+		}
+		run := func() error {
+			for {
+				// The clock counts iterations from 0; the engine's are
+				// absolute (Run may be called more than once).
+				tRel, err := clock.Admit(w)
+				if err != nil {
+					return err
+				}
+				t := base + tRel
+				if t >= end {
+					// Done producing statistics; drain the remaining
+					// update applications.
+					return applyUpTo(end - 1)
+				}
+				if err := applyUpTo(t - 1 - int64(sched.Lag(w, t))); err != nil {
+					return err
+				}
+				r := &rounds[t-base]
+				var rep StatsReply
+				var ex time.Duration
+				c := driver.Call{Method: MethodComputeStats, Args: e.statsArgs(t), Reply: &rep, Retry: true}
+				if victims[t-base] == w {
+					c.Delay = e.cfg.Stragglers.Wall
+				}
+				if err := call(c, &r.statsTraffic, &ex); err != nil {
+					return err
+				}
+				st := computeTime(rep.NNZ, w, victims[t-base])
+				r.mu.Lock()
+				r.extra += ex
+				if st > r.statsMax {
+					r.statsMax = st
+				}
+				if rep.NNZ > r.maxNNZ {
+					r.maxNNZ = rep.NNZ
+				}
+				r.mu.Unlock()
+				complete, err := acc.Merge(t, slot, rep.Stats)
+				if err != nil {
+					return err
+				}
+				if complete {
+					// Spread counts the completing worker (still at t)
+					// against peers that merged earlier and advanced, so
+					// even lockstep s = 0 measures 1; subtract that
+					// handoff to report realized staleness in [0, s].
+					lag := clock.Spread() - 1
+					if lag < 0 {
+						lag = 0
+					}
+					r.mu.Lock()
+					r.clockLag = lag
+					r.mergeDepth = acc.Parked()
+					r.doneAt = time.Since(start)
+					r.mu.Unlock()
+				}
+				clock.Advance(w)
+			}
+		}
+		if err := run(); err != nil {
+			// Unblock every peer waiting in Admit or Wait with the root
+			// error so the whole gather unwinds instead of hanging.
+			clock.Abort(err)
+			acc.Abort(err)
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		// A failed SSP run leaves half-open iterations; publish what
+		// completed before the fault and surface the typed error.
+		e.drv.Publish(e.trace)
+		return e.trace, err
+	}
+
+	// Assemble the trace in iteration order. Aggregates complete in
+	// order (worker-order merges behind the clock bound), so doneAt is
+	// monotone and completion-to-completion deltas are the per-iteration
+	// wall time.
+	var prevDone time.Duration
+	for rel := 0; rel < iters; rel++ {
+		r := &rounds[rel]
+		phases := []simnet.Phase{
+			r.statsTraffic.Phase("gather-stats", 1),
+			r.updTraffic.Phase("bcast-stats", 1),
+		}
+		net, err := costmodel.NetworkTime(costmodel.Measured(phases), e.cfg.Net)
+		if err != nil {
+			return e.trace, err
+		}
+		e.trace.Append(metrics.Iteration{
+			Index: int(base) + rel,
+			Loss:  r.loss,
+			Cost: simnet.IterationCost{
+				Sched:   e.cfg.Net.SchedulingOverhead,
+				Compute: r.statsMax + r.updMax + r.extra,
+				Network: net,
+			},
+			Phases:       phases,
+			MaxWorkerNNZ: r.maxNNZ,
+			Wall:         r.doneAt - prevDone,
+			ClockLag:     r.clockLag,
+			MergeDepth:   r.mergeDepth,
+		})
+		prevDone = r.doneAt
+	}
+	if peak := clock.PeakSpread() - 1; peak > e.trace.PeakClockLag {
+		e.trace.PeakClockLag = peak
+	}
+	if peak := acc.PeakParked(); peak > e.trace.PeakMergeQueue {
+		e.trace.PeakMergeQueue = peak
+	}
+	e.iter = end
+	e.drv.Publish(e.trace)
+	return e.trace, nil
+}

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"columnsgd/internal/costmodel"
+	"columnsgd/internal/dataset"
+)
+
+// flatWeights exports the engine's model as one flat weight vector.
+func flatWeights(t *testing.T, e *Engine) []float64 {
+	t.Helper()
+	full, err := e.ExportModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flat []float64
+	for _, row := range full.W {
+		flat = append(flat, row...)
+	}
+	return flat
+}
+
+// runToWeights trains iters iterations on a fresh engine and returns the
+// engine (with its trace) plus the exported flat weights.
+func runToWeights(t *testing.T, cfg Config, iters int) (*Engine, []float64) {
+	t.Helper()
+	ds := testData(t, 300, 24, 5)
+	e, _ := newTestEngine(t, cfg)
+	if err := e.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(iters); err != nil {
+		t.Fatal(err)
+	}
+	return e, flatWeights(t, e)
+}
+
+// TestSSPZeroStalenessBitIdenticalToBSP: with s = 0 the admission rule
+// is a barrier and each link sees the exact BSP call sequence
+// (stats t, update t, stats t+1, ...), aggregation stays in worker
+// order, and every worker applies the same aggregate before its next
+// batch — so weights, losses, traffic, and modeled cost must all be
+// bit-identical to the barriered Step path. The subtests walk the P
+// matrix: one parameter row for lr/svm, one per class for mlr, 1+rank
+// for fm — the degenerate SSP case must coincide on every shape.
+func TestSSPZeroStalenessBitIdenticalToBSP(t *testing.T) {
+	const iters = 40
+	cases := []struct {
+		model   string
+		arg     int
+		classes int
+	}{
+		{"lr", 0, 0},
+		{"svm", 0, 0},
+		{"mlr", 3, 3},
+		{"fm", 4, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.model, func(t *testing.T) {
+			gen := func() *dataset.Dataset {
+				ds, err := dataset.Generate(dataset.SyntheticSpec{
+					Name: "ssp-gold", N: 300, Features: 24, NNZPerRow: 4,
+					NoiseRate: 0.02, Classes: tc.classes, Seed: 5,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return ds
+			}
+			cfg := baseConfig(4)
+			cfg.ModelName, cfg.ModelArg = tc.model, tc.arg
+
+			bsp, _ := newTestEngine(t, cfg)
+			if err := bsp.Load(gen()); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := bsp.Run(iters); err != nil {
+				t.Fatal(err)
+			}
+			sspE, _ := newTestEngine(t, cfg)
+			if err := sspE.Load(gen()); err != nil {
+				t.Fatal(err)
+			}
+			// Staleness is 0, so Run would take the BSP path; call the
+			// SSP engine directly to prove the degenerate case coincides.
+			if _, err := sspE.runSSP(iters); err != nil {
+				t.Fatal(err)
+			}
+
+			bspW, sspW := flatWeights(t, bsp), flatWeights(t, sspE)
+			for i := range bspW {
+				if bspW[i] != sspW[i] {
+					t.Fatalf("weight %d: BSP %x vs SSP %x", i, bspW[i], sspW[i])
+				}
+			}
+			bt, st := bsp.Trace(), sspE.Trace()
+			if len(bt.Iterations) != iters || len(st.Iterations) != iters {
+				t.Fatalf("trace lengths %d / %d, want %d", len(bt.Iterations), len(st.Iterations), iters)
+			}
+			for i := range bt.Iterations {
+				b, s := bt.Iterations[i], st.Iterations[i]
+				if b.Loss != s.Loss {
+					t.Fatalf("iter %d loss: BSP %x vs SSP %x", i, b.Loss, s.Loss)
+				}
+				if b.Cost.Compute != s.Cost.Compute || b.Cost.Network != s.Cost.Network || b.Cost.Sched != s.Cost.Sched {
+					t.Fatalf("iter %d cost: BSP %+v vs SSP %+v", i, b.Cost, s.Cost)
+				}
+				if b.MaxWorkerNNZ != s.MaxWorkerNNZ {
+					t.Fatalf("iter %d maxNNZ: %d vs %d", i, b.MaxWorkerNNZ, s.MaxWorkerNNZ)
+				}
+				for p := range b.Phases {
+					if b.Phases[p].Bytes != s.Phases[p].Bytes || b.Phases[p].Messages != s.Phases[p].Messages {
+						t.Fatalf("iter %d phase %d traffic: %+v vs %+v", i, p, b.Phases[p], s.Phases[p])
+					}
+				}
+				if s.ClockLag != 0 || s.MergeDepth != 0 {
+					// s = 0 admits one iteration at a time, so no realized lag.
+					t.Fatalf("iter %d: s=0 recorded lag %d depth %d", i, s.ClockLag, s.MergeDepth)
+				}
+			}
+		})
+	}
+}
+
+// TestSSPScheduleReplay: the staleness schedule is a pure function of
+// (seed, worker, iteration), so two runs with the same seed are
+// bit-identical, and a different seed realizes a different schedule.
+func TestSSPScheduleReplay(t *testing.T) {
+	cfg := baseConfig(4)
+	cfg.Staleness = 2
+	cfg.StalenessSeed = 7
+	const iters = 40
+	a, aw := runToWeights(t, cfg, iters)
+	b, bw := runToWeights(t, cfg, iters)
+	for i := range aw {
+		if aw[i] != bw[i] {
+			t.Fatalf("weight %d differs across identical replays: %x vs %x", i, aw[i], bw[i])
+		}
+	}
+	at, btr := a.Trace(), b.Trace()
+	for i := range at.Iterations {
+		if at.Iterations[i].Loss != btr.Iterations[i].Loss {
+			t.Fatalf("iter %d loss differs across identical replays", i)
+		}
+	}
+	if !strings.Contains(at.System, "ssp2") {
+		t.Fatalf("system name %q does not mark the staleness bound", at.System)
+	}
+	if at.PeakClockLag > int64(cfg.Staleness) {
+		t.Fatalf("peak clock lag %d exceeds s", at.PeakClockLag)
+	}
+
+	cfg.StalenessSeed = 8
+	_, cw := runToWeights(t, cfg, iters)
+	same := true
+	for i := range aw {
+		if aw[i] != cw[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different staleness seeds produced identical weights")
+	}
+}
+
+// TestSSPMeasuredPhasePricing: the per-attempt traffic deltas recorded
+// by driver.LoopCall under async gather flow into the published
+// iteration's Measured phases, so repricing those phases through the
+// costmodel.PhaseSource seam must reproduce the recorded network cost
+// exactly. SSP reorders execution without adding or dropping calls, so
+// each iteration's measured message count must equal the BSP twin's
+// (bytes may differ slightly — the compact codec's size depends on the
+// statistics values, and stale models change the values).
+func TestSSPMeasuredPhasePricing(t *testing.T) {
+	const iters = 30
+	cfg := baseConfig(4)
+	cfg.Staleness = 2
+	cfg.StalenessSeed = 7
+	sspE, _ := runToWeights(t, cfg, iters)
+	bsp, _ := runToWeights(t, baseConfig(4), iters)
+
+	st, bt := sspE.Trace(), bsp.Trace()
+	for i, it := range st.Iterations {
+		if len(it.Phases) == 0 {
+			t.Fatalf("iter %d published no measured phases", i)
+		}
+		reprice, err := costmodel.NetworkTime(costmodel.Measured(it.Phases), cfg.Net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reprice != it.Cost.Network {
+			t.Fatalf("iter %d: repriced network time %v != recorded %v — phase accounting lost attempt deltas",
+				i, reprice, it.Cost.Network)
+		}
+		var sspMsgs, bspMsgs, sspBytes int64
+		for _, p := range it.Phases {
+			sspMsgs += p.Messages
+			sspBytes += p.Bytes
+		}
+		for _, p := range bt.Iterations[i].Phases {
+			bspMsgs += p.Messages
+		}
+		if sspMsgs != bspMsgs {
+			t.Fatalf("iter %d: SSP measured %d messages vs BSP %d — async gather added or lost calls",
+				i, sspMsgs, bspMsgs)
+		}
+		if sspBytes == 0 {
+			t.Fatalf("iter %d: no measured bytes reached the phases", i)
+		}
+	}
+}
+
+// TestSSPStaleConvergence: the max-slack schedule (seed 0) trains on
+// aggregates exactly s iterations stale and still converges on the
+// low-noise synthetic problem.
+func TestSSPStaleConvergence(t *testing.T) {
+	cfg := baseConfig(4)
+	cfg.Staleness = 2
+	e, _ := runToWeights(t, cfg, 150)
+	last := e.Trace().FinalLoss()
+	if math.IsNaN(last) || last > 0.3 {
+		t.Fatalf("s=2 max-slack run did not converge: final loss %v", last)
+	}
+}
+
+// TestSSPStragglerWallClock: with a real wall-clock delay landing on a
+// random victim each iteration, BSP serializes every delay at its
+// barrier while SSP overlaps delays on distinct workers within the
+// staleness bound — the run must be measurably faster in host time.
+func TestSSPStragglerWallClock(t *testing.T) {
+	const iters = 12
+	const wall = 25 * time.Millisecond
+	mk := func(staleness int) Config {
+		cfg := baseConfig(4)
+		cfg.Staleness = staleness
+		// Max-slack schedule (seed 0): a worker waits only for
+		// aggregate t−1−s, never for the one the sleeping victim is
+		// still computing — the loosest coupling the bound admits.
+		cfg.StalenessSeed = 0
+		cfg.Stragglers = StragglerSpec{Mode: "random", Wall: wall}
+		return cfg
+	}
+
+	start := time.Now()
+	bsp, _ := runToWeights(t, mk(0), iters)
+	bspElapsed := time.Since(start)
+
+	start = time.Now()
+	sspE, _ := runToWeights(t, mk(2), iters)
+	sspElapsed := time.Since(start)
+
+	// BSP pays every delay serially: its gather barrier waits on the
+	// victim each iteration.
+	if bspElapsed < time.Duration(iters)*wall {
+		t.Fatalf("BSP run finished in %v, below the serial delay floor %v", bspElapsed, time.Duration(iters)*wall)
+	}
+	if sspElapsed >= bspElapsed*3/4 {
+		t.Fatalf("SSP run (%v) not measurably faster than BSP (%v) under wall-clock stragglers", sspElapsed, bspElapsed)
+	}
+	if bsp.Trace().PeakClockLag != 0 {
+		t.Fatalf("BSP trace claims clock lag %d", bsp.Trace().PeakClockLag)
+	}
+	if sspE.Trace().PeakClockLag == 0 {
+		t.Fatal("SSP run under stragglers realized no clock lag at all")
+	}
+}
+
+// TestSSPConfigRules: the config surface rejects meaningless
+// combinations and Step refuses to run a staleness config.
+func TestSSPConfigRules(t *testing.T) {
+	prov, _ := NewLocalProvider(4)
+	for i, mut := range []func(*Config){
+		func(c *Config) { c.Staleness = -1 },
+		func(c *Config) { c.Staleness = 2; c.Backup = 1 },
+		func(c *Config) { c.Staleness = 2; c.Pipeline = true },
+	} {
+		cfg := baseConfig(4)
+		mut(&cfg)
+		if _, err := NewEngine(cfg, prov); err == nil {
+			t.Errorf("bad SSP config %d accepted", i)
+		}
+	}
+
+	cfg := baseConfig(2)
+	cfg.Staleness = 1
+	e, _ := newTestEngine(t, cfg)
+	if err := e.Load(testData(t, 64, 10, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Step(); err == nil || !strings.Contains(err.Error(), "BSP-only") {
+		t.Fatalf("Step under staleness returned %v, want BSP-only error", err)
+	}
+	if _, err := e.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Iter(); got != 5 {
+		t.Fatalf("iter = %d after SSP Run(5), want 5", got)
+	}
+}

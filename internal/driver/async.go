@@ -1,0 +1,52 @@
+package driver
+
+import (
+	"sync"
+	"time"
+)
+
+// This file is the driver's asynchronous gather policy — the
+// bounded-staleness counterpart of the barrier primitives in driver.go.
+// Gather fans one call per worker and waits at a barrier; Async instead
+// runs one call *stream* per worker, so an engine can keep issuing a
+// worker's next-iteration calls while other workers lag behind. Every
+// call still goes through Driver.Call on the worker's slot, which is
+// what keeps retries, recovery, restarts, per-attempt Traffic deltas,
+// and per-link message order on the single existing implementation —
+// the admission rule (how far ahead a worker may run) is owned by the
+// caller, normally an internal/ssp.Clock.
+
+// LoopCall issues one call on the loop's worker, attributing exact
+// per-attempt traffic deltas to tr and modeled retry/recovery time to
+// extra (both may be nil). Under SSP the engines pass per-iteration
+// accumulators here, so phase accounting stays exact even though calls
+// from different iterations interleave on the wire.
+type LoopCall func(c Call, tr *Traffic, extra *time.Duration) error
+
+// Async runs body once per worker, concurrently, and waits for every
+// loop to finish. body receives the worker's slot index (position in
+// workers), the worker id, and a LoopCall bound to that worker. The
+// first error in slot order is returned — the same error discipline as
+// Gather. A loop that fails should abort whatever synchronization the
+// other loops block on (ssp.Clock/Accumulator) before returning, so
+// the whole fan-out unwinds instead of hanging.
+func (d *Driver) Async(workers []int, body func(slot, worker int, call LoopCall) error) error {
+	errs := make([]error, len(workers))
+	var wg sync.WaitGroup
+	wg.Add(len(workers))
+	for i, w := range workers {
+		go func(i, w int) {
+			defer wg.Done()
+			errs[i] = body(i, w, func(c Call, tr *Traffic, extra *time.Duration) error {
+				return d.Call(w, c, tr, extra)
+			})
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

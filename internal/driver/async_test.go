@@ -1,0 +1,127 @@
+package driver
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"columnsgd/internal/cluster"
+)
+
+// TestAsyncRunsPerWorkerStreams pins the async gather contract: each
+// worker's loop issues its calls in order on its own link, loops do not
+// barrier on each other, and per-call traffic lands in the accumulator
+// the caller passed for that call.
+func TestAsyncRunsPerWorkerStreams(t *testing.T) {
+	fakes, clients := newFakes(2)
+	fakes[0].sleep = 50 * time.Millisecond // slow worker
+	d := New(clients, Options{})
+	var fastDone time.Time
+	start := time.Now()
+	trs := [2]Traffic{}
+	err := d.Async([]int{0, 1}, func(slot, w int, call LoopCall) error {
+		for it := 0; it < 3; it++ {
+			if err := call(Call{Method: fmt.Sprintf("it%d", it), Retry: true}, &trs[slot], nil); err != nil {
+				return err
+			}
+		}
+		if w == 1 {
+			fastDone = time.Now()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fast worker must finish its whole stream while the slow
+	// worker is still inside its first sleeps — no cross-worker barrier.
+	if fastDone.Sub(start) > 40*time.Millisecond {
+		t.Fatalf("fast worker's stream took %v — barriered on the slow worker", fastDone.Sub(start))
+	}
+	for w, f := range fakes {
+		f.mu.Lock()
+		got := fmt.Sprint(f.calls)
+		f.mu.Unlock()
+		if got != "[it0 it1 it2]" {
+			t.Fatalf("worker %d call order %s, want [it0 it1 it2]", w, got)
+		}
+	}
+	for slot := range trs {
+		if trs[slot].Messages() != 6 || trs[slot].Bytes() != 30 {
+			t.Fatalf("slot %d traffic = %d msgs / %d bytes, want 6/30",
+				slot, trs[slot].Messages(), trs[slot].Bytes())
+		}
+	}
+}
+
+// TestAsyncFirstErrorInSlotOrder mirrors Gather's error discipline.
+func TestAsyncFirstErrorInSlotOrder(t *testing.T) {
+	fakes, clients := newFakes(3)
+	fakes[1].down = true
+	fakes[2].down = true
+	d := New(clients, Options{})
+	err := d.Async([]int{0, 1, 2}, func(slot, w int, call LoopCall) error {
+		return call(Call{Method: "m", Retry: true}, nil, nil)
+	})
+	if err == nil || !errors.Is(err, cluster.ErrWorkerDown) {
+		t.Fatalf("err = %v", err)
+	}
+	want := fmt.Sprintf("driver: worker %d down (no restart path): %v", 1, cluster.ErrWorkerDown)
+	if err.Error() != want {
+		t.Fatalf("err = %q, want %q", err, want)
+	}
+}
+
+// TestAsyncRetryAndRecovery: the loop call shares the exact
+// retry-with-recovery implementation of the barrier path.
+func TestAsyncRetryAndRecovery(t *testing.T) {
+	fakes, clients := newFakes(2)
+	fakes[0].transient = 1
+	fakes[1].down = true
+	d := New(clients, Options{RetryExtra: 5 * time.Millisecond, Recover: func(w int, c Conn) error {
+		fakes[w].mu.Lock()
+		fakes[w].down = false
+		fakes[w].mu.Unlock()
+		return c.Call("reload", nil, nil)
+	}})
+	var extras [2]time.Duration
+	err := d.Async([]int{0, 1}, func(slot, w int, call LoopCall) error {
+		return call(Call{Method: "m", Retry: true}, nil, &extras[slot])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Retries() != 1 || d.Restarts() != 1 {
+		t.Fatalf("retries=%d restarts=%d, want 1/1", d.Retries(), d.Restarts())
+	}
+	if extras[0] != 5*time.Millisecond {
+		t.Fatalf("extra[0] = %v, want 5ms", extras[0])
+	}
+}
+
+// TestCallDelayInjectsWallTime: Call.Delay is a real sleep on the
+// worker's slot — the wall-clock straggler injection seam.
+func TestCallDelayInjectsWallTime(t *testing.T) {
+	_, clients := newFakes(1)
+	d := New(clients, Options{})
+	start := time.Now()
+	if err := d.Call(0, Call{Method: "m", Delay: 30 * time.Millisecond}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := time.Since(start); got < 30*time.Millisecond {
+		t.Fatalf("delayed call returned after %v, want ≥ 30ms", got)
+	}
+}
+
+// TestStragglerWallEnables: a wall-only spec still counts as enabled so
+// Pick draws victims for it.
+func TestStragglerWallEnables(t *testing.T) {
+	s := StragglerSpec{Wall: time.Millisecond, Mode: "random"}
+	if !s.Enabled() {
+		t.Fatal("wall-only straggler spec reported disabled")
+	}
+	if (StragglerSpec{Wall: time.Millisecond}).Enabled() {
+		t.Fatal("spec without mode reported enabled")
+	}
+}

@@ -19,7 +19,10 @@
 //   - pipelined fan-out: Start can chain a fan-out behind a previous
 //     Pending per worker, which lets an engine overlap iteration t+1's
 //     statistics computation with iteration t's update application
-//     without a cross-worker barrier (see internal/core).
+//     without a cross-worker barrier (see internal/core);
+//   - asynchronous gather (Async, see async.go): one call stream per
+//     worker instead of a barrier fan-out — the bounded-staleness
+//     execution mode internal/ssp builds on.
 //
 // Calls to the same worker are serialized by a per-worker mutex, so a
 // chained fan-out observes exactly the per-link message order a
@@ -71,6 +74,11 @@ type Call struct {
 	// false for non-idempotent calls (data loading) and one-shot reads
 	// (evaluation, export): those surface their raw error.
 	Retry bool
+	// Delay injects a real wall-clock sleep before the call's first
+	// attempt, with the worker's slot held — how StragglerSpec.Wall
+	// makes an injected straggler observable in host time (the SSP
+	// wall-clock experiments), not only in modeled time.
+	Delay time.Duration
 }
 
 // Driver executes round plans against a fixed set of workers. The
@@ -126,6 +134,9 @@ func (d *Driver) Call(w int, c Call, tr *Traffic, extra *time.Duration) error {
 
 // locked runs the retry-with-recovery loop with worker w's slot held.
 func (d *Driver) locked(w int, c Call, tr *Traffic, extra *time.Duration) error {
+	if c.Delay > 0 {
+		time.Sleep(c.Delay)
+	}
 	attempts := 1
 	if c.Retry {
 		attempts = d.opts.MaxAttempts

@@ -18,11 +18,19 @@ type StragglerSpec struct {
 	Mode string
 	// Worker is the fixed-mode victim.
 	Worker int
+	// Wall, when positive, additionally delays the victim's statistics
+	// call by a real wall-clock sleep (Call.Delay through the driver),
+	// so straggler mitigation is observable in host time and not only
+	// in the modeled cost — the seam the SSP-vs-BSP wall-clock
+	// experiments measure. Under the BSP pipelined prefetch the next
+	// round's calls launch before that round's victim is drawn, so the
+	// delay applies only to unpipelined fan-outs and to SSP runs.
+	Wall time.Duration
 }
 
 // Enabled reports whether injection is active.
 func (s StragglerSpec) Enabled() bool {
-	return s.Level > 0 && s.Mode != "" && s.Mode != "none"
+	return (s.Level > 0 || s.Wall > 0) && s.Mode != "" && s.Mode != "none"
 }
 
 // Pick selects this round's straggler from the live worker set, or -1

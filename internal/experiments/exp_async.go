@@ -19,9 +19,10 @@ func init() {
 // synchronization barrier but pays in statistical efficiency, and — the
 // paper's point — it "breaks the serial consistency of distributed SGD".
 // ColumnSGD instead keeps BSP and handles stragglers with backup
-// computation. The experiment trains Petuum-style engines at staleness 0,
-// 2, and 6 with identical seeds and compares the loss achieved per
-// iteration.
+// computation. The experiment trains Petuum-style engines under the SSP
+// runtime at staleness 0, 2, and 6 with identical seeds (jittered lag
+// schedule — each read is uniformly 0..s rounds stale, the realistic
+// async arrival pattern) and compares the loss achieved per iteration.
 func runAblationAsync(cfg Config, w io.Writer) error {
 	ds, err := genSmall("kddb", cfg)
 	if err != nil {
@@ -35,7 +36,7 @@ func runAblationAsync(cfg Config, w io.Writer) error {
 		eng, err := newRowEngine(rowsgd.Config{
 			System: rowsgd.Petuum, Workers: benchWorkers, ModelName: "lr",
 			Opt: defaultOpt(2.0), BatchSize: 128, Seed: cfg.Seed,
-			Net: net1(benchWorkers), Staleness: staleness,
+			Net: net1(benchWorkers), Staleness: staleness, StalenessSeed: 1,
 		}, ds)
 		if err != nil {
 			return err

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"columnsgd/internal/core"
+	"columnsgd/internal/metrics"
+)
+
+func init() {
+	register("staleness",
+		"Convergence and wall-clock vs staleness bound: ColumnSGD under SSP at s ∈ {0,1,2,4}",
+		runStaleness)
+}
+
+// runStaleness characterizes the bounded-staleness execution subsystem
+// on the ColumnSGD engine itself (internal/ssp; the RowSGD counterpart
+// is ablation-async): logistic regression trains under the SSP runtime
+// at s ∈ {0, 1, 2, 4} with the jittered lag schedule (each aggregate
+// read is uniformly 0..s rounds stale), holding seeds and iteration
+// counts fixed. Small bounds must track BSP's statistical efficiency —
+// that is the SSP contract the subsystem exists to honor — while the
+// realized clock lag proves workers actually ran ahead.
+//
+// The second half is the systems half of the trade: with one random
+// straggler sleeping a real wall-clock delay each iteration, BSP
+// serializes every delay at its gather barrier while s = 2 overlaps
+// delays on distinct workers inside the staleness window, finishing the
+// same round count in measurably less host time with an identical
+// per-iteration call pattern.
+func runStaleness(cfg Config, w io.Writer) error {
+	ds, err := genSmall("avazu", cfg)
+	if err != nil {
+		return err
+	}
+	iters := cfg.iters(80)
+	bounds := []int{0, 1, 2, 4}
+	tbl := metrics.NewTable("Convergence vs staleness — ColumnSGD LR under SSP (avazu-like, equal iterations, jittered schedule)",
+		"staleness", "final full loss", "loss gap vs BSP", "peak clock lag")
+	losses := map[int]float64{}
+	for _, s := range bounds {
+		eng, _, err := newColumnEngine(core.Config{
+			Workers: benchWorkers, ModelName: "lr", Opt: defaultOpt(0.5),
+			BatchSize: 128, Seed: cfg.Seed, Net: net1(benchWorkers),
+			Staleness: s, StalenessSeed: 1,
+		}, ds)
+		if err != nil {
+			return err
+		}
+		if _, err := eng.Run(iters); err != nil {
+			return err
+		}
+		loss, err := eng.FullLoss()
+		if err != nil {
+			return err
+		}
+		losses[s] = loss
+		peak := eng.Trace().PeakClockLag
+		if s > 0 && peak == 0 {
+			return fmt.Errorf("staleness: s=%d realized no clock lag — the bound never engaged", s)
+		}
+		if peak > int64(s) {
+			return fmt.Errorf("staleness: s=%d realized lag %d beyond the bound", s, peak)
+		}
+		tbl.AddRow(s, loss, loss-losses[0], peak)
+	}
+	if err := tbl.Render(w); err != nil {
+		return err
+	}
+
+	// Convergence gate: bounded staleness keeps statistical efficiency.
+	// Empirically the jittered schedule lands within a few percent of
+	// BSP at s ≤ 2 and drifts modestly at s = 4 on this workload.
+	for _, s := range []int{1, 2} {
+		if losses[s] > losses[0]*1.25 {
+			return fmt.Errorf("staleness: s=%d (%.4f) should stay near BSP (%.4f)", s, losses[s], losses[0])
+		}
+	}
+	if losses[4] > losses[0]*2.0 {
+		return fmt.Errorf("staleness: s=4 (%.4f) diverged past 2× BSP (%.4f)", losses[4], losses[0])
+	}
+	fmt.Fprintf(w, "\ncheck: equal iterations — BSP %.4f, s=1 %.4f, s=2 %.4f (near BSP), s=4 %.4f (bounded drift)\n",
+		losses[0], losses[1], losses[2], losses[4])
+
+	// Straggler wall-clock leg: a real sleep lands on one random victim
+	// per iteration. The max-slack schedule (seed 0) decouples peers
+	// from the sleeping worker as far as the bound allows.
+	const (
+		wallIters = 10
+		wallDelay = 10 * time.Millisecond
+	)
+	timeRun := func(s int) (time.Duration, error) {
+		eng, _, err := newColumnEngine(core.Config{
+			Workers: benchWorkers, ModelName: "lr", Opt: defaultOpt(0.5),
+			BatchSize: 128, Seed: cfg.Seed, Net: net1(benchWorkers),
+			Staleness: s, StalenessSeed: 0,
+			Stragglers: core.StragglerSpec{Mode: "random", Wall: wallDelay},
+		}, ds)
+		if err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		if _, err := eng.Run(wallIters); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	}
+	bspWall, err := timeRun(0)
+	if err != nil {
+		return err
+	}
+	sspWall, err := timeRun(2)
+	if err != nil {
+		return err
+	}
+	if sspWall >= bspWall {
+		return fmt.Errorf("staleness: s=2 wall clock (%v) not below BSP (%v) under a %v straggler",
+			sspWall, bspWall, wallDelay)
+	}
+	fmt.Fprintf(w, "check: one %v straggler/iteration over %d iterations — BSP %v, s=2 %v (%.2f× faster: delays overlap inside the window)\n",
+		wallDelay, wallIters, bspWall.Round(time.Millisecond), sspWall.Round(time.Millisecond),
+		float64(bspWall)/float64(sspWall))
+	return nil
+}

@@ -61,8 +61,17 @@ type Iteration struct {
 	// MaxWorkerNNZ is the busiest worker's kernel work this iteration.
 	MaxWorkerNNZ int64
 	// Wall is the real (not modeled) host time the iteration took —
-	// useful for profiling the harness itself.
+	// useful for profiling the harness itself. Under SSP iterations
+	// overlap, so Wall is the completion-to-completion delta instead.
 	Wall time.Duration
+	// ClockLag is how many iterations the fastest worker had run past
+	// the iteration whose aggregate just completed — the realized
+	// staleness, in [0, s]. Always 0 under BSP (and under SSP s=0).
+	ClockLag int64
+	// MergeDepth is the merge-on-arrival queue depth (statistics frames
+	// parked awaiting their deterministic merge turn) when this
+	// iteration's aggregate completed. Always 0 under BSP.
+	MergeDepth int
 }
 
 // Trace is an append-only log of iterations plus run-level facts.
@@ -83,6 +92,11 @@ type Trace struct {
 	// by the round driver (internal/driver) for every engine.
 	Retries  int64
 	Restarts int64
+	// PeakClockLag / PeakMergeQueue summarize a bounded-staleness run:
+	// the largest realized staleness (≤ s) and the deepest
+	// merge-on-arrival reorder queue observed (both 0 under BSP).
+	PeakClockLag   int64
+	PeakMergeQueue int
 }
 
 // Append adds an iteration record.

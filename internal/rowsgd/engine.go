@@ -61,12 +61,21 @@ type Config struct {
 	// Repartition adds a global shuffle during loading
 	// (MLlib-Repartition in Fig. 7).
 	Repartition bool
-	// Staleness > 0 switches MLlib/Petuum-style training from BSP to a
-	// bounded-staleness protocol (the asynchronous approach §VI of the
-	// paper discusses): worker w computes its gradient against the model
-	// from up to (w mod Staleness+1) iterations ago, removing the
-	// synchronization barrier at the price of statistical efficiency.
+	// Staleness > 0 switches Run from BSP to bounded-staleness (SSP)
+	// execution (the asynchronous approach §VI of the paper discusses):
+	// each worker loops at its own pace, at most Staleness iterations
+	// ahead of the slowest, computing against a model version up to
+	// Staleness rounds old — no synchronization barrier, at the price
+	// of statistical efficiency. Applies to all four baselines.
+	// EvalEvery is ignored under SSP (a mid-run full evaluation would
+	// re-serialize the asynchronous schedule); the mini-batch loss is
+	// recorded each iteration instead.
 	Staleness int
+	// StalenessSeed selects the deterministic staleness schedule (see
+	// internal/ssp): 0 is the max-slack schedule (every read Staleness
+	// rounds old), a nonzero seed draws per-(worker, iteration) jitter.
+	// Runs with the same seed are bit-identical (schedule replay).
+	StalenessSeed int64
 	// Codec names the statistics wire codec for NewLocalEngine's
 	// in-process transport: "gob", "wire", "wire-f32", "wire-f16".
 	// Empty means the default (compact, lossless).
@@ -102,9 +111,6 @@ func (c *Config) normalize() error {
 	if c.Staleness < 0 {
 		return fmt.Errorf("rowsgd: Staleness must be ≥ 0")
 	}
-	if c.Staleness > 0 && c.System != MLlib && c.System != Petuum {
-		return fmt.Errorf("rowsgd: staleness only applies to MLlib/Petuum-style engines")
-	}
 	if c.Net.Name == "" {
 		c.Net = simnet.Cluster1().WithWorkers(c.Workers)
 	}
@@ -132,18 +138,15 @@ func (c *Config) links() int {
 // MLlib* the workers own replicas and the master only orchestrates the
 // averaging.
 type Engine struct {
-	cfg     Config
-	clients []cluster.Client
-	mdl     model.Model
-	o       opt.Optimizer
-	params  *model.Params // nil for MLlib*
-	m       int
-	n       int
-	trace   *metrics.Trace
-	iter    int64
-	// history holds recent model snapshots for bounded staleness
-	// (history[0] is the current model).
-	history   []*model.Params
+	cfg       Config
+	clients   []cluster.Client
+	mdl       model.Model
+	o         opt.Optimizer
+	params    *model.Params // nil for MLlib*
+	m         int
+	n         int
+	trace     *metrics.Trace
+	iter      int64
 	wallStart time.Time
 	// drv executes the round plan: concurrent fan-out with task-retry
 	// semantics (transient errors relaunch the call on the same worker;
@@ -308,6 +311,9 @@ func (e *Engine) Step() (float64, error) {
 	if e.trace == nil {
 		return 0, fmt.Errorf("rowsgd: Load must run before Step")
 	}
+	if e.cfg.Staleness > 0 {
+		return 0, fmt.Errorf("rowsgd: Step is BSP-only; Run drives bounded-staleness execution")
+	}
 	e.wallStart = time.Now()
 	switch e.cfg.System {
 	case MLlib, Petuum:
@@ -325,17 +331,8 @@ func (e *Engine) perWorkerBatch() int { return e.cfg.BatchSize / e.cfg.Workers }
 
 // stepPullPush implements Algorithm 2: broadcast the dense model, gather
 // sparse gradients, update at the master. MLlib and Petuum share the math;
-// only the link pricing differs. With Staleness > 0 each worker pulls a
-// model snapshot up to (w mod S+1) iterations old instead of the barrier-
-// synchronized current one.
+// only the link pricing differs.
 func (e *Engine) stepPullPush() (float64, error) {
-	if e.cfg.Staleness > 0 {
-		// Maintain the snapshot window: newest first.
-		e.history = append([]*model.Params{e.params.Clone()}, e.history...)
-		if len(e.history) > e.cfg.Staleness+1 {
-			e.history = e.history[:e.cfg.Staleness+1]
-		}
-	}
 	iter := e.cfg.Seed + e.iter
 	batch := e.perWorkerBatch()
 	tr := &driver.Traffic{}
@@ -343,16 +340,8 @@ func (e *Engine) stepPullPush() (float64, error) {
 	// Concurrent fan-out; replies land in worker-indexed slots so the
 	// gradient aggregation below stays in deterministic worker order.
 	if _, err := e.drv.Gather(e.workers(), tr, func(_, w int) driver.Call {
-		pulled := e.params
-		if e.cfg.Staleness > 0 {
-			lag := w % (e.cfg.Staleness + 1)
-			if lag >= len(e.history) {
-				lag = len(e.history) - 1
-			}
-			pulled = e.history[lag]
-		}
 		return driver.Call{Method: MethodComputeGrad,
-			Args:  &ComputeGradArgs{Iter: iter, BatchSize: batch, Model: ToDense(pulled.W)},
+			Args:  &ComputeGradArgs{Iter: iter, BatchSize: batch, Model: ToDense(e.params.W)},
 			Reply: &replies[w], Retry: true}
 	}); err != nil {
 		return 0, err
@@ -559,8 +548,13 @@ func (e *Engine) modelWireBytes() int64 {
 	return int64(e.mdl.ParamRows()) * (int64(e.m)*8 + 48)
 }
 
-// Run executes iters outer iterations.
+// Run executes iters outer iterations. With Staleness > 0 the run
+// executes under the bounded-staleness engine instead of barriered
+// Steps.
 func (e *Engine) Run(iters int) (*metrics.Trace, error) {
+	if e.cfg.Staleness > 0 {
+		return e.runSSP(iters)
+	}
 	for i := 0; i < iters; i++ {
 		if _, err := e.Step(); err != nil {
 			return e.trace, err

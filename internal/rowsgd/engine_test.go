@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"columnsgd/internal/dataset"
+	"columnsgd/internal/metrics"
 	"columnsgd/internal/model"
 	"columnsgd/internal/opt"
 	"columnsgd/internal/simnet"
@@ -409,14 +410,75 @@ func TestStalenessValidation(t *testing.T) {
 	if _, err := NewLocalEngine(cfg); err == nil {
 		t.Error("negative staleness accepted")
 	}
+	// SSP applies to every baseline, and Step refuses to run one.
 	cfg = baseConfig(MXNet, 2)
 	cfg.Staleness = 2
-	if _, err := NewLocalEngine(cfg); err == nil {
-		t.Error("staleness on MXNet accepted")
+	e, err := NewLocalEngine(cfg)
+	if err != nil {
+		t.Fatalf("staleness on MXNet rejected: %v", err)
+	}
+	if err := e.Load(testData(t, 64, 10, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Step(); err == nil {
+		t.Error("Step under staleness accepted")
 	}
 }
 
+// TestStalenessZeroMatchesBSP: with s = 0 the SSP admission rule is a
+// barrier, every worker reads the current model version, and the fold
+// runs in worker order — so runSSP must reproduce the BSP trajectory
+// bit-for-bit on every baseline.
 func TestStalenessZeroMatchesBSP(t *testing.T) {
+	ds := testData(t, 150, 30, 61)
+	for _, sys := range []System{MLlib, Petuum, MXNet, MLlibStar} {
+		run := func(viaSSP bool) (*model.Params, *metrics.Trace) {
+			cfg := baseConfig(sys, 2)
+			e, err := NewLocalEngine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Load(ds); err != nil {
+				t.Fatal(err)
+			}
+			if viaSSP {
+				_, err = e.runSSP(10)
+			} else {
+				_, err = e.Run(10)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := e.ExportModel()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p, e.Trace()
+		}
+		bsp, bspTrace := run(false)
+		ssp, sspTrace := run(true)
+		for r := range bsp.W {
+			for j := range bsp.W[r] {
+				if bsp.W[r][j] != ssp.W[r][j] {
+					t.Fatalf("%s weight [%d][%d]: BSP %x vs SSP %x", sys, r, j, bsp.W[r][j], ssp.W[r][j])
+				}
+			}
+		}
+		for i := range bspTrace.Iterations {
+			if bspTrace.Iterations[i].Loss != sspTrace.Iterations[i].Loss {
+				t.Fatalf("%s iter %d loss: BSP %x vs SSP %x", sys, i,
+					bspTrace.Iterations[i].Loss, sspTrace.Iterations[i].Loss)
+			}
+		}
+		if b, s := bspTrace.CommBytes(), sspTrace.CommBytes(); b != s {
+			t.Fatalf("%s traffic: BSP %d bytes vs SSP %d", sys, b, s)
+		}
+	}
+}
+
+// TestStalenessDiverges: a positive bound with the max-slack schedule
+// actually changes the trajectory (stale reads are happening).
+func TestStalenessDiverges(t *testing.T) {
 	ds := testData(t, 150, 30, 61)
 	run := func(staleness int) *model.Params {
 		cfg := baseConfig(Petuum, 2)
@@ -438,11 +500,6 @@ func TestStalenessZeroMatchesBSP(t *testing.T) {
 		return p
 	}
 	bsp := run(0)
-	// Staleness 1: worker 0 always sees the fresh snapshot, worker 1 a
-	// one-iteration-old one; the first iteration is identical to BSP
-	// (history holds only the initial model), so parameters diverge only
-	// from iteration 2 on — verify the engines do diverge (the staleness
-	// path is active).
 	stale := run(1)
 	same := true
 	for j := range bsp.W[0] {
@@ -452,7 +509,52 @@ func TestStalenessZeroMatchesBSP(t *testing.T) {
 		}
 	}
 	if same {
-		t.Fatal("staleness=1 produced identical trajectory to BSP; stale pulls not happening")
+		t.Fatal("staleness=1 produced identical trajectory to BSP; stale reads not happening")
+	}
+}
+
+// TestStalenessScheduleReplay: same seed ⇒ bit-identical run; different
+// seed ⇒ different schedule.
+func TestStalenessScheduleReplay(t *testing.T) {
+	ds := testData(t, 150, 30, 61)
+	run := func(sys System, seed int64) *model.Params {
+		cfg := baseConfig(sys, 2)
+		cfg.Staleness = 2
+		cfg.StalenessSeed = seed
+		e, err := NewLocalEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Load(ds); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(12); err != nil {
+			t.Fatal(err)
+		}
+		p, err := e.ExportModel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	for _, sys := range []System{Petuum, MXNet, MLlibStar} {
+		a, b := run(sys, 7), run(sys, 7)
+		for j := range a.W[0] {
+			if a.W[0][j] != b.W[0][j] {
+				t.Fatalf("%s: identical seeds diverged at weight %d", sys, j)
+			}
+		}
+		c := run(sys, 8)
+		same := true
+		for j := range a.W[0] {
+			if a.W[0][j] != c.W[0][j] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: different staleness seeds produced identical weights", sys)
+		}
 	}
 }
 

@@ -1,0 +1,312 @@
+package rowsgd
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"columnsgd/internal/costmodel"
+	"columnsgd/internal/driver"
+	"columnsgd/internal/metrics"
+	"columnsgd/internal/model"
+	"columnsgd/internal/simnet"
+	"columnsgd/internal/ssp"
+)
+
+// sspRound is one iteration's bookkeeping under bounded-staleness
+// execution: workers fill it concurrently; runSSP prices and appends it
+// in iteration order after the run drains. Each system uses trA/trB for
+// its two communication phases (MLlib/Petuum put everything in trA and
+// split pull/push by bytes afterwards, as the BSP step does).
+type sspRound struct {
+	mu         sync.Mutex
+	trA        driver.Traffic
+	trB        driver.Traffic
+	loss       float64
+	maxNNZ     int64
+	clockLag   int64
+	mergeDepth int
+	doneAt     time.Duration
+}
+
+// maFrame is MLlib*'s per-worker round contribution: the locally
+// trained replica plus its loss report.
+type maFrame struct {
+	w        []DenseVec
+	lossMean float64
+	nnz      int64
+}
+
+// runSSP executes iters iterations of the selected baseline under
+// bounded staleness. Model versions are explicit: version v is the
+// global model after v rounds (for MLlib* the round-v average, held by
+// the replicas), published through an ssp.Versions window. A worker
+// admitted to iteration t reads version t−lag (the schedule's stale
+// read) and contributes its frame to an ssp.Collector; whichever worker
+// completes the set applies the round — in worker order, behind a
+// Wait(t) that serializes appliers — and publishes version t+1. With
+// s = 0 every read is Wait(t), a barrier, and the math is bit-identical
+// to the BSP Step path.
+func (e *Engine) runSSP(iters int) (*metrics.Trace, error) {
+	if e.trace == nil {
+		return nil, fmt.Errorf("rowsgd: Load must run before Run")
+	}
+	if iters <= 0 {
+		return e.trace, nil
+	}
+	base, end := e.iter, e.iter+int64(iters)
+	s := e.cfg.Staleness
+	sched := ssp.Schedule{S: s, Seed: e.cfg.StalenessSeed}
+	clock := ssp.NewClock(e.workers(), s)
+	col := ssp.NewCollector(e.cfg.Workers, s+1)
+	// Readers reach back at most s versions behind the applier chain;
+	// s+2 keeps every reachable version live (see internal/ssp).
+	vers := ssp.NewVersions(s + 2)
+	rounds := make([]sspRound, iters)
+	batch := e.perWorkerBatch()
+	start := time.Now()
+
+	if e.cfg.System == MLlibStar {
+		// The replicas already hold version base; nil marks "no SetModel
+		// needed for this read".
+		if err := vers.Publish(base, nil); err != nil {
+			return e.trace, err
+		}
+	} else {
+		// ToDense aliases the rows, so published versions snapshot the
+		// master model by cloning first.
+		if err := vers.Publish(base, ToDense(e.params.Clone().W)); err != nil {
+			return e.trace, err
+		}
+	}
+
+	// apply finishes round t from the completed worker-ordered frame
+	// set: fold, advance the model, publish version t+1. Wait(t) both
+	// serializes appliers (publish order is the happens-before edge
+	// protecting the master model and optimizer state) and keeps the
+	// fold deterministic.
+	apply := func(t int64, frames []interface{}, r *sspRound) error {
+		if _, err := vers.Wait(t); err != nil {
+			return err
+		}
+		var loss float64
+		var nnz int64
+		switch e.cfg.System {
+		case MLlibStar:
+			avg := model.NewParams(e.mdl.ParamRows(), e.m)
+			var lossSum float64
+			for _, f := range frames {
+				fr := f.(*maFrame)
+				if err := avg.Add(&model.Params{W: FromDenseVecs(fr.w)}); err != nil {
+					return err
+				}
+				lossSum += fr.lossMean
+				if fr.nnz > nnz {
+					nnz = fr.nnz
+				}
+			}
+			avg.Scale(1 / float64(e.cfg.Workers))
+			loss = lossSum / float64(e.cfg.Workers)
+			if err := vers.Publish(t+1, ToDense(avg.W)); err != nil {
+				return err
+			}
+		default:
+			replies := make([]GradReply, len(frames))
+			for i, f := range frames {
+				replies[i] = *(f.(*GradReply))
+			}
+			var err error
+			loss, nnz, err = e.applyGrads(replies)
+			if err != nil {
+				return err
+			}
+			if err := vers.Publish(t+1, ToDense(e.params.Clone().W)); err != nil {
+				return err
+			}
+		}
+		lag := clock.Spread() - 1
+		if lag < 0 {
+			lag = 0
+		}
+		r.mu.Lock()
+		r.loss = loss
+		if nnz > r.maxNNZ {
+			r.maxNNZ = nnz
+		}
+		r.clockLag = lag
+		r.mergeDepth = col.Parked()
+		r.doneAt = time.Since(start)
+		r.mu.Unlock()
+		return nil
+	}
+
+	err := e.drv.Async(e.workers(), func(slot, w int, call driver.LoopCall) error {
+		run := func() error {
+			for {
+				tRel, err := clock.Admit(w)
+				if err != nil {
+					return err
+				}
+				t := base + tRel
+				if t >= end {
+					return nil
+				}
+				vread := t - int64(sched.Lag(w, t))
+				if vread < base {
+					vread = base
+				}
+				val, err := vers.Wait(vread)
+				if err != nil {
+					return err
+				}
+				r := &rounds[t-base]
+				iterSeed := e.cfg.Seed + t
+				var frame interface{}
+				switch e.cfg.System {
+				case MLlib, Petuum:
+					rep := new(GradReply)
+					if err := call(driver.Call{Method: MethodComputeGrad,
+						Args:  &ComputeGradArgs{Iter: iterSeed, BatchSize: batch, Model: val.([]DenseVec)},
+						Reply: rep, Retry: true}, &r.trA, nil); err != nil {
+						return err
+					}
+					frame = rep
+				case MXNet:
+					var need NeedReply
+					if err := call(driver.Call{Method: MethodNeededDims,
+						Args:  &NeedArgs{Iter: iterSeed, BatchSize: batch},
+						Reply: &need, Retry: true}, &r.trA, nil); err != nil {
+						return err
+					}
+					mdl := val.([]DenseVec)
+					values := make([]DenseVec, e.mdl.ParamRows())
+					for row := range values {
+						values[row] = make([]float64, len(need.Dims))
+						for i, d := range need.Dims {
+							values[row][i] = mdl[row][d]
+						}
+					}
+					rep := new(GradReply)
+					if err := call(driver.Call{Method: MethodSparseGrad,
+						Args:  &SparseGradArgs{Iter: iterSeed, BatchSize: batch, Dims: need.Dims, Values: values},
+						Reply: rep, Retry: true}, &r.trB, nil); err != nil {
+						return err
+					}
+					frame = rep
+				case MLlibStar:
+					if val != nil {
+						if err := call(driver.Call{Method: MethodSetModel,
+							Args: &SetModelArgs{W: val.([]DenseVec)}, Retry: true}, &r.trB, nil); err != nil {
+							return err
+						}
+					}
+					var lt LocalTrainReply
+					if err := call(driver.Call{Method: MethodLocalTrain,
+						Args:  &LocalTrainArgs{Iter: iterSeed, Steps: e.cfg.LocalSteps, BatchSize: batch},
+						Reply: &lt, Retry: true}, &r.trA, nil); err != nil {
+						return err
+					}
+					var mr ModelReply
+					if err := call(driver.Call{Method: MethodGetModel,
+						Args: &GetModelArgs{}, Reply: &mr, Retry: true}, &r.trB, nil); err != nil {
+						return err
+					}
+					frame = &maFrame{w: mr.W, lossMean: lt.LossMean, nnz: lt.NNZ}
+				default:
+					return fmt.Errorf("rowsgd: unreachable system %q", e.cfg.System)
+				}
+				frames, complete, err := col.Put(t, slot, frame)
+				if err != nil {
+					return err
+				}
+				if complete {
+					if err := apply(t, frames, &rounds[t-base]); err != nil {
+						return err
+					}
+				}
+				clock.Advance(w)
+			}
+		}
+		if err := run(); err != nil {
+			clock.Abort(err)
+			col.Abort(err)
+			vers.Abort(err)
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		e.drv.Publish(e.trace)
+		return e.trace, err
+	}
+
+	// MLlib* replicas diverge again after their last local step; push
+	// the final average so ExportModel matches the BSP run, charged to
+	// the last round's allreduce like the BSP SetModel broadcast.
+	if e.cfg.System == MLlibStar {
+		val, err := vers.Wait(end)
+		if err != nil {
+			return e.trace, err
+		}
+		setArgs := &SetModelArgs{W: val.([]DenseVec)}
+		if _, err := e.drv.Gather(e.workers(), &rounds[iters-1].trB, func(_, w int) driver.Call {
+			return driver.Call{Method: MethodSetModel, Args: setArgs, Retry: true}
+		}); err != nil {
+			return e.trace, err
+		}
+	}
+
+	var prevDone time.Duration
+	for rel := 0; rel < iters; rel++ {
+		r := &rounds[rel]
+		var phases []simnet.Phase
+		switch e.cfg.System {
+		case MLlib, Petuum:
+			pullBytes := int64(e.cfg.Workers) * e.modelWireBytes()
+			total := r.trA.Bytes()
+			pushBytes := total - pullBytes
+			if pushBytes < 0 {
+				pushBytes = 0
+				pullBytes = total
+			}
+			phases = []simnet.Phase{
+				{Label: "pull-model", Messages: r.trA.Messages() / 2, Bytes: pullBytes, Links: e.cfg.links()},
+				{Label: "push-grads", Messages: r.trA.Messages() / 2, Bytes: pushBytes, Links: e.cfg.links()},
+			}
+		case MXNet:
+			phases = []simnet.Phase{
+				r.trA.Phase("request-dims", e.cfg.links()),
+				r.trB.Phase("sparse-pull+push", e.cfg.links()),
+			}
+		case MLlibStar:
+			phases = []simnet.Phase{
+				r.trA.Phase("local-train", e.cfg.links()),
+				r.trB.Phase("allreduce", e.cfg.links()),
+			}
+		}
+		cost, err := costmodel.PriceRound(costmodel.Measured(phases), r.maxNNZ, e.cfg.Net)
+		if err != nil {
+			return e.trace, err
+		}
+		e.trace.Append(metrics.Iteration{
+			Index:        int(base) + rel,
+			Loss:         r.loss,
+			Cost:         cost,
+			Phases:       phases,
+			MaxWorkerNNZ: r.maxNNZ,
+			Wall:         r.doneAt - prevDone,
+			ClockLag:     r.clockLag,
+			MergeDepth:   r.mergeDepth,
+		})
+		prevDone = r.doneAt
+	}
+	if peak := clock.PeakSpread() - 1; peak > e.trace.PeakClockLag {
+		e.trace.PeakClockLag = peak
+	}
+	if peak := col.PeakParked(); peak > e.trace.PeakMergeQueue {
+		e.trace.PeakMergeQueue = peak
+	}
+	e.iter = end
+	e.drv.Publish(e.trace)
+	return e.trace, nil
+}

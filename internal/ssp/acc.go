@@ -1,0 +1,316 @@
+package ssp
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Accumulator is the merge-on-arrival statistics accumulator: each
+// statistics frame is folded into its iteration's running aggregate as
+// it lands, instead of waiting for a barrier gather. Up to window
+// iterations are merging at once (the staleness bound guarantees the
+// in-flight span never exceeds s+1 when clock advances follow merges).
+//
+// Floating-point addition is not associative, so arrival-order merging
+// would be nondeterministic. Each iteration therefore carries a small
+// reorder buffer: frames are applied in worker-slot order, and a frame
+// that arrives early is parked until its predecessors land. The parked
+// count is the merge-queue depth published onto metrics.Trace.
+//
+// Completed aggregates are retained until every worker has Released the
+// iteration (workers read the aggregate while applying updates), then
+// their buffers return to a free list — the pooled-buffer path the
+// merge micro-benchmark measures.
+type Accumulator struct {
+	mu         sync.Mutex
+	cond       *sync.Cond
+	workers    int
+	window     int
+	slots      []accSlot
+	done       map[int64][]float64
+	rel        map[int64]int
+	top        int64 // highest completed iteration
+	free       [][]float64
+	parked     int
+	peakParked int
+	err        error
+}
+
+// accSlot is one in-flight iteration's merge state.
+type accSlot struct {
+	active bool
+	iter   int64
+	agg    []float64
+	next   int
+	parked map[int][]float64
+}
+
+// NewAccumulator builds an accumulator expecting one frame per worker
+// slot per iteration, with at most window iterations merging at once.
+func NewAccumulator(workers, window int) *Accumulator {
+	if workers <= 0 || window <= 0 {
+		panic("ssp: accumulator needs positive workers and window")
+	}
+	a := &Accumulator{
+		workers: workers,
+		window:  window,
+		slots:   make([]accSlot, window),
+		done:    make(map[int64][]float64),
+		rel:     make(map[int64]int),
+		top:     -1,
+	}
+	a.cond = sync.NewCond(&a.mu)
+	return a
+}
+
+// grabLocked returns a zeroed aggregate buffer, reusing a released one.
+func (a *Accumulator) grabLocked(n int) []float64 {
+	for len(a.free) > 0 {
+		buf := a.free[len(a.free)-1]
+		a.free = a.free[:len(a.free)-1]
+		if cap(buf) < n {
+			continue
+		}
+		buf = buf[:n]
+		for i := range buf {
+			buf[i] = 0
+		}
+		return buf
+	}
+	return make([]float64, n)
+}
+
+// addLocked folds one frame into the slot's aggregate.
+func (a *Accumulator) addLocked(s *accSlot, stats []float64) error {
+	if len(stats) != len(s.agg) {
+		return fmt.Errorf("ssp: iteration %d frame has %d stats, want %d", s.iter, len(stats), len(s.agg))
+	}
+	for i, v := range stats {
+		s.agg[i] += v
+	}
+	s.next++
+	return nil
+}
+
+// Merge folds worker slot's statistics frame for iteration iter into
+// the aggregate, parking it if earlier slots have not landed yet. It
+// reports whether this frame completed the iteration's aggregate.
+func (a *Accumulator) Merge(iter int64, slot int, stats []float64) (bool, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.err != nil {
+		return false, a.err
+	}
+	if slot < 0 || slot >= a.workers {
+		return false, fmt.Errorf("ssp: merge slot %d out of range [0,%d)", slot, a.workers)
+	}
+	s := &a.slots[int(iter%int64(a.window))]
+	if !s.active {
+		if iter <= a.top {
+			return false, fmt.Errorf("ssp: frame for already-completed iteration %d", iter)
+		}
+		s.active, s.iter, s.next = true, iter, 0
+		s.agg = a.grabLocked(len(stats))
+	} else if s.iter != iter {
+		return false, fmt.Errorf("ssp: accumulator window overflow: iteration %d collides with in-flight iteration %d (window %d)", iter, s.iter, a.window)
+	}
+	if slot != s.next {
+		if slot < s.next || (s.parked != nil && s.parked[slot] != nil) {
+			return false, fmt.Errorf("ssp: duplicate frame for iteration %d slot %d", iter, slot)
+		}
+		if s.parked == nil {
+			s.parked = make(map[int][]float64)
+		}
+		s.parked[slot] = stats
+		a.parked++
+		if a.parked > a.peakParked {
+			a.peakParked = a.parked
+		}
+		return false, nil
+	}
+	if err := a.addLocked(s, stats); err != nil {
+		return false, err
+	}
+	for {
+		f, ok := s.parked[s.next]
+		if !ok {
+			break
+		}
+		delete(s.parked, s.next)
+		a.parked--
+		if err := a.addLocked(s, f); err != nil {
+			return false, err
+		}
+	}
+	if s.next == a.workers {
+		a.done[s.iter] = s.agg
+		if s.iter > a.top {
+			a.top = s.iter
+		}
+		s.active, s.agg, s.parked = false, nil, nil
+		a.cond.Broadcast()
+		return true, nil
+	}
+	return false, nil
+}
+
+// Wait blocks until iteration iter's aggregate is complete and returns
+// it. The slice is shared read-only among the iteration's readers; it
+// is recycled only after every worker has Released the iteration.
+func (a *Accumulator) Wait(iter int64) ([]float64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for {
+		if a.err != nil {
+			return nil, a.err
+		}
+		if agg, ok := a.done[iter]; ok {
+			return agg, nil
+		}
+		a.cond.Wait()
+	}
+}
+
+// Release signals that one worker is finished reading iteration iter's
+// aggregate. After all workers release, the buffer returns to the pool.
+func (a *Accumulator) Release(iter int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.rel[iter]++
+	if a.rel[iter] < a.workers {
+		return
+	}
+	delete(a.rel, iter)
+	if buf, ok := a.done[iter]; ok {
+		delete(a.done, iter)
+		a.free = append(a.free, buf)
+	}
+}
+
+// Abort poisons the accumulator (first error wins); blocked Waits and
+// future Merges return it instead of hanging.
+func (a *Accumulator) Abort(err error) {
+	a.mu.Lock()
+	if a.err == nil && err != nil {
+		a.err = err
+	}
+	a.mu.Unlock()
+	a.cond.Broadcast()
+}
+
+// Parked returns the current merge-queue depth (frames waiting for a
+// predecessor in the deterministic merge order).
+func (a *Accumulator) Parked() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.parked
+}
+
+// PeakParked returns the largest merge-queue depth observed.
+func (a *Accumulator) PeakParked() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.peakParked
+}
+
+// Collector is the frame-set sibling of Accumulator for engines whose
+// per-iteration aggregation is not a running vector sum (the RowSGD
+// baselines average models or fold sparse gradients with reply-shaped
+// state). Frames are buffered per iteration; when the last worker's
+// frame lands, Put hands the completed set — in worker-slot order — to
+// exactly one caller, which applies it.
+type Collector struct {
+	mu         sync.Mutex
+	workers    int
+	window     int
+	slots      []colSlot
+	top        int64 // highest completed iteration
+	parked     int
+	peakParked int
+	err        error
+}
+
+type colSlot struct {
+	active bool
+	iter   int64
+	frames []interface{}
+	got    int
+}
+
+// NewCollector builds a collector expecting one frame per worker slot
+// per iteration, with at most window iterations in flight.
+func NewCollector(workers, window int) *Collector {
+	if workers <= 0 || window <= 0 {
+		panic("ssp: collector needs positive workers and window")
+	}
+	return &Collector{workers: workers, window: window, slots: make([]colSlot, window), top: -1}
+}
+
+// Put buffers worker slot's frame for iteration iter. When the frame
+// completes the set, Put returns it (worker-slot order) with complete
+// true; every other call returns (nil, false).
+func (c *Collector) Put(iter int64, slot int, frame interface{}) ([]interface{}, bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return nil, false, c.err
+	}
+	if slot < 0 || slot >= c.workers {
+		return nil, false, fmt.Errorf("ssp: put slot %d out of range [0,%d)", slot, c.workers)
+	}
+	s := &c.slots[int(iter%int64(c.window))]
+	if !s.active {
+		if iter <= c.top {
+			return nil, false, fmt.Errorf("ssp: frame for already-completed iteration %d", iter)
+		}
+		s.active, s.iter, s.got = true, iter, 0
+		if s.frames == nil {
+			s.frames = make([]interface{}, c.workers)
+		}
+	} else if s.iter != iter {
+		return nil, false, fmt.Errorf("ssp: collector window overflow: iteration %d collides with in-flight iteration %d (window %d)", iter, s.iter, c.window)
+	}
+	if s.frames[slot] != nil {
+		return nil, false, fmt.Errorf("ssp: duplicate frame for iteration %d slot %d", iter, slot)
+	}
+	s.frames[slot] = frame
+	s.got++
+	if s.got < c.workers {
+		c.parked++
+		if c.parked > c.peakParked {
+			c.peakParked = c.parked
+		}
+		return nil, false, nil
+	}
+	out := s.frames
+	s.active, s.frames = false, nil
+	if iter > c.top {
+		c.top = iter
+	}
+	c.parked -= c.workers - 1
+	return out, true, nil
+}
+
+// Abort poisons the collector; future Puts return the error.
+func (c *Collector) Abort(err error) {
+	c.mu.Lock()
+	if c.err == nil && err != nil {
+		c.err = err
+	}
+	c.mu.Unlock()
+}
+
+// Parked returns the current buffered-frame count (frames waiting for
+// the rest of their iteration's set).
+func (c *Collector) Parked() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.parked
+}
+
+// PeakParked returns the largest buffered-frame count observed.
+func (c *Collector) PeakParked() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peakParked
+}

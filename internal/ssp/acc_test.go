@@ -1,0 +1,203 @@
+package ssp
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestAccumulatorMergesInWorkerOrder: frames arriving out of order are
+// parked and the reduction happens in worker-slot order, so the sum is
+// bit-identical to a sequential in-order fold — the determinism
+// property merge-on-arrival must not give up.
+func TestAccumulatorMergesInWorkerOrder(t *testing.T) {
+	const workers = 4
+	rng := rand.New(rand.NewSource(7))
+	frames := make([][]float64, workers)
+	for w := range frames {
+		frames[w] = make([]float64, 8)
+		for i := range frames[w] {
+			// Values at wildly different magnitudes make FP addition
+			// order-sensitive, so a wrong merge order fails loudly.
+			frames[w][i] = rng.NormFloat64() * float64(int64(1)<<uint(8*w))
+		}
+	}
+	want := make([]float64, 8)
+	for w := 0; w < workers; w++ {
+		for i, v := range frames[w] {
+			want[i] += v
+		}
+	}
+
+	a := NewAccumulator(workers, 2)
+	// Adversarial arrival order: last worker first.
+	order := []int{3, 1, 2, 0}
+	for k, w := range order {
+		complete, err := a.Merge(0, w, frames[w])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, wantC := complete, k == len(order)-1; got != wantC {
+			t.Fatalf("arrival %d: complete = %v, want %v", k, got, wantC)
+		}
+	}
+	if a.PeakParked() != 3 {
+		t.Fatalf("peak parked = %d, want 3 (workers 3, 1, 2 waited for 0)", a.PeakParked())
+	}
+	got, err := a.Wait(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("agg[%d] = %x, want %x (in-order fold)", i, got[i], want[i])
+		}
+	}
+}
+
+// TestAccumulatorPoolsBuffers: released aggregates are recycled.
+func TestAccumulatorPoolsBuffers(t *testing.T) {
+	a := NewAccumulator(2, 1)
+	for iter := int64(0); iter < 3; iter++ {
+		for w := 0; w < 2; w++ {
+			if _, err := a.Merge(iter, w, []float64{1, 2}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		agg, err := a.Wait(iter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if agg[0] != 2 || agg[1] != 4 {
+			t.Fatalf("iter %d agg = %v", iter, agg)
+		}
+		a.Release(iter)
+		a.Release(iter)
+	}
+	a.mu.Lock()
+	free := len(a.free)
+	a.mu.Unlock()
+	if free != 1 {
+		t.Fatalf("free list holds %d buffers, want 1 (recycled in place)", free)
+	}
+}
+
+// TestAccumulatorWindowOverflow: an iteration landing on an occupied
+// slot is a hard error (the clock bound is supposed to prevent it).
+func TestAccumulatorWindowOverflow(t *testing.T) {
+	a := NewAccumulator(2, 1)
+	if _, err := a.Merge(0, 0, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := a.Merge(1, 0, []float64{1})
+	if err == nil || !strings.Contains(err.Error(), "window overflow") {
+		t.Fatalf("err = %v, want window overflow", err)
+	}
+}
+
+// TestAccumulatorLengthMismatch and duplicate frames are hard errors.
+func TestAccumulatorBadFrames(t *testing.T) {
+	a := NewAccumulator(3, 1)
+	if _, err := a.Merge(0, 0, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Merge(0, 1, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	b := NewAccumulator(3, 1)
+	if _, err := b.Merge(0, 2, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Merge(0, 2, []float64{1}); err == nil {
+		t.Fatal("duplicate parked frame accepted")
+	}
+	if _, err := b.Merge(0, 3, []float64{1}); err == nil {
+		t.Fatal("out-of-range slot accepted")
+	}
+}
+
+// TestAccumulatorAbortUnblocksWait mirrors the clock's abort contract.
+func TestAccumulatorAbortUnblocksWait(t *testing.T) {
+	a := NewAccumulator(2, 1)
+	boom := errors.New("boom")
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Wait(5)
+		done <- err
+	}()
+	a.Abort(boom)
+	if err := <-done; !errors.Is(err, boom) {
+		t.Fatalf("aborted wait returned %v, want boom", err)
+	}
+	if _, err := a.Merge(0, 0, []float64{1}); !errors.Is(err, boom) {
+		t.Fatalf("post-abort merge returned %v, want boom", err)
+	}
+}
+
+// TestCollectorReleasesOrderedSetOnce: the frame-set variant hands the
+// completed worker-ordered set to exactly the completing Put.
+func TestCollectorReleasesOrderedSetOnce(t *testing.T) {
+	c := NewCollector(3, 2)
+	if _, complete, err := c.Put(0, 2, "c"); err != nil || complete {
+		t.Fatalf("early frame: complete=%v err=%v", complete, err)
+	}
+	if _, complete, err := c.Put(0, 0, "a"); err != nil || complete {
+		t.Fatalf("early frame: complete=%v err=%v", complete, err)
+	}
+	// Iteration 1 can start collecting while 0 is incomplete.
+	if _, complete, err := c.Put(1, 1, "x"); err != nil || complete {
+		t.Fatalf("next-iter frame: complete=%v err=%v", complete, err)
+	}
+	frames, complete, err := c.Put(0, 1, "b")
+	if err != nil || !complete {
+		t.Fatalf("completing frame: complete=%v err=%v", complete, err)
+	}
+	if frames[0] != "a" || frames[1] != "b" || frames[2] != "c" {
+		t.Fatalf("frames = %v, want worker order [a b c]", frames)
+	}
+	if c.PeakParked() != 3 {
+		t.Fatalf("peak parked = %d, want 3", c.PeakParked())
+	}
+	if _, _, err := c.Put(0, 1, "dup"); err == nil {
+		t.Fatal("slot reuse for a done iteration must collide or error")
+	}
+}
+
+// TestVersionsWindow: publish/wait/trim semantics.
+func TestVersionsWindow(t *testing.T) {
+	v := NewVersions(2)
+	if err := v.Publish(0, "m0"); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan interface{}, 1)
+	go func() {
+		val, err := v.Wait(1)
+		if err != nil {
+			got <- err
+			return
+		}
+		got <- val
+	}()
+	if err := v.Publish(1, "m1"); err != nil {
+		t.Fatal(err)
+	}
+	if val := <-got; val != "m1" {
+		t.Fatalf("waited version = %v, want m1", val)
+	}
+	if err := v.Publish(2, "m2"); err != nil {
+		t.Fatal(err)
+	}
+	// Version 0 fell out of the window: fail fast, not deadlock.
+	if _, err := v.Wait(0); err == nil {
+		t.Fatal("trimmed version wait must error")
+	}
+	if err := v.Publish(1, "again"); err == nil {
+		t.Fatal("out-of-order publish accepted")
+	}
+	boom := errors.New("boom")
+	v.Abort(boom)
+	if _, err := v.Wait(9); !errors.Is(err, boom) {
+		t.Fatalf("aborted wait returned %v", err)
+	}
+}

@@ -1,0 +1,145 @@
+package ssp
+
+import "sync"
+
+// Clock tracks per-worker iteration clocks and enforces the staleness
+// bound: worker w may start iteration t = clock(w) only while
+// t − min(clock) ≤ s. Advance moves a worker's clock after it has
+// delivered its iteration's statistics, which wakes any waiter whose
+// bound just loosened. Drop removes a worker from the min computation
+// (a permanently failed straggler must not block the survivors), and
+// Abort poisons the clock so every blocked Admit returns the terminal
+// error instead of hanging.
+type Clock struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	s     int64
+	clock map[int]int64
+	peak  int64
+	err   error
+}
+
+// NewClock builds a clock over the worker set with staleness bound s.
+func NewClock(workers []int, s int) *Clock {
+	c := &Clock{s: int64(s), clock: make(map[int]int64, len(workers))}
+	for _, w := range workers {
+		c.clock[w] = 0
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// minLocked returns the slowest tracked clock (0 when none remain).
+func (c *Clock) minLocked() int64 {
+	first := true
+	var m int64
+	for _, t := range c.clock {
+		if first || t < m {
+			m, first = t, false
+		}
+	}
+	return m
+}
+
+// spreadLocked returns max − min over tracked clocks.
+func (c *Clock) spreadLocked() int64 {
+	first := true
+	var lo, hi int64
+	for _, t := range c.clock {
+		if first {
+			lo, hi, first = t, t, false
+			continue
+		}
+		if t < lo {
+			lo = t
+		}
+		if t > hi {
+			hi = t
+		}
+	}
+	return hi - lo
+}
+
+// Admit blocks until worker w may start its next iteration and returns
+// that iteration number. It fails with the abort error after Abort, or
+// immediately for a worker that was dropped.
+func (c *Clock) Admit(w int) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.err != nil {
+			return 0, c.err
+		}
+		t, ok := c.clock[w]
+		if !ok {
+			return 0, errDropped(w)
+		}
+		if t-c.minLocked() <= c.s {
+			return t, nil
+		}
+		c.cond.Wait()
+	}
+}
+
+// TryAdmit is the non-blocking form of Admit: it reports whether worker
+// w would be admitted right now, without waiting.
+func (c *Clock) TryAdmit(w int) (int64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.clock[w]
+	if c.err != nil || !ok {
+		return 0, false
+	}
+	return t, t-c.minLocked() <= c.s
+}
+
+// Advance moves worker w's clock forward one iteration (after its
+// statistics for the current iteration were delivered) and wakes
+// waiters whose staleness bound may have loosened.
+func (c *Clock) Advance(w int) {
+	c.mu.Lock()
+	if _, ok := c.clock[w]; ok {
+		c.clock[w]++
+		if sp := c.spreadLocked(); sp > c.peak {
+			c.peak = sp
+		}
+	}
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// Drop removes worker w from the clock — straggler recovery's terminal
+// form: a permanently dead worker must stop holding the minimum back,
+// so dropping it unblocks every waiter stuck on its clock.
+func (c *Clock) Drop(w int) {
+	c.mu.Lock()
+	delete(c.clock, w)
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// Abort poisons the clock with a terminal error (first one wins); every
+// current and future Admit returns it instead of blocking.
+func (c *Clock) Abort(err error) {
+	c.mu.Lock()
+	if c.err == nil && err != nil {
+		c.err = err
+	}
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// Spread returns the current clock spread (max − min).
+func (c *Clock) Spread() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.spreadLocked()
+}
+
+// PeakSpread returns the largest clock spread observed so far — the
+// run's realized staleness, published onto metrics.Trace.
+func (c *Clock) PeakSpread() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peak
+}

@@ -1,0 +1,140 @@
+package ssp
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// admitAsync runs Admit in a goroutine and reports on the channel.
+func admitAsync(c *Clock, w int) chan error {
+	ch := make(chan error, 1)
+	go func() {
+		_, err := c.Admit(w)
+		ch <- err
+	}()
+	return ch
+}
+
+// expectBlocked asserts the admit has not completed within a grace
+// period (a probabilistic but heavily one-sided check).
+func expectBlocked(t *testing.T, ch chan error, what string) {
+	t.Helper()
+	select {
+	case err := <-ch:
+		t.Fatalf("%s returned early (err=%v), want blocked", what, err)
+	case <-time.After(30 * time.Millisecond):
+	}
+}
+
+func expectAdmitted(t *testing.T, ch chan error, what string) {
+	t.Helper()
+	select {
+	case err := <-ch:
+		if err != nil {
+			t.Fatalf("%s: %v", what, err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatalf("%s never admitted", what)
+	}
+}
+
+// TestClockAdmitsUpToS is the staleness state machine's core rule:
+// a worker s iterations ahead of the slowest is admitted, s+1 blocks.
+func TestClockAdmitsUpToS(t *testing.T) {
+	const s = 2
+	c := NewClock([]int{0, 1}, s)
+	// Worker 0 advances s iterations while worker 1 sits at 0: each
+	// admit must pass immediately (lag ≤ s).
+	for i := 0; i < s; i++ {
+		it, ok := c.TryAdmit(0)
+		if !ok || it != int64(i) {
+			t.Fatalf("iteration %d: TryAdmit = (%d, %v), want admitted", i, it, ok)
+		}
+		c.Advance(0)
+	}
+	// Now clock(0)=s, clock(1)=0: iteration s is still admitted...
+	if it, ok := c.TryAdmit(0); !ok || it != s {
+		t.Fatalf("s-ahead admit = (%d, %v), want (%d, true)", it, ok, s)
+	}
+	c.Advance(0)
+	// ...but s+1 ahead blocks.
+	if _, ok := c.TryAdmit(0); ok {
+		t.Fatal("worker admitted s+1 ahead of the slowest")
+	}
+	ch := admitAsync(c, 0)
+	expectBlocked(t, ch, "s+1-ahead admit")
+	// The slow worker advancing loosens the bound and wakes the waiter.
+	c.Advance(1)
+	expectAdmitted(t, ch, "admit after slow worker advanced")
+	if got := c.PeakSpread(); got != s+1 {
+		t.Fatalf("peak spread = %d, want %d", got, s+1)
+	}
+}
+
+// TestClockDropUnblocksWaiters: straggler recovery's terminal form —
+// removing a permanently dead worker from the clock must wake every
+// waiter its stale clock was blocking.
+func TestClockDropUnblocksWaiters(t *testing.T) {
+	c := NewClock([]int{0, 1, 2}, 1)
+	for i := 0; i < 2; i++ {
+		c.Advance(0)
+		c.Advance(1)
+	}
+	ch0 := admitAsync(c, 0)
+	ch1 := admitAsync(c, 1)
+	expectBlocked(t, ch0, "worker 0 blocked on straggler")
+	c.Drop(2) // straggler declared dead
+	expectAdmitted(t, ch0, "worker 0 after drop")
+	expectAdmitted(t, ch1, "worker 1 after drop")
+	if _, err := c.Admit(2); err == nil {
+		t.Fatal("dropped worker was admitted")
+	}
+}
+
+// TestClockAbortUnblocksWithError: a terminal worker error must unwind
+// every blocked admit instead of hanging the run.
+func TestClockAbortUnblocksWithError(t *testing.T) {
+	c := NewClock([]int{0, 1}, 0)
+	c.Advance(0)
+	ch := admitAsync(c, 0)
+	expectBlocked(t, ch, "admit at the bound")
+	boom := errors.New("boom")
+	c.Abort(boom)
+	select {
+	case err := <-ch:
+		if !errors.Is(err, boom) {
+			t.Fatalf("aborted admit returned %v, want boom", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("abort did not unblock the waiter")
+	}
+	// First abort wins; later errors do not overwrite it.
+	c.Abort(errors.New("later"))
+	if _, err := c.Admit(1); !errors.Is(err, boom) {
+		t.Fatalf("post-abort admit returned %v, want boom", err)
+	}
+}
+
+// TestClockSpread tracks the realized staleness metric.
+func TestClockSpread(t *testing.T) {
+	c := NewClock([]int{3, 7}, 4)
+	if c.Spread() != 0 {
+		t.Fatalf("initial spread = %d", c.Spread())
+	}
+	c.Advance(3)
+	c.Advance(3)
+	c.Advance(3)
+	if c.Spread() != 3 || c.PeakSpread() != 3 {
+		t.Fatalf("spread = %d peak = %d, want 3/3", c.Spread(), c.PeakSpread())
+	}
+	c.Advance(7)
+	c.Advance(7)
+	c.Advance(7)
+	if c.Spread() != 0 {
+		t.Fatalf("spread after catch-up = %d", c.Spread())
+	}
+	if c.PeakSpread() != 3 {
+		t.Fatalf("peak spread = %d, want 3", c.PeakSpread())
+	}
+}

@@ -1,0 +1,92 @@
+package ssp
+
+import "testing"
+
+// FuzzStalenessClock drives the clock state machine with arbitrary
+// op sequences and checks it against a trivial reference model: a
+// worker is admissible iff it is tracked and its clock is at most s
+// ahead of the slowest tracked clock. Advances only ever follow a
+// successful admit (the engines' usage discipline), so the realized
+// spread can never exceed s+1.
+func FuzzStalenessClock(f *testing.F) {
+	f.Add(3, 1, []byte{0, 1, 2, 8, 9, 10, 16, 17})
+	f.Add(1, 0, []byte{0, 0, 0, 0})
+	f.Add(4, 3, []byte{3, 2, 1, 0, 11, 10, 9, 8, 19, 18, 17, 16, 3, 3, 3, 3})
+	f.Add(5, 2, []byte{0, 8, 16, 1, 9, 17, 2, 10, 18, 3, 11, 19, 4, 12, 20})
+	f.Fuzz(func(t *testing.T, workers, s int, ops []byte) {
+		if workers < 0 {
+			workers = -workers
+		}
+		workers = workers%5 + 1
+		if s < 0 {
+			s = -s
+		}
+		s %= 5
+		ids := make([]int, workers)
+		for i := range ids {
+			ids[i] = i
+		}
+		c := NewClock(ids, s)
+		model := make(map[int]int64, workers)
+		for _, w := range ids {
+			model[w] = 0
+		}
+		min := func() int64 {
+			first, m := true, int64(0)
+			for _, v := range model {
+				if first || v < m {
+					m, first = v, false
+				}
+			}
+			return m
+		}
+		spread := func() int64 {
+			first, lo, hi := true, int64(0), int64(0)
+			for _, v := range model {
+				if first {
+					lo, hi, first = v, v, false
+					continue
+				}
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			return hi - lo
+		}
+		for step, b := range ops {
+			w := int(b) % workers
+			op := (int(b) / 8) % 3
+			_, tracked := model[w]
+			wantOK := tracked && model[w]-min() <= int64(s)
+			it, ok := c.TryAdmit(w)
+			if ok != wantOK {
+				t.Fatalf("step %d: TryAdmit(%d) = %v, model says %v (clocks %v, s=%d)", step, w, ok, wantOK, model, s)
+			}
+			if ok && it != model[w] {
+				t.Fatalf("step %d: admitted iteration %d, model clock %d", step, it, model[w])
+			}
+			switch op {
+			case 0: // admit-then-advance when legal
+				if ok {
+					c.Advance(w)
+					model[w]++
+				}
+			case 1: // straggler recovery: drop the worker
+				if len(model) > 1 { // keep at least one tracked worker
+					c.Drop(w)
+					delete(model, w)
+				}
+			case 2: // probe only — already checked above
+			}
+			if got, want := c.Spread(), spread(); got != want {
+				t.Fatalf("step %d: spread = %d, model %d (clocks %v)", step, got, want, model)
+			}
+		}
+		if peak := c.PeakSpread(); peak > int64(s)+1 {
+			t.Fatalf("peak spread %d exceeded s+1 = %d under admit-gated advances", peak, s+1)
+		}
+	})
+}

@@ -1,0 +1,43 @@
+package ssp
+
+// Schedule is the seeded lag schedule: how many iterations stale the
+// model is that worker w reads when computing iteration t's statistics.
+// The draw is a pure function of (Seed, worker, iteration) — never of
+// arrival timing — which is the whole determinism story: two runs with
+// the same seed replay the same staleness pattern and therefore the
+// same floating-point arithmetic, bit for bit, regardless of how the
+// wall-clock race between workers actually unfolds.
+//
+// Seed 0 selects the max-slack schedule (every draw is S): workers
+// always read the oldest model the bound allows, so a run at staleness
+// S exercises exactly S-stale reads — the configuration the
+// convergence-vs-staleness experiments sweep. A nonzero seed draws
+// each lag uniformly from [0, S] by hashing, modelling the mixed
+// staleness a real asynchronous cluster would produce.
+type Schedule struct {
+	// S is the staleness bound (0 ⇒ BSP: every lag is 0).
+	S int
+	// Seed selects the schedule: 0 = max-slack, otherwise hashed draws.
+	Seed int64
+}
+
+// Lag returns worker w's model lag for iteration iter, in [0, S].
+func (s Schedule) Lag(worker int, iter int64) int {
+	if s.S <= 0 {
+		return 0
+	}
+	if s.Seed == 0 {
+		return s.S
+	}
+	h := splitmix(splitmix(splitmix(uint64(s.Seed))^uint64(worker)) ^ uint64(iter))
+	return int(h % uint64(s.S+1))
+}
+
+// splitmix is the SplitMix64 finalizer — a cheap, well-mixed stateless
+// hash, so the schedule needs no rng stream to stay deterministic.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

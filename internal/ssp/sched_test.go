@@ -1,0 +1,49 @@
+package ssp
+
+import "testing"
+
+func TestScheduleLag(t *testing.T) {
+	// S = 0 is BSP regardless of seed.
+	for _, seed := range []int64{0, 1, 99} {
+		if got := (Schedule{S: 0, Seed: seed}).Lag(3, 17); got != 0 {
+			t.Fatalf("S=0 lag = %d, want 0", got)
+		}
+	}
+	// Seed 0 is the max-slack schedule: every draw is S.
+	s := Schedule{S: 3, Seed: 0}
+	for w := 0; w < 4; w++ {
+		for iter := int64(0); iter < 10; iter++ {
+			if got := s.Lag(w, iter); got != 3 {
+				t.Fatalf("max-slack lag(%d,%d) = %d, want 3", w, iter, got)
+			}
+		}
+	}
+	// A nonzero seed draws in [0,S], deterministically, and actually
+	// varies across (worker, iteration).
+	j := Schedule{S: 3, Seed: 42}
+	seen := map[int]bool{}
+	for w := 0; w < 4; w++ {
+		for iter := int64(0); iter < 64; iter++ {
+			lag := j.Lag(w, iter)
+			if lag < 0 || lag > 3 {
+				t.Fatalf("lag(%d,%d) = %d out of [0,3]", w, iter, lag)
+			}
+			if lag != j.Lag(w, iter) {
+				t.Fatal("schedule draw not deterministic")
+			}
+			seen[lag] = true
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("jittered schedule drew only %d distinct lags over 256 draws", len(seen))
+	}
+	// Different seeds give different schedules (replay isolation).
+	k := Schedule{S: 3, Seed: 43}
+	same := true
+	for iter := int64(0); iter < 64 && same; iter++ {
+		same = j.Lag(0, iter) == k.Lag(0, iter)
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical schedules")
+	}
+}

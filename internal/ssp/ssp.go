@@ -1,0 +1,39 @@
+// Package ssp is the bounded-staleness (stale-synchronous-parallel)
+// execution subsystem layered on internal/driver. BSP — the paper's
+// round structure — makes every iteration wait for the slowest worker;
+// SSP lets each worker run up to s iterations ahead of the slowest one,
+// hiding transient straggler latency while keeping a hard consistency
+// bound (s = 0 degenerates to exact BSP).
+//
+// The package provides the master-side building blocks; the engines
+// (internal/core, internal/rowsgd) compose them with driver.Async:
+//
+//   - Clock: per-worker iteration clocks with the staleness admission
+//     rule (a worker may start iteration t only while t − min ≤ s) and
+//     an abort path so a terminal worker error unblocks every waiter.
+//   - Schedule: the seeded lag schedule. Which model version a worker
+//     reads at iteration t is a pure function of (seed, worker, t), so
+//     a run is replayable: same seed ⇒ same staleness pattern ⇒
+//     bit-identical results (schedule-replay determinism).
+//   - Accumulator: the merge-on-arrival statistics accumulator.
+//     Statistics frames are folded into the iteration's aggregate as
+//     they land instead of being barrier-gathered; a per-iteration
+//     reorder buffer keeps the floating-point reduction in worker
+//     order, which is what makes merge-on-arrival deterministic.
+//   - Collector: the frame-set variant for engines whose aggregation
+//     is not a running vector sum (the RowSGD baselines): frames are
+//     buffered per iteration and the completed set is released once,
+//     in worker order.
+//   - Versions: a bounded window of published model versions readers
+//     can block on — how stale model reads are served without keeping
+//     the whole history.
+//
+// None of these types know about transports or retries: all worker I/O
+// stays inside internal/driver, so SSP inherits the driver's
+// retry-with-recovery, restart, and Traffic accounting unchanged.
+package ssp
+
+import "fmt"
+
+// errDropped is returned when a dropped worker keeps using the clock.
+func errDropped(w int) error { return fmt.Errorf("ssp: worker %d is not tracked by the clock", w) }

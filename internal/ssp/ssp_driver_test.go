@@ -1,0 +1,200 @@
+package ssp_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"columnsgd/internal/cluster"
+	"columnsgd/internal/driver"
+	"columnsgd/internal/ssp"
+)
+
+// fakeClient is a minimal scriptable cluster.Client: it counts traffic
+// like a real transport and can be gated (each call consumes a token)
+// or downed, so a straggling or crashed worker is reproducible.
+type fakeClient struct {
+	mu    sync.Mutex
+	msgs  int64
+	bytes int64
+	gate  chan struct{}
+	down  bool
+}
+
+func (c *fakeClient) Call(method string, args, reply interface{}) error {
+	if c.gate != nil {
+		<-c.gate
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.msgs += 2
+	c.bytes += 10
+	if c.down {
+		return cluster.ErrWorkerDown
+	}
+	return nil
+}
+
+func (c *fakeClient) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+func (c *fakeClient) Messages() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.msgs
+}
+
+func (c *fakeClient) Close() error { return nil }
+
+func (c *fakeClient) setDown(v bool) {
+	c.mu.Lock()
+	c.down = v
+	c.mu.Unlock()
+}
+
+func newFakes(n int) ([]*fakeClient, []cluster.Client) {
+	fakes := make([]*fakeClient, n)
+	clients := make([]cluster.Client, n)
+	for i := range fakes {
+		fakes[i] = &fakeClient{}
+		clients[i] = fakes[i]
+	}
+	return fakes, clients
+}
+
+// sspLoop is the miniature SSP engine loop the integration tests run
+// over driver.Async: admit, issue the worker's statistics call, merge
+// the frame, advance. A failure aborts the shared synchronization so
+// every other loop unwinds.
+func sspLoop(clock *ssp.Clock, acc *ssp.Accumulator, iters int) func(slot, w int, call driver.LoopCall) error {
+	return func(slot, w int, call driver.LoopCall) error {
+		fail := func(err error) error {
+			clock.Abort(err)
+			acc.Abort(err)
+			return err
+		}
+		for {
+			t, err := clock.Admit(w)
+			if err != nil {
+				return fail(err)
+			}
+			if t >= int64(iters) {
+				return nil
+			}
+			if err := call(driver.Call{Method: "stats", Retry: true}, nil, nil); err != nil {
+				return fail(err)
+			}
+			if _, err := acc.Merge(t, slot, []float64{1}); err != nil {
+				return fail(err)
+			}
+			clock.Advance(w)
+		}
+	}
+}
+
+// TestSSPAdmissionOverFakeDriver runs the staleness state machine over
+// real driver.Async loops on fake clients: the fast workers run exactly
+// s iterations ahead of a gated straggler, block at s+1, and drain the
+// whole run once the straggler is released.
+func TestSSPAdmissionOverFakeDriver(t *testing.T) {
+	const workers, s, iters = 3, 1, 6
+	fakes, clients := newFakes(workers)
+	gate := make(chan struct{}, iters)
+	fakes[2].gate = gate
+	d := driver.New(clients, driver.Options{})
+	clock := ssp.NewClock([]int{0, 1, 2}, s)
+	acc := ssp.NewAccumulator(workers, s+1)
+
+	done := make(chan error, 1)
+	go func() { done <- d.Async([]int{0, 1, 2}, sspLoop(clock, acc, iters)) }()
+
+	// With the straggler stuck on its first call, the fast workers must
+	// advance to exactly s+1 (admitted s ahead, then one advance) and
+	// stop there.
+	deadline := time.Now().Add(5 * time.Second)
+	for clock.Spread() != s+1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("fast workers never reached the staleness bound (spread %d)", clock.Spread())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond) // no further progress past the bound
+	if got := clock.Spread(); got != s+1 {
+		t.Fatalf("spread = %d after settling, want %d", got, s+1)
+	}
+	if _, ok := clock.TryAdmit(0); ok {
+		t.Fatal("fast worker admitted past the staleness bound")
+	}
+
+	// Straggler recovery: releasing the gate unblocks the waiters and
+	// the run completes.
+	for i := 0; i < iters; i++ {
+		gate <- struct{}{}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	for it := int64(0); it < iters; it++ {
+		agg, err := acc.Wait(it)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if agg[0] != workers {
+			t.Fatalf("iteration %d aggregate = %v, want [%d]", it, agg, workers)
+		}
+	}
+	if peak := clock.PeakSpread(); peak != s+1 {
+		t.Fatalf("peak spread = %d, want %d", peak, s+1)
+	}
+}
+
+// TestSSPWorkerRecoveryUnblocks: a crashed straggler that the driver's
+// Recover hook restarts resumes its loop, and the blocked fast workers
+// drain normally — recovery, restarts accounting, and admission all on
+// the single driver implementation.
+func TestSSPWorkerRecoveryUnblocks(t *testing.T) {
+	const workers, s, iters = 3, 2, 5
+	fakes, clients := newFakes(workers)
+	fakes[1].setDown(true)
+	d := driver.New(clients, driver.Options{Recover: func(w int, c driver.Conn) error {
+		fakes[w].setDown(false)
+		return c.Call("reload", nil, nil)
+	}})
+	clock := ssp.NewClock([]int{0, 1, 2}, s)
+	acc := ssp.NewAccumulator(workers, s+1)
+	if err := d.Async([]int{0, 1, 2}, sspLoop(clock, acc, iters)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Restarts() != 1 {
+		t.Fatalf("restarts = %d, want 1", d.Restarts())
+	}
+	if _, err := acc.Wait(iters - 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSSPTerminalErrorUnwinds: with no restart path, a down worker is a
+// typed terminal error, and the abort path must unwind every loop —
+// fast workers blocked in Admit included — instead of hanging.
+func TestSSPTerminalErrorUnwinds(t *testing.T) {
+	const workers, s, iters = 3, 1, 8
+	fakes, clients := newFakes(workers)
+	fakes[0].setDown(true)
+	d := driver.New(clients, driver.Options{})
+	clock := ssp.NewClock([]int{0, 1, 2}, s)
+	acc := ssp.NewAccumulator(workers, s+1)
+	done := make(chan error, 1)
+	go func() { done <- d.Async([]int{0, 1, 2}, sspLoop(clock, acc, iters)) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, cluster.ErrWorkerDown) {
+			t.Fatalf("err = %v, want ErrWorkerDown in the chain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("terminal error did not unwind the SSP loops")
+	}
+}

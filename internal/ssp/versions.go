@@ -1,0 +1,89 @@
+package ssp
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Versions is a bounded window of published model versions. The SSP
+// engines publish version v+1 after applying iteration v's aggregate;
+// a worker computing iteration t against lag l blocks on Wait(t−l).
+// Only the last window versions are retained (the staleness bound
+// makes older ones unreachable); waiting on a trimmed version fails
+// fast instead of deadlocking.
+type Versions struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	window int64
+	vals   map[int64]interface{}
+	top    int64
+	err    error
+}
+
+// NewVersions builds a store retaining the last window versions.
+func NewVersions(window int) *Versions {
+	if window <= 0 {
+		panic("ssp: versions needs a positive window")
+	}
+	v := &Versions{window: int64(window), vals: make(map[int64]interface{}), top: -1}
+	v.cond = sync.NewCond(&v.mu)
+	return v
+}
+
+// Publish stores version i and trims versions that fell out of the
+// window. Versions must be published in increasing order.
+func (v *Versions) Publish(i int64, val interface{}) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.err != nil {
+		return v.err
+	}
+	if i <= v.top {
+		return fmt.Errorf("ssp: version %d published out of order (top %d)", i, v.top)
+	}
+	v.vals[i] = val
+	v.top = i
+	for k := range v.vals {
+		if k <= i-v.window {
+			delete(v.vals, k)
+		}
+	}
+	v.cond.Broadcast()
+	return nil
+}
+
+// Wait blocks until version i is published and returns its value. A
+// version already trimmed out of the window is an error.
+func (v *Versions) Wait(i int64) (interface{}, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for {
+		if v.err != nil {
+			return nil, v.err
+		}
+		if val, ok := v.vals[i]; ok {
+			return val, nil
+		}
+		if i <= v.top-v.window {
+			return nil, fmt.Errorf("ssp: version %d already trimmed (top %d, window %d)", i, v.top, v.window)
+		}
+		v.cond.Wait()
+	}
+}
+
+// Top returns the highest published version (−1 before any Publish).
+func (v *Versions) Top() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.top
+}
+
+// Abort poisons the store; blocked Waits return the error.
+func (v *Versions) Abort(err error) {
+	v.mu.Lock()
+	if v.err == nil && err != nil {
+		v.err = err
+	}
+	v.mu.Unlock()
+	v.cond.Broadcast()
+}
