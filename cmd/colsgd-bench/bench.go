@@ -125,8 +125,9 @@ func benchBlocks(classes int) []*partition.Workset {
 
 // benchWorker measures the worker hot loop — one computeStats → update
 // round per op, driven through the service dispatch seam exactly as the
-// transports do (typed args, no serialization cost).
-func benchWorker(modelName string, modelArg, p int) (testing.BenchmarkResult, error) {
+// transports do (typed args, no serialization cost). prec selects the
+// numeric width ("" = f64, "f32" = float32 kernels).
+func benchWorker(modelName string, modelArg, p int, prec string) (testing.BenchmarkResult, error) {
 	w := core.NewWorker()
 	svc := core.RegisterWorker(w)
 	if _, err := svc.Dispatch(core.MethodInit, &core.InitArgs{
@@ -138,6 +139,7 @@ func benchWorker(modelName string, modelArg, p int) (testing.BenchmarkResult, er
 		Opt:         opt.Config{LR: 0.05},
 		Seed:        1,
 		Parallelism: p,
+		Precision:   prec,
 	}); err != nil {
 		return testing.BenchmarkResult{}, err
 	}
@@ -206,6 +208,126 @@ func benchEngineStep(p int, pipeline bool) (testing.BenchmarkResult, error) {
 		ComputeParallelism: p,
 		Pipeline:           pipeline,
 	}, prov)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	ds, err := w.Dataset()
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	if err := e.Load(ds); err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Step(); err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+		}
+	})
+	return res, benchErr
+}
+
+// benchEngineStepF32 measures one full ColumnSGD iteration at float32
+// precision over the float32 wire codec — the configuration the f32 mode
+// is designed for: float32 kernels on the workers, f32 statistics frames
+// (lossless here, the values are already float32-representable), and the
+// zero-copy decode filling pooled scratch on both ends.
+func benchEngineStepF32(p int) (testing.BenchmarkResult, error) {
+	w := benchWorkload(p)
+	codec, err := wire.ParseCodec("wire-f32")
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	prov, err := core.NewLocalProviderCodec(w.Workers, codec)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	e, err := core.NewEngine(core.Config{
+		Workers:            w.Workers,
+		ModelName:          w.Model,
+		Opt:                w.Opt,
+		BatchSize:          w.Batch,
+		BlockSize:          64,
+		Seed:               w.Seed,
+		ComputeParallelism: p,
+		Precision:          core.PrecisionF32,
+	}, prov)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	ds, err := w.Dataset()
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	if err := e.Load(ds); err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Step(); err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+		}
+	})
+	return res, benchErr
+}
+
+// benchHeavyWorkload is the compute-bound engine shape: 8× the
+// per-iteration kernel work of benchWorkload (batch 1024 × 128 nnz vs
+// 512 × 32) at the same row count, so the fixed per-iteration costs the
+// two precisions share — deterministic batch sampling, fan-out, loss —
+// shrink from ~half the step to a few percent and the measured ratio
+// reflects the numeric kernels.
+func benchHeavyWorkload(p int) diff.Workload {
+	return diff.Workload{
+		N: 16384, Features: 65536, NNZPerRow: 256,
+		Model: "lr", Batch: 1024, Workers: 4, Seed: 5,
+		Opt:         opt.Config{Algo: "sgd", LR: 0.05},
+		Parallelism: p,
+	}
+}
+
+// benchEngineStepHeavy measures one full ColumnSGD iteration on the
+// compute-bound heavy workload, in f64 ("") or f32 ("f32", over the
+// float32 wire codec like benchEngineStepF32). The pair exists to gate
+// the f32 speedup target at engine level: on benchWorkload the step is
+// dominated by precision-independent orchestration, so a kernel-level
+// win is invisible there by construction.
+func benchEngineStepHeavy(p int, prec string) (testing.BenchmarkResult, error) {
+	w := benchHeavyWorkload(p)
+	cfg := core.Config{
+		Workers:            w.Workers,
+		ModelName:          w.Model,
+		Opt:                w.Opt,
+		BatchSize:          w.Batch,
+		BlockSize:          64,
+		Seed:               w.Seed,
+		ComputeParallelism: p,
+	}
+	var prov core.Provider
+	var err error
+	if prec == "f32" {
+		cfg.Precision = core.PrecisionF32
+		var codec wire.Codec
+		codec, err = wire.ParseCodec("wire-f32")
+		if err != nil {
+			return testing.BenchmarkResult{}, err
+		}
+		prov, err = core.NewLocalProviderCodec(w.Workers, codec)
+	} else {
+		prov, err = core.NewLocalProvider(w.Workers)
+	}
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	e, err := core.NewEngine(cfg, prov)
 	if err != nil {
 		return testing.BenchmarkResult{}, err
 	}
@@ -532,8 +654,16 @@ func runBenchJSON(path, rev string, stdout io.Writer) error {
 
 	for _, m := range benchModels() {
 		for _, p := range []int{1, 2, 4} {
-			res, err := bestOf(func() (testing.BenchmarkResult, error) { return benchWorker(m.Name, m.Arg, p) })
+			res, err := bestOf(func() (testing.BenchmarkResult, error) { return benchWorker(m.Name, m.Arg, p, "") })
 			if err := add(fmt.Sprintf("worker/%s/P%d", m.Name, p), "columnsgd", m.Name, p, res, err); err != nil {
+				return err
+			}
+		}
+	}
+	for _, m := range benchModels() {
+		for _, p := range []int{1, 4} {
+			res, err := bestOf(func() (testing.BenchmarkResult, error) { return benchWorker(m.Name, m.Arg, p, "f32") })
+			if err := add(fmt.Sprintf("worker-f32/%s/P%d", m.Name, p), "columnsgd", m.Name, p, res, err); err != nil {
 				return err
 			}
 		}
@@ -541,6 +671,24 @@ func runBenchJSON(path, rev string, stdout io.Writer) error {
 	for _, p := range []int{1, 4} {
 		res, err := bestOf(func() (testing.BenchmarkResult, error) { return benchEngineStep(p, false) })
 		if err := add(fmt.Sprintf("engine-step/lr/P%d", p), "columnsgd", "lr", p, res, err); err != nil {
+			return err
+		}
+	}
+	for _, p := range []int{1, 4} {
+		res, err := bestOf(func() (testing.BenchmarkResult, error) { return benchEngineStepF32(p) })
+		if err := add(fmt.Sprintf("engine-step-f32/lr/P%d", p), "columnsgd", "lr", p, res, err); err != nil {
+			return err
+		}
+	}
+	for _, p := range []int{1, 4} {
+		res, err := bestOf(func() (testing.BenchmarkResult, error) { return benchEngineStepHeavy(p, "") })
+		if err := add(fmt.Sprintf("engine-step-heavy/lr/P%d", p), "columnsgd", "lr", p, res, err); err != nil {
+			return err
+		}
+	}
+	for _, p := range []int{1, 4} {
+		res, err := bestOf(func() (testing.BenchmarkResult, error) { return benchEngineStepHeavy(p, "f32") })
+		if err := add(fmt.Sprintf("engine-step-heavy-f32/lr/P%d", p), "columnsgd", "lr", p, res, err); err != nil {
 			return err
 		}
 	}

@@ -17,20 +17,20 @@ import (
 // the chaos seed alone is not a complete bug report — the staleness
 // bound and lag-schedule seed pick the execution schedule — so both
 // ride along in the printed replay line.
-func runChaos(specStr string, seed int64, engines []string, pipeline bool, staleness int, staleSeed int64, w io.Writer) error {
+func runChaos(specStr string, seed int64, engines []string, pipeline bool, staleness int, staleSeed int64, precision string, w io.Writer) error {
 	spec, err := chaos.ParseSpec(specStr)
 	if err != nil {
 		return err
 	}
 	spec.Seed = seed
-	fmt.Fprintf(w, "chaos replay: spec=%q seed=%d staleness=%d staleness-seed=%d\n",
-		spec.String(), spec.Seed, staleness, staleSeed)
-	fmt.Fprintf(w, "replay: go run ./cmd/colsgd-bench -chaos %q -seed %d -staleness %d -staleness-seed %d\n\n",
-		spec.String(), spec.Seed, staleness, staleSeed)
+	fmt.Fprintf(w, "chaos replay: spec=%q seed=%d staleness=%d staleness-seed=%d precision=%q\n",
+		spec.String(), spec.Seed, staleness, staleSeed, precision)
+	fmt.Fprintf(w, "replay: go run ./cmd/colsgd-bench -chaos %q -seed %d -staleness %d -staleness-seed %d -precision %q\n\n",
+		spec.String(), spec.Seed, staleness, staleSeed, precision)
 
 	for _, engine := range engines {
 		wl := diff.Workload{Model: "lr", Seed: spec.Seed, Pipeline: pipeline,
-			Staleness: staleness, StalenessSeed: staleSeed}.Defaults()
+			Staleness: staleness, StalenessSeed: staleSeed, Precision: precision}.Defaults()
 		ref, err := diff.Run(engine, wl, nil)
 		if err != nil {
 			return fmt.Errorf("%s reference run: %w", engine, err)

@@ -51,6 +51,7 @@ func run(args []string, stdout io.Writer) error {
 		pipeline  = fs.Bool("pipeline", false, "with -chaos: run the ColumnSGD engine with pipelined fan-out (bit-identical; default off to match checked-in schedules)")
 		staleness = fs.Int("staleness", 0, "with -chaos: bounded-staleness bound s for every engine (0 = synchronous BSP rounds)")
 		staleSeed = fs.Int64("staleness-seed", 0, "with -chaos: staleness lag-schedule seed (0 = max slack)")
+		precision = fs.String("precision", "", "with -chaos: worker compute precision for every engine: f64 (default) or f32")
 
 		benchjson = fs.String("benchjson", "", "run the micro-benchmark suite and write JSON results to this path")
 		rev       = fs.String("rev", "unknown", "with -benchjson: git revision to record in the report")
@@ -78,7 +79,7 @@ func run(args []string, stdout io.Writer) error {
 		if *eng != "" {
 			engines = []string{*eng}
 		}
-		return runChaos(*chaos, *seed, engines, *pipeline, *staleness, *staleSeed, stdout)
+		return runChaos(*chaos, *seed, engines, *pipeline, *staleness, *staleSeed, *precision, stdout)
 	}
 
 	if *list {

@@ -154,6 +154,21 @@ type Config struct {
 	// TCP the codec is negotiated per connection and old workers fall
 	// back to gob automatically.
 	Codec string
+
+	// Precision selects the workers' numeric width: "" or "f64" (the
+	// default) trains in float64, "f32" switches the worker hot path —
+	// model partitions, row values, optimizer state, and the
+	// statistics/gradient kernels — to float32, roughly halving kernel
+	// memory traffic at the cost of bounded rounding differences (the
+	// differential tests pin convergence within tolerance of f64).
+	// Statistics still cross the wire as float64 (widened exactly), the
+	// master aggregates in float64, and reported losses are float64
+	// either way, so traces stay comparable across precisions. f32 runs
+	// keep every determinism guarantee: bit-identical at any Parallelism
+	// and replay-stable under fault schedules. Pair with Codec
+	// "wire-f32" to also halve statistics bytes — lossless under f32,
+	// since the values are already float32-representable.
+	Precision string
 }
 
 func (c Config) normalized() (Config, error) {
@@ -186,6 +201,11 @@ func (c Config) normalized() (Config, error) {
 	}
 	if _, err := wire.ParseCodec(c.Codec); err != nil {
 		return c, fmt.Errorf("columnsgd: %w", err)
+	}
+	switch c.Precision {
+	case "", "f64", "f32":
+	default:
+		return c, fmt.Errorf("columnsgd: unknown Precision %q (want \"f64\" or \"f32\")", c.Precision)
 	}
 	return c, nil
 }
@@ -248,6 +268,7 @@ func (c Config) coreConfig() core.Config {
 		Pipeline:           c.Pipeline,
 		Staleness:          c.Staleness,
 		StalenessSeed:      c.StalenessSeed,
+		Precision:          c.Precision,
 	}
 }
 

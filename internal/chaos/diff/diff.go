@@ -76,6 +76,13 @@ type Workload struct {
 	// bit-identical.
 	Staleness     int
 	StalenessSeed int64
+	// Precision selects the workers' numeric width ("", "f64", "f32").
+	// Under "f32" the worker hot path runs the float32 kernel twins;
+	// statistics and exported weights stay float64 (widened exactly), so
+	// results remain comparable — the precision suite asserts f32 runs
+	// land within a tolerance band of their f64 goldens and keep every
+	// determinism guarantee.
+	Precision string
 }
 
 // codec parses the workload's codec selection.
@@ -269,6 +276,7 @@ func runColumnSGD(w Workload, prov core.Provider, spec *chaos.Spec) (*Result, er
 		Pipeline:           w.Pipeline,
 		Staleness:          w.Staleness,
 		StalenessSeed:      w.StalenessSeed,
+		Precision:          w.Precision,
 	}
 	e, err := core.NewEngine(cfg, prov)
 	if err != nil {
@@ -337,6 +345,7 @@ func RunRowSGD(w Workload, sys rowsgd.System, spec *chaos.Spec) (*Result, error)
 		Seed:          w.Seed,
 		Staleness:     w.Staleness,
 		StalenessSeed: w.StalenessSeed,
+		Precision:     w.Precision,
 	}
 	e, err := rowsgd.NewEngine(cfg, clients)
 	if err != nil {

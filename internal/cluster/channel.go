@@ -144,13 +144,16 @@ func (c *localClient) Call(method string, args, reply interface{}) error {
 		putFrameBuf(respBuf)
 		return fmt.Errorf("%w: worker %d (reply lost)", ErrWorkerDown, w.id)
 	}
-	backValue, backErr, derr := decodeResponseFrame(c.codec, respBuf.b)
+	backValue, backErr, stored, derr := decodeResponseFrameInto(c.codec, respBuf.b, reply)
 	putFrameBuf(respBuf)
 	if derr != nil {
 		return derr
 	}
 	if backErr != "" {
 		return fmt.Errorf("cluster: worker %d: %s", w.id, backErr)
+	}
+	if stored {
+		return nil
 	}
 	return storeReply(reply, backValue)
 }

@@ -196,6 +196,33 @@ func decodeResponseFrame(c wire.Codec, data []byte) (interface{}, string, error)
 	return value, errStr, nil
 }
 
+// decodeResponseFrameInto is decodeResponseFrame with a zero-copy fast
+// path: under the wire codec, a successful response whose payload tag
+// matches the caller's reply WireID is decoded directly into reply,
+// reusing its slice capacity via the DecodeVecInto contract — a master
+// that keeps per-worker reply scratch pays no per-call statistics
+// allocation. stored reports that reply was populated in place (value
+// is nil then). On a decode error the reply may be partially mutated;
+// callers already treat a Call error as total failure and must not
+// read the reply after one. Everything else — gob sessions, fallback
+// payloads, error responses, mismatched IDs — takes the generic
+// allocate-and-assign path and stored is false.
+func decodeResponseFrameInto(c wire.Codec, data []byte, reply interface{}) (value interface{}, errStr string, stored bool, err error) {
+	if m, ok := reply.(wire.Message); ok && c.Wire && len(data) >= 1 && data[0] == wireResponseMarker {
+		elen, rest, uerr := wire.Uvarint(data[1:])
+		if uerr == nil && elen == 0 && len(rest) >= 1 && rest[0] == m.WireID() {
+			if derr := safeDecodeWire(m, rest[1:]); derr != nil {
+				return nil, "", false, derr
+			}
+			return nil, "", true, nil
+		}
+		// Anything else — error responses, other tags, header trouble —
+		// re-parses below; response frames are small.
+	}
+	value, errStr, err = decodeResponseFrame(c, data)
+	return value, errStr, false, err
+}
+
 // decodePayload parses the tagged payload tail shared by requests and
 // responses. gobFallback interprets a payloadGob blob.
 func decodePayload(data []byte, gobFallback func([]byte) (interface{}, error)) (interface{}, error) {

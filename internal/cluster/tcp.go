@@ -340,12 +340,15 @@ func (c *tcpClient) Call(method string, args, reply interface{}) error {
 	}
 	c.bytes.Add(int64(reqLen + len(respBytes)))
 	c.msgs.Add(2)
-	value, errStr, derr := decodeResponseFrame(c.codec, respBytes)
+	value, errStr, stored, derr := decodeResponseFrameInto(c.codec, respBytes, reply)
 	if derr != nil {
 		return derr
 	}
 	if errStr != "" {
 		return fmt.Errorf("cluster: remote: %s", errStr)
+	}
+	if stored {
+		return nil
 	}
 	return storeReply(reply, value)
 }

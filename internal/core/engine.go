@@ -90,7 +90,24 @@ type Config struct {
 	// admits); a nonzero seed draws per-(worker, iteration) jitter.
 	// Runs with the same seed are bit-identical (schedule replay).
 	StalenessSeed int64
+	// Precision selects the workers' numeric width: "f64" (default) or
+	// "f32". Under f32 each worker holds its model partition, optimizer
+	// state, and row values in float32 and runs the float32 kernels;
+	// statistics cross the protocol widened to float64 (exactly), so
+	// message shapes, the master's aggregation, and all reported metrics
+	// keep their f64 form. The model must provide float32 kernels
+	// (model.Kernel32 — all built-ins do). f32 runs are deterministic
+	// and replay-stable at any ComputeParallelism, like f64 ones; they
+	// differ from f64 runs by bounded rounding, gated by the
+	// differential harness in precision_test.go.
+	Precision string
 }
+
+// Precision values for Config.Precision.
+const (
+	PrecisionF64 = "f64"
+	PrecisionF32 = "f32"
+)
 
 func (c *Config) normalize() error {
 	if c.Workers <= 0 {
@@ -142,6 +159,20 @@ func (c *Config) normalize() error {
 	if c.Staleness > 0 && c.Pipeline {
 		return fmt.Errorf("core: Pipeline is a BSP overlap; SSP (Staleness > 0) subsumes it")
 	}
+	switch c.Precision {
+	case "", PrecisionF64, PrecisionF32:
+	default:
+		return fmt.Errorf("core: unknown precision %q (want %q or %q)", c.Precision, PrecisionF64, PrecisionF32)
+	}
+	if c.Precision == PrecisionF32 {
+		m, err := model.New(c.ModelName, c.ModelArg)
+		if err != nil {
+			return err
+		}
+		if _, ok := model.Kernel32Of(m); !ok {
+			return fmt.Errorf("core: model %s has no float32 kernels; Precision %q needs model.Kernel32", m.Name(), PrecisionF32)
+		}
+	}
 	return nil
 }
 
@@ -182,6 +213,12 @@ type Engine struct {
 	// iteration's statistics (nil when Pipeline is off or nothing is in
 	// flight).
 	pending *pendingStats
+	// statsScratch recycles one step's StatsReply array (and, through
+	// the zero-copy decode contract, each reply's Stats capacity) into
+	// the next fan-out. It is handed out by grabStatsReplies and put
+	// back only after aggregate has fully consumed the replies, so a
+	// prefetch writing into the recycled array can never race a reader.
+	statsScratch []StatsReply
 	// lastStep suppresses the prefetch when Run knows no further
 	// iteration follows: a trailing prefetch would put extra messages on
 	// every link and shift the deterministic per-link fault/traffic
@@ -418,6 +455,7 @@ func (e *Engine) initArgs(w int) *InitArgs {
 		Opt:         e.cfg.Opt,
 		Seed:        e.cfg.Seed,
 		Parallelism: e.cfg.ComputeParallelism,
+		Precision:   e.cfg.Precision,
 	}
 }
 
@@ -501,6 +539,25 @@ func (e *Engine) quiesce() {
 	}
 }
 
+// grabStatsReplies takes the recycled reply array (or allocates one).
+// The structs keep their Stats slices from the previous step; the
+// transports decode into that capacity in place, so steady-state
+// statistics gathers allocate nothing.
+func (e *Engine) grabStatsReplies(n int) []StatsReply {
+	s := e.statsScratch
+	e.statsScratch = nil
+	if cap(s) < n {
+		return make([]StatsReply, n)
+	}
+	return s[:n]
+}
+
+// putStatsReplies returns a reply array for recycling. Callers must
+// have finished every read of the replies' Stats slices: the next
+// fan-out will overwrite them in place, possibly from driver
+// goroutines.
+func (e *Engine) putStatsReplies(s []StatsReply) { e.statsScratch = s }
+
 // Step runs one SGD iteration (Algorithm 3 lines 5–8) and records it in
 // the trace. The driver executes the round plan; Step owns only the
 // plan itself and the modeled-time bookkeeping.
@@ -534,7 +591,7 @@ func (e *Engine) Step() (IterStats, error) {
 		extraRecovery += extra
 	} else {
 		lives = e.LiveWorkers()
-		statsReplies = make([]StatsReply, len(lives))
+		statsReplies = e.grabStatsReplies(len(lives))
 		statsTraffic = &driver.Traffic{}
 		args := e.statsArgs(e.iter)
 		extra, err := e.drv.Gather(lives, statsTraffic, func(slot, w int) driver.Call {
@@ -572,6 +629,11 @@ func (e *Engine) Step() (IterStats, error) {
 	if err != nil {
 		return IterStats{}, err
 	}
+	// aggregate summed every reply's statistics into the fresh agg
+	// slice, and the workerReply copies above are read only for their
+	// NNZ counters from here on — the reply array is free to recycle
+	// into the next fan-out (the prefetch below, or the next Step).
+	e.putStatsReplies(statsReplies)
 
 	// Phase 2: broadcast aggregated statistics; workers compute
 	// gradients and update their model partitions (lines 7–8).
@@ -593,7 +655,7 @@ func (e *Engine) Step() (IterStats, error) {
 	// is model-independent, so computing it (and transmitting it) early
 	// changes nothing about the result — only the wall-clock barrier.
 	if e.cfg.Pipeline && !e.lastStep {
-		np := &pendingStats{iter: e.iter + 1, lives: lives, replies: make([]StatsReply, len(lives))}
+		np := &pendingStats{iter: e.iter + 1, lives: lives, replies: e.grabStatsReplies(len(lives))}
 		nextArgs := e.statsArgs(e.iter + 1)
 		np.p = e.drv.Start(lives, &np.traffic, func(slot, _ int) driver.Call {
 			return driver.Call{Method: MethodComputeStats, Args: nextArgs, Reply: &np.replies[slot], Retry: true}
@@ -909,6 +971,9 @@ func (e *Engine) ImportModel(full *model.Params) error {
 func (e *Engine) fullStats() ([]float64, error) {
 	e.quiesce()
 	var agg []float64
+	// One reply across partitions: each response is summed into agg
+	// before the next call, so the decoder can reuse its capacity.
+	var r EvalReply
 	for p := 0; p < e.cfg.Workers; p++ {
 		owner := -1
 		for _, w := range e.partOwners[p] {
@@ -920,7 +985,6 @@ func (e *Engine) fullStats() ([]float64, error) {
 		if owner < 0 {
 			return nil, fmt.Errorf("core: partition %d has no live owner", p)
 		}
-		var r EvalReply
 		if err := e.drv.Call(owner, driver.Call{Method: MethodEvalStats,
 			Args: &EvalArgs{Partition: p, FromBlock: 0, ToBlock: e.numBlocks}, Reply: &r}, nil, nil); err != nil {
 			return nil, err

@@ -36,6 +36,9 @@ type InitArgs struct {
 	// models — the pool's fixed chunking and ordered reduction guarantee
 	// it — so this is purely a throughput knob.
 	Parallelism int
+	// Precision selects the worker's numeric width: "" or "f64" for
+	// float64, "f32" for the float32 kernel path (see Config.Precision).
+	Precision string
 }
 
 // LoadArgs delivers one workset to one of the worker's partitions.

@@ -138,6 +138,10 @@ func (e *Engine) runSSP(iters int) (*metrics.Trace, error) {
 					return err
 				}
 				r := &rounds[t-base]
+				// rep must be fresh per iteration: Merge parks early
+				// frames by reference until their predecessors land, so
+				// reusing one reply here (as the BSP path does) would let
+				// the zero-copy decode overwrite a parked frame.
 				var rep StatsReply
 				var ex time.Duration
 				c := driver.Call{Method: MethodComputeStats, Args: e.statsArgs(t), Reply: &rep, Retry: true}

@@ -129,7 +129,7 @@ func (r *StatsReply) DecodeWire(data []byte) error {
 	if r.NNZ, data, err = readCount(data, "nnz"); err != nil {
 		return err
 	}
-	if r.Stats, data, err = wire.DecodeVec(data); err != nil {
+	if r.Stats, data, err = wire.DecodeVecInto(r.Stats[:0], data); err != nil {
 		return err
 	}
 	return expectEnd(data)
@@ -164,7 +164,7 @@ func (a *UpdateArgs) DecodeWire(data []byte) error {
 	if a.EpochSeed, data, err = wire.Varint(data); err != nil {
 		return err
 	}
-	if a.Stats, data, err = wire.DecodeVec(data); err != nil {
+	if a.Stats, data, err = wire.DecodeVecInto(a.Stats[:0], data); err != nil {
 		return err
 	}
 	return expectEnd(data)
@@ -207,7 +207,7 @@ func (r *EvalReply) DecodeWire(data []byte) error {
 	if r.NNZ, data, err = readCount(data, "nnz"); err != nil {
 		return err
 	}
-	if r.Stats, data, err = wire.DecodeVec(data); err != nil {
+	if r.Stats, data, err = wire.DecodeVecInto(r.Stats[:0], data); err != nil {
 		return err
 	}
 	return expectEnd(data)
@@ -234,7 +234,7 @@ func (a *EvalLossArgs) DecodeWire(data []byte) error {
 		return err
 	}
 	a.FromBlock, a.ToBlock = int(from), int(to)
-	if a.Stats, data, err = wire.DecodeVec(data); err != nil {
+	if a.Stats, data, err = wire.DecodeVecInto(a.Stats[:0], data); err != nil {
 		return err
 	}
 	return expectEnd(data)
@@ -285,7 +285,7 @@ func (a *EvalAccuracyArgs) DecodeWire(data []byte) error {
 		return err
 	}
 	a.FromBlock, a.ToBlock = int(from), int(to)
-	if a.Stats, data, err = wire.DecodeVec(data); err != nil {
+	if a.Stats, data, err = wire.DecodeVecInto(a.Stats[:0], data); err != nil {
 		return err
 	}
 	return expectEnd(data)

@@ -22,11 +22,19 @@ type partState struct {
 	params *model.Params
 	opt    opt.Optimizer
 
+	// Float32 twins, populated instead of params/opt when the worker
+	// runs at f32 precision: the partition's parameters and optimizer
+	// state live in float32 end to end.
+	params32 *model.Params32
+	opt32    opt.Optimizer32
+
 	// Iteration-scoped scratch, reused across the hot loop: the
 	// materialized mini-batch views and the gradient block.
 	rowsBuf   []vec.Sparse
+	rows32Buf []vec.Sparse32
 	labelsBuf []float64
 	grad      *model.Params
+	grad32    *model.Params32
 }
 
 // Worker is the worker-side implementation of Algorithm 3. It is exposed
@@ -41,6 +49,8 @@ type Worker struct {
 	parts   []*partState
 	sampler *partition.Sampler
 	seed    int64
+	// prec is the worker's numeric width, PrecisionF64 or PrecisionF32.
+	prec string
 
 	// failNext injects transient task failures (Fig. 13(a)).
 	failNext int
@@ -53,6 +63,11 @@ type Worker struct {
 	// scratch buffers reused across iterations.
 	statsBuf []float64
 	partBuf  []float64
+	// float32 twins, used when prec is PrecisionF32, plus the narrowed
+	// copy of the aggregated statistics received in update calls.
+	statsBuf32 []float32
+	partBuf32  []float32
+	aggBuf32   []float32
 }
 
 // NewWorker creates an empty worker; Init must be called before use.
@@ -69,6 +84,17 @@ func (w *Worker) init(a *InitArgs) error {
 	if err != nil {
 		return err
 	}
+	switch a.Precision {
+	case "", PrecisionF64:
+		w.prec = PrecisionF64
+	case PrecisionF32:
+		if _, ok := model.Kernel32Of(mdl); !ok {
+			return fmt.Errorf("core: worker %d: model %s has no float32 kernels", a.Worker, mdl.Name())
+		}
+		w.prec = PrecisionF32
+	default:
+		return fmt.Errorf("core: worker %d: unknown precision %q", a.Worker, a.Precision)
+	}
 	w.id = a.Worker
 	w.mdl = mdl
 	w.seed = a.Seed
@@ -79,10 +105,6 @@ func (w *Worker) init(a *InitArgs) error {
 	w.pool = par.New(a.Parallelism)
 	w.parts = make([]*partState, len(a.Partitions))
 	for i, p := range a.Partitions {
-		o, err := opt.New(a.Opt)
-		if err != nil {
-			return err
-		}
 		ps := &partState{
 			index:  p,
 			width:  a.Widths[i],
@@ -90,9 +112,26 @@ func (w *Worker) init(a *InitArgs) error {
 			params: model.NewParams(mdl.ParamRows(), a.Widths[i]),
 		}
 		// Replica determinism: seed by partition index so every replica
-		// of a partition initializes identically.
+		// of a partition initializes identically. Initialization always
+		// runs in f64; f32 workers round that template once, so an f32
+		// replica starts from the rounding of the exact values its f64
+		// counterpart starts from (FM factor draws included).
 		mdl.Init(ps.params, rand.New(rand.NewSource(a.Seed+int64(p)*7919)))
-		ps.opt = o
+		if w.prec == PrecisionF32 {
+			ps.params32 = model.NarrowParams(ps.params)
+			ps.params = nil // the f32 block is authoritative
+			o, err := opt.New32(a.Opt)
+			if err != nil {
+				return err
+			}
+			ps.opt32 = o
+		} else {
+			o, err := opt.New(a.Opt)
+			if err != nil {
+				return err
+			}
+			ps.opt = o
+		}
 		w.parts[i] = ps
 	}
 	return nil
@@ -149,6 +188,19 @@ func (w *Worker) loadDone() error {
 		return fmt.Errorf("core: worker %d: %w", w.id, err)
 	}
 	w.sampler = s
+	if w.prec == PrecisionF32 {
+		// Build every workset's float32 value shadow now, under the
+		// worker lock and before any compute fan-out: Row32's lazy build
+		// is not safe to race, and paying the conversion at load keeps
+		// the training hot path conversion-free.
+		for _, p := range w.parts {
+			for _, id := range p.store.Blocks() {
+				if ws, ok := p.store.Get(id); ok {
+					ws.Data.EnsureF32()
+				}
+			}
+		}
+	}
 	return nil
 }
 
@@ -218,6 +270,9 @@ func (w *Worker) computeStats(a *StatsArgs) (*StatsReply, error) {
 		return nil, fmt.Errorf("core: worker %d: load not finished", w.id)
 	}
 	refs := w.refsFor(a)
+	if w.prec == PrecisionF32 {
+		return w.computeStats32(refs)
+	}
 	spp := w.mdl.StatsPerPoint()
 	if cap(w.statsBuf) < len(refs)*spp {
 		w.statsBuf = make([]float64, len(refs)*spp)
@@ -255,6 +310,9 @@ func (w *Worker) update(a *UpdateArgs) (*UpdateReply, error) {
 		return nil, fmt.Errorf("core: worker %d: load not finished", w.id)
 	}
 	refs := w.refsFor(&StatsArgs{Iter: a.Iter, BatchSize: a.BatchSize, Epoch: a.Epoch, EpochSeed: a.EpochSeed})
+	if w.prec == PrecisionF32 {
+		return w.update32(a, refs)
+	}
 	var loss float64
 	var nnz int64
 	for pi, ps := range w.parts {
@@ -288,6 +346,9 @@ func (w *Worker) evalStats(a *EvalArgs) (*EvalReply, error) {
 	ps, err := w.findPart(a.Partition)
 	if err != nil {
 		return nil, err
+	}
+	if w.prec == PrecisionF32 {
+		return w.evalStats32(ps, a)
 	}
 	var out []float64
 	var nnz int64
@@ -372,17 +433,26 @@ func (w *Worker) setParams(a *SetParamsArgs) error {
 	if err != nil {
 		return err
 	}
-	if len(a.W) != ps.params.Rows() {
-		return fmt.Errorf("core: setParams: %d rows, want %d", len(a.W), ps.params.Rows())
+	if len(a.W) != w.mdl.ParamRows() {
+		return fmt.Errorf("core: setParams: %d rows, want %d", len(a.W), w.mdl.ParamRows())
 	}
 	for r := range a.W {
 		if len(a.W[r]) != ps.width {
 			return fmt.Errorf("core: setParams: row %d width %d, want %d", r, len(a.W[r]), ps.width)
 		}
-		copy(ps.params.W[r], a.W[r])
+		if w.prec == PrecisionF32 {
+			// Imports round once to the worker's width, like init does.
+			ps.params32.W[r] = vec.Narrow(ps.params32.W[r], a.W[r])
+		} else {
+			copy(ps.params.W[r], a.W[r])
+		}
 	}
 	// Imported parameters invalidate accumulated optimizer state.
-	ps.opt.Reset()
+	if w.prec == PrecisionF32 {
+		ps.opt32.Reset()
+	} else {
+		ps.opt.Reset()
+	}
 	return nil
 }
 
@@ -394,7 +464,11 @@ func (w *Worker) getParams(a *ParamsArgs) (*ParamsReply, error) {
 		return nil, err
 	}
 	// Deep copy; the reply is serialized anyway on real transports, but
-	// the in-process path must not alias live state either.
+	// the in-process path must not alias live state either. Exports are
+	// always f64: an f32 partition widens exactly.
+	if w.prec == PrecisionF32 {
+		return &ParamsReply{W: ps.params32.Widen().W}, nil
+	}
 	cp := ps.params.Clone()
 	return &ParamsReply{W: cp.W}, nil
 }
@@ -407,6 +481,15 @@ func (w *Worker) resetPartition(a *ResetPartitionArgs) error {
 		return err
 	}
 	mdl := w.mdl
+	if w.prec == PrecisionF32 {
+		// Reinitialize through the f64 template and round once, exactly
+		// as init does, so a recovered f32 partition matches a fresh one.
+		tmpl := model.NewParams(mdl.ParamRows(), ps.width)
+		mdl.Init(tmpl, rand.New(rand.NewSource(w.seed+int64(a.Partition)*7919)))
+		ps.params32 = model.NarrowParams(tmpl)
+		ps.opt32.Reset()
+		return nil
+	}
 	mdl.Init(ps.params, rand.New(rand.NewSource(w.seed+int64(a.Partition)*7919)))
 	ps.opt.Reset()
 	return nil

@@ -1,0 +1,137 @@
+package core
+
+// Float32 worker hot path (Config.Precision "f32"). The worker's model
+// partitions, optimizer state, and row values are float32; statistics
+// cross the protocol widened to float64 — exactly, so the master's
+// aggregation and every reported metric keep their f64 form — and the
+// aggregated statistics received back are rounded once into float32
+// scratch before the gradient kernels run. Loss stays f64: it is a
+// per-point function of the received aggregate, off the per-non-zero
+// loops, and keeping it full-width makes losses comparable across
+// precisions.
+//
+// Determinism matches the f64 path: the f32 kernels are fixed
+// sequential algorithms, chunking and reduction order come from
+// internal/par, and initialization narrows the f64 template — so f32
+// runs are bit-identical at any ComputeParallelism and replay-stable
+// under fault schedules (see precision_test.go).
+
+import (
+	"fmt"
+
+	"columnsgd/internal/model"
+	"columnsgd/internal/partition"
+	"columnsgd/internal/vec"
+)
+
+// batchFor32 is batchFor's float32 twin: local column slices over the
+// worksets' float32 value shadows (built at loadDone), plus shared f64
+// labels. The views live in the partition's scratch buffers and are
+// valid until its next batchFor32 call.
+func batchFor32(ps *partState, refs []partition.RowRef) (model.Batch32, error) {
+	if cap(ps.rows32Buf) < len(refs) {
+		ps.rows32Buf = make([]vec.Sparse32, len(refs))
+	}
+	if cap(ps.labelsBuf) < len(refs) {
+		ps.labelsBuf = make([]float64, len(refs))
+	}
+	b := model.Batch32{
+		Rows:   ps.rows32Buf[:len(refs)],
+		Labels: ps.labelsBuf[:len(refs)],
+	}
+	for i, ref := range refs {
+		ws, ok := ps.store.Get(ref.BlockID)
+		if !ok {
+			return model.Batch32{}, fmt.Errorf("core: partition %d missing block %d", ps.index, ref.BlockID)
+		}
+		b.Rows[i] = ws.Data.Row32(ref.Offset)
+		b.Labels[i] = ws.Labels[ref.Offset]
+	}
+	return b, nil
+}
+
+// computeStats32 runs the statistics phase at f32: per-partition
+// partial statistics summed in float32, in ascending partition order,
+// then widened exactly into the reply.
+func (w *Worker) computeStats32(refs []partition.RowRef) (*StatsReply, error) {
+	spp := w.mdl.StatsPerPoint()
+	need := len(refs) * spp
+	if cap(w.statsBuf32) < need {
+		w.statsBuf32 = make([]float32, need)
+	}
+	sum := w.statsBuf32[:need]
+	for i := range sum {
+		sum[i] = 0
+	}
+	var nnz int64
+	for _, ps := range w.parts {
+		batch, err := batchFor32(ps, refs)
+		if err != nil {
+			return nil, err
+		}
+		w.partBuf32 = model.ParallelStats32(w.pool, w.mdl, ps.params32, batch, w.partBuf32)
+		for i, v := range w.partBuf32 {
+			sum[i] += v
+		}
+		nnz += batch.NNZ()
+	}
+	// Widen into the reply: f32→f64 is exact, so the master aggregates
+	// precisely the values the worker computed. The copy also keeps the
+	// reply from aliasing the scratch buffer, like the f64 path's.
+	return &StatsReply{Stats: vec.Widen(nil, sum), NNZ: nnz}, nil
+}
+
+// update32 runs the gradient/update phase at f32. The aggregated f64
+// statistics are rounded once into scratch — under an f32 value codec
+// the rounding is lossless, the frame already carries f32-representable
+// values — and every per-partition gradient and optimizer update runs
+// in float32.
+func (w *Worker) update32(a *UpdateArgs, refs []partition.RowRef) (*UpdateReply, error) {
+	w.aggBuf32 = vec.Narrow(w.aggBuf32, a.Stats)
+	var loss float64
+	var nnz int64
+	for pi, ps := range w.parts {
+		batch, err := batchFor32(ps, refs)
+		if err != nil {
+			return nil, err
+		}
+		if ps.grad32 == nil || ps.grad32.Rows() != w.mdl.ParamRows() || ps.grad32.Width() != ps.width {
+			ps.grad32 = model.NewParams32(w.mdl.ParamRows(), ps.width)
+		}
+		model.ParallelGradient32(w.pool, w.mdl, ps.params32, batch, w.aggBuf32, ps.grad32)
+		if err := ps.opt32.Apply(ps.params32, ps.grad32); err != nil {
+			return nil, err
+		}
+		nnz += batch.NNZ()
+		if pi == 0 {
+			// Loss on the received f64 aggregate, like the f64 path —
+			// the reported metric is computed identically either way.
+			loss = model.BatchLoss(w.mdl, batch.Labels, a.Stats)
+		}
+	}
+	return &UpdateReply{Loss: loss, NNZ: nnz}, nil
+}
+
+// evalStats32 is evalStats at f32: full-block partial statistics from
+// the f32 partition, widened exactly into the reply.
+func (w *Worker) evalStats32(ps *partState, a *EvalArgs) (*EvalReply, error) {
+	var out []float64
+	var nnz int64
+	var part32 []float32
+	for _, id := range ps.store.Blocks() {
+		if id < a.FromBlock || id >= a.ToBlock {
+			continue
+		}
+		ws, _ := ps.store.Get(id)
+		batch := model.Batch32{Rows: make([]vec.Sparse32, ws.Rows()), Labels: ws.Labels}
+		for i := range batch.Rows {
+			batch.Rows[i] = ws.Data.Row32(i)
+		}
+		part32 = model.ParallelStats32(w.pool, w.mdl, ps.params32, batch, part32[:0])
+		for _, v := range part32 {
+			out = append(out, float64(v))
+		}
+		nnz += batch.NNZ()
+	}
+	return &EvalReply{Stats: out, NNZ: nnz}, nil
+}

@@ -1,0 +1,179 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"columnsgd/internal/par"
+	"columnsgd/internal/vec"
+)
+
+// Differential f32-vs-f64 tests for the float32 kernel twins, plus the
+// determinism half of the precision contract: the float32 parallel
+// reductions must be bit-identical at every pool size, exactly like
+// their float64 counterparts.
+
+// u32 is the float32 unit roundoff.
+const u32 = 1.0 / (1 << 24)
+
+// narrowBatch converts a float64 batch into its float32 twin, sharing
+// labels and index structure.
+func narrowBatch(b Batch) Batch32 {
+	out := Batch32{Rows: make([]vec.Sparse32, len(b.Rows)), Labels: b.Labels}
+	for i, r := range b.Rows {
+		out.Rows[i] = vec.NarrowSparse(r)
+	}
+	return out
+}
+
+// narrowedPair builds matched f64/f32 params and batches for one model:
+// the float64 side is narrowed then widened so both kernels see the
+// same real numbers and the comparison isolates accumulation rounding.
+func narrowedPair(t *testing.T, mdl Model, n, m int, seed int64) (*Params, Batch, *Params32, Batch32) {
+	t.Helper()
+	classes := 0
+	if mlr, ok := mdl.(MLR); ok {
+		classes = mlr.Classes()
+	}
+	batch := synthBatch(n, m, 12, classes, seed)
+	p := NewParams(mdl.ParamRows(), m)
+	mdl.Init(p, rand.New(rand.NewSource(seed+1)))
+	p32 := NarrowParams(p)
+	// Round the f64 side to the same float32 grid.
+	p = p32.Widen()
+	b32 := narrowBatch(batch)
+	for i := range batch.Rows {
+		batch.Rows[i] = b32.Rows[i].Widen()
+	}
+	return p, batch, p32, b32
+}
+
+// statsBound is the reduction-error bound for one statistic computed
+// from a row with nnz nonzeros against float32-rounded weights.
+func statsBound(nnz int, mag float64) float64 {
+	return 8 * float64(nnz+8) * u32 * (mag + 1)
+}
+
+// TestKernel32MatchesKernel64 compares every model's PartialStats32,
+// Gradient32, and BatchLoss32 against the float64 kernels on identical
+// (float32-representable) inputs. Statistics involve per-point
+// reductions of ~nnz terms; gradients add one scaled scatter per point;
+// losses go through transcendentals evaluated in float64 on both sides,
+// so the statistics bound dominates everywhere.
+func TestKernel32MatchesKernel64(t *testing.T) {
+	const n, m = 64, 300
+	for _, mdl := range testModels(t) {
+		t.Run(mdl.Name(), func(t *testing.T) {
+			p, batch, p32, b32 := narrowedPair(t, mdl, n, m, 11)
+			k32, ok := Kernel32Of(mdl)
+			if !ok {
+				t.Fatalf("%s has no float32 kernel", mdl.Name())
+			}
+
+			want := mdl.PartialStats(p, batch, nil)
+			got := k32.PartialStats32(p32, b32, nil)
+			if len(got) != len(want) {
+				t.Fatalf("stats width %d, want %d", len(got), len(want))
+			}
+			// FM statistics include Σ(v·x)² terms over rank·nnz products.
+			perPoint := len(want) / len(batch.Rows)
+			for i := range want {
+				bound := statsBound(12*perPoint+24, math.Abs(want[i]))
+				if diff := math.Abs(float64(got[i]) - want[i]); diff > bound {
+					t.Errorf("stat %d: f32=%v f64=%v |Δ|=%g > bound %g", i, got[i], want[i], diff, bound)
+				}
+			}
+
+			gradWant := NewParams(mdl.ParamRows(), m)
+			mdl.Gradient(p, batch, want, gradWant)
+			gradGot := NewParams32(mdl.ParamRows(), m)
+			k32.Gradient32(p32, b32, got, gradGot)
+			for r := range gradWant.W {
+				for j := range gradWant.W[r] {
+					// Each gradient slot accumulates ≤ n scaled scatter
+					// contributions, each built from an O(u32)-perturbed
+					// statistic.
+					bound := statsBound(4*n, math.Abs(gradWant.W[r][j])) * 8
+					if diff := math.Abs(float64(gradGot.W[r][j]) - gradWant.W[r][j]); diff > bound {
+						t.Errorf("grad[%d][%d]: f32=%v f64=%v |Δ|=%g > bound %g",
+							r, j, gradGot.W[r][j], gradWant.W[r][j], diff, bound)
+					}
+				}
+			}
+
+			lossWant := BatchLoss(mdl, batch.Labels, want)
+			lossGot := BatchLoss32(mdl, b32.Labels, got)
+			// Loss is evaluated in float64 from O(u32)-perturbed stats;
+			// point losses are O(1)-Lipschitz in the stats here.
+			if diff := math.Abs(lossGot - lossWant); diff > 1e-3 {
+				t.Errorf("loss: f32=%v f64=%v |Δ|=%g", lossGot, lossWant, diff)
+			}
+		})
+	}
+}
+
+// TestParallelStats32BitIdenticalAcrossP is the f32 half of the ordered
+// reduction contract: for every model, ParallelStats32 must return
+// bit-identical statistics for every pool size — including sizes larger
+// than the batch — because chunking only assigns output slots.
+func TestParallelStats32BitIdenticalAcrossP(t *testing.T) {
+	const m = 300
+	for _, mdl := range testModels(t) {
+		t.Run(mdl.Name(), func(t *testing.T) {
+			for _, n := range []int{1, 17, 64, 100} {
+				_, _, p32, b32 := narrowedPair(t, mdl, n, m, 13)
+				k32, _ := Kernel32Of(mdl)
+				want := k32.PartialStats32(p32, b32, nil)
+				for _, procs := range []int{1, 2, 4, 8} {
+					pool := par.New(procs)
+					got := ParallelStats32(pool, mdl, p32, b32, nil)
+					pool.Shutdown()
+					if len(got) != len(want) {
+						t.Fatalf("n=%d P=%d: %d stats, want %d", n, procs, len(got), len(want))
+					}
+					for i := range want {
+						if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+							t.Fatalf("n=%d P=%d stat %d: %x != sequential %x — f32 reduction is not ordered",
+								n, procs, i, math.Float32bits(got[i]), math.Float32bits(want[i]))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelGradient32BitIdenticalAcrossP: the f32 gradient reduction
+// combines per-chunk blocks in ascending chunk order with fixed
+// weights, so every pool size must produce the same bits.
+func TestParallelGradient32BitIdenticalAcrossP(t *testing.T) {
+	const m = 300
+	for _, mdl := range testModels(t) {
+		t.Run(mdl.Name(), func(t *testing.T) {
+			for _, n := range []int{1, 17, 64, 100} {
+				_, _, p32, b32 := narrowedPair(t, mdl, n, m, 17)
+				k32, _ := Kernel32Of(mdl)
+				stats := k32.PartialStats32(p32, b32, nil)
+				refPool := par.New(1)
+				want := NewParams32(mdl.ParamRows(), m)
+				ParallelGradient32(refPool, mdl, p32, b32, stats, want)
+				refPool.Shutdown()
+				for _, procs := range []int{1, 2, 4, 8} {
+					pool := par.New(procs)
+					got := NewParams32(mdl.ParamRows(), m)
+					ParallelGradient32(pool, mdl, p32, b32, stats, got)
+					pool.Shutdown()
+					for r := range want.W {
+						for j := range want.W[r] {
+							if math.Float32bits(got.W[r][j]) != math.Float32bits(want.W[r][j]) {
+								t.Fatalf("n=%d P=%d grad[%d][%d]: %x != P=1 %x — f32 gradient reduction is not ordered",
+									n, procs, r, j, math.Float32bits(got.W[r][j]), math.Float32bits(want.W[r][j]))
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,196 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"columnsgd/internal/model"
+)
+
+// Optimizer32 is the float32 twin of Optimizer: it applies float32
+// gradient blocks to float32 parameter blocks, keeping its per-dimension
+// state (momentum, squared-gradient accumulators) in float32 as well, so
+// the f32 precision mode halves optimizer-state memory too. The update
+// rules mirror the f64 implementations term for term; the square roots
+// run through float64 math.Sqrt (exact to f32 precision after rounding).
+type Optimizer32 interface {
+	// Name identifies the update rule.
+	Name() string
+	// Apply performs one update of p given the batch gradient g.
+	Apply(p, g *model.Params32) error
+	// Reset clears the optimizer state.
+	Reset()
+}
+
+// New32 constructs a float32 optimizer from a config, applying the same
+// validation and defaults as New.
+func New32(cfg Config) (Optimizer32, error) {
+	o, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// New applied defaulting (Adam betas, eps) internally; redo it here so
+	// the f32 rules see the same effective config.
+	switch cfg.Algo {
+	case "adagrad":
+		if cfg.Eps == 0 {
+			cfg.Eps = 1e-8
+		}
+	case "adam":
+		if cfg.Beta1 == 0 {
+			cfg.Beta1 = 0.9
+		}
+		if cfg.Beta2 == 0 {
+			cfg.Beta2 = 0.999
+		}
+		if cfg.Eps == 0 {
+			cfg.Eps = 1e-8
+		}
+	}
+	switch o.Name() {
+	case "sgd":
+		return &sgd32{cfg: cfg}, nil
+	case "momentum":
+		return &momentum32{cfg: cfg}, nil
+	case "adagrad":
+		return &adagrad32{cfg: cfg}, nil
+	case "adam":
+		return &adam32{cfg: cfg}, nil
+	}
+	return nil, fmt.Errorf("opt: no float32 twin for %q", o.Name())
+}
+
+func checkShapes32(p, g *model.Params32) error {
+	if p.Rows() != g.Rows() || p.Width() != g.Width() {
+		return fmt.Errorf("opt: shape mismatch: params %dx%d vs grad %dx%d",
+			p.Rows(), p.Width(), g.Rows(), g.Width())
+	}
+	return nil
+}
+
+// regularize32 folds L2 (and an L1 subgradient) into the raw gradient
+// value for parameter w, in float32.
+func regularize32(l2, l1 float32, w, g float32) float32 {
+	g += l2 * w
+	if l1 > 0 {
+		switch {
+		case w > 0:
+			g += l1
+		case w < 0:
+			g -= l1
+		}
+	}
+	return g
+}
+
+type sgd32 struct{ cfg Config }
+
+func (s *sgd32) Name() string { return "sgd" }
+func (s *sgd32) Reset()       {}
+func (s *sgd32) Apply(p, g *model.Params32) error {
+	if err := checkShapes32(p, g); err != nil {
+		return err
+	}
+	lr, l2, l1 := float32(s.cfg.LR), float32(s.cfg.L2), float32(s.cfg.L1)
+	for r := range p.W {
+		pw, gw := p.W[r], g.W[r]
+		for j := range pw {
+			pw[j] -= lr * regularize32(l2, l1, pw[j], gw[j])
+		}
+	}
+	return nil
+}
+
+type momentum32 struct {
+	cfg Config
+	v   *model.Params32
+}
+
+func (m *momentum32) Name() string { return "momentum" }
+func (m *momentum32) Reset()       { m.v = nil }
+func (m *momentum32) Apply(p, g *model.Params32) error {
+	if err := checkShapes32(p, g); err != nil {
+		return err
+	}
+	if m.v == nil {
+		m.v = model.NewParams32(p.Rows(), p.Width())
+	} else if err := checkShapes32(p, m.v); err != nil {
+		return fmt.Errorf("opt: momentum state stale: %w", err)
+	}
+	lr, l2, l1, mu := float32(m.cfg.LR), float32(m.cfg.L2), float32(m.cfg.L1), float32(m.cfg.Momentum)
+	for r := range p.W {
+		pw, gw, vw := p.W[r], g.W[r], m.v.W[r]
+		for j := range pw {
+			vw[j] = mu*vw[j] + regularize32(l2, l1, pw[j], gw[j])
+			pw[j] -= lr * vw[j]
+		}
+	}
+	return nil
+}
+
+type adagrad32 struct {
+	cfg Config
+	h   *model.Params32
+}
+
+func (a *adagrad32) Name() string { return "adagrad" }
+func (a *adagrad32) Reset()       { a.h = nil }
+func (a *adagrad32) Apply(p, g *model.Params32) error {
+	if err := checkShapes32(p, g); err != nil {
+		return err
+	}
+	if a.h == nil {
+		a.h = model.NewParams32(p.Rows(), p.Width())
+	} else if err := checkShapes32(p, a.h); err != nil {
+		return fmt.Errorf("opt: adagrad state stale: %w", err)
+	}
+	lr, l2, l1, eps := float32(a.cfg.LR), float32(a.cfg.L2), float32(a.cfg.L1), float32(a.cfg.Eps)
+	for r := range p.W {
+		pw, gw, hw := p.W[r], g.W[r], a.h.W[r]
+		for j := range pw {
+			grad := regularize32(l2, l1, pw[j], gw[j])
+			hw[j] += grad * grad
+			pw[j] -= lr * grad / (float32(math.Sqrt(float64(hw[j]))) + eps)
+		}
+	}
+	return nil
+}
+
+type adam32 struct {
+	cfg  Config
+	m, v *model.Params32
+	t    int
+}
+
+func (a *adam32) Name() string { return "adam" }
+func (a *adam32) Reset()       { a.m, a.v, a.t = nil, nil, 0 }
+func (a *adam32) Apply(p, g *model.Params32) error {
+	if err := checkShapes32(p, g); err != nil {
+		return err
+	}
+	if a.m == nil {
+		a.m = model.NewParams32(p.Rows(), p.Width())
+		a.v = model.NewParams32(p.Rows(), p.Width())
+	} else if err := checkShapes32(p, a.m); err != nil {
+		return fmt.Errorf("opt: adam state stale: %w", err)
+	}
+	a.t++
+	// Bias corrections are per-step scalars; compute them in f64 and
+	// round once, like the per-point loss coefficients in the kernels.
+	bc1 := float32(1 - math.Pow(a.cfg.Beta1, float64(a.t)))
+	bc2 := float32(1 - math.Pow(a.cfg.Beta2, float64(a.t)))
+	lr, l2, l1 := float32(a.cfg.LR), float32(a.cfg.L2), float32(a.cfg.L1)
+	b1, b2, eps := float32(a.cfg.Beta1), float32(a.cfg.Beta2), float32(a.cfg.Eps)
+	for r := range p.W {
+		pw, gw, mw, vw := p.W[r], g.W[r], a.m.W[r], a.v.W[r]
+		for j := range pw {
+			grad := regularize32(l2, l1, pw[j], gw[j])
+			mw[j] = b1*mw[j] + (1-b1)*grad
+			vw[j] = b2*vw[j] + (1-b2)*grad*grad
+			mhat := mw[j] / bc1
+			vhat := vw[j] / bc2
+			pw[j] -= lr * mhat / (float32(math.Sqrt(float64(vhat))) + eps)
+		}
+	}
+	return nil
+}

@@ -80,6 +80,11 @@ type Config struct {
 	// in-process transport: "gob", "wire", "wire-f32", "wire-f16".
 	// Empty means the default (compact, lossless).
 	Codec string
+	// Precision selects the workers' numeric width: "" or "f64" runs the
+	// float64 kernels, "f32" the float32 twins. Master-side aggregation
+	// (gradient averaging, the central model, MLlib* averaging) stays
+	// float64 either way; gradients cross the wire widened exactly.
+	Precision string
 }
 
 func (c *Config) normalize() error {
@@ -110,6 +115,11 @@ func (c *Config) normalize() error {
 	}
 	if c.Staleness < 0 {
 		return fmt.Errorf("rowsgd: Staleness must be ≥ 0")
+	}
+	switch c.Precision {
+	case "", "f64", "f32":
+	default:
+		return fmt.Errorf("rowsgd: unknown precision %q (want \"f64\" or \"f32\")", c.Precision)
 	}
 	if c.Net.Name == "" {
 		c.Net = simnet.Cluster1().WithWorkers(c.Workers)
@@ -178,6 +188,11 @@ func NewEngine(cfg Config, clients []cluster.Client) (*Engine, error) {
 	mdl, err := model.New(cfg.ModelName, cfg.ModelArg)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Precision == "f32" {
+		if _, ok := model.Kernel32Of(mdl); !ok {
+			return nil, fmt.Errorf("rowsgd: model %s has no float32 kernels; Precision %q needs model.Kernel32", mdl.Name(), cfg.Precision)
+		}
 	}
 	var o opt.Optimizer
 	if cfg.System != MLlibStar {
@@ -252,6 +267,7 @@ func (e *Engine) Load(ds *dataset.Dataset) error {
 			HoldModel:   e.cfg.System == MLlibStar,
 			Seed:        e.cfg.Seed,
 			Parallelism: e.cfg.Parallelism,
+			Precision:   e.cfg.Precision,
 		}
 		if err := e.drv.Call(w, driver.Call{Method: MethodInit, Args: args}, nil, nil); err != nil {
 			return fmt.Errorf("rowsgd: init worker %d: %w", w, err)

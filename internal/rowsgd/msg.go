@@ -41,6 +41,9 @@ type InitArgs struct {
 	// Parallelism sizes the worker's deterministic compute pool
 	// (internal/par); 0 means GOMAXPROCS. Bit-identical for every value.
 	Parallelism int
+	// Precision selects the worker's numeric width: "" or "f64" for
+	// float64, "f32" for the float32 kernel path (see Config.Precision).
+	Precision string
 }
 
 // LoadRowsArgs delivers a chunk of the worker's row shard.

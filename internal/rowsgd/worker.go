@@ -30,11 +30,26 @@ type Worker struct {
 	o       opt.Optimizer
 	seed    int64
 
+	// prec is the compute path's numeric width: "" / "f64" run the
+	// float64 kernels, "f32" the float32 twins in worker32.go.
+	prec string
+	// rows32 is the float32 shadow of rows, built once at loadDone under
+	// f32 precision so the hot path never converts. Eval keeps the f64
+	// rows, so both live side by side.
+	rows32 []vec.Sparse32
+	// replica32/o32 are the float32 MLlib* replica and optimizer.
+	replica32 *model.Params32
+	o32       opt.Optimizer32
+
 	// pool is the deterministic compute pool mirrored from the ColumnSGD
 	// worker (internal/par): bit-identical results for every size.
 	pool *par.Pool
 	// statsBuf is the per-batch statistics scratch, reused across calls.
 	statsBuf []float64
+	// statsBuf32/model32 are the f32 twins: statistics scratch and the
+	// narrowed copy of the last incoming dense model.
+	statsBuf32 []float32
+	model32    [][]float32
 }
 
 // NewWorker creates an empty row-oriented worker.
@@ -50,27 +65,55 @@ func (w *Worker) init(a *InitArgs) error {
 	if err != nil {
 		return err
 	}
+	switch a.Precision {
+	case "", "f64", "f32":
+	default:
+		return fmt.Errorf("rowsgd: unknown precision %q", a.Precision)
+	}
+	if a.Precision == "f32" {
+		if _, ok := model.Kernel32Of(mdl); !ok {
+			return fmt.Errorf("rowsgd: model %s has no float32 kernels; precision %q needs model.Kernel32", mdl.Name(), a.Precision)
+		}
+	}
 	w.id = a.Worker
 	w.m = a.NumFeatures
 	w.mdl = mdl
 	w.seed = a.Seed
+	w.prec = a.Precision
 	if w.pool != nil {
 		w.pool.Shutdown()
 	}
 	w.pool = par.New(a.Parallelism)
 	w.labels = nil
 	w.rows = nil
+	w.rows32 = nil
 	w.loaded = false
 	w.replica = nil
+	w.replica32 = nil
 	w.o = nil
+	w.o32 = nil
+	w.model32 = nil
 	if a.HoldModel {
-		o, err := opt.New(a.Opt)
-		if err != nil {
-			return err
-		}
-		w.o = o
+		// Initialization always runs the f64 template; f32 narrows it, so
+		// f32 replicas start from the rounding of exactly the values a
+		// f64 run would use.
 		w.replica = model.NewParams(mdl.ParamRows(), a.NumFeatures)
 		mdl.Init(w.replica, rand.New(rand.NewSource(a.Seed)))
+		if a.Precision == "f32" {
+			o32, err := opt.New32(a.Opt)
+			if err != nil {
+				return err
+			}
+			w.o32 = o32
+			w.replica32 = model.NarrowParams(w.replica)
+			w.replica = nil
+		} else {
+			o, err := opt.New(a.Opt)
+			if err != nil {
+				return err
+			}
+			w.o = o
+		}
 	}
 	return nil
 }
@@ -100,17 +143,36 @@ func (w *Worker) loadDone() error {
 	if len(w.rows) == 0 {
 		return fmt.Errorf("rowsgd: worker %d has no data", w.id)
 	}
+	if w.prec == "f32" {
+		// Build the float32 row shadow once, before any compute call, so
+		// the hot path reads pre-narrowed values.
+		w.rows32 = make([]vec.Sparse32, len(w.rows))
+		for i := range w.rows {
+			w.rows32[i] = vec.NarrowSparse(w.rows[i])
+		}
+	}
 	w.loaded = true
 	return nil
 }
 
-// sampleLocal draws a local mini-batch, seeded so reruns are
-// reproducible; different workers use disjoint streams.
-func (w *Worker) sampleLocal(iter int64, batch int) model.Batch {
+// sampleIdx draws the iteration's local mini-batch indices, seeded so
+// reruns are reproducible; different workers use disjoint streams. Both
+// precision paths consume this stream, so f32 batches visit exactly the
+// rows f64 batches would.
+func (w *Worker) sampleIdx(iter int64, batch int) []int {
 	r := rand.New(rand.NewSource(w.seed + iter*1000003 + int64(w.id)*7907))
+	idx := make([]int, batch)
+	for i := range idx {
+		idx[i] = r.Intn(len(w.rows))
+	}
+	return idx
+}
+
+// sampleLocal draws a local mini-batch as float64 row views.
+func (w *Worker) sampleLocal(iter int64, batch int) model.Batch {
+	idx := w.sampleIdx(iter, batch)
 	b := model.Batch{Rows: make([]vec.Sparse, batch), Labels: make([]float64, batch)}
-	for i := 0; i < batch; i++ {
-		j := r.Intn(len(w.rows))
+	for i, j := range idx {
 		b.Rows[i] = w.rows[j]
 		b.Labels[i] = w.labels[j]
 	}
@@ -145,6 +207,9 @@ func (w *Worker) computeGrad(a *ComputeGradArgs) (*GradReply, error) {
 	}
 	if len(a.Model) != w.mdl.ParamRows() {
 		return nil, fmt.Errorf("rowsgd: model has %d rows, want %d", len(a.Model), w.mdl.ParamRows())
+	}
+	if w.prec == "f32" {
+		return w.computeGrad32(a)
 	}
 	p := &model.Params{W: FromDenseVecs(a.Model)}
 	b := w.sampleLocal(a.Iter, a.BatchSize)
@@ -185,6 +250,9 @@ func (w *Worker) computeGradSparse(a *SparseGradArgs) (*GradReply, error) {
 		if len(row) != len(a.Dims) {
 			return nil, fmt.Errorf("rowsgd: sparse model width %d, want %d", len(row), len(a.Dims))
 		}
+	}
+	if w.prec == "f32" {
+		return w.computeGradSparse32(a)
 	}
 	// Remap the batch into the compact dimension space of a.Dims.
 	pos := make(map[int32]int32, len(a.Dims))
@@ -245,6 +313,9 @@ func (w *Worker) localTrain(a *LocalTrainArgs) (*LocalTrainReply, error) {
 	if !w.loaded {
 		return nil, fmt.Errorf("rowsgd: worker %d: not loaded", w.id)
 	}
+	if w.replica32 != nil {
+		return w.localTrain32(a)
+	}
 	if w.replica == nil {
 		return nil, fmt.Errorf("rowsgd: worker %d holds no model replica", w.id)
 	}
@@ -268,17 +339,23 @@ func (w *Worker) localTrain(a *LocalTrainArgs) (*LocalTrainReply, error) {
 func (w *Worker) setModel(a *SetModelArgs) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if w.replica == nil {
+	if w.replica == nil && w.replica32 == nil {
 		return fmt.Errorf("rowsgd: worker %d holds no model replica", w.id)
 	}
-	if len(a.W) != w.replica.Rows() {
+	if len(a.W) != w.mdl.ParamRows() {
 		return fmt.Errorf("rowsgd: setModel row mismatch")
 	}
 	for r := range a.W {
 		if len(a.W[r]) != w.m {
 			return fmt.Errorf("rowsgd: setModel width mismatch")
 		}
-		copy(w.replica.W[r], a.W[r])
+		if w.replica32 != nil {
+			// Averaging runs in f64 at the master; the replica takes the
+			// rounded result (one rounding per averaging round).
+			w.replica32.W[r] = vec.Narrow(w.replica32.W[r], a.W[r])
+		} else {
+			copy(w.replica.W[r], a.W[r])
+		}
 	}
 	return nil
 }
@@ -286,11 +363,16 @@ func (w *Worker) setModel(a *SetModelArgs) error {
 func (w *Worker) getModel() (*ModelReply, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if w.replica == nil {
-		return nil, fmt.Errorf("rowsgd: worker %d holds no model replica", w.id)
+	switch {
+	case w.replica32 != nil:
+		// Widening is exact, so the master averages precisely the f32
+		// replica values.
+		return &ModelReply{W: ToDense(w.replica32.Widen().W)}, nil
+	case w.replica != nil:
+		cp := w.replica.Clone()
+		return &ModelReply{W: ToDense(cp.W)}, nil
 	}
-	cp := w.replica.Clone()
-	return &ModelReply{W: ToDense(cp.W)}, nil
+	return nil, fmt.Errorf("rowsgd: worker %d holds no model replica", w.id)
 }
 
 func (w *Worker) evalLoss(a *EvalArgs) (*EvalReply, error) {
@@ -299,12 +381,17 @@ func (w *Worker) evalLoss(a *EvalArgs) (*EvalReply, error) {
 	if !w.loaded {
 		return nil, fmt.Errorf("rowsgd: worker %d: not loaded", w.id)
 	}
+	// Evaluation stays float64 regardless of precision — it is a
+	// reported metric over the full shard, off the training hot path —
+	// so an f32 replica is widened (exactly) for the pass.
 	var p *model.Params
 	switch {
 	case a.Model != nil:
 		p = &model.Params{W: FromDenseVecs(a.Model)}
 	case w.replica != nil:
 		p = w.replica
+	case w.replica32 != nil:
+		p = w.replica32.Widen()
 	default:
 		return nil, fmt.Errorf("rowsgd: eval needs a model")
 	}

@@ -1,0 +1,140 @@
+package rowsgd
+
+// Float32 worker steps (Config.Precision "f32"). The RowSGD baselines
+// keep their aggregation side — master model, gradient averaging,
+// optimizer (or the MLlib* averaging reduce) — in float64; the f32 mode
+// moves the worker compute to float32: row shards get a float32 shadow
+// at loadDone, incoming dense models are rounded once into scratch, and
+// the statistics/gradient kernels run through the model.Kernel32 twins.
+// Gradients cross the wire widened to float64 (exactly), so message
+// shapes and master math never change with precision.
+//
+// Batches are identical to the f64 path's: sampleLocal32 consumes the
+// same index stream (sampleIdx), so a f32 run visits exactly the rows a
+// f64 run would and differs only by kernel rounding.
+
+import (
+	"fmt"
+
+	"columnsgd/internal/model"
+	"columnsgd/internal/vec"
+)
+
+// sampleLocal32 draws the mini-batch sampleLocal would draw — the same
+// seeded index stream — as float32 row views.
+func (w *Worker) sampleLocal32(iter int64, batch int) model.Batch32 {
+	idx := w.sampleIdx(iter, batch)
+	b := model.Batch32{Rows: make([]vec.Sparse32, batch), Labels: make([]float64, batch)}
+	for i, j := range idx {
+		b.Rows[i] = w.rows32[j]
+		b.Labels[i] = w.labels[j]
+	}
+	return b
+}
+
+// narrowModel rounds an incoming dense float64 model into the worker's
+// float32 scratch block, reused across calls.
+func (w *Worker) narrowModel(rows []DenseVec) *model.Params32 {
+	if len(w.model32) != len(rows) {
+		w.model32 = make([][]float32, len(rows))
+	}
+	for r := range rows {
+		w.model32[r] = vec.Narrow(w.model32[r], rows[r])
+	}
+	return &model.Params32{W: w.model32}
+}
+
+// sparseRows32 converts a float32 gradient block to wire SparseBlocks,
+// widening the values exactly. dims maps compact indices back to global
+// dimensions; nil means the block is already in global index space.
+func sparseRows32(g *model.Params32, dims []int32) []SparseBlock {
+	out := make([]SparseBlock, len(g.W))
+	for row := range g.W {
+		var idx []int32
+		var val []float64
+		for i, v := range g.W[row] {
+			if v != 0 {
+				if dims != nil {
+					idx = append(idx, dims[i])
+				} else {
+					idx = append(idx, int32(i))
+				}
+				val = append(val, float64(v))
+			}
+		}
+		out[row] = SparseBlock{Indices: idx, Values: val}
+	}
+	return out
+}
+
+// gradFromBatch32 is the float32 twin of gradFromBatch /
+// gradFromBatchCompact: statistics and gradient in f32, loss in f64 per
+// point (model.BatchLoss32 widens the per-point statistics), reply
+// values widened exactly. dims selects compact (MXNet sparse-pull)
+// versus full-width global gradients.
+func (w *Worker) gradFromBatch32(p *model.Params32, b model.Batch32, dims []int32) (*GradReply, error) {
+	w.statsBuf32 = model.ParallelStats32(w.pool, w.mdl, p, b, w.statsBuf32)
+	stats := w.statsBuf32
+	width := w.m
+	if dims != nil {
+		width = len(dims)
+	}
+	grad := model.NewParams32(w.mdl.ParamRows(), width)
+	model.ParallelGradient32(w.pool, w.mdl, p, b, stats, grad)
+	return &GradReply{
+		Grad:    sparseRows32(grad, dims),
+		LossSum: model.BatchLoss32(w.mdl, b.Labels, stats) * float64(b.Len()),
+		Count:   b.Len(),
+		NNZ:     b.NNZ(),
+	}, nil
+}
+
+func (w *Worker) computeGrad32(a *ComputeGradArgs) (*GradReply, error) {
+	p := w.narrowModel(a.Model)
+	b := w.sampleLocal32(a.Iter, a.BatchSize)
+	return w.gradFromBatch32(p, b, nil)
+}
+
+func (w *Worker) computeGradSparse32(a *SparseGradArgs) (*GradReply, error) {
+	// Remap into the compact dimension space of a.Dims, like the f64
+	// path. Dims is sorted and row indices are strictly increasing, so
+	// the remapped indices stay strictly increasing.
+	pos := make(map[int32]int32, len(a.Dims))
+	for i, d := range a.Dims {
+		pos[d] = int32(i)
+	}
+	b := w.sampleLocal32(a.Iter, a.BatchSize)
+	compact := model.Batch32{Rows: make([]vec.Sparse32, b.Len()), Labels: b.Labels}
+	for i, row := range b.Rows {
+		cr := vec.Sparse32{Indices: make([]int32, len(row.Indices)), Values: row.Values}
+		for k, idx := range row.Indices {
+			p, ok := pos[idx]
+			if !ok {
+				return nil, fmt.Errorf("rowsgd: batch dim %d not in pulled set", idx)
+			}
+			cr.Indices[k] = p
+		}
+		compact.Rows[i] = cr
+	}
+	p := w.narrowModel(a.Values)
+	return w.gradFromBatch32(p, compact, a.Dims)
+}
+
+// localTrain32 runs MLlib* local SGD steps on the float32 replica.
+func (w *Worker) localTrain32(a *LocalTrainArgs) (*LocalTrainReply, error) {
+	var lossSum float64
+	var nnz int64
+	for s := 0; s < a.Steps; s++ {
+		b := w.sampleLocal32(a.Iter*1024+int64(s), a.BatchSize)
+		w.statsBuf32 = model.ParallelStats32(w.pool, w.mdl, w.replica32, b, w.statsBuf32)
+		stats := w.statsBuf32
+		lossSum += model.BatchLoss32(w.mdl, b.Labels, stats)
+		grad := model.NewParams32(w.mdl.ParamRows(), w.m)
+		model.ParallelGradient32(w.pool, w.mdl, w.replica32, b, stats, grad)
+		if err := w.o32.Apply(w.replica32, grad); err != nil {
+			return nil, err
+		}
+		nnz += b.NNZ()
+	}
+	return &LocalTrainReply{LossMean: lossSum / float64(a.Steps), NNZ: nnz}, nil
+}

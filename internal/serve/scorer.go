@@ -5,10 +5,13 @@ import (
 
 	"columnsgd/internal/model"
 	"columnsgd/internal/par"
+	"columnsgd/internal/vec"
 )
 
 // ShardRequest is the unit of fan-out: one column shard's slice of a
 // micro-batch, plus the parameter block of the snapshot that pinned it.
+// Exactly one precision's fields are populated: Params/Batch under
+// float64 (the default), Params32/Batch32 under Options.Precision "f32".
 type ShardRequest struct {
 	// Shard is the column shard index.
 	Shard int
@@ -19,6 +22,13 @@ type ShardRequest struct {
 	// Batch holds the shard-local row slices (labels are zeros; scoring
 	// ignores them).
 	Batch model.Batch
+	// Params32/Batch32 are the float32 twins, set instead of
+	// Params/Batch when the server scores at f32: the snapshot narrows
+	// each shard block once at install time and the column split writes
+	// float32 row values directly, so the scoring hot path never
+	// converts.
+	Params32 *model.Params32
+	Batch32  model.Batch32
 }
 
 // Scorer computes one shard's partial statistics for a micro-batch.
@@ -41,10 +51,17 @@ type LocalScorer struct {
 	Pool *par.Pool
 }
 
-// PartialStats implements Scorer.
+// PartialStats implements Scorer. Under an f32 request the float32
+// kernel twins run and the partial statistics are widened exactly, so
+// the frontend's shard-order aggregation is identical in shape either
+// way and differs only by kernel rounding.
 func (l LocalScorer) PartialStats(ctx context.Context, req ShardRequest) ([]float64, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if req.Params32 != nil {
+		s32 := model.ParallelStats32(l.Pool, l.Model, req.Params32, req.Batch32, nil)
+		return vec.Widen(nil, s32), nil
 	}
 	return model.ParallelStats(l.Pool, l.Model, req.Params, req.Batch, nil), nil
 }

@@ -73,9 +73,17 @@ type Options struct {
 	// Codec selects the statistics codec whose encoded sizes the fan-out
 	// byte accounting models ("gob", "wire", "wire-f32", "wire-f16");
 	// empty means the default compact lossless codec. Lossy codecs only
-	// shrink the modeled statistics bytes — scoring itself always runs in
-	// float64.
+	// shrink the modeled statistics bytes; the scoring width is set by
+	// Precision, not the codec.
 	Codec string
+	// Precision selects the scoring width: "" or "f64" runs the float64
+	// kernels, "f32" the float32 twins — shard parameter blocks are
+	// narrowed once per install and batches are column-split straight
+	// into float32 rows, mirroring the training engines' precision knob.
+	// Aggregation across shards and predictions stay float64 (partials
+	// widen exactly). Custom NewScorer implementations must consume the
+	// f32 request fields when this is "f32" (see ShardRequest).
+	Precision string
 	// NewScorer overrides the per-shard scorer (tests, remote shards).
 	// nil uses the in-process LocalScorer.
 	NewScorer func(shard int) Scorer
@@ -123,6 +131,9 @@ type snapshot struct {
 	features int
 	scheme   partition.Scheme
 	shards   []*model.Params
+	// shards32 holds the float32-narrowed shard blocks under Precision
+	// "f32" (built once per install); nil under f64.
+	shards32 []*model.Params32
 }
 
 // Prediction is one scored example.
@@ -180,6 +191,16 @@ func New(opts Options) (*Server, error) {
 	mdl, err := model.New(opts.ModelName, opts.ModelArg)
 	if err != nil {
 		return nil, err
+	}
+	switch opts.Precision {
+	case "", "f64", "f32":
+	default:
+		return nil, fmt.Errorf("serve: unknown precision %q (want \"f64\" or \"f32\")", opts.Precision)
+	}
+	if opts.Precision == "f32" {
+		if _, ok := model.Kernel32Of(mdl); !ok {
+			return nil, fmt.Errorf("serve: model %s has no float32 kernels; Precision %q needs model.Kernel32", mdl.Name(), opts.Precision)
+		}
 	}
 	s := &Server{
 		opts:     opts,
@@ -304,12 +325,19 @@ func (s *Server) buildSnapshot(rows [][]float64) (*snapshot, error) {
 		}
 		shards[p] = blk
 	}
-	return &snapshot{
+	snap := &snapshot{
 		version:  s.nextVersion.Add(1),
 		features: features,
 		scheme:   scheme,
 		shards:   shards,
-	}, nil
+	}
+	if s.opts.Precision == "f32" {
+		snap.shards32 = make([]*model.Params32, len(shards))
+		for p := range shards {
+			snap.shards32[p] = model.NarrowParams(shards[p])
+		}
+	}
+	return snap, nil
 }
 
 // Predict scores one example through the micro-batching path, blocking
@@ -391,10 +419,22 @@ func (s *Server) scoreBatch(batch []*request) {
 	// Column-split once per batch: shard k sees every row re-indexed to
 	// its local coordinate space (the serving analogue of Algorithm 4).
 	// Feature indices past the model dimension contribute zero, matching
-	// local scoring with the assembled model.
-	shardRows := make([][]vec.Sparse, len(snap.shards))
-	for k := range shardRows {
-		shardRows[k] = make([]vec.Sparse, len(batch))
+	// local scoring with the assembled model. Under f32 precision the
+	// split writes float32 values directly — the single narrowing on the
+	// scoring path.
+	f32 := snap.shards32 != nil
+	var shardRows [][]vec.Sparse
+	var shardRows32 [][]vec.Sparse32
+	if f32 {
+		shardRows32 = make([][]vec.Sparse32, len(snap.shards))
+		for k := range shardRows32 {
+			shardRows32[k] = make([]vec.Sparse32, len(batch))
+		}
+	} else {
+		shardRows = make([][]vec.Sparse, len(snap.shards))
+		for k := range shardRows {
+			shardRows[k] = make([]vec.Sparse, len(batch))
+		}
 	}
 	for i, req := range batch {
 		for k, j := range req.row.Indices {
@@ -402,8 +442,13 @@ func (s *Server) scoreBatch(batch []*request) {
 				continue
 			}
 			o := snap.scheme.Owner(j)
-			shardRows[o][i].Indices = append(shardRows[o][i].Indices, snap.scheme.Local(j))
-			shardRows[o][i].Values = append(shardRows[o][i].Values, req.row.Values[k])
+			if f32 {
+				shardRows32[o][i].Indices = append(shardRows32[o][i].Indices, snap.scheme.Local(j))
+				shardRows32[o][i].Values = append(shardRows32[o][i].Values, float32(req.row.Values[k]))
+			} else {
+				shardRows[o][i].Indices = append(shardRows[o][i].Indices, snap.scheme.Local(j))
+				shardRows[o][i].Values = append(shardRows[o][i].Values, req.row.Values[k])
+			}
 		}
 	}
 
@@ -417,7 +462,15 @@ func (s *Server) scoreBatch(batch []*request) {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			stats[k], errs[k] = s.callShard(k, snap, model.Batch{Rows: shardRows[k], Labels: labels})
+			req := ShardRequest{Shard: k, Version: snap.version}
+			if f32 {
+				req.Params32 = snap.shards32[k]
+				req.Batch32 = model.Batch32{Rows: shardRows32[k], Labels: labels}
+			} else {
+				req.Params = snap.shards[k]
+				req.Batch = model.Batch{Rows: shardRows[k], Labels: labels}
+			}
+			stats[k], errs[k] = s.callShard(req)
 		}(k)
 	}
 	wg.Wait()
@@ -466,9 +519,9 @@ func (s *Server) fail(batch []*request, err error) {
 // driver.Policy, so serving and training share one timeout/retry
 // implementation (a timed-out attempt's goroutine is abandoned — the
 // buffered result channel inside Policy keeps it from racing a retry).
-func (s *Server) callShard(k int, snap *snapshot, batch model.Batch) ([]float64, error) {
-	req := ShardRequest{Shard: k, Version: snap.version, Params: snap.shards[k], Batch: batch}
-	reqBytes := s.shardRequestBytes(batch)
+func (s *Server) callShard(req ShardRequest) ([]float64, error) {
+	k := req.Shard
+	reqBytes := s.shardRequestBytes(req)
 	p := driver.Policy{
 		Attempts:  2,
 		Timeout:   s.opts.ShardTimeout,
@@ -494,17 +547,28 @@ func (s *Server) callShard(k int, snap *snapshot, batch model.Batch) ([]float64,
 // configured codec. For the compact wire codec it is the exact encoded
 // size of each row's sparse pair (delta-varint indices + values at the
 // codec's width) plus a fixed header; for gob it keeps the legacy
-// 12-bytes-per-nonzero estimate (4-byte index + 8-byte value).
-func (s *Server) shardRequestBytes(b model.Batch) int64 {
+// 12-bytes-per-nonzero estimate (4-byte index + 8-byte value). The byte
+// model reads only the row index structure, which both precisions share.
+func (s *Server) shardRequestBytes(req ShardRequest) int64 {
 	n := int64(16)
+	rowIdx := func(i int) []int32 {
+		if req.Params32 != nil {
+			return req.Batch32.Rows[i].Indices
+		}
+		return req.Batch.Rows[i].Indices
+	}
+	rows := len(req.Batch.Rows)
+	if req.Params32 != nil {
+		rows = len(req.Batch32.Rows)
+	}
 	if !s.codec.Wire {
-		for i := range b.Rows {
-			n += int64(b.Rows[i].NNZ()) * 12
+		for i := 0; i < rows; i++ {
+			n += int64(len(rowIdx(i))) * 12
 		}
 		return n
 	}
-	for i := range b.Rows {
-		n += int64(wire.SparseSize(b.Rows[i].Indices, s.codec.Enc))
+	for i := 0; i < rows; i++ {
+		n += int64(wire.SparseSize(rowIdx(i), s.codec.Enc))
 	}
 	return n
 }

@@ -19,6 +19,11 @@ type CSR struct {
 	// Cols is the column dimension (features in this partition). Indices
 	// are < Cols.
 	Cols int32
+
+	// vals32 is the lazily built float32 shadow of Values, serving Row32
+	// views to the f32 compute path. It is unexported (and so skipped by
+	// gob) and invalidated by AppendRow; EnsureF32/Row32 rebuild it.
+	vals32 []float32
 }
 
 // NewCSR creates an empty CSR with the given column dimension and row
@@ -44,7 +49,34 @@ func (c *CSR) AppendRow(r Sparse) error {
 	c.Indices = append(c.Indices, r.Indices...)
 	c.Values = append(c.Values, r.Values...)
 	c.IndPtr = append(c.IndPtr, int64(len(c.Indices)))
+	c.vals32 = nil
 	return nil
+}
+
+// EnsureF32 builds the float32 value shadow if it is missing. It is not
+// safe to race with Row32 readers — callers build the shadow while they
+// still hold exclusive access (loading, or batch materialization under
+// the worker lock) before fanning rows across a compute pool.
+func (c *CSR) EnsureF32() {
+	if len(c.vals32) == len(c.Values) {
+		return
+	}
+	vals := make([]float32, len(c.Values))
+	for i, v := range c.Values {
+		vals[i] = float32(v)
+	}
+	c.vals32 = vals
+}
+
+// Row32 returns row i as a Sparse32 view over the float32 value shadow
+// (built on first use), sharing index storage with the CSR. The caller
+// must not mutate it.
+func (c *CSR) Row32(i int) Sparse32 {
+	if len(c.vals32) != len(c.Values) {
+		c.EnsureF32()
+	}
+	lo, hi := c.IndPtr[i], c.IndPtr[i+1]
+	return Sparse32{Indices: c.Indices[lo:hi], Values: c.vals32[lo:hi]}
 }
 
 // Row returns row i as a Sparse view sharing storage with the CSR. The

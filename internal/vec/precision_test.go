@@ -1,0 +1,321 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Differential f32-vs-f64 property tests for every float32 kernel entry
+// point. Each case generates seeded inputs, narrows them to float32,
+// and compares the float32 kernel against the float64 kernel run on the
+// *widened* float32 inputs — so the only divergence the bound has to
+// cover is accumulation rounding inside the kernel, not input
+// quantization. The bound is the standard ULP-style forward-error bound
+// for a length-n reduction: |err| ≤ C·n·u·Σ|terms|, with u = 2⁻²⁴ the
+// float32 unit roundoff and C a small safety factor for the unrolled
+// multi-accumulator orders.
+
+// u32 is the float32 unit roundoff.
+const u32 = 1.0 / (1 << 24)
+
+// reduceBound is the allowed |f32 − f64| gap for an n-term reduction
+// whose absolute-value mass is sumAbs.
+func reduceBound(n int, sumAbs float64) float64 {
+	return 4 * float64(n+4) * u32 * (sumAbs + 1)
+}
+
+// precCases is the shared size/seed table: lengths straddle the ×2 and
+// ×4 unroll boundaries plus the scalar tails.
+var precCases = []struct {
+	n    int
+	seed int64
+}{
+	{1, 1}, {2, 2}, {3, 3}, {4, 4}, {5, 5}, {7, 6},
+	{8, 7}, {15, 8}, {16, 9}, {64, 10}, {257, 11}, {4096, 12},
+}
+
+// precVec generates a seeded float64 vector with N(0,1) entries.
+func precVec(n int, seed int64) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.NormFloat64()
+	}
+	return v
+}
+
+// precSparse generates a seeded sparse vector over m features.
+func precSparse(tb testing.TB, m, nnz int, seed int64) Sparse {
+	tb.Helper()
+	if nnz > m {
+		nnz = m
+	}
+	return allocSparse(tb, m, nnz, seed)
+}
+
+func TestDot32MatchesDot(t *testing.T) {
+	for _, c := range precCases {
+		a32 := Narrow(nil, precVec(c.n, c.seed))
+		b32 := Narrow(nil, precVec(c.n, c.seed+100))
+		a64, b64 := Widen(nil, a32), Widen(nil, b32)
+		got := float64(Dot32(a32, b32))
+		want := Dot(a64, b64)
+		sumAbs := 0.0
+		for i := range a64 {
+			sumAbs += math.Abs(a64[i] * b64[i])
+		}
+		if diff := math.Abs(got - want); diff > reduceBound(c.n, sumAbs) {
+			t.Errorf("n=%d seed=%d: Dot32=%v Dot=%v |Δ|=%g > bound %g",
+				c.n, c.seed, got, want, diff, reduceBound(c.n, sumAbs))
+		}
+	}
+}
+
+func TestSum32MatchesSum(t *testing.T) {
+	for _, c := range precCases {
+		a32 := Narrow(nil, precVec(c.n, c.seed))
+		a64 := Widen(nil, a32)
+		got := float64(Sum32(a32))
+		want := Sum(a64)
+		sumAbs := 0.0
+		for _, v := range a64 {
+			sumAbs += math.Abs(v)
+		}
+		if diff := math.Abs(got - want); diff > reduceBound(c.n, sumAbs) {
+			t.Errorf("n=%d: Sum32=%v Sum=%v |Δ|=%g", c.n, got, want, diff)
+		}
+	}
+}
+
+func TestNorm232MatchesNorm2(t *testing.T) {
+	for _, c := range precCases {
+		a32 := Narrow(nil, precVec(c.n, c.seed))
+		a64 := Widen(nil, a32)
+		got := float64(Norm232(a32))
+		want := Norm2(a64)
+		sumAbs := 0.0
+		for _, v := range a64 {
+			sumAbs += v * v
+		}
+		// sqrt is contractive; the reduction bound dominates.
+		if diff := math.Abs(got - want); diff > reduceBound(c.n, sumAbs) {
+			t.Errorf("n=%d: Norm232=%v Norm2=%v |Δ|=%g", c.n, got, want, diff)
+		}
+	}
+}
+
+func TestAxpy32MatchesAxpyElementwise(t *testing.T) {
+	for _, c := range precCases {
+		dst32 := Narrow(nil, precVec(c.n, c.seed))
+		src32 := Narrow(nil, precVec(c.n, c.seed+100))
+		dst64, src64 := Widen(nil, dst32), Widen(nil, src32)
+		const alpha = 0.755
+		Axpy32(dst32, alpha, src32)
+		Axpy(dst64, alpha, src64)
+		for i := range dst64 {
+			// One multiply + one add per element: 2 rounding steps.
+			bound := 4 * u32 * (math.Abs(dst64[i]) + 1)
+			if diff := math.Abs(float64(dst32[i]) - dst64[i]); diff > bound {
+				t.Errorf("n=%d elem %d: Axpy32=%v Axpy=%v |Δ|=%g > %g",
+					c.n, i, dst32[i], dst64[i], diff, bound)
+			}
+		}
+	}
+}
+
+func TestScale32MatchesScaleElementwise(t *testing.T) {
+	for _, c := range precCases {
+		a32 := Narrow(nil, precVec(c.n, c.seed))
+		a64 := Widen(nil, a32)
+		const alpha = -1.375 // exactly representable
+		Scale32(a32, alpha)
+		Scale(a64, alpha)
+		for i := range a64 {
+			bound := 2 * u32 * (math.Abs(a64[i]) + 1)
+			if diff := math.Abs(float64(a32[i]) - a64[i]); diff > bound {
+				t.Errorf("n=%d elem %d: Scale32=%v Scale=%v", c.n, i, a32[i], a64[i])
+			}
+		}
+	}
+}
+
+func TestSparse32DotMatchesSparseDot(t *testing.T) {
+	const m = 1024
+	for _, c := range precCases {
+		s64 := precSparse(t, m, c.n, c.seed)
+		s32 := NarrowSparse(s64)
+		w32 := Narrow(nil, precVec(m, c.seed+200))
+		ref := s32.Widen()
+		w64 := Widen(nil, w32)
+
+		got := float64(s32.Dot(w32))
+		want := ref.Dot(w64)
+		sumAbs := 0.0
+		for k, j := range ref.Indices {
+			sumAbs += math.Abs(ref.Values[k] * w64[j])
+		}
+		if diff := math.Abs(got - want); diff > reduceBound(s32.NNZ(), sumAbs) {
+			t.Errorf("nnz=%d: Sparse32.Dot=%v Sparse.Dot=%v |Δ|=%g", s32.NNZ(), got, want, diff)
+		}
+
+		got = float64(s32.DotSquared(w32))
+		want = ref.DotSquared(w64)
+		sumAbs = 0.0
+		for k, j := range ref.Indices {
+			v := ref.Values[k] * w64[j]
+			sumAbs += v * v
+		}
+		if diff := math.Abs(got - want); diff > reduceBound(s32.NNZ(), sumAbs) {
+			t.Errorf("nnz=%d: Sparse32.DotSquared=%v Sparse.DotSquared=%v |Δ|=%g", s32.NNZ(), got, want, diff)
+		}
+
+		got = float64(s32.Norm2())
+		want = ref.Norm2()
+		sumAbs = 0.0
+		for _, v := range ref.Values {
+			sumAbs += v * v
+		}
+		if diff := math.Abs(got - want); diff > reduceBound(s32.NNZ(), sumAbs) {
+			t.Errorf("nnz=%d: Sparse32.Norm2=%v Sparse.Norm2=%v |Δ|=%g", s32.NNZ(), got, want, diff)
+		}
+	}
+}
+
+func TestSparse32AddScaledMatchesSparse(t *testing.T) {
+	const m = 1024
+	for _, c := range precCases {
+		s64 := precSparse(t, m, c.n, c.seed)
+		s32 := NarrowSparse(s64)
+		ref := s32.Widen()
+		dst32 := Narrow(nil, precVec(m, c.seed+300))
+		dst64 := Widen(nil, dst32)
+		const alpha = 0.625
+		s32.AddScaled(dst32, alpha)
+		ref.AddScaled(dst64, alpha)
+		for i := range dst64 {
+			bound := 4 * u32 * (math.Abs(dst64[i]) + 1)
+			if diff := math.Abs(float64(dst32[i]) - dst64[i]); diff > bound {
+				t.Errorf("nnz=%d elem %d: AddScaled32=%v AddScaled=%v", s32.NNZ(), i, dst32[i], dst64[i])
+			}
+		}
+	}
+}
+
+// TestExp32MatchesExp sweeps Exp32 against math.Exp over the full
+// finite range and checks a small-ulp bound, plus the exact saturation
+// and special-value edges.
+func TestExp32MatchesExp(t *testing.T) {
+	// Dense deterministic sweep: uniform grid over [-90, 90] plus a
+	// fine grid near 0 where sigmoid coefficients live.
+	var xs []float32
+	for i := 0; i <= 18000; i++ {
+		xs = append(xs, -90+float32(i)*0.01)
+	}
+	for i := 0; i <= 4000; i++ {
+		xs = append(xs, -2+float32(i)*0.001)
+	}
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 4000; i++ {
+		xs = append(xs, float32((rng.Float64()*2-1)*88))
+	}
+	for _, x := range xs {
+		got := Exp32(x)
+		want := math.Exp(float64(x))
+		if want > math.MaxFloat32 { // overflows float32
+			if !math.IsInf(float64(got), 1) {
+				t.Fatalf("Exp32(%v)=%v, want +Inf (f32 overflow)", x, got)
+			}
+			continue
+		}
+		if want < math.SmallestNonzeroFloat32*(1<<23) { // subnormal in f32
+			if got != 0 && float64(got) > want*1.01 {
+				t.Fatalf("Exp32(%v)=%v, want ~%v (subnormal range)", x, got, want)
+			}
+			continue
+		}
+		// Relative bound: ~4 ulp of float32.
+		if diff := math.Abs(float64(got) - want); diff > 4*u32*want {
+			t.Fatalf("Exp32(%v)=%v, want %v (diff %v > %v)", x, got, want, diff, 4*u32*want)
+		}
+	}
+	if got := Exp32(0); got != 1 {
+		t.Errorf("Exp32(0)=%v, want 1", got)
+	}
+	if got := Exp32(100); !math.IsInf(float64(got), 1) {
+		t.Errorf("Exp32(100)=%v, want +Inf", got)
+	}
+	if got := Exp32(float32(math.Inf(1))); !math.IsInf(float64(got), 1) {
+		t.Errorf("Exp32(+Inf)=%v, want +Inf", got)
+	}
+	if got := Exp32(-200); got != 0 {
+		t.Errorf("Exp32(-200)=%v, want 0", got)
+	}
+	if got := Exp32(float32(math.Inf(-1))); got != 0 {
+		t.Errorf("Exp32(-Inf)=%v, want 0", got)
+	}
+	if got := Exp32(float32(math.NaN())); got == got {
+		t.Errorf("Exp32(NaN)=%v, want NaN", got)
+	}
+	// Determinism: repeated calls are bit-identical.
+	for _, x := range []float32{-50.5, -1.25, 0.75, 30.03, 88.5} {
+		a, b := Exp32(x), Exp32(x)
+		if math.Float32bits(a) != math.Float32bits(b) {
+			t.Errorf("Exp32(%v) not deterministic: %x vs %x", x, math.Float32bits(a), math.Float32bits(b))
+		}
+	}
+}
+
+// TestNarrowWidenExact pins the conversion contracts: widening a
+// float32 is always exact, so Narrow(Widen(x)) must reproduce x bit for
+// bit, and NarrowSparse/Widen must share index structure exactly.
+func TestNarrowWidenExact(t *testing.T) {
+	a32 := Narrow(nil, precVec(513, 42))
+	back := Narrow(nil, Widen(nil, a32))
+	if len(back) != len(a32) {
+		t.Fatalf("round-trip length %d, want %d", len(back), len(a32))
+	}
+	for i := range a32 {
+		if math.Float32bits(back[i]) != math.Float32bits(a32[i]) {
+			t.Fatalf("elem %d: %x -> %x not bit-identical", i, math.Float32bits(a32[i]), math.Float32bits(back[i]))
+		}
+	}
+
+	s64 := precSparse(t, 512, 64, 43)
+	s32 := NarrowSparse(s64)
+	if len(s32.Indices) != len(s64.Indices) {
+		t.Fatalf("NarrowSparse changed nnz")
+	}
+	for k := range s64.Indices {
+		if s32.Indices[k] != s64.Indices[k] {
+			t.Fatalf("NarrowSparse changed index %d", k)
+		}
+		if s32.Values[k] != float32(s64.Values[k]) {
+			t.Fatalf("NarrowSparse value %d not a single rounding of the source", k)
+		}
+	}
+	w := s32.Widen()
+	for k := range w.Indices {
+		if w.Indices[k] != s32.Indices[k] || w.Values[k] != float64(s32.Values[k]) {
+			t.Fatalf("Sparse32.Widen entry %d is not exact", k)
+		}
+	}
+}
+
+// TestNarrowReusesCapacity pins the scratch-reuse contract both
+// conversions advertise: a large-enough dst must come back with the
+// same backing array.
+func TestNarrowReusesCapacity(t *testing.T) {
+	src := precVec(128, 44)
+	dst := make([]float32, 0, 256)
+	out := Narrow(dst, src)
+	if &out[0] != &dst[:1][0] {
+		t.Errorf("Narrow reallocated despite sufficient capacity")
+	}
+	wsrc := Narrow(nil, src)
+	wdst := make([]float64, 0, 256)
+	wout := Widen(wdst, wsrc)
+	if &wout[0] != &wdst[:1][0] {
+		t.Errorf("Widen reallocated despite sufficient capacity")
+	}
+}

@@ -1,0 +1,302 @@
+// Float32 kernel twins of the float64 BLAS-1 operations in vec.go.
+//
+// These are the numeric hot path of the f32 precision mode: workers hold
+// model partitions and row values in float32, halving the memory traffic
+// of the dot/axpy loops that dominate the statistics and gradient
+// kernels. The loops are unrolled ×4 with the bounds checks hoisted out
+// via explicit re-slicing, which is worth more in f32 than in f64 (the
+// loads are cheaper, so per-iteration overhead shows).
+//
+// Accuracy contract: each kernel is a fixed sequential algorithm (the
+// unroll order never varies), so results are deterministic; parallelism
+// above them still comes from internal/par's fixed chunking and ordered
+// reduction, keeping f32 runs bit-identical at any pool size. The f32
+// results differ from the f64 kernels by bounded rounding error — the
+// derived ULP bounds are enforced by the differential tests in
+// vec32_test.go.
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sparse32 is the float32 twin of Sparse: a sparse vector in coordinate
+// form with strictly increasing indices and float32 values.
+type Sparse32 struct {
+	// Indices holds the positions of the non-zero entries, strictly
+	// increasing. Indices and Values have equal length.
+	Indices []int32
+	// Values holds the non-zero entries.
+	Values []float32
+}
+
+// NNZ returns the number of stored non-zeros.
+func (s Sparse32) NNZ() int { return len(s.Indices) }
+
+// Clone returns a deep copy of s.
+func (s Sparse32) Clone() Sparse32 {
+	return Sparse32{
+		Indices: append([]int32(nil), s.Indices...),
+		Values:  append([]float32(nil), s.Values...),
+	}
+}
+
+// NarrowSparse converts a float64 sparse vector to float32, sharing the
+// index slice (indices are exact either way) and narrowing the values.
+func NarrowSparse(s Sparse) Sparse32 {
+	out := Sparse32{Indices: s.Indices, Values: make([]float32, len(s.Values))}
+	for k, v := range s.Values {
+		out.Values[k] = float32(v)
+	}
+	return out
+}
+
+// Widen converts s back to float64 form, sharing the index slice.
+// float32→float64 is exact, so NarrowSparse∘Widen is the identity on
+// float32 data.
+func (s Sparse32) Widen() Sparse {
+	out := Sparse{Indices: s.Indices, Values: make([]float64, len(s.Values))}
+	for k, v := range s.Values {
+		out.Values[k] = float64(v)
+	}
+	return out
+}
+
+// Dot returns the inner product of s with a dense float32 vector w.
+// Entries of s beyond len(w) contribute zero, matching Sparse.Dot, so a
+// column-partition slice dots against its local model partition directly.
+func (s Sparse32) Dot(w []float32) float32 {
+	idx, vals := s.Indices, s.Values
+	if len(idx) > len(vals) {
+		idx = idx[:len(vals)]
+	}
+	var s0, s1, s2, s3 float32
+	k := 0
+	// Unrolled ×4 with four accumulators: the gather loads w[i] with
+	// L1/L2 latency, and four independent partial sums keep four loads
+	// in flight instead of serializing on one accumulator. The order is
+	// fixed, so the result is deterministic (and pinned by the
+	// differential tests).
+	for ; k+3 < len(idx); k += 4 {
+		i0, i1, i2, i3 := idx[k], idx[k+1], idx[k+2], idx[k+3]
+		if int(i0) < len(w) {
+			s0 += vals[k] * w[i0]
+		}
+		if int(i1) < len(w) {
+			s1 += vals[k+1] * w[i1]
+		}
+		if int(i2) < len(w) {
+			s2 += vals[k+2] * w[i2]
+		}
+		if int(i3) < len(w) {
+			s3 += vals[k+3] * w[i3]
+		}
+	}
+	for ; k < len(idx); k++ {
+		if i := idx[k]; int(i) < len(w) {
+			s0 += vals[k] * w[i]
+		}
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// DotSquared returns Σ_j w[j]²·x[j]² over the non-zeros of s — the
+// ⟨v_f², x²⟩ statistic of factorization machines, in f32.
+func (s Sparse32) DotSquared(w []float32) float32 {
+	idx, vals := s.Indices, s.Values
+	if len(idx) > len(vals) {
+		idx = idx[:len(vals)]
+	}
+	var sum float32
+	for k, i := range idx {
+		if int(i) < len(w) {
+			t := vals[k] * w[i]
+			sum += t * t
+		}
+	}
+	return sum
+}
+
+// AddScaled accumulates alpha * s into dense float32 vector dst (axpy).
+// Entries beyond len(dst) are dropped, matching Sparse.AddScaled.
+func (s Sparse32) AddScaled(dst []float32, alpha float32) {
+	idx, vals := s.Indices, s.Values
+	if len(idx) > len(vals) {
+		idx = idx[:len(vals)]
+	}
+	for k, i := range idx {
+		if int(i) < len(dst) {
+			dst[i] += alpha * vals[k]
+		}
+	}
+}
+
+// Norm2 returns the Euclidean norm of s, accumulated in float64 for
+// headroom (squares of f32 values overflow float32 early) and rounded
+// once at the end.
+func (s Sparse32) Norm2() float32 {
+	var sum float64
+	for _, v := range s.Values {
+		sum += float64(v) * float64(v)
+	}
+	return float32(math.Sqrt(sum))
+}
+
+// Dot32 computes the inner product of two dense float32 vectors of equal
+// length, unrolled ×4 with four accumulators combined in fixed order.
+func Dot32(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: dense dot32 length mismatch %d vs %d", len(a), len(b)))
+	}
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+3 < len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// Axpy32 computes dst += alpha * src for dense float32 vectors of equal
+// length, unrolled ×4.
+func Axpy32(dst []float32, alpha float32, src []float32) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("vec: axpy32 length mismatch %d vs %d", len(dst), len(src)))
+	}
+	src = src[:len(dst)]
+	i := 0
+	for ; i+3 < len(dst); i += 4 {
+		dst[i] += alpha * src[i]
+		dst[i+1] += alpha * src[i+1]
+		dst[i+2] += alpha * src[i+2]
+		dst[i+3] += alpha * src[i+3]
+	}
+	for ; i < len(dst); i++ {
+		dst[i] += alpha * src[i]
+	}
+}
+
+// Scale32 multiplies every entry of dst by alpha in place.
+func Scale32(dst []float32, alpha float32) {
+	for i := range dst {
+		dst[i] *= alpha
+	}
+}
+
+// Zero32 clears a dense float32 vector in place.
+func Zero32(a []float32) {
+	for i := range a {
+		a[i] = 0
+	}
+}
+
+// Norm232 returns the Euclidean norm of a dense float32 vector
+// (float64 accumulation, like Sparse32.Norm2).
+func Norm232(a []float32) float32 {
+	var sum float64
+	for _, v := range a {
+		sum += float64(v) * float64(v)
+	}
+	return float32(math.Sqrt(sum))
+}
+
+// Sum32 adds the entries of a in order.
+func Sum32(a []float32) float32 {
+	var s float32
+	for _, v := range a {
+		s += v
+	}
+	return s
+}
+
+// Exp32 returns e^x in float32 arithmetic, accurate to ~2 ulp over the
+// finite range. It exists because math.Exp is a large slice of the f32
+// gradient kernels' per-point cost (logistic coefficients, softmax, FM
+// link): a float32 range reduction plus a degree-5 polynomial buys the
+// same f32-rounded answer several times cheaper. Out-of-range inputs
+// saturate (+Inf above ~88.7, 0 below ~-87.3 — results subnormal in
+// float32 flush to zero); NaN propagates. Pure and branch-fixed, so it
+// keeps the determinism contract: identical inputs give identical bits
+// on every call, platform, and parallelism level.
+func Exp32(x float32) float32 {
+	const (
+		log2e = float32(1.44269504088896341)
+		ln2Hi = float32(0.693359375)
+		ln2Lo = float32(-2.12194440e-4)
+		// Overflow/underflow cutoffs for float32 e^x.
+		overflow  = float32(88.72283905206835)
+		underflow = float32(-87.33654475055312)
+	)
+	switch {
+	case x != x: // NaN
+		return x
+	case x > overflow:
+		return float32(math.Inf(1))
+	case x < underflow:
+		return 0
+	}
+	// Range reduction: x = n·ln2 + r with |r| ≤ ln2/2, ln2 split in two
+	// so n·ln2 subtracts exactly.
+	t := x * log2e
+	var n float32
+	if t >= 0 {
+		n = float32(int32(t + 0.5))
+	} else {
+		n = float32(int32(t - 0.5))
+	}
+	r := x - n*ln2Hi
+	r -= n * ln2Lo
+	// e^r on [-ln2/2, ln2/2]: degree-5 minimax polynomial (Cephes expf).
+	p := float32(1.9875691500e-4)
+	p = p*r + 1.3981999507e-3
+	p = p*r + 8.3334519073e-3
+	p = p*r + 4.1665795894e-2
+	p = p*r + 1.6666665459e-1
+	p = p*r + 5.0000001201e-1
+	z := p*r*r + r + 1
+	// Scale by 2^n through the exponent bits. n ∈ [-127, 129] for
+	// in-range x; peel one factor of 2 at each end so the constructed
+	// power of two stays a normal float32.
+	k := int32(n)
+	if k > 127 {
+		z *= math.Float32frombits(uint32(127+127) << 23) // 2^127
+		k -= 127
+	} else if k < -126 {
+		z *= math.Float32frombits(uint32(-126+127) << 23) // 2^-126
+		k += 126
+	}
+	return z * math.Float32frombits(uint32(k+127)<<23)
+}
+
+// Widen expands float32 values into dst (reused when it has capacity)
+// and returns it sized to len(src). float32→float64 is exact.
+func Widen(dst []float64, src []float32) []float64 {
+	if cap(dst) < len(src) {
+		dst = make([]float64, len(src))
+	}
+	dst = dst[:len(src)]
+	for i, v := range src {
+		dst[i] = float64(v)
+	}
+	return dst
+}
+
+// Narrow rounds float64 values to float32 into dst (reused when it has
+// capacity) and returns it sized to len(src).
+func Narrow(dst []float32, src []float64) []float32 {
+	if cap(dst) < len(src) {
+		dst = make([]float32, len(src))
+	}
+	dst = dst[:len(src)]
+	for i, v := range src {
+		dst[i] = float32(v)
+	}
+	return dst
+}

@@ -111,69 +111,11 @@ func DenseVecSize(n int, enc Encoding) int {
 }
 
 // DecodeVec decodes one vector, returning it and the remaining bytes.
+// It allocates a fresh slice per call; hot paths that decode into
+// reused scratch use DecodeVecInto (vecinto.go), which this delegates
+// to so the two can never diverge.
 func DecodeVec(data []byte) ([]float64, []byte, error) {
-	if len(data) < 2 {
-		return nil, nil, fmt.Errorf("%w: vector header", ErrTruncated)
-	}
-	enc, layout := Encoding(data[0]), data[1]
-	if !enc.Valid() {
-		return nil, nil, fmt.Errorf("%w: unknown value encoding %d", ErrCorrupt, data[0])
-	}
-	if layout != layoutDense && layout != layoutSparse {
-		return nil, nil, fmt.Errorf("%w: unknown vector layout %d", ErrCorrupt, layout)
-	}
-	n64, rest, err := Uvarint(data[2:])
-	if err != nil {
-		return nil, nil, err
-	}
-	if n64 > MaxVecLen {
-		return nil, nil, fmt.Errorf("%w: vector length %d exceeds limit", ErrCorrupt, n64)
-	}
-	n, w := int(n64), enc.Width()
-	if layout == layoutDense {
-		if len(rest) < n*w {
-			return nil, nil, fmt.Errorf("%w: dense vector body", ErrTruncated)
-		}
-		vals := make([]float64, n)
-		for i := range vals {
-			vals[i] = readFloat(rest[i*w:], enc)
-		}
-		return vals, rest[n*w:], nil
-	}
-	nnz64, rest, err := Uvarint(rest)
-	if err != nil {
-		return nil, nil, err
-	}
-	if nnz64 > uint64(n) {
-		return nil, nil, fmt.Errorf("%w: sparse nnz %d exceeds length %d", ErrCorrupt, nnz64, n)
-	}
-	nnz := int(nnz64)
-	idx := make([]int, nnz)
-	prev := 0
-	for k := 0; k < nnz; k++ {
-		d, r, err := Uvarint(rest)
-		if err != nil {
-			return nil, nil, err
-		}
-		rest = r
-		if k > 0 && d == 0 {
-			return nil, nil, fmt.Errorf("%w: duplicate sparse position", ErrCorrupt)
-		}
-		pos := uint64(prev) + d
-		if pos >= uint64(n) {
-			return nil, nil, fmt.Errorf("%w: sparse position %d out of range %d", ErrCorrupt, pos, n)
-		}
-		idx[k] = int(pos)
-		prev = int(pos)
-	}
-	if len(rest) < nnz*w {
-		return nil, nil, fmt.Errorf("%w: sparse vector values", ErrTruncated)
-	}
-	vals := make([]float64, n)
-	for k, i := range idx {
-		vals[i] = readFloat(rest[k*w:], enc)
-	}
-	return vals, rest[nnz*w:], nil
+	return DecodeVecInto(nil, data)
 }
 
 // Sparse pair layout, for (indices, values) pairs with global int32

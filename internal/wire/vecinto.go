@@ -1,0 +1,173 @@
+// Zero-copy vector decoding. DecodeVec materializes an intermediate
+// index slice per call; the decoders here parse a frame in two passes
+// over the encoded bytes instead — a validating walk that locates the
+// index and value regions, then a scatter walk that writes values
+// straight into a caller-provided destination. No intermediate sparse
+// vector is built, the destination's capacity is reused across calls,
+// and the result never aliases the input buffer (every value is parsed
+// out of the bytes), so pooled frame buffers can be recycled the moment
+// the decoder returns.
+package wire
+
+import "fmt"
+
+// vecShape is the validated structure of one encoded vector: the
+// logical length, value encoding, and the sub-slices of the input
+// holding the sparse index deltas and the value bytes. All slices
+// alias the input; shapes must not outlive the frame buffer.
+type vecShape struct {
+	n      int
+	enc    Encoding
+	sparse bool
+	nnz    int
+	idx    []byte // delta-uvarint positions (sparse only)
+	vals   []byte // value bytes: nnz·w (sparse) or n·w (dense)
+	rest   []byte // bytes after this vector
+}
+
+// parseVec is the single validating pass shared by every vector
+// decoder. It performs exactly the checks DecodeVec historically made
+// — same error taxonomy, same messages — but allocates nothing: sparse
+// positions are validated in place (duplicates, range) while walking
+// the delta region to find where the values start.
+func parseVec(data []byte) (vecShape, error) {
+	var s vecShape
+	if len(data) < 2 {
+		return s, fmt.Errorf("%w: vector header", ErrTruncated)
+	}
+	enc, layout := Encoding(data[0]), data[1]
+	if !enc.Valid() {
+		return s, fmt.Errorf("%w: unknown value encoding %d", ErrCorrupt, data[0])
+	}
+	if layout != layoutDense && layout != layoutSparse {
+		return s, fmt.Errorf("%w: unknown vector layout %d", ErrCorrupt, layout)
+	}
+	n64, rest, err := Uvarint(data[2:])
+	if err != nil {
+		return s, err
+	}
+	if n64 > MaxVecLen {
+		return s, fmt.Errorf("%w: vector length %d exceeds limit", ErrCorrupt, n64)
+	}
+	n, w := int(n64), enc.Width()
+	s.n, s.enc = n, enc
+	if layout == layoutDense {
+		if len(rest) < n*w {
+			return s, fmt.Errorf("%w: dense vector body", ErrTruncated)
+		}
+		s.vals, s.rest = rest[:n*w], rest[n*w:]
+		return s, nil
+	}
+	s.sparse = true
+	nnz64, rest, err := Uvarint(rest)
+	if err != nil {
+		return s, err
+	}
+	if nnz64 > uint64(n) {
+		return s, fmt.Errorf("%w: sparse nnz %d exceeds length %d", ErrCorrupt, nnz64, n)
+	}
+	nnz := int(nnz64)
+	s.nnz = nnz
+	idxStart := rest
+	prev := uint64(0)
+	for k := 0; k < nnz; k++ {
+		d, r, err := Uvarint(rest)
+		if err != nil {
+			return s, err
+		}
+		rest = r
+		if k > 0 && d == 0 {
+			return s, fmt.Errorf("%w: duplicate sparse position", ErrCorrupt)
+		}
+		pos := prev + d
+		if pos >= uint64(n) {
+			return s, fmt.Errorf("%w: sparse position %d out of range %d", ErrCorrupt, pos, n)
+		}
+		prev = pos
+	}
+	s.idx = idxStart[:len(idxStart)-len(rest)]
+	if len(rest) < nnz*w {
+		return s, fmt.Errorf("%w: sparse vector values", ErrTruncated)
+	}
+	s.vals, s.rest = rest[:nnz*w], rest[nnz*w:]
+	return s, nil
+}
+
+// DecodeVecInto decodes one vector into dst, reusing its capacity when
+// large enough, and returns the (possibly grown) slice plus the bytes
+// remaining after the vector. The returned slice never aliases data.
+// When cap(dst) ≥ the encoded length the call performs zero
+// allocations; pass dst[:0] of a retained scratch slice to amortize.
+// On error dst's contents are unspecified and the returned slice is nil.
+func DecodeVecInto(dst []float64, data []byte) ([]float64, []byte, error) {
+	s, err := parseVec(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if dst == nil || cap(dst) < s.n {
+		dst = make([]float64, s.n) // fresh slices start zeroed
+	} else {
+		dst = dst[:s.n]
+		if s.sparse {
+			for i := range dst {
+				dst[i] = 0
+			}
+		}
+	}
+	w := s.enc.Width()
+	if !s.sparse {
+		for i := range dst {
+			dst[i] = readFloat(s.vals[i*w:], s.enc)
+		}
+		return dst, s.rest, nil
+	}
+	idx := s.idx
+	prev := uint64(0)
+	for k := 0; k < s.nnz; k++ {
+		d, r, _ := Uvarint(idx) // validated by parseVec
+		idx = r
+		prev += d
+		dst[prev] = readFloat(s.vals[k*w:], s.enc)
+	}
+	return dst, s.rest, nil
+}
+
+// DecodeVec32Into is the float32 twin of DecodeVecInto: it parses the
+// same self-describing vector format but lands the values in a float32
+// destination, rounding once per value. For frames whose value
+// encoding is F32 or F16 the narrowing is exact (the wire value is
+// already representable), so under the f32 precision mode statistics
+// frames decode straight into pooled float32 scratch with no float64
+// intermediate and no loss.
+func DecodeVec32Into(dst []float32, data []byte) ([]float32, []byte, error) {
+	s, err := parseVec(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if dst == nil || cap(dst) < s.n {
+		dst = make([]float32, s.n) // fresh slices start zeroed
+	} else {
+		dst = dst[:s.n]
+		if s.sparse {
+			for i := range dst {
+				dst[i] = 0
+			}
+		}
+	}
+	w := s.enc.Width()
+	if !s.sparse {
+		for i := range dst {
+			dst[i] = float32(readFloat(s.vals[i*w:], s.enc))
+		}
+		return dst, s.rest, nil
+	}
+	idx := s.idx
+	prev := uint64(0)
+	for k := 0; k < s.nnz; k++ {
+		d, r, _ := Uvarint(idx) // validated by parseVec
+		idx = r
+		prev += d
+		dst[prev] = float32(readFloat(s.vals[k*w:], s.enc))
+	}
+	return dst, s.rest, nil
+}

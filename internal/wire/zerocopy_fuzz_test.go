@@ -1,0 +1,117 @@
+package wire_test
+
+// FuzzZeroCopyDecode hardens the zero-copy vector decoders
+// (DecodeVecInto / DecodeVec32Into) against arbitrary bytes and pins
+// their three contracts:
+//
+//	(1) no panic and the typed error taxonomy on truncated/corrupt
+//	    frames — exactly the classes the allocating DecodeVec returns;
+//	(2) the result never aliases or retains the input buffer: mutating
+//	    the frame bytes after the decoder returns must not change a bit
+//	    of the decoded values (pooled frame buffers are recycled the
+//	    moment the decoder returns, so retention is corruption);
+//	(3) round-trip equality with the allocating decoder, for both a nil
+//	    destination and a dirty reused destination, and the float32 twin
+//	    must equal the float64 result narrowed value by value.
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"columnsgd/internal/wire"
+)
+
+func FuzzZeroCopyDecode(f *testing.F) {
+	// Seed with valid frames of every layout × encoding, plus classic
+	// truncations and bit flips (mirrors the checked-in corpus).
+	dense := wire.AppendVec(nil, []float64{1.5, -2.25, 3.75, 0, 4.125}, wire.F64)
+	sparse := wire.AppendVec(nil, []float64{0, 0, 7.5, 0, 0, 0, 0, -9.25}, wire.F64)
+	sparse32 := wire.AppendVec(nil, []float64{0, 1.25, 0, 0, 0, 0.5}, wire.F32)
+	sparse16 := wire.AppendVec(nil, []float64{0, 0, 0, 0, 0, 0, 0, 9.5}, wire.F16)
+	empty := wire.AppendVec(nil, nil, wire.F64)
+	for _, seed := range [][]byte{dense, sparse, sparse32, sparse16, empty, {}, {0xFF}} {
+		f.Add(seed)
+		if len(seed) > 2 {
+			f.Add(seed[:len(seed)/2])
+			mangled := append([]byte(nil), seed...)
+			mangled[len(mangled)/3] ^= 0xA5
+			f.Add(mangled)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		want, wantRest, wantErr := wire.DecodeVec(data)
+
+		// Decode from a private copy so the aliasing probe below can
+		// scribble over it without perturbing the reference decode.
+		buf := append([]byte(nil), data...)
+		got, rest, err := wire.DecodeVecInto(nil, buf)
+
+		// (1) same error taxonomy as the allocating decoder.
+		if (err == nil) != (wantErr == nil) {
+			t.Fatalf("DecodeVecInto err=%v, DecodeVec err=%v for % x", err, wantErr, data)
+		}
+		if err != nil {
+			if !errors.Is(err, wire.ErrTruncated) && !errors.Is(err, wire.ErrCorrupt) {
+				t.Fatalf("untyped error %v for % x", err, data)
+			}
+			return
+		}
+
+		// (3) round-trip equality with the allocating decoder.
+		if len(got) != len(want) || len(rest) != len(wantRest) {
+			t.Fatalf("shape (%d,%d), DecodeVec (%d,%d)", len(got), len(rest), len(want), len(wantRest))
+		}
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("value %d: %x, DecodeVec %x", i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+			}
+		}
+
+		// (2) no aliasing/retention: trash the input buffer, the decoded
+		// values must not move.
+		for i := range buf {
+			buf[i] ^= 0xFF
+		}
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("value %d changed after input mutation — decoder aliases the frame buffer", i)
+			}
+		}
+
+		// (3) a dirty oversized reused destination must decode the same
+		// bits as a fresh one — sparse zeros may never leak stale scratch.
+		dirty := make([]float64, len(want)+17)
+		for i := range dirty {
+			dirty[i] = math.NaN()
+		}
+		reused, _, err := wire.DecodeVecInto(dirty[:0], data)
+		if err != nil {
+			t.Fatalf("reused-dst decode failed where fresh succeeded: %v", err)
+		}
+		if &reused[0:cap(reused)][0] != &dirty[0:cap(dirty)][0] && len(want) > 0 {
+			t.Fatalf("decoder reallocated despite sufficient capacity")
+		}
+		for i := range want {
+			if math.Float64bits(reused[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("reused dst value %d: %x, want %x — stale scratch leaked",
+					i, math.Float64bits(reused[i]), math.Float64bits(want[i]))
+			}
+		}
+
+		// Float32 twin: same shape, values equal the float64 result
+		// narrowed once (the decode rounds each wire value exactly once).
+		got32, rest32, err := wire.DecodeVec32Into(nil, data)
+		if err != nil {
+			t.Fatalf("DecodeVec32Into failed where DecodeVecInto succeeded: %v", err)
+		}
+		if len(got32) != len(want) || len(rest32) != len(wantRest) {
+			t.Fatalf("f32 shape (%d,%d), want (%d,%d)", len(got32), len(rest32), len(want), len(wantRest))
+		}
+		for i := range want {
+			if math.Float32bits(got32[i]) != math.Float32bits(float32(want[i])) {
+				t.Fatalf("f32 value %d: %x, want narrow(%v)", i, math.Float32bits(got32[i]), want[i])
+			}
+		}
+	})
+}

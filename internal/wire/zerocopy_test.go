@@ -1,0 +1,101 @@
+package wire_test
+
+// Allocation ceilings for the zero-copy decode path, in the style of
+// internal/vec/alloc_test.go: these decoders sit on the per-iteration
+// receive path (one statistics frame per worker per round), so a single
+// allocation per call multiplies into millions per training run. With a
+// caller-provided destination of sufficient capacity both must stay at
+// exactly zero.
+
+import (
+	"math"
+	"testing"
+
+	"columnsgd/internal/wire"
+)
+
+const (
+	maxAllocsDecodeVecInto   = 0
+	maxAllocsDecodeVec32Into = 0
+)
+
+// zerocopyFrames builds one dense and one sparse frame per encoding.
+func zerocopyFrames() map[string][]byte {
+	dense := make([]float64, 512)
+	sparse := make([]float64, 512)
+	for i := range dense {
+		dense[i] = float64(i%13) - 6
+		if i%29 == 0 {
+			sparse[i] = float64(i%7) + 0.5
+		}
+	}
+	frames := map[string][]byte{}
+	for _, enc := range []wire.Encoding{wire.F64, wire.F32, wire.F16} {
+		frames["dense/"+enc.String()] = wire.AppendVec(nil, dense, enc)
+		frames["sparse/"+enc.String()] = wire.AppendVec(nil, sparse, enc)
+	}
+	return frames
+}
+
+func TestDecodeVecIntoAllocs(t *testing.T) {
+	for name, frame := range zerocopyFrames() {
+		scratch := make([]float64, 0, 1024)
+		got := testing.AllocsPerRun(100, func() {
+			out, _, err := wire.DecodeVecInto(scratch[:0], frame)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scratch = out[:0]
+		})
+		if got > maxAllocsDecodeVecInto {
+			t.Errorf("%s: DecodeVecInto allocates %.1f/run, ceiling %d", name, got, maxAllocsDecodeVecInto)
+		}
+	}
+}
+
+func TestDecodeVec32IntoAllocs(t *testing.T) {
+	for name, frame := range zerocopyFrames() {
+		scratch := make([]float32, 0, 1024)
+		got := testing.AllocsPerRun(100, func() {
+			out, _, err := wire.DecodeVec32Into(scratch[:0], frame)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scratch = out[:0]
+		})
+		if got > maxAllocsDecodeVec32Into {
+			t.Errorf("%s: DecodeVec32Into allocates %.1f/run, ceiling %d", name, got, maxAllocsDecodeVec32Into)
+		}
+	}
+}
+
+// TestDecodeVecIntoTrailingBytes pins the multi-vector framing contract:
+// the zero-copy decoder must hand back exactly the bytes after its
+// vector so callers can chain decodes through a frame.
+func TestDecodeVecIntoTrailingBytes(t *testing.T) {
+	a := []float64{1, 0, 0, 2.5}
+	b := []float64{-3.5, 4}
+	buf := wire.AppendVec(nil, a, wire.F64)
+	buf = wire.AppendVec(buf, b, wire.F64)
+	gotA, rest, err := wire.DecodeVecInto(nil, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, rest, err := wire.DecodeVecInto(nil, rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes left after two vectors", len(rest))
+	}
+	for i := range a {
+		if math.Float64bits(gotA[i]) != math.Float64bits(a[i]) {
+			t.Fatalf("first vector value %d: %v, want %v", i, gotA[i], a[i])
+		}
+	}
+	for i := range b {
+		if math.Float64bits(gotB[i]) != math.Float64bits(b[i]) {
+			t.Fatalf("second vector value %d: %v, want %v", i, gotB[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package columnsgd_test
+
+// Engine-level differential gates for the float32 precision mode: every
+// model family trained under Precision "f32" must land within a pinned
+// loss delta of its float64 golden run, while keeping every determinism
+// guarantee the float64 engine has — replay stability, parallelism
+// independence, SSP schedule replay, and chaos fault-schedule
+// bit-identity. The f32 mode changes worker kernel rounding and nothing
+// else: sampling, batch plans, message sequences, and fault draws are
+// all shared with the f64 path, which is exactly what these gates pin.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"columnsgd/internal/chaos"
+	"columnsgd/internal/chaos/diff"
+)
+
+// f32LossBand is the pinned |f32 − f64| final-loss delta. Float32
+// kernels accumulate O(u32·nnz) rounding per statistic; over the
+// harness workload (30 iterations, 24 features) observed gaps are
+// ~1e-6. The band leaves two orders of magnitude of headroom while
+// still catching any real numeric defect (a wrong kernel moves losses
+// by >1e-2 on this workload).
+const f32LossBand = 1e-4
+
+// f32Workload is the f32 twin of a workload.
+func f32Workload(w diff.Workload) diff.Workload {
+	w.Precision = "f32"
+	return w
+}
+
+// TestPrecisionF32WithinBandOfGolden trains every model family in both
+// precisions and gates the final-loss gap, for both the ColumnSGD
+// engine and the RowSGD baselines (whose worker step is the other f32
+// hot path).
+func TestPrecisionF32WithinBandOfGolden(t *testing.T) {
+	for _, m := range []string{"lr", "svm", "mlr", "fm"} {
+		t.Run("columnsgd/"+m, func(t *testing.T) {
+			w := diff.Workload{Model: m, Seed: 91}
+			golden, err := diff.Run("columnsgd", w, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f32, err := diff.Run("columnsgd", f32Workload(w), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gap := math.Abs(f32.Loss - golden.Loss); !(gap <= f32LossBand) {
+				t.Errorf("f32 loss %v drifted %g from f64 golden %v (band %g)",
+					f32.Loss, gap, golden.Loss, f32LossBand)
+			}
+			t.Logf("%s: f64 %v, f32 %v, |Δ| %g", m, golden.Loss, f32.Loss, math.Abs(f32.Loss-golden.Loss))
+		})
+	}
+	for _, eng := range diff.Engines() {
+		t.Run(eng+"/lr", func(t *testing.T) {
+			w := diff.Workload{Model: "lr", Seed: 93}
+			golden, err := diff.Run(eng, w, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f32, err := diff.Run(eng, f32Workload(w), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gap := math.Abs(f32.Loss - golden.Loss); !(gap <= f32LossBand) {
+				t.Errorf("%s f32 loss %v drifted %g from f64 golden %v (band %g)",
+					eng, f32.Loss, gap, golden.Loss, f32LossBand)
+			}
+		})
+	}
+}
+
+// TestPrecisionF32ActuallyDiverges is the vacuity check for the band
+// gates: f32 kernels round differently than f64, so at least one model
+// must produce a model that is *not* bit-identical to the f64 run —
+// otherwise Precision is silently ignored and every band gate above is
+// testing nothing.
+func TestPrecisionF32ActuallyDiverges(t *testing.T) {
+	w := diff.Workload{Model: "lr", Seed: 91}
+	golden, err := diff.Run("columnsgd", w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f32, err := diff.Run("columnsgd", f32Workload(w), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.BitIdentical(golden.Weights, f32.Weights) {
+		t.Fatalf("f32 run is bit-identical to f64 — the Precision knob is not reaching the kernels")
+	}
+}
+
+// TestPrecisionF32DeterministicAtAnyP extends the golden determinism
+// matrix to f32: replays are bit-identical, and the compute-pool size
+// must not move a single bit (the f32 reductions run in the same fixed
+// chunk order as f64).
+func TestPrecisionF32DeterministicAtAnyP(t *testing.T) {
+	for _, m := range []string{"lr", "fm"} {
+		t.Run(m, func(t *testing.T) {
+			w := f32Workload(diff.Workload{Model: m, Seed: 95})
+			ref, err := diff.Run("columnsgd", w, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			again, err := diff.Run("columnsgd", w, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !diff.BitIdentical(ref.Weights, again.Weights) {
+				t.Fatalf("f32 replay diverged from itself (max |Δ| = %g)",
+					diff.MaxAbsDiff(ref.Weights, again.Weights))
+			}
+			for _, p := range []int{1, 2, 4, 8} {
+				wp := w
+				wp.Parallelism = p
+				res, err := diff.Run("columnsgd", wp, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !diff.BitIdentical(ref.Weights, res.Weights) {
+					t.Errorf("P=%d diverges from default pool (max |Δ| = %g) — f32 reduction order leaks pool size",
+						p, diff.MaxAbsDiff(ref.Weights, res.Weights))
+				}
+			}
+			// Pipelined fan-out stays a pure wall-clock optimization in f32.
+			wpipe := w
+			wpipe.Pipeline = true
+			piped, err := diff.Run("columnsgd", wpipe, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !diff.BitIdentical(ref.Weights, piped.Weights) {
+				t.Errorf("f32 pipelined run diverges from unpipelined (max |Δ| = %g)",
+					diff.MaxAbsDiff(ref.Weights, piped.Weights))
+			}
+		})
+	}
+}
+
+// TestPrecisionF32SSPReplay is the bounded-staleness cell: under SSP
+// (s = 2) the f32 run must stay inside the band of the f64 SSP golden,
+// and the (staleness seed, precision) pair must replay bit-identically.
+func TestPrecisionF32SSPReplay(t *testing.T) {
+	w := diff.Workload{Model: "lr", Seed: 97, Staleness: 2, StalenessSeed: 7}
+	golden, err := diff.Run("columnsgd", w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f32, err := diff.Run("columnsgd", f32Workload(w), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap := math.Abs(f32.Loss - golden.Loss); !(gap <= f32LossBand) {
+		t.Errorf("SSP f32 loss %v drifted %g from f64 golden %v (band %g)",
+			f32.Loss, gap, golden.Loss, f32LossBand)
+	}
+	again, err := diff.Run("columnsgd", f32Workload(w), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diff.BitIdentical(f32.Weights, again.Weights) {
+		t.Errorf("SSP f32 replay diverged from itself (max |Δ| = %g)",
+			diff.MaxAbsDiff(f32.Weights, again.Weights))
+	}
+}
+
+// TestPrecisionF32ChaosScheduleIdentical is the chaos-replay cell: the
+// injector draws faults per link-local message index, and the f32 mode
+// changes no message's existence or order — so the same chaos seed must
+// draw the *identical* fault schedule in both precisions, and the f32
+// chaotic run must replay bit-identically with itself.
+func TestPrecisionF32ChaosScheduleIdentical(t *testing.T) {
+	spec := chaos.Spec{Seed: 501, Drop: 0.05, Corrupt: 0.03}
+	w := diff.Workload{Model: "lr", Seed: 99}
+	f64run, err := diff.Run("columnsgd", w, &spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f32run, err := diff.Run("columnsgd", f32Workload(w), &spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f64run.Faults.Injected() == 0 {
+		t.Fatalf("chaos cell injected nothing (%s); the gate is vacuous", f64run.Faults)
+	}
+	if f32run.Faults != f64run.Faults {
+		t.Errorf("precision changed the fault schedule:\nf64 %s\nf32 %s", f64run.Faults, f32run.Faults)
+	}
+	if fmt.Sprint(f32run.Schedule) != fmt.Sprint(f64run.Schedule) {
+		t.Errorf("precision changed the injected-event schedule")
+	}
+	if gap := math.Abs(f32run.Loss - f64run.Loss); !(gap <= lossBand) {
+		t.Errorf("chaotic f32 loss %v drifted %g from chaotic f64 %v", f32run.Loss, gap, f64run.Loss)
+	}
+	again, err := diff.Run("columnsgd", f32Workload(w), &spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Faults != f32run.Faults || !diff.BitIdentical(again.Weights, f32run.Weights) {
+		t.Errorf("f32 chaos replay is not bit-identical (faults %s vs %s, max |Δ| = %g)",
+			f32run.Faults, again.Faults, diff.MaxAbsDiff(again.Weights, f32run.Weights))
+	}
+}

@@ -43,6 +43,13 @@ type ServeConfig struct {
 	// models ("gob", "wire", "wire-f32", "wire-f16"); empty means the
 	// default compact lossless codec.
 	Codec string
+	// Precision selects the scoring width: "" or "f64" scores shards in
+	// float64; "f32" narrows shard blocks once at load and scores with
+	// the float32 kernels. Margins stay within f32 rounding of f64 and
+	// are deterministic — bit-identical across replays and any
+	// Parallelism for a fixed shard count; like the f64 path, changing
+	// Shards reassociates the per-shard partial sums at ulp scale.
+	Precision string
 }
 
 // Prediction is one served prediction.
@@ -90,6 +97,7 @@ func NewServer(cfg ServeConfig) (*Server, error) {
 		MaxConcurrent: cfg.MaxConcurrent,
 		Parallelism:   cfg.Parallelism,
 		Codec:         cfg.Codec,
+		Precision:     cfg.Precision,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("columnsgd: %w", err)

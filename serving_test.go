@@ -284,3 +284,69 @@ func TestServingValidation(t *testing.T) {
 		t.Fatal("mismatched indices/values accepted")
 	}
 }
+
+func TestServingPrecisionF32(t *testing.T) {
+	// The f32 scoring path: margins stay within float32 rounding of the
+	// f64 server on the same weights, stay bit-identical across
+	// Parallelism for a fixed shard count, and an unknown precision
+	// string is rejected up front.
+	const features = 40
+	ds := genBinary(t, 300, features, 91)
+	res, err := columnsgd.Train(ds, columnsgd.Config{
+		LearningRate: 0.5, Workers: 2, BatchSize: 32, Iterations: 60, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := res.Weights()
+
+	newSrv := func(cfg columnsgd.ServeConfig) *columnsgd.Server {
+		t.Helper()
+		cfg.MaxWait = time.Microsecond
+		srv, err := columnsgd.NewServer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := srv.LoadWeights(w); err != nil {
+			t.Fatal(err)
+		}
+		return srv
+	}
+	srv64 := newSrv(columnsgd.ServeConfig{Shards: 4})
+	defer srv64.Close()
+	srv32 := newSrv(columnsgd.ServeConfig{Shards: 4, Precision: "f32"})
+	defer srv32.Close()
+	srv32p := newSrv(columnsgd.ServeConfig{Shards: 4, Precision: "f32", Parallelism: 3})
+	defer srv32p.Close()
+
+	vecs, _ := probeVectors(t, res, features, 60, 17)
+	for _, sv := range vecs {
+		p64, err := srv64.Predict(context.Background(), sv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p32, err := srv32.Predict(context.Background(), sv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A handful of f32 multiply-adds per shard: a few ulp of the
+		// margin, far below this band but far above any f64 discrepancy.
+		if d := math.Abs(p32.Margin - p64.Margin); d > 1e-5*(1+math.Abs(p64.Margin)) {
+			t.Fatalf("f32 margin %v vs f64 %v (|Δ|=%g)", p32.Margin, p64.Margin, d)
+		}
+		if p32.Label != p64.Label {
+			t.Fatalf("f32 label %v vs f64 %v at margin %v", p32.Label, p64.Label, p64.Margin)
+		}
+		pp, err := srv32p.Predict(context.Background(), sv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pp.Margin != p32.Margin {
+			t.Fatalf("f32 margin parallelism-dependent: %v (P=3) vs %v (P=0)", pp.Margin, p32.Margin)
+		}
+	}
+
+	if _, err := columnsgd.NewServer(columnsgd.ServeConfig{Precision: "f16"}); err == nil {
+		t.Fatal("unknown precision accepted")
+	}
+}
