@@ -63,18 +63,21 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzWireRoundTrip -fuzztime=10s ./internal/wire/
 	$(GO) test -run=^$$ -fuzz=FuzzZeroCopyDecode -fuzztime=10s ./internal/wire/
 	$(GO) test -run=^$$ -fuzz=FuzzStalenessClock -fuzztime=10s ./internal/ssp/
+	$(GO) test -run=^$$ -fuzz=FuzzAdmission -fuzztime=10s ./internal/serve/
 
 # cover reports statement coverage everywhere and enforces floors on
 # internal/wire — the one package whose bugs corrupt bytes silently
 # instead of failing loudly — and internal/vec, the numeric kernels both
-# precisions' hot paths stand on; neither package's tests may quietly
-# shrink.
+# precisions' hot paths stand on; no floored package's tests may quietly
+# shrink — and internal/serve, whose replica/hedging/admission machinery
+# is all concurrency and failure paths.
 WIRE_COVER_FLOOR := 70
 VEC_COVER_FLOOR := 80
+SERVE_COVER_FLOOR := 75
 cover:
 	@$(GO) test -cover ./... | tee cover.txt
 	@status=0; \
-	for pf in "internal/wire:$(WIRE_COVER_FLOOR)" "internal/vec:$(VEC_COVER_FLOOR)"; do \
+	for pf in "internal/wire:$(WIRE_COVER_FLOOR)" "internal/vec:$(VEC_COVER_FLOOR)" "internal/serve:$(SERVE_COVER_FLOOR)"; do \
 		pkg=$${pf%%:*}; floor=$${pf##*:}; \
 		cov=$$(sed -n "s|^ok[[:space:]]*columnsgd/$$pkg[[:space:]].*coverage: \([0-9.]*\)%.*|\1|p" cover.txt); \
 		if [ -z "$$cov" ]; then echo "cover: no coverage line for $$pkg"; status=1; continue; fi; \

@@ -17,15 +17,20 @@ package columnsgd_test
 //	go run ./cmd/colsgd-bench -chaos "<spec>" -seed <seed>
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"testing"
 	"time"
 
 	"columnsgd/internal/chaos"
 	"columnsgd/internal/chaos/diff"
 	"columnsgd/internal/cluster"
+	"columnsgd/internal/model"
+	"columnsgd/internal/serve"
+	"columnsgd/internal/vec"
 )
 
 // watchdog bounds any single run — invariant (c)'s "never hangs".
@@ -520,6 +525,197 @@ func TestChaosAsyncPermanentSeverTypedError(t *testing.T) {
 		}
 		if !errors.Is(err, cluster.ErrWorkerDown) {
 			t.Fatalf("want ErrWorkerDown, got %v; %s", err, asyncReplayHint(spec, w))
+		}
+	})
+}
+
+// ---- Serve-side failover matrix -------------------------------------
+//
+// The serving twin of the training matrix: a replicated shard group must
+// absorb a severed or crashed replica without dropping a single score,
+// and — because replicas are stateless and every call carries the pinned
+// snapshot's parameters — the margins must stay bit-identical to the
+// fault-free golden no matter how the balancer rerouted.
+
+const (
+	serveChaosShards   = 2
+	serveChaosReplicas = 2
+	serveChaosFeatures = 24
+	serveChaosProbes   = 40
+)
+
+func serveReplayHint(spec chaos.Spec, hedge time.Duration) string {
+	return fmt.Sprintf("replay: go run ./cmd/colsgd-bench -loadgen -chaos %q -seed %d -replicas %d -hedge %s",
+		spec.String(), spec.Seed, serveChaosReplicas, hedge)
+}
+
+// runServeChaos stands up a replicated server (replicas wrapped by the
+// injector when non-nil), scores the fixed seeded probe set
+// sequentially under the watchdog, and returns the margins plus the
+// serving metrics. Any failed score fails the test — the matrix's "zero
+// dropped scores" gate.
+func runServeChaos(t *testing.T, in *chaos.Injector, hedge time.Duration, hint string) ([]float64, serve.Snapshot) {
+	t.Helper()
+	mdl, err := model.New("lr", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := serve.Options{
+		ModelName:    "lr",
+		Shards:       serveChaosShards,
+		Replicas:     serveChaosReplicas,
+		HedgeAfter:   hedge,
+		MaxBatch:     4,
+		MaxWait:      100 * time.Microsecond,
+		ShardTimeout: 5 * time.Second,
+		Parallelism:  1,
+	}
+	if in != nil {
+		opts.NewReplica = func(shard, rep int) serve.Scorer {
+			link := chaos.ReplicaLink(shard, serveChaosReplicas, rep)
+			return in.WrapScorer(link, serve.LocalScorer{Model: mdl})
+		}
+	}
+	s, err := serve.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	rng := rand.New(rand.NewSource(1789))
+	rows := [][]float64{make([]float64, serveChaosFeatures)}
+	for j := range rows[0] {
+		rows[0][j] = rng.NormFloat64()
+	}
+	if _, err := s.Install(rows); err != nil {
+		t.Fatal(err)
+	}
+	probes := make([]vec.Sparse, serveChaosProbes)
+	for i := range probes {
+		for j := 0; j < serveChaosFeatures; j += 1 + rng.Intn(3) {
+			probes[i].Indices = append(probes[i].Indices, int32(j))
+			probes[i].Values = append(probes[i].Values, rng.NormFloat64())
+		}
+	}
+
+	margins := make([]float64, len(probes))
+	_, err = diff.WithDeadline(watchdog, func() (*diff.Result, error) {
+		for i, row := range probes {
+			p, err := s.Predict(context.Background(), row)
+			if err != nil {
+				return nil, fmt.Errorf("score %d dropped: %w", i, err)
+			}
+			margins[i] = p.Margin
+		}
+		return nil, nil
+	})
+	if errors.Is(err, diff.ErrDeadline) {
+		t.Fatalf("serve run hung past the watchdog; %s", hint)
+	}
+	if err != nil {
+		sched := []string(nil)
+		if in != nil {
+			sched = in.Schedule()
+		}
+		t.Fatalf("%v\nschedule: %v\n%s", err, sched, hint)
+	}
+	return margins, s.Snapshot()
+}
+
+// TestChaosServeFailoverMatrix covers sever/crash × replica index over
+// every shard group: the doomed replica goes down on its first call, the
+// balancer's retry fails over to the surviving replica, and the run
+// finishes with zero dropped scores and margins bit-identical to the
+// fault-free golden. A zero-fault cell pins injector transparency on the
+// serving path, and a stochastic delay cell proves hedging fires and
+// stays value-transparent under a straggling replica.
+func TestChaosServeFailoverMatrix(t *testing.T) {
+	golden, _ := runServeChaos(t, nil, 0, "plain serve run")
+
+	t.Run("zero-fault", func(t *testing.T) {
+		spec := chaos.Spec{Seed: 501}
+		in := chaos.NewInjector(spec)
+		hint := serveReplayHint(spec, 0)
+		margins, _ := runServeChaos(t, in, 0, hint)
+		if n := in.Counters().Injected(); n != 0 {
+			t.Fatalf("zero spec injected %d faults on the serve path (%s); %s", n, in.Counters(), hint)
+		}
+		for i := range margins {
+			if math.Float64bits(margins[i]) != math.Float64bits(golden[i]) {
+				t.Fatalf("margin %d differs at zero faults: %v vs %v; %s", i, margins[i], golden[i], hint)
+			}
+		}
+	})
+
+	// One doomed replica per shard group, down from its very first call.
+	downCells := []struct {
+		name    string
+		replica int
+		crash   bool
+		count   func(chaos.Snapshot) int64
+	}{
+		{"sever-replica0", 0, false, func(s chaos.Snapshot) int64 { return s.SeveredCalls }},
+		{"sever-replica1", 1, false, func(s chaos.Snapshot) int64 { return s.SeveredCalls }},
+		{"crash-replica0", 0, true, func(s chaos.Snapshot) int64 { return s.CrashedCalls }},
+		{"crash-replica1", 1, true, func(s chaos.Snapshot) int64 { return s.CrashedCalls }},
+	}
+	for i, cell := range downCells {
+		cell := cell
+		t.Run(cell.name, func(t *testing.T) {
+			spec := chaos.Spec{Seed: int64(510 + i)}
+			for shard := 0; shard < serveChaosShards; shard++ {
+				link := chaos.ReplicaLink(shard, serveChaosReplicas, cell.replica)
+				if cell.crash {
+					spec.Crashes = append(spec.Crashes, chaos.Crash{Link: link, AtMsg: 0})
+				} else {
+					spec.Severs = append(spec.Severs, chaos.Sever{Link: link, AtMsg: 0})
+				}
+			}
+			in := chaos.NewInjector(spec)
+			hint := serveReplayHint(spec, 0)
+			margins, snap := runServeChaos(t, in, 0, hint)
+
+			if n := cell.count(in.Counters()); n == 0 {
+				t.Fatalf("replica %d never took a call (%s); the cell is vacuous. %s",
+					cell.replica, in.Counters(), hint)
+			}
+			if snap.ShardRetries == 0 {
+				t.Errorf("faults fired (%s) but no retry ran — failover untested; %s", in.Counters(), hint)
+			}
+			if snap.Errors != 0 || snap.ReplicaExhaustion != 0 {
+				t.Errorf("errors=%d exhaustion=%d, want 0/0 (zero dropped scores); %s",
+					snap.Errors, snap.ReplicaExhaustion, hint)
+			}
+			for j := range margins {
+				if math.Float64bits(margins[j]) != math.Float64bits(golden[j]) {
+					t.Fatalf("margin %d differs from fault-free golden: %v vs %v\nschedule: %v\n%s",
+						j, margins[j], golden[j], in.Schedule(), hint)
+				}
+			}
+		})
+	}
+
+	t.Run("delay-straggler-hedged", func(t *testing.T) {
+		spec := chaos.Spec{Seed: 520, Delay: 0.5, MaxDelay: 20 * time.Millisecond}
+		const hedge = time.Millisecond
+		in := chaos.NewInjector(spec)
+		hint := serveReplayHint(spec, hedge)
+		margins, snap := runServeChaos(t, in, hedge, hint)
+
+		if in.Counters().Delayed == 0 {
+			t.Fatalf("no delays fired (%s); the cell is vacuous. %s", in.Counters(), hint)
+		}
+		if snap.Hedges == 0 {
+			t.Errorf("20ms straggles under a 1ms hedge delay never hedged (%s); %s", in.Counters(), hint)
+		}
+		if snap.Errors != 0 {
+			t.Errorf("errors=%d, want 0; %s", snap.Errors, hint)
+		}
+		for j := range margins {
+			if math.Float64bits(margins[j]) != math.Float64bits(golden[j]) {
+				t.Fatalf("margin %d differs under hedged straggler: %v vs %v\nschedule: %v\n%s",
+					j, margins[j], golden[j], in.Schedule(), hint)
+			}
 		}
 	})
 }

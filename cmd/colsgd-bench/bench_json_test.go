@@ -63,6 +63,66 @@ func TestBenchDiffFailsOnRegression(t *testing.T) {
 	}
 }
 
+func TestBenchDiffFailsOnTailRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldP, newP := filepath.Join(dir, "old.json"), filepath.Join(dir, "new.json")
+	// p50 (ns/iter) is flat; only the p99 tail blows out — the shape of a
+	// broken hedge path. The quantile gate must catch it.
+	writeReport(t, oldP, "aaa", []BenchResult{
+		{Name: "serve-load/R2-hedge", NsPerIter: 200_000, P50Ns: 200_000, P99Ns: 1_500_000, P999Ns: 2_000_000},
+	})
+	writeReport(t, newP, "bbb", []BenchResult{
+		{Name: "serve-load/R2-hedge", NsPerIter: 200_000, P50Ns: 200_000, P99Ns: 10_500_000, P999Ns: 11_000_000},
+	})
+	var sb strings.Builder
+	err := run([]string{"-benchdiff", "-old", oldP, "-new", newP}, &sb)
+	if err == nil {
+		t.Fatalf("7x p99 regression passed:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "ns/p99") || !strings.Contains(sb.String(), "REGRESSED") {
+		t.Errorf("tail regression not flagged: %q", sb.String())
+	}
+	// Reports without quantiles (the pre-quantile format) still diff fine.
+	sb.Reset()
+	writeReport(t, oldP, "aaa", []BenchResult{{Name: "serve-load/R2-hedge", NsPerIter: 200_000}})
+	if err := run([]string{"-benchdiff", "-old", oldP, "-new", newP}, &sb); err != nil {
+		t.Fatalf("diff against quantile-free baseline failed: %v\n%s", err, sb.String())
+	}
+}
+
+func TestLoadGenSmoke(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-loadgen", "-requests", "48", "-interval", "100us",
+		"-replicas", "2", "-hedge", "500us", "-straggle", "2ms"}, &sb)
+	if err != nil {
+		t.Fatalf("loadgen failed: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"replay: go run ./cmd/colsgd-bench -loadgen",
+		"ok 48", "failed 0", "p999"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("loadgen output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLoadGenChaosSpecRoundTrip(t *testing.T) {
+	// The chaos matrix's serve cells print `-loadgen -chaos <spec>` replay
+	// lines; the flag must parse the same specs and wire the injector in.
+	var sb strings.Builder
+	err := run([]string{"-loadgen", "-chaos", "delay=0.5,maxdelay=1ms", "-seed", "7",
+		"-requests", "32", "-interval", "100us", "-replicas", "2"}, &sb)
+	if err != nil {
+		t.Fatalf("loadgen with chaos spec failed: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "chaos") {
+		t.Errorf("chaos counters not reported:\n%s", sb.String())
+	}
+	if err := run([]string{"-loadgen", "-chaos", "bogus=spec"}, &strings.Builder{}); err == nil {
+		t.Error("invalid chaos spec accepted")
+	}
+}
+
 func TestBenchDiffErrors(t *testing.T) {
 	dir := t.TempDir()
 	a, b := filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")

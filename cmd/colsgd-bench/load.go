@@ -1,0 +1,276 @@
+package main
+
+// Open-loop serving load generator: a fixed arrival schedule drawn from a
+// seed fires predictions at the server regardless of how fast it answers
+// (open loop — the generator never waits for a response before sending
+// the next request, so queueing delay shows up in the tail instead of
+// silently throttling the offered load). Latencies are stamped with the
+// monotonic clock and digested into p50/p99/p999. The same harness backs
+// `-loadgen` for interactive runs and the serve-load/* rows of `make
+// bench`, and accepts a chaos spec so serve-side failover cells print a
+// one-command replay line.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"columnsgd/internal/chaos"
+	"columnsgd/internal/model"
+	"columnsgd/internal/serve"
+	"columnsgd/internal/vec"
+)
+
+// loadConfig shapes one load-generation run.
+type loadConfig struct {
+	// Replicas / HedgeAfter / MaxInFlight mirror serve.Options.
+	Replicas    int
+	HedgeAfter  time.Duration
+	MaxInFlight int
+	// Straggle adds a deterministic delay to replica 0 of every shard
+	// group — the tail-at-scale scenario the hedging experiment measures.
+	Straggle time.Duration
+	// Requests and Interval define the open-loop schedule: request i is
+	// fired at i*Interval plus seeded jitter in [0, Interval/2).
+	Requests int
+	Interval time.Duration
+	// Shards is the column-shard fan-out width.
+	Shards int
+	// Seed fixes the arrival schedule and the probe rows.
+	Seed int64
+	// Chaos optionally wraps every replica in a seeded fault injector
+	// (links laid out by chaos.ReplicaLink).
+	Chaos *chaos.Spec
+}
+
+func (c loadConfig) normalized() loadConfig {
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.Requests <= 0 {
+		c.Requests = 1200
+	}
+	if c.Interval <= 0 {
+		c.Interval = 400 * time.Microsecond
+	}
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	return c
+}
+
+// loadResult is one run's digest.
+type loadResult struct {
+	Sent, OK         int
+	Rejected, Failed int
+	Elapsed          time.Duration
+	// Latency quantiles over successful requests (monotonic stamps).
+	P50, P99, P999 time.Duration
+	// Serving-side counters for the run.
+	Snap serve.Snapshot
+	// Faults holds the injector counters when Chaos was set.
+	Faults chaos.Snapshot
+}
+
+// straggleScorer delays every call by a fixed amount before scoring —
+// a deterministic slow replica. It respects cancellation so a hedged
+// loser stops burning the delay.
+type straggleScorer struct {
+	inner serve.Scorer
+	d     time.Duration
+}
+
+func (s straggleScorer) PartialStats(ctx context.Context, req serve.ShardRequest) ([]float64, error) {
+	t := time.NewTimer(s.d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return s.inner.PartialStats(ctx, req)
+}
+
+// runLoad executes one open-loop run and digests it.
+func runLoad(cfg loadConfig) (*loadResult, error) {
+	cfg = cfg.normalized()
+	mdl, err := model.New("lr", 0)
+	if err != nil {
+		return nil, err
+	}
+	var in *chaos.Injector
+	if cfg.Chaos != nil {
+		in = chaos.NewInjector(*cfg.Chaos)
+	}
+	opts := serve.Options{
+		ModelName:     "lr",
+		Shards:        cfg.Shards,
+		Replicas:      cfg.Replicas,
+		HedgeAfter:    cfg.HedgeAfter,
+		MaxInFlight:   cfg.MaxInFlight,
+		MaxBatch:      1, // single-request latency path: no batching delay
+		MaxConcurrent: 64,
+		ShardTimeout:  5 * time.Second,
+		Parallelism:   1,
+		NewReplica: func(shard, rep int) serve.Scorer {
+			var sc serve.Scorer = serve.LocalScorer{Model: mdl}
+			if cfg.Straggle > 0 && rep == 0 {
+				sc = straggleScorer{inner: sc, d: cfg.Straggle}
+			}
+			if in != nil {
+				sc = in.WrapScorer(chaos.ReplicaLink(shard, cfg.Replicas, rep), sc)
+			}
+			return sc
+		},
+	}
+	s, err := serve.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+
+	const features = 2048
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	weights := make([]float64, features)
+	for i := range weights {
+		weights[i] = rng.NormFloat64()
+	}
+	if _, err := s.Install([][]float64{weights}); err != nil {
+		return nil, err
+	}
+	probes := make([]vec.Sparse, 64)
+	for i := range probes {
+		idx := make([]int32, 64)
+		val := make([]float64, 64)
+		for k := range idx {
+			idx[k] = int32((k*(features/64) + i) % features)
+			val[k] = rng.NormFloat64()
+		}
+		probes[i], err = vec.NewSparse(idx, val)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// The arrival schedule is fixed up front: offsets from the run start,
+	// jittered but fully determined by the seed.
+	arrivals := make([]time.Duration, cfg.Requests)
+	for i := range arrivals {
+		jitter := time.Duration(rng.Int63n(int64(cfg.Interval)/2 + 1))
+		arrivals[i] = time.Duration(i)*cfg.Interval + jitter
+	}
+
+	type sample struct {
+		lat time.Duration
+		err error
+	}
+	samples := make([]sample, cfg.Requests)
+	done := make(chan int, cfg.Requests)
+	ctx := context.Background()
+	start := time.Now() // monotonic anchor for the whole schedule
+	for i := 0; i < cfg.Requests; i++ {
+		if wait := arrivals[i] - time.Since(start); wait > 0 {
+			time.Sleep(wait)
+		}
+		go func(i int) {
+			t0 := time.Now()
+			_, err := s.Predict(ctx, probes[i%len(probes)])
+			samples[i] = sample{lat: time.Since(t0), err: err}
+			done <- i
+		}(i)
+	}
+	for i := 0; i < cfg.Requests; i++ {
+		<-done
+	}
+	elapsed := time.Since(start)
+
+	res := &loadResult{Sent: cfg.Requests, Elapsed: elapsed}
+	lats := make([]time.Duration, 0, cfg.Requests)
+	for _, smp := range samples {
+		switch {
+		case smp.err == nil:
+			res.OK++
+			lats = append(lats, smp.lat)
+		case errors.Is(smp.err, serve.ErrOverloaded), errors.Is(smp.err, serve.ErrQueueFull):
+			res.Rejected++
+		default:
+			res.Failed++
+		}
+	}
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	res.P50 = latQuantile(lats, 0.50)
+	res.P99 = latQuantile(lats, 0.99)
+	res.P999 = latQuantile(lats, 0.999)
+	res.Snap = s.Snapshot()
+	if in != nil {
+		res.Faults = in.Counters()
+	}
+	return res, nil
+}
+
+// parseLoadChaos turns the -chaos flag into a seeded spec for the load
+// generator (nil when the flag is empty).
+func parseLoadChaos(text string, seed int64) (*chaos.Spec, error) {
+	if text == "" {
+		return nil, nil
+	}
+	spec, err := chaos.ParseSpec(text)
+	if err != nil {
+		return nil, err
+	}
+	spec.Seed = seed
+	return &spec, nil
+}
+
+// latQuantile reads the q-quantile of an ascending latency slice.
+func latQuantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// runLoadGen is the -loadgen CLI mode: one open-loop run, a quantile
+// digest, and the serving/chaos counters — with the replay line printed
+// up front so any anomaly is a one-command bug report.
+func runLoadGen(cfg loadConfig, w io.Writer) error {
+	cfg = cfg.normalized()
+	chaosStr := ""
+	if cfg.Chaos != nil {
+		chaosStr = fmt.Sprintf(" -chaos %q", cfg.Chaos.String())
+	}
+	fmt.Fprintf(w, "loadgen: %d requests, interval %v, shards %d, replicas %d, hedge %v, straggle %v, max-inflight %d\n",
+		cfg.Requests, cfg.Interval, cfg.Shards, cfg.Replicas, cfg.HedgeAfter, cfg.Straggle, cfg.MaxInFlight)
+	fmt.Fprintf(w, "replay: go run ./cmd/colsgd-bench -loadgen -seed %d -requests %d -interval %s -replicas %d -hedge %s -straggle %s -max-inflight %d%s\n\n",
+		cfg.Seed, cfg.Requests, cfg.Interval, cfg.Replicas, cfg.HedgeAfter, cfg.Straggle, cfg.MaxInFlight, chaosStr)
+	res, err := runLoad(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "sent %d  ok %d  rejected %d  failed %d  in %v (%.0f req/s offered)\n",
+		res.Sent, res.OK, res.Rejected, res.Failed, res.Elapsed.Round(time.Millisecond),
+		float64(res.Sent)/res.Elapsed.Seconds())
+	fmt.Fprintf(w, "latency  p50 %10v  p99 %10v  p999 %10v\n", res.P50, res.P99, res.P999)
+	fmt.Fprintf(w, "serve    hedges %d (wins %d)  retries %d  timeouts %d  deadlines %d  exhaustion %d  peak-inflight %d\n",
+		res.Snap.Hedges, res.Snap.HedgeWins, res.Snap.ShardRetries, res.Snap.ShardTimeouts,
+		res.Snap.ShardDeadlines, res.Snap.ReplicaExhaustion, res.Snap.PeakInFlight)
+	fmt.Fprintf(w, "phases   queue p50 %.0fµs p99 %.0fµs   score p50 %.0fµs p99 %.0fµs\n",
+		res.Snap.QueueP50Micros, res.Snap.QueueP99Micros, res.Snap.ScoreP50Micros, res.Snap.ScoreP99Micros)
+	if cfg.Chaos != nil {
+		fmt.Fprintf(w, "chaos    %s\n", res.Faults)
+	}
+	if res.Failed > 0 {
+		return fmt.Errorf("loadgen: %d scores dropped", res.Failed)
+	}
+	return nil
+}

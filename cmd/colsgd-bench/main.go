@@ -53,6 +53,14 @@ func run(args []string, stdout io.Writer) error {
 		staleSeed = fs.Int64("staleness-seed", 0, "with -chaos: staleness lag-schedule seed (0 = max slack)")
 		precision = fs.String("precision", "", "with -chaos: worker compute precision for every engine: f64 (default) or f32")
 
+		loadgen     = fs.Bool("loadgen", false, "run the open-loop serving load generator and exit")
+		replicas    = fs.Int("replicas", 1, "with -loadgen: scorer replicas per column shard")
+		hedge       = fs.Duration("hedge", 0, "with -loadgen: hedged-request delay (0 disables)")
+		straggle    = fs.Duration("straggle", 0, "with -loadgen: fixed delay injected on replica 0 of every shard")
+		requests    = fs.Int("requests", 1200, "with -loadgen: offered requests")
+		interval    = fs.Duration("interval", 0, "with -loadgen: open-loop inter-arrival interval (0 = default)")
+		maxInflight = fs.Int("max-inflight", 0, "with -loadgen: in-flight admission budget (0 disables)")
+
 		benchjson = fs.String("benchjson", "", "run the micro-benchmark suite and write JSON results to this path")
 		rev       = fs.String("rev", "unknown", "with -benchjson: git revision to record in the report")
 		benchdiff = fs.Bool("benchdiff", false, "compare two -benchjson reports (-old, -new) and fail on regression")
@@ -62,6 +70,23 @@ func run(args []string, stdout io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *loadgen {
+		spec, err := parseLoadChaos(*chaos, *seed)
+		if err != nil {
+			return err
+		}
+		return runLoadGen(loadConfig{
+			Replicas:    *replicas,
+			HedgeAfter:  *hedge,
+			MaxInFlight: *maxInflight,
+			Straggle:    *straggle,
+			Requests:    *requests,
+			Interval:    *interval,
+			Seed:        *seed,
+			Chaos:       spec,
+		}, stdout)
 	}
 
 	if *benchjson != "" {

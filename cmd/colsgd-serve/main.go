@@ -53,6 +53,9 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal) error {
 		classes      = fs.Int("classes", 2, "class count for mlr")
 		factors      = fs.Int("factors", 10, "latent factors for fm")
 		shards       = fs.Int("shards", 4, "column shards to fan predictions out over")
+		replicas     = fs.Int("replicas", 1, "scorer replicas per column shard (stateless; balanced by in-flight load)")
+		hedgeAfter   = fs.Duration("hedge-after", 0, "fire a hedged call on a second replica after this delay (0 disables; needs -replicas > 1)")
+		maxInFlight  = fs.Int("max-inflight", 0, "in-flight request budget; beyond it predicts fast-reject with 429 (0 disables)")
 		maxBatch     = fs.Int("max-batch", 64, "micro-batch size cap")
 		maxWait      = fs.Duration("max-wait", 2*time.Millisecond, "micro-batch fill window")
 		queueCap     = fs.Int("queue", 4096, "admission queue capacity")
@@ -75,6 +78,9 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal) error {
 		Classes:      *classes,
 		Factors:      *factors,
 		Shards:       *shards,
+		Replicas:     *replicas,
+		HedgeAfter:   *hedgeAfter,
+		MaxInFlight:  *maxInFlight,
 		MaxBatch:     *maxBatch,
 		Parallelism:  *par,
 		MaxWait:      *maxWait,
@@ -96,8 +102,8 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal) error {
 		return err
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
-	fmt.Fprintf(stdout, "colsgd-serve: model %s version %d, %d shards, listening on %s\n",
-		*modelPath, version, *shards, lis.Addr())
+	fmt.Fprintf(stdout, "colsgd-serve: model %s version %d, %d shards x %d replicas, listening on %s\n",
+		*modelPath, version, *shards, *replicas, lis.Addr())
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(lis) }()

@@ -7,6 +7,13 @@ import (
 	"columnsgd/internal/serve"
 )
 
+// ReplicaLink maps a (shard, replica) pair in an R-way replicated shard
+// group onto a flat injector link ID, so fault specs can target one
+// replica of one shard group the way training specs target one worker.
+func ReplicaLink(shard, replicas, replica int) int {
+	return shard*replicas + replica
+}
+
 // WrapScorer decorates a serving-path scorer with the link's fault
 // stream, putting the inference fan-out (ColumnServe's per-shard
 // PartialStats calls) under the same seeded schedule as training RPCs.

@@ -1,0 +1,74 @@
+package metrics
+
+// Per-phase latency records for the serving path: a request's life splits
+// into named phases (queue wait, shard scoring, ...) and each phase gets
+// its own concurrent-safe Histogram. Callers stamp phases by subtracting
+// two time.Now() values — Go's time.Time carries the monotonic clock, so
+// phase durations are immune to wall-clock steps — and record the
+// duration in seconds.
+
+// PhaseLatencies is a fixed set of named latency phases. The phase set is
+// immutable after construction, so lookups are lock-free; the histograms
+// themselves serialize their own updates.
+type PhaseLatencies struct {
+	names []string
+	hists map[string]*Histogram
+}
+
+// NewPhaseLatencies builds one histogram per phase over the given
+// ascending upper bounds (seconds).
+func NewPhaseLatencies(bounds []float64, phases ...string) *PhaseLatencies {
+	p := &PhaseLatencies{
+		names: append([]string(nil), phases...),
+		hists: make(map[string]*Histogram, len(phases)),
+	}
+	for _, name := range p.names {
+		p.hists[name] = NewHistogram(bounds)
+	}
+	return p
+}
+
+// Phases returns the phase names in declaration order.
+func (p *PhaseLatencies) Phases() []string { return append([]string(nil), p.names...) }
+
+// Observe records one duration (seconds) for the phase. Unknown phases
+// panic: the phase set is a compile-time contract, not user input.
+func (p *PhaseLatencies) Observe(phase string, seconds float64) {
+	h, ok := p.hists[phase]
+	if !ok {
+		panic("metrics: unknown latency phase " + phase)
+	}
+	h.Observe(seconds)
+}
+
+// Phase returns the phase's histogram (nil for unknown phases).
+func (p *PhaseLatencies) Phase(name string) *Histogram { return p.hists[name] }
+
+// LatencySummary is the quantile digest of one phase — the numbers the
+// serving gates and the load generator report. Values are in the unit
+// observed (seconds on the serving path).
+type LatencySummary struct {
+	Count                     int64
+	Mean, P50, P95, P99, P999 float64
+}
+
+// Summary digests a histogram into the standard quantile set.
+func (h *Histogram) Summary() LatencySummary {
+	return LatencySummary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+	}
+}
+
+// Summary digests one phase (zero value for unknown phases).
+func (p *PhaseLatencies) Summary(phase string) LatencySummary {
+	h, ok := p.hists[phase]
+	if !ok {
+		return LatencySummary{}
+	}
+	return h.Summary()
+}

@@ -1,0 +1,293 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"columnsgd/internal/model"
+	"columnsgd/internal/serve"
+	"columnsgd/internal/vec"
+)
+
+// TestAdmissionBudgetProperty drives the server past saturation at
+// increasing offered loads and checks the admission-control contract:
+// admitted requests never exceed MaxInFlight (peak pinned exactly at the
+// budget), every reject is the typed ErrOverloaded — never a timeout or
+// ErrQueueFull — and goodput is monotone non-increasing as offered load
+// grows past saturation (no congestion collapse).
+func TestAdmissionBudgetProperty(t *testing.T) {
+	const maxInFlight = 8
+	mdl, err := model.New("lr", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevGoodput := int64(1 << 30)
+	for _, offered := range []int{maxInFlight, 2 * maxInFlight, 4 * maxInFlight} {
+		release := make(chan struct{})
+		sc := &repScorer{inner: serve.LocalScorer{Model: mdl}, release: release}
+		s := newTestServer(t, serve.Options{
+			ModelName:     "lr",
+			Shards:        1,
+			MaxBatch:      1,
+			MaxWait:       time.Hour,
+			QueueCap:      4 * offered,
+			MaxConcurrent: 2 * maxInFlight,
+			MaxInFlight:   maxInFlight,
+			ShardTimeout:  time.Hour,
+			NewReplica:    func(int, int) serve.Scorer { return sc },
+		})
+		if _, err := s.Install([][]float64{{1, 2, 3, 4}}); err != nil {
+			t.Fatal(err)
+		}
+
+		errs := make([]error, offered)
+		var done sync.WaitGroup
+		var rejected atomic.Int64
+		for i := 0; i < offered; i++ {
+			done.Add(1)
+			go func(i int) {
+				defer done.Done()
+				_, errs[i] = s.Predict(context.Background(), vec.Sparse{Indices: []int32{1}, Values: []float64{1}})
+				if errs[i] != nil {
+					rejected.Add(1)
+				}
+			}(i)
+		}
+		// With the scorer gated shut nothing completes, so the budget
+		// fills to exactly MaxInFlight and the rest bounce. Wait for the
+		// steady state before opening the gate, or a freed slot could
+		// re-admit a straggling arrival.
+		wantRejects := int64(offered - maxInFlight)
+		waitUntil(t, "budget saturation", func() bool {
+			cur, _ := s.InFlight()
+			return cur == maxInFlight && rejected.Load() == wantRejects
+		})
+		close(release)
+		done.Wait()
+
+		goodput := int64(0)
+		for i, err := range errs {
+			if err == nil {
+				goodput++
+				continue
+			}
+			if !errors.Is(err, serve.ErrOverloaded) {
+				t.Fatalf("offered=%d: reject %d is %v, want ErrOverloaded", offered, i, err)
+			}
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, serve.ErrQueueFull) {
+				t.Fatalf("offered=%d: reject %d mistyped as timeout/queue-full: %v", offered, i, err)
+			}
+		}
+		if goodput != maxInFlight {
+			t.Fatalf("offered=%d: goodput = %d, want %d", offered, goodput, maxInFlight)
+		}
+		if goodput > prevGoodput {
+			t.Fatalf("goodput grew past saturation: %d -> %d", prevGoodput, goodput)
+		}
+		prevGoodput = goodput
+
+		_, peak := s.InFlight()
+		if peak != maxInFlight {
+			t.Fatalf("offered=%d: peak in-flight = %d, want exactly %d", offered, peak, maxInFlight)
+		}
+		snap := s.Snapshot()
+		if snap.Overloaded != wantRejects || snap.PeakInFlight != maxInFlight {
+			t.Fatalf("offered=%d: snapshot overloaded=%d peak=%d, want %d/%d",
+				offered, snap.Overloaded, snap.PeakInFlight, wantRejects, maxInFlight)
+		}
+	}
+}
+
+// TestAdmissionDisabledByDefault keeps the zero value inert: without
+// MaxInFlight only QueueCap pushes back, and nothing touches the budget
+// counters.
+func TestAdmissionDisabledByDefault(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := newTestServer(t, serve.Options{ModelName: "lr", Shards: 2, MaxWait: time.Microsecond})
+	if _, err := s.Install(integerRows(rng, 1, 16)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if _, err := s.Predict(context.Background(), randomSparse(rng, 16, true)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur, peak := s.InFlight()
+	if cur != 0 || peak != 0 {
+		t.Fatalf("budget counters moved with MaxInFlight disabled: cur=%d peak=%d", cur, peak)
+	}
+}
+
+// failScorer fails every call instantly — a broken replica, not a slow
+// one.
+type failScorer struct{}
+
+func (failScorer) PartialStats(context.Context, serve.ShardRequest) ([]float64, error) {
+	return nil, errors.New("replica wiring on fire")
+}
+
+// metriczCounters fetches /metricz and returns the decoded JSON payload.
+func metriczCounters(t *testing.T, s *serve.Server) map[string]json.Number {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metricz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metricz status %d", rec.Code)
+	}
+	var m map[string]json.Number
+	dec := json.NewDecoder(rec.Body)
+	dec.UseNumber()
+	if err := dec.Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestErrorTaxonomyOnMetricz pins the two shard-failure modes to
+// separate errors and separate /metricz counters: broken replicas
+// (every attempt errors) surface ErrReplicasExhausted and bump
+// replica_exhaustion; a slow shard (deadline expiry on the final
+// attempt) surfaces ErrShardDeadline — still matching
+// context.DeadlineExceeded for existing callers — and bumps
+// shard_deadlines. Neither leaks into the other's counter.
+func TestErrorTaxonomyOnMetricz(t *testing.T) {
+	t.Run("broken-replicas", func(t *testing.T) {
+		s := newTestServer(t, serve.Options{
+			ModelName: "lr", Shards: 1, Replicas: 2, MaxBatch: 1, MaxWait: time.Hour,
+			NewReplica: func(int, int) serve.Scorer { return failScorer{} },
+		})
+		if _, err := s.Install([][]float64{{1, 2}}); err != nil {
+			t.Fatal(err)
+		}
+		_, err := s.Predict(context.Background(), vec.Sparse{Indices: []int32{0}, Values: []float64{1}})
+		if !errors.Is(err, serve.ErrReplicasExhausted) {
+			t.Fatalf("error = %v, want ErrReplicasExhausted", err)
+		}
+		if errors.Is(err, serve.ErrShardDeadline) || errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("broken replicas misclassified as deadline expiry: %v", err)
+		}
+		m := metriczCounters(t, s)
+		if m["replica_exhaustion"] != "1" || m["shard_deadlines"] != "0" {
+			t.Fatalf("metricz replica_exhaustion=%s shard_deadlines=%s, want 1/0",
+				m["replica_exhaustion"], m["shard_deadlines"])
+		}
+	})
+	t.Run("slow-shard", func(t *testing.T) {
+		s := newTestServer(t, serve.Options{
+			ModelName: "lr", Shards: 1, MaxBatch: 1, MaxWait: time.Hour,
+			ShardTimeout: 10 * time.Millisecond,
+			NewScorer:    func(int) serve.Scorer { return stuckScorer{d: 200 * time.Millisecond} },
+		})
+		if _, err := s.Install([][]float64{{1, 2}}); err != nil {
+			t.Fatal(err)
+		}
+		_, err := s.Predict(context.Background(), vec.Sparse{Indices: []int32{0}, Values: []float64{1}})
+		if !errors.Is(err, serve.ErrShardDeadline) || !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("error = %v, want ErrShardDeadline wrapping context.DeadlineExceeded", err)
+		}
+		if errors.Is(err, serve.ErrReplicasExhausted) {
+			t.Fatalf("deadline expiry misclassified as replica exhaustion: %v", err)
+		}
+		m := metriczCounters(t, s)
+		if m["shard_deadlines"] != "1" || m["replica_exhaustion"] != "0" {
+			t.Fatalf("metricz shard_deadlines=%s replica_exhaustion=%s, want 1/0",
+				m["shard_deadlines"], m["replica_exhaustion"])
+		}
+		if m["shard_timeouts"] != "2" {
+			t.Fatalf("metricz shard_timeouts=%s, want 2 (one per attempt)", m["shard_timeouts"])
+		}
+	})
+}
+
+// FuzzAdmission hammers arbitrary (budget, load, shards) shapes with
+// concurrent predicts and checks the admission invariants that must hold
+// for every shape: peak in-flight never exceeds the budget, every
+// failure is the typed ErrOverloaded, accounting balances (goodput +
+// overloaded == offered), and the budget drains back to zero.
+func FuzzAdmission(f *testing.F) {
+	f.Add(4, 16, 1)
+	f.Add(1, 48, 2)
+	f.Add(16, 8, 3)
+	f.Add(7, 33, 2)
+	f.Fuzz(func(t *testing.T, maxInFlight, offered, shards int) {
+		if maxInFlight < 0 {
+			maxInFlight = -maxInFlight
+		}
+		maxInFlight = maxInFlight%16 + 1
+		if offered < 0 {
+			offered = -offered
+		}
+		offered = offered%48 + 1
+		if shards < 0 {
+			shards = -shards
+		}
+		shards = shards%3 + 1
+
+		rng := rand.New(rand.NewSource(42))
+		s, err := serve.New(serve.Options{
+			ModelName:     "lr",
+			Shards:        shards,
+			MaxBatch:      4,
+			MaxWait:       50 * time.Microsecond,
+			QueueCap:      64,
+			MaxConcurrent: 4,
+			MaxInFlight:   maxInFlight,
+			Parallelism:   1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		if _, err := s.Install(integerRows(rng, 1, 16)); err != nil {
+			t.Fatal(err)
+		}
+
+		rows := make([]vec.Sparse, offered)
+		for i := range rows {
+			rows[i] = randomSparse(rng, 16, true)
+		}
+		errs := make([]error, offered)
+		var wg sync.WaitGroup
+		for i := 0; i < offered; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				_, errs[i] = s.Predict(context.Background(), rows[i])
+			}(i)
+		}
+		wg.Wait()
+
+		goodput := int64(0)
+		for i, err := range errs {
+			if err == nil {
+				goodput++
+				continue
+			}
+			if !errors.Is(err, serve.ErrOverloaded) {
+				t.Fatalf("request %d failed with %v, want ErrOverloaded", i, err)
+			}
+		}
+		_, peak := s.InFlight()
+		if peak > int64(maxInFlight) {
+			t.Fatalf("peak in-flight %d exceeded budget %d", peak, maxInFlight)
+		}
+		snap := s.Snapshot()
+		if goodput+snap.Overloaded != int64(offered) {
+			t.Fatalf("accounting leak: goodput %d + overloaded %d != offered %d",
+				goodput, snap.Overloaded, offered)
+		}
+		// deliver() frees the slot concurrently with Predict's return, so
+		// drain-to-zero is eventual, not instant.
+		waitUntil(t, "budget drain", func() bool {
+			cur, _ := s.InFlight()
+			return cur == 0
+		})
+	})
+}

@@ -1,0 +1,66 @@
+package serve
+
+import "sync/atomic"
+
+// replica is one scorer instance inside a shard group, with its live
+// in-flight call count for load-aware balancing.
+type replica struct {
+	idx      int
+	scorer   Scorer
+	inflight atomic.Int64
+}
+
+// shardGroup is the R-way replica set serving one column shard, fronted
+// by a power-of-two-choices balancer on in-flight count. Replicas are
+// stateless — every call carries the pinned snapshot's parameter block —
+// so any replica serves any call and results are value-identical
+// regardless of routing.
+//
+// Candidate pairs come from a rotating atomic cursor instead of an RNG:
+// successive picks sweep distinct (i, j) pairs with a varying stride, so
+// the pair distribution is uniform over time yet fully deterministic for
+// a fixed call sequence. Ties on load break to the cursor's first
+// candidate, which itself rotates — an idle group spreads consecutive
+// picks across its replicas instead of pinning one.
+type shardGroup struct {
+	replicas []*replica
+	cursor   atomic.Uint64
+}
+
+func newShardGroup(shard, replicas int, newScorer func(shard, rep int) Scorer) *shardGroup {
+	g := &shardGroup{replicas: make([]*replica, replicas)}
+	for r := range g.replicas {
+		g.replicas[r] = &replica{idx: r, scorer: newScorer(shard, r)}
+	}
+	return g
+}
+
+// pick selects a replica, excluding index avoid (pass -1 to allow all).
+// With one candidate it is returned directly; with more, two distinct
+// candidates are drawn from the rotating cursor and the less-loaded one
+// wins (the rotating first candidate on ties).
+func (g *shardGroup) pick(avoid int) *replica {
+	cands := g.replicas
+	if avoid >= 0 && len(cands) > 1 {
+		filtered := make([]*replica, 0, len(cands)-1)
+		for _, r := range cands {
+			if r.idx != avoid {
+				filtered = append(filtered, r)
+			}
+		}
+		cands = filtered
+	}
+	if len(cands) == 1 {
+		return cands[0]
+	}
+	n := g.cursor.Add(1)
+	l := uint64(len(cands))
+	i := n % l
+	stride := 1 + (n/l)%(l-1)
+	j := (i + stride) % l
+	a, b := cands[i], cands[j]
+	if b.inflight.Load() < a.inflight.Load() {
+		return b
+	}
+	return a
+}

@@ -1,0 +1,263 @@
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"columnsgd/internal/model"
+	"columnsgd/internal/serve"
+	"columnsgd/internal/vec"
+)
+
+// repScorer is a per-replica controllable scorer for hedging tests: it
+// records calls and cancellations, announces each call start on started,
+// and holds the call until its release channel yields a token (or the
+// call's context is cancelled — which is how a hedging loser dies).
+type repScorer struct {
+	idx       int
+	inner     serve.LocalScorer
+	started   chan int
+	release   chan struct{}
+	calls     atomic.Int64
+	cancelled atomic.Int64
+	// groupCalls, when set, fails the group's first call regardless of
+	// which replica got it — lets failover tests stay routing-agnostic.
+	groupCalls *atomic.Int64
+}
+
+func (r *repScorer) PartialStats(ctx context.Context, req serve.ShardRequest) ([]float64, error) {
+	r.calls.Add(1)
+	if r.started != nil {
+		r.started <- r.idx
+	}
+	if r.release != nil {
+		select {
+		case <-r.release:
+		case <-ctx.Done():
+			r.cancelled.Add(1)
+			return nil, ctx.Err()
+		}
+	}
+	if r.groupCalls != nil && r.groupCalls.Add(1) == 1 {
+		return nil, errors.New("injected replica failure")
+	}
+	return r.inner.PartialStats(ctx, req)
+}
+
+// hedgeHarness is a 1-shard, 2-replica server on a fake clock with
+// MaxBatch 1 (no batcher timer), so the only timer the clock ever sees
+// is the hedge timer.
+type hedgeHarness struct {
+	fc   *fakeClock
+	s    *serve.Server
+	reps [2]*repScorer
+}
+
+func newHedgeHarness(t *testing.T, hedgeAfter time.Duration, groupCalls *atomic.Int64) *hedgeHarness {
+	t.Helper()
+	mdl, err := model.New("lr", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &hedgeHarness{fc: newFakeClock()}
+	started := make(chan int, 8)
+	for i := range h.reps {
+		h.reps[i] = &repScorer{
+			idx:        i,
+			inner:      serve.LocalScorer{Model: mdl},
+			started:    started,
+			release:    make(chan struct{}, 8),
+			groupCalls: groupCalls,
+		}
+	}
+	h.s = newTestServer(t, serve.Options{
+		ModelName:    "lr",
+		Shards:       1,
+		Replicas:     2,
+		HedgeAfter:   hedgeAfter,
+		MaxBatch:     1,
+		MaxWait:      time.Hour,
+		ShardTimeout: time.Hour,
+		Clock:        h.fc,
+		NewReplica:   func(shard, rep int) serve.Scorer { return h.reps[rep] },
+	})
+	if _, err := h.s.Install([][]float64{{1, 2, 3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func (h *hedgeHarness) predictAsync() chan error {
+	res := make(chan error, 1)
+	go func() {
+		_, err := h.s.Predict(context.Background(), vec.Sparse{Indices: []int32{1}, Values: []float64{1}})
+		res <- err
+	}()
+	return res
+}
+
+func (h *hedgeHarness) waitStart(t *testing.T) int {
+	t.Helper()
+	select {
+	case idx := <-h.reps[0].started:
+		return idx
+	case <-time.After(10 * time.Second):
+		t.Fatal("no replica call started")
+		return -1
+	}
+}
+
+// TestHedgeFiresExactlyAtDelay pins the hedge trigger to injected time:
+// one nanosecond short of the configured delay no second call exists;
+// crossing the deadline launches it on the other replica, whose answer
+// wins and cancels the stalled primary. Table-driven, no sleeps gate
+// the pass path.
+func TestHedgeFiresExactlyAtDelay(t *testing.T) {
+	for _, delay := range []time.Duration{500 * time.Microsecond, 3 * time.Millisecond, 2 * time.Second} {
+		t.Run(delay.String(), func(t *testing.T) {
+			h := newHedgeHarness(t, delay, nil)
+			res := h.predictAsync()
+			primary := h.waitStart(t)
+			waitUntil(t, "hedge timer armed", func() bool { return h.fc.Waiters() == 1 })
+
+			h.fc.Advance(delay - time.Nanosecond)
+			select {
+			case idx := <-h.reps[0].started:
+				t.Fatalf("hedge launched on replica %d before the deadline", idx)
+			case <-time.After(10 * time.Millisecond):
+				// Real time passed; injected time sits 1ns short. No hedge.
+			}
+			if got := h.s.Snapshot().Hedges; got != 0 {
+				t.Fatalf("hedges = %d before deadline, want 0", got)
+			}
+
+			h.fc.Advance(time.Nanosecond)
+			hedge := h.waitStart(t)
+			if hedge == primary {
+				t.Fatalf("hedge landed on the primary replica %d", primary)
+			}
+			h.reps[hedge].release <- struct{}{}
+			if err := <-res; err != nil {
+				t.Fatalf("predict: %v", err)
+			}
+			snap := h.s.Snapshot()
+			if snap.Hedges != 1 || snap.HedgeWins != 1 {
+				t.Fatalf("hedges=%d wins=%d, want 1/1", snap.Hedges, snap.HedgeWins)
+			}
+			// Winner-takes-all: the stalled primary's context is cancelled.
+			waitUntil(t, "loser cancellation", func() bool {
+				return h.reps[primary].cancelled.Load() == 1
+			})
+		})
+	}
+}
+
+// TestHedgePrimaryWinCancelsHedge covers the other race outcome: the
+// primary answers after the hedge launched, so the hedge is the loser —
+// cancelled, and not counted as a hedge win.
+func TestHedgePrimaryWinCancelsHedge(t *testing.T) {
+	const delay = time.Millisecond
+	h := newHedgeHarness(t, delay, nil)
+	res := h.predictAsync()
+	primary := h.waitStart(t)
+	waitUntil(t, "hedge timer armed", func() bool { return h.fc.Waiters() == 1 })
+
+	h.fc.Advance(delay)
+	hedge := h.waitStart(t)
+	h.reps[primary].release <- struct{}{}
+	if err := <-res; err != nil {
+		t.Fatalf("predict: %v", err)
+	}
+	snap := h.s.Snapshot()
+	if snap.Hedges != 1 || snap.HedgeWins != 0 {
+		t.Fatalf("hedges=%d wins=%d, want 1/0", snap.Hedges, snap.HedgeWins)
+	}
+	waitUntil(t, "hedge cancellation", func() bool {
+		return h.reps[hedge].cancelled.Load() == 1
+	})
+}
+
+// TestReplyBeforeHedgeDeadlineNeverHedges pins the absence case: a
+// replica that answers just before the hedge deadline must never spawn a
+// second call, even once injected time later crosses the deadline — the
+// timer dies with the completed attempt.
+func TestReplyBeforeHedgeDeadlineNeverHedges(t *testing.T) {
+	for _, delay := range []time.Duration{time.Millisecond, time.Minute} {
+		t.Run(delay.String(), func(t *testing.T) {
+			h := newHedgeHarness(t, delay, nil)
+			res := h.predictAsync()
+			primary := h.waitStart(t)
+			waitUntil(t, "hedge timer armed", func() bool { return h.fc.Waiters() == 1 })
+
+			h.fc.Advance(delay - time.Nanosecond) // one tick short of the hedge
+			h.reps[primary].release <- struct{}{}
+			if err := <-res; err != nil {
+				t.Fatalf("predict: %v", err)
+			}
+			if got := h.fc.Waiters(); got != 0 {
+				t.Fatalf("%d timers still armed after completion, want 0", got)
+			}
+			h.fc.Advance(time.Hour) // crossing the old deadline must be a no-op
+			time.Sleep(10 * time.Millisecond)
+			snap := h.s.Snapshot()
+			other := 1 - primary
+			if snap.Hedges != 0 || h.reps[other].calls.Load() != 0 {
+				t.Fatalf("hedges=%d otherCalls=%d after early reply, want 0/0",
+					snap.Hedges, h.reps[other].calls.Load())
+			}
+		})
+	}
+}
+
+// TestHedgeDisabledArmsNoTimer proves HedgeAfter 0 is inert: a stalled
+// primary never arms a timer and never fans out.
+func TestHedgeDisabledArmsNoTimer(t *testing.T) {
+	h := newHedgeHarness(t, 0, nil)
+	res := h.predictAsync()
+	primary := h.waitStart(t)
+	time.Sleep(10 * time.Millisecond)
+	if got := h.fc.Waiters(); got != 0 {
+		t.Fatalf("%d timers armed with hedging disabled, want 0", got)
+	}
+	h.reps[primary].release <- struct{}{}
+	if err := <-res; err != nil {
+		t.Fatalf("predict: %v", err)
+	}
+	if got := h.s.Snapshot().Hedges; got != 0 {
+		t.Fatalf("hedges = %d with hedging disabled, want 0", got)
+	}
+}
+
+// TestRetryFailsOverToOtherReplica pins replica failover on the retry
+// path: whichever replica takes the group's first call fails it, and the
+// retry must land on the other replica — each replica sees exactly one
+// call.
+func TestRetryFailsOverToOtherReplica(t *testing.T) {
+	var groupCalls atomic.Int64
+	h := newHedgeHarness(t, 0, &groupCalls)
+	for i := range h.reps {
+		h.reps[i].release = nil // run straight through
+	}
+	res := h.predictAsync()
+	first := h.waitStart(t)
+	second := h.waitStart(t)
+	if err := <-res; err != nil {
+		t.Fatalf("predict after failover: %v", err)
+	}
+	if second == first {
+		t.Fatalf("retry reused failed replica %d", first)
+	}
+	for i := range h.reps {
+		if got := h.reps[i].calls.Load(); got != 1 {
+			t.Fatalf("replica %d calls = %d, want 1", i, got)
+		}
+	}
+	snap := h.s.Snapshot()
+	if snap.ShardRetries != 1 || snap.ReplicaExhaustion != 0 || snap.Errors != 0 {
+		t.Fatalf("retries=%d exhaustion=%d errors=%d, want 1/0/0",
+			snap.ShardRetries, snap.ReplicaExhaustion, snap.Errors)
+	}
+}

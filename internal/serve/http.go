@@ -63,7 +63,7 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrNoModel), errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrOverloaded):
 		return http.StatusTooManyRequests
 	default:
 		return http.StatusInternalServerError

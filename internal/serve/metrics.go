@@ -6,24 +6,43 @@ import (
 	"columnsgd/internal/metrics"
 )
 
+// Latency phase names recorded in Metrics.Phases.
+const (
+	// PhaseQueue is enqueue-to-batch-dispatch (admission + batcher wait).
+	PhaseQueue = "queue"
+	// PhaseScore is batch-dispatch-to-aggregation (shard fan-out + sum).
+	PhaseScore = "score"
+)
+
 // Metrics is the serving subsystem's observability surface, built on the
 // shared internal/metrics primitives and reported on /metricz.
 type Metrics struct {
 	// Latency is the per-request queue-to-prediction latency in seconds.
 	Latency *metrics.Histogram
+	// Phases breaks latency into per-phase records (PhaseQueue,
+	// PhaseScore), each on the same bucket layout as Latency.
+	Phases *metrics.PhaseLatencies
 	// BatchSize is the micro-batch size distribution.
 	BatchSize *metrics.Histogram
 	// Fanout counts shard round-trips (messages) and their modeled
-	// payload bytes.
+	// payload bytes — hedged duplicates included.
 	Fanout metrics.Counter
 
 	// Requests counts successfully scored requests; Errors counts
 	// requests failed by shard errors; Rejected counts admission-queue
-	// rejections.
-	Requests, Errors, Rejected atomic.Int64
+	// rejections; Overloaded counts MaxInFlight budget fast-rejects.
+	Requests, Errors, Rejected, Overloaded atomic.Int64
 	// ShardRetries, ShardTimeouts, and ShardFailures count the shard
 	// robustness machinery's activations.
 	ShardRetries, ShardTimeouts, ShardFailures atomic.Int64
+	// Hedges counts hedged calls launched; HedgeWins counts hedges whose
+	// response beat the primary's.
+	Hedges, HedgeWins atomic.Int64
+	// ShardDeadlines counts shard calls that ultimately failed because
+	// the per-shard deadline expired (slow); ReplicaExhaustion counts
+	// calls that failed because every replica attempt errored (broken).
+	// The split keeps /metricz from conflating the two failure modes.
+	ShardDeadlines, ReplicaExhaustion atomic.Int64
 	// Reloads counts installed model versions; ReloadFailures counts
 	// rejected installs (the last good model kept serving).
 	Reloads, ReloadFailures atomic.Int64
@@ -32,8 +51,10 @@ type Metrics struct {
 // NewMetrics builds the registry: latency buckets 1µs–~5min, batch-size
 // buckets 1–~2k.
 func NewMetrics() *Metrics {
+	lat := metrics.ExpBuckets(1e-6, 1.5, 48)
 	return &Metrics{
-		Latency:   metrics.NewHistogram(metrics.ExpBuckets(1e-6, 1.5, 48)),
+		Latency:   metrics.NewHistogram(lat),
+		Phases:    metrics.NewPhaseLatencies(lat, PhaseQueue, PhaseScore),
 		BatchSize: metrics.NewHistogram(metrics.ExpBuckets(1, 1.3, 30)),
 	}
 }
@@ -47,12 +68,23 @@ type Snapshot struct {
 	Requests   int64 `json:"requests"`
 	Errors     int64 `json:"errors"`
 	Rejected   int64 `json:"rejected"`
+	Overloaded int64 `json:"overloaded"`
 	QueueDepth int   `json:"queue_depth"`
+
+	Replicas     int   `json:"replicas"`
+	InFlight     int64 `json:"in_flight"`
+	PeakInFlight int64 `json:"peak_in_flight"`
 
 	LatencyP50Micros  float64 `json:"latency_p50_us"`
 	LatencyP95Micros  float64 `json:"latency_p95_us"`
 	LatencyP99Micros  float64 `json:"latency_p99_us"`
+	LatencyP999Micros float64 `json:"latency_p999_us"`
 	LatencyMeanMicros float64 `json:"latency_mean_us"`
+
+	QueueP50Micros float64 `json:"queue_p50_us"`
+	QueueP99Micros float64 `json:"queue_p99_us"`
+	ScoreP50Micros float64 `json:"score_p50_us"`
+	ScoreP99Micros float64 `json:"score_p99_us"`
 
 	Batches   int64   `json:"batches"`
 	BatchP50  float64 `json:"batch_p50"`
@@ -66,6 +98,11 @@ type Snapshot struct {
 	ShardTimeouts int64 `json:"shard_timeouts"`
 	ShardFailures int64 `json:"shard_failures"`
 
+	Hedges            int64 `json:"hedges"`
+	HedgeWins         int64 `json:"hedge_wins"`
+	ShardDeadlines    int64 `json:"shard_deadlines"`
+	ReplicaExhaustion int64 `json:"replica_exhaustion"`
+
 	Reloads        int64 `json:"reloads"`
 	ReloadFailures int64 `json:"reload_failures"`
 }
@@ -74,6 +111,9 @@ type Snapshot struct {
 func (s *Server) Snapshot() Snapshot {
 	m := s.met
 	msgs, bytes := m.Fanout.Snapshot()
+	inFlight, peak := s.InFlight()
+	queue := m.Phases.Phase(PhaseQueue)
+	score := m.Phases.Phase(PhaseScore)
 	return Snapshot{
 		ModelVersion: s.Version(),
 		Features:     s.Features(),
@@ -81,12 +121,23 @@ func (s *Server) Snapshot() Snapshot {
 		Requests:   m.Requests.Load(),
 		Errors:     m.Errors.Load(),
 		Rejected:   m.Rejected.Load(),
+		Overloaded: m.Overloaded.Load(),
 		QueueDepth: s.QueueDepth(),
+
+		Replicas:     s.opts.Replicas,
+		InFlight:     inFlight,
+		PeakInFlight: peak,
 
 		LatencyP50Micros:  m.Latency.Quantile(0.50) * 1e6,
 		LatencyP95Micros:  m.Latency.Quantile(0.95) * 1e6,
 		LatencyP99Micros:  m.Latency.Quantile(0.99) * 1e6,
+		LatencyP999Micros: m.Latency.Quantile(0.999) * 1e6,
 		LatencyMeanMicros: m.Latency.Mean() * 1e6,
+
+		QueueP50Micros: queue.Quantile(0.50) * 1e6,
+		QueueP99Micros: queue.Quantile(0.99) * 1e6,
+		ScoreP50Micros: score.Quantile(0.50) * 1e6,
+		ScoreP99Micros: score.Quantile(0.99) * 1e6,
 
 		Batches:   m.BatchSize.Count(),
 		BatchP50:  m.BatchSize.Quantile(0.50),
@@ -99,6 +150,11 @@ func (s *Server) Snapshot() Snapshot {
 		ShardRetries:  m.ShardRetries.Load(),
 		ShardTimeouts: m.ShardTimeouts.Load(),
 		ShardFailures: m.ShardFailures.Load(),
+
+		Hedges:            m.Hedges.Load(),
+		HedgeWins:         m.HedgeWins.Load(),
+		ShardDeadlines:    m.ShardDeadlines.Load(),
+		ReplicaExhaustion: m.ReplicaExhaustion.Load(),
 
 		Reloads:        m.Reloads.Load(),
 		ReloadFailures: m.ReloadFailures.Load(),

@@ -38,6 +38,21 @@ var (
 	ErrClosed = errors.New("serve: server closed")
 	// ErrQueueFull means the admission queue rejected the request.
 	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrOverloaded means the in-flight budget (MaxInFlight) rejected the
+	// request at admission — a fast typed reject, not a timeout.
+	ErrOverloaded = errors.New("serve: overloaded")
+)
+
+// Errors classifying why a shard fan-out call ultimately failed. Both
+// wrap the underlying cause, so errors.Is still sees e.g.
+// context.DeadlineExceeded through ErrShardDeadline.
+var (
+	// ErrShardDeadline means the per-shard deadline expired on the final
+	// attempt: the shard was too slow, not broken.
+	ErrShardDeadline = errors.New("serve: shard deadline expired")
+	// ErrReplicasExhausted means every attempt failed with a non-deadline
+	// error: the shard group's replicas are broken, not slow.
+	ErrReplicasExhausted = errors.New("serve: shard replicas exhausted")
 )
 
 // Options configures a Server.
@@ -48,6 +63,21 @@ type Options struct {
 	ModelArg  int
 	// Shards is the number of column shards (default 4).
 	Shards int
+	// Replicas is the number of scorer replicas per column shard (default
+	// 1). Replicas are stateless — every call carries the pinned
+	// snapshot's shard block — so a shard group balances calls over its
+	// replicas (power-of-two-choices on in-flight count) and any replica
+	// returns value-identical statistics.
+	Replicas int
+	// HedgeAfter, when positive and Replicas > 1, fires a hedged call on a
+	// second replica if the first has not answered within the delay
+	// (measured on Clock); the first response wins and the loser is
+	// cancelled. Zero disables hedging.
+	HedgeAfter time.Duration
+	// MaxInFlight bounds requests admitted but not yet answered; beyond
+	// it Predict fast-rejects with ErrOverloaded instead of queueing into
+	// collapse. Zero disables the budget (QueueCap still bounds memory).
+	MaxInFlight int
 	// Scheme selects column partitioning: "range", "roundrobin" (default),
 	// or "hash" — same choices as training.
 	Scheme string
@@ -85,8 +115,13 @@ type Options struct {
 	// f32 request fields when this is "f32" (see ShardRequest).
 	Precision string
 	// NewScorer overrides the per-shard scorer (tests, remote shards).
-	// nil uses the in-process LocalScorer.
+	// nil uses the in-process LocalScorer. With Replicas > 1 it is called
+	// once per replica; use NewReplica to distinguish them.
 	NewScorer func(shard int) Scorer
+	// NewReplica overrides the per-replica scorer (chaos decorators,
+	// straggler injection). It takes precedence over NewScorer; nil falls
+	// back to NewScorer, then to the in-process LocalScorer.
+	NewReplica func(shard, replica int) Scorer
 	// Clock overrides the time source for the batcher's MaxWait timer
 	// and latency stamps (tests inject a fake clock; nil uses real time).
 	Clock Clock
@@ -98,6 +133,9 @@ func (o Options) normalized() Options {
 	}
 	if o.Shards <= 0 {
 		o.Shards = 4
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = 1
 	}
 	if o.Scheme == "" {
 		o.Scheme = "roundrobin"
@@ -162,14 +200,20 @@ type request struct {
 // Server is the ColumnServe frontend: admission queue, micro-batcher,
 // shard fan-out, and metrics.
 type Server struct {
-	opts    Options
-	codec   wire.Codec
-	mdl     model.Model
-	scorers []Scorer
-	met     *Metrics
+	opts   Options
+	codec  wire.Codec
+	mdl    model.Model
+	groups []*shardGroup
+	met    *Metrics
 
 	cur         atomic.Pointer[snapshot]
 	nextVersion atomic.Int64
+
+	// inflightReqs is the admission budget: requests admitted but not yet
+	// answered. peakInFlight records its high-water mark (the admission
+	// property tests pin it at MaxInFlight).
+	inflightReqs atomic.Int64
+	peakInFlight atomic.Int64
 
 	mu       sync.RWMutex // guards closed and queue close
 	closed   bool
@@ -211,17 +255,23 @@ func New(opts Options) (*Server, error) {
 		slots:    make(chan struct{}, opts.MaxConcurrent),
 		loopDone: make(chan struct{}),
 	}
-	s.scorers = make([]Scorer, opts.Shards)
 	var pool *par.Pool
-	for k := range s.scorers {
-		if opts.NewScorer != nil {
-			s.scorers[k] = opts.NewScorer(k)
-		} else {
+	newReplica := func(shard, rep int) Scorer {
+		switch {
+		case opts.NewReplica != nil:
+			return opts.NewReplica(shard, rep)
+		case opts.NewScorer != nil:
+			return opts.NewScorer(shard)
+		default:
 			if pool == nil {
 				pool = par.New(opts.Parallelism)
 			}
-			s.scorers[k] = LocalScorer{Model: mdl, Pool: pool}
+			return LocalScorer{Model: mdl, Pool: pool}
 		}
+	}
+	s.groups = make([]*shardGroup, opts.Shards)
+	for k := range s.groups {
+		s.groups[k] = newShardGroup(k, opts.Replicas, newReplica)
 	}
 	s.pool = pool
 	go s.batchLoop()
@@ -346,10 +396,14 @@ func (s *Server) Predict(ctx context.Context, row vec.Sparse) (Prediction, error
 	if s.cur.Load() == nil {
 		return Prediction{}, ErrNoModel
 	}
+	if err := s.admit(); err != nil {
+		return Prediction{}, err
+	}
 	req := &request{row: row, enq: s.opts.Clock.Now(), done: make(chan outcome, 1)}
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
+		s.release()
 		return Prediction{}, ErrClosed
 	}
 	select {
@@ -357,6 +411,7 @@ func (s *Server) Predict(ctx context.Context, row vec.Sparse) (Prediction, error
 		s.mu.RUnlock()
 	default:
 		s.mu.RUnlock()
+		s.release()
 		s.met.Rejected.Add(1)
 		return Prediction{}, ErrQueueFull
 	}
@@ -366,6 +421,46 @@ func (s *Server) Predict(ctx context.Context, row vec.Sparse) (Prediction, error
 	case <-ctx.Done():
 		return Prediction{}, ctx.Err()
 	}
+}
+
+// admit charges the in-flight budget. The budget frees when the request's
+// outcome is delivered (deliver), not when Predict returns — a caller
+// abandoning a queued request via its context does not free capacity the
+// server is still spending.
+func (s *Server) admit() error {
+	if s.opts.MaxInFlight <= 0 {
+		return nil
+	}
+	n := s.inflightReqs.Add(1)
+	if n > int64(s.opts.MaxInFlight) {
+		s.inflightReqs.Add(-1)
+		s.met.Overloaded.Add(1)
+		return ErrOverloaded
+	}
+	for {
+		peak := s.peakInFlight.Load()
+		if n <= peak || s.peakInFlight.CompareAndSwap(peak, n) {
+			return nil
+		}
+	}
+}
+
+func (s *Server) release() {
+	if s.opts.MaxInFlight > 0 {
+		s.inflightReqs.Add(-1)
+	}
+}
+
+// deliver hands a request its outcome and frees its admission slot.
+func (s *Server) deliver(req *request, out outcome) {
+	req.done <- out
+	s.release()
+}
+
+// InFlight returns the current and peak admitted-but-unanswered request
+// counts (both 0 unless MaxInFlight is set).
+func (s *Server) InFlight() (cur, peak int64) {
+	return s.inflightReqs.Load(), s.peakInFlight.Load()
 }
 
 // batchLoop is the micro-batcher: it holds the first request of a batch
@@ -415,6 +510,10 @@ func (s *Server) scoreBatch(batch []*request) {
 		return
 	}
 	s.met.BatchSize.Observe(float64(len(batch)))
+	start := s.opts.Clock.Now()
+	for _, req := range batch {
+		s.met.Phases.Observe(PhaseQueue, start.Sub(req.enq).Seconds())
+	}
 
 	// Column-split once per batch: shard k sees every row re-indexed to
 	// its local coordinate space (the serving analogue of Algorithm 4).
@@ -494,53 +593,140 @@ func (s *Server) scoreBatch(batch []*request) {
 	}
 
 	now := s.opts.Clock.Now()
+	s.met.Phases.Observe(PhaseScore, now.Sub(start).Seconds())
 	for i, req := range batch {
 		st := agg[i*spp : (i+1)*spp]
 		s.met.Requests.Add(1)
 		s.met.Latency.Observe(now.Sub(req.enq).Seconds())
-		req.done <- outcome{pred: Prediction{
+		s.deliver(req, outcome{pred: Prediction{
 			Label:   s.mdl.Predict(st),
 			Margin:  st[0],
 			Version: snap.version,
-		}}
+		}})
 	}
 }
 
 func (s *Server) fail(batch []*request, err error) {
 	for _, req := range batch {
 		s.met.Errors.Add(1)
-		req.done <- outcome{err: err}
+		s.deliver(req, outcome{err: err})
 	}
 }
 
-// callShard invokes one shard scorer with a per-call timeout and a single
-// retry: a transient shard failure costs one extra round-trip, not the
-// whole batch. The attempt/deadline loop is the training driver's
+// callShard invokes one shard group with a per-call timeout and retries:
+// a transient replica failure costs one extra round-trip, not the whole
+// batch. The attempt/deadline loop is the training driver's
 // driver.Policy, so serving and training share one timeout/retry
 // implementation (a timed-out attempt's goroutine is abandoned — the
 // buffered result channel inside Policy keeps it from racing a retry).
+// With replicas, each retry avoids the replica it last tried, so a dead
+// replica fails over instead of being hammered; with hedging, each
+// attempt may fan out to a second replica (see callReplicas).
+//
+// The final error distinguishes slow from broken: deadline expiry on the
+// last attempt wraps ErrShardDeadline (errors.Is still sees
+// context.DeadlineExceeded through it); anything else wraps
+// ErrReplicasExhausted. The two land on separate /metricz counters.
 func (s *Server) callShard(req ShardRequest) ([]float64, error) {
-	k := req.Shard
+	g := s.groups[req.Shard]
 	reqBytes := s.shardRequestBytes(req)
+	attempts := 2
+	if len(g.replicas) > attempts {
+		attempts = len(g.replicas)
+	}
+	var last atomic.Int64
+	last.Store(-1)
 	p := driver.Policy{
-		Attempts:  2,
+		Attempts:  attempts,
 		Timeout:   s.opts.ShardTimeout,
 		OnRetry:   func(error) { s.met.ShardRetries.Add(1) },
 		OnTimeout: func() { s.met.ShardTimeouts.Add(1) },
 	}
 	v, err := p.Do(func(ctx context.Context) (interface{}, error) {
-		stats, err := s.scorers[k].PartialStats(ctx, req)
-		if err != nil {
-			return nil, err
-		}
-		return stats, nil
+		return s.callReplicas(ctx, g, &last, req, reqBytes)
 	})
 	if err != nil {
-		return nil, err
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.met.ShardDeadlines.Add(1)
+			return nil, fmt.Errorf("%w: %w", ErrShardDeadline, err)
+		}
+		s.met.ReplicaExhaustion.Add(1)
+		return nil, fmt.Errorf("%w: %w", ErrReplicasExhausted, err)
 	}
 	stats := v.([]float64)
 	s.met.Fanout.Add(reqBytes + s.shardReplyBytes(stats))
 	return stats, nil
+}
+
+// callReplicas runs one Policy attempt against a shard group: launch on
+// a balancer-picked replica (avoiding the previous attempt's pick, so
+// retries fail over), arm the hedge timer on the injected Clock, and if
+// it fires before the primary answers, launch the same call on a second
+// replica. First success wins and cancels the loser; an attempt fails
+// only when every launched call has failed (or the attempt deadline
+// expires). last records the most recent pick atomically because a
+// timed-out attempt's goroutine may outlive its attempt and race the
+// retry.
+func (s *Server) callReplicas(ctx context.Context, g *shardGroup, last *atomic.Int64, req ShardRequest, reqBytes int64) ([]float64, error) {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type result struct {
+		stats []float64
+		err   error
+		rep   int
+	}
+	results := make(chan result, 2)
+	launch := func(r *replica) {
+		r.inflight.Add(1)
+		go func() {
+			stats, err := r.scorer.PartialStats(cctx, req)
+			r.inflight.Add(-1)
+			results <- result{stats, err, r.idx}
+		}()
+	}
+	primary := g.pick(int(last.Load()))
+	last.Store(int64(primary.idx))
+	launch(primary)
+	outstanding := 1
+
+	var hedgeC <-chan time.Time
+	if s.opts.HedgeAfter > 0 && len(g.replicas) > 1 {
+		t := s.opts.Clock.NewTimer(s.opts.HedgeAfter)
+		defer t.Stop()
+		hedgeC = t.C()
+	}
+	var firstErr error
+	hedged := false
+	for {
+		select {
+		case r := <-results:
+			outstanding--
+			if r.err == nil {
+				cancel() // loser, if any, stops scoring
+				if hedged && r.rep != primary.idx {
+					s.met.HedgeWins.Add(1)
+				}
+				return r.stats, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if outstanding == 0 {
+				return nil, firstErr
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			hedged = true
+			h := g.pick(primary.idx)
+			last.Store(int64(h.idx))
+			s.met.Hedges.Add(1)
+			s.met.Fanout.Add(reqBytes) // the duplicated request costs real bytes
+			launch(h)
+			outstanding++
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
 }
 
 // shardRequestBytes models one shard call's request payload under the

@@ -22,6 +22,21 @@ type ServeConfig struct {
 	// Shards is the number of column shards predictions fan out over
 	// (default 4).
 	Shards int
+	// Replicas is the number of stateless scorer replicas per column
+	// shard (default 1). A shard group balances calls over its replicas
+	// (power-of-two-choices on in-flight count); any replica returns
+	// identical results, so a dead replica fails over without changing a
+	// prediction.
+	Replicas int
+	// HedgeAfter, when positive and Replicas > 1, fires each shard call
+	// on a second replica if the first has not answered within the delay;
+	// the first response wins and the loser is cancelled. Zero disables
+	// hedging.
+	HedgeAfter time.Duration
+	// MaxInFlight bounds requests admitted but not yet answered; beyond
+	// it Predict fast-rejects with ErrOverloaded instead of queueing into
+	// collapse. Zero disables the budget.
+	MaxInFlight int
 	// MaxBatch caps a micro-batch (default 64).
 	MaxBatch int
 	// Parallelism sizes the deterministic compute pool the shard scorers
@@ -51,6 +66,11 @@ type ServeConfig struct {
 	// Shards reassociates the per-shard partial sums at ulp scale.
 	Precision string
 }
+
+// ErrOverloaded is the typed fast-reject Predict returns when
+// ServeConfig.MaxInFlight is saturated; callers should shed or back off
+// rather than retry immediately.
+var ErrOverloaded = serve.ErrOverloaded
 
 // Prediction is one served prediction.
 type Prediction struct {
@@ -90,6 +110,9 @@ func NewServer(cfg ServeConfig) (*Server, error) {
 		ModelName:     string(kind),
 		ModelArg:      arg,
 		Shards:        cfg.Shards,
+		Replicas:      cfg.Replicas,
+		HedgeAfter:    cfg.HedgeAfter,
+		MaxInFlight:   cfg.MaxInFlight,
 		MaxBatch:      cfg.MaxBatch,
 		MaxWait:       cfg.MaxWait,
 		QueueCap:      cfg.QueueCap,
