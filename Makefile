@@ -11,10 +11,12 @@ build:
 # test runs vet and the formatting gate first and includes the race
 # detector: the chaos harness exercises concurrent fault paths that only
 # -race can vouch for. The cover gate rides along so a codec change
-# cannot silently shed tests.
+# cannot silently shed tests. -shuffle=on randomizes test order within
+# each package so hidden inter-test state dependencies fail loudly (a
+# failure prints the shuffle seed to replay with -shuffle=<seed>).
 test: vet fmt cover
-	$(GO) test ./...
-	$(GO) test -race ./...
+	$(GO) test -shuffle=on ./...
+	$(GO) test -race -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
@@ -64,20 +66,25 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzZeroCopyDecode -fuzztime=10s ./internal/wire/
 	$(GO) test -run=^$$ -fuzz=FuzzStalenessClock -fuzztime=10s ./internal/ssp/
 	$(GO) test -run=^$$ -fuzz=FuzzAdmission -fuzztime=10s ./internal/serve/
+	$(GO) test -run=^$$ -fuzz=FuzzMigrationPlan -fuzztime=10s ./internal/membership/
 
 # cover reports statement coverage everywhere and enforces floors on
 # internal/wire — the one package whose bugs corrupt bytes silently
 # instead of failing loudly — and internal/vec, the numeric kernels both
 # precisions' hot paths stand on; no floored package's tests may quietly
 # shrink — and internal/serve, whose replica/hedging/admission machinery
-# is all concurrency and failure paths.
+# is all concurrency and failure paths — and internal/driver +
+# internal/ssp, the retry/exclusive fan-out and bounded-staleness
+# runtimes every elastic rebalance barrier composes with.
 WIRE_COVER_FLOOR := 70
 VEC_COVER_FLOOR := 80
 SERVE_COVER_FLOOR := 75
+DRIVER_COVER_FLOOR := 70
+SSP_COVER_FLOOR := 70
 cover:
 	@$(GO) test -cover ./... | tee cover.txt
 	@status=0; \
-	for pf in "internal/wire:$(WIRE_COVER_FLOOR)" "internal/vec:$(VEC_COVER_FLOOR)" "internal/serve:$(SERVE_COVER_FLOOR)"; do \
+	for pf in "internal/wire:$(WIRE_COVER_FLOOR)" "internal/vec:$(VEC_COVER_FLOOR)" "internal/serve:$(SERVE_COVER_FLOOR)" "internal/driver:$(DRIVER_COVER_FLOOR)" "internal/ssp:$(SSP_COVER_FLOOR)"; do \
 		pkg=$${pf%%:*}; floor=$${pf##*:}; \
 		cov=$$(sed -n "s|^ok[[:space:]]*columnsgd/$$pkg[[:space:]].*coverage: \([0-9.]*\)%.*|\1|p" cover.txt); \
 		if [ -z "$$cov" ]; then echo "cover: no coverage line for $$pkg"; status=1; continue; fi; \

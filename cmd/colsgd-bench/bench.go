@@ -54,6 +54,11 @@ type BenchResult struct {
 	P50Ns  float64 `json:"p50_ns,omitempty"`
 	P99Ns  float64 `json:"p99_ns,omitempty"`
 	P999Ns float64 `json:"p999_ns,omitempty"`
+	// MigrationBytes is the model/state traffic a membership rebalance
+	// shipped, set only by the rebalance/* rows. The value is
+	// deterministic for a fixed workload, so benchdiff gates its growth
+	// with the same threshold as NsPerIter.
+	MigrationBytes int64 `json:"migration_bytes,omitempty"`
 }
 
 // BenchReport is the file `make bench` writes (BENCH_<rev>.json).
@@ -651,6 +656,42 @@ func bestLoadOf(replicas int, hedge time.Duration) (*loadResult, error) {
 	return best, nil
 }
 
+// benchRebalance measures a whole elastic training job at fleet size k
+// that loses a node at the round-2 barrier and regains a fresh one at
+// round 4 — the headline elasticity scenario. A pure join onto a
+// balanced fleet moves nothing (slot i already sits alone on node i),
+// so the leave is what makes the mid-job join actually migrate
+// partitions back. Reported: wall clock per job, plus the migration
+// bytes the two rebalances shipped — deterministic for a fixed
+// workload, so benchdiff can gate both.
+func benchRebalance(k int) (testing.BenchmarkResult, int64, error) {
+	w := diff.Workload{
+		N: 2048, Features: 2048, NNZPerRow: 32,
+		Model: "lr", Batch: 512, Workers: k, Seed: 5,
+		Opt:        opt.Config{Algo: "sgd", LR: 0.05},
+		Iters:      8,
+		Membership: fmt.Sprintf("leave@2:%d,join@4:%d", k-1, k),
+	}
+	var migBytes int64
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r, err := diff.RunColumnSGD(w, nil)
+			if err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+			if r.Rebalances != 2 || r.MigrationBytes <= 0 || r.Rounds != w.Iters {
+				benchErr = fmt.Errorf("rebalance P%d: rebalances=%d migration=%d rounds=%d",
+					k, r.Rebalances, r.MigrationBytes, r.Rounds)
+				b.FailNow()
+			}
+			migBytes = r.MigrationBytes
+		}
+	})
+	return res, migBytes, benchErr
+}
+
 // bestOf runs fn benchRounds times and keeps the fastest round.
 func bestOf(fn func() (testing.BenchmarkResult, error)) (testing.BenchmarkResult, error) {
 	var best testing.BenchmarkResult
@@ -796,6 +837,28 @@ func runBenchJSON(path, rev string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "[bench] %-24s %12.0f ns/p50 %12.0f ns/p99 %12.0f ns/p999\n",
 			lc.name, float64(res.P50), float64(res.P99), float64(res.P999))
 	}
+	for _, k := range []int{2, 4} {
+		name := fmt.Sprintf("rebalance/join/P%d", k)
+		var migBytes int64
+		res, err := bestOf(func() (testing.BenchmarkResult, error) {
+			r, mb, err := benchRebalance(k)
+			migBytes = mb
+			return r, err
+		})
+		if err != nil {
+			return fmt.Errorf("bench %s: %w", name, err)
+		}
+		report.Results = append(report.Results, BenchResult{
+			Name:           name,
+			Engine:         "columnsgd",
+			Model:          "lr",
+			P:              k,
+			NsPerIter:      float64(res.NsPerOp()),
+			MigrationBytes: migBytes,
+		})
+		fmt.Fprintf(stdout, "[bench] %-24s %12.0f ns/job  %10d migration bytes\n",
+			name, float64(res.NsPerOp()), migBytes)
+	}
 	gobBytes, err := codecFrameBytes(wire.Gob)
 	if err != nil {
 		return fmt.Errorf("bench codec: %w", err)
@@ -881,6 +944,20 @@ func runBenchDiff(oldPath, newPath string, threshold float64, stdout io.Writer) 
 		}
 		fmt.Fprintf(stdout, "  %-8s %-24s %12.0f -> %-12.0f ns/iter (%+6.1f%%)\n",
 			status, nr.Name, or.NsPerIter, nr.NsPerIter, (ratio-1)*100)
+		// Migration-bytes gate: the rebalance rows ship a deterministic
+		// amount of model/state per join, so growth past the threshold
+		// means migration got chattier, not noisier.
+		if or.MigrationBytes > 0 && nr.MigrationBytes > 0 {
+			mratio := float64(nr.MigrationBytes) / float64(or.MigrationBytes)
+			mstatus := "ok"
+			if mratio > 1+threshold {
+				mstatus = "REGRESSED"
+				regressions = append(regressions,
+					fmt.Sprintf("%s: migration %d -> %d bytes (%+.1f%%)", nr.Name, or.MigrationBytes, nr.MigrationBytes, (mratio-1)*100))
+			}
+			fmt.Fprintf(stdout, "  %-8s %-24s %12d -> %-12d migration bytes (%+6.1f%%)\n",
+				mstatus, nr.Name, or.MigrationBytes, nr.MigrationBytes, (mratio-1)*100)
+		}
 		// Quantile gate: serve-load rows also carry latency quantiles, and
 		// a regression can hide entirely in the tail (the p50 of a hedged
 		// run barely moves when hedging breaks). Same threshold on p99.

@@ -90,6 +90,58 @@ func TestBenchDiffFailsOnTailRegression(t *testing.T) {
 	}
 }
 
+func TestBenchDiffFailsOnMigrationBytesRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldP, newP := filepath.Join(dir, "old.json"), filepath.Join(dir, "new.json")
+	// Wall clock is flat; the rebalance just ships 2x the bytes — the
+	// shape of a migration path that started resending whole replicas.
+	writeReport(t, oldP, "aaa", []BenchResult{
+		{Name: "rebalance/join/P4", NsPerIter: 1000, MigrationBytes: 40_000},
+	})
+	writeReport(t, newP, "bbb", []BenchResult{
+		{Name: "rebalance/join/P4", NsPerIter: 1000, MigrationBytes: 80_000},
+	})
+	var sb strings.Builder
+	err := run([]string{"-benchdiff", "-old", oldP, "-new", newP}, &sb)
+	if err == nil {
+		t.Fatalf("2x migration-bytes regression passed:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "migration bytes") || !strings.Contains(sb.String(), "REGRESSED") {
+		t.Errorf("migration regression not flagged: %q", sb.String())
+	}
+	// Byte-free baselines (the pre-rebalance format) still diff fine.
+	sb.Reset()
+	writeReport(t, oldP, "aaa", []BenchResult{{Name: "rebalance/join/P4", NsPerIter: 1000}})
+	if err := run([]string{"-benchdiff", "-old", oldP, "-new", newP}, &sb); err != nil {
+		t.Fatalf("diff against byte-free baseline failed: %v\n%s", err, sb.String())
+	}
+}
+
+// TestBenchRebalanceRow pins the row itself: one join, deterministic
+// nonzero migration traffic, no dropped rounds — without waiting for the
+// full -benchjson suite.
+func TestBenchRebalanceRow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, k := range []int{2, 4} {
+		res, migBytes, err := benchRebalance(k)
+		if err != nil {
+			t.Fatalf("P%d: %v", k, err)
+		}
+		if res.N <= 0 || migBytes <= 0 {
+			t.Fatalf("P%d: N=%d migration=%d", k, res.N, migBytes)
+		}
+		_, again, err := benchRebalance(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again != migBytes {
+			t.Errorf("P%d migration bytes not deterministic: %d vs %d", k, migBytes, again)
+		}
+	}
+}
+
 func TestLoadGenSmoke(t *testing.T) {
 	var sb strings.Builder
 	err := run([]string{"-loadgen", "-requests", "48", "-interval", "100us",

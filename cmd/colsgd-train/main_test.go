@@ -106,6 +106,47 @@ func TestRunStaleness(t *testing.T) {
 	}
 }
 
+func TestRunMembership(t *testing.T) {
+	data := writeData(t)
+	assign := filepath.Join(t.TempDir(), "job.assign")
+	var sb strings.Builder
+	err := run([]string{
+		"-data", data, "-iters", "10", "-batch", "32", "-lr", "0.5",
+		"-workers", "4", "-membership", "leave@2:1,join@5:4",
+		"-save-assign", assign,
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`elastic membership "leave@2:1,join@5:4" seed 1`,
+		"rebalances: 2",
+		"shard assignment written",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Two events were applied, so the checkpoint must carry epoch 2 and
+	// the post-join placement (slot 1 moved off departed node 1).
+	m, err := columnsgd.LoadAssignment(assign, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch != 2 || len(m.Hosts) != 4 {
+		t.Fatalf("assignment %+v, want epoch 2 over 4 slots", m)
+	}
+	for slot, host := range m.Hosts {
+		if host == 1 {
+			t.Errorf("slot %d still hosted on departed node 1", slot)
+		}
+	}
+	if _, err := columnsgd.LoadAssignment(assign, 3); err == nil {
+		t.Error("stale assignment (epoch 2 < required 3) accepted")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{}, &sb); err == nil {
@@ -123,6 +164,12 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-data", data, "-model", "bogus"}, &sb); err == nil {
 		t.Error("bad model accepted")
+	}
+	if err := run([]string{"-data", data, "-membership", "explode@1:0"}, &sb); err == nil {
+		t.Error("malformed membership schedule accepted")
+	}
+	if err := run([]string{"-data", data, "-save-assign", "x.assign"}, &sb); err == nil {
+		t.Error("-save-assign without -membership accepted")
 	}
 }
 

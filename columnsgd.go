@@ -26,7 +26,9 @@ import (
 	"fmt"
 	"time"
 
+	"columnsgd/internal/cluster"
 	"columnsgd/internal/core"
+	"columnsgd/internal/membership"
 	"columnsgd/internal/metrics"
 	"columnsgd/internal/model"
 	"columnsgd/internal/opt"
@@ -169,6 +171,17 @@ type Config struct {
 	// "wire-f32" to also halve statistics bytes — lossless under f32,
 	// since the values are already float32-representable.
 	Precision string
+
+	// Membership schedules elastic cluster-membership events, e.g.
+	// "leave@3:1,join@6:4,crash@9:0" — at the barrier before round 3,
+	// node 1 announces departure and its column partitions migrate to the
+	// remaining fleet; before round 6 node 4 joins and partitions
+	// rebalance onto it; before round 9 node 0 crashes (state lost, its
+	// partitions reinitialize from the seed on a survivor). Worker slots
+	// are logical and fixed, so graceful migrations are bit-identical to
+	// a fixed-membership run. Requires in-process workers (incompatible
+	// with WorkerAddrs) and is incompatible with Backup.
+	Membership string
 }
 
 func (c Config) normalized() (Config, error) {
@@ -206,6 +219,18 @@ func (c Config) normalized() (Config, error) {
 	case "", "f64", "f32":
 	default:
 		return c, fmt.Errorf("columnsgd: unknown Precision %q (want \"f64\" or \"f32\")", c.Precision)
+	}
+	if c.Membership != "" {
+		if len(c.WorkerAddrs) > 0 {
+			return c, fmt.Errorf("columnsgd: Membership needs in-process workers (WorkerAddrs fleets are operator-managed)")
+		}
+		sched, err := membership.Parse(c.Membership)
+		if err != nil {
+			return c, fmt.Errorf("columnsgd: %w", err)
+		}
+		if err := sched.Validate(c.Workers); err != nil {
+			return c, fmt.Errorf("columnsgd: %w", err)
+		}
 	}
 	return c, nil
 }
@@ -269,6 +294,7 @@ func (c Config) coreConfig() core.Config {
 		Staleness:          c.Staleness,
 		StalenessSeed:      c.StalenessSeed,
 		Precision:          c.Precision,
+		Membership:         c.Membership,
 	}
 }
 
@@ -293,6 +319,10 @@ type Result struct {
 	// LoadTime and TrainTime are the modeled cluster times for loading
 	// and for the SGD iterations.
 	LoadTime, TrainTime time.Duration
+	// Rebalances counts applied membership plans (zero unless
+	// Config.Membership scheduled events); MigrationBytes is the model
+	// and optimizer state those migrations shipped between nodes.
+	Rebalances, MigrationBytes int64
 
 	mdl    model.Model
 	params *model.Params
@@ -307,10 +337,16 @@ type Trainer struct {
 
 // newProvider starts the configured worker set: in-process workers, or
 // remote TCP workers when Config.WorkerAddrs is set, on the configured
-// statistics codec.
+// statistics codec. Elastic schedules (Config.Membership) get a
+// rehostable node pool instead of the fixed local fleet.
 func (c Config) newProvider() (core.Provider, error) {
 	if len(c.WorkerAddrs) > 0 {
 		return core.NewRemoteProviderCodec(c.WorkerAddrs, c.codec())
+	}
+	if c.Membership != "" {
+		return membership.NewPool(c.Workers, func(slot int) (*cluster.Service, error) {
+			return core.NewWorkerService(), nil
+		}, c.codec())
 	}
 	return core.NewLocalProviderCodec(c.Workers, c.codec())
 }
@@ -387,11 +423,13 @@ func (t *Trainer) Result() (*Result, error) {
 	}
 	tr := t.engine.Trace()
 	res := &Result{
-		FinalLoss: final,
-		CommBytes: tr.CommBytes(),
-		LoadTime:  tr.LoadCost,
-		mdl:       t.engine.Model(),
-		params:    params,
+		FinalLoss:      final,
+		CommBytes:      tr.CommBytes(),
+		LoadTime:       tr.LoadCost,
+		Rebalances:     tr.Rebalances,
+		MigrationBytes: tr.MigrationBytes,
+		mdl:            t.engine.Model(),
+		params:         params,
 	}
 	var elapsed time.Duration
 	for _, it := range tr.Iterations {

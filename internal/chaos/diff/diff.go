@@ -24,6 +24,7 @@ import (
 	"columnsgd/internal/cluster"
 	"columnsgd/internal/core"
 	"columnsgd/internal/dataset"
+	"columnsgd/internal/membership"
 	"columnsgd/internal/model"
 	"columnsgd/internal/opt"
 	"columnsgd/internal/rowsgd"
@@ -83,6 +84,13 @@ type Workload struct {
 	// land within a tolerance band of their f64 goldens and keep every
 	// determinism guarantee.
 	Precision string
+	// Membership schedules elastic cluster-membership events
+	// ("leave@3:1,join@6:4,crash@9:0"): slots migrate between nodes at
+	// round barriers while the job keeps running. Graceful events are
+	// value-neutral — the rebalance matrix asserts bit-identity to a
+	// fixed-membership golden — and crashes reinitialize the lost slot
+	// from the seed. Works on every engine and composes with chaos specs.
+	Membership string
 }
 
 // codec parses the workload's codec selection.
@@ -107,6 +115,13 @@ type Result struct {
 	Faults chaos.Snapshot
 	// Schedule is the injected-event log for replay output.
 	Schedule []string
+	// Rounds is the number of completed iterations in the trace — the
+	// rebalance matrix asserts it equals Iters (no dropped rounds).
+	Rounds int
+	// Rebalances counts applied membership plans; MigrationBytes is the
+	// model/state traffic those migrations shipped.
+	Rebalances     int64
+	MigrationBytes int64
 }
 
 // Defaults fills zero fields with the harness's standard small workload:
@@ -215,6 +230,15 @@ func RunColumnSGD(w Workload, spec *chaos.Spec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if w.Membership != "" {
+		pool, err := membership.NewPool(w.Workers, func(slot int) (*cluster.Service, error) {
+			return core.NewWorkerService(), nil
+		}, codec)
+		if err != nil {
+			return nil, err
+		}
+		return runColumnSGD(w, pool, spec)
+	}
 	local, err := core.NewLocalProviderCodec(w.Workers, codec)
 	if err != nil {
 		return nil, err
@@ -277,6 +301,7 @@ func runColumnSGD(w Workload, prov core.Provider, spec *chaos.Spec) (*Result, er
 		Staleness:          w.Staleness,
 		StalenessSeed:      w.StalenessSeed,
 		Precision:          w.Precision,
+		Membership:         w.Membership,
 	}
 	e, err := core.NewEngine(cfg, prov)
 	if err != nil {
@@ -300,6 +325,9 @@ func runColumnSGD(w Workload, prov core.Provider, spec *chaos.Spec) (*Result, er
 		res.Schedule = inj.Schedule()
 	}
 	res.Retries, res.Restarts = e.Retries(), e.Restarts()
+	tr := e.Trace()
+	res.Rounds = len(tr.Iterations)
+	res.Rebalances, res.MigrationBytes = tr.Rebalances, tr.MigrationBytes
 	if runErr != nil {
 		return res, runErr
 	}
@@ -315,25 +343,15 @@ func runColumnSGD(w Workload, prov core.Provider, spec *chaos.Spec) (*Result, er
 }
 
 // RunRowSGD trains one of the four RowSGD baselines over the channel
-// transport, behind a chaos injector when spec is non-nil.
+// transport, behind a chaos injector when spec is non-nil. Elastic
+// workloads (Membership set) run on a rehostable node pool instead of
+// the fixed local fleet, with the chaos injector interposed at the
+// provider level so fault links follow slots across migrations.
 func RunRowSGD(w Workload, sys rowsgd.System, spec *chaos.Spec) (*Result, error) {
 	w = w.Defaults()
 	codec, err := w.codec()
 	if err != nil {
 		return nil, err
-	}
-	local, err := cluster.NewLocalCodec(w.Workers, func(int) (*cluster.Service, error) {
-		return rowsgd.NewWorkerService(), nil
-	}, codec)
-	if err != nil {
-		return nil, err
-	}
-	clients := local.Clients()
-	var inj *chaos.Injector
-	if spec != nil {
-		inj = chaos.NewInjector(*spec)
-		inj.SetEnabled(false)
-		clients = inj.Wrap(clients)
 	}
 	cfg := rowsgd.Config{
 		System:        sys,
@@ -346,10 +364,42 @@ func RunRowSGD(w Workload, sys rowsgd.System, spec *chaos.Spec) (*Result, error)
 		Staleness:     w.Staleness,
 		StalenessSeed: w.StalenessSeed,
 		Precision:     w.Precision,
+		Membership:    w.Membership,
 	}
-	e, err := rowsgd.NewEngine(cfg, clients)
-	if err != nil {
-		return nil, err
+	var e *rowsgd.Engine
+	var inj *chaos.Injector
+	if w.Membership != "" {
+		pool, err := membership.NewPool(w.Workers, func(int) (*cluster.Service, error) {
+			return rowsgd.NewWorkerService(), nil
+		}, codec)
+		if err != nil {
+			return nil, err
+		}
+		var prov rowsgd.ElasticProvider = pool
+		if spec != nil {
+			inj = chaos.NewInjector(*spec)
+			inj.SetEnabled(false)
+			prov = chaos.NewProvider(pool, inj)
+		}
+		if e, err = rowsgd.NewElasticEngine(cfg, prov); err != nil {
+			return nil, err
+		}
+	} else {
+		local, err := cluster.NewLocalCodec(w.Workers, func(int) (*cluster.Service, error) {
+			return rowsgd.NewWorkerService(), nil
+		}, codec)
+		if err != nil {
+			return nil, err
+		}
+		clients := local.Clients()
+		if spec != nil {
+			inj = chaos.NewInjector(*spec)
+			inj.SetEnabled(false)
+			clients = inj.Wrap(clients)
+		}
+		if e, err = rowsgd.NewEngine(cfg, clients); err != nil {
+			return nil, err
+		}
 	}
 	ds, err := w.Dataset()
 	if err != nil {
@@ -369,6 +419,9 @@ func RunRowSGD(w Workload, sys rowsgd.System, spec *chaos.Spec) (*Result, error)
 		res.Schedule = inj.Schedule()
 	}
 	res.Retries, res.Restarts = e.Retries(), e.Restarts()
+	tr := e.Trace()
+	res.Rounds = len(tr.Iterations)
+	res.Rebalances, res.MigrationBytes = tr.Rebalances, tr.MigrationBytes
 	if runErr != nil {
 		return res, runErr
 	}

@@ -3,6 +3,7 @@ package chaos
 import (
 	"columnsgd/internal/cluster"
 	"columnsgd/internal/core"
+	"columnsgd/internal/membership"
 )
 
 // Provider decorates a core.Provider with chaos links. Restarting a
@@ -63,4 +64,31 @@ func (p *Provider) Fail(worker int) {
 	if f, ok := p.inner.(core.FailureInjector); ok {
 		f.Fail(worker)
 	}
+}
+
+// NodePool implements core.ElasticProvider when the inner provider is
+// elastic (nil otherwise). Fleet mutations pass straight through; a
+// Rehost additionally heals the slot's chaos link the way Restart does —
+// the slot's new host is a fresh service, so link-level crash state must
+// not survive the move (value-neutral faults like delay/dup/reorder keep
+// their deterministic schedules).
+func (p *Provider) NodePool() membership.NodePool {
+	ep, ok := p.inner.(core.ElasticProvider)
+	if !ok {
+		return nil
+	}
+	return &chaosNodePool{NodePool: ep.NodePool(), inj: p.inj}
+}
+
+type chaosNodePool struct {
+	membership.NodePool
+	inj *Injector
+}
+
+func (c *chaosNodePool) Rehost(slot, node int) error {
+	if err := c.NodePool.Rehost(slot, node); err != nil {
+		return err
+	}
+	c.inj.RestartLink(slot)
+	return nil
 }

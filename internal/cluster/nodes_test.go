@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"columnsgd/internal/wire"
+)
+
+// statefulService counts calls, so tests can observe whether a rehost
+// or restart produced a fresh (empty) service.
+func statefulService(worker int) (*Service, error) {
+	svc := NewService()
+	n := 0
+	svc.Register("echo", func(args interface{}) (interface{}, error) {
+		a := args.(*echoArgs)
+		n++
+		return &echoReply{Text: a.Text, Sum: n}, nil
+	})
+	_ = worker
+	return svc, nil
+}
+
+func callEcho(t *testing.T, c Client, text string) (*echoReply, error) {
+	t.Helper()
+	var rep echoReply
+	err := c.Call("echo", &echoArgs{Text: text}, &rep)
+	return &rep, err
+}
+
+func TestNodeSetInitialLayoutMatchesLocal(t *testing.T) {
+	ns, err := NewNodeSet(3, echoService, wire.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns.NumWorkers() != 3 {
+		t.Fatalf("NumWorkers = %d", ns.NumWorkers())
+	}
+	for i, c := range ns.Clients() {
+		var rep echoReply
+		if err := c.Call("echo", &echoArgs{Text: "hi", N: 10}, &rep); err != nil {
+			t.Fatalf("slot %d: %v", i, err)
+		}
+		if rep.Sum != 10+i {
+			t.Fatalf("slot %d: Sum = %d, want %d", i, rep.Sum, 10+i)
+		}
+		if ns.Host(i) != i {
+			t.Fatalf("slot %d hosted on node %d, want %d", i, ns.Host(i), i)
+		}
+	}
+}
+
+func TestNodeSetRehostSwapsClientInPlace(t *testing.T) {
+	ns, err := NewNodeSet(2, statefulService, wire.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := ns.Clients() // captured once, like the engines do
+	for i := 0; i < 3; i++ {
+		if _, err := callEcho(t, clients[1], "warm"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ns.AddNode(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Rehost(1, 7); err != nil {
+		t.Fatal(err)
+	}
+	if ns.Host(1) != 7 {
+		t.Fatalf("Host(1) = %d, want 7", ns.Host(1))
+	}
+	// The previously captured slice must observe the move: fresh service
+	// (counter reset) behind the same slice element.
+	rep, err := callEcho(t, clients[1], "moved")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sum != 1 {
+		t.Fatalf("rehosted service call count = %d, want 1 (fresh state)", rep.Sum)
+	}
+	// Old host can now be removed; removing the new host must fail.
+	if err := ns.RemoveNode(1); err != nil {
+		t.Fatalf("remove drained node 1: %v", err)
+	}
+	if err := ns.RemoveNode(7); err == nil {
+		t.Fatal("removing node 7 while it hosts slot 1 should fail")
+	}
+}
+
+func TestNodeSetCrashNodeDownsAllItsSlots(t *testing.T) {
+	ns, err := NewNodeSet(2, echoService, wire.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pile both slots on node 0.
+	if err := ns.Rehost(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.CrashNode(0); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range ns.Clients() {
+		if _, err := callEcho(t, c, "x"); !errors.Is(err, ErrWorkerDown) {
+			t.Fatalf("slot %d after node crash: err = %v, want ErrWorkerDown", i, err)
+		}
+	}
+	// Restart on a dead node must fail; rehosting to a live node heals.
+	if err := ns.Restart(0); err == nil {
+		t.Fatal("restart on crashed node should fail")
+	}
+	if err := ns.Rehost(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := callEcho(t, ns.Clients()[0], "x"); err != nil {
+		t.Fatalf("after rehost to live node: %v", err)
+	}
+}
+
+func TestNodeSetFailRestartIsPerSlot(t *testing.T) {
+	ns, err := NewNodeSet(2, statefulService, wire.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns.Fail(0)
+	if _, err := callEcho(t, ns.Clients()[0], "x"); !errors.Is(err, ErrWorkerDown) {
+		t.Fatalf("failed slot: err = %v, want ErrWorkerDown", err)
+	}
+	if _, err := callEcho(t, ns.Clients()[1], "x"); err != nil {
+		t.Fatalf("sibling slot on same fleet should still answer: %v", err)
+	}
+	if err := ns.Restart(0); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := callEcho(t, ns.Clients()[0], "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sum != 1 {
+		t.Fatalf("restarted service call count = %d, want 1 (fresh state)", rep.Sum)
+	}
+}
+
+func TestNodeSetRejectsBadFleetOps(t *testing.T) {
+	ns, err := NewNodeSet(2, echoService, wire.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		op   func() error
+		want string
+	}{
+		{"add live node", func() error { return ns.AddNode(0) }, "already present"},
+		{"remove unknown", func() error { return ns.RemoveNode(9) }, "unknown node"},
+		{"remove hosting", func() error { return ns.RemoveNode(1) }, "still hosting"},
+		{"crash unknown", func() error { return ns.CrashNode(9) }, "unknown node"},
+		{"rehost to unknown", func() error { return ns.Rehost(0, 9) }, "unknown node"},
+		{"rehost bad slot", func() error { return ns.Rehost(5, 0) }, "no slot"},
+	}
+	for _, tc := range cases {
+		err := tc.op()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+	if _, err := NewNodeSet(0, echoService, wire.Default); err == nil {
+		t.Error("NewNodeSet(0) should fail")
+	}
+}
+
+func TestNodeSetTrafficCounts(t *testing.T) {
+	ns, err := NewNodeSet(2, echoService, wire.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := callEcho(t, ns.Clients()[0], "x"); err != nil {
+		t.Fatal(err)
+	}
+	msgs, bytes := ns.TotalTraffic()
+	if msgs != 2 || bytes <= 0 {
+		t.Fatalf("TotalTraffic = (%d, %d), want 2 msgs and >0 bytes", msgs, bytes)
+	}
+	c := ns.Clients()[0]
+	if c.Messages() != 2 || c.Bytes() <= 0 {
+		t.Fatalf("client counters = (%d, %d)", c.Messages(), c.Bytes())
+	}
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"columnsgd/internal/cluster"
+	"columnsgd/internal/membership"
+	"columnsgd/internal/wire"
+)
+
+func newElasticEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	pool, err := membership.NewPool(cfg.Workers, func(int) (*cluster.Service, error) {
+		return NewWorkerService(), nil
+	}, wire.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(cfg, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestElasticBitIdenticalToFixed is the heart of the rebalance
+// guarantee at engine level: a run that gracefully loses a node and
+// regains a fresh one mid-training exports exactly the weights of a
+// fixed-membership run, because migration ships partition + optimizer
+// state losslessly and the slot schedule never changes.
+func TestElasticBitIdenticalToFixed(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"sgd", func(c *Config) {}},
+		{"adam", func(c *Config) { c.Opt.Algo = "adam"; c.Opt.LR = 0.1 }},
+		{"f32-momentum", func(c *Config) {
+			c.Precision = PrecisionF32
+			c.Opt.Algo = "momentum"
+			c.Opt.Momentum = 0.9
+		}},
+		{"pipeline", func(c *Config) { c.Pipeline = true }},
+		{"epoch-access", func(c *Config) { c.Access = "epoch" }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ds := testData(t, 96, 12, 5)
+			cfg := baseConfig(4)
+			tc.mut(&cfg)
+
+			golden, _ := newTestEngine(t, cfg)
+			if err := golden.Load(ds); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := golden.Run(8); err != nil {
+				t.Fatal(err)
+			}
+			want, err := golden.ExportModel()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			cfg.Membership = "leave@2:1,join@5:4"
+			e := newElasticEngine(t, cfg)
+			if err := e.Load(ds); err != nil {
+				t.Fatal(err)
+			}
+			tr, err := e.Run(8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := e.ExportModel()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.W, want.W) {
+				t.Fatalf("elastic run diverged from fixed-membership golden")
+			}
+			if len(tr.Iterations) != 8 {
+				t.Fatalf("elastic run recorded %d iterations, want 8 (dropped rounds)", len(tr.Iterations))
+			}
+			if tr.Rebalances != 2 {
+				t.Fatalf("Rebalances = %d, want 2", tr.Rebalances)
+			}
+			if tr.MigrationBytes <= 0 {
+				t.Fatalf("MigrationBytes = %d, want > 0", tr.MigrationBytes)
+			}
+		})
+	}
+}
+
+// TestElasticCrashRecovers exercises the crash path: state is lost, the
+// partition reinitializes from the seed on the new host, and training
+// still completes every round with finite losses.
+func TestElasticCrashRecovers(t *testing.T) {
+	ds := testData(t, 96, 12, 6)
+	cfg := baseConfig(4)
+	cfg.Membership = "crash@2:0,join@5:4"
+	e := newElasticEngine(t, cfg)
+	if err := e.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := e.Run(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Iterations) != 8 {
+		t.Fatalf("crash run recorded %d iterations, want 8", len(tr.Iterations))
+	}
+	for _, it := range tr.Iterations {
+		if math.IsNaN(it.Loss) || math.IsInf(it.Loss, 0) {
+			t.Fatalf("iteration %d loss = %v", it.Index, it.Loss)
+		}
+	}
+	if tr.Rebalances != 2 {
+		t.Fatalf("Rebalances = %d, want 2", tr.Rebalances)
+	}
+	if _, err := e.ExportModel(); err != nil {
+		t.Fatalf("export after crash recovery: %v", err)
+	}
+}
+
+// TestElasticSSPBitIdentical proves migration composes with bounded
+// staleness: an elastic SSP run matches a fixed-membership run split at
+// the same segment boundaries (the rebalance barrier is a
+// synchronization point either way; the migration itself must be
+// value-neutral).
+func TestElasticSSPBitIdentical(t *testing.T) {
+	ds := testData(t, 96, 12, 7)
+	cfg := baseConfig(4)
+	cfg.Staleness = 2
+	cfg.StalenessSeed = 3
+
+	golden, _ := newTestEngine(t, cfg)
+	if err := golden.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	// Same segmentation the membership schedule below induces.
+	for _, seg := range []int{2, 3, 3} {
+		if _, err := golden.Run(seg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := golden.ExportModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Membership = "leave@2:1,join@5:4"
+	e := newElasticEngine(t, cfg)
+	if err := e.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := e.Run(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.ExportModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.W, want.W) {
+		t.Fatalf("elastic SSP run diverged from fixed-membership segmented golden")
+	}
+	if len(tr.Iterations) != 8 {
+		t.Fatalf("elastic SSP recorded %d iterations, want 8", len(tr.Iterations))
+	}
+	if tr.Rebalances != 2 || tr.MigrationBytes <= 0 {
+		t.Fatalf("Rebalances=%d MigrationBytes=%d", tr.Rebalances, tr.MigrationBytes)
+	}
+}
+
+// TestElasticConfigErrors pins the config seams: membership without an
+// elastic provider, with Backup, and with malformed schedules.
+func TestElasticConfigErrors(t *testing.T) {
+	cfg := baseConfig(4)
+	cfg.Membership = "leave@2:1"
+	prov, err := NewLocalProvider(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine(cfg, prov); err == nil {
+		t.Fatal("Membership accepted a non-elastic provider")
+	}
+	bad := baseConfig(4)
+	bad.Membership = "leave@2:1"
+	bad.Backup = 1
+	if _, err := NewEngine(bad, prov); err == nil {
+		t.Fatal("Membership + Backup accepted")
+	}
+	malformed := baseConfig(4)
+	malformed.Membership = "explode@1:0"
+	if _, err := NewEngine(malformed, prov); err == nil {
+		t.Fatal("malformed schedule accepted")
+	}
+	// Removing the last node can never validate.
+	empty := baseConfig(1)
+	empty.Membership = "leave@1:0"
+	pool, err := membership.NewPool(1, func(int) (*cluster.Service, error) {
+		return NewWorkerService(), nil
+	}, wire.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine(empty, pool); err == nil {
+		t.Fatal("schedule draining the whole fleet accepted")
+	}
+}
+
+// TestElasticMissedEventRejected proves the guard: driving the engine
+// past an event round without letting Run apply it is an error, not a
+// silent skip.
+func TestElasticMissedEventRejected(t *testing.T) {
+	ds := testData(t, 48, 8, 8)
+	cfg := baseConfig(2)
+	cfg.Membership = "leave@1:0"
+	e := newElasticEngine(t, cfg)
+	if err := e.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	// Force the engine past round 1 without a rebalance.
+	e.iter = 3
+	if _, err := e.Run(1); err == nil {
+		t.Fatal("missed membership event not rejected")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"columnsgd/internal/costmodel"
 	"columnsgd/internal/dataset"
 	"columnsgd/internal/driver"
+	"columnsgd/internal/membership"
 	"columnsgd/internal/metrics"
 	"columnsgd/internal/model"
 	"columnsgd/internal/opt"
@@ -101,6 +102,16 @@ type Config struct {
 	// differ from f64 runs by bounded rounding, gated by the
 	// differential harness in precision_test.go.
 	Precision string
+	// Membership is an elastic-membership schedule ("leave@3:1,join@6:4"
+	// — see membership.Parse), applied at round barriers by Run. Requires
+	// an ElasticProvider (membership.NewPool). On each event round the
+	// master reconciles the slot→node assignment and migrates the
+	// affected column partitions live: a graceful leave ships the slot's
+	// model and optimizer state to the new host (bit-identical resume), a
+	// crash reinitializes the partition from the seed (§X recovery).
+	// Incompatible with Backup — the replica-group layout assumes the
+	// fixed fleet. Empty disables elasticity.
+	Membership string
 }
 
 // Precision values for Config.Precision.
@@ -173,6 +184,18 @@ func (c *Config) normalize() error {
 			return fmt.Errorf("core: model %s has no float32 kernels; Precision %q needs model.Kernel32", m.Name(), PrecisionF32)
 		}
 	}
+	if c.Membership != "" {
+		if c.Backup > 0 {
+			return fmt.Errorf("core: Membership and Backup are incompatible (replica groups assume the fixed fleet)")
+		}
+		sched, err := membership.Parse(c.Membership)
+		if err != nil {
+			return err
+		}
+		if err := sched.Validate(c.Workers); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -224,6 +247,16 @@ type Engine struct {
 	// every link and shift the deterministic per-link fault/traffic
 	// schedule relative to an unpipelined run.
 	lastStep bool
+
+	// Elastic membership (nil/zero when Config.Membership is empty):
+	// ctl reconciles the slot→node assignment against the schedule, pool
+	// mutates the fleet and rehosts slots, and migPhases/migExtra hold a
+	// completed migration's priced cost until the next iteration's trace
+	// record claims it.
+	ctl       *membership.Controller
+	pool      membership.NodePool
+	migPhases []simnet.Phase
+	migExtra  time.Duration
 }
 
 // Retries returns how many task-level retries (transient call failures
@@ -271,6 +304,22 @@ func NewEngine(cfg Config, prov Provider) (*Engine, error) {
 	for i := range e.live {
 		e.live[i] = true
 	}
+	if cfg.Membership != "" {
+		ep, ok := prov.(ElasticProvider)
+		if !ok || ep.NodePool() == nil {
+			return nil, fmt.Errorf("core: Membership needs an elastic provider (see membership.NewPool)")
+		}
+		sched, err := membership.Parse(cfg.Membership)
+		if err != nil {
+			return nil, err
+		}
+		e.pool = ep.NodePool()
+		ctl, err := membership.NewController(cfg.Workers, sched, e.pool)
+		if err != nil {
+			return nil, err
+		}
+		e.ctl = ctl
+	}
 	// Group layout: with S-backup, workers are divided into K/(S+1)
 	// groups; group g's workers each hold partitions g(S+1)..g(S+1)+S.
 	e.partOwners = make([][]int, cfg.Workers)
@@ -292,6 +341,16 @@ func (e *Engine) Trace() *metrics.Trace { return e.trace }
 
 // Scheme returns the column partitioning in use (nil before Load).
 func (e *Engine) Scheme() partition.Scheme { return e.scheme }
+
+// ShardAssignment reports the current slot→node placement and the
+// membership epoch (events applied so far). ok is false on
+// fixed-membership engines, which have no controller to ask.
+func (e *Engine) ShardAssignment() (hosts []int, epoch int64, ok bool) {
+	if e.ctl == nil {
+		return nil, 0, false
+	}
+	return e.ctl.Assignment(), e.ctl.Epoch(), true
+}
 
 // Iter returns the number of completed iterations.
 func (e *Engine) Iter() int64 { return e.iter }
@@ -568,6 +627,9 @@ func (e *Engine) Step() (IterStats, error) {
 	if e.cfg.Staleness > 0 {
 		return IterStats{}, fmt.Errorf("core: Step is BSP-only; Run drives bounded-staleness execution")
 	}
+	if err := e.maybeRebalance(); err != nil {
+		return IterStats{}, err
+	}
 	wallStart := time.Now()
 	straggler := e.stragglerFor()
 
@@ -580,7 +642,9 @@ func (e *Engine) Step() (IterStats, error) {
 		statsReplies []StatsReply
 		statsTraffic *driver.Traffic
 	)
-	var extraRecovery time.Duration
+	// A migration completed at this round barrier charges its modeled
+	// reload/transfer time to this iteration, like recovery time.
+	extraRecovery := e.takeMigrationExtra()
 	if pend := e.takePending(); pend != nil {
 		extra, err := pend.p.Await()
 		if err != nil {
@@ -691,10 +755,10 @@ func (e *Engine) Step() (IterStats, error) {
 		// structure) plus update phase (max over live workers).
 		Compute: statsCompute + updCompute + extraRecovery,
 	}
-	phases := []simnet.Phase{
+	phases := append(e.takeMigrationPhases(),
 		statsTraffic.Phase("gather-stats", 1),
 		updTraffic.Phase("bcast-stats", 1),
-	}
+	)
 	net, err := costmodel.NetworkTime(costmodel.Measured(phases), e.cfg.Net)
 	if err != nil {
 		return IterStats{}, err
@@ -816,11 +880,17 @@ func (e *Engine) recoverWorker(w int, c driver.Conn) error {
 	if err := e.prov.Restart(w); err != nil {
 		return err
 	}
+	return e.reloadWorker(w, c, nil)
+}
+
+// reloadWorker rebuilds worker w's state through the held Conn: init,
+// re-dispatch of its partitions from whichever source the job loaded,
+// loadDone, and — when a migration frame is present — an exact state
+// import that overwrites the freshly-initialized partitions.
+func (e *Engine) reloadWorker(w int, c driver.Conn, frame []byte) error {
 	if err := c.Call(MethodInit, e.initArgs(w), nil); err != nil {
 		return fmt.Errorf("core: init worker %d: %w", w, err)
 	}
-	// Re-dispatch only this worker's partitions, from whichever source
-	// the job loaded.
 	parts := make(map[int]bool, len(e.workerParts[w]))
 	for _, p := range e.workerParts[w] {
 		parts[p] = true
@@ -856,6 +926,11 @@ func (e *Engine) recoverWorker(w int, c driver.Conn) error {
 	// Fig. 13(b), at their scale), charged to the call that found the
 	// worker down.
 	c.AddExtra(e.cfg.Net.LoadTime(m1-m0, b1-b0, 1, e.totalNNZ/int64(e.cfg.Workers)))
+	if frame != nil {
+		if err := c.Call(MethodImportState, &ImportStateArgs{Frame: frame}, nil); err != nil {
+			return fmt.Errorf("core: import migrated state to worker %d: %w", w, err)
+		}
+	}
 	return nil
 }
 
@@ -866,7 +941,29 @@ func (e *Engine) recoverWorker(w int, c driver.Conn) error {
 // barriered Steps.
 func (e *Engine) Run(iters int) (*metrics.Trace, error) {
 	if e.cfg.Staleness > 0 {
-		return e.runSSP(iters)
+		if e.ctl == nil {
+			return e.runSSP(iters)
+		}
+		// Elastic SSP: split the run at membership-event rounds. Each
+		// segment free-runs under the staleness bound; the rebalance is a
+		// true barrier between segments, so a mid-job join/leave composes
+		// with SSP without any worker observing a half-moved slot.
+		end := e.iter + int64(iters)
+		for e.iter < end {
+			if err := e.maybeRebalance(); err != nil {
+				return e.trace, err
+			}
+			seg := int(end - e.iter)
+			if next := e.ctl.NextRound(); next >= 0 && int64(next) < end {
+				if s := next - int(e.iter); s < seg {
+					seg = s
+				}
+			}
+			if _, err := e.runSSP(seg); err != nil {
+				return e.trace, err
+			}
+		}
+		return e.trace, nil
 	}
 	for i := 0; i < iters; i++ {
 		e.lastStep = i == iters-1

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"columnsgd/internal/driver"
+	"columnsgd/internal/membership"
+	"columnsgd/internal/model"
+	"columnsgd/internal/simnet"
+	"columnsgd/internal/wire"
+)
+
+// Live column-partition migration. A graceful membership change ships
+// the departing worker's whole state — every partition's parameters
+// plus optimizer state — as one wire frame:
+//
+//	uvarint frameVersion (1)
+//	uvarint nParts
+//	per part:
+//	  uvarint partition index
+//	  uvarint paramRows, uvarint width
+//	  paramRows × vec          (wire.AppendVec, F64)
+//	  uvarint optBlocks, varint optSteps
+//	  optBlocks × paramRows × vec
+//
+// Values always travel as f64: exact for f64 workers, and exact for f32
+// workers too (widen on export, narrow on import — a lossless round
+// trip), which is what lets the rebalance harness demand bit-identity
+// to a fixed-membership run at both precisions.
+const migrateFrameVersion = 1
+
+// exportState serializes the worker's migratable state.
+func (w *Worker) exportState() (*ExportStateReply, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.parts) == 0 {
+		return nil, fmt.Errorf("core: exportState before init")
+	}
+	buf := wire.AppendUvarint(nil, migrateFrameVersion)
+	buf = wire.AppendUvarint(buf, uint64(len(w.parts)))
+	for _, ps := range w.parts {
+		var params *model.Params
+		var blocks []*model.Params
+		var steps int
+		if w.prec == PrecisionF32 {
+			params = ps.params32.Widen()
+			b32, s := ps.opt32.Snapshot()
+			steps = s
+			for _, b := range b32 {
+				blocks = append(blocks, b.Widen())
+			}
+		} else {
+			params = ps.params
+			blocks, steps = ps.opt.Snapshot()
+		}
+		buf = wire.AppendUvarint(buf, uint64(ps.index))
+		buf = wire.AppendUvarint(buf, uint64(len(params.W)))
+		buf = wire.AppendUvarint(buf, uint64(ps.width))
+		for _, row := range params.W {
+			buf = wire.AppendVec(buf, row, wire.F64)
+		}
+		buf = wire.AppendUvarint(buf, uint64(len(blocks)))
+		buf = wire.AppendVarint(buf, int64(steps))
+		for _, b := range blocks {
+			for _, row := range b.W {
+				buf = wire.AppendVec(buf, row, wire.F64)
+			}
+		}
+	}
+	return &ExportStateReply{Frame: buf}, nil
+}
+
+// importState installs a migrated state frame. The worker must already
+// be initialized (init + data reload) with the same partition layout;
+// the frame overwrites parameters and optimizer state in place, so the
+// slot resumes exactly where the old host left off.
+func (w *Worker) importState(a *ImportStateArgs) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.parts) == 0 {
+		return fmt.Errorf("core: importState before init")
+	}
+	data := a.Frame
+	ver, data, err := wire.Uvarint(data)
+	if err != nil {
+		return fmt.Errorf("core: importState: %w", err)
+	}
+	if ver != migrateFrameVersion {
+		return fmt.Errorf("core: importState: frame version %d, want %d", ver, migrateFrameVersion)
+	}
+	nParts, data, err := wire.Uvarint(data)
+	if err != nil {
+		return fmt.Errorf("core: importState: %w", err)
+	}
+	if int(nParts) != len(w.parts) {
+		return fmt.Errorf("core: importState: frame has %d partitions, worker holds %d", nParts, len(w.parts))
+	}
+	for i := 0; i < int(nParts); i++ {
+		var idx, rows, width uint64
+		if idx, data, err = wire.Uvarint(data); err != nil {
+			return fmt.Errorf("core: importState: %w", err)
+		}
+		ps, ferr := w.findPart(int(idx))
+		if ferr != nil {
+			return ferr
+		}
+		if rows, data, err = wire.Uvarint(data); err != nil {
+			return fmt.Errorf("core: importState: %w", err)
+		}
+		if width, data, err = wire.Uvarint(data); err != nil {
+			return fmt.Errorf("core: importState: %w", err)
+		}
+		if int(width) != ps.width || int(rows) != w.mdl.ParamRows() {
+			return fmt.Errorf("core: importState: partition %d shape %dx%d, want %dx%d",
+				idx, rows, width, w.mdl.ParamRows(), ps.width)
+		}
+		params := model.NewParams(int(rows), int(width))
+		for r := range params.W {
+			var row []float64
+			if row, data, err = wire.DecodeVec(data); err != nil {
+				return fmt.Errorf("core: importState: partition %d params: %w", idx, err)
+			}
+			if len(row) != int(width) {
+				return fmt.Errorf("core: importState: partition %d row %d width %d, want %d", idx, r, len(row), width)
+			}
+			params.W[r] = row
+		}
+		var nBlocks uint64
+		var steps int64
+		if nBlocks, data, err = wire.Uvarint(data); err != nil {
+			return fmt.Errorf("core: importState: %w", err)
+		}
+		if steps, data, err = wire.Varint(data); err != nil {
+			return fmt.Errorf("core: importState: %w", err)
+		}
+		blocks := make([]*model.Params, int(nBlocks))
+		for b := range blocks {
+			blk := model.NewParams(int(rows), int(width))
+			for r := range blk.W {
+				var row []float64
+				if row, data, err = wire.DecodeVec(data); err != nil {
+					return fmt.Errorf("core: importState: partition %d opt block %d: %w", idx, b, err)
+				}
+				if len(row) != int(width) {
+					return fmt.Errorf("core: importState: partition %d opt block %d row width %d, want %d", idx, b, len(row), width)
+				}
+				blk.W[r] = row
+			}
+			blocks[b] = blk
+		}
+		if w.prec == PrecisionF32 {
+			ps.params32 = model.NarrowParams(params)
+			blocks32 := make([]*model.Params32, len(blocks))
+			for b, blk := range blocks {
+				blocks32[b] = model.NarrowParams(blk)
+			}
+			if len(blocks32) == 0 {
+				blocks32 = nil
+			}
+			if err := ps.opt32.Restore(blocks32, int(steps)); err != nil {
+				return fmt.Errorf("core: importState: partition %d: %w", idx, err)
+			}
+		} else {
+			ps.params = params
+			if len(blocks) == 0 {
+				blocks = nil
+			}
+			if err := ps.opt.Restore(blocks, int(steps)); err != nil {
+				return fmt.Errorf("core: importState: partition %d: %w", idx, err)
+			}
+		}
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("core: importState: %d trailing bytes", len(data))
+	}
+	return nil
+}
+
+// maybeRebalance applies any membership events scheduled at the current
+// round and executes the resulting migration plan. It runs at the round
+// barrier — between Steps, or between SSP segments — so no statistics
+// or update call can observe a half-moved slot.
+func (e *Engine) maybeRebalance() error {
+	if e.ctl == nil {
+		return nil
+	}
+	round := int(e.iter)
+	next := e.ctl.NextRound()
+	if next < 0 || next > round {
+		return nil
+	}
+	if next < round {
+		return fmt.Errorf("core: membership event at round %d was never applied (now at round %d)", next, round)
+	}
+	// A pipelined prefetch in flight was issued against the pre-move
+	// placement; drain and discard it so the post-rebalance fan-out is
+	// fresh. computeStats is pure, so re-issuing it is value-neutral.
+	if pend := e.pending; pend != nil {
+		e.pending = nil
+		_, _ = pend.p.Await()
+	}
+	plan, err := e.ctl.Advance(round)
+	if err != nil {
+		return err
+	}
+	if err := e.executePlan(plan); err != nil {
+		return err
+	}
+	if err := e.ctl.Commit(plan); err != nil {
+		return err
+	}
+	if e.trace != nil && len(plan.Events) > 0 {
+		e.trace.Rebalances++
+	}
+	return nil
+}
+
+// executePlan runs a migration plan move by move: pull the slot's state
+// from the old host (graceful sources only), rehost the slot, then —
+// with the slot held exclusively — rebuild the worker (init, data
+// reload, loadDone) and import the migrated state. A crashed source
+// skips the pull; the partition reinitializes from the seed instead
+// (§X's recovery semantics, now without giving up the node).
+func (e *Engine) executePlan(p *membership.Plan) error {
+	if len(p.Moves) == 0 {
+		return nil
+	}
+	tr := &driver.Traffic{}
+	var extra time.Duration
+	for i, mv := range p.Moves {
+		var frame []byte
+		if p.SourceAlive[i] {
+			var rep ExportStateReply
+			if err := e.drv.Call(mv.Slot, driver.Call{Method: MethodExportState,
+				Args: &ExportStateArgs{}, Reply: &rep}, tr, &extra); err != nil {
+				return fmt.Errorf("core: export slot %d from node %d: %w", mv.Slot, mv.From, err)
+			}
+			frame = rep.Frame
+		}
+		if err := e.pool.Rehost(mv.Slot, mv.To); err != nil {
+			return err
+		}
+		if err := e.drv.Exclusive(mv.Slot, tr, &extra, func(c driver.Conn) error {
+			return e.reloadWorker(mv.Slot, c, frame)
+		}); err != nil {
+			return fmt.Errorf("core: migrate %s: %w", mv, err)
+		}
+	}
+	// Price the migration as its own Measured phase, folded into the
+	// next iteration's cost; modeled reload/transfer time rides along
+	// as compute extra the same way recovery time does.
+	e.migPhases = append(e.migPhases, tr.Phase("migrate", 1))
+	e.migExtra += extra
+	if e.trace != nil {
+		e.trace.MigrationBytes += tr.Bytes()
+	}
+	return nil
+}
+
+// takeMigrationPhases claims the pending migration cost phases for the
+// next priced iteration.
+func (e *Engine) takeMigrationPhases() []simnet.Phase {
+	ph := e.migPhases
+	e.migPhases = nil
+	return ph
+}
+
+// takeMigrationExtra claims the pending modeled migration time.
+func (e *Engine) takeMigrationExtra() time.Duration {
+	d := e.migExtra
+	e.migExtra = 0
+	return d
+}

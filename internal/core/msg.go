@@ -172,6 +172,25 @@ type PingReply struct {
 	Worker int
 }
 
+// ExportStateArgs requests the worker's full migratable state — every
+// partition's parameters plus optimizer state — as one wire frame, for
+// live migration to another node (graceful leave / elastic rebalance).
+type ExportStateArgs struct{}
+
+// ExportStateReply carries the wire-encoded state frame (see
+// internal/core/migrate.go for the layout). Values travel as f64
+// losslessly; f32 partitions widen exactly on export and narrow exactly
+// on import, so a migrated f32 worker is bit-identical too.
+type ExportStateReply struct {
+	Frame []byte
+}
+
+// ImportStateArgs installs a state frame captured by ExportState onto a
+// freshly initialized worker holding the same partitions.
+type ImportStateArgs struct {
+	Frame []byte
+}
+
 // FailNextArgs arms transient task-failure injection: the next n task
 // calls (computeStats/update) return an error, then behaviour returns to
 // normal. Models Spark task failures (§X, Fig. 13(a)).
@@ -200,6 +219,9 @@ func init() {
 	gob.Register(&PingArgs{})
 	gob.Register(&PingReply{})
 	gob.Register(&FailNextArgs{})
+	gob.Register(&ExportStateArgs{})
+	gob.Register(&ExportStateReply{})
+	gob.Register(&ImportStateArgs{})
 	gob.Register(&partition.Workset{})
 	gob.Register(&vec.CSR{})
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"columnsgd/internal/cluster"
+	"columnsgd/internal/membership"
 	"columnsgd/internal/wire"
 )
 
@@ -22,6 +23,17 @@ type Provider interface {
 // straggler experiments).
 type FailureInjector interface {
 	Fail(worker int)
+}
+
+// ElasticProvider is a Provider whose worker slots are hosted on a
+// mutable node fleet: membership events can add, retire, or crash nodes
+// and rehost slots between them (membership.NewPool, or chaos.Provider
+// wrapping one). Config.Membership requires one.
+type ElasticProvider interface {
+	Provider
+	// NodePool exposes the fleet-mutation surface the membership
+	// controller drives.
+	NodePool() membership.NodePool
 }
 
 // LocalProvider runs the workers in-process over the gob channel

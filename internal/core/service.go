@@ -19,6 +19,8 @@ const (
 	MethodGetParams      = "columnsgd.getParams"
 	MethodSetParams      = "columnsgd.setParams"
 	MethodResetPartition = "columnsgd.resetPartition"
+	MethodExportState    = "columnsgd.exportState"
+	MethodImportState    = "columnsgd.importState"
 	MethodPing           = "columnsgd.ping"
 	MethodFailNext       = "columnsgd.failNext"
 )
@@ -98,6 +100,16 @@ func RegisterWorker(w *Worker) *cluster.Service {
 			return nil, err
 		}
 		return nil, w.resetPartition(a)
+	})
+	svc.Register(MethodExportState, func(args interface{}) (interface{}, error) {
+		return w.exportState()
+	})
+	svc.Register(MethodImportState, func(args interface{}) (interface{}, error) {
+		a, err := as[*ImportStateArgs](args)
+		if err != nil {
+			return nil, err
+		}
+		return nil, w.importState(a)
 	})
 	svc.Register(MethodPing, func(args interface{}) (interface{}, error) {
 		return &PingReply{Worker: w.id}, nil

@@ -210,6 +210,13 @@ func (e *Engine) runSSP(iters int) (*metrics.Trace, error) {
 			r.statsTraffic.Phase("gather-stats", 1),
 			r.updTraffic.Phase("bcast-stats", 1),
 		}
+		compute := r.statsMax + r.updMax + r.extra
+		if rel == 0 {
+			// A rebalance between SSP segments completed just before this
+			// segment's first round; its priced cost lands here.
+			phases = append(e.takeMigrationPhases(), phases...)
+			compute += e.takeMigrationExtra()
+		}
 		net, err := costmodel.NetworkTime(costmodel.Measured(phases), e.cfg.Net)
 		if err != nil {
 			return e.trace, err
@@ -219,7 +226,7 @@ func (e *Engine) runSSP(iters int) (*metrics.Trace, error) {
 			Loss:  r.loss,
 			Cost: simnet.IterationCost{
 				Sched:   e.cfg.Net.SchedulingOverhead,
-				Compute: r.statsMax + r.updMax + r.extra,
+				Compute: compute,
 				Network: net,
 			},
 			Phases:       phases,

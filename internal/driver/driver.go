@@ -132,6 +132,19 @@ func (d *Driver) Call(w int, c Call, tr *Traffic, extra *time.Duration) error {
 	return d.locked(w, c, tr, extra)
 }
 
+// Exclusive holds worker w's call slot for the duration of fn — the
+// rebalance barrier. fn receives the same restricted Conn that Recover
+// gets: single-attempt calls on the held slot, traffic into tr and
+// modeled time into extra. While fn runs, no retry, pipeline prefetch,
+// or SSP round can reach the worker, which is what lets membership swap
+// the slot's client underneath a live job: callers either completed
+// before the swap or serialize after it.
+func (d *Driver) Exclusive(w int, tr *Traffic, extra *time.Duration, fn func(Conn) error) error {
+	d.locks[w].Lock()
+	defer d.locks[w].Unlock()
+	return fn(Conn{d: d, w: w, tr: tr, extra: extra})
+}
+
 // locked runs the retry-with-recovery loop with worker w's slot held.
 func (d *Driver) locked(w int, c Call, tr *Traffic, extra *time.Duration) error {
 	if c.Delay > 0 {

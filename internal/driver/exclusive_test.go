@@ -1,0 +1,74 @@
+package driver
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"columnsgd/internal/cluster"
+)
+
+// TestExclusiveBlocksCalls proves Exclusive is a real barrier: a Call
+// issued while fn holds the slot cannot start until fn returns, and
+// calls made through the Conn are visible with exact traffic deltas.
+func TestExclusiveBlocksCalls(t *testing.T) {
+	fc := &fakeClient{}
+	d := New([]cluster.Client{fc}, Options{MaxAttempts: 3})
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var order []string
+	var mu sync.Mutex
+	note := func(s string) {
+		mu.Lock()
+		order = append(order, s)
+		mu.Unlock()
+	}
+
+	var tr Traffic
+	var extra time.Duration
+	done := make(chan error, 1)
+	go func() {
+		done <- d.Exclusive(0, &tr, &extra, func(c Conn) error {
+			close(entered)
+			if c.Worker() != 0 {
+				t.Errorf("Conn.Worker() = %d", c.Worker())
+			}
+			if err := c.Call("migrate.import", nil, nil); err != nil {
+				return err
+			}
+			c.AddExtra(5 * time.Millisecond)
+			<-release
+			note("exclusive-done")
+			return nil
+		})
+	}()
+
+	<-entered
+	callDone := make(chan error, 1)
+	go func() {
+		err := d.Call(0, Call{Method: "step"}, nil, nil)
+		note("call-done")
+		callDone <- err
+	}()
+	// Give the competing Call a chance to (wrongly) slip through.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-callDone; err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != "exclusive-done" {
+		t.Fatalf("order = %v, want exclusive section to finish first", order)
+	}
+	if m, b := tr.Messages(), tr.Bytes(); m != 2 || b != 10 {
+		t.Fatalf("traffic = (%d, %d), want the Conn call's (2, 10)", m, b)
+	}
+	if extra != 5*time.Millisecond {
+		t.Fatalf("extra = %v", extra)
+	}
+}

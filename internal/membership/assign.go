@@ -1,0 +1,146 @@
+package membership
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Assignment maps each worker slot to the node hosting it. Slots are
+// the unit of placement: slot i owns column partition i (core) or row
+// shard i (rowsgd) for the whole job.
+type Assignment []int
+
+// Initial is the fixed-membership layout: slot i on node i.
+func Initial(slots int) Assignment {
+	a := make(Assignment, slots)
+	for i := range a {
+		a[i] = i
+	}
+	return a
+}
+
+// Clone returns a copy.
+func (a Assignment) Clone() Assignment {
+	out := make(Assignment, len(a))
+	copy(out, a)
+	return out
+}
+
+// Move relocates one slot from one node to another.
+type Move struct {
+	Slot, From, To int
+}
+
+// String renders the move for logs and replay output.
+func (m Move) String() string {
+	return fmt.Sprintf("slot%d:%d->%d", m.Slot, m.From, m.To)
+}
+
+// Rebalance reconciles the current assignment against the live node set
+// and returns the desired assignment plus the minimal move list that
+// gets there (the diff-desired-vs-actual idiom). It is deterministic:
+//
+//  1. Slots on live nodes stay put, up to a per-node cap of
+//     ceil(slots/len(live)).
+//  2. Overloaded nodes shed their highest-numbered slots first.
+//  3. Orphaned slots (host dead or shed) go to the least-loaded live
+//     node, lowest id breaking ties, in slot order.
+//
+// Only displaced slots move, so a node loss migrates exactly that
+// node's slots and a later join pulls back exactly the overflow.
+func Rebalance(cur Assignment, live []int) (Assignment, []Move) {
+	if len(live) == 0 {
+		return nil, nil
+	}
+	liveSet := make(map[int]bool, len(live))
+	for _, n := range live {
+		liveSet[n] = true
+	}
+	perNode := (len(cur) + len(live) - 1) / len(live)
+
+	next := cur.Clone()
+	load := make(map[int]int, len(live))
+	for _, n := range live {
+		load[n] = 0
+	}
+	var orphans []int
+	for slot, host := range cur {
+		if liveSet[host] {
+			load[host]++
+		} else {
+			orphans = append(orphans, slot)
+		}
+	}
+	// Shed overload: highest-numbered slots leave first so the kept set
+	// is a deterministic prefix.
+	for slot := len(cur) - 1; slot >= 0; slot-- {
+		host := next[slot]
+		if liveSet[host] && load[host] > perNode {
+			load[host]--
+			orphans = append(orphans, slot)
+		}
+	}
+	sort.Ints(orphans)
+
+	sorted := append([]int(nil), live...)
+	sort.Ints(sorted)
+	var moves []Move
+	for _, slot := range orphans {
+		best, bestLoad := -1, int(^uint(0)>>1)
+		for _, n := range sorted {
+			if load[n] < bestLoad {
+				best, bestLoad = n, load[n]
+			}
+		}
+		load[best]++
+		next[slot] = best
+		moves = append(moves, Move{Slot: slot, From: cur[slot], To: best})
+	}
+	return next, moves
+}
+
+// Diff returns the moves that turn cur into want. Both must be the same
+// length; slots whose host differs produce one move each, in slot order.
+func Diff(cur, want Assignment) []Move {
+	var moves []Move
+	for slot := range cur {
+		if slot < len(want) && cur[slot] != want[slot] {
+			moves = append(moves, Move{Slot: slot, From: cur[slot], To: want[slot]})
+		}
+	}
+	return moves
+}
+
+// Apply plays moves over cur and returns the result. Each move's From
+// must match the current host — a stale plan is an error, never a
+// silent misplacement.
+func Apply(cur Assignment, moves []Move) (Assignment, error) {
+	next := cur.Clone()
+	for _, m := range moves {
+		if m.Slot < 0 || m.Slot >= len(next) {
+			return nil, fmt.Errorf("membership: apply %s: no such slot", m)
+		}
+		if next[m.Slot] != m.From {
+			return nil, fmt.Errorf("membership: apply %s: slot is on node %d", m, next[m.Slot])
+		}
+		next[m.Slot] = m.To
+	}
+	return next, nil
+}
+
+// Check verifies the invariant the whole layer rests on: every slot is
+// hosted by exactly one live node. (Exactly-one is structural — an
+// Assignment is a total map — so the check is that each host is live;
+// no column partition is lost and none is double-owned.)
+func Check(a Assignment, live []int) error {
+	liveSet := make(map[int]bool, len(live))
+	for _, n := range live {
+		liveSet[n] = true
+	}
+	for slot, host := range a {
+		if !liveSet[host] {
+			return fmt.Errorf("membership: slot %d hosted by dead node %d", slot, host)
+		}
+	}
+	return nil
+}

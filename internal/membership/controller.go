@@ -1,0 +1,144 @@
+package membership
+
+import (
+	"fmt"
+)
+
+// NodePool is what the controller and engines need from an elastic
+// transport: fleet mutation plus slot rehosting. cluster.NodeSet
+// implements it; chaos.Provider forwards it through fault injection.
+type NodePool interface {
+	// AddNode brings a node into the fleet.
+	AddNode(node int) error
+	// RemoveNode retires a node that hosts no slots.
+	RemoveNode(node int) error
+	// CrashNode kills a node and everything it hosts.
+	CrashNode(node int) error
+	// Rehost moves a slot to a node, with a fresh (empty) service.
+	Rehost(slot, node int) error
+	// Host reports the node currently hosting a slot.
+	Host(slot int) int
+}
+
+// Plan is one round's reconciliation: the events applied, the moves the
+// engine must execute, and per-move whether the source still holds live
+// state to migrate (false after a crash — the slot reinitializes).
+type Plan struct {
+	Round       int
+	Events      []Event
+	Moves       []Move
+	SourceAlive []bool // parallel to Moves
+	// departed are gracefully-left or crashed nodes to retire once the
+	// moves have drained their slots.
+	departed []int
+}
+
+// Controller drives a schedule against a pool: the master asks it at
+// each round barrier whether membership changed, executes the returned
+// plan's moves (export → rehost → reload/import), then commits.
+type Controller struct {
+	slots int
+	sched Schedule
+	pool  NodePool
+	live  map[int]bool
+	cur   Assignment
+	next  int // index of next unapplied event
+}
+
+// NewController validates the schedule against the initial fleet (slot
+// i on node i, the fixed-membership layout) and returns a controller.
+func NewController(slots int, sched Schedule, pool NodePool) (*Controller, error) {
+	if err := sched.Validate(slots); err != nil {
+		return nil, err
+	}
+	live := make(map[int]bool, slots)
+	for i := 0; i < slots; i++ {
+		live[i] = true
+	}
+	return &Controller{
+		slots: slots,
+		sched: sched,
+		pool:  pool,
+		live:  live,
+		cur:   Initial(slots),
+	}, nil
+}
+
+// Assignment returns a copy of the current slot placement.
+func (c *Controller) Assignment() Assignment { return c.cur.Clone() }
+
+// Epoch returns the number of events applied so far — the version of
+// the current assignment, used to reject stale persisted shard maps.
+func (c *Controller) Epoch() int64 { return int64(c.next) }
+
+// NextRound returns the round of the next pending event, or -1 when
+// the schedule is exhausted (membership has stabilized).
+func (c *Controller) NextRound() int {
+	if c.next >= len(c.sched.Events) {
+		return -1
+	}
+	return c.sched.Events[c.next].Round
+}
+
+// Advance applies every event scheduled at exactly the given round —
+// mutating the pool's fleet — and reconciles: the returned plan's moves
+// rehome the slots stranded by departures or pulled by joins. The
+// engine must execute the moves (the controller has already updated its
+// assignment to the post-move state) and then call Commit.
+func (c *Controller) Advance(round int) (*Plan, error) {
+	p := &Plan{Round: round}
+	crashed := make(map[int]bool)
+	for c.next < len(c.sched.Events) && c.sched.Events[c.next].Round == round {
+		e := c.sched.Events[c.next]
+		c.next++
+		p.Events = append(p.Events, e)
+		switch e.Kind {
+		case Join:
+			if err := c.pool.AddNode(e.Node); err != nil {
+				return nil, err
+			}
+			c.live[e.Node] = true
+		case Leave:
+			// Graceful: node stays callable for the state pull; it is
+			// removed from the pool in Commit, after its slots drain.
+			c.live[e.Node] = false
+			p.departed = append(p.departed, e.Node)
+		case Crash:
+			if err := c.pool.CrashNode(e.Node); err != nil {
+				return nil, err
+			}
+			c.live[e.Node] = false
+			crashed[e.Node] = true
+			p.departed = append(p.departed, e.Node)
+		}
+	}
+	if len(p.Events) == 0 {
+		return p, nil
+	}
+	next, moves := Rebalance(c.cur, liveList(c.live))
+	if err := Check(next, liveList(c.live)); err != nil {
+		return nil, err
+	}
+	p.Moves = moves
+	p.SourceAlive = make([]bool, len(moves))
+	for i, m := range moves {
+		p.SourceAlive[i] = !crashed[m.From]
+	}
+	c.cur = next
+	return p, nil
+}
+
+// Commit retires departed nodes once the plan's moves have executed.
+func (c *Controller) Commit(p *Plan) error {
+	for _, n := range p.departed {
+		for slot, host := range c.cur {
+			if host == n {
+				return fmt.Errorf("membership: commit: node %d still hosts slot %d", n, slot)
+			}
+		}
+		if err := c.pool.RemoveNode(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}

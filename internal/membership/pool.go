@@ -1,0 +1,43 @@
+package membership
+
+import (
+	"columnsgd/internal/cluster"
+	"columnsgd/internal/wire"
+)
+
+// Pool adapts a cluster.NodeSet to the provider shape the engines
+// expect (Clients/Restart/Fail, structurally core.Provider and
+// core.FailureInjector) while exposing the NodePool surface the
+// controller mutates. It is the elastic drop-in for
+// core.NewLocalProviderCodec: same transport semantics, rehostable
+// slots.
+type Pool struct {
+	set *cluster.NodeSet
+}
+
+// NewPool builds an elastic in-process cluster of `slots` worker slots
+// on an initial fleet of `slots` nodes (slot i on node i).
+func NewPool(slots int, factory func(slot int) (*cluster.Service, error), codec wire.Codec) (*Pool, error) {
+	set, err := cluster.NewNodeSet(slots, factory, codec)
+	if err != nil {
+		return nil, err
+	}
+	return &Pool{set: set}, nil
+}
+
+// Clients returns the shared slot-indexed client slice (elements are
+// swapped in place on Rehost).
+func (p *Pool) Clients() []cluster.Client { return p.set.Clients() }
+
+// Restart rebuilds a slot's service on its current node.
+func (p *Pool) Restart(slot int) error { return p.set.Restart(slot) }
+
+// Fail marks a slot's endpoint down (chaos FailureInjector surface).
+func (p *Pool) Fail(slot int) { p.set.Fail(slot) }
+
+// NodePool returns the membership-mutation surface. Wrappers (chaos)
+// override this to interpose on Rehost.
+func (p *Pool) NodePool() NodePool { return p.set }
+
+// TotalTraffic sums bytes and messages across current endpoints.
+func (p *Pool) TotalTraffic() (messages, bytes int64) { return p.set.TotalTraffic() }

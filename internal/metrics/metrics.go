@@ -97,6 +97,11 @@ type Trace struct {
 	// merge-on-arrival reorder queue observed (both 0 under BSP).
 	PeakClockLag   int64
 	PeakMergeQueue int
+	// Rebalances / MigrationBytes summarize elastic membership: how many
+	// round barriers applied membership events, and the wire bytes the
+	// resulting slot migrations moved (state pulls plus reloads).
+	Rebalances     int64
+	MigrationBytes int64
 }
 
 // Append adds an iteration record.

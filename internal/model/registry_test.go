@@ -39,6 +39,13 @@ func TestRegistryLifecycle(t *testing.T) {
 	if err := Register("test-const", func(arg int) (Model, error) { return constModel{arg: arg}, nil }); err != nil {
 		t.Fatal(err)
 	}
+	// The registry is process-global; drop the entry so repeated runs
+	// (-count=N) and other tests see a clean slate.
+	t.Cleanup(func() {
+		registryMu.Lock()
+		delete(registry, "test-const")
+		registryMu.Unlock()
+	})
 	if err := Register("test-const", func(int) (Model, error) { return constModel{}, nil }); err == nil {
 		t.Error("duplicate registration accepted")
 	}

@@ -42,6 +42,16 @@ type Optimizer interface {
 	// Reset clears the optimizer state (used when a worker restarts and
 	// its parameter partition is reinitialized).
 	Reset()
+	// Snapshot returns the per-dimension state blocks and the step count,
+	// so a partition can migrate between workers without perturbing the
+	// update rule. A stateless or not-yet-stepped optimizer returns
+	// (nil, 0). Blocks are copies; mutating them does not touch the
+	// optimizer.
+	Snapshot() ([]*model.Params, int)
+	// Restore installs state captured by Snapshot on a same-configured
+	// optimizer. (nil, 0) resets. Block count or shape mismatches are
+	// errors, never silent truncation.
+	Restore(blocks []*model.Params, steps int) error
 }
 
 // New constructs an optimizer from a config.
@@ -107,10 +117,31 @@ func regularize(cfg Config, w, g float64) float64 {
 	return g
 }
 
+// cloneBlocks copies optimizer state blocks for Snapshot.
+func cloneBlocks(blocks ...*model.Params) []*model.Params {
+	out := make([]*model.Params, len(blocks))
+	for i, b := range blocks {
+		out[i] = b.Clone()
+	}
+	return out
+}
+
+// checkBlocks validates a Restore payload's block count.
+func checkBlocks(name string, blocks []*model.Params, want int) error {
+	if len(blocks) != want {
+		return fmt.Errorf("opt: %s restore: got %d state blocks, want %d", name, len(blocks), want)
+	}
+	return nil
+}
+
 type sgd struct{ cfg Config }
 
-func (s *sgd) Name() string { return "sgd" }
-func (s *sgd) Reset()       {}
+func (s *sgd) Name() string                     { return "sgd" }
+func (s *sgd) Reset()                           {}
+func (s *sgd) Snapshot() ([]*model.Params, int) { return nil, 0 }
+func (s *sgd) Restore(blocks []*model.Params, steps int) error {
+	return checkBlocks("sgd", blocks, 0)
+}
 func (s *sgd) Apply(p, g *model.Params) error {
 	if err := checkShapes(p, g); err != nil {
 		return err
@@ -131,6 +162,23 @@ type momentum struct {
 
 func (m *momentum) Name() string { return "momentum" }
 func (m *momentum) Reset()       { m.v = nil }
+func (m *momentum) Snapshot() ([]*model.Params, int) {
+	if m.v == nil {
+		return nil, 0
+	}
+	return cloneBlocks(m.v), 0
+}
+func (m *momentum) Restore(blocks []*model.Params, steps int) error {
+	if len(blocks) == 0 {
+		m.Reset()
+		return nil
+	}
+	if err := checkBlocks("momentum", blocks, 1); err != nil {
+		return err
+	}
+	m.v = blocks[0].Clone()
+	return nil
+}
 func (m *momentum) Apply(p, g *model.Params) error {
 	if err := checkShapes(p, g); err != nil {
 		return err
@@ -157,6 +205,23 @@ type adagrad struct {
 
 func (a *adagrad) Name() string { return "adagrad" }
 func (a *adagrad) Reset()       { a.h = nil }
+func (a *adagrad) Snapshot() ([]*model.Params, int) {
+	if a.h == nil {
+		return nil, 0
+	}
+	return cloneBlocks(a.h), 0
+}
+func (a *adagrad) Restore(blocks []*model.Params, steps int) error {
+	if len(blocks) == 0 {
+		a.Reset()
+		return nil
+	}
+	if err := checkBlocks("adagrad", blocks, 1); err != nil {
+		return err
+	}
+	a.h = blocks[0].Clone()
+	return nil
+}
 func (a *adagrad) Apply(p, g *model.Params) error {
 	if err := checkShapes(p, g); err != nil {
 		return err
@@ -185,6 +250,26 @@ type adam struct {
 
 func (a *adam) Name() string { return "adam" }
 func (a *adam) Reset()       { a.m, a.v, a.t = nil, nil, 0 }
+func (a *adam) Snapshot() ([]*model.Params, int) {
+	if a.m == nil {
+		return nil, 0
+	}
+	return cloneBlocks(a.m, a.v), a.t
+}
+func (a *adam) Restore(blocks []*model.Params, steps int) error {
+	if len(blocks) == 0 {
+		a.Reset()
+		return nil
+	}
+	if err := checkBlocks("adam", blocks, 2); err != nil {
+		return err
+	}
+	if err := checkShapes(blocks[0], blocks[1]); err != nil {
+		return fmt.Errorf("opt: adam restore: %w", err)
+	}
+	a.m, a.v, a.t = blocks[0].Clone(), blocks[1].Clone(), steps
+	return nil
+}
 func (a *adam) Apply(p, g *model.Params) error {
 	if err := checkShapes(p, g); err != nil {
 		return err

@@ -20,6 +20,11 @@ type Optimizer32 interface {
 	Apply(p, g *model.Params32) error
 	// Reset clears the optimizer state.
 	Reset()
+	// Snapshot returns copies of the per-dimension state blocks and the
+	// step count, the f32 twin of Optimizer.Snapshot.
+	Snapshot() ([]*model.Params32, int)
+	// Restore installs state captured by Snapshot; (nil, 0) resets.
+	Restore(blocks []*model.Params32, steps int) error
 }
 
 // New32 constructs a float32 optimizer from a config, applying the same
@@ -83,10 +88,30 @@ func regularize32(l2, l1 float32, w, g float32) float32 {
 	return g
 }
 
+// cloneBlocks32 copies optimizer state blocks for Snapshot.
+func cloneBlocks32(blocks ...*model.Params32) []*model.Params32 {
+	out := make([]*model.Params32, len(blocks))
+	for i, b := range blocks {
+		out[i] = b.Clone()
+	}
+	return out
+}
+
+func checkBlocks32(name string, blocks []*model.Params32, want int) error {
+	if len(blocks) != want {
+		return fmt.Errorf("opt: %s restore: got %d state blocks, want %d", name, len(blocks), want)
+	}
+	return nil
+}
+
 type sgd32 struct{ cfg Config }
 
-func (s *sgd32) Name() string { return "sgd" }
-func (s *sgd32) Reset()       {}
+func (s *sgd32) Name() string                       { return "sgd" }
+func (s *sgd32) Reset()                             {}
+func (s *sgd32) Snapshot() ([]*model.Params32, int) { return nil, 0 }
+func (s *sgd32) Restore(blocks []*model.Params32, steps int) error {
+	return checkBlocks32("sgd", blocks, 0)
+}
 func (s *sgd32) Apply(p, g *model.Params32) error {
 	if err := checkShapes32(p, g); err != nil {
 		return err
@@ -108,6 +133,23 @@ type momentum32 struct {
 
 func (m *momentum32) Name() string { return "momentum" }
 func (m *momentum32) Reset()       { m.v = nil }
+func (m *momentum32) Snapshot() ([]*model.Params32, int) {
+	if m.v == nil {
+		return nil, 0
+	}
+	return cloneBlocks32(m.v), 0
+}
+func (m *momentum32) Restore(blocks []*model.Params32, steps int) error {
+	if len(blocks) == 0 {
+		m.Reset()
+		return nil
+	}
+	if err := checkBlocks32("momentum", blocks, 1); err != nil {
+		return err
+	}
+	m.v = blocks[0].Clone()
+	return nil
+}
 func (m *momentum32) Apply(p, g *model.Params32) error {
 	if err := checkShapes32(p, g); err != nil {
 		return err
@@ -135,6 +177,23 @@ type adagrad32 struct {
 
 func (a *adagrad32) Name() string { return "adagrad" }
 func (a *adagrad32) Reset()       { a.h = nil }
+func (a *adagrad32) Snapshot() ([]*model.Params32, int) {
+	if a.h == nil {
+		return nil, 0
+	}
+	return cloneBlocks32(a.h), 0
+}
+func (a *adagrad32) Restore(blocks []*model.Params32, steps int) error {
+	if len(blocks) == 0 {
+		a.Reset()
+		return nil
+	}
+	if err := checkBlocks32("adagrad", blocks, 1); err != nil {
+		return err
+	}
+	a.h = blocks[0].Clone()
+	return nil
+}
 func (a *adagrad32) Apply(p, g *model.Params32) error {
 	if err := checkShapes32(p, g); err != nil {
 		return err
@@ -164,6 +223,26 @@ type adam32 struct {
 
 func (a *adam32) Name() string { return "adam" }
 func (a *adam32) Reset()       { a.m, a.v, a.t = nil, nil, 0 }
+func (a *adam32) Snapshot() ([]*model.Params32, int) {
+	if a.m == nil {
+		return nil, 0
+	}
+	return cloneBlocks32(a.m, a.v), a.t
+}
+func (a *adam32) Restore(blocks []*model.Params32, steps int) error {
+	if len(blocks) == 0 {
+		a.Reset()
+		return nil
+	}
+	if err := checkBlocks32("adam", blocks, 2); err != nil {
+		return err
+	}
+	if err := checkShapes32(blocks[0], blocks[1]); err != nil {
+		return fmt.Errorf("opt: adam restore: %w", err)
+	}
+	a.m, a.v, a.t = blocks[0].Clone(), blocks[1].Clone(), steps
+	return nil
+}
 func (a *adam32) Apply(p, g *model.Params32) error {
 	if err := checkShapes32(p, g); err != nil {
 		return err

@@ -1,0 +1,168 @@
+package opt
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"columnsgd/internal/model"
+)
+
+func randParams(r *rand.Rand, rows, width int) *model.Params {
+	p := model.NewParams(rows, width)
+	for i := range p.W {
+		for j := range p.W[i] {
+			p.W[i][j] = r.NormFloat64()
+		}
+	}
+	return p
+}
+
+// TestSnapshotRestoreMidStream proves the migration contract: snapshot
+// an optimizer mid-run, restore onto a fresh same-configured one, and
+// the remaining updates are bit-identical to the uninterrupted run.
+func TestSnapshotRestoreMidStream(t *testing.T) {
+	cfgs := []Config{
+		{Algo: "sgd", LR: 0.1, L2: 0.01},
+		{Algo: "momentum", LR: 0.1, Momentum: 0.9},
+		{Algo: "adagrad", LR: 0.1, L1: 0.001},
+		{Algo: "adam", LR: 0.1},
+	}
+	for _, cfg := range cfgs {
+		t.Run(cfg.Algo, func(t *testing.T) {
+			r := rand.New(rand.NewSource(7))
+			p1 := randParams(r, 3, 4)
+			p2 := p1.Clone()
+			grads := make([]*model.Params, 8)
+			for i := range grads {
+				grads[i] = randParams(r, 3, 4)
+			}
+			a, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Run both in lockstep for 4 steps, then migrate b.
+			for i := 0; i < 4; i++ {
+				if err := a.Apply(p1, grads[i]); err != nil {
+					t.Fatal(err)
+				}
+				if err := b.Apply(p2, grads[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			blocks, steps := b.Snapshot()
+			fresh, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fresh.Restore(blocks, steps); err != nil {
+				t.Fatal(err)
+			}
+			// Mutating the snapshot after Restore must not reach fresh.
+			for _, bl := range blocks {
+				bl.Zero()
+			}
+			for i := 4; i < 8; i++ {
+				if err := a.Apply(p1, grads[i]); err != nil {
+					t.Fatal(err)
+				}
+				if err := fresh.Apply(p2, grads[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !reflect.DeepEqual(p1.W, p2.W) {
+				t.Fatalf("%s: migrated run diverged from uninterrupted run", cfg.Algo)
+			}
+		})
+	}
+}
+
+func TestSnapshotRestoreMidStream32(t *testing.T) {
+	cfgs := []Config{
+		{Algo: "sgd", LR: 0.1},
+		{Algo: "momentum", LR: 0.1, Momentum: 0.9},
+		{Algo: "adagrad", LR: 0.1},
+		{Algo: "adam", LR: 0.1},
+	}
+	for _, cfg := range cfgs {
+		t.Run(cfg.Algo, func(t *testing.T) {
+			r := rand.New(rand.NewSource(11))
+			p1 := model.NarrowParams(randParams(r, 2, 5))
+			p2 := p1.Clone()
+			grads := make([]*model.Params32, 8)
+			for i := range grads {
+				grads[i] = model.NarrowParams(randParams(r, 2, 5))
+			}
+			a, err := New32(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := New32(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 4; i++ {
+				if err := a.Apply(p1, grads[i]); err != nil {
+					t.Fatal(err)
+				}
+				if err := b.Apply(p2, grads[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			blocks, steps := b.Snapshot()
+			fresh, err := New32(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fresh.Restore(blocks, steps); err != nil {
+				t.Fatal(err)
+			}
+			for i := 4; i < 8; i++ {
+				if err := a.Apply(p1, grads[i]); err != nil {
+					t.Fatal(err)
+				}
+				if err := fresh.Apply(p2, grads[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !reflect.DeepEqual(p1.W, p2.W) {
+				t.Fatalf("%s: migrated f32 run diverged", cfg.Algo)
+			}
+		})
+	}
+}
+
+func TestRestoreRejectsBadPayloads(t *testing.T) {
+	one := []*model.Params{model.NewParams(2, 2)}
+	two := []*model.Params{model.NewParams(2, 2), model.NewParams(3, 2)}
+
+	s, _ := New(Config{Algo: "sgd", LR: 0.1})
+	if err := s.Restore(one, 0); err == nil {
+		t.Error("sgd accepted state blocks")
+	}
+	if err := s.Restore(nil, 0); err != nil {
+		t.Errorf("sgd rejected empty restore: %v", err)
+	}
+	m, _ := New(Config{Algo: "momentum", LR: 0.1, Momentum: 0.9})
+	if err := m.Restore(two, 0); err == nil {
+		t.Error("momentum accepted two blocks")
+	}
+	if err := m.Restore(nil, 0); err != nil {
+		t.Errorf("momentum treated nil as reset: %v", err)
+	}
+	ad, _ := New(Config{Algo: "adam", LR: 0.1})
+	if err := ad.Restore(one, 3); err == nil {
+		t.Error("adam accepted one block")
+	}
+	if err := ad.Restore(two, 3); err == nil {
+		t.Error("adam accepted mismatched m/v shapes")
+	}
+	ad32, _ := New32(Config{Algo: "adam", LR: 0.1})
+	if err := ad32.Restore([]*model.Params32{model.NewParams32(2, 2)}, 1); err == nil {
+		t.Error("adam32 accepted one block")
+	}
+}

@@ -1,0 +1,154 @@
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Shard-assignment checkpoints. An elastic run's slot placement is part
+// of its restorable state: restarting a job against a checkpoint taken
+// after membership events must resume on the post-event placement, not
+// the initial slot-i-on-node-i layout. The format mirrors the model
+// checkpoint — a magic header, an epoch (events applied, from
+// membership.Controller.Epoch), the slot count, then one uvarint-sized
+// host per slot — and reads are strict the same way.
+
+// assignMagic identifies a columnsgd shard-assignment file (version 1).
+var assignMagic = [8]byte{'c', 'o', 'l', 's', 'g', 'd', 'a', '1'}
+
+// maxSlots bounds the slot count read from a header; larger values are
+// treated as corruption.
+const maxSlots = 1 << 20
+
+// Typed errors the strict reader distinguishes so callers can tell a
+// damaged file from an out-of-date one.
+var (
+	// ErrTruncatedMap means the payload ended before the declared slot
+	// count (or the header itself was short).
+	ErrTruncatedMap = errors.New("persist: truncated shard map")
+	// ErrStaleMap means the map's epoch predates the minimum the caller
+	// requires — it describes an older membership state.
+	ErrStaleMap = errors.New("persist: stale shard map")
+)
+
+// ShardMap is a persisted slot→node assignment at a membership epoch.
+type ShardMap struct {
+	// Epoch counts the membership events applied when the map was taken.
+	Epoch int64
+	// Hosts[i] is the node hosting slot i.
+	Hosts []int
+}
+
+// WriteShardMap serializes a shard map.
+func WriteShardMap(w io.Writer, m ShardMap) error {
+	if len(m.Hosts) == 0 {
+		return fmt.Errorf("persist: empty shard map")
+	}
+	if m.Epoch < 0 {
+		return fmt.Errorf("persist: negative shard-map epoch %d", m.Epoch)
+	}
+	if _, err := w.Write(assignMagic[:]); err != nil {
+		return err
+	}
+	hdr := make([]byte, 16)
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(m.Epoch))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(m.Hosts)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, binary.MaxVarintLen64*len(m.Hosts))
+	for i, h := range m.Hosts {
+		if h < 0 {
+			return fmt.Errorf("persist: slot %d hosted by negative node %d", i, h)
+		}
+		buf = binary.AppendUvarint(buf, uint64(h))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadShardMap deserializes a shard map, rejecting bad magic, truncated
+// payloads (ErrTruncatedMap), and trailing bytes.
+func ReadShardMap(r io.Reader) (ShardMap, error) {
+	var m [8]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		return ShardMap{}, fmt.Errorf("%w: header: %v", ErrTruncatedMap, err)
+	}
+	if m != assignMagic {
+		return ShardMap{}, fmt.Errorf("persist: not a columnsgd shard-map file")
+	}
+	hdr := make([]byte, 16)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return ShardMap{}, fmt.Errorf("%w: shape: %v", ErrTruncatedMap, err)
+	}
+	epoch := binary.LittleEndian.Uint64(hdr[0:])
+	slots := binary.LittleEndian.Uint64(hdr[8:])
+	if slots == 0 || slots > maxSlots || epoch > 1<<62 {
+		return ShardMap{}, fmt.Errorf("persist: implausible shard map (%d slots, epoch %d)", slots, epoch)
+	}
+	br := byteReaderFrom(r)
+	out := ShardMap{Epoch: int64(epoch), Hosts: make([]int, slots)}
+	for i := range out.Hosts {
+		h, err := binary.ReadUvarint(br)
+		if err != nil {
+			return ShardMap{}, fmt.Errorf("%w: slot %d of %d: %v", ErrTruncatedMap, i, slots, err)
+		}
+		if h > maxSlots*2 {
+			return ShardMap{}, fmt.Errorf("persist: implausible host %d for slot %d", h, i)
+		}
+		out.Hosts[i] = int(h)
+	}
+	if _, err := br.ReadByte(); err == nil {
+		return ShardMap{}, fmt.Errorf("persist: trailing data after the declared %d-slot map", slots)
+	} else if !errors.Is(err, io.EOF) {
+		return ShardMap{}, fmt.Errorf("persist: reading past payload: %w", err)
+	}
+	return out, nil
+}
+
+func byteReaderFrom(r io.Reader) io.ByteReader {
+	if br, ok := r.(io.ByteReader); ok {
+		return br
+	}
+	return bufio.NewReader(r)
+}
+
+// SaveShardMap writes a shard map to a checkpoint file.
+func SaveShardMap(path string, m ShardMap) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	werr := WriteShardMap(w, m)
+	if err := w.Flush(); err != nil && werr == nil {
+		werr = err
+	}
+	if err := f.Close(); err != nil && werr == nil {
+		werr = err
+	}
+	return werr
+}
+
+// LoadShardMap reads a shard-map checkpoint and rejects maps whose
+// epoch is below minEpoch with ErrStaleMap — a restore must not resume
+// on a placement older than the one its model checkpoint was taken at.
+func LoadShardMap(path string, minEpoch int64) (ShardMap, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return ShardMap{}, fmt.Errorf("persist: %w", err)
+	}
+	defer f.Close()
+	m, err := ReadShardMap(bufio.NewReader(f))
+	if err != nil {
+		return ShardMap{}, err
+	}
+	if m.Epoch < minEpoch {
+		return ShardMap{}, fmt.Errorf("%w: epoch %d < required %d", ErrStaleMap, m.Epoch, minEpoch)
+	}
+	return m, nil
+}

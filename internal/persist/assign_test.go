@@ -1,0 +1,142 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestShardMapRoundTrip checks that non-default assignments — the whole
+// point of persisting a map — survive a write/read cycle exactly.
+func TestShardMapRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		m    ShardMap
+	}{
+		{"identity", ShardMap{Epoch: 0, Hosts: []int{0, 1, 2, 3}}},
+		{"post-leave", ShardMap{Epoch: 1, Hosts: []int{0, 3, 2, 3}}},
+		{"post-churn", ShardMap{Epoch: 5, Hosts: []int{4, 4, 7, 2, 9}}},
+		{"single-slot", ShardMap{Epoch: 2, Hosts: []int{1}}},
+		{"wide-hosts", ShardMap{Epoch: 9, Hosts: []int{0, 1 << 19, 300}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := WriteShardMap(&buf, tc.m); err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReadShardMap(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Epoch != tc.m.Epoch {
+				t.Fatalf("epoch %d, want %d", got.Epoch, tc.m.Epoch)
+			}
+			if len(got.Hosts) != len(tc.m.Hosts) {
+				t.Fatalf("%d slots, want %d", len(got.Hosts), len(tc.m.Hosts))
+			}
+			for i := range got.Hosts {
+				if got.Hosts[i] != tc.m.Hosts[i] {
+					t.Fatalf("slot %d host %d, want %d", i, got.Hosts[i], tc.m.Hosts[i])
+				}
+			}
+		})
+	}
+}
+
+// TestShardMapReadRejects drives every corruption class through the
+// strict reader and checks the typed error surface.
+func TestShardMapReadRejects(t *testing.T) {
+	encode := func(m ShardMap) []byte {
+		var buf bytes.Buffer
+		if err := WriteShardMap(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	good := encode(ShardMap{Epoch: 3, Hosts: []int{0, 2, 2, 1}})
+
+	cases := []struct {
+		name      string
+		data      []byte
+		truncated bool   // want errors.Is(err, ErrTruncatedMap)
+		substr    string // otherwise, want this in the message
+	}{
+		{"empty", nil, true, ""},
+		{"short-magic", good[:4], true, ""},
+		{"short-header", good[:12], true, ""},
+		{"truncated-payload", good[:len(good)-2], true, ""},
+		{"bad-magic", append([]byte("colsgdm1"), good[8:]...), false, "not a columnsgd shard-map"},
+		{"zero-slots", func() []byte {
+			b := append([]byte(nil), good...)
+			copy(b[16:24], make([]byte, 8))
+			return b
+		}(), false, "implausible"},
+		{"trailing-bytes", append(append([]byte(nil), good...), 0x7), false, "trailing data"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadShardMap(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatal("corrupt map accepted")
+			}
+			if tc.truncated {
+				if !errors.Is(err, ErrTruncatedMap) {
+					t.Fatalf("error %v, want ErrTruncatedMap", err)
+				}
+			} else if !strings.Contains(err.Error(), tc.substr) {
+				t.Fatalf("error %q, want substring %q", err, tc.substr)
+			}
+		})
+	}
+}
+
+// TestShardMapWriteRejects pins the writer's validation.
+func TestShardMapWriteRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		m    ShardMap
+	}{
+		{"empty", ShardMap{Epoch: 1}},
+		{"negative-epoch", ShardMap{Epoch: -1, Hosts: []int{0}}},
+		{"negative-host", ShardMap{Epoch: 0, Hosts: []int{0, -3}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := WriteShardMap(&bytes.Buffer{}, tc.m); err == nil {
+				t.Fatal("invalid map accepted")
+			}
+		})
+	}
+}
+
+// TestShardMapFileStaleness exercises the Save/Load path including the
+// epoch floor: a checkpoint restore must refuse a placement older than
+// its model.
+func TestShardMapFileStaleness(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "job.assign")
+	m := ShardMap{Epoch: 2, Hosts: []int{0, 4, 2, 4}}
+	if err := SaveShardMap(path, m); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := LoadShardMap(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 2 || len(got.Hosts) != 4 || got.Hosts[1] != 4 {
+		t.Fatalf("loaded %+v, want %+v", got, m)
+	}
+	// Equal epoch is acceptable, newer requirement is not.
+	if _, err := LoadShardMap(path, 3); !errors.Is(err, ErrStaleMap) {
+		t.Fatalf("stale load: %v, want ErrStaleMap", err)
+	}
+	if _, err := LoadShardMap(path, 0); err != nil {
+		t.Fatalf("minEpoch 0: %v", err)
+	}
+	if _, err := LoadShardMap(filepath.Join(t.TempDir(), "missing"), 0); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

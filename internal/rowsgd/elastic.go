@@ -1,0 +1,166 @@
+package rowsgd
+
+import (
+	"fmt"
+	"time"
+
+	"columnsgd/internal/cluster"
+	"columnsgd/internal/driver"
+	"columnsgd/internal/membership"
+	"columnsgd/internal/simnet"
+)
+
+// ElasticProvider is what an elastic RowSGD run needs from its
+// transport: per-slot clients plus fleet control. membership.NewPool
+// satisfies it directly, and chaos.Provider forwards it when wrapping an
+// elastic inner provider — the same shapes the column engine accepts.
+type ElasticProvider interface {
+	Clients() []cluster.Client
+	NodePool() membership.NodePool
+}
+
+// NewElasticEngine builds an engine whose Membership schedule (if any)
+// is driven against the provider's node pool. The slot set never
+// changes — only which node hosts each slot — so sampling streams,
+// gradient aggregation order, and therefore the trained bits are those
+// of a fixed-membership run whenever migration is graceful.
+func NewElasticEngine(cfg Config, prov ElasticProvider) (*Engine, error) {
+	e, err := newEngine(cfg, prov.Clients())
+	if err != nil {
+		return nil, err
+	}
+	if e.cfg.Membership == "" {
+		return e, nil
+	}
+	pool := prov.NodePool()
+	if pool == nil {
+		return nil, fmt.Errorf("rowsgd: Membership needs an elastic provider (see membership.NewPool)")
+	}
+	sched, err := membership.Parse(e.cfg.Membership)
+	if err != nil {
+		return nil, err
+	}
+	ctl, err := membership.NewController(e.cfg.Workers, sched, pool)
+	if err != nil {
+		return nil, err
+	}
+	e.pool, e.ctl = pool, ctl
+	return e, nil
+}
+
+// maybeRebalance applies membership events scheduled at the current
+// round and executes the resulting migration plan. It runs at the round
+// barrier — before a BSP Step, or between SSP segments — so no compute
+// call can observe a half-moved slot.
+func (e *Engine) maybeRebalance() error {
+	if e.ctl == nil {
+		return nil
+	}
+	round := int(e.iter)
+	next := e.ctl.NextRound()
+	if next < 0 || next > round {
+		return nil
+	}
+	if next < round {
+		return fmt.Errorf("rowsgd: membership event at round %d was never applied (now at round %d)", next, round)
+	}
+	plan, err := e.ctl.Advance(round)
+	if err != nil {
+		return err
+	}
+	if err := e.executePlan(plan); err != nil {
+		return err
+	}
+	if err := e.ctl.Commit(plan); err != nil {
+		return err
+	}
+	if e.trace != nil && len(plan.Events) > 0 {
+		e.trace.Rebalances++
+	}
+	return nil
+}
+
+// executePlan runs a migration plan move by move: for MLlib* with a
+// live source, pull the replica + optimizer state; rehost the slot;
+// then — with the slot held exclusively — rebuild the worker (init,
+// shard reload, loadDone) and install the pulled state. The other
+// systems keep all model state at the master, so their migration is the
+// shard reload alone; a crashed MLlib* source likewise skips the pull
+// and the replica reinitializes from the seed.
+func (e *Engine) executePlan(p *membership.Plan) error {
+	if len(p.Moves) == 0 {
+		return nil
+	}
+	tr := &driver.Traffic{}
+	var extra time.Duration
+	for i, mv := range p.Moves {
+		var state *ImportStateArgs
+		if e.cfg.System == MLlibStar && p.SourceAlive[i] {
+			var rep ExportStateReply
+			if err := e.drv.Call(mv.Slot, driver.Call{Method: MethodExportState,
+				Args: &ExportStateArgs{}, Reply: &rep}, tr, &extra); err != nil {
+				return fmt.Errorf("rowsgd: export slot %d from node %d: %w", mv.Slot, mv.From, err)
+			}
+			state = &ImportStateArgs{W: rep.W, OptBlocks: rep.OptBlocks, OptSteps: rep.OptSteps}
+		}
+		if err := e.pool.Rehost(mv.Slot, mv.To); err != nil {
+			return err
+		}
+		if err := e.drv.Exclusive(mv.Slot, tr, &extra, func(c driver.Conn) error {
+			if err := e.reloadWorker(mv.Slot, c); err != nil {
+				return err
+			}
+			if state != nil {
+				if err := c.Call(MethodImportState, state, nil); err != nil {
+					return fmt.Errorf("import state: %w", err)
+				}
+			}
+			return nil
+		}); err != nil {
+			return fmt.Errorf("rowsgd: migrate %s: %w", mv, err)
+		}
+	}
+	// Price the migration as its own Measured phase, folded into the
+	// next iteration's cost; modeled reload/transfer time rides along as
+	// compute extra the same way retry time does.
+	e.migPhases = append(e.migPhases, tr.Phase("migrate", 1))
+	e.migExtra += extra
+	if e.trace != nil {
+		e.trace.MigrationBytes += tr.Bytes()
+	}
+	return nil
+}
+
+// reloadWorker rebuilds slot w on its new host over an exclusive
+// connection: re-init, re-ship its row shard from the retained dataset,
+// and charge the modeled load time to the migration.
+func (e *Engine) reloadWorker(w int, c driver.Conn) error {
+	if e.ds == nil {
+		return fmt.Errorf("rowsgd: no retained dataset to reload worker %d", w)
+	}
+	cl := e.clients[w]
+	m0, b0 := cl.Messages(), cl.Bytes()
+	if err := e.loadWorker(w, e.ds, func(method string, args, reply interface{}) error {
+		return c.Call(method, args, reply)
+	}); err != nil {
+		return err
+	}
+	m1, b1 := cl.Messages(), cl.Bytes()
+	c.AddExtra(e.cfg.Net.LoadTime(m1-m0, b1-b0, 1, e.ds.NNZ()/int64(e.cfg.Workers)))
+	return nil
+}
+
+// takeMigrationPhases claims the pending migration cost phases for the
+// next priced iteration.
+func (e *Engine) takeMigrationPhases() []simnet.Phase {
+	ph := e.migPhases
+	e.migPhases = nil
+	return ph
+}
+
+// takeMigrationExtra claims the pending modeled migration time.
+func (e *Engine) takeMigrationExtra() time.Duration {
+	d := e.migExtra
+	e.migExtra = 0
+	return d
+}

@@ -1,0 +1,239 @@
+package rowsgd
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"columnsgd/internal/cluster"
+	"columnsgd/internal/membership"
+	"columnsgd/internal/opt"
+	"columnsgd/internal/wire"
+)
+
+// newElasticTestEngine builds an engine over a membership pool; with an
+// empty Membership the pool degenerates to a fixed fleet, which is how
+// the goldens below run on the exact same transport as the elastic runs.
+func newElasticTestEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	pool, err := membership.NewPool(cfg.Workers, func(int) (*cluster.Service, error) {
+		return NewWorkerService(), nil
+	}, wire.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewElasticEngine(cfg, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestElasticBitIdenticalToFixed is the RowSGD half of the rebalance
+// guarantee: every baseline that gracefully loses a node and regains a
+// fresh one mid-training exports exactly the bits of a fixed-membership
+// run. For MLlib/Petuum/MXNet the master owns the model, so migration
+// is a shard re-ship; MLlib* additionally migrates the replica and its
+// optimizer state (exercised with sgd, adam, and the f32 momentum path).
+func TestElasticBitIdenticalToFixed(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"mllib", func(c *Config) {}},
+		{"petuum", func(c *Config) { c.System = Petuum }},
+		{"mxnet", func(c *Config) { c.System = MXNet }},
+		{"mllib-star", func(c *Config) { c.System = MLlibStar }},
+		{"mllib-star-adam", func(c *Config) {
+			c.System = MLlibStar
+			c.Opt = opt.Config{Algo: "adam", LR: 0.1}
+		}},
+		{"mllib-star-f32-momentum", func(c *Config) {
+			c.System = MLlibStar
+			c.Precision = "f32"
+			c.Opt = opt.Config{Algo: "momentum", LR: 0.5, Momentum: 0.9}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ds := testData(t, 96, 12, 5)
+			cfg := baseConfig(MLlib, 4)
+			tc.mut(&cfg)
+
+			golden := newElasticTestEngine(t, cfg)
+			if err := golden.Load(ds); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := golden.Run(8); err != nil {
+				t.Fatal(err)
+			}
+			want, err := golden.ExportModel()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			cfg.Membership = "leave@2:1,join@5:4"
+			e := newElasticTestEngine(t, cfg)
+			if err := e.Load(ds); err != nil {
+				t.Fatal(err)
+			}
+			tr, err := e.Run(8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := e.ExportModel()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.W, want.W) {
+				t.Fatalf("elastic run diverged from fixed-membership golden")
+			}
+			if len(tr.Iterations) != 8 {
+				t.Fatalf("elastic run recorded %d iterations, want 8 (dropped rounds)", len(tr.Iterations))
+			}
+			if tr.Rebalances != 2 {
+				t.Fatalf("Rebalances = %d, want 2", tr.Rebalances)
+			}
+			if tr.MigrationBytes <= 0 {
+				t.Fatalf("MigrationBytes = %d, want > 0", tr.MigrationBytes)
+			}
+		})
+	}
+}
+
+// TestElasticCrashRecovers exercises the crash path: worker state is
+// lost, the shard re-ships and (for MLlib*) the replica reinitializes
+// from the seed on the new host, and training completes every round
+// with finite losses.
+func TestElasticCrashRecovers(t *testing.T) {
+	for _, sys := range []System{MLlib, MLlibStar} {
+		t.Run(string(sys), func(t *testing.T) {
+			ds := testData(t, 96, 12, 6)
+			cfg := baseConfig(sys, 4)
+			cfg.Membership = "crash@2:0,join@5:4"
+			e := newElasticTestEngine(t, cfg)
+			if err := e.Load(ds); err != nil {
+				t.Fatal(err)
+			}
+			tr, err := e.Run(8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tr.Iterations) != 8 {
+				t.Fatalf("crash run recorded %d iterations, want 8", len(tr.Iterations))
+			}
+			for _, it := range tr.Iterations {
+				if math.IsNaN(it.Loss) || math.IsInf(it.Loss, 0) {
+					t.Fatalf("iteration %d loss = %v", it.Index, it.Loss)
+				}
+			}
+			if tr.Rebalances != 2 {
+				t.Fatalf("Rebalances = %d, want 2", tr.Rebalances)
+			}
+			if _, err := e.ExportModel(); err != nil {
+				t.Fatalf("export after crash recovery: %v", err)
+			}
+		})
+	}
+}
+
+// TestElasticSSPBitIdentical proves migration composes with bounded
+// staleness: an elastic SSP run matches a fixed-membership run split at
+// the same segment boundaries (the rebalance barrier is a
+// synchronization point either way; the migration itself must be
+// value-neutral).
+func TestElasticSSPBitIdentical(t *testing.T) {
+	for _, sys := range []System{MLlib, MLlibStar} {
+		t.Run(string(sys), func(t *testing.T) {
+			ds := testData(t, 96, 12, 7)
+			cfg := baseConfig(sys, 4)
+			cfg.Staleness = 2
+			cfg.StalenessSeed = 3
+
+			golden := newElasticTestEngine(t, cfg)
+			if err := golden.Load(ds); err != nil {
+				t.Fatal(err)
+			}
+			// Same segmentation the membership schedule below induces.
+			for _, seg := range []int{2, 3, 3} {
+				if _, err := golden.Run(seg); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := golden.ExportModel()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			cfg.Membership = "leave@2:1,join@5:4"
+			e := newElasticTestEngine(t, cfg)
+			if err := e.Load(ds); err != nil {
+				t.Fatal(err)
+			}
+			tr, err := e.Run(8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := e.ExportModel()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.W, want.W) {
+				t.Fatalf("elastic SSP run diverged from fixed-membership segmented golden")
+			}
+			if len(tr.Iterations) != 8 {
+				t.Fatalf("elastic SSP recorded %d iterations, want 8", len(tr.Iterations))
+			}
+			if tr.Rebalances != 2 || tr.MigrationBytes <= 0 {
+				t.Fatalf("Rebalances=%d MigrationBytes=%d", tr.Rebalances, tr.MigrationBytes)
+			}
+		})
+	}
+}
+
+// TestElasticConfigErrors pins the construction seams: a Membership
+// schedule cannot ride a bare client slice, and malformed or
+// fleet-draining schedules are rejected up front.
+func TestElasticConfigErrors(t *testing.T) {
+	cfg := baseConfig(MLlib, 4)
+	cfg.Membership = "leave@2:1"
+	if _, err := NewLocalEngine(cfg); err == nil {
+		t.Fatal("Membership accepted without an elastic provider")
+	}
+	pool, err := membership.NewPool(4, func(int) (*cluster.Service, error) {
+		return NewWorkerService(), nil
+	}, wire.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	malformed := baseConfig(MLlib, 4)
+	malformed.Membership = "explode@1:0"
+	if _, err := NewElasticEngine(malformed, pool); err == nil {
+		t.Fatal("malformed schedule accepted")
+	}
+	draining := baseConfig(MLlib, 4)
+	draining.Membership = "leave@1:0,leave@1:1,leave@1:2,leave@1:3"
+	if _, err := NewElasticEngine(draining, pool); err == nil {
+		t.Fatal("schedule draining the whole fleet accepted")
+	}
+}
+
+// TestElasticMissedEventRejected proves the guard: driving the engine
+// past an event round without letting Run apply it is an error, not a
+// silent skip.
+func TestElasticMissedEventRejected(t *testing.T) {
+	ds := testData(t, 48, 8, 8)
+	cfg := baseConfig(MLlib, 2)
+	cfg.Membership = "leave@1:0"
+	e := newElasticTestEngine(t, cfg)
+	if err := e.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	// Force the engine past round 1 without a rebalance.
+	e.iter = 3
+	if _, err := e.Run(1); err == nil {
+		t.Fatal("missed membership event not rejected")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"columnsgd/internal/costmodel"
 	"columnsgd/internal/dataset"
 	"columnsgd/internal/driver"
+	"columnsgd/internal/membership"
 	"columnsgd/internal/metrics"
 	"columnsgd/internal/model"
 	"columnsgd/internal/opt"
@@ -85,6 +86,11 @@ type Config struct {
 	// (gradient averaging, the central model, MLlib* averaging) stays
 	// float64 either way; gradients cross the wire widened exactly.
 	Precision string
+	// Membership is an elastic-membership schedule ("leave@3:1,join@6:4",
+	// see internal/membership): events apply at round barriers, with slot
+	// migrations re-shipping the moved shard (and for MLlib* the replica
+	// plus optimizer state). Requires NewElasticEngine.
+	Membership string
 }
 
 func (c *Config) normalize() error {
@@ -131,6 +137,15 @@ func (c *Config) normalize() error {
 	if c.System == Petuum || c.System == MXNet {
 		c.Net = c.Net.WithScheduling(simnet.PSOverhead)
 	}
+	if c.Membership != "" {
+		sched, err := membership.Parse(c.Membership)
+		if err != nil {
+			return err
+		}
+		if err := sched.Validate(c.Workers); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -167,6 +182,17 @@ type Engine struct {
 	// worker-restart path (a dead worker loses its row shard), so the
 	// driver gets no Recover hook and ErrWorkerDown is terminal.
 	drv *driver.Driver
+
+	// ds is retained under elastic membership so a migrated slot can
+	// re-ship its row shard to the new host.
+	ds *dataset.Dataset
+	// ctl/pool drive elastic membership (nil on fixed-membership runs).
+	ctl  *membership.Controller
+	pool membership.NodePool
+	// migPhases/migExtra hold a rebalance's priced cost until the next
+	// finished iteration consumes it.
+	migPhases []simnet.Phase
+	migExtra  time.Duration
 }
 
 // Retries returns how many transient call failures were retried.
@@ -177,8 +203,21 @@ func (e *Engine) Retries() int64 { return e.drv.Retries() }
 // fault-tolerance counters through the same surface.
 func (e *Engine) Restarts() int64 { return e.drv.Restarts() }
 
-// NewEngine validates the config and prepares the master.
+// NewEngine validates the config and prepares the master. Configs with
+// a Membership schedule need NewElasticEngine — the engine must control
+// slot hosting, which a bare client slice cannot express.
 func NewEngine(cfg Config, clients []cluster.Client) (*Engine, error) {
+	e, err := newEngine(cfg, clients)
+	if err != nil {
+		return nil, err
+	}
+	if e.cfg.Membership != "" {
+		return nil, fmt.Errorf("rowsgd: Membership needs an elastic provider; use NewElasticEngine")
+	}
+	return e, nil
+}
+
+func newEngine(cfg Config, clients []cluster.Client) (*Engine, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
@@ -257,56 +296,14 @@ func (e *Engine) Load(ds *dataset.Dataset) error {
 		ModelID: e.mdl.Name(),
 	}
 
-	for w := 0; w < e.cfg.Workers; w++ {
-		args := &InitArgs{
-			Worker:      w,
-			NumFeatures: ds.NumFeatures,
-			ModelName:   e.cfg.ModelName,
-			ModelArg:    e.cfg.ModelArg,
-			Opt:         e.cfg.Opt,
-			HoldModel:   e.cfg.System == MLlibStar,
-			Seed:        e.cfg.Seed,
-			Parallelism: e.cfg.Parallelism,
-			Precision:   e.cfg.Precision,
-		}
-		if err := e.drv.Call(w, driver.Call{Method: MethodInit, Args: args}, nil, nil); err != nil {
-			return fmt.Errorf("rowsgd: init worker %d: %w", w, err)
-		}
-	}
-
-	// Row shards: worker w gets rows [w·N/K, (w+1)·N/K), in chunks.
-	per := (ds.N() + e.cfg.Workers - 1) / e.cfg.Workers
-	for w := 0; w < e.cfg.Workers; w++ {
-		lo := w * per
-		hi := lo + per
-		if hi > ds.N() {
-			hi = ds.N()
-		}
-		if lo >= hi {
-			return fmt.Errorf("rowsgd: worker %d would receive no rows", w)
-		}
-		for clo := lo; clo < hi; clo += e.cfg.ChunkRows {
-			chi := clo + e.cfg.ChunkRows
-			if chi > hi {
-				chi = hi
-			}
-			csr := vec.NewCSR(int32(ds.NumFeatures), chi-clo)
-			labels := make([]float64, 0, chi-clo)
-			for i := clo; i < chi; i++ {
-				if err := csr.AppendRow(ds.Points[i].Features); err != nil {
-					return err
-				}
-				labels = append(labels, ds.Points[i].Label)
-			}
-			// Loads are not idempotent, so they never retry (Retry false).
-			if err := e.drv.Call(w, driver.Call{Method: MethodLoadRows,
-				Args: &LoadRowsArgs{Labels: labels, Data: csr}}, nil, nil); err != nil {
-				return fmt.Errorf("rowsgd: load worker %d: %w", w, err)
-			}
-		}
+	if e.ctl != nil {
+		e.ds = ds
 	}
 	for w := 0; w < e.cfg.Workers; w++ {
-		if err := e.drv.Call(w, driver.Call{Method: MethodLoadDone, Args: &LoadDoneArgs{}}, nil, nil); err != nil {
+		w := w
+		if err := e.loadWorker(w, ds, func(method string, args, reply interface{}) error {
+			return e.drv.Call(w, driver.Call{Method: method, Args: args, Reply: reply}, nil, nil)
+		}); err != nil {
 			return err
 		}
 	}
@@ -322,6 +319,57 @@ func (e *Engine) Load(ds *dataset.Dataset) error {
 	return nil
 }
 
+// loadWorker initializes worker w and ships its row shard — rows
+// [w·N/K, (w+1)·N/K) in ChunkRows chunks — through call, finishing with
+// LoadDone. Load uses it for the initial dispatch and migration reuses
+// it verbatim on a slot's new host, so a rehosted worker rebuilds the
+// exact shard (and, via the slot-derived seed, the exact sample stream)
+// its predecessor held.
+func (e *Engine) loadWorker(w int, ds *dataset.Dataset, call func(method string, args, reply interface{}) error) error {
+	args := &InitArgs{
+		Worker:      w,
+		NumFeatures: ds.NumFeatures,
+		ModelName:   e.cfg.ModelName,
+		ModelArg:    e.cfg.ModelArg,
+		Opt:         e.cfg.Opt,
+		HoldModel:   e.cfg.System == MLlibStar,
+		Seed:        e.cfg.Seed,
+		Parallelism: e.cfg.Parallelism,
+		Precision:   e.cfg.Precision,
+	}
+	if err := call(MethodInit, args, nil); err != nil {
+		return fmt.Errorf("rowsgd: init worker %d: %w", w, err)
+	}
+	per := (ds.N() + e.cfg.Workers - 1) / e.cfg.Workers
+	lo := w * per
+	hi := lo + per
+	if hi > ds.N() {
+		hi = ds.N()
+	}
+	if lo >= hi {
+		return fmt.Errorf("rowsgd: worker %d would receive no rows", w)
+	}
+	for clo := lo; clo < hi; clo += e.cfg.ChunkRows {
+		chi := clo + e.cfg.ChunkRows
+		if chi > hi {
+			chi = hi
+		}
+		csr := vec.NewCSR(int32(ds.NumFeatures), chi-clo)
+		labels := make([]float64, 0, chi-clo)
+		for i := clo; i < chi; i++ {
+			if err := csr.AppendRow(ds.Points[i].Features); err != nil {
+				return err
+			}
+			labels = append(labels, ds.Points[i].Label)
+		}
+		// Loads are not idempotent, so they never retry (Retry false).
+		if err := call(MethodLoadRows, &LoadRowsArgs{Labels: labels, Data: csr}, nil); err != nil {
+			return fmt.Errorf("rowsgd: load worker %d: %w", w, err)
+		}
+	}
+	return call(MethodLoadDone, &LoadDoneArgs{}, nil)
+}
+
 // Step runs one outer iteration of the selected system.
 func (e *Engine) Step() (float64, error) {
 	if e.trace == nil {
@@ -329,6 +377,9 @@ func (e *Engine) Step() (float64, error) {
 	}
 	if e.cfg.Staleness > 0 {
 		return 0, fmt.Errorf("rowsgd: Step is BSP-only; Run drives bounded-staleness execution")
+	}
+	if err := e.maybeRebalance(); err != nil {
+		return 0, err
 	}
 	e.wallStart = time.Now()
 	switch e.cfg.System {
@@ -525,10 +576,15 @@ func (e *Engine) applyGrads(replies []GradReply) (float64, int64, error) {
 // finishIteration prices the iteration (through the shared measured-
 // phase seam) and appends it to the trace.
 func (e *Engine) finishIteration(loss float64, maxNNZ int64, phases []simnet.Phase) error {
+	// A rebalance that ran at this round's barrier is priced here: its
+	// wire traffic as a leading phase, its modeled reload time as compute
+	// extra (the same attribution recovery time gets).
+	phases = append(e.takeMigrationPhases(), phases...)
 	cost, err := costmodel.PriceRound(costmodel.Measured(phases), maxNNZ, e.cfg.Net)
 	if err != nil {
 		return err
 	}
+	cost.Compute += e.takeMigrationExtra()
 	recLoss := loss
 	if e.cfg.EvalEvery > 0 {
 		if int(e.iter)%e.cfg.EvalEvery == 0 {
@@ -569,7 +625,31 @@ func (e *Engine) modelWireBytes() int64 {
 // Steps.
 func (e *Engine) Run(iters int) (*metrics.Trace, error) {
 	if e.cfg.Staleness > 0 {
-		return e.runSSP(iters)
+		if e.ctl == nil {
+			return e.runSSP(iters)
+		}
+		// Elastic SSP: split the run into segments at membership-event
+		// rounds; the rebalance barrier between segments migrates slots
+		// while no statistics are in flight.
+		if e.trace == nil {
+			return nil, fmt.Errorf("rowsgd: Load must run before Run")
+		}
+		end := e.iter + int64(iters)
+		for e.iter < end {
+			if err := e.maybeRebalance(); err != nil {
+				return e.trace, err
+			}
+			seg := int(end - e.iter)
+			if next := e.ctl.NextRound(); next >= 0 && int64(next) < end {
+				if s := next - int(e.iter); s < seg {
+					seg = s
+				}
+			}
+			if _, err := e.runSSP(seg); err != nil {
+				return e.trace, err
+			}
+		}
+		return e.trace, nil
 	}
 	for i := 0; i < iters; i++ {
 		if _, err := e.Step(); err != nil {

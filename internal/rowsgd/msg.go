@@ -192,6 +192,29 @@ type EvalReply struct {
 	Count   int
 }
 
+// ExportStateArgs asks an MLlib* worker for its migratable state: the
+// model replica plus optimizer state — the only worker state the master
+// cannot reconstruct (row shards re-ship from the retained dataset, and
+// for the other systems the master owns the model outright).
+type ExportStateArgs struct{}
+
+// ExportStateReply carries the replica rows and optimizer state, always
+// in float64 wire form. f32 replicas widen exactly on export and narrow
+// back exactly on import, so migration is lossless at both precisions.
+type ExportStateReply struct {
+	W         []DenseVec
+	OptBlocks [][]DenseVec
+	OptSteps  int
+}
+
+// ImportStateArgs installs migrated replica + optimizer state on a
+// slot's new host after its shard reload.
+type ImportStateArgs struct {
+	W         []DenseVec
+	OptBlocks [][]DenseVec
+	OptSteps  int
+}
+
 func init() {
 	gob.Register(&InitArgs{})
 	gob.Register(&LoadRowsArgs{})
@@ -208,4 +231,7 @@ func init() {
 	gob.Register(&ModelReply{})
 	gob.Register(&EvalArgs{})
 	gob.Register(&EvalReply{})
+	gob.Register(&ExportStateArgs{})
+	gob.Register(&ExportStateReply{})
+	gob.Register(&ImportStateArgs{})
 }

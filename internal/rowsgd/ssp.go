@@ -284,9 +284,17 @@ func (e *Engine) runSSP(iters int) (*metrics.Trace, error) {
 				r.trB.Phase("allreduce", e.cfg.links()),
 			}
 		}
+		if rel == 0 {
+			// A rebalance between SSP segments completed just before this
+			// segment's first round; its priced cost lands here.
+			phases = append(e.takeMigrationPhases(), phases...)
+		}
 		cost, err := costmodel.PriceRound(costmodel.Measured(phases), r.maxNNZ, e.cfg.Net)
 		if err != nil {
 			return e.trace, err
+		}
+		if rel == 0 {
+			cost.Compute += e.takeMigrationExtra()
 		}
 		e.trace.Append(metrics.Iteration{
 			Index:        int(base) + rel,

@@ -375,6 +375,80 @@ func (w *Worker) getModel() (*ModelReply, error) {
 	return nil, fmt.Errorf("rowsgd: worker %d holds no model replica", w.id)
 }
 
+// exportState pulls the worker's migratable state for a graceful slot
+// move: the MLlib* replica and its optimizer state, widened (exactly) to
+// float64. Workers of the other systems hold only row data the master
+// can re-ship, so asking them is an error, not an empty frame.
+func (w *Worker) exportState() (*ExportStateReply, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rep := &ExportStateReply{}
+	switch {
+	case w.replica32 != nil:
+		rep.W = ToDense(w.replica32.Widen().W)
+		blocks, steps := w.o32.Snapshot()
+		rep.OptSteps = steps
+		for _, b := range blocks {
+			rep.OptBlocks = append(rep.OptBlocks, ToDense(b.Widen().W))
+		}
+	case w.replica != nil:
+		rep.W = ToDense(w.replica.Clone().W)
+		blocks, steps := w.o.Snapshot()
+		rep.OptSteps = steps
+		for _, b := range blocks {
+			rep.OptBlocks = append(rep.OptBlocks, ToDense(b.W))
+		}
+	default:
+		return nil, fmt.Errorf("rowsgd: worker %d holds no migratable state", w.id)
+	}
+	return rep, nil
+}
+
+// importState installs a migrated replica on the slot's new host. The
+// worker must already be re-initialized (init + shard reload) with
+// HoldModel; the import overwrites the seed-fresh replica and optimizer
+// so the slot resumes exactly where the old host left off. f32 workers
+// narrow the f64 wire values back to the bits the source held.
+func (w *Worker) importState(a *ImportStateArgs) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.replica == nil && w.replica32 == nil {
+		return fmt.Errorf("rowsgd: worker %d holds no model replica to import into", w.id)
+	}
+	if len(a.W) != w.mdl.ParamRows() {
+		return fmt.Errorf("rowsgd: imported replica has %d rows, want %d", len(a.W), w.mdl.ParamRows())
+	}
+	for r := range a.W {
+		if len(a.W[r]) != w.m {
+			return fmt.Errorf("rowsgd: imported replica row %d width %d, want %d", r, len(a.W[r]), w.m)
+		}
+	}
+	for bi, blk := range a.OptBlocks {
+		if len(blk) != w.mdl.ParamRows() {
+			return fmt.Errorf("rowsgd: imported opt block %d has %d rows, want %d", bi, len(blk), w.mdl.ParamRows())
+		}
+		for r := range blk {
+			if len(blk[r]) != w.m {
+				return fmt.Errorf("rowsgd: imported opt block %d row %d width %d, want %d", bi, r, len(blk[r]), w.m)
+			}
+		}
+	}
+	if w.replica32 != nil {
+		w.replica32 = model.NarrowParams(&model.Params{W: FromDenseVecs(a.W)})
+		var blocks []*model.Params32
+		for _, blk := range a.OptBlocks {
+			blocks = append(blocks, model.NarrowParams(&model.Params{W: FromDenseVecs(blk)}))
+		}
+		return w.o32.Restore(blocks, a.OptSteps)
+	}
+	w.replica = &model.Params{W: FromDenseVecs(a.W)}
+	var blocks []*model.Params
+	for _, blk := range a.OptBlocks {
+		blocks = append(blocks, &model.Params{W: FromDenseVecs(blk)})
+	}
+	return w.o.Restore(blocks, a.OptSteps)
+}
+
 func (w *Worker) evalLoss(a *EvalArgs) (*EvalReply, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -413,6 +487,8 @@ const (
 	MethodSetModel    = "rowsgd.setModel"
 	MethodGetModel    = "rowsgd.getModel"
 	MethodEvalLoss    = "rowsgd.evalLoss"
+	MethodExportState = "rowsgd.exportState"
+	MethodImportState = "rowsgd.importState"
 )
 
 // NewWorkerService builds a fresh row-oriented worker service.
@@ -480,6 +556,16 @@ func NewWorkerService() *cluster.Service {
 			return nil, fmt.Errorf("rowsgd: bad args %T", args)
 		}
 		return w.evalLoss(a)
+	})
+	svc.Register(MethodExportState, func(args interface{}) (interface{}, error) {
+		return w.exportState()
+	})
+	svc.Register(MethodImportState, func(args interface{}) (interface{}, error) {
+		a, ok := args.(*ImportStateArgs)
+		if !ok {
+			return nil, fmt.Errorf("rowsgd: bad args %T", args)
+		}
+		return nil, w.importState(a)
 	})
 	return svc
 }

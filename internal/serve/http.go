@@ -14,12 +14,14 @@ import (
 //
 //	POST /predict  {"instances":[{"indices":[1,5],"values":[1,0.5]}]}
 //	POST /reload   {"path":"model.bin"}
+//	POST /reshard  {"shards":8}
 //	GET  /metricz  observability snapshot
 //	GET  /healthz  liveness + served model version
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/predict", s.handlePredict)
 	mux.HandleFunc("/reload", s.handleReload)
+	mux.HandleFunc("/reshard", s.handleReshard)
 	mux.HandleFunc("/metricz", s.handleMetricz)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
@@ -153,6 +155,38 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, reloadResponse{ModelVersion: v})
+}
+
+type reshardRequest struct {
+	Shards int `json:"shards"`
+}
+
+type reshardResponse struct {
+	ModelVersion int64 `json:"model_version"`
+	Shards       int   `json:"shards"`
+}
+
+func (s *Server) handleReshard(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("serve: POST required"))
+		return
+	}
+	var req reshardRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+		return
+	}
+	if req.Shards <= 0 {
+		writeError(w, http.StatusBadRequest, errors.New("serve: positive shards required"))
+		return
+	}
+	v, err := s.Reshard(req.Shards)
+	if err != nil {
+		// Degraded mode: the old partitioning keeps serving.
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, reshardResponse{ModelVersion: v, Shards: req.Shards})
 }
 
 func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {

@@ -46,6 +46,9 @@ type Metrics struct {
 	// Reloads counts installed model versions; ReloadFailures counts
 	// rejected installs (the last good model kept serving).
 	Reloads, ReloadFailures atomic.Int64
+	// Reshards counts live repartitionings published; ReshardFailures
+	// counts rejected reshards (the old partitioning kept serving).
+	Reshards, ReshardFailures atomic.Int64
 }
 
 // NewMetrics builds the registry: latency buckets 1µs–~5min, batch-size
@@ -105,6 +108,10 @@ type Snapshot struct {
 
 	Reloads        int64 `json:"reloads"`
 	ReloadFailures int64 `json:"reload_failures"`
+
+	Shards          int   `json:"shards"`
+	Reshards        int64 `json:"reshards"`
+	ReshardFailures int64 `json:"reshard_failures"`
 }
 
 // Snapshot captures the server's current metrics.
@@ -158,5 +165,9 @@ func (s *Server) Snapshot() Snapshot {
 
 		Reloads:        m.Reloads.Load(),
 		ReloadFailures: m.ReloadFailures.Load(),
+
+		Shards:          s.Shards(),
+		Reshards:        m.Reshards.Load(),
+		ReshardFailures: m.ReshardFailures.Load(),
 	}
 }

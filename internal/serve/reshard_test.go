@@ -1,0 +1,218 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"columnsgd/internal/serve"
+)
+
+// TestReshardMatchesLocalExactly proves a live repartitioning is
+// value-neutral: integer weights make per-shard sums exact, so every
+// shard count the server passes through must score byte-identically to
+// the unsharded reference.
+func TestReshardMatchesLocalExactly(t *testing.T) {
+	const features = 97
+	rng := rand.New(rand.NewSource(7))
+	rows := integerRows(rng, 1, features)
+	s, err := serve.New(serve.Options{
+		ModelName: "lr",
+		Shards:    2,
+		MaxWait:   time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	v1, err := s.Install(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdl := s.Model()
+	check := func(label string) {
+		t.Helper()
+		for i := 0; i < 20; i++ {
+			row := randomSparse(rng, features, true)
+			stats, wantLabel := localScore(mdl, rows, row)
+			got, err := s.Predict(context.Background(), row)
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			if got.Margin != stats[0] || got.Label != wantLabel {
+				t.Fatalf("%s row %d: sharded (%v,%v) != local (%v,%v)",
+					label, i, got.Margin, got.Label, stats[0], wantLabel)
+			}
+		}
+	}
+	check("before reshard")
+	for _, n := range []int{5, 1, 8} {
+		v, err := s.Reshard(n)
+		if err != nil {
+			t.Fatalf("reshard to %d: %v", n, err)
+		}
+		if v <= v1 {
+			t.Fatalf("reshard to %d published version %d, want > %d", n, v, v1)
+		}
+		v1 = v
+		if s.Shards() != n {
+			t.Fatalf("Shards() = %d, want %d", s.Shards(), n)
+		}
+		check(fmt.Sprintf("after reshard to %d", n))
+	}
+	snap := s.Snapshot()
+	if snap.Reshards != 3 || snap.Shards != 8 {
+		t.Fatalf("metrics: reshards=%d shards=%d, want 3/8", snap.Reshards, snap.Shards)
+	}
+}
+
+// TestReshardZeroDrop hammers Predict from many goroutines while the
+// shard count flips back and forth; every request must be answered
+// correctly by whichever partitioning its batch pinned.
+func TestReshardZeroDrop(t *testing.T) {
+	const features = 64
+	rng := rand.New(rand.NewSource(11))
+	rows := integerRows(rng, 1, features)
+	s, err := serve.New(serve.Options{
+		ModelName: "lr",
+		Shards:    3,
+		MaxWait:   50 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	if _, err := s.Install(rows); err != nil {
+		t.Fatal(err)
+	}
+	mdl := s.Model()
+
+	type probe struct {
+		err error
+		got serve.Prediction
+	}
+	const clients, perClient = 8, 40
+	var wg sync.WaitGroup
+	probes := make([][]probe, clients)
+	for c := 0; c < clients; c++ {
+		c := c
+		crng := rand.New(rand.NewSource(int64(100 + c)))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make([]probe, perClient)
+			for i := 0; i < perClient; i++ {
+				row := randomSparse(crng, features, true)
+				stats, wantLabel := localScore(mdl, rows, row)
+				got, err := s.Predict(context.Background(), row)
+				out[i] = probe{err: err, got: got}
+				if err == nil && (got.Margin != stats[0] || got.Label != wantLabel) {
+					out[i].err = fmt.Errorf("value mismatch: got (%v,%v) want (%v,%v)",
+						got.Margin, got.Label, stats[0], wantLabel)
+				}
+			}
+			probes[c] = out
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			n := 2 + i%5
+			if _, err := s.Reshard(n); err != nil {
+				t.Errorf("reshard %d: %v", n, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	for c := range probes {
+		for i, p := range probes[c] {
+			if p.err != nil {
+				t.Fatalf("client %d request %d: %v", c, i, p.err)
+			}
+		}
+	}
+}
+
+// TestReshardErrors pins the failure seams: resharding before any model
+// is installed, and non-positive shard counts.
+func TestReshardErrors(t *testing.T) {
+	s, err := serve.New(serve.Options{ModelName: "lr", Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	if _, err := s.Reshard(4); !errors.Is(err, serve.ErrNoModel) {
+		t.Fatalf("reshard before install: %v, want ErrNoModel", err)
+	}
+	if _, err := s.Reshard(0); err == nil {
+		t.Fatal("reshard to 0 accepted")
+	}
+	rng := rand.New(rand.NewSource(3))
+	if _, err := s.Install(integerRows(rng, 1, 16)); err != nil {
+		t.Fatal(err)
+	}
+	v := s.Version()
+	// Same shard count is a no-op: no new version.
+	got, err := s.Reshard(2)
+	if err != nil || got != v {
+		t.Fatalf("no-op reshard: version %d err %v, want %d nil", got, err, v)
+	}
+}
+
+// TestReshardHTTP drives the /reshard endpoint end to end.
+func TestReshardHTTP(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rows := integerRows(rng, 1, 32)
+	s, err := serve.New(serve.Options{ModelName: "lr", Shards: 2, MaxWait: time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+
+	post := func(body string) (int, map[string]interface{}) {
+		t.Helper()
+		resp, err := srv.Client().Post(srv.URL+"/reshard", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]interface{}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, out
+	}
+
+	// No model yet: conflict, old (empty) state keeps serving.
+	if code, _ := post(`{"shards":4}`); code != 409 {
+		t.Fatalf("reshard before install: status %d, want 409", code)
+	}
+	if _, err := s.Install(rows); err != nil {
+		t.Fatal(err)
+	}
+	code, out := post(`{"shards":4}`)
+	if code != 200 {
+		t.Fatalf("reshard: status %d body %v", code, out)
+	}
+	if out["shards"].(float64) != 4 {
+		t.Fatalf("reshard response %v", out)
+	}
+	if s.Shards() != 4 {
+		t.Fatalf("Shards() = %d after HTTP reshard", s.Shards())
+	}
+	if code, _ := post(`{"shards":0}`); code != 400 {
+		t.Fatalf("reshard to 0: status %d, want 400", code)
+	}
+}

@@ -172,6 +172,10 @@ type snapshot struct {
 	// shards32 holds the float32-narrowed shard blocks under Precision
 	// "f32" (built once per install); nil under f64.
 	shards32 []*model.Params32
+	// groups are the scorer groups this version fans out to — snapshot-
+	// scoped so a live Reshard swaps partitioning and scorers together
+	// while batches pinned to the old version finish on the old groups.
+	groups []*shardGroup
 }
 
 // Prediction is one scored example.
@@ -200,11 +204,19 @@ type request struct {
 // Server is the ColumnServe frontend: admission queue, micro-batcher,
 // shard fan-out, and metrics.
 type Server struct {
-	opts   Options
-	codec  wire.Codec
-	mdl    model.Model
-	groups []*shardGroup
-	met    *Metrics
+	opts  Options
+	codec wire.Codec
+	mdl   model.Model
+	met   *Metrics
+
+	// installMu serializes Install/Reshard: both mutate the retained
+	// rows, the shard count, and the groups, then publish a snapshot
+	// built from them. The scoring path never takes it.
+	installMu  sync.Mutex
+	rows       [][]float64 // last installed parameter rows (reshard source)
+	shards     int         // current shard count
+	groups     []*shardGroup
+	newReplica func(shard, rep int) Scorer
 
 	cur         atomic.Pointer[snapshot]
 	nextVersion atomic.Int64
@@ -269,6 +281,8 @@ func New(opts Options) (*Server, error) {
 			return LocalScorer{Model: mdl, Pool: pool}
 		}
 	}
+	s.newReplica = newReplica
+	s.shards = opts.Shards
 	s.groups = make([]*shardGroup, opts.Shards)
 	for k := range s.groups {
 		s.groups[k] = newShardGroup(k, opts.Replicas, newReplica)
@@ -302,6 +316,14 @@ func (s *Server) Features() int {
 // QueueDepth returns the current admission-queue occupancy.
 func (s *Server) QueueDepth() int { return len(s.queue) }
 
+// Shards returns the current column-shard count (Options.Shards until
+// the first Reshard).
+func (s *Server) Shards() int {
+	s.installMu.Lock()
+	defer s.installMu.Unlock()
+	return s.shards
+}
+
 // Metrics returns the live metrics registry.
 func (s *Server) Metrics() *Metrics { return s.met }
 
@@ -323,13 +345,58 @@ func newScheme(name string, m, k int) (partition.Scheme, error) {
 // In-flight batches finish on the version they pinned — nothing is
 // dropped. On error the previous version keeps serving.
 func (s *Server) Install(rows [][]float64) (int64, error) {
+	s.installMu.Lock()
+	defer s.installMu.Unlock()
 	snap, err := s.buildSnapshot(rows)
 	if err != nil {
 		s.met.ReloadFailures.Add(1)
 		return 0, err
 	}
+	// Retain a private copy of the rows: Reshard rebuilds its snapshot
+	// from them, and the caller may mutate its slice after Install.
+	s.rows = make([][]float64, len(rows))
+	for i := range rows {
+		s.rows[i] = append([]float64(nil), rows[i]...)
+	}
 	s.cur.Store(snap)
 	s.met.Reloads.Add(1)
+	return snap.version, nil
+}
+
+// Reshard atomically repartitions serving over n column shards: a new
+// scheme, shard blocks, and scorer groups are built from the retained
+// model rows and published as a fresh version. Batches pinned to the
+// old snapshot finish on the old groups — no request is dropped — and
+// on any error the old partitioning keeps serving. Same n is a no-op.
+func (s *Server) Reshard(n int) (int64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("serve: reshard needs a positive shard count, got %d", n)
+	}
+	s.installMu.Lock()
+	defer s.installMu.Unlock()
+	if s.rows == nil {
+		return 0, ErrNoModel
+	}
+	if n == s.shards {
+		if snap := s.cur.Load(); snap != nil {
+			return snap.version, nil
+		}
+		return 0, ErrNoModel
+	}
+	groups := make([]*shardGroup, n)
+	for k := range groups {
+		groups[k] = newShardGroup(k, s.opts.Replicas, s.newReplica)
+	}
+	oldShards, oldGroups := s.shards, s.groups
+	s.shards, s.groups = n, groups
+	snap, err := s.buildSnapshot(s.rows)
+	if err != nil {
+		s.shards, s.groups = oldShards, oldGroups
+		s.met.ReshardFailures.Add(1)
+		return 0, err
+	}
+	s.cur.Store(snap)
+	s.met.Reshards.Add(1)
 	return snap.version, nil
 }
 
@@ -360,11 +427,11 @@ func (s *Server) buildSnapshot(rows [][]float64) (*snapshot, error) {
 			return nil, fmt.Errorf("serve: ragged parameter rows (%d vs %d values)", len(rows[i]), features)
 		}
 	}
-	scheme, err := newScheme(s.opts.Scheme, features, s.opts.Shards)
+	scheme, err := newScheme(s.opts.Scheme, features, s.shards)
 	if err != nil {
 		return nil, err
 	}
-	shards := make([]*model.Params, s.opts.Shards)
+	shards := make([]*model.Params, s.shards)
 	for p := range shards {
 		width := scheme.PartSize(p)
 		blk := model.NewParams(len(rows), width)
@@ -380,6 +447,7 @@ func (s *Server) buildSnapshot(rows [][]float64) (*snapshot, error) {
 		features: features,
 		scheme:   scheme,
 		shards:   shards,
+		groups:   s.groups,
 	}
 	if s.opts.Precision == "f32" {
 		snap.shards32 = make([]*model.Params32, len(shards))
@@ -569,7 +637,7 @@ func (s *Server) scoreBatch(batch []*request) {
 				req.Params = snap.shards[k]
 				req.Batch = model.Batch{Rows: shardRows[k], Labels: labels}
 			}
-			stats[k], errs[k] = s.callShard(req)
+			stats[k], errs[k] = s.callShard(snap.groups[k], req)
 		}(k)
 	}
 	wg.Wait()
@@ -627,8 +695,7 @@ func (s *Server) fail(batch []*request, err error) {
 // last attempt wraps ErrShardDeadline (errors.Is still sees
 // context.DeadlineExceeded through it); anything else wraps
 // ErrReplicasExhausted. The two land on separate /metricz counters.
-func (s *Server) callShard(req ShardRequest) ([]float64, error) {
-	g := s.groups[req.Shard]
+func (s *Server) callShard(g *shardGroup, req ShardRequest) ([]float64, error) {
 	reqBytes := s.shardRequestBytes(req)
 	attempts := 2
 	if len(g.replicas) > attempts {

@@ -39,6 +39,40 @@ func LoadModel(path string) ([][]float64, error) {
 	return rows, nil
 }
 
+// ShardAssignment is a persisted slot→node placement: Epoch counts the
+// membership events applied when it was taken, Hosts[i] names the node
+// hosting worker slot i.
+type ShardAssignment struct {
+	Epoch int64
+	Hosts []int
+}
+
+// SaveAssignment checkpoints an elastic trainer's current slot→node
+// shard assignment and its membership epoch. A restore must pair a
+// model checkpoint with the assignment it was trained on, so save both
+// together. Fixed-membership trainers (Config.Membership empty) have no
+// assignment to record and return an error.
+func (t *Trainer) SaveAssignment(path string) error {
+	hosts, epoch, ok := t.engine.ShardAssignment()
+	if !ok {
+		return fmt.Errorf("columnsgd: no elastic membership to checkpoint (Config.Membership is empty)")
+	}
+	return persist.SaveShardMap(path, persist.ShardMap{Epoch: epoch, Hosts: hosts})
+}
+
+// LoadAssignment reads a shard-assignment checkpoint written by
+// SaveAssignment. minEpoch guards against restoring a placement older
+// than the model checkpoint it accompanies: assignments whose epoch is
+// below it are rejected (errors.Is persist.ErrStaleMap under the hood),
+// as are truncated or corrupted files.
+func LoadAssignment(path string, minEpoch int64) (ShardAssignment, error) {
+	m, err := persist.LoadShardMap(path, minEpoch)
+	if err != nil {
+		return ShardAssignment{}, fmt.Errorf("columnsgd: %w", err)
+	}
+	return ShardAssignment{Epoch: m.Epoch, Hosts: m.Hosts}, nil
+}
+
 // AUC computes the area under the ROC curve of the model's scores over a
 // binary (±1) dataset — the standard quality metric for the CTR workloads
 // that motivate the paper. Returns an error on non-binary labels or

@@ -1,0 +1,262 @@
+package columnsgd_test
+
+// Rebalance harness: the headline elasticity guarantee, asserted across
+// the full engine matrix (ColumnSGD plus the four RowSGD baselines).
+// A job that gracefully loses a worker node mid-training and regains a
+// fresh one later must converge BIT-IDENTICALLY to a fixed-membership
+// golden once membership stabilizes — migration ships partitions and
+// optimizer state losslessly, worker slots are logical and fixed, and
+// the rebalance barrier never drops a round. Crash events lose state by
+// design and are held to convergence instead.
+//
+// Every schedule here is deterministic and seeded; failures print a
+// replay line:
+//
+//	go run ./cmd/colsgd-train -membership "<schedule>" -seed <seed>
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"columnsgd"
+	"columnsgd/internal/chaos"
+	"columnsgd/internal/chaos/diff"
+)
+
+// rebalanceSchedule is the matrix's canonical membership schedule: node
+// 1 leaves at the round-2 barrier, fresh node 4 joins at round 5.
+const rebalanceSchedule = "leave@2:1,join@5:4"
+
+func rebalanceReplay(w diff.Workload) string {
+	return fmt.Sprintf("replay: go run ./cmd/colsgd-train -membership %q -seed %d -workers %d -iters %d",
+		w.Membership, w.Seed, w.Workers, w.Iters)
+}
+
+// TestRebalanceBitIdenticalMatrix is the headline: for every engine, an
+// elastic run through leave+join equals the fixed-membership golden bit
+// for bit, with zero dropped rounds and nonzero migration traffic.
+func TestRebalanceBitIdenticalMatrix(t *testing.T) {
+	for _, eng := range diff.Engines() {
+		t.Run(eng, func(t *testing.T) {
+			w := diff.Workload{Seed: 61, Workers: 4, Iters: 8}
+			golden, err := diff.Run(eng, w, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			we := w
+			we.Membership = rebalanceSchedule
+			t.Log(rebalanceReplay(we))
+			res, err := runUnderWatchdog(t, chaos.Spec{}, func() (*diff.Result, error) {
+				return diff.Run(eng, we, nil)
+			})
+			if err != nil {
+				t.Fatalf("elastic run failed: %v\n%s", err, rebalanceReplay(we))
+			}
+			if math.Float64bits(res.Loss) != math.Float64bits(golden.Loss) {
+				t.Errorf("loss differs: elastic %v vs fixed %v; %s", res.Loss, golden.Loss, rebalanceReplay(we))
+			}
+			if !diff.BitIdentical(res.Weights, golden.Weights) {
+				t.Errorf("elastic weights diverged from fixed-membership golden (max |Δ| = %g); %s",
+					diff.MaxAbsDiff(res.Weights, golden.Weights), rebalanceReplay(we))
+			}
+			if res.Rounds != w.Iters {
+				t.Errorf("elastic run recorded %d rounds, want %d (dropped rounds); %s",
+					res.Rounds, w.Iters, rebalanceReplay(we))
+			}
+			if res.Rebalances != 2 {
+				t.Errorf("Rebalances = %d, want 2; %s", res.Rebalances, rebalanceReplay(we))
+			}
+			if res.MigrationBytes <= 0 {
+				t.Errorf("MigrationBytes = %d, want > 0; %s", res.MigrationBytes, rebalanceReplay(we))
+			}
+			if golden.Rebalances != 0 {
+				t.Errorf("fixed-membership golden reported %d rebalances", golden.Rebalances)
+			}
+		})
+	}
+}
+
+// TestRebalanceCrashConverges is the lossy leg: a crash discards the
+// lost node's state (reinitialized from the seed on the new host), so
+// the matrix asserts convergence and replay determinism rather than
+// golden bit-identity.
+func TestRebalanceCrashConverges(t *testing.T) {
+	for _, eng := range diff.Engines() {
+		t.Run(eng, func(t *testing.T) {
+			w := diff.Workload{Seed: 62, Workers: 4, Iters: 8, Membership: "crash@2:0,join@5:4"}
+			t.Log(rebalanceReplay(w))
+			res, err := runUnderWatchdog(t, chaos.Spec{}, func() (*diff.Result, error) {
+				return diff.Run(eng, w, nil)
+			})
+			if err != nil {
+				t.Fatalf("crash run failed: %v\n%s", err, rebalanceReplay(w))
+			}
+			if math.IsNaN(res.Loss) || math.IsInf(res.Loss, 0) {
+				t.Fatalf("crash run diverged: final loss %v; %s", res.Loss, rebalanceReplay(w))
+			}
+			if res.Rounds != w.Iters || res.Rebalances != 2 {
+				t.Errorf("rounds=%d rebalances=%d, want %d/2; %s",
+					res.Rounds, res.Rebalances, w.Iters, rebalanceReplay(w))
+			}
+			again, err := diff.Run(eng, w, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !diff.BitIdentical(res.Weights, again.Weights) {
+				t.Errorf("crash schedule is not replay-deterministic (max |Δ| = %g); %s",
+					diff.MaxAbsDiff(res.Weights, again.Weights), rebalanceReplay(w))
+			}
+		})
+	}
+}
+
+// TestRebalanceSSP composes migration with bounded staleness for every
+// engine. The rebalance barrier resegments the SSP schedule, so the
+// engine-level suites own the segmented-golden bit-identity proof; here
+// the matrix asserts replay determinism, zero dropped rounds, and that
+// the elastic run stays within the tolerance band of the fixed SSP run.
+func TestRebalanceSSP(t *testing.T) {
+	for _, eng := range diff.Engines() {
+		t.Run(eng, func(t *testing.T) {
+			w := diff.Workload{Seed: 63, Workers: 4, Iters: 8, Staleness: 2, StalenessSeed: 3}
+			fixed, err := diff.Run(eng, w, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			we := w
+			we.Membership = rebalanceSchedule
+			t.Log(rebalanceReplay(we))
+			res, err := runUnderWatchdog(t, chaos.Spec{}, func() (*diff.Result, error) {
+				return diff.Run(eng, we, nil)
+			})
+			if err != nil {
+				t.Fatalf("elastic SSP run failed: %v\n%s", err, rebalanceReplay(we))
+			}
+			if res.Rounds != w.Iters || res.Rebalances != 2 {
+				t.Errorf("rounds=%d rebalances=%d, want %d/2; %s",
+					res.Rounds, res.Rebalances, w.Iters, rebalanceReplay(we))
+			}
+			if gap := math.Abs(res.Loss - fixed.Loss); !(gap <= lossBand) {
+				t.Errorf("elastic SSP loss %v drifted %v from fixed SSP %v (band %v); %s",
+					res.Loss, gap, fixed.Loss, lossBand, rebalanceReplay(we))
+			}
+			again, err := diff.Run(eng, we, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !diff.BitIdentical(res.Weights, again.Weights) {
+				t.Errorf("elastic SSP is not replay-deterministic (max |Δ| = %g); %s",
+					diff.MaxAbsDiff(res.Weights, again.Weights), rebalanceReplay(we))
+			}
+		})
+	}
+}
+
+// TestRebalanceUnderChaos injects delay/reorder faults (value-neutral,
+// absorbed by the driver) on top of the membership schedule: migrations
+// must still complete, faults must actually fire, and the final loss
+// must stay in the band of the fault-free elastic run.
+func TestRebalanceUnderChaos(t *testing.T) {
+	spec := chaos.Spec{Seed: 640, Delay: 0.2, Reorder: 0.05, MaxDelay: 200 * time.Microsecond}
+	for _, eng := range diff.Engines() {
+		t.Run(eng, func(t *testing.T) {
+			w := diff.Workload{Seed: 64, Workers: 4, Iters: 8, Membership: rebalanceSchedule}
+			t.Log(rebalanceReplay(w))
+			clean, err := diff.Run(eng, w, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := runUnderWatchdog(t, spec, func() (*diff.Result, error) {
+				return diff.Run(eng, w, &spec)
+			})
+			if err != nil {
+				t.Fatalf("elastic run under chaos failed: %v\n%s\n%s", err, replayHint(spec), rebalanceReplay(w))
+			}
+			if n := res.Faults.Delayed + res.Faults.Reordered; n == 0 {
+				t.Fatalf("no faults fired (%s); the cell is vacuous. %s", res.Faults, replayHint(spec))
+			}
+			if res.Rounds != w.Iters || res.Rebalances != 2 {
+				t.Errorf("rounds=%d rebalances=%d, want %d/2; %s",
+					res.Rounds, res.Rebalances, w.Iters, rebalanceReplay(w))
+			}
+			if gap := math.Abs(res.Loss - clean.Loss); !(gap <= lossBand) {
+				t.Errorf("chaotic elastic loss %v drifted %v from clean elastic %v (band %v); %s",
+					res.Loss, gap, clean.Loss, lossBand, replayHint(spec))
+			}
+		})
+	}
+}
+
+// TestRebalancePipeline proves the rebalance barrier composes with the
+// pipelined driver: pipelining is value-neutral, so the pipelined
+// elastic run must still equal the (unpipelined) fixed golden.
+func TestRebalancePipeline(t *testing.T) {
+	w := diff.Workload{Seed: 65, Workers: 4, Iters: 8}
+	golden, err := diff.RunColumnSGD(w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	we := w
+	we.Membership = rebalanceSchedule
+	we.Pipeline = true
+	t.Log(rebalanceReplay(we))
+	res, err := diff.RunColumnSGD(we, nil)
+	if err != nil {
+		t.Fatalf("pipelined elastic run failed: %v\n%s", err, rebalanceReplay(we))
+	}
+	if !diff.BitIdentical(res.Weights, golden.Weights) {
+		t.Errorf("pipelined elastic run diverged from fixed golden (max |Δ| = %g); %s",
+			diff.MaxAbsDiff(res.Weights, golden.Weights), rebalanceReplay(we))
+	}
+	if res.Rounds != w.Iters || res.Rebalances != 2 {
+		t.Errorf("rounds=%d rebalances=%d, want %d/2; %s", res.Rounds, res.Rebalances, w.Iters, rebalanceReplay(we))
+	}
+}
+
+// TestTrainElasticMembership drives the public API end to end: a
+// Config.Membership run through columnsgd.Train matches the fixed run
+// exactly, and invalid schedules are rejected at config time.
+func TestTrainElasticMembership(t *testing.T) {
+	ds, err := columnsgd.Generate(columnsgd.Synthetic{N: 240, Features: 24, NNZPerRow: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := columnsgd.Config{
+		Model:        columnsgd.LogisticRegression,
+		Workers:      4,
+		BatchSize:    32,
+		LearningRate: 0.5,
+		Iterations:   8,
+		Seed:         9,
+	}
+	fixed, err := columnsgd.Train(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elastic := cfg
+	elastic.Membership = rebalanceSchedule
+	res, err := columnsgd.Train(ds, elastic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diff.BitIdentical(res.Weights(), fixed.Weights()) {
+		t.Errorf("public-API elastic run diverged from fixed run")
+	}
+	if math.Float64bits(res.FinalLoss) != math.Float64bits(fixed.FinalLoss) {
+		t.Errorf("final loss differs: elastic %v vs fixed %v", res.FinalLoss, fixed.FinalLoss)
+	}
+
+	bad := cfg
+	bad.Membership = "explode@1:0"
+	if _, err := columnsgd.Train(ds, bad); err == nil {
+		t.Error("malformed membership schedule accepted by the public API")
+	}
+	remote := cfg
+	remote.Membership = rebalanceSchedule
+	remote.WorkerAddrs = []string{"a", "b", "c", "d"}
+	if _, err := columnsgd.Train(ds, remote); err == nil {
+		t.Error("Membership + WorkerAddrs accepted")
+	}
+}
