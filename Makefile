@@ -64,6 +64,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzWireDecode -fuzztime=10s ./internal/wire/
 	$(GO) test -run=^$$ -fuzz=FuzzWireRoundTrip -fuzztime=10s ./internal/wire/
 	$(GO) test -run=^$$ -fuzz=FuzzZeroCopyDecode -fuzztime=10s ./internal/wire/
+	$(GO) test -run=^$$ -fuzz=FuzzSolverFrame -fuzztime=10s ./internal/wire/
 	$(GO) test -run=^$$ -fuzz=FuzzStalenessClock -fuzztime=10s ./internal/ssp/
 	$(GO) test -run=^$$ -fuzz=FuzzAdmission -fuzztime=10s ./internal/serve/
 	$(GO) test -run=^$$ -fuzz=FuzzMigrationPlan -fuzztime=10s ./internal/membership/
@@ -75,16 +76,19 @@ fuzz:
 # shrink — and internal/serve, whose replica/hedging/admission machinery
 # is all concurrency and failure paths — and internal/driver +
 # internal/ssp, the retry/exclusive fan-out and bounded-staleness
-# runtimes every elastic rebalance barrier composes with.
+# runtimes every elastic rebalance barrier composes with — and
+# internal/opt, the solver layer whose update rules every engine's
+# round loop now defers to.
 WIRE_COVER_FLOOR := 70
 VEC_COVER_FLOOR := 80
 SERVE_COVER_FLOOR := 75
 DRIVER_COVER_FLOOR := 70
 SSP_COVER_FLOOR := 70
+OPT_COVER_FLOOR := 80
 cover:
 	@$(GO) test -cover ./... | tee cover.txt
 	@status=0; \
-	for pf in "internal/wire:$(WIRE_COVER_FLOOR)" "internal/vec:$(VEC_COVER_FLOOR)" "internal/serve:$(SERVE_COVER_FLOOR)" "internal/driver:$(DRIVER_COVER_FLOOR)" "internal/ssp:$(SSP_COVER_FLOOR)"; do \
+	for pf in "internal/wire:$(WIRE_COVER_FLOOR)" "internal/vec:$(VEC_COVER_FLOOR)" "internal/serve:$(SERVE_COVER_FLOOR)" "internal/driver:$(DRIVER_COVER_FLOOR)" "internal/ssp:$(SSP_COVER_FLOOR)" "internal/opt:$(OPT_COVER_FLOOR)"; do \
 		pkg=$${pf%%:*}; floor=$${pf##*:}; \
 		cov=$$(sed -n "s|^ok[[:space:]]*columnsgd/$$pkg[[:space:]].*coverage: \([0-9.]*\)%.*|\1|p" cover.txt); \
 		if [ -z "$$cov" ]; then echo "cover: no coverage line for $$pkg"; status=1; continue; fi; \

@@ -59,6 +59,12 @@ type BenchResult struct {
 	// deterministic for a fixed workload, so benchdiff gates its growth
 	// with the same threshold as NsPerIter.
 	MigrationBytes int64 `json:"migration_bytes,omitempty"`
+	// StatsBytesToTarget is the statistics traffic a solver row spent to
+	// first reach the fixed target loss, set only by the solver/* rows.
+	// Deterministic for a fixed workload, so benchdiff gates its growth
+	// with the same threshold as NsPerIter — a fatter frame or extra
+	// rounds to target is a real efficiency regression, not noise.
+	StatsBytesToTarget int64 `json:"stats_bytes_to_target,omitempty"`
 }
 
 // BenchReport is the file `make bench` writes (BENCH_<rev>.json).
@@ -692,6 +698,84 @@ func benchRebalance(k int) (testing.BenchmarkResult, int64, error) {
 	return res, migBytes, benchErr
 }
 
+// benchSolver measures a whole training job under one master-side
+// solver until it first reaches the target full-data loss, reporting
+// wall clock per job plus the statistics bytes spent to get there —
+// the fewer-fatter-rounds trade the solver layer exists for, in one
+// deterministic number benchdiff can gate.
+func benchSolver(solver string, localSteps, memory int) (testing.BenchmarkResult, int64, error) {
+	// Target 0.30 is deep enough that per-round SGD pays ~33 rounds while
+	// the fatter-round solvers arrive in a handful; batch 120 keeps the
+	// classic round fat enough that full-batch L-BFGS margins (keyed to N,
+	// not B) don't drown its round advantage in frame size.
+	const (
+		solverTargetLoss = 0.30
+		solverMaxIters   = 60
+	)
+	w := diff.Workload{
+		Model: "lr", Seed: 5, Batch: 120,
+		Solver: solver, LocalSteps: localSteps, LBFGSMemory: memory,
+	}.Defaults()
+	var statsBytes int64
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			prov, err := core.NewLocalProvider(w.Workers)
+			if err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+			e, err := core.NewEngine(core.Config{
+				Workers:     w.Workers,
+				ModelName:   w.Model,
+				Opt:         w.Opt,
+				BatchSize:   w.Batch,
+				BlockSize:   16,
+				Seed:        w.Seed,
+				EvalEvery:   1,
+				Solver:      w.Solver,
+				LocalSteps:  w.LocalSteps,
+				LBFGSMemory: w.LBFGSMemory,
+			}, prov)
+			if err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+			ds, err := w.Dataset()
+			if err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+			if err := e.Load(ds); err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+			if _, err := e.Run(solverMaxIters); err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+			var bytes int64
+			reached := false
+			for _, it := range e.Trace().Iterations {
+				for _, ph := range it.Phases {
+					bytes += ph.Bytes
+				}
+				if it.Loss == it.Loss && it.Loss <= solverTargetLoss {
+					reached = true
+					break
+				}
+			}
+			if !reached {
+				benchErr = fmt.Errorf("solver %s: loss never reached %.2f in %d rounds",
+					solver, solverTargetLoss, solverMaxIters)
+				b.FailNow()
+			}
+			statsBytes = bytes
+		}
+	})
+	return res, statsBytes, benchErr
+}
+
 // bestOf runs fn benchRounds times and keeps the fastest round.
 func bestOf(fn func() (testing.BenchmarkResult, error)) (testing.BenchmarkResult, error) {
 	var best testing.BenchmarkResult
@@ -859,6 +943,36 @@ func runBenchJSON(path, rev string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "[bench] %-24s %12.0f ns/job  %10d migration bytes\n",
 			name, float64(res.NsPerOp()), migBytes)
 	}
+	for _, sc := range []struct {
+		name       string
+		solver     string
+		localSteps int
+		memory     int
+	}{
+		{"solver/sgd", "sgd", 0, 0},
+		{"solver/local-K4", "local", 4, 0},
+		{"solver/lbfgs-m8", "lbfgs", 0, 8},
+	} {
+		var statsBytes int64
+		res, err := bestOf(func() (testing.BenchmarkResult, error) {
+			r, sb, err := benchSolver(sc.solver, sc.localSteps, sc.memory)
+			statsBytes = sb
+			return r, err
+		})
+		if err != nil {
+			return fmt.Errorf("bench %s: %w", sc.name, err)
+		}
+		report.Results = append(report.Results, BenchResult{
+			Name:               sc.name,
+			Engine:             "columnsgd",
+			Model:              "lr",
+			P:                  1,
+			NsPerIter:          float64(res.NsPerOp()),
+			StatsBytesToTarget: statsBytes,
+		})
+		fmt.Fprintf(stdout, "[bench] %-24s %12.0f ns/job  %10d stats bytes to target\n",
+			sc.name, float64(res.NsPerOp()), statsBytes)
+	}
 	gobBytes, err := codecFrameBytes(wire.Gob)
 	if err != nil {
 		return fmt.Errorf("bench codec: %w", err)
@@ -957,6 +1071,21 @@ func runBenchDiff(oldPath, newPath string, threshold float64, stdout io.Writer) 
 			}
 			fmt.Fprintf(stdout, "  %-8s %-24s %12d -> %-12d migration bytes (%+6.1f%%)\n",
 				mstatus, nr.Name, or.MigrationBytes, nr.MigrationBytes, (mratio-1)*100)
+		}
+		// Bytes-to-target gate: the solver rows ship a deterministic
+		// amount of statistics before first touching the target loss;
+		// growth past the threshold means the solver got chattier or
+		// slower to converge.
+		if or.StatsBytesToTarget > 0 && nr.StatsBytesToTarget > 0 {
+			sratio := float64(nr.StatsBytesToTarget) / float64(or.StatsBytesToTarget)
+			sstatus := "ok"
+			if sratio > 1+threshold {
+				sstatus = "REGRESSED"
+				regressions = append(regressions,
+					fmt.Sprintf("%s: stats-to-target %d -> %d bytes (%+.1f%%)", nr.Name, or.StatsBytesToTarget, nr.StatsBytesToTarget, (sratio-1)*100))
+			}
+			fmt.Fprintf(stdout, "  %-8s %-24s %12d -> %-12d stats bytes to target (%+6.1f%%)\n",
+				sstatus, nr.Name, or.StatsBytesToTarget, nr.StatsBytesToTarget, (sratio-1)*100)
 		}
 		// Quantile gate: serve-load rows also carry latency quantiles, and
 		// a regression can hide entirely in the tail (the p50 of a hedged

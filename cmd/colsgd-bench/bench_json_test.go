@@ -190,3 +190,68 @@ func TestBenchDiffErrors(t *testing.T) {
 		t.Error("missing file accepted")
 	}
 }
+
+func TestBenchDiffFailsOnStatsBytesRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldP, newP := filepath.Join(dir, "old.json"), filepath.Join(dir, "new.json")
+	// Wall clock is flat; the solver just needed 2x the statistics to
+	// first touch the target loss — the shape of a fatter frame or a
+	// convergence regression hiding behind unchanged per-round cost.
+	writeReport(t, oldP, "aaa", []BenchResult{
+		{Name: "solver/lbfgs-m8", NsPerIter: 1000, StatsBytesToTarget: 50_000},
+	})
+	writeReport(t, newP, "bbb", []BenchResult{
+		{Name: "solver/lbfgs-m8", NsPerIter: 1000, StatsBytesToTarget: 100_000},
+	})
+	var sb strings.Builder
+	err := run([]string{"-benchdiff", "-old", oldP, "-new", newP}, &sb)
+	if err == nil {
+		t.Fatalf("2x stats-bytes-to-target regression passed:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "stats bytes to target") || !strings.Contains(sb.String(), "REGRESSED") {
+		t.Errorf("stats-bytes regression not flagged: %q", sb.String())
+	}
+	// Baselines from before the solver rows still diff fine.
+	sb.Reset()
+	writeReport(t, oldP, "aaa", []BenchResult{{Name: "solver/lbfgs-m8", NsPerIter: 1000}})
+	if err := run([]string{"-benchdiff", "-old", oldP, "-new", newP}, &sb); err != nil {
+		t.Fatalf("diff against byte-free baseline failed: %v\n%s", err, sb.String())
+	}
+}
+
+// TestBenchSolverRows pins the solver rows themselves: each reaches the
+// target loss with deterministic nonzero statistics traffic, and the
+// fatter-round solvers spend fewer bytes to target than per-round SGD —
+// without waiting for the full -benchjson suite.
+func TestBenchSolverRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bytesFor := func(solver string, steps, mem int) int64 {
+		t.Helper()
+		res, sb, err := benchSolver(solver, steps, mem)
+		if err != nil {
+			t.Fatalf("%s: %v", solver, err)
+		}
+		if res.N <= 0 || sb <= 0 {
+			t.Fatalf("%s: N=%d stats=%d", solver, res.N, sb)
+		}
+		_, again, err := benchSolver(solver, steps, mem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again != sb {
+			t.Fatalf("%s stats bytes not deterministic: %d vs %d", solver, sb, again)
+		}
+		return sb
+	}
+	sgd := bytesFor("sgd", 0, 0)
+	local := bytesFor("local", 4, 0)
+	lbfgs := bytesFor("lbfgs", 0, 8)
+	if !(local < sgd) {
+		t.Errorf("local-K4 spent %d stats bytes to target, sgd %d — want fewer", local, sgd)
+	}
+	if !(lbfgs < sgd) {
+		t.Errorf("lbfgs-m8 spent %d stats bytes to target, sgd %d — want fewer", lbfgs, sgd)
+	}
+}

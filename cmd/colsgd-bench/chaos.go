@@ -8,6 +8,18 @@ import (
 	"columnsgd/internal/chaos/diff"
 )
 
+// chaosOpts carries the run shape of a chaos replay: everything beyond
+// the fault spec and seed that picks the execution schedule.
+type chaosOpts struct {
+	Pipeline    bool
+	Staleness   int
+	StaleSeed   int64
+	Precision   string
+	Solver      string
+	LocalSteps  int
+	LBFGSMemory int
+}
+
 // runChaos replays a seeded fault schedule against every engine the
 // differential harness knows, printing the injected-fault counters,
 // retry/restart activity, and the loss delta against the same workload
@@ -15,22 +27,24 @@ import (
 // replay hint points at: the spec string plus the seed reproduce the
 // exact per-link fault schedule the test saw. Under bounded staleness
 // the chaos seed alone is not a complete bug report — the staleness
-// bound and lag-schedule seed pick the execution schedule — so both
-// ride along in the printed replay line.
-func runChaos(specStr string, seed int64, engines []string, pipeline bool, staleness int, staleSeed int64, precision string, w io.Writer) error {
+// bound and lag-schedule seed pick the execution schedule — and the
+// solver settings reshape the round entirely, so all of them ride
+// along in the printed replay line.
+func runChaos(specStr string, seed int64, engines []string, o chaosOpts, w io.Writer) error {
 	spec, err := chaos.ParseSpec(specStr)
 	if err != nil {
 		return err
 	}
 	spec.Seed = seed
-	fmt.Fprintf(w, "chaos replay: spec=%q seed=%d staleness=%d staleness-seed=%d precision=%q\n",
-		spec.String(), spec.Seed, staleness, staleSeed, precision)
-	fmt.Fprintf(w, "replay: go run ./cmd/colsgd-bench -chaos %q -seed %d -staleness %d -staleness-seed %d -precision %q\n\n",
-		spec.String(), spec.Seed, staleness, staleSeed, precision)
+	fmt.Fprintf(w, "chaos replay: spec=%q seed=%d staleness=%d staleness-seed=%d precision=%q solver=%q local-steps=%d lbfgs-memory=%d\n",
+		spec.String(), spec.Seed, o.Staleness, o.StaleSeed, o.Precision, o.Solver, o.LocalSteps, o.LBFGSMemory)
+	fmt.Fprintf(w, "replay: go run ./cmd/colsgd-bench -chaos %q -seed %d -staleness %d -staleness-seed %d -precision %q -solver %q -local-steps %d -lbfgs-memory %d\n\n",
+		spec.String(), spec.Seed, o.Staleness, o.StaleSeed, o.Precision, o.Solver, o.LocalSteps, o.LBFGSMemory)
 
 	for _, engine := range engines {
-		wl := diff.Workload{Model: "lr", Seed: spec.Seed, Pipeline: pipeline,
-			Staleness: staleness, StalenessSeed: staleSeed, Precision: precision}.Defaults()
+		wl := diff.Workload{Model: "lr", Seed: spec.Seed, Pipeline: o.Pipeline,
+			Staleness: o.Staleness, StalenessSeed: o.StaleSeed, Precision: o.Precision,
+			Solver: o.Solver, LocalSteps: o.LocalSteps, LBFGSMemory: o.LBFGSMemory}.Defaults()
 		ref, err := diff.Run(engine, wl, nil)
 		if err != nil {
 			return fmt.Errorf("%s reference run: %w", engine, err)

@@ -39,19 +39,22 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("colsgd-bench", flag.ContinueOnError)
 	var (
-		exp       = fs.String("exp", "", "experiment ID (empty = all)")
-		list      = fs.Bool("list", false, "list experiment IDs and exit")
-		scale     = fs.Float64("scale", 1.0, "dataset scale multiplier")
-		seed      = fs.Int64("seed", 42, "random seed")
-		iters     = fs.Int("iters", 0, "override per-run iteration count (0 = defaults)")
-		out       = fs.String("out", "", "also write the report to this file")
-		svg       = fs.String("svg", "", "also render every figure as an SVG file into this directory")
-		chaos     = fs.String("chaos", "", "replay a chaos fault spec (e.g. \"drop=0.05,corrupt=0.03\") against every engine and exit")
-		eng       = fs.String("engine", "", "with -chaos: restrict the replay to one engine")
-		pipeline  = fs.Bool("pipeline", false, "with -chaos: run the ColumnSGD engine with pipelined fan-out (bit-identical; default off to match checked-in schedules)")
-		staleness = fs.Int("staleness", 0, "with -chaos: bounded-staleness bound s for every engine (0 = synchronous BSP rounds)")
-		staleSeed = fs.Int64("staleness-seed", 0, "with -chaos: staleness lag-schedule seed (0 = max slack)")
-		precision = fs.String("precision", "", "with -chaos: worker compute precision for every engine: f64 (default) or f32")
+		exp        = fs.String("exp", "", "experiment ID (empty = all)")
+		list       = fs.Bool("list", false, "list experiment IDs and exit")
+		scale      = fs.Float64("scale", 1.0, "dataset scale multiplier")
+		seed       = fs.Int64("seed", 42, "random seed")
+		iters      = fs.Int("iters", 0, "override per-run iteration count (0 = defaults)")
+		out        = fs.String("out", "", "also write the report to this file")
+		svg        = fs.String("svg", "", "also render every figure as an SVG file into this directory")
+		chaos      = fs.String("chaos", "", "replay a chaos fault spec (e.g. \"drop=0.05,corrupt=0.03\") against every engine and exit")
+		eng        = fs.String("engine", "", "with -chaos: restrict the replay to one engine")
+		pipeline   = fs.Bool("pipeline", false, "with -chaos: run the ColumnSGD engine with pipelined fan-out (bit-identical; default off to match checked-in schedules)")
+		staleness  = fs.Int("staleness", 0, "with -chaos: bounded-staleness bound s for every engine (0 = synchronous BSP rounds)")
+		staleSeed  = fs.Int64("staleness-seed", 0, "with -chaos: staleness lag-schedule seed (0 = max slack)")
+		precision  = fs.String("precision", "", "with -chaos: worker compute precision for every engine: f64 (default) or f32")
+		solver     = fs.String("solver", "", "with -chaos: master-side update rule for every engine: sgd (default), local, lbfgs")
+		localSteps = fs.Int("local-steps", 0, "with -chaos: local steps K for -solver local (0 = default 4)")
+		lbfgsMem   = fs.Int("lbfgs-memory", 0, "with -chaos: curvature-pair history m for -solver lbfgs (0 = default 8)")
 
 		loadgen     = fs.Bool("loadgen", false, "run the open-loop serving load generator and exit")
 		replicas    = fs.Int("replicas", 1, "with -loadgen: scorer replicas per column shard")
@@ -104,7 +107,15 @@ func run(args []string, stdout io.Writer) error {
 		if *eng != "" {
 			engines = []string{*eng}
 		}
-		return runChaos(*chaos, *seed, engines, *pipeline, *staleness, *staleSeed, *precision, stdout)
+		return runChaos(*chaos, *seed, engines, chaosOpts{
+			Pipeline:    *pipeline,
+			Staleness:   *staleness,
+			StaleSeed:   *staleSeed,
+			Precision:   *precision,
+			Solver:      *solver,
+			LocalSteps:  *localSteps,
+			LBFGSMemory: *lbfgsMem,
+		}, stdout)
 	}
 
 	if *list {

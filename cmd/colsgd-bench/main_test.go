@@ -136,3 +136,24 @@ func TestBenchChaosRejectsBadSpec(t *testing.T) {
 		t.Fatal("bad chaos spec accepted")
 	}
 }
+
+func TestBenchChaosReplaySolver(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-chaos", "drop=0.05", "-seed", "7", "-engine", "columnsgd",
+		"-solver", "local", "-local-steps", "4"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// The replay line must carry the solver settings: they reshape the
+	// round, so spec+seed alone no longer reproduce the schedule.
+	for _, want := range []string{
+		"solver=\"local\" local-steps=4",
+		"replay: go run ./cmd/colsgd-bench -chaos \"drop=0.05\" -seed 7 -staleness 0 -staleness-seed 0 -precision \"\" -solver \"local\" -local-steps 4 -lbfgs-memory 0",
+		"[columnsgd]",
+		"loss:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("solver chaos replay output missing %q:\n%s", want, out)
+		}
+	}
+}

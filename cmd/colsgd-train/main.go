@@ -49,6 +49,9 @@ func run(args []string, stdout io.Writer) error {
 		pipeline   = fs.Bool("pipeline", true, "overlap next iteration's batch-plan broadcast with the current update (bit-identical)")
 		staleness  = fs.Int("staleness", 0, "bounded-staleness bound s: workers run up to s iterations ahead (0 = synchronous BSP; s > 0 disables -pipeline)")
 		staleSeed  = fs.Int64("staleness-seed", 0, "staleness lag-schedule seed (0 = max slack; same seed replays the same schedule)")
+		solver     = fs.String("solver", "", "master-side update rule: sgd (default classic round), local (K local steps per exchange), lbfgs (full-batch L-BFGS with line search; disables -pipeline)")
+		localSteps = fs.Int("local-steps", 0, "local optimizer steps K per exchange for -solver local (0 = default 4)")
+		lbfgsMem   = fs.Int("lbfgs-memory", 0, "curvature-pair history m for -solver lbfgs (0 = default 8)")
 		evalEvery  = fs.Int("eval-every", 10, "full-loss evaluation interval (0 = batch loss)")
 		addrs      = fs.String("addrs", "", "comma-separated TCP worker addresses (empty = in-process)")
 		codec      = fs.String("codec", "", "statistics codec: gob, wire, wire-f32, wire-f16 (default: compact lossless)")
@@ -95,10 +98,18 @@ func run(args []string, stdout io.Writer) error {
 		Codec:         *codec,
 		Precision:     *precision,
 		Membership:    *membership,
+		Solver:        *solver,
+		LocalSteps:    *localSteps,
+		LBFGSMemory:   *lbfgsMem,
 	}
 	if *staleness > 0 {
 		// Pipelining is a BSP round mechanism; SSP already overlaps
 		// iterations through the staleness window.
+		cfg.Pipeline = false
+	}
+	if *solver == "lbfgs" {
+		// L-BFGS rounds are sequenced (gradient → direction → line
+		// search); there is no next batch plan to overlap.
 		cfg.Pipeline = false
 	}
 	if *addrs != "" {

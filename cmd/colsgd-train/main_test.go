@@ -187,3 +187,39 @@ func TestRunEpochAccess(t *testing.T) {
 		t.Fatal("epoch run produced no summary")
 	}
 }
+
+func TestRunSolverFlags(t *testing.T) {
+	data := writeData(t)
+	var sb strings.Builder
+	err := run([]string{
+		"-data", data, "-iters", "30", "-batch", "32", "-lr", "0.3",
+		"-workers", "2", "-solver", "local", "-local-steps", "4",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "final loss:") {
+		t.Fatalf("local-solver run produced no summary:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	// -solver lbfgs must drop the default -pipeline rather than reject it.
+	err = run([]string{
+		"-data", data, "-iters", "12", "-lr", "0.3",
+		"-workers", "2", "-solver", "lbfgs", "-lbfgs-memory", "8",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "final loss:") {
+		t.Fatalf("lbfgs run produced no summary:\n%s", sb.String())
+	}
+
+	// Solver knobs are validated before training starts.
+	if err := run([]string{"-data", data, "-solver", "newton"}, &sb); err == nil {
+		t.Fatal("unknown -solver accepted")
+	}
+	if err := run([]string{"-data", data, "-local-steps", "4"}, &sb); err == nil {
+		t.Fatal("-local-steps without -solver local accepted")
+	}
+}

@@ -172,6 +172,24 @@ type Config struct {
 	// since the values are already float32-representable.
 	Precision string
 
+	// Solver selects the master-side update rule: "" or "sgd" (the
+	// default classic round — one optimizer step per statistics
+	// exchange), "local" (each worker runs LocalSteps optimizer steps
+	// per exchange against a frozen-peer statistics estimate, trading a
+	// 1.5× round for K× the local progress), or "lbfgs" (master-side
+	// L-BFGS over gathered partial dot products with a deterministic
+	// backtracking line search; full-batch, so BatchSize is ignored).
+	// "sgd" is bit-identical to leaving the field empty, and "local"
+	// with LocalSteps 1 is bit-identical to "sgd".
+	Solver string
+	// LocalSteps is K for the "local" solver (0 means the default 4,
+	// max 64). Setting it with any other solver is an error.
+	LocalSteps int
+	// LBFGSMemory is m, the curvature-pair history of the "lbfgs"
+	// solver (0 means the default 8, max 32). Setting it with any other
+	// solver is an error.
+	LBFGSMemory int
+
 	// Membership schedules elastic cluster-membership events, e.g.
 	// "leave@3:1,join@6:4,crash@9:0" — at the barrier before round 3,
 	// node 1 announces departure and its column partitions migrate to the
@@ -215,6 +233,11 @@ func (c Config) normalized() (Config, error) {
 	if _, err := wire.ParseCodec(c.Codec); err != nil {
 		return c, fmt.Errorf("columnsgd: %w", err)
 	}
+	sc, err := opt.SolverConfig{Name: c.Solver, LocalSteps: c.LocalSteps, LBFGSMemory: c.LBFGSMemory}.Normalized()
+	if err != nil {
+		return c, fmt.Errorf("columnsgd: %w", err)
+	}
+	c.Solver, c.LocalSteps, c.LBFGSMemory = sc.Name, sc.LocalSteps, sc.LBFGSMemory
 	switch c.Precision {
 	case "", "f64", "f32":
 	default:
@@ -295,6 +318,9 @@ func (c Config) coreConfig() core.Config {
 		StalenessSeed:      c.StalenessSeed,
 		Precision:          c.Precision,
 		Membership:         c.Membership,
+		Solver:             c.Solver,
+		LocalSteps:         c.LocalSteps,
+		LBFGSMemory:        c.LBFGSMemory,
 	}
 }
 

@@ -91,6 +91,16 @@ type Workload struct {
 	// fixed-membership golden — and crashes reinitialize the lost slot
 	// from the seed. Works on every engine and composes with chaos specs.
 	Membership string
+	// Solver selects the master-side update rule for every engine
+	// ("", "sgd", "local", "lbfgs"); LocalSteps and LBFGSMemory are its
+	// knobs. "sgd" (and "local" with LocalSteps 1) is bit-identical to
+	// the classic round, which the solver matrix asserts; "local" K>1
+	// and "lbfgs" run the fewer-fatter-rounds shapes. Engines that
+	// reject a combination (e.g. lbfgs on MLlib*) surface the config
+	// error.
+	Solver      string
+	LocalSteps  int
+	LBFGSMemory int
 }
 
 // codec parses the workload's codec selection.
@@ -302,6 +312,9 @@ func runColumnSGD(w Workload, prov core.Provider, spec *chaos.Spec) (*Result, er
 		StalenessSeed:      w.StalenessSeed,
 		Precision:          w.Precision,
 		Membership:         w.Membership,
+		Solver:             w.Solver,
+		LocalSteps:         w.LocalSteps,
+		LBFGSMemory:        w.LBFGSMemory,
 	}
 	e, err := core.NewEngine(cfg, prov)
 	if err != nil {
@@ -365,6 +378,11 @@ func RunRowSGD(w Workload, sys rowsgd.System, spec *chaos.Spec) (*Result, error)
 		StalenessSeed: w.StalenessSeed,
 		Precision:     w.Precision,
 		Membership:    w.Membership,
+		Solver:        w.Solver,
+		LBFGSMemory:   w.LBFGSMemory,
+	}
+	if w.Solver == opt.SolverLocal {
+		cfg.LocalSteps = w.LocalSteps
 	}
 	var e *rowsgd.Engine
 	var inj *chaos.Injector

@@ -112,6 +112,28 @@ type Config struct {
 	// Incompatible with Backup — the replica-group layout assumes the
 	// fixed fleet. Empty disables elasticity.
 	Membership string
+	// Solver selects the master-side update rule (see internal/opt):
+	// "sgd" (default — one optimizer step per statistics exchange, the
+	// classic round), "local" (each worker runs LocalSteps local
+	// optimizer steps per exchange, refreshing only its own statistics
+	// contribution between steps), or "lbfgs" (the master runs
+	// limited-memory BFGS over gathered partial dot products, with a
+	// deterministic line search priced as one extra statistics message).
+	// L-BFGS rounds are full-batch and rewire the exchange entirely, so
+	// "lbfgs" rejects Backup, Pipeline, Staleness, Membership, f32
+	// precision, epoch access, non-linear-margin models (fm), L1/L2
+	// regularization (the line-search loss cannot see the regularizer),
+	// and non-SGD optimizers (the curvature history replaces their
+	// state).
+	Solver string
+	// LocalSteps is K for the "local" solver (0 means the default 4;
+	// K = 1 is exactly the classic round). Distinct from the rowsgd
+	// baselines' same-named knob, which tunes MLlib*'s local-training
+	// emulation.
+	LocalSteps int
+	// LBFGSMemory is m, the curvature-pair history of the "lbfgs"
+	// solver (0 means the default 8).
+	LBFGSMemory int
 }
 
 // Precision values for Config.Precision.
@@ -196,6 +218,36 @@ func (c *Config) normalize() error {
 			return err
 		}
 	}
+	sc, err := opt.SolverConfig{Name: c.Solver, LocalSteps: c.LocalSteps, LBFGSMemory: c.LBFGSMemory}.Normalized()
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	c.Solver, c.LocalSteps, c.LBFGSMemory = sc.Name, sc.LocalSteps, sc.LBFGSMemory
+	if c.Solver == opt.SolverLBFGS {
+		// L-BFGS replaces the whole round shape; every feature whose
+		// math assumes the per-batch statistics exchange is rejected
+		// rather than silently mis-composed.
+		switch {
+		case c.Backup > 0:
+			return fmt.Errorf("core: solver lbfgs is incompatible with Backup (full-batch rounds have no replica race to win)")
+		case c.Pipeline:
+			return fmt.Errorf("core: solver lbfgs is incompatible with Pipeline (rounds are sequential gather/solve/apply phases)")
+		case c.Staleness > 0:
+			return fmt.Errorf("core: solver lbfgs is incompatible with Staleness (curvature pairs need the synchronous iterate)")
+		case c.Membership != "":
+			return fmt.Errorf("core: solver lbfgs is incompatible with Membership (migrating a partition would orphan its curvature history)")
+		case c.Precision == PrecisionF32:
+			return fmt.Errorf("core: solver lbfgs needs f64 precision (curvature dot products are rounding-sensitive)")
+		case c.Access == "epoch":
+			return fmt.Errorf("core: solver lbfgs is full-batch; epoch access does not apply")
+		case c.ModelName == "fm":
+			return fmt.Errorf("core: solver lbfgs needs linear-margin statistics; model fm is quadratic in its parameters")
+		case c.Opt.L1 > 0 || c.Opt.L2 > 0:
+			return fmt.Errorf("core: solver lbfgs is incompatible with L1/L2 regularization (the line-search loss cannot see the regularizer)")
+		case c.Opt.Algo != "" && c.Opt.Algo != "sgd":
+			return fmt.Errorf("core: solver lbfgs replaces the optimizer; Opt.Algo %q does not compose", c.Opt.Algo)
+		}
+	}
 	return nil
 }
 
@@ -257,6 +309,17 @@ type Engine struct {
 	pool      membership.NodePool
 	migPhases []simnet.Phase
 	migExtra  time.Duration
+
+	// solver decides the round shape (internal/opt); plan caches its
+	// Plan() so the hot loop never re-asks.
+	solver opt.Solver
+	plan   opt.RoundPlan
+	// lb is the master-side L-BFGS state machine when the solver is
+	// "lbfgs" (nil otherwise).
+	lb *opt.LBFGS
+	// lastDelta is the most recent local-update round's summed
+	// worker-delta vector (see LastLocalDelta).
+	lastDelta []float64
 }
 
 // Retries returns how many task-level retries (transient call failures
@@ -284,6 +347,10 @@ func NewEngine(cfg Config, prov Provider) (*Engine, error) {
 	if len(clients) != cfg.Workers {
 		return nil, fmt.Errorf("core: provider has %d workers, config says %d", len(clients), cfg.Workers)
 	}
+	sol, err := opt.NewSolver(opt.SolverConfig{Name: cfg.Solver, LocalSteps: cfg.LocalSteps, LBFGSMemory: cfg.LBFGSMemory})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	e := &Engine{
 		cfg:     cfg,
 		prov:    prov,
@@ -291,6 +358,11 @@ func NewEngine(cfg Config, prov Provider) (*Engine, error) {
 		mdl:     mdl,
 		rng:     rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
 		live:    make([]bool, cfg.Workers),
+		solver:  sol,
+		plan:    sol.Plan(),
+	}
+	if lb, ok := sol.(*opt.LBFGS); ok {
+		e.lb = lb
 	}
 	// The driver holds the provider's clients slice: a restart swaps
 	// the failed worker's client in place and the driver re-resolves it
@@ -488,6 +560,14 @@ func (e *Engine) systemName() string {
 	if e.cfg.Stragglers.Mode != "" && e.cfg.Stragglers.Mode != "none" {
 		name += fmt.Sprintf("-SL%g", e.cfg.Stragglers.Level)
 	}
+	// Classic rounds ("sgd", and "local" at K=1 which is the identical
+	// code path) keep the unsuffixed name so existing goldens hold.
+	if e.cfg.Solver == opt.SolverLocal && e.cfg.LocalSteps > 1 {
+		name += fmt.Sprintf("-local%d", e.cfg.LocalSteps)
+	}
+	if e.cfg.Solver == opt.SolverLBFGS {
+		name += fmt.Sprintf("-lbfgs%d", e.cfg.LBFGSMemory)
+	}
 	return name
 }
 
@@ -627,6 +707,10 @@ func (e *Engine) Step() (IterStats, error) {
 	if e.cfg.Staleness > 0 {
 		return IterStats{}, fmt.Errorf("core: Step is BSP-only; Run drives bounded-staleness execution")
 	}
+	if e.plan.FullBatch {
+		// L-BFGS rounds replace the batch exchange entirely.
+		return e.stepLBFGS()
+	}
 	if err := e.maybeRebalance(); err != nil {
 		return IterStats{}, err
 	}
@@ -700,20 +784,44 @@ func (e *Engine) Step() (IterStats, error) {
 	e.putStatsReplies(statsReplies)
 
 	// Phase 2: broadcast aggregated statistics; workers compute
-	// gradients and update their model partitions (lines 7–8).
+	// gradients and update their model partitions (lines 7–8). The
+	// solver decides the round shape: K = 1 keeps the classic
+	// UpdateArgs frame bit-for-bit; K > 1 switches to the multi-step
+	// frame whose reply carries the accumulated local delta.
 	lives = e.LiveWorkers() // backup may have killed the straggler
-	updReplies := make([]UpdateReply, len(lives))
+	localSteps := e.plan.LocalSteps
+	var (
+		updReplies []UpdateReply
+		solReplies []SolverUpdateReply
+		mkUpdate   func(slot, w int) driver.Call
+	)
 	updTraffic := &driver.Traffic{}
 	updArgs := e.statsArgs(e.iter)
-	upd := e.drv.Start(lives, updTraffic, func(slot, _ int) driver.Call {
-		return driver.Call{
-			Method: MethodUpdate,
-			Args: &UpdateArgs{Iter: updArgs.Iter, BatchSize: updArgs.BatchSize,
-				Epoch: updArgs.Epoch, EpochSeed: updArgs.EpochSeed, Stats: agg},
-			Reply: &updReplies[slot],
-			Retry: true,
+	if localSteps > 1 {
+		solReplies = make([]SolverUpdateReply, len(lives))
+		mkUpdate = func(slot, _ int) driver.Call {
+			return driver.Call{
+				Method: MethodSolverUpdate,
+				Args: &SolverUpdateArgs{Version: solverFrameVersion, Iter: updArgs.Iter,
+					BatchSize: updArgs.BatchSize, Epoch: updArgs.Epoch,
+					EpochSeed: updArgs.EpochSeed, LocalSteps: localSteps, Stats: agg},
+				Reply: &solReplies[slot],
+				Retry: true,
+			}
 		}
-	}, nil)
+	} else {
+		updReplies = make([]UpdateReply, len(lives))
+		mkUpdate = func(slot, _ int) driver.Call {
+			return driver.Call{
+				Method: MethodUpdate,
+				Args: &UpdateArgs{Iter: updArgs.Iter, BatchSize: updArgs.BatchSize,
+					Epoch: updArgs.Epoch, EpochSeed: updArgs.EpochSeed, Stats: agg},
+				Reply: &updReplies[slot],
+				Retry: true,
+			}
+		}
+	}
+	upd := e.drv.Start(lives, updTraffic, mkUpdate, nil)
 	// Pipelined fan-out: launch the next iteration's statistics calls
 	// chained per worker behind this update broadcast. The batch plan
 	// is model-independent, so computing it (and transmitting it) early
@@ -737,7 +845,14 @@ func (e *Engine) Step() (IterStats, error) {
 	gotLoss := false
 	var updCompute time.Duration
 	for i, w := range lives {
-		t := time.Duration(float64(updReplies[i].NNZ) / e.cfg.Net.ComputeNNZPerSec * float64(time.Second))
+		var wLoss float64
+		var wNNZ int64
+		if localSteps > 1 {
+			wLoss, wNNZ = solReplies[i].Loss, solReplies[i].NNZ
+		} else {
+			wLoss, wNNZ = updReplies[i].Loss, updReplies[i].NNZ
+		}
+		t := time.Duration(float64(wNNZ) / e.cfg.Net.ComputeNNZPerSec * float64(time.Second))
 		if w == straggler {
 			t = e.cfg.Stragglers.Stretch(t)
 		}
@@ -745,7 +860,12 @@ func (e *Engine) Step() (IterStats, error) {
 			updCompute = t
 		}
 		if !gotLoss {
-			loss, gotLoss = updReplies[i].Loss, true
+			loss, gotLoss = wLoss, true
+		}
+	}
+	if localSteps > 1 {
+		if err := e.sumLocalDeltas(lives, solReplies, len(agg)); err != nil {
+			return IterStats{}, err
 		}
 	}
 
@@ -790,6 +910,43 @@ func (e *Engine) Step() (IterStats, error) {
 	e.iter++
 	return IterStats{Loss: loss, Cost: cost}, nil
 }
+
+// sumLocalDeltas folds one replica's accumulated local delta per backup
+// group (replicas hold the same partitions, so their deltas are
+// identical) into e.lastDelta.
+func (e *Engine) sumLocalDeltas(lives []int, replies []SolverUpdateReply, need int) error {
+	span := e.cfg.Backup + 1
+	if cap(e.lastDelta) < need {
+		e.lastDelta = make([]float64, need)
+	}
+	delta := e.lastDelta[:need]
+	for i := range delta {
+		delta[i] = 0
+	}
+	seen := make([]bool, e.cfg.Workers/span)
+	for i, w := range lives {
+		g := w / span
+		if seen[g] {
+			continue
+		}
+		seen[g] = true
+		d := replies[i].Delta
+		if len(d) != need {
+			return fmt.Errorf("core: worker %d returned %d delta values, want %d", w, len(d), need)
+		}
+		for j, v := range d {
+			delta[j] += v
+		}
+	}
+	e.lastDelta = delta
+	return nil
+}
+
+// LastLocalDelta returns the summed worker statistics delta (own_K −
+// own_0, one replica per group) of the most recent local-update BSP
+// round; nil before the first such round and under SSP, where each
+// worker folds its own delta at its own pace.
+func (e *Engine) LastLocalDelta() []float64 { return e.lastDelta }
 
 func maxNNZ(replies []workerReply) int64 {
 	var m int64

@@ -1,0 +1,236 @@
+package core
+
+// Master-side L-BFGS round (Config.Solver "lbfgs"). Each round is six
+// phases over the statistics exchange — no parameter vector ever moves:
+//
+//  1. gather-margins:   full-data margins M, one partition per worker.
+//  2. bcast-margins:    broadcast M; each worker computes its shard's
+//                       mean gradient, commits the pending (s,y) pair,
+//                       and returns a partial Gram matrix over the
+//                       basis [s_1..s_p, y_1..y_p, g].
+//  3. (master, free):   two-loop recursion in coefficient space over
+//                       the summed Gram → basis coefficients θ, gᵀd.
+//  4. solve-direction:  broadcast θ; workers materialize d = Σθ_i·b_i
+//                       and return the direction's full-data margins D.
+//  5. line-search:      one worker (labels are replicated) prices the
+//                       whole backtracking ladder in one message:
+//                       margin(w + α·d) = M + α·D.
+//  6. apply-step:       broadcast the chosen α; workers commit
+//                       w += α·d and park α·d as the next s-vector.
+//
+// This is the vector-free L-BFGS decomposition (cf. distributed
+// quasi-Newton over dot products): everything the two-loop recursion
+// needs is inner products, and column-disjoint partitions make partial
+// dot products sum exactly.
+
+import (
+	"fmt"
+	"time"
+
+	"columnsgd/internal/costmodel"
+	"columnsgd/internal/driver"
+	"columnsgd/internal/metrics"
+	"columnsgd/internal/simnet"
+)
+
+// modelCompute prices nnz kernel work on worker w, stretching the
+// injected straggler.
+func (e *Engine) modelCompute(nnz int64, w, straggler int) time.Duration {
+	t := time.Duration(float64(nnz) / e.cfg.Net.ComputeNNZPerSec * float64(time.Second))
+	if w == straggler {
+		t = e.cfg.Stragglers.Stretch(t)
+	}
+	return t
+}
+
+// stepLBFGS runs one L-BFGS round and records it in the trace. The
+// recorded loss is the mean full-data loss at the pre-step iterate
+// (φ(0) from the line search — full evaluation is a free byproduct of
+// the round, so EvalEvery is moot here).
+func (e *Engine) stepLBFGS() (IterStats, error) {
+	wallStart := time.Now()
+	straggler := e.stragglerFor()
+	lives := e.LiveWorkers()
+	if len(lives) == 0 {
+		return IterStats{}, fmt.Errorf("core: no live workers")
+	}
+
+	// Phase 1: gather full-data margins. Backup and Membership are
+	// rejected for this solver, so partition w lives on worker w.
+	gatherTraffic := &driver.Traffic{}
+	evalReplies := make([]EvalReply, len(lives))
+	extraRecovery, err := e.drv.Gather(lives, gatherTraffic, func(slot, w int) driver.Call {
+		c := driver.Call{Method: MethodEvalStats,
+			Args:  &EvalArgs{Partition: w, FromBlock: 0, ToBlock: e.numBlocks},
+			Reply: &evalReplies[slot], Retry: true}
+		if w == straggler {
+			c.Delay = e.cfg.Stragglers.Wall
+		}
+		return c
+	})
+	if err != nil {
+		e.drv.Publish(e.trace)
+		return IterStats{}, err
+	}
+	margins := make([]float64, len(evalReplies[0].Stats))
+	var gatherCompute time.Duration
+	var peakNNZ int64
+	for i, w := range lives {
+		r := &evalReplies[i]
+		if len(r.Stats) != len(margins) {
+			return IterStats{}, fmt.Errorf("core: worker %d returned %d margins, want %d", w, len(r.Stats), len(margins))
+		}
+		for j, v := range r.Stats {
+			margins[j] += v
+		}
+		if t := e.modelCompute(r.NNZ, w, straggler); t > gatherCompute {
+			gatherCompute = t
+		}
+		if r.NNZ > peakNNZ {
+			peakNNZ = r.NNZ
+		}
+	}
+
+	// Phase 2: broadcast margins, gather partial Grams. e.lb.Pairs()
+	// already counts the pair the workers commit inside this call (the
+	// master advances at the end of the round the step was taken in).
+	pairs := e.lb.Pairs()
+	gradTraffic := &driver.Traffic{}
+	gradReplies := make([]SolverGradReply, len(lives))
+	gradArgs := &SolverGradArgs{Version: solverFrameVersion, Round: e.iter,
+		Pairs: pairs, Memory: e.cfg.LBFGSMemory, Stats: margins}
+	ex, err := e.drv.Gather(lives, gradTraffic, func(slot, _ int) driver.Call {
+		return driver.Call{Method: MethodSolverGrad, Args: gradArgs, Reply: &gradReplies[slot], Retry: true}
+	})
+	if err != nil {
+		e.drv.Publish(e.trace)
+		return IterStats{}, err
+	}
+	extraRecovery += ex
+	d := 2*pairs + 1
+	gram := make([]float64, d*d)
+	var gradCompute time.Duration
+	for i, w := range lives {
+		r := &gradReplies[i]
+		if r.Pairs != pairs || len(r.Gram) != d*d {
+			return IterStats{}, fmt.Errorf("core: worker %d returned a %d-pair %d-entry Gram, want %d pairs (%d entries)",
+				w, r.Pairs, len(r.Gram), pairs, d*d)
+		}
+		for j, v := range r.Gram {
+			gram[j] += v
+		}
+		if t := e.modelCompute(r.NNZ, w, straggler); t > gradCompute {
+			gradCompute = t
+		}
+	}
+
+	// Phase 3 (master-local): two-loop recursion in coefficient space.
+	coeffs, gTd, err := e.lb.Direction(gram)
+	if err != nil {
+		return IterStats{}, err
+	}
+
+	// Phase 4: materialize the direction, gather its full-data margins.
+	dirTraffic := &driver.Traffic{}
+	dirReplies := make([]SolverDirReply, len(lives))
+	dirArgs := &SolverDirArgs{Version: solverFrameVersion, Coeffs: coeffs}
+	ex, err = e.drv.Gather(lives, dirTraffic, func(slot, _ int) driver.Call {
+		return driver.Call{Method: MethodSolverDir, Args: dirArgs, Reply: &dirReplies[slot], Retry: true}
+	})
+	if err != nil {
+		e.drv.Publish(e.trace)
+		return IterStats{}, err
+	}
+	extraRecovery += ex
+	dirMargins := make([]float64, len(margins))
+	var dirCompute time.Duration
+	for i, w := range lives {
+		r := &dirReplies[i]
+		if len(r.Margins) != len(dirMargins) {
+			return IterStats{}, fmt.Errorf("core: worker %d returned %d direction margins, want %d", w, len(r.Margins), len(dirMargins))
+		}
+		for j, v := range r.Margins {
+			dirMargins[j] += v
+		}
+		if t := e.modelCompute(r.NNZ, w, straggler); t > dirCompute {
+			dirCompute = t
+		}
+	}
+
+	// Phase 5: one worker prices the whole backtracking ladder in a
+	// single message — every probe is margin arithmetic plus point
+	// losses, no model movement.
+	alphas := e.lb.Ladder()
+	lineTraffic := &driver.Traffic{}
+	var lineReply SolverLineReply
+	var lineExtra time.Duration
+	if err := e.drv.Call(lives[0], driver.Call{Method: MethodSolverLine,
+		Args:  &SolverLineArgs{Version: solverFrameVersion, Alphas: alphas, Base: margins, Dir: dirMargins},
+		Reply: &lineReply, Retry: true}, lineTraffic, &lineExtra); err != nil {
+		e.drv.Publish(e.trace)
+		return IterStats{}, err
+	}
+	extraRecovery += lineExtra
+	if lineReply.Count != e.numRows || len(lineReply.Losses) != len(alphas) {
+		return IterStats{}, fmt.Errorf("core: line search covered %d points / %d probes, want %d / %d",
+			lineReply.Count, len(lineReply.Losses), e.numRows, len(alphas))
+	}
+	phi0 := lineReply.Losses[0]
+	lineCompute := e.modelCompute(int64(lineReply.Count)*int64(len(alphas)), lives[0], straggler)
+	alpha, err := e.lb.PickStep(alphas, lineReply.Losses, gTd)
+	if err != nil {
+		return IterStats{}, fmt.Errorf("core: round %d: %w", e.iter, err)
+	}
+
+	// Phase 6: commit the step everywhere; a real step (α > 0) becomes
+	// the next round's curvature pair on both sides of the protocol.
+	applyTraffic := &driver.Traffic{}
+	applyReplies := make([]UpdateReply, len(lives))
+	applyArgs := &SolverApplyArgs{Version: solverFrameVersion, Alpha: alpha}
+	ex, err = e.drv.Gather(lives, applyTraffic, func(slot, _ int) driver.Call {
+		return driver.Call{Method: MethodSolverApply, Args: applyArgs, Reply: &applyReplies[slot], Retry: true}
+	})
+	if err != nil {
+		e.drv.Publish(e.trace)
+		return IterStats{}, err
+	}
+	extraRecovery += ex
+	var applyCompute time.Duration
+	for i, w := range lives {
+		if t := e.modelCompute(applyReplies[i].NNZ, w, straggler); t > applyCompute {
+			applyCompute = t
+		}
+	}
+	if alpha > 0 {
+		e.lb.Advance()
+	}
+
+	cost := simnet.IterationCost{
+		Sched:   e.cfg.Net.SchedulingOverhead,
+		Compute: gatherCompute + gradCompute + dirCompute + lineCompute + applyCompute + extraRecovery,
+	}
+	phases := []simnet.Phase{
+		gatherTraffic.Phase("gather-margins", 1),
+		gradTraffic.Phase("bcast-margins", 1),
+		dirTraffic.Phase("solve-direction", 1),
+		lineTraffic.Phase("line-search", 1),
+		applyTraffic.Phase("apply-step", 1),
+	}
+	net, err := costmodel.NetworkTime(costmodel.Measured(phases), e.cfg.Net)
+	if err != nil {
+		return IterStats{}, err
+	}
+	cost.Network = net
+
+	e.trace.Append(metrics.Iteration{
+		Index:        int(e.iter),
+		Loss:         phi0,
+		Cost:         cost,
+		Phases:       phases,
+		MaxWorkerNNZ: peakNNZ,
+		Wall:         time.Since(wallStart),
+	})
+	e.drv.Publish(e.trace)
+	e.iter++
+	return IterStats{Loss: phi0, Cost: cost}, nil
+}

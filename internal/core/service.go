@@ -23,6 +23,13 @@ const (
 	MethodImportState    = "columnsgd.importState"
 	MethodPing           = "columnsgd.ping"
 	MethodFailNext       = "columnsgd.failNext"
+
+	// Solver-layer methods (Config.Solver != "sgd").
+	MethodSolverUpdate = "columnsgd.solverUpdate"
+	MethodSolverGrad   = "columnsgd.solverGrad"
+	MethodSolverDir    = "columnsgd.solverDirection"
+	MethodSolverLine   = "columnsgd.solverLine"
+	MethodSolverApply  = "columnsgd.solverApply"
 )
 
 // RegisterWorker binds a worker's methods onto a cluster service.
@@ -58,6 +65,41 @@ func RegisterWorker(w *Worker) *cluster.Service {
 			return nil, err
 		}
 		return w.update(a)
+	})
+	svc.Register(MethodSolverUpdate, func(args interface{}) (interface{}, error) {
+		a, err := as[*SolverUpdateArgs](args)
+		if err != nil {
+			return nil, err
+		}
+		return w.solverUpdate(a)
+	})
+	svc.Register(MethodSolverGrad, func(args interface{}) (interface{}, error) {
+		a, err := as[*SolverGradArgs](args)
+		if err != nil {
+			return nil, err
+		}
+		return w.solverGrad(a)
+	})
+	svc.Register(MethodSolverDir, func(args interface{}) (interface{}, error) {
+		a, err := as[*SolverDirArgs](args)
+		if err != nil {
+			return nil, err
+		}
+		return w.solverDirection(a)
+	})
+	svc.Register(MethodSolverLine, func(args interface{}) (interface{}, error) {
+		a, err := as[*SolverLineArgs](args)
+		if err != nil {
+			return nil, err
+		}
+		return w.solverLine(a)
+	})
+	svc.Register(MethodSolverApply, func(args interface{}) (interface{}, error) {
+		a, err := as[*SolverApplyArgs](args)
+		if err != nil {
+			return nil, err
+		}
+		return w.solverApply(a)
 	})
 	svc.Register(MethodEvalStats, func(args interface{}) (interface{}, error) {
 		a, err := as[*EvalArgs](args)

@@ -1,0 +1,423 @@
+package core
+
+// Solver-layer message family (wire IDs 0x20–0x28): the multi-step
+// local-update exchange and the L-BFGS gather/direction/line-search
+// rounds. These frames exist only when Config.Solver selects a non-SGD
+// strategy, so the classic per-round exchange keeps its exact wire bytes.
+//
+// Every args frame leads with a version byte so the layout can evolve
+// without renumbering. All solver vectors travel as f64 regardless of the
+// negotiated value encoding: local deltas and L-BFGS margins/Gram entries
+// feed determinism-gated state (like the Loss metric in UpdateReply), and
+// quantizing them would break replay bit-identity.
+
+import (
+	"encoding/gob"
+	"fmt"
+
+	"columnsgd/internal/wire"
+)
+
+// solverFrameVersion is the current layout version of every solver args
+// frame. Bump it (and add a decode branch) instead of reshaping a frame.
+const solverFrameVersion = 1
+
+// Wire IDs 0x20–0x2F are reserved for the solver message family.
+const (
+	wireIDSolverUpdateArgs  = 0x20
+	wireIDSolverUpdateReply = 0x21
+	wireIDSolverGradArgs    = 0x22
+	wireIDSolverGradReply   = 0x23
+	wireIDSolverDirArgs     = 0x24
+	wireIDSolverDirReply    = 0x25
+	wireIDSolverLineArgs    = 0x26
+	wireIDSolverLineReply   = 0x27
+	wireIDSolverApplyArgs   = 0x28
+)
+
+// SolverUpdateArgs broadcasts aggregated statistics for a local-update
+// round: the worker reruns the iteration's batch LocalSteps times on its
+// own partitions, refreshing only its own contribution to the estimate
+// between steps (peers stay frozen at the exchanged snapshot).
+type SolverUpdateArgs struct {
+	Version   int
+	Iter      int64
+	BatchSize int
+	Epoch     bool
+	EpochSeed int64
+	// LocalSteps is K ≥ 2 (K = 1 uses the classic UpdateArgs path).
+	LocalSteps int
+	// Stats is the aggregated statistics vector at the exchange point.
+	Stats []float64
+}
+
+// SolverUpdateReply reports the batch loss plus the worker's accumulated
+// local statistics delta (ownK − own0), which the master folds into the
+// next round's estimate.
+type SolverUpdateReply struct {
+	Loss float64
+	NNZ  int64
+	// Delta is batch·statsPerPoint accumulated local-step movement of
+	// this worker's partial statistics.
+	Delta []float64
+}
+
+// SolverGradArgs broadcasts full-data margins for an L-BFGS round: the
+// worker computes its shard's mean-gradient, commits the pending (s, y)
+// curvature pair, and returns the partial Gram matrix over the history
+// basis.
+type SolverGradArgs struct {
+	Version int
+	// Round is the L-BFGS round index (for tracing; sampling is full-batch).
+	Round int64
+	// Pairs is the history length the worker must hold after committing
+	// this round's pending pair — a cheap desync check.
+	Pairs int
+	// Memory is the history capacity m.
+	Memory int
+	// Stats is the aggregated full-data margin vector.
+	Stats []float64
+}
+
+// SolverGradReply carries the worker's partial Gram matrix: pairwise dot
+// products over the basis [s_1..s_p, y_1..y_p, g], flattened row-major
+// ((2p+1)² values). Columns are disjoint across partitions, so partial
+// Grams sum exactly.
+type SolverGradReply struct {
+	Pairs int
+	NNZ   int64
+	Gram  []float64
+}
+
+// SolverDirArgs broadcasts the two-loop recursion's basis coefficients;
+// the worker materializes its slice of the search direction.
+type SolverDirArgs struct {
+	Version int
+	// Coeffs weight the basis [s_1..s_p, y_1..y_p, g].
+	Coeffs []float64
+}
+
+// SolverDirReply returns the worker's partial direction margins —
+// statistics of the materialized direction over the full data.
+type SolverDirReply struct {
+	NNZ     int64
+	Margins []float64
+}
+
+// SolverLineArgs asks one worker (labels are replicated) to evaluate the
+// full-data loss at every step length in one message: margin(w + α·d) =
+// Base + α·Dir.
+type SolverLineArgs struct {
+	Version int
+	Alphas  []float64
+	// Base holds the aggregated full-data margins at the current iterate.
+	Base []float64
+	// Dir holds the aggregated full-data direction margins.
+	Dir []float64
+}
+
+// SolverLineReply returns the mean full-data loss at each probed step.
+type SolverLineReply struct {
+	Count  int
+	Losses []float64
+}
+
+// SolverApplyArgs commits the chosen step: w += α·d on every partition.
+// The reply is a plain UpdateReply (loss is already known from the line
+// search, so the worker reports only NNZ).
+type SolverApplyArgs struct {
+	Version int
+	Alpha   float64
+}
+
+func init() {
+	gob.Register(&SolverUpdateArgs{})
+	gob.Register(&SolverUpdateReply{})
+	gob.Register(&SolverGradArgs{})
+	gob.Register(&SolverGradReply{})
+	gob.Register(&SolverDirArgs{})
+	gob.Register(&SolverDirReply{})
+	gob.Register(&SolverLineArgs{})
+	gob.Register(&SolverLineReply{})
+	gob.Register(&SolverApplyArgs{})
+
+	wire.Register(wireIDSolverUpdateArgs, func() wire.Message { return new(SolverUpdateArgs) })
+	wire.Register(wireIDSolverUpdateReply, func() wire.Message { return new(SolverUpdateReply) })
+	wire.Register(wireIDSolverGradArgs, func() wire.Message { return new(SolverGradArgs) })
+	wire.Register(wireIDSolverGradReply, func() wire.Message { return new(SolverGradReply) })
+	wire.Register(wireIDSolverDirArgs, func() wire.Message { return new(SolverDirArgs) })
+	wire.Register(wireIDSolverDirReply, func() wire.Message { return new(SolverDirReply) })
+	wire.Register(wireIDSolverLineArgs, func() wire.Message { return new(SolverLineArgs) })
+	wire.Register(wireIDSolverLineReply, func() wire.Message { return new(SolverLineReply) })
+	wire.Register(wireIDSolverApplyArgs, func() wire.Message { return new(SolverApplyArgs) })
+}
+
+func appendSolverVersion(buf []byte, v int) []byte {
+	return wire.AppendUvarint(buf, uint64(v))
+}
+
+func readSolverVersion(data []byte, what string) ([]byte, error) {
+	v, rest, err := readCount(data, "solver frame version")
+	if err != nil {
+		return nil, err
+	}
+	if v != solverFrameVersion {
+		return nil, fmt.Errorf("%w: %s version %d (want %d)", wire.ErrCorrupt, what, v, solverFrameVersion)
+	}
+	return rest, nil
+}
+
+// WireID implements wire.Message.
+func (a *SolverUpdateArgs) WireID() byte { return wireIDSolverUpdateArgs }
+
+// AppendWire implements wire.Message. Stats travel full-width: the
+// local-update estimate feeds bit-identity-gated model state.
+func (a *SolverUpdateArgs) AppendWire(buf []byte, enc wire.Encoding) []byte {
+	buf = appendSolverVersion(buf, solverFrameVersion)
+	buf = wire.AppendVarint(buf, a.Iter)
+	buf = wire.AppendUvarint(buf, uint64(a.BatchSize))
+	buf = appendBool(buf, a.Epoch)
+	buf = wire.AppendVarint(buf, a.EpochSeed)
+	buf = wire.AppendUvarint(buf, uint64(a.LocalSteps))
+	return wire.AppendVec(buf, a.Stats, wire.F64)
+}
+
+// DecodeWire implements wire.Message.
+func (a *SolverUpdateArgs) DecodeWire(data []byte) error {
+	data, err := readSolverVersion(data, "solver update")
+	if err != nil {
+		return err
+	}
+	a.Version = solverFrameVersion
+	if a.Iter, data, err = wire.Varint(data); err != nil {
+		return err
+	}
+	var n int64
+	if n, data, err = readCount(data, "batch size"); err != nil {
+		return err
+	}
+	a.BatchSize = int(n)
+	if a.Epoch, data, err = readBool(data); err != nil {
+		return err
+	}
+	if a.EpochSeed, data, err = wire.Varint(data); err != nil {
+		return err
+	}
+	if n, data, err = readCount(data, "local steps"); err != nil {
+		return err
+	}
+	a.LocalSteps = int(n)
+	if a.Stats, data, err = wire.DecodeVecInto(a.Stats[:0], data); err != nil {
+		return err
+	}
+	return expectEnd(data)
+}
+
+// WireID implements wire.Message.
+func (r *SolverUpdateReply) WireID() byte { return wireIDSolverUpdateReply }
+
+// AppendWire implements wire.Message. Loss and the delta are full-width
+// (the delta folds into the next round's aggregate).
+func (r *SolverUpdateReply) AppendWire(buf []byte, enc wire.Encoding) []byte {
+	buf = wire.AppendF64(buf, r.Loss)
+	buf = wire.AppendUvarint(buf, uint64(r.NNZ))
+	return wire.AppendVec(buf, r.Delta, wire.F64)
+}
+
+// DecodeWire implements wire.Message.
+func (r *SolverUpdateReply) DecodeWire(data []byte) error {
+	var err error
+	if r.Loss, data, err = wire.ReadF64(data); err != nil {
+		return err
+	}
+	if r.NNZ, data, err = readCount(data, "nnz"); err != nil {
+		return err
+	}
+	if r.Delta, data, err = wire.DecodeVecInto(r.Delta[:0], data); err != nil {
+		return err
+	}
+	return expectEnd(data)
+}
+
+// WireID implements wire.Message.
+func (a *SolverGradArgs) WireID() byte { return wireIDSolverGradArgs }
+
+// AppendWire implements wire.Message.
+func (a *SolverGradArgs) AppendWire(buf []byte, enc wire.Encoding) []byte {
+	buf = appendSolverVersion(buf, solverFrameVersion)
+	buf = wire.AppendVarint(buf, a.Round)
+	buf = wire.AppendUvarint(buf, uint64(a.Pairs))
+	buf = wire.AppendUvarint(buf, uint64(a.Memory))
+	return wire.AppendVec(buf, a.Stats, wire.F64)
+}
+
+// DecodeWire implements wire.Message.
+func (a *SolverGradArgs) DecodeWire(data []byte) error {
+	data, err := readSolverVersion(data, "solver grad")
+	if err != nil {
+		return err
+	}
+	a.Version = solverFrameVersion
+	if a.Round, data, err = wire.Varint(data); err != nil {
+		return err
+	}
+	var n int64
+	if n, data, err = readCount(data, "pairs"); err != nil {
+		return err
+	}
+	a.Pairs = int(n)
+	if n, data, err = readCount(data, "memory"); err != nil {
+		return err
+	}
+	a.Memory = int(n)
+	if a.Stats, data, err = wire.DecodeVecInto(a.Stats[:0], data); err != nil {
+		return err
+	}
+	return expectEnd(data)
+}
+
+// WireID implements wire.Message.
+func (r *SolverGradReply) WireID() byte { return wireIDSolverGradReply }
+
+// AppendWire implements wire.Message.
+func (r *SolverGradReply) AppendWire(buf []byte, enc wire.Encoding) []byte {
+	buf = wire.AppendUvarint(buf, uint64(r.Pairs))
+	buf = wire.AppendUvarint(buf, uint64(r.NNZ))
+	return wire.AppendVec(buf, r.Gram, wire.F64)
+}
+
+// DecodeWire implements wire.Message.
+func (r *SolverGradReply) DecodeWire(data []byte) error {
+	var n int64
+	var err error
+	if n, data, err = readCount(data, "pairs"); err != nil {
+		return err
+	}
+	r.Pairs = int(n)
+	if r.NNZ, data, err = readCount(data, "nnz"); err != nil {
+		return err
+	}
+	if r.Gram, data, err = wire.DecodeVecInto(r.Gram[:0], data); err != nil {
+		return err
+	}
+	return expectEnd(data)
+}
+
+// WireID implements wire.Message.
+func (a *SolverDirArgs) WireID() byte { return wireIDSolverDirArgs }
+
+// AppendWire implements wire.Message.
+func (a *SolverDirArgs) AppendWire(buf []byte, enc wire.Encoding) []byte {
+	buf = appendSolverVersion(buf, solverFrameVersion)
+	return wire.AppendVec(buf, a.Coeffs, wire.F64)
+}
+
+// DecodeWire implements wire.Message.
+func (a *SolverDirArgs) DecodeWire(data []byte) error {
+	data, err := readSolverVersion(data, "solver direction")
+	if err != nil {
+		return err
+	}
+	a.Version = solverFrameVersion
+	if a.Coeffs, data, err = wire.DecodeVecInto(a.Coeffs[:0], data); err != nil {
+		return err
+	}
+	return expectEnd(data)
+}
+
+// WireID implements wire.Message.
+func (r *SolverDirReply) WireID() byte { return wireIDSolverDirReply }
+
+// AppendWire implements wire.Message.
+func (r *SolverDirReply) AppendWire(buf []byte, enc wire.Encoding) []byte {
+	buf = wire.AppendUvarint(buf, uint64(r.NNZ))
+	return wire.AppendVec(buf, r.Margins, wire.F64)
+}
+
+// DecodeWire implements wire.Message.
+func (r *SolverDirReply) DecodeWire(data []byte) error {
+	var err error
+	if r.NNZ, data, err = readCount(data, "nnz"); err != nil {
+		return err
+	}
+	if r.Margins, data, err = wire.DecodeVecInto(r.Margins[:0], data); err != nil {
+		return err
+	}
+	return expectEnd(data)
+}
+
+// WireID implements wire.Message.
+func (a *SolverLineArgs) WireID() byte { return wireIDSolverLineArgs }
+
+// AppendWire implements wire.Message.
+func (a *SolverLineArgs) AppendWire(buf []byte, enc wire.Encoding) []byte {
+	buf = appendSolverVersion(buf, solverFrameVersion)
+	buf = wire.AppendVec(buf, a.Alphas, wire.F64)
+	buf = wire.AppendVec(buf, a.Base, wire.F64)
+	return wire.AppendVec(buf, a.Dir, wire.F64)
+}
+
+// DecodeWire implements wire.Message.
+func (a *SolverLineArgs) DecodeWire(data []byte) error {
+	data, err := readSolverVersion(data, "solver line")
+	if err != nil {
+		return err
+	}
+	a.Version = solverFrameVersion
+	if a.Alphas, data, err = wire.DecodeVecInto(a.Alphas[:0], data); err != nil {
+		return err
+	}
+	if a.Base, data, err = wire.DecodeVecInto(a.Base[:0], data); err != nil {
+		return err
+	}
+	if a.Dir, data, err = wire.DecodeVecInto(a.Dir[:0], data); err != nil {
+		return err
+	}
+	return expectEnd(data)
+}
+
+// WireID implements wire.Message.
+func (r *SolverLineReply) WireID() byte { return wireIDSolverLineReply }
+
+// AppendWire implements wire.Message. Losses are reported metrics and
+// line-search inputs: always full-width.
+func (r *SolverLineReply) AppendWire(buf []byte, enc wire.Encoding) []byte {
+	buf = wire.AppendUvarint(buf, uint64(r.Count))
+	return wire.AppendVec(buf, r.Losses, wire.F64)
+}
+
+// DecodeWire implements wire.Message.
+func (r *SolverLineReply) DecodeWire(data []byte) error {
+	var n int64
+	var err error
+	if n, data, err = readCount(data, "count"); err != nil {
+		return err
+	}
+	r.Count = int(n)
+	if r.Losses, data, err = wire.DecodeVecInto(r.Losses[:0], data); err != nil {
+		return err
+	}
+	return expectEnd(data)
+}
+
+// WireID implements wire.Message.
+func (a *SolverApplyArgs) WireID() byte { return wireIDSolverApplyArgs }
+
+// AppendWire implements wire.Message.
+func (a *SolverApplyArgs) AppendWire(buf []byte, enc wire.Encoding) []byte {
+	buf = appendSolverVersion(buf, solverFrameVersion)
+	return wire.AppendF64(buf, a.Alpha)
+}
+
+// DecodeWire implements wire.Message.
+func (a *SolverApplyArgs) DecodeWire(data []byte) error {
+	data, err := readSolverVersion(data, "solver apply")
+	if err != nil {
+		return err
+	}
+	a.Version = solverFrameVersion
+	if a.Alpha, data, err = wire.ReadF64(data); err != nil {
+		return err
+	}
+	return expectEnd(data)
+}

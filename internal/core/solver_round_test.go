@@ -1,0 +1,372 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"columnsgd/internal/opt"
+)
+
+// trainSolver runs iters BSP iterations under cfg and returns the
+// exported dense model plus the engine for trace inspection.
+func trainSolver(t *testing.T, cfg Config, n, m int, seed int64, iters int) (*Engine, []float64) {
+	t.Helper()
+	ds := testData(t, n, m, seed)
+	e, _ := newTestEngine(t, cfg)
+	if err := e.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(iters); err != nil {
+		t.Fatal(err)
+	}
+	full, err := e.ExportModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, full.W[0]
+}
+
+// Solver "local" with K = 1 must be bit-identical to the default SGD
+// path: the engine never sends a multi-step frame for K = 1.
+func TestLocalK1BitIdenticalToSGD(t *testing.T) {
+	base := baseConfig(3)
+	sgd := base
+	sgd.Solver = opt.SolverSGD
+	loc := base
+	loc.Solver = opt.SolverLocal
+	loc.LocalSteps = 1
+	_, wSGD := trainSolver(t, sgd, 200, 20, 31, 25)
+	eLoc, wLoc := trainSolver(t, loc, 200, 20, 31, 25)
+	for j := range wSGD {
+		if wSGD[j] != wLoc[j] {
+			t.Fatalf("w[%d]: sgd %v vs local-K1 %v", j, wSGD[j], wLoc[j])
+		}
+	}
+	// K = 1 keeps the unsuffixed system name: goldens must hold.
+	if name := eLoc.Trace().System; strings.Contains(name, "local") {
+		t.Fatalf("local K=1 system name leaks suffix: %q", name)
+	}
+}
+
+// Local-update SGD with K > 1 must converge and expose the summed
+// local delta for diagnostics, and the system name must carry the K.
+func TestLocalMultiStepConverges(t *testing.T) {
+	cfg := baseConfig(3)
+	cfg.Solver = opt.SolverLocal
+	cfg.LocalSteps = 4
+	cfg.Opt = opt.Config{Algo: "sgd", LR: 0.2}
+	ds := testData(t, 300, 24, 37)
+	e, _ := newTestEngine(t, cfg)
+	if err := e.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	first, err := e.FullLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(40); err != nil {
+		t.Fatal(err)
+	}
+	last, err := e.FullLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(last < first*0.9) {
+		t.Fatalf("local-K4 loss %v -> %v", first, last)
+	}
+	spp := e.Model().StatsPerPoint()
+	if delta := e.LastLocalDelta(); len(delta) != cfg.BatchSize*spp {
+		t.Fatalf("LastLocalDelta has %d values, want %d", len(delta), cfg.BatchSize*spp)
+	}
+	if name := e.Trace().System; !strings.Contains(name, "local4") {
+		t.Fatalf("system name %q missing local4", name)
+	}
+}
+
+// More local steps per round must reach a loss target in fewer rounds
+// than classic per-round SGD on the same workload.
+func TestLocalFewerRoundsToTarget(t *testing.T) {
+	roundsTo := func(solver string, k int, target float64) int {
+		cfg := baseConfig(3)
+		cfg.Solver = solver
+		cfg.LocalSteps = k
+		cfg.EvalEvery = 1
+		cfg.Opt = opt.Config{Algo: "sgd", LR: 0.2}
+		ds := testData(t, 300, 24, 41)
+		e, _ := newTestEngine(t, cfg)
+		if err := e.Load(ds); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(60); err != nil {
+			t.Fatal(err)
+		}
+		for _, it := range e.Trace().Iterations {
+			if !math.IsNaN(it.Loss) && it.Loss <= target {
+				return it.Index + 1
+			}
+		}
+		return math.MaxInt32
+	}
+	const target = 0.45
+	sgdRounds := roundsTo(opt.SolverSGD, 0, target)
+	locRounds := roundsTo(opt.SolverLocal, 4, target)
+	if sgdRounds == math.MaxInt32 {
+		t.Fatalf("sgd never reached target %v", target)
+	}
+	if !(locRounds < sgdRounds) {
+		t.Fatalf("local-K4 took %d rounds, sgd %d — local must need fewer", locRounds, sgdRounds)
+	}
+}
+
+// The L-BFGS solver must converge on logistic regression and beat the
+// same budget of SGD rounds by a wide margin, with the five solver
+// phases priced in the trace.
+func TestLBFGSConvergesAndPhases(t *testing.T) {
+	cfg := baseConfig(3)
+	cfg.Solver = opt.SolverLBFGS
+	cfg.LBFGSMemory = 8
+	ds := testData(t, 300, 24, 43)
+	e, _ := newTestEngine(t, cfg)
+	if err := e.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	first, err := e.FullLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(15); err != nil {
+		t.Fatal(err)
+	}
+	last, err := e.FullLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(last < first*0.5) {
+		t.Fatalf("lbfgs loss %v -> %v", first, last)
+	}
+	its := e.Trace().Iterations
+	if len(its) != 15 {
+		t.Fatalf("trace has %d iterations", len(its))
+	}
+	want := []string{"gather-margins", "bcast-margins", "solve-direction", "line-search", "apply-step"}
+	for i, it := range its {
+		if len(it.Phases) != len(want) {
+			t.Fatalf("iteration %d has %d phases", i, len(it.Phases))
+		}
+		for pi, p := range it.Phases {
+			if p.Label != want[pi] {
+				t.Fatalf("iteration %d phase %d = %q, want %q", i, pi, p.Label, want[pi])
+			}
+			if p.Bytes <= 0 {
+				t.Fatalf("iteration %d phase %q priced no bytes", i, p.Label)
+			}
+		}
+		// Every round evaluates the full data for free; the trace loss is
+		// the pre-step mean loss and must be recorded at every index.
+		if math.IsNaN(it.Loss) {
+			t.Fatalf("iteration %d has no loss", i)
+		}
+	}
+	// Monotone-ish: final recorded loss below the first recorded loss.
+	if !(its[len(its)-1].Loss < its[0].Loss) {
+		t.Fatalf("recorded losses did not decrease: %v -> %v", its[0].Loss, its[len(its)-1].Loss)
+	}
+	if name := e.Trace().System; !strings.Contains(name, "lbfgs8") {
+		t.Fatalf("system name %q missing lbfgs8", name)
+	}
+}
+
+// L-BFGS over a handful of rounds must reach a far lower loss than the
+// same number of SGD rounds — the fewer-fatter-rounds tradeoff the
+// solver exists for.
+func TestLBFGSBeatsSGDPerRound(t *testing.T) {
+	ds := testData(t, 300, 24, 47)
+	lossAfter := func(cfg Config, iters int) float64 {
+		e, _ := newTestEngine(t, cfg)
+		if err := e.Load(ds); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(iters); err != nil {
+			t.Fatal(err)
+		}
+		l, err := e.FullLoss()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	sgd := baseConfig(3)
+	lb := baseConfig(3)
+	lb.Solver = opt.SolverLBFGS
+	const rounds = 12
+	sgdLoss := lossAfter(sgd, rounds)
+	lbLoss := lossAfter(lb, rounds)
+	if !(lbLoss < sgdLoss*0.8) {
+		t.Fatalf("after %d rounds: lbfgs %v vs sgd %v — want clear win", rounds, lbLoss, sgdLoss)
+	}
+}
+
+// L-BFGS composes only with the plain BSP path; everything that would
+// break the margin-recurrence bookkeeping is rejected up front.
+func TestLBFGSRejectsIncompatibleConfigs(t *testing.T) {
+	prov, _ := NewLocalProvider(4)
+	mk := func(mut func(*Config)) Config {
+		cfg := baseConfig(4)
+		cfg.Solver = opt.SolverLBFGS
+		mut(&cfg)
+		return cfg
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"backup", mk(func(c *Config) { c.Backup = 1 })},
+		{"pipeline", mk(func(c *Config) { c.Pipeline = true })},
+		{"staleness", mk(func(c *Config) { c.Staleness = 2 })},
+		{"membership", mk(func(c *Config) { c.Membership = "graceful" })},
+		{"f32", mk(func(c *Config) { c.Precision = PrecisionF32 })},
+		{"epoch", mk(func(c *Config) { c.Access = "epoch" })},
+		{"fm", mk(func(c *Config) { c.ModelName = "fm"; c.ModelArg = 4 })},
+		{"l2", mk(func(c *Config) { c.Opt = opt.Config{Algo: "sgd", LR: 0.5, L2: 0.01} })},
+		{"adagrad", mk(func(c *Config) { c.Opt = opt.Config{Algo: "adagrad", LR: 0.5} })},
+		{"local-steps", mk(func(c *Config) { c.LocalSteps = 4 })},
+	}
+	for _, tc := range cases {
+		if _, err := NewEngine(tc.cfg, prov); err == nil {
+			t.Errorf("%s: lbfgs config accepted: %+v", tc.name, tc.cfg)
+		}
+	}
+	// Sanity: the unmutated lbfgs config is accepted.
+	if _, err := NewEngine(mk(func(*Config) {}), prov); err != nil {
+		t.Fatalf("plain lbfgs config rejected: %v", err)
+	}
+}
+
+// Invalid solver names and out-of-range knobs are rejected with the
+// same shape of error as the rest of Config validation.
+func TestSolverConfigRejections(t *testing.T) {
+	prov, _ := NewLocalProvider(4)
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"unknown-solver", func(c *Config) { c.Solver = "newton" }},
+		{"steps-without-local", func(c *Config) { c.LocalSteps = 4 }},
+		{"steps-too-high", func(c *Config) { c.Solver = opt.SolverLocal; c.LocalSteps = 65 }},
+		{"steps-negative", func(c *Config) { c.Solver = opt.SolverLocal; c.LocalSteps = -1 }},
+		{"memory-without-lbfgs", func(c *Config) { c.LBFGSMemory = 8 }},
+		{"memory-too-high", func(c *Config) { c.Solver = opt.SolverLBFGS; c.LBFGSMemory = 33 }},
+		{"memory-negative", func(c *Config) { c.Solver = opt.SolverLBFGS; c.LBFGSMemory = -2 }},
+	}
+	for _, tc := range cases {
+		cfg := baseConfig(4)
+		tc.mut(&cfg)
+		if _, err := NewEngine(cfg, prov); err == nil {
+			t.Errorf("%s: accepted: %+v", tc.name, cfg)
+		}
+	}
+}
+
+// Local-update SGD composes with bounded staleness: the SSP path sends
+// the multi-step frame and the run still converges.
+func TestLocalSolverUnderSSP(t *testing.T) {
+	cfg := baseConfig(3)
+	cfg.Solver = opt.SolverLocal
+	cfg.LocalSteps = 3
+	cfg.Staleness = 2
+	cfg.Opt = opt.Config{Algo: "sgd", LR: 0.2}
+	ds := testData(t, 240, 20, 53)
+	e, _ := newTestEngine(t, cfg)
+	if err := e.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	first, err := e.FullLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(40); err != nil {
+		t.Fatal(err)
+	}
+	last, err := e.FullLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(last < first*0.9) {
+		t.Fatalf("local under SSP: loss %v -> %v", first, last)
+	}
+}
+
+// Local-update SGD composes with backup groups. Unlike the classic
+// path, a backup run is NOT bit-identical to the pure run — a worker's
+// local steps refresh fresh statistics for every partition in its
+// group, so replication widens the local view. What must hold:
+// replicas stay in lockstep (the run is deterministic) and the model
+// still converges.
+func TestLocalSolverBackupDeterministicAndConverges(t *testing.T) {
+	ds := testData(t, 120, 16, 59)
+	train := func() (*Engine, []float64) {
+		cfg := baseConfig(4)
+		cfg.Solver = opt.SolverLocal
+		cfg.LocalSteps = 3
+		cfg.Backup = 1
+		cfg.Opt = opt.Config{Algo: "sgd", LR: 0.3}
+		e, _ := newTestEngine(t, cfg)
+		if err := e.Load(ds); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(25); err != nil {
+			t.Fatal(err)
+		}
+		full, err := e.ExportModel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e, full.W[0]
+	}
+	e1, run1 := train()
+	_, run2 := train()
+	for j := range run1 {
+		if run1[j] != run2[j] {
+			t.Fatalf("w[%d]: run1 %v vs run2 %v", j, run1[j], run2[j])
+		}
+	}
+	its := e1.Trace().Iterations
+	first, last := its[0].Loss, math.NaN()
+	for _, it := range its {
+		if !math.IsNaN(it.Loss) {
+			last = it.Loss
+		}
+	}
+	if !(last < first) {
+		t.Fatalf("backup local run did not converge: %v -> %v", first, last)
+	}
+}
+
+// The f32 compute path supports local-update rounds too.
+func TestLocalSolverF32Converges(t *testing.T) {
+	cfg := baseConfig(3)
+	cfg.Solver = opt.SolverLocal
+	cfg.LocalSteps = 4
+	cfg.Precision = PrecisionF32
+	cfg.Opt = opt.Config{Algo: "sgd", LR: 0.2}
+	ds := testData(t, 240, 20, 61)
+	e, _ := newTestEngine(t, cfg)
+	if err := e.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	first, err := e.FullLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(40); err != nil {
+		t.Fatal(err)
+	}
+	last, err := e.FullLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(last < first*0.9) {
+		t.Fatalf("local f32: loss %v -> %v", first, last)
+	}
+}

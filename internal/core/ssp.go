@@ -94,27 +94,43 @@ func (e *Engine) runSSP(iters int) (*metrics.Trace, error) {
 				}
 				r := &rounds[applied-base]
 				a := e.statsArgs(applied)
-				var rep UpdateReply
+				// The solver decides the update frame: K = 1 keeps the
+				// classic UpdateArgs (bit-identical to pre-solver SSP);
+				// K > 1 runs the multi-step frame. Each worker folds its
+				// own local delta at its own pace, so the reply's delta
+				// is not aggregated here.
+				c := driver.Call{Retry: true}
+				var urep UpdateReply
+				var srep SolverUpdateReply
+				if e.plan.LocalSteps > 1 {
+					c.Method = MethodSolverUpdate
+					c.Args = &SolverUpdateArgs{Version: solverFrameVersion, Iter: a.Iter,
+						BatchSize: a.BatchSize, Epoch: a.Epoch, EpochSeed: a.EpochSeed,
+						LocalSteps: e.plan.LocalSteps, Stats: agg}
+					c.Reply = &srep
+				} else {
+					c.Method = MethodUpdate
+					c.Args = &UpdateArgs{Iter: a.Iter, BatchSize: a.BatchSize,
+						Epoch: a.Epoch, EpochSeed: a.EpochSeed, Stats: agg}
+					c.Reply = &urep
+				}
 				var ex time.Duration
-				err = call(driver.Call{
-					Method: MethodUpdate,
-					Args: &UpdateArgs{Iter: a.Iter, BatchSize: a.BatchSize,
-						Epoch: a.Epoch, EpochSeed: a.EpochSeed, Stats: agg},
-					Reply: &rep,
-					Retry: true,
-				}, &r.updTraffic, &ex)
-				if err != nil {
+				if err := call(c, &r.updTraffic, &ex); err != nil {
 					return err
 				}
+				loss, nnz := urep.Loss, urep.NNZ
+				if e.plan.LocalSteps > 1 {
+					loss, nnz = srep.Loss, srep.NNZ
+				}
 				acc.Release(applied)
-				ut := computeTime(rep.NNZ, w, victims[applied-base])
+				ut := computeTime(nnz, w, victims[applied-base])
 				r.mu.Lock()
 				r.extra += ex
 				if ut > r.updMax {
 					r.updMax = ut
 				}
 				if slot == 0 {
-					r.loss = rep.Loss
+					r.loss = loss
 				}
 				r.mu.Unlock()
 			}

@@ -35,6 +35,11 @@ type partState struct {
 	labelsBuf []float64
 	grad      *model.Params
 	grad32    *model.Params32
+
+	// lbfgs holds the partition's L-BFGS history (Config.Solver
+	// "lbfgs"); nil otherwise. Invalidated whenever the parameters are
+	// replaced out-of-band (import, reset).
+	lbfgs *lbfgsPart
 }
 
 // Worker is the worker-side implementation of Algorithm 3. It is exposed
@@ -68,6 +73,14 @@ type Worker struct {
 	statsBuf32 []float32
 	partBuf32  []float32
 	aggBuf32   []float32
+
+	// solver-round scratch (local-update multi-step rounds and the
+	// L-BFGS line search): own-statistics snapshots and the estimate
+	// vector, reused across rounds.
+	ownBuf0  []float64
+	ownBuf   []float64
+	estBuf   []float64
+	own32Buf []float32
 }
 
 // NewWorker creates an empty worker; Init must be called before use.
@@ -447,12 +460,14 @@ func (w *Worker) setParams(a *SetParamsArgs) error {
 			copy(ps.params.W[r], a.W[r])
 		}
 	}
-	// Imported parameters invalidate accumulated optimizer state.
+	// Imported parameters invalidate accumulated optimizer state — and
+	// any L-BFGS curvature history, which described the old iterate.
 	if w.prec == PrecisionF32 {
 		ps.opt32.Reset()
 	} else {
 		ps.opt.Reset()
 	}
+	ps.lbfgs = nil
 	return nil
 }
 
@@ -480,6 +495,7 @@ func (w *Worker) resetPartition(a *ResetPartitionArgs) error {
 	if err != nil {
 		return err
 	}
+	ps.lbfgs = nil
 	mdl := w.mdl
 	if w.prec == PrecisionF32 {
 		// Reinitialize through the f64 template and round once, exactly

@@ -32,6 +32,21 @@ type Workload struct {
 	ParamRows int
 	// Backup is S in S-backup computation (ColumnSGD only).
 	Backup int
+	// Solver names the master-side update rule the round runs (ColumnSGD
+	// only): "" or "sgd" is the classic two-phase exchange, "local" adds
+	// the accumulated-delta reply, "lbfgs" prices the margin-keyed
+	// five-phase round. The solver trades fewer rounds for fatter ones;
+	// this field makes the Predicted side of that trade explicit.
+	Solver string
+	// LocalSteps is K for Solver "local" (K = 1 prices as classic).
+	LocalSteps int
+	// LBFGSPairs is the history length p of an lbfgs round (the Gram
+	// reply carries (2p+1)² values). Zero prices the steady state at the
+	// default memory (8 pairs).
+	LBFGSPairs int
+	// LineProbes is the lbfgs backtracking-ladder length including the
+	// α = 0 probe. Zero means the default ladder (13).
+	LineProbes int
 }
 
 // Validate checks the workload parameters.
@@ -189,6 +204,37 @@ func IterationPhases(sys SystemID, w Workload) ([]simnet.Phase, error) {
 			{Label: "push-grads", Messages: k * k, Bytes: k * sparseTouched, Links: int(k)},
 		}, nil
 	case SysColumnSGD:
+		switch {
+		case w.Solver == "lbfgs":
+			// The margin-keyed round: O(N) margins replace O(B) batch
+			// statistics, in exchange for far fewer rounds to target.
+			marginBytes := int64(w.N) * int64(w.StatsPerPoint) * unitBytes
+			pairs := int64(w.LBFGSPairs)
+			if pairs == 0 {
+				pairs = 8
+			}
+			probes := int64(w.LineProbes)
+			if probes == 0 {
+				probes = 13
+			}
+			d := 2*pairs + 1
+			return []simnet.Phase{
+				{Label: "gather-margins", Messages: k, Bytes: k * marginBytes, Links: 1},
+				{Label: "bcast-margins", Messages: k, Bytes: k * (marginBytes + d*d*unitBytes), Links: 1},
+				{Label: "solve-direction", Messages: k, Bytes: k * (d*unitBytes + marginBytes), Links: 1},
+				{Label: "line-search", Messages: 1, Bytes: 2*marginBytes + probes*unitBytes, Links: 1},
+				{Label: "apply-step", Messages: k, Bytes: k * 2 * unitBytes, Links: 1},
+			}, nil
+		case w.Solver == "local" && w.LocalSteps > 1:
+			// Local-update rounds keep the gather unchanged; the update
+			// reply additionally carries each worker's accumulated local
+			// delta (another B·spp values), so the round costs 1.5× the
+			// classic exchange — paid back by needing fewer rounds.
+			return []simnet.Phase{
+				{Label: "gather-stats", Messages: k, Bytes: k * statBytes, Links: 1},
+				{Label: "bcast-stats", Messages: k, Bytes: 2 * k * statBytes, Links: 1},
+			}, nil
+		}
 		return []simnet.Phase{
 			{Label: "gather-stats", Messages: k, Bytes: k * statBytes, Links: 1},
 			{Label: "bcast-stats", Messages: k, Bytes: k * statBytes, Links: 1},

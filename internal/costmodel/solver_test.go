@@ -1,0 +1,111 @@
+package costmodel
+
+import "testing"
+
+func solverWorkload() Workload {
+	return Workload{K: 4, B: 32, M: 1000, Rho: 0.9, N: 5000, StatsPerPoint: 1, ParamRows: 1}
+}
+
+func totalBytes(t *testing.T, w Workload) int64 {
+	t.Helper()
+	phases, err := IterationPhases(SysColumnSGD, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b int64
+	for _, p := range phases {
+		b += p.Bytes
+	}
+	return b
+}
+
+// A local-update round is exactly 1.5× the classic exchange: the
+// gather is unchanged and the update replies carry one extra B·spp
+// delta per worker.
+func TestLocalRoundPrices1500(t *testing.T) {
+	classic := solverWorkload()
+	local := classic
+	local.Solver = "local"
+	local.LocalSteps = 4
+	cb, lb := totalBytes(t, classic), totalBytes(t, local)
+	if lb*2 != cb*3 {
+		t.Fatalf("local round %d bytes, classic %d — want exactly 1.5×", lb, cb)
+	}
+	// K = 1 prices as the classic exchange (the engine sends classic frames).
+	k1 := classic
+	k1.Solver = "local"
+	k1.LocalSteps = 1
+	if got := totalBytes(t, k1); got != cb {
+		t.Fatalf("local K=1 round %d bytes, classic %d — must match", got, cb)
+	}
+}
+
+// The lbfgs round is keyed to N (full-data margins), not B: doubling
+// the batch leaves it unchanged, doubling the data roughly doubles it.
+func TestLBFGSRoundScalesWithDataNotBatch(t *testing.T) {
+	w := solverWorkload()
+	w.Solver = "lbfgs"
+	base := totalBytes(t, w)
+
+	bigBatch := w
+	bigBatch.B *= 8
+	if got := totalBytes(t, bigBatch); got != base {
+		t.Fatalf("lbfgs bytes moved with batch: %d -> %d", base, got)
+	}
+
+	bigData := w
+	bigData.N *= 2
+	got := totalBytes(t, bigData)
+	if ratio := float64(got) / float64(base); ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("lbfgs bytes grew %.2f× with 2× data, want ≈2×", ratio)
+	}
+}
+
+// The lbfgs phase list mirrors the engine's measured round shape so
+// Predicted and Measured stay comparable phase by phase.
+func TestLBFGSPhaseShape(t *testing.T) {
+	w := solverWorkload()
+	w.Solver = "lbfgs"
+	w.LBFGSPairs = 2
+	w.LineProbes = 13
+	phases, err := IterationPhases(SysColumnSGD, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"gather-margins", "bcast-margins", "solve-direction", "line-search", "apply-step"}
+	if len(phases) != len(want) {
+		t.Fatalf("%d phases, want %d", len(phases), len(want))
+	}
+	marginBytes := int64(w.N) * unitBytes
+	for i, p := range phases {
+		if p.Label != want[i] {
+			t.Fatalf("phase %d = %q, want %q", i, p.Label, want[i])
+		}
+		if p.Bytes <= 0 {
+			t.Fatalf("phase %q priced no bytes", p.Label)
+		}
+	}
+	// The three margin-carrying fan-outs dominate; each is ≥ K·marginBytes.
+	for _, i := range []int{0, 1, 2} {
+		if phases[i].Bytes < int64(w.K)*marginBytes {
+			t.Fatalf("phase %q = %d bytes, want ≥ %d", phases[i].Label, phases[i].Bytes, int64(w.K)*marginBytes)
+		}
+	}
+	// The Gram reply grows with the history: more pairs, more bytes.
+	deep := w
+	deep.LBFGSPairs = 8
+	dp, err := IterationPhases(SysColumnSGD, deep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp[1].Bytes <= phases[1].Bytes {
+		t.Fatalf("bcast-margins bytes did not grow with pairs: %d vs %d", dp[1].Bytes, phases[1].Bytes)
+	}
+	// Defaults fill pairs/probes: zero values price the steady state.
+	def := w
+	def.LBFGSPairs = 0
+	def.LineProbes = 0
+	if _, err := IterationPhases(SysColumnSGD, def); err != nil {
+		t.Fatal(err)
+	}
+}

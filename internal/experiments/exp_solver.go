@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"columnsgd/internal/chaos/diff"
+	"columnsgd/internal/core"
+	"columnsgd/internal/costmodel"
+	"columnsgd/internal/metrics"
+)
+
+func init() {
+	register("solver",
+		"Rounds, statistics bytes, and priced network time to target loss: sgd vs local-update vs L-BFGS",
+		runSolver)
+}
+
+// runSolver measures what the pluggable solver layer buys: each master-
+// side update rule trains the same seeded logistic-regression workload
+// with per-round evaluation, and the table reports how many rounds,
+// how many statistics bytes, and how much Cluster-1-priced network time
+// each rule needs before the full loss first touches the target.
+//
+// The workload is pinned to the differential harness's solver-gate
+// shape (diff defaults, batch 120, target loss 0.30) rather than the
+// experiment seed/scale knobs: the point of the table is to reproduce
+// the exact trade the repository's gates assert (solver_test.go,
+// colsgd-bench solver rows), and that trade is calibrated — batch 120
+// keeps the classic round fat enough that full-batch L-BFGS margins
+// (keyed to N, not the batch) don't drown its round advantage in frame
+// size, and 0.30 is deep enough that per-round SGD pays tens of rounds.
+// Only the iteration cap honors cfg.
+//
+// The gates are the ISSUE's acceptance bar: both fatter-round solvers
+// must reach the target in fewer rounds AND fewer priced network bytes
+// (and, with Cluster 1 latencies applied, less network time) than
+// per-round SGD — a local-update round costs 1.5× the classic round
+// and an L-BFGS round gathers full-batch margins plus a line search,
+// so winning on bytes means the extra freight pays for itself.
+func runSolver(cfg Config, w io.Writer) error {
+	const targetLoss = 0.30
+	maxIters := cfg.iters(60)
+	wl := diff.Workload{Model: "lr", Seed: 5, Batch: 120}.Defaults()
+	ds, err := wl.Dataset()
+	if err != nil {
+		return err
+	}
+	net := net1(wl.Workers)
+
+	type result struct {
+		rounds  int
+		bytes   int64
+		netTime float64 // seconds of priced network time to target
+		loss    float64 // full loss at the target round
+	}
+	run := func(solver string, localSteps, memory int) (result, error) {
+		eng, _, err := newColumnEngine(core.Config{
+			Workers: wl.Workers, ModelName: wl.Model, Opt: wl.Opt,
+			BatchSize: wl.Batch, BlockSize: 16, Seed: wl.Seed,
+			EvalEvery: 1, Net: net,
+			Solver: solver, LocalSteps: localSteps, LBFGSMemory: memory,
+		}, ds)
+		if err != nil {
+			return result{}, err
+		}
+		if _, err := eng.Run(maxIters); err != nil {
+			return result{}, err
+		}
+		var r result
+		for i, it := range eng.Trace().Iterations {
+			for _, ph := range it.Phases {
+				r.bytes += ph.Bytes
+			}
+			d, err := costmodel.NetworkTime(costmodel.Measured(it.Phases), net)
+			if err != nil {
+				return result{}, err
+			}
+			r.netTime += d.Seconds()
+			if it.Loss == it.Loss && it.Loss <= targetLoss {
+				r.rounds, r.loss = i+1, it.Loss
+				return r, nil
+			}
+		}
+		return result{}, fmt.Errorf("solver: %q never reached loss %.2f in %d rounds",
+			solver, targetLoss, maxIters)
+	}
+
+	solvers := []struct {
+		label      string
+		solver     string
+		localSteps int
+		memory     int
+	}{
+		{"sgd", "sgd", 0, 0},
+		{"local K=4", "local", 4, 0},
+		{"lbfgs m=8", "lbfgs", 0, 8},
+	}
+	tbl := metrics.NewTable(
+		fmt.Sprintf("Solver cost to target loss %.2f — ColumnSGD LR (diff workload, batch %d, Cluster 1 pricing)", targetLoss, wl.Batch),
+		"solver", "rounds", "stats bytes", "priced net time (s)", "loss at target")
+	results := map[string]result{}
+	for _, s := range solvers {
+		r, err := run(s.solver, s.localSteps, s.memory)
+		if err != nil {
+			return err
+		}
+		results[s.label] = r
+		tbl.AddRow(s.label, r.rounds, r.bytes, r.netTime, r.loss)
+	}
+	if err := tbl.Render(w); err != nil {
+		return err
+	}
+
+	sgd := results["sgd"]
+	for _, label := range []string{"local K=4", "lbfgs m=8"} {
+		r := results[label]
+		if r.rounds >= sgd.rounds {
+			return fmt.Errorf("solver: %s needs %d rounds to %.2f, sgd %d — want fewer",
+				label, r.rounds, targetLoss, sgd.rounds)
+		}
+		if r.bytes >= sgd.bytes {
+			return fmt.Errorf("solver: %s spends %d stats bytes to %.2f, sgd %d — want fewer",
+				label, r.bytes, targetLoss, sgd.bytes)
+		}
+		if r.netTime >= sgd.netTime {
+			return fmt.Errorf("solver: %s spends %.4fs priced network time to %.2f, sgd %.4fs — want less",
+				label, r.netTime, targetLoss, sgd.netTime)
+		}
+	}
+	fmt.Fprintf(w, "\ncheck: to loss ≤ %.2f — sgd %d rounds / %d B, local K=4 %d rounds / %d B, lbfgs m=8 %d rounds / %d B (fatter rounds, fewer of them, less total freight)\n",
+		targetLoss, sgd.rounds, sgd.bytes,
+		results["local K=4"].rounds, results["local K=4"].bytes,
+		results["lbfgs m=8"].rounds, results["lbfgs m=8"].bytes)
+	return nil
+}

@@ -1,0 +1,412 @@
+// Solver layer: the master-side update strategy that decides what
+// statistics each round requests and how the gathered partials are
+// applied. The classic ColumnSGD round — one optimizer step per
+// statistics exchange — is the default "sgd" strategy; "local" runs K
+// local optimizer steps per exchange against a frozen-peer statistics
+// estimate (CoCoA-style local updating); "lbfgs" runs the L-BFGS
+// two-loop recursion at the master over gathered partial dot products
+// with a deterministic backtracking line search.
+//
+// The L-BFGS core is vector-free (coefficient-space): the master never
+// holds an s/y history vector, only the Gram matrix of the basis
+// [s_1..s_p, y_1..y_p, g] summed from per-worker partial dot products
+// over their column shards. Directions come back as coefficients over
+// that basis and are materialized shard-wise by the workers. Engines
+// with a master-resident dense model (the RowSGD baselines) reuse the
+// exact same core through LBFGSHistory, which builds the Gram from its
+// dense vectors.
+package opt
+
+import (
+	"fmt"
+	"math"
+)
+
+// Solver names accepted by SolverConfig.Name.
+const (
+	SolverSGD   = "sgd"
+	SolverLocal = "local"
+	SolverLBFGS = "lbfgs"
+)
+
+// Solver knob bounds and defaults.
+const (
+	// MaxLocalSteps bounds K: beyond this the frozen-peer statistics
+	// estimate has long since drifted from the true batch statistics.
+	MaxLocalSteps = 64
+	// DefaultLocalSteps is K when the local solver is selected without
+	// an explicit step count (matches the MLlib* local-train default).
+	DefaultLocalSteps = 4
+	// MaxLBFGSMemory bounds m: the Gram frame is (2m+1)² values.
+	MaxLBFGSMemory = 32
+	// DefaultLBFGSMemory is the standard m=8 history.
+	DefaultLBFGSMemory = 8
+)
+
+// SolverConfig selects and parameterizes a solver.
+type SolverConfig struct {
+	// Name is one of "", "sgd", "local", "lbfgs" ("" means "sgd").
+	Name string
+	// LocalSteps is K, the local optimizer steps per statistics
+	// exchange (local solver only; 0 means DefaultLocalSteps).
+	LocalSteps int
+	// LBFGSMemory is m, the (s,y) pair history length (lbfgs solver
+	// only; 0 means DefaultLBFGSMemory).
+	LBFGSMemory int
+}
+
+// Normalized validates the config and fills defaults.
+func (c SolverConfig) Normalized() (SolverConfig, error) {
+	switch c.Name {
+	case "", SolverSGD:
+		c.Name = SolverSGD
+		if c.LocalSteps > 1 {
+			return c, fmt.Errorf("opt: LocalSteps=%d requires the %q solver", c.LocalSteps, SolverLocal)
+		}
+		c.LocalSteps = 1
+	case SolverLocal:
+		if c.LocalSteps == 0 {
+			c.LocalSteps = DefaultLocalSteps
+		}
+		if c.LocalSteps < 1 || c.LocalSteps > MaxLocalSteps {
+			return c, fmt.Errorf("opt: LocalSteps=%d outside [1,%d]", c.LocalSteps, MaxLocalSteps)
+		}
+	case SolverLBFGS:
+		if c.LocalSteps > 1 {
+			return c, fmt.Errorf("opt: LocalSteps=%d requires the %q solver", c.LocalSteps, SolverLocal)
+		}
+		c.LocalSteps = 1
+		if c.LBFGSMemory == 0 {
+			c.LBFGSMemory = DefaultLBFGSMemory
+		}
+		if c.LBFGSMemory < 1 || c.LBFGSMemory > MaxLBFGSMemory {
+			return c, fmt.Errorf("opt: LBFGSMemory=%d outside [1,%d]", c.LBFGSMemory, MaxLBFGSMemory)
+		}
+	default:
+		return c, fmt.Errorf("opt: unknown solver %q (want sgd, local, or lbfgs)", c.Name)
+	}
+	if c.Name != SolverLBFGS && c.LBFGSMemory > 0 {
+		return c, fmt.Errorf("opt: LBFGSMemory=%d requires the %q solver", c.LBFGSMemory, SolverLBFGS)
+	}
+	return c, nil
+}
+
+// RoundPlan is what a solver asks of one round: how many local steps
+// each worker runs per exchange, and whether the round consumes
+// full-dataset statistics (margins over every instance) instead of a
+// mini-batch gather.
+type RoundPlan struct {
+	// LocalSteps is K ≥ 1; 1 is the classic one-step round.
+	LocalSteps int
+	// FullBatch marks solvers that drive the round from full-data
+	// statistics (L-BFGS) rather than a sampled mini-batch.
+	FullBatch bool
+}
+
+// Solver is the master-side update strategy.
+type Solver interface {
+	// Name identifies the strategy ("sgd", "local", "lbfgs").
+	Name() string
+	// Plan returns what the strategy wants from each round.
+	Plan() RoundPlan
+}
+
+// NewSolver constructs a solver from a normalized config.
+func NewSolver(cfg SolverConfig) (Solver, error) {
+	cfg, err := cfg.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	switch cfg.Name {
+	case SolverSGD:
+		return sgdSolver{}, nil
+	case SolverLocal:
+		return localSolver{steps: cfg.LocalSteps}, nil
+	case SolverLBFGS:
+		return NewLBFGS(cfg.LBFGSMemory), nil
+	}
+	return nil, fmt.Errorf("opt: unknown solver %q", cfg.Name)
+}
+
+// sgdSolver is the default strategy: one optimizer step per exchange,
+// the round shape the rest of the stack has always assumed.
+type sgdSolver struct{}
+
+func (sgdSolver) Name() string    { return SolverSGD }
+func (sgdSolver) Plan() RoundPlan { return RoundPlan{LocalSteps: 1} }
+
+// localSolver runs K local optimizer steps per exchange.
+type localSolver struct{ steps int }
+
+func (s localSolver) Name() string    { return SolverLocal }
+func (s localSolver) Plan() RoundPlan { return RoundPlan{LocalSteps: s.steps} }
+
+// LBFGS is the master-side limited-memory BFGS state machine. It holds
+// no model-sized vectors — only the committed pair count — and runs the
+// two-loop recursion in coefficient space over the Gram matrix of the
+// basis [s_1..s_p, y_1..y_p, g] (oldest pair first, gradient last).
+type LBFGS struct {
+	// Memory is m, the maximum stored (s,y) pairs.
+	Memory int
+	// Alpha0 is the line search's first probe step (default 1).
+	Alpha0 float64
+	// Rho is the backtracking factor in (0,1) (default 0.5).
+	Rho float64
+	// C1 is the Armijo sufficient-decrease constant (default 1e-4).
+	C1 float64
+	// Probes is the backtracking ladder length (default 8).
+	Probes int
+
+	pairs int // committed (s,y) pairs, ≤ Memory
+}
+
+// NewLBFGS returns an L-BFGS solver with memory m and the default
+// deterministic line search (α ∈ {4, 2, 1, ½, …, 2⁻⁹}). The ladder
+// extends above 1 because all probes are priced in a single statistics
+// message: a backtracking-only search chronically under-steps when the
+// curvature estimate runs short, and expansion probes are free here.
+func NewLBFGS(memory int) *LBFGS {
+	return &LBFGS{Memory: memory, Alpha0: 4, Rho: 0.5, C1: 1e-4, Probes: 12}
+}
+
+// Name implements Solver.
+func (l *LBFGS) Name() string { return SolverLBFGS }
+
+// Plan implements Solver: one update per round, over full-data stats.
+func (l *LBFGS) Plan() RoundPlan { return RoundPlan{LocalSteps: 1, FullBatch: true} }
+
+// Pairs is the number of committed (s,y) pairs.
+func (l *LBFGS) Pairs() int { return l.pairs }
+
+// BasisSize is 2p+1: the s and y histories plus the current gradient.
+func (l *LBFGS) BasisSize() int { return 2*l.pairs + 1 }
+
+// Advance commits the pending step as a new (s,y) pair: the next
+// round's basis grows by one pair (up to Memory). Call after an apply.
+func (l *LBFGS) Advance() {
+	if l.pairs < l.Memory {
+		l.pairs++
+	}
+}
+
+// Reset drops the pair history (worker histories must be dropped too).
+func (l *LBFGS) Reset() { l.pairs = 0 }
+
+// curvatureEps guards against division by a vanishing sᵀy: pairs whose
+// curvature is this small (relative to ‖s‖‖y‖) are skipped, the
+// standard damping-free treatment.
+const curvatureEps = 1e-10
+
+// Direction runs the two-loop recursion in coefficient space. gram is
+// the row-major (2p+1)² Gram matrix of the basis [s_1..s_p, y_1..y_p,
+// g] summed over all workers. It returns the direction d = Σ coeffs[i]
+// · basis[i] as coefficients over the same basis, plus gᵀd. When no
+// usable curvature pairs exist (or the recursion fails to produce a
+// descent direction) it falls back to steepest descent d = −g.
+func (l *LBFGS) Direction(gram []float64) (coeffs []float64, gTd float64, err error) {
+	p := l.pairs
+	n := 2*p + 1
+	if len(gram) != n*n {
+		return nil, 0, fmt.Errorf("opt: lbfgs gram is %d values, want %d (pairs=%d)", len(gram), n*n, p)
+	}
+	g := func(i, j int) float64 { return gram[i*n+j] }
+	// dot(basis[i], v) where v = Σ theta[j]·basis[j].
+	dot := func(theta []float64, i int) float64 {
+		var sum float64
+		for j, t := range theta {
+			if t != 0 {
+				sum += t * g(i, j)
+			}
+		}
+		return sum
+	}
+	gg := g(2*p, 2*p)
+
+	theta := make([]float64, n)
+	theta[2*p] = 1 // q := g
+	alpha := make([]float64, p)
+	valid := make([]bool, p)
+	for i := p - 1; i >= 0; i-- {
+		sty := g(i, p+i)
+		if !(sty > curvatureEps*math.Sqrt(g(i, i)*g(p+i, p+i))) || math.IsNaN(sty) {
+			continue // skip non-curving pair
+		}
+		valid[i] = true
+		alpha[i] = dot(theta, i) / sty
+		theta[p+i] -= alpha[i] // q -= α·y_i
+	}
+	// Initial Hessian scaling γ = sᵀy/yᵀy from the newest usable pair.
+	gamma := 1.0
+	for i := p - 1; i >= 0; i-- {
+		if valid[i] && g(p+i, p+i) > 0 {
+			gamma = g(i, p+i) / g(p+i, p+i)
+			break
+		}
+	}
+	for j := range theta {
+		theta[j] *= gamma
+	}
+	for i := 0; i < p; i++ {
+		if !valid[i] {
+			continue
+		}
+		beta := dot(theta, p+i) / g(i, p+i)
+		theta[i] += alpha[i] - beta // r += (α−β)·s_i
+	}
+	for j := range theta {
+		theta[j] = -theta[j] // d := −r
+	}
+	gTd = dot(theta, 2*p)
+	if !(gTd < 0) || math.IsInf(gTd, 0) {
+		// Not a provable descent direction — reset to steepest descent.
+		for j := range theta {
+			theta[j] = 0
+		}
+		theta[2*p] = -1
+		gTd = -gg
+	}
+	return theta, gTd, nil
+}
+
+// Ladder is the deterministic backtracking probe schedule: index 0 is
+// α=0 (the current loss φ(0)), then Alpha0·Rho^k for k = 0..Probes-1.
+func (l *LBFGS) Ladder() []float64 {
+	out := make([]float64, 1+l.Probes)
+	a := l.Alpha0
+	for k := 0; k < l.Probes; k++ {
+		out[1+k] = a
+		a *= l.Rho
+	}
+	return out
+}
+
+// PickStep selects the step size from the probed losses: the
+// lowest-loss α satisfying the Armijo condition φ(α) ≤ φ(0) +
+// C1·α·gᵀd (every probe was evaluated in one statistics message, so
+// unlike sequential backtracking there is no reason to stop at the
+// first pass), falling back to the finite probe with the lowest loss
+// when none passes (e.g. a nonsmooth kink). Ties take the larger α.
+// alphas must be a Ladder()-shaped slice (alphas[0] == 0, losses[0] ==
+// φ(0)).
+func (l *LBFGS) PickStep(alphas, losses []float64, gTd float64) (float64, error) {
+	if len(alphas) != len(losses) || len(alphas) < 2 || alphas[0] != 0 {
+		return 0, fmt.Errorf("opt: lbfgs line search: %d probes for %d alphas (alphas[0] must be 0)", len(losses), len(alphas))
+	}
+	phi0 := losses[0]
+	pick := func(armijo bool) (int, float64) {
+		best, bestLoss := -1, math.Inf(1)
+		for i := 1; i < len(alphas); i++ {
+			if math.IsNaN(losses[i]) {
+				continue
+			}
+			if armijo && losses[i] > phi0+l.C1*alphas[i]*gTd {
+				continue
+			}
+			if losses[i] < bestLoss {
+				best, bestLoss = i, losses[i]
+			}
+		}
+		return best, bestLoss
+	}
+	if best, _ := pick(true); best >= 0 {
+		return alphas[best], nil
+	}
+	best, _ := pick(false)
+	if best < 0 {
+		return 0, fmt.Errorf("opt: lbfgs line search: every probe diverged")
+	}
+	return alphas[best], nil
+}
+
+// LBFGSHistory adapts the coefficient-space core to engines whose model
+// (and therefore s/y history) is dense at the master — the RowSGD
+// baselines. It stores the dense vectors, builds the Gram the workers
+// would have summed, and materializes directions from the returned
+// coefficients, so the numeric path is byte-for-byte the same core the
+// column engine runs.
+type LBFGSHistory struct {
+	L     *LBFGS
+	s, y  [][]float64 // oldest..newest, len == L.Pairs()
+	gPrev []float64
+	sPend []float64
+}
+
+// NewLBFGSHistory returns a dense-history L-BFGS with memory m.
+func NewLBFGSHistory(memory int) *LBFGSHistory {
+	return &LBFGSHistory{L: NewLBFGS(memory)}
+}
+
+// Observe ingests the round's full gradient: if a step is pending it
+// commits the (s, y = g − gPrev) pair, then records g for the next one.
+func (h *LBFGSHistory) Observe(g []float64) {
+	if h.sPend != nil && h.gPrev != nil {
+		y := make([]float64, len(g))
+		for i := range y {
+			y[i] = g[i] - h.gPrev[i]
+		}
+		h.s = append(h.s, h.sPend)
+		h.y = append(h.y, y)
+		h.L.Advance()
+		for len(h.s) > h.L.Pairs() {
+			h.s = h.s[1:]
+			h.y = h.y[1:]
+		}
+		h.sPend = nil
+	}
+	h.gPrev = append(h.gPrev[:0], g...)
+}
+
+// Direction computes the search direction for gradient g into dst
+// (resized as needed) and returns (dst, gᵀd).
+func (h *LBFGSHistory) Direction(g, dst []float64) ([]float64, float64, error) {
+	basis := make([][]float64, 0, 2*len(h.s)+1)
+	basis = append(basis, h.s...)
+	basis = append(basis, h.y...)
+	basis = append(basis, g)
+	n := len(basis)
+	gram := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			var sum float64
+			bi, bj := basis[i], basis[j]
+			for k := range bi {
+				sum += bi[k] * bj[k]
+			}
+			gram[i*n+j], gram[j*n+i] = sum, sum
+		}
+	}
+	coeffs, gTd, err := h.L.Direction(gram)
+	if err != nil {
+		return nil, 0, err
+	}
+	if cap(dst) < len(g) {
+		dst = make([]float64, len(g))
+	}
+	dst = dst[:len(g)]
+	for k := range dst {
+		dst[k] = 0
+	}
+	for i, c := range coeffs {
+		if c == 0 {
+			continue
+		}
+		b := basis[i]
+		for k := range dst {
+			dst[k] += c * b[k]
+		}
+	}
+	return dst, gTd, nil
+}
+
+// Applied records the accepted step α·d as the pending s vector.
+func (h *LBFGSHistory) Applied(alpha float64, d []float64) {
+	if alpha == 0 {
+		h.sPend = nil
+		return
+	}
+	s := make([]float64, len(d))
+	for i := range s {
+		s[i] = alpha * d[i]
+	}
+	h.sPend = s
+}

@@ -1,0 +1,495 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"columnsgd/internal/model"
+)
+
+func TestSolverConfigNormalized(t *testing.T) {
+	cases := []struct {
+		name string
+		in   SolverConfig
+		want SolverConfig
+		err  string
+	}{
+		{"empty-is-sgd", SolverConfig{}, SolverConfig{Name: "sgd", LocalSteps: 1}, ""},
+		{"sgd", SolverConfig{Name: "sgd"}, SolverConfig{Name: "sgd", LocalSteps: 1}, ""},
+		{"sgd-k1-ok", SolverConfig{Name: "sgd", LocalSteps: 1}, SolverConfig{Name: "sgd", LocalSteps: 1}, ""},
+		{"local-defaults", SolverConfig{Name: "local"}, SolverConfig{Name: "local", LocalSteps: DefaultLocalSteps}, ""},
+		{"local-k8", SolverConfig{Name: "local", LocalSteps: 8}, SolverConfig{Name: "local", LocalSteps: 8}, ""},
+		{"lbfgs-defaults", SolverConfig{Name: "lbfgs"}, SolverConfig{Name: "lbfgs", LocalSteps: 1, LBFGSMemory: DefaultLBFGSMemory}, ""},
+		{"lbfgs-m4", SolverConfig{Name: "lbfgs", LBFGSMemory: 4}, SolverConfig{Name: "lbfgs", LocalSteps: 1, LBFGSMemory: 4}, ""},
+
+		{"unknown", SolverConfig{Name: "newton"}, SolverConfig{}, "unknown solver"},
+		{"sgd-k2", SolverConfig{Name: "sgd", LocalSteps: 2}, SolverConfig{}, "requires the \"local\" solver"},
+		{"lbfgs-k2", SolverConfig{Name: "lbfgs", LocalSteps: 2}, SolverConfig{}, "requires the \"local\" solver"},
+		{"local-k-negative", SolverConfig{Name: "local", LocalSteps: -1}, SolverConfig{}, "outside"},
+		{"local-k-huge", SolverConfig{Name: "local", LocalSteps: MaxLocalSteps + 1}, SolverConfig{}, "outside"},
+		{"lbfgs-m-negative", SolverConfig{Name: "lbfgs", LBFGSMemory: -3}, SolverConfig{}, "outside"},
+		{"lbfgs-m-huge", SolverConfig{Name: "lbfgs", LBFGSMemory: MaxLBFGSMemory + 1}, SolverConfig{}, "outside"},
+		{"sgd-with-memory", SolverConfig{Name: "sgd", LBFGSMemory: 8}, SolverConfig{}, "requires the \"lbfgs\" solver"},
+		{"local-with-memory", SolverConfig{Name: "local", LocalSteps: 2, LBFGSMemory: 8}, SolverConfig{}, "requires the \"lbfgs\" solver"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := tc.in.Normalized()
+			if tc.err != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.err) {
+					t.Fatalf("err = %v, want containing %q", err, tc.err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("got %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestNewSolverPlans(t *testing.T) {
+	s, err := NewSolver(SolverConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != SolverSGD || s.Plan() != (RoundPlan{LocalSteps: 1}) {
+		t.Fatalf("sgd solver: name %q plan %+v", s.Name(), s.Plan())
+	}
+	s, err = NewSolver(SolverConfig{Name: SolverLocal, LocalSteps: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != SolverLocal || s.Plan() != (RoundPlan{LocalSteps: 6}) {
+		t.Fatalf("local solver: name %q plan %+v", s.Name(), s.Plan())
+	}
+	s, err = NewSolver(SolverConfig{Name: SolverLBFGS, LBFGSMemory: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != SolverLBFGS || s.Plan() != (RoundPlan{LocalSteps: 1, FullBatch: true}) {
+		t.Fatalf("lbfgs solver: name %q plan %+v", s.Name(), s.Plan())
+	}
+	l := s.(*LBFGS)
+	if l.Memory != 5 || l.Pairs() != 0 || l.BasisSize() != 1 {
+		t.Fatalf("lbfgs state: %+v pairs=%d basis=%d", l, l.Pairs(), l.BasisSize())
+	}
+	if _, err := NewSolver(SolverConfig{Name: "nope"}); err == nil {
+		t.Fatal("unknown solver accepted")
+	}
+}
+
+func TestLBFGSAdvanceCapsAtMemory(t *testing.T) {
+	l := NewLBFGS(3)
+	for i := 0; i < 10; i++ {
+		l.Advance()
+	}
+	if l.Pairs() != 3 || l.BasisSize() != 7 {
+		t.Fatalf("pairs = %d, basis = %d", l.Pairs(), l.BasisSize())
+	}
+	l.Reset()
+	if l.Pairs() != 0 {
+		t.Fatalf("pairs after reset = %d", l.Pairs())
+	}
+}
+
+// denseTwoLoop is an independent textbook implementation of the L-BFGS
+// two-loop recursion (Nocedal & Wright Alg. 7.4) with the same
+// curvature-skip and γ-scaling rules, used as the reference the
+// coefficient-space core must reproduce.
+func denseTwoLoop(s, y [][]float64, g []float64) []float64 {
+	p := len(s)
+	q := append([]float64(nil), g...)
+	dot := func(a, b []float64) float64 {
+		var sum float64
+		for i := range a {
+			sum += a[i] * b[i]
+		}
+		return sum
+	}
+	usable := func(i int) bool {
+		sty := dot(s[i], y[i])
+		return sty > curvatureEps*math.Sqrt(dot(s[i], s[i])*dot(y[i], y[i]))
+	}
+	alpha := make([]float64, p)
+	for i := p - 1; i >= 0; i-- {
+		if !usable(i) {
+			continue
+		}
+		alpha[i] = dot(s[i], q) / dot(s[i], y[i])
+		for k := range q {
+			q[k] -= alpha[i] * y[i][k]
+		}
+	}
+	gamma := 1.0
+	for i := p - 1; i >= 0; i-- {
+		if usable(i) && dot(y[i], y[i]) > 0 {
+			gamma = dot(s[i], y[i]) / dot(y[i], y[i])
+			break
+		}
+	}
+	for k := range q {
+		q[k] *= gamma
+	}
+	for i := 0; i < p; i++ {
+		if !usable(i) {
+			continue
+		}
+		beta := dot(y[i], q) / dot(s[i], y[i])
+		for k := range q {
+			q[k] += (alpha[i] - beta) * s[i][k]
+		}
+	}
+	for k := range q {
+		q[k] = -q[k]
+	}
+	return q
+}
+
+func TestLBFGSDirectionMatchesDenseReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const dim = 12
+	for trial := 0; trial < 20; trial++ {
+		h := NewLBFGSHistory(4)
+		var d []float64
+		for round := 0; round < 7; round++ {
+			g := make([]float64, dim)
+			for i := range g {
+				g[i] = rng.NormFloat64()
+			}
+			h.Observe(g)
+			var gTd float64
+			var err error
+			d, gTd, err = h.Direction(g, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := denseTwoLoop(h.s, h.y, g)
+			wantGTd := 0.0
+			for i := range g {
+				wantGTd += g[i] * want[i]
+			}
+			if !(wantGTd < 0) {
+				// Reference hit the same steepest-descent reset.
+				want = make([]float64, dim)
+				for i := range g {
+					want[i] = -g[i]
+				}
+			}
+			for i := range d {
+				if math.Abs(d[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+					t.Fatalf("trial %d round %d dim %d: coefficient-space %v vs dense %v", trial, round, i, d[i], want[i])
+				}
+			}
+			if !(gTd < 0) {
+				t.Fatalf("trial %d round %d: gᵀd = %v not a descent direction", trial, round, gTd)
+			}
+			// Take a small deterministic step so histories stay generic.
+			alpha := 0.1 + 0.05*float64(round%3)
+			h.Applied(alpha, d)
+		}
+	}
+}
+
+func TestLBFGSQuadraticBeatsGradientDescent(t *testing.T) {
+	// f(w) = ½ wᵀA w − bᵀw with an ill-conditioned diagonal A: plain
+	// gradient descent crawls, L-BFGS with a line search converges in a
+	// handful of rounds.
+	const dim = 10
+	a := make([]float64, dim)
+	b := make([]float64, dim)
+	for i := range a {
+		a[i] = math.Pow(10, float64(i)/3) // condition number 10^3
+		b[i] = 1
+	}
+	f := func(w []float64) float64 {
+		var v float64
+		for i := range w {
+			v += 0.5*a[i]*w[i]*w[i] - b[i]*w[i]
+		}
+		return v
+	}
+	grad := func(w []float64) []float64 {
+		g := make([]float64, dim)
+		for i := range g {
+			g[i] = a[i]*w[i] - b[i]
+		}
+		return g
+	}
+	fOpt := f([]float64{1 / a[0], 1 / a[1], 1 / a[2], 1 / a[3], 1 / a[4], 1 / a[5], 1 / a[6], 1 / a[7], 1 / a[8], 1 / a[9]})
+
+	h := NewLBFGSHistory(8)
+	h.L.Probes = 20 // the 10³ conditioning needs probes below 2⁻⁷
+	w := make([]float64, dim)
+	var d []float64
+	for round := 0; round < 60; round++ {
+		g := grad(w)
+		h.Observe(g)
+		var gTd float64
+		var err error
+		d, gTd, err = h.Direction(g, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alphas := h.L.Ladder()
+		losses := make([]float64, len(alphas))
+		probe := make([]float64, dim)
+		for j, al := range alphas {
+			for i := range w {
+				probe[i] = w[i] + al*d[i]
+			}
+			losses[j] = f(probe)
+		}
+		alpha, err := h.L.PickStep(alphas, losses, gTd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range w {
+			w[i] += alpha * d[i]
+		}
+		h.Applied(alpha, d)
+	}
+	lbfgsGap := f(w) - fOpt
+
+	w = make([]float64, dim)
+	lr := 1 / a[dim-1] // stability limit scale for plain GD
+	for round := 0; round < 60; round++ {
+		g := grad(w)
+		for i := range w {
+			w[i] -= lr * g[i]
+		}
+	}
+	gdGap := f(w) - fOpt
+	if !(lbfgsGap < 1e-7) {
+		t.Fatalf("lbfgs gap after 60 rounds = %v", lbfgsGap)
+	}
+	if !(lbfgsGap < gdGap/1e6) {
+		t.Fatalf("lbfgs gap %v not ≪ gd gap %v", lbfgsGap, gdGap)
+	}
+}
+
+func TestLBFGSDirectionNoPairsIsSteepestDescent(t *testing.T) {
+	l := NewLBFGS(8)
+	gram := []float64{4} // ‖g‖² = 4
+	coeffs, gTd, err := l.Direction(gram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coeffs) != 1 || coeffs[0] != -1 {
+		t.Fatalf("coeffs = %v, want [-1]", coeffs)
+	}
+	if gTd != -4 {
+		t.Fatalf("gᵀd = %v, want -4", gTd)
+	}
+}
+
+func TestLBFGSDirectionRejectsBadGram(t *testing.T) {
+	l := NewLBFGS(8)
+	l.Advance() // pairs=1 → basis 3 → want 9 values
+	if _, _, err := l.Direction(make([]float64, 4)); err == nil {
+		t.Fatal("wrong-size gram accepted")
+	}
+}
+
+func TestLBFGSDirectionSkipsNonCurvingPairs(t *testing.T) {
+	// One pair with sᵀy < 0 (non-convex curvature): the recursion must
+	// skip it and fall back to γ=1 steepest descent.
+	l := NewLBFGS(8)
+	l.Advance()
+	// Basis [s, y, g]: s=(1,0), y=(-1,0), g=(0,2).
+	s := []float64{1, 0}
+	y := []float64{-1, 0}
+	g := []float64{0, 2}
+	basis := [][]float64{s, y, g}
+	gram := make([]float64, 9)
+	for i := range basis {
+		for j := range basis {
+			gram[i*3+j] = basis[i][0]*basis[j][0] + basis[i][1]*basis[j][1]
+		}
+	}
+	coeffs, gTd, err := l.Direction(gram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coeffs[0] != 0 || coeffs[1] != 0 || coeffs[2] != -1 {
+		t.Fatalf("coeffs = %v, want [0 0 -1]", coeffs)
+	}
+	if gTd != -4 {
+		t.Fatalf("gᵀd = %v, want -4", gTd)
+	}
+}
+
+func TestLBFGSLadderShape(t *testing.T) {
+	l := NewLBFGS(8)
+	ladder := l.Ladder()
+	if len(ladder) != 1+l.Probes || ladder[0] != 0 || ladder[1] != l.Alpha0 {
+		t.Fatalf("ladder = %v", ladder)
+	}
+	for i := 2; i < len(ladder); i++ {
+		if ladder[i] != ladder[i-1]*l.Rho {
+			t.Fatalf("ladder not geometric at %d: %v", i, ladder)
+		}
+	}
+}
+
+func TestLBFGSPickStep(t *testing.T) {
+	l := NewLBFGS(8)
+	alphas := []float64{0, 1, 0.5, 0.25}
+	// Armijo with φ0=10, gᵀd=-4: threshold at α is 10 − 4e-4·α.
+	t.Run("first-passing-alpha", func(t *testing.T) {
+		got, err := l.PickStep(alphas, []float64{10, 11, 9.5, 9.9}, -4)
+		if err != nil || got != 0.5 {
+			t.Fatalf("got %v, %v; want 0.5", got, err)
+		}
+	})
+	t.Run("lowest-loss-wins", func(t *testing.T) {
+		got, err := l.PickStep(alphas, []float64{10, 9, 8, 7}, -4)
+		if err != nil || got != 0.25 {
+			t.Fatalf("got %v, %v; want 0.25", got, err)
+		}
+	})
+	t.Run("fallback-argmin", func(t *testing.T) {
+		// No probe passes Armijo (all ≥ φ0): best finite probe wins.
+		got, err := l.PickStep(alphas, []float64{10, 12, 11, 10.5}, -4)
+		if err != nil || got != 0.25 {
+			t.Fatalf("got %v, %v; want 0.25", got, err)
+		}
+	})
+	t.Run("nan-probes-skipped", func(t *testing.T) {
+		got, err := l.PickStep(alphas, []float64{10, math.NaN(), 9.5, 9.9}, -4)
+		if err != nil || got != 0.5 {
+			t.Fatalf("got %v, %v; want 0.5", got, err)
+		}
+	})
+	t.Run("all-diverged", func(t *testing.T) {
+		nan := math.NaN()
+		if _, err := l.PickStep(alphas, []float64{10, nan, nan, nan}, -4); err == nil {
+			t.Fatal("all-NaN ladder accepted")
+		}
+	})
+	t.Run("shape-errors", func(t *testing.T) {
+		if _, err := l.PickStep(alphas, []float64{1, 2}, -4); err == nil {
+			t.Fatal("length mismatch accepted")
+		}
+		if _, err := l.PickStep([]float64{1, 2}, []float64{1, 2}, -4); err == nil {
+			t.Fatal("alphas[0] != 0 accepted")
+		}
+	})
+}
+
+func TestLBFGSHistoryObserveCommitsPairs(t *testing.T) {
+	h := NewLBFGSHistory(2)
+	g1 := []float64{1, 2}
+	h.Observe(g1)
+	if len(h.s) != 0 || h.L.Pairs() != 0 {
+		t.Fatalf("pairs after first observe: %d", h.L.Pairs())
+	}
+	// No Applied() between rounds → no pair commits.
+	h.Observe([]float64{2, 1})
+	if len(h.s) != 0 {
+		t.Fatal("pair committed without a pending step")
+	}
+	h.Applied(0.5, []float64{2, 2})
+	h.Observe([]float64{0, 1})
+	if len(h.s) != 1 || h.s[0][0] != 1 || h.s[0][1] != 1 {
+		t.Fatalf("s history = %v", h.s)
+	}
+	if h.y[0][0] != -2 || h.y[0][1] != 0 {
+		t.Fatalf("y history = %v", h.y)
+	}
+	// α=0 clears the pending step.
+	h.Applied(0, []float64{9, 9})
+	h.Observe([]float64{1, 1})
+	if len(h.s) != 1 {
+		t.Fatalf("zero step committed a pair: %v", h.s)
+	}
+	// Memory bound: oldest pair evicted.
+	for i := 0; i < 4; i++ {
+		h.Applied(1, []float64{float64(i + 2), 0})
+		h.Observe([]float64{0, float64(i)})
+	}
+	if len(h.s) != 2 || h.L.Pairs() != 2 {
+		t.Fatalf("history length %d, pairs %d, want 2", len(h.s), h.L.Pairs())
+	}
+	if h.s[1][0] != 5 {
+		t.Fatalf("newest s = %v, want [5 0]", h.s[1])
+	}
+}
+
+// Backfill: exercise the f64/f32 optimizer surface the cover floor
+// depends on — Name/Reset/Snapshot/Restore for every rule.
+func TestOptimizerSurfaceBothPrecisions(t *testing.T) {
+	algos := []string{"sgd", "momentum", "adagrad", "adam"}
+	cfg := func(algo string) Config {
+		return Config{Algo: algo, LR: 0.1, Momentum: 0.9, L2: 0.01, L1: 0.001}
+	}
+	for _, algo := range algos {
+		t.Run(algo, func(t *testing.T) {
+			o, err := New(cfg(algo))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if o.Name() != algo {
+				t.Fatalf("name %q", o.Name())
+			}
+			p := model.NewParams(1, 4)
+			g := model.NewParams(1, 4)
+			for j := range g.W[0] {
+				g.W[0][j] = float64(j) - 1.5
+				p.W[0][j] = 0.5
+			}
+			for i := 0; i < 3; i++ {
+				if err := o.Apply(p, g); err != nil {
+					t.Fatal(err)
+				}
+			}
+			blocks, steps := o.Snapshot()
+			if err := o.Restore(blocks, steps); err != nil {
+				t.Fatal(err)
+			}
+			if err := o.Restore(nil, 0); err != nil {
+				t.Fatal(err)
+			}
+			o.Reset()
+
+			o32, err := New32(cfg(algo))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if o32.Name() != algo {
+				t.Fatalf("f32 name %q", o32.Name())
+			}
+			p32 := model.NewParams32(1, 4)
+			g32 := model.NewParams32(1, 4)
+			for j := range g32.W[0] {
+				g32.W[0][j] = float32(j) - 1.5
+				p32.W[0][j] = -0.5
+			}
+			for i := 0; i < 3; i++ {
+				if err := o32.Apply(p32, g32); err != nil {
+					t.Fatal(err)
+				}
+			}
+			blocks32, steps32 := o32.Snapshot()
+			if err := o32.Restore(blocks32, steps32); err != nil {
+				t.Fatal(err)
+			}
+			if err := o32.Restore(nil, 0); err != nil {
+				t.Fatal(err)
+			}
+			o32.Reset()
+			wrongCount := make([]*model.Params32, len(blocks32)+1)
+			for i := range wrongCount {
+				wrongCount[i] = model.NewParams32(1, 4)
+			}
+			if err := o32.Restore(wrongCount, 1); err == nil {
+				t.Fatal("f32 restore accepted wrong block count")
+			}
+		})
+	}
+}

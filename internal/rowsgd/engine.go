@@ -45,9 +45,23 @@ type Config struct {
 	Opt opt.Config
 	// BatchSize is the global batch B; each worker processes B/K points.
 	BatchSize int
-	// LocalSteps is the number of local SGD steps per averaging round
-	// (MLlib* only; default 4).
+	// Solver selects the update rule: "" or "sgd" runs each system's
+	// classic path; "local" runs K = LocalSteps local SGD steps per
+	// exchange on every system (K = 1 is exactly the classic path, and
+	// for MLlib* — whose classic path already is local-step averaging —
+	// "local" simply aliases LocalSteps onto the averaging rounds);
+	// "lbfgs" runs dense master-side L-BFGS with a backtracking line
+	// search (MLlib/Petuum/MXNet only). Solvers other than "sgd" are
+	// BSP-only: they reject Staleness and Membership.
+	Solver string
+	// LocalSteps is the number of local SGD steps per averaging round.
+	// MLlib* always consumes it (its classic path is model averaging;
+	// default 4); the other systems consume it under Solver "local"
+	// (same default 4, shared with the ColumnSGD engine's knob).
 	LocalSteps int
+	// LBFGSMemory is the L-BFGS history length m (Solver "lbfgs" only;
+	// default 8, max 32).
+	LBFGSMemory int
 	// ChunkRows sizes the loading chunks (default 512).
 	ChunkRows int
 	// Seed drives sampling and initialization.
@@ -113,8 +127,52 @@ func (c *Config) normalize() error {
 	if c.ModelName == "" {
 		c.ModelName = "lr"
 	}
+	// The solver knobs share validation with the ColumnSGD engine.
+	// LocalSteps only flows through the shared bounds check under Solver
+	// "local" — with the classic solver it stays a plain MLlib* knob
+	// (any positive step count), preserving the legacy default below.
+	sc := opt.SolverConfig{Name: c.Solver, LBFGSMemory: c.LBFGSMemory}
+	if sc.Name == opt.SolverLocal {
+		sc.LocalSteps = c.LocalSteps
+	}
+	sc, err := sc.Normalized()
+	if err != nil {
+		return fmt.Errorf("rowsgd: %w", err)
+	}
+	c.Solver = sc.Name
+	c.LBFGSMemory = sc.LBFGSMemory
+	if c.Solver == opt.SolverLocal {
+		c.LocalSteps = sc.LocalSteps
+	}
 	if c.LocalSteps <= 0 {
 		c.LocalSteps = 4
+	}
+	if c.Solver != opt.SolverSGD {
+		if c.Staleness > 0 {
+			return fmt.Errorf("rowsgd: Solver %q is BSP-only (Staleness must be 0)", c.Solver)
+		}
+		if c.Membership != "" {
+			return fmt.Errorf("rowsgd: Solver %q does not compose with elastic membership", c.Solver)
+		}
+	}
+	if c.Solver == opt.SolverLBFGS {
+		if c.System == MLlibStar {
+			return fmt.Errorf("rowsgd: Solver lbfgs needs a central model; MLlib* holds only replicas")
+		}
+		if c.Precision == "f32" {
+			return fmt.Errorf("rowsgd: Solver lbfgs runs the float64 path only")
+		}
+		if c.Opt.L1 > 0 || c.Opt.L2 > 0 {
+			return fmt.Errorf("rowsgd: Solver lbfgs assumes a smooth unregularized objective (L1/L2 must be 0)")
+		}
+		switch c.Opt.Algo {
+		case "", "sgd":
+		default:
+			return fmt.Errorf("rowsgd: Solver lbfgs replaces the optimizer; Opt.Algo %q is meaningless here", c.Opt.Algo)
+		}
+	}
+	if c.Solver == opt.SolverLocal && c.LocalSteps > 1 && c.Precision == "f32" && c.System != MLlibStar {
+		return fmt.Errorf("rowsgd: Solver local with K > 1 runs the float64 path on %s (MLlib* local averaging supports f32)", c.System)
 	}
 	if c.ChunkRows <= 0 {
 		c.ChunkRows = 512
@@ -183,6 +241,11 @@ type Engine struct {
 	// driver gets no Recover hook and ErrWorkerDown is terminal.
 	drv *driver.Driver
 
+	// lbh is the dense-history L-BFGS state (Solver "lbfgs"): the same
+	// coefficient-space core the column engine runs, fed from dense
+	// master-side s/y vectors.
+	lbh *opt.LBFGSHistory
+
 	// ds is retained under elastic membership so a migrated slot can
 	// re-ship its row shard to the new host.
 	ds *dataset.Dataset
@@ -241,8 +304,26 @@ func newEngine(cfg Config, clients []cluster.Client) (*Engine, error) {
 	} else if _, err := opt.New(cfg.Opt); err != nil {
 		return nil, err
 	}
-	return &Engine{cfg: cfg, clients: clients, mdl: mdl, o: o,
-		drv: driver.New(clients, driver.Options{})}, nil
+	e := &Engine{cfg: cfg, clients: clients, mdl: mdl, o: o,
+		drv: driver.New(clients, driver.Options{})}
+	if cfg.Solver == opt.SolverLBFGS {
+		e.lbh = opt.NewLBFGSHistory(cfg.LBFGSMemory)
+	}
+	return e, nil
+}
+
+// systemName is the trace label: solver rounds that change the round
+// shape get a suffix, classic rounds (sgd, local K = 1, and MLlib*'s
+// local alias) keep the bare system name so goldens hold.
+func (e *Engine) systemName() string {
+	name := string(e.cfg.System)
+	switch {
+	case e.cfg.Solver == opt.SolverLBFGS:
+		name += fmt.Sprintf("-lbfgs%d", e.cfg.LBFGSMemory)
+	case e.cfg.Solver == opt.SolverLocal && e.cfg.LocalSteps > 1 && e.cfg.System != MLlibStar:
+		name += fmt.Sprintf("-local%d", e.cfg.LocalSteps)
+	}
+	return name
 }
 
 // workers lists all worker indices (RowSGD has no live/dead set: losing
@@ -291,7 +372,7 @@ func (e *Engine) Load(ds *dataset.Dataset) error {
 	e.m = ds.NumFeatures
 	e.n = ds.N()
 	e.trace = &metrics.Trace{
-		System:  string(e.cfg.System),
+		System:  e.systemName(),
 		Dataset: fmt.Sprintf("n%d-m%d", ds.N(), ds.NumFeatures),
 		ModelID: e.mdl.Name(),
 	}
@@ -382,6 +463,15 @@ func (e *Engine) Step() (float64, error) {
 		return 0, err
 	}
 	e.wallStart = time.Now()
+	// The solver decides the round shape. "local" with K = 1 is exactly
+	// the classic exchange (and MLlib*'s classic exchange already is
+	// local-step averaging), so only genuinely different rounds divert.
+	switch {
+	case e.cfg.Solver == opt.SolverLBFGS:
+		return e.stepLBFGSRow()
+	case e.cfg.Solver == opt.SolverLocal && e.cfg.LocalSteps > 1 && e.cfg.System != MLlibStar:
+		return e.stepLocalDelta()
+	}
 	switch e.cfg.System {
 	case MLlib, Petuum:
 		return e.stepPullPush()

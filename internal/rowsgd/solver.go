@@ -1,0 +1,428 @@
+package rowsgd
+
+// Solver rounds for the row-oriented baselines, mirroring the column
+// engine's pluggable solver layer so the differential harness can
+// compare like with like:
+//
+//   - "local" (K > 1, MLlib/Petuum/MXNet): the master broadcasts the
+//     dense model; each worker runs K local SGD steps on its shard with
+//     a fresh optimizer and pushes the accumulated sparse delta; the
+//     master installs the count-weighted mean delta. MXNet falls back
+//     to the dense pull here — the sparse-pull protocol cannot name the
+//     dimensions K future local batches will touch. MLlib*'s classic
+//     exchange already is local-step averaging, so "local" only aliases
+//     LocalSteps onto it (no new round shape).
+//   - "lbfgs": the master keeps dense s/y history (opt.LBFGSHistory —
+//     the same coefficient-space core the column engine runs), gathers
+//     the full-shard gradient, and prices the whole backtracking ladder
+//     in one probe round per worker.
+//
+// All solver calls are pure compute against shipped state — workers
+// mutate nothing but scratch — so the driver's at-least-once retry is
+// safe. Solver messages stay on gob: the rows-side wire codec work is
+// out of scope here, and the cost model sees the real serialized bytes
+// either way.
+
+import (
+	"encoding/gob"
+	"fmt"
+	"math"
+
+	"columnsgd/internal/cluster"
+	"columnsgd/internal/driver"
+	"columnsgd/internal/model"
+	"columnsgd/internal/opt"
+	"columnsgd/internal/simnet"
+)
+
+// LocalDeltaArgs runs K local SGD steps from the broadcast model and
+// asks for the accumulated delta (Solver "local", K > 1).
+type LocalDeltaArgs struct {
+	Iter      int64
+	Steps     int
+	BatchSize int
+	Model     []DenseVec
+}
+
+// LocalDeltaReply returns the worker's accumulated model delta after K
+// local steps, sparse per parameter row.
+type LocalDeltaReply struct {
+	Delta []SparseBlock
+	// LossSum/Count accumulate the first local step's batch loss — the
+	// loss at the model the master actually broadcast.
+	LossSum float64
+	Count   int
+	NNZ     int64
+}
+
+// FullGradArgs asks for the full-shard gradient at Model (Solver
+// "lbfgs").
+type FullGradArgs struct {
+	Model []DenseVec
+}
+
+// FullGradReply returns the shard's gradient sum (mean × Count, so
+// partial sums combine exactly), loss sum, and shard size.
+type FullGradReply struct {
+	Grad    []DenseVec
+	LossSum float64
+	Count   int
+	NNZ     int64
+}
+
+// LineProbeArgs prices a whole backtracking ladder in one message: the
+// shard loss at Model + α·Dir for every α.
+type LineProbeArgs struct {
+	Model  []DenseVec
+	Dir    []DenseVec
+	Alphas []float64
+}
+
+// LineProbeReply returns per-α loss sums over the shard.
+type LineProbeReply struct {
+	LossSums []float64
+	Count    int
+	NNZ      int64
+}
+
+// Solver protocol method names.
+const (
+	MethodLocalDelta = "rowsgd.localDelta"
+	MethodFullGrad   = "rowsgd.fullGrad"
+	MethodLineProbe  = "rowsgd.lineProbe"
+)
+
+func init() {
+	gob.Register(&LocalDeltaArgs{})
+	gob.Register(&LocalDeltaReply{})
+	gob.Register(&FullGradArgs{})
+	gob.Register(&FullGradReply{})
+	gob.Register(&LineProbeArgs{})
+	gob.Register(&LineProbeReply{})
+}
+
+func registerSolverMethods(svc *cluster.Service, w *Worker) {
+	svc.Register(MethodLocalDelta, func(args interface{}) (interface{}, error) {
+		a, ok := args.(*LocalDeltaArgs)
+		if !ok {
+			return nil, fmt.Errorf("rowsgd: bad args %T", args)
+		}
+		return w.localDelta(a)
+	})
+	svc.Register(MethodFullGrad, func(args interface{}) (interface{}, error) {
+		a, ok := args.(*FullGradArgs)
+		if !ok {
+			return nil, fmt.Errorf("rowsgd: bad args %T", args)
+		}
+		return w.fullGrad(a)
+	})
+	svc.Register(MethodLineProbe, func(args interface{}) (interface{}, error) {
+		a, ok := args.(*LineProbeArgs)
+		if !ok {
+			return nil, fmt.Errorf("rowsgd: bad args %T", args)
+		}
+		return w.lineProbe(a)
+	})
+}
+
+// localDelta runs a.Steps local SGD steps from the broadcast model on a
+// private copy and returns the accumulated delta. The optimizer is
+// fresh each round — the master owns the model, so no optimizer state
+// may survive between exchanges.
+func (w *Worker) localDelta(a *LocalDeltaArgs) (*LocalDeltaReply, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.loaded {
+		return nil, fmt.Errorf("rowsgd: worker %d: not loaded", w.id)
+	}
+	if w.prec == "f32" {
+		return nil, fmt.Errorf("rowsgd: worker %d: localDelta runs the float64 path only", w.id)
+	}
+	if len(a.Model) != w.mdl.ParamRows() {
+		return nil, fmt.Errorf("rowsgd: model has %d rows, want %d", len(a.Model), w.mdl.ParamRows())
+	}
+	if a.Steps < 2 {
+		return nil, fmt.Errorf("rowsgd: localDelta needs Steps ≥ 2 (K=1 rounds use the classic exchange)")
+	}
+	o, err := opt.New(w.optCfg)
+	if err != nil {
+		return nil, err
+	}
+	p := model.NewParams(w.mdl.ParamRows(), w.m)
+	for r := range a.Model {
+		if len(a.Model[r]) != w.m {
+			return nil, fmt.Errorf("rowsgd: model row %d width %d, want %d", r, len(a.Model[r]), w.m)
+		}
+		copy(p.W[r], a.Model[r])
+	}
+	reply := &LocalDeltaReply{}
+	for s := 0; s < a.Steps; s++ {
+		// Same stream split as MLlib* local training: each step draws a
+		// distinct deterministic batch.
+		b := w.sampleLocal(a.Iter*1024+int64(s), a.BatchSize)
+		w.statsBuf = model.ParallelStats(w.pool, w.mdl, p, b, w.statsBuf)
+		stats := w.statsBuf
+		if s == 0 {
+			reply.LossSum = model.BatchLoss(w.mdl, b.Labels, stats) * float64(b.Len())
+			reply.Count = b.Len()
+		}
+		grad := model.NewParams(w.mdl.ParamRows(), w.m)
+		model.ParallelGradient(w.pool, w.mdl, p, b, stats, grad)
+		if err := o.Apply(p, grad); err != nil {
+			return nil, err
+		}
+		reply.NNZ += b.NNZ()
+	}
+	reply.Delta = make([]SparseBlock, p.Rows())
+	for r := range p.W {
+		var idx []int32
+		var val []float64
+		for j, v := range p.W[r] {
+			if d := v - a.Model[r][j]; d != 0 {
+				idx = append(idx, int32(j))
+				val = append(val, d)
+			}
+		}
+		reply.Delta[r] = SparseBlock{Indices: idx, Values: val}
+	}
+	return reply, nil
+}
+
+// fullGrad computes the shard's gradient sum and loss sum at the
+// broadcast model.
+func (w *Worker) fullGrad(a *FullGradArgs) (*FullGradReply, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.loaded {
+		return nil, fmt.Errorf("rowsgd: worker %d: not loaded", w.id)
+	}
+	if w.prec == "f32" {
+		return nil, fmt.Errorf("rowsgd: worker %d: fullGrad runs the float64 path only", w.id)
+	}
+	if len(a.Model) != w.mdl.ParamRows() {
+		return nil, fmt.Errorf("rowsgd: model has %d rows, want %d", len(a.Model), w.mdl.ParamRows())
+	}
+	p := &model.Params{W: FromDenseVecs(a.Model)}
+	b := model.Batch{Rows: w.rows, Labels: w.labels}
+	w.statsBuf = model.ParallelStats(w.pool, w.mdl, p, b, w.statsBuf)
+	stats := w.statsBuf
+	grad := model.NewParams(w.mdl.ParamRows(), w.m)
+	model.ParallelGradient(w.pool, w.mdl, p, b, stats, grad)
+	// ParallelGradient yields the shard mean; rescale to the sum so the
+	// master's cross-shard combination is exact.
+	grad.Scale(float64(b.Len()))
+	return &FullGradReply{
+		Grad:    ToDense(grad.W),
+		LossSum: model.BatchLoss(w.mdl, b.Labels, stats) * float64(b.Len()),
+		Count:   b.Len(),
+		NNZ:     b.NNZ(),
+	}, nil
+}
+
+// lineProbe evaluates the shard loss at Model + α·Dir for every ladder
+// probe in one pass each.
+func (w *Worker) lineProbe(a *LineProbeArgs) (*LineProbeReply, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.loaded {
+		return nil, fmt.Errorf("rowsgd: worker %d: not loaded", w.id)
+	}
+	if w.prec == "f32" {
+		return nil, fmt.Errorf("rowsgd: worker %d: lineProbe runs the float64 path only", w.id)
+	}
+	if len(a.Model) != w.mdl.ParamRows() || len(a.Dir) != w.mdl.ParamRows() {
+		return nil, fmt.Errorf("rowsgd: model/dir rows %d/%d, want %d", len(a.Model), len(a.Dir), w.mdl.ParamRows())
+	}
+	if len(a.Alphas) == 0 {
+		return nil, fmt.Errorf("rowsgd: empty line-search ladder")
+	}
+	b := model.Batch{Rows: w.rows, Labels: w.labels}
+	probe := model.NewParams(w.mdl.ParamRows(), w.m)
+	reply := &LineProbeReply{LossSums: make([]float64, len(a.Alphas)), Count: b.Len()}
+	for ai, alpha := range a.Alphas {
+		for r := range probe.W {
+			mrow, drow := a.Model[r], a.Dir[r]
+			if len(mrow) != w.m || len(drow) != w.m {
+				return nil, fmt.Errorf("rowsgd: model/dir row %d width mismatch", r)
+			}
+			row := probe.W[r]
+			for j := range row {
+				row[j] = mrow[j] + alpha*drow[j]
+			}
+		}
+		w.statsBuf = model.ParallelStats(w.pool, w.mdl, probe, b, w.statsBuf)
+		reply.LossSums[ai] = model.BatchLoss(w.mdl, b.Labels, w.statsBuf) * float64(b.Len())
+		reply.NNZ += b.NNZ()
+	}
+	return reply, nil
+}
+
+// stepLocalDelta is the "local" K > 1 round for the centralized
+// systems: dense pull, K local steps, sparse delta push, count-weighted
+// mean at the master.
+func (e *Engine) stepLocalDelta() (float64, error) {
+	iter := e.cfg.Seed + e.iter
+	batch := e.perWorkerBatch()
+	tr := &driver.Traffic{}
+	replies := make([]LocalDeltaReply, e.cfg.Workers)
+	args := &LocalDeltaArgs{Iter: iter, Steps: e.cfg.LocalSteps, BatchSize: batch, Model: ToDense(e.params.W)}
+	if _, err := e.drv.Gather(e.workers(), tr, func(_, w int) driver.Call {
+		return driver.Call{Method: MethodLocalDelta, Args: args, Reply: &replies[w], Retry: true}
+	}); err != nil {
+		return 0, err
+	}
+
+	delta := model.NewParams(e.mdl.ParamRows(), e.m)
+	var lossSum float64
+	var count int
+	var maxNNZ int64
+	for i := range replies {
+		r := &replies[i]
+		if len(r.Delta) != delta.Rows() {
+			return 0, fmt.Errorf("rowsgd: delta reply has %d rows, want %d", len(r.Delta), delta.Rows())
+		}
+		for row := range r.Delta {
+			blk := r.Delta[row]
+			for k, idx := range blk.Indices {
+				if int(idx) >= e.m {
+					return 0, fmt.Errorf("rowsgd: delta index %d out of range", idx)
+				}
+				delta.W[row][idx] += blk.Values[k] * float64(r.Count)
+			}
+		}
+		lossSum += r.LossSum
+		count += r.Count
+		if r.NNZ > maxNNZ {
+			maxNNZ = r.NNZ
+		}
+	}
+	if count == 0 {
+		return 0, fmt.Errorf("rowsgd: empty global batch")
+	}
+	delta.Scale(1 / float64(count))
+	if err := e.params.Add(delta); err != nil {
+		return 0, err
+	}
+
+	loss := lossSum / float64(count)
+	pullBytes := int64(e.cfg.Workers) * e.modelWireBytes()
+	total := tr.Bytes()
+	pushBytes := total - pullBytes
+	if pushBytes < 0 {
+		pushBytes = 0
+		pullBytes = total
+	}
+	phases := []simnet.Phase{
+		{Label: "pull-model", Messages: tr.Messages() / 2, Bytes: pullBytes, Links: e.cfg.links()},
+		{Label: "push-delta", Messages: tr.Messages() / 2, Bytes: pushBytes, Links: e.cfg.links()},
+	}
+	return loss, e.finishIteration(loss, maxNNZ, phases)
+}
+
+// stepLBFGSRow is the dense master-side L-BFGS round: full-shard
+// gradient gather, two-loop direction at the master, one probe round
+// pricing the whole backtracking ladder, then a master-local step.
+func (e *Engine) stepLBFGSRow() (float64, error) {
+	modelWire := ToDense(e.params.W)
+	trGrad := &driver.Traffic{}
+	gradReplies := make([]FullGradReply, e.cfg.Workers)
+	gradArgs := &FullGradArgs{Model: modelWire}
+	if _, err := e.drv.Gather(e.workers(), trGrad, func(_, w int) driver.Call {
+		return driver.Call{Method: MethodFullGrad, Args: gradArgs, Reply: &gradReplies[w], Retry: true}
+	}); err != nil {
+		return 0, err
+	}
+	rows, m := e.mdl.ParamRows(), e.m
+	g := make([]float64, rows*m)
+	var count int
+	var maxNNZ int64
+	for i := range gradReplies {
+		r := &gradReplies[i]
+		if len(r.Grad) != rows {
+			return 0, fmt.Errorf("rowsgd: gradient reply has %d rows, want %d", len(r.Grad), rows)
+		}
+		for row := range r.Grad {
+			if len(r.Grad[row]) != m {
+				return 0, fmt.Errorf("rowsgd: gradient row %d width %d, want %d", row, len(r.Grad[row]), m)
+			}
+			base := row * m
+			for j, v := range r.Grad[row] {
+				g[base+j] += v
+			}
+		}
+		count += r.Count
+		if r.NNZ > maxNNZ {
+			maxNNZ = r.NNZ
+		}
+	}
+	if count == 0 {
+		return 0, fmt.Errorf("rowsgd: no gradient points")
+	}
+	for i := range g {
+		g[i] /= float64(count)
+	}
+
+	e.lbh.Observe(g)
+	d, gTd, err := e.lbh.Direction(g, nil)
+	if err != nil {
+		return 0, err
+	}
+	dir := model.NewParams(rows, m)
+	for row := 0; row < rows; row++ {
+		copy(dir.W[row], d[row*m:(row+1)*m])
+	}
+
+	alphas := e.lbh.L.Ladder()
+	trLine := &driver.Traffic{}
+	lineReplies := make([]LineProbeReply, e.cfg.Workers)
+	lineArgs := &LineProbeArgs{Model: modelWire, Dir: ToDense(dir.W), Alphas: alphas}
+	if _, err := e.drv.Gather(e.workers(), trLine, func(_, w int) driver.Call {
+		return driver.Call{Method: MethodLineProbe, Args: lineArgs, Reply: &lineReplies[w], Retry: true}
+	}); err != nil {
+		return 0, err
+	}
+	losses := make([]float64, len(alphas))
+	var lineCount int
+	for i := range lineReplies {
+		r := &lineReplies[i]
+		if len(r.LossSums) != len(alphas) {
+			return 0, fmt.Errorf("rowsgd: line probe returned %d losses, want %d", len(r.LossSums), len(alphas))
+		}
+		for ai, v := range r.LossSums {
+			losses[ai] += v
+		}
+		lineCount += r.Count
+		if r.NNZ > maxNNZ {
+			maxNNZ = r.NNZ
+		}
+	}
+	if lineCount != count {
+		return 0, fmt.Errorf("rowsgd: line probes covered %d points, gradient %d", lineCount, count)
+	}
+	for ai := range losses {
+		losses[ai] /= float64(lineCount)
+	}
+	phi0 := losses[0]
+	if math.IsNaN(phi0) {
+		return 0, fmt.Errorf("rowsgd: lbfgs round %d: φ(0) is NaN", e.iter)
+	}
+	alpha, err := e.lbh.L.PickStep(alphas, losses, gTd)
+	if err != nil {
+		return 0, fmt.Errorf("rowsgd: round %d: %w", e.iter, err)
+	}
+	if alpha > 0 {
+		for row := 0; row < rows; row++ {
+			prow, drow := e.params.W[row], dir.W[row]
+			for j := range prow {
+				prow[j] += alpha * drow[j]
+			}
+		}
+	}
+	e.lbh.Applied(alpha, d)
+
+	phases := []simnet.Phase{
+		trGrad.Phase("full-gradient", e.cfg.links()),
+		trLine.Phase("line-search", e.cfg.links()),
+	}
+	return phi0, e.finishIteration(phi0, maxNNZ, phases)
+}

@@ -1,0 +1,202 @@
+package rowsgd
+
+import (
+	"strings"
+	"testing"
+
+	"columnsgd/internal/opt"
+)
+
+func trainRowSolver(t *testing.T, cfg Config, n, m int, seed int64, iters int) (*Engine, []float64) {
+	t.Helper()
+	ds := testData(t, n, m, seed)
+	e, err := NewLocalEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(iters); err != nil {
+		t.Fatal(err)
+	}
+	full, err := e.ExportModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, full.W[0]
+}
+
+// Solver "local" with K = 1 must be bit-identical to the classic
+// exchange on every baseline: the engine dispatches to the exact legacy
+// step path. For MLlib* — whose classic path already is local-step
+// averaging — identity holds at matched LocalSteps.
+func TestRowLocalK1BitIdenticalToSGD(t *testing.T) {
+	for _, sys := range []System{MLlib, MLlibStar, Petuum, MXNet} {
+		t.Run(string(sys), func(t *testing.T) {
+			sgd := baseConfig(sys, 3)
+			sgd.BatchSize = 33
+			if sys == MLlibStar {
+				sgd.LocalSteps = 1
+			}
+			loc := sgd
+			loc.Solver = opt.SolverLocal
+			loc.LocalSteps = 1
+			_, wSGD := trainRowSolver(t, sgd, 150, 18, 67, 12)
+			eLoc, wLoc := trainRowSolver(t, loc, 150, 18, 67, 12)
+			for j := range wSGD {
+				if wSGD[j] != wLoc[j] {
+					t.Fatalf("w[%d]: sgd %v vs local-K1 %v", j, wSGD[j], wLoc[j])
+				}
+			}
+			if name := eLoc.Trace().System; strings.Contains(name, "local") {
+				t.Fatalf("local K=1 system name leaks suffix: %q", name)
+			}
+		})
+	}
+}
+
+// Local-update rounds with K > 1 converge on the centralized systems
+// and the trace carries the new round shape.
+func TestRowLocalMultiStepConverges(t *testing.T) {
+	for _, sys := range []System{MLlib, Petuum, MXNet} {
+		t.Run(string(sys), func(t *testing.T) {
+			cfg := baseConfig(sys, 3)
+			cfg.BatchSize = 33
+			cfg.Solver = opt.SolverLocal
+			cfg.LocalSteps = 4
+			cfg.Opt = opt.Config{LR: 0.2}
+			ds := testData(t, 240, 20, 71)
+			e, err := NewLocalEngine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Load(ds); err != nil {
+				t.Fatal(err)
+			}
+			first, err := e.FullLoss()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.Run(30); err != nil {
+				t.Fatal(err)
+			}
+			last, err := e.FullLoss()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !(last < first*0.9) {
+				t.Fatalf("%s local-K4: loss %v -> %v", sys, first, last)
+			}
+			if name := e.Trace().System; !strings.Contains(name, "local4") {
+				t.Fatalf("system name %q missing local4", name)
+			}
+			its := e.Trace().Iterations
+			ph := its[len(its)-1].Phases
+			if len(ph) != 2 || ph[0].Label != "pull-model" || ph[1].Label != "push-delta" {
+				t.Fatalf("phases = %+v", ph)
+			}
+		})
+	}
+}
+
+// MLlib* under Solver "local" is plain model averaging with the given
+// step count — the alias changes no math, so it matches a classic run
+// with the same LocalSteps bit for bit.
+func TestRowLocalAliasesMLlibStarSteps(t *testing.T) {
+	classic := baseConfig(MLlibStar, 3)
+	classic.BatchSize = 33
+	classic.LocalSteps = 3
+	alias := classic
+	alias.Solver = opt.SolverLocal
+	_, wClassic := trainRowSolver(t, classic, 150, 18, 73, 10)
+	_, wAlias := trainRowSolver(t, alias, 150, 18, 73, 10)
+	for j := range wClassic {
+		if wClassic[j] != wAlias[j] {
+			t.Fatalf("w[%d]: classic %v vs alias %v", j, wClassic[j], wAlias[j])
+		}
+	}
+}
+
+// Dense master-side L-BFGS converges on the centralized systems and
+// clearly beats the same budget of SGD rounds.
+func TestRowLBFGSConvergesAndBeatsSGD(t *testing.T) {
+	for _, sys := range []System{MLlib, Petuum, MXNet} {
+		t.Run(string(sys), func(t *testing.T) {
+			ds := testData(t, 240, 20, 79)
+			lossAfter := func(cfg Config, iters int) (*Engine, float64) {
+				e, err := NewLocalEngine(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := e.Load(ds); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := e.Run(iters); err != nil {
+					t.Fatal(err)
+				}
+				l, err := e.FullLoss()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return e, l
+			}
+			sgd := baseConfig(sys, 3)
+			sgd.BatchSize = 33
+			lb := sgd
+			lb.Solver = opt.SolverLBFGS
+			lb.LBFGSMemory = 8
+			const rounds = 10
+			_, sgdLoss := lossAfter(sgd, rounds)
+			eLB, lbLoss := lossAfter(lb, rounds)
+			if !(lbLoss < sgdLoss*0.8) {
+				t.Fatalf("%s after %d rounds: lbfgs %v vs sgd %v", sys, rounds, lbLoss, sgdLoss)
+			}
+			if name := eLB.Trace().System; !strings.Contains(name, "lbfgs8") {
+				t.Fatalf("system name %q missing lbfgs8", name)
+			}
+			its := eLB.Trace().Iterations
+			ph := its[len(its)-1].Phases
+			if len(ph) != 2 || ph[0].Label != "full-gradient" || ph[1].Label != "line-search" {
+				t.Fatalf("phases = %+v", ph)
+			}
+		})
+	}
+}
+
+// Solver knobs are validated with the same table discipline as the
+// rest of the config surface.
+func TestRowSolverConfigRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"unknown-solver", func(c *Config) { c.Solver = "newton" }},
+		{"steps-too-high", func(c *Config) { c.Solver = opt.SolverLocal; c.LocalSteps = 65 }},
+		{"memory-too-high", func(c *Config) { c.Solver = opt.SolverLBFGS; c.LBFGSMemory = 33 }},
+		{"memory-without-lbfgs", func(c *Config) { c.LBFGSMemory = 8 }},
+		{"local-staleness", func(c *Config) { c.Solver = opt.SolverLocal; c.LocalSteps = 4; c.Staleness = 2 }},
+		{"lbfgs-staleness", func(c *Config) { c.Solver = opt.SolverLBFGS; c.Staleness = 1 }},
+		{"lbfgs-membership", func(c *Config) { c.Solver = opt.SolverLBFGS; c.Membership = "leave@3:1" }},
+		{"lbfgs-mllibstar", func(c *Config) { c.System = MLlibStar; c.Solver = opt.SolverLBFGS }},
+		{"lbfgs-f32", func(c *Config) { c.Solver = opt.SolverLBFGS; c.Precision = "f32" }},
+		{"lbfgs-l2", func(c *Config) { c.Solver = opt.SolverLBFGS; c.Opt = opt.Config{LR: 0.5, L2: 0.01} }},
+		{"lbfgs-adagrad", func(c *Config) { c.Solver = opt.SolverLBFGS; c.Opt = opt.Config{Algo: "adagrad", LR: 0.5} }},
+		{"local-f32-mllib", func(c *Config) { c.Solver = opt.SolverLocal; c.LocalSteps = 4; c.Precision = "f32" }},
+	}
+	for _, tc := range cases {
+		cfg := baseConfig(MLlib, 2)
+		tc.mut(&cfg)
+		if _, err := NewLocalEngine(cfg); err == nil {
+			t.Errorf("%s: accepted: %+v", tc.name, cfg)
+		}
+	}
+	// MLlib* keeps f32 local averaging.
+	ok := baseConfig(MLlibStar, 2)
+	ok.Solver = opt.SolverLocal
+	ok.LocalSteps = 4
+	ok.Precision = "f32"
+	if _, err := NewLocalEngine(ok); err != nil {
+		t.Fatalf("MLlib* f32 local rejected: %v", err)
+	}
+}

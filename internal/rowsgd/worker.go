@@ -29,6 +29,10 @@ type Worker struct {
 	replica *model.Params
 	o       opt.Optimizer
 	seed    int64
+	// optCfg is the optimizer recipe: localDelta spins up a fresh
+	// optimizer from it for each multi-step round, so the local steps
+	// are stateless across rounds (the master owns the model).
+	optCfg opt.Config
 
 	// prec is the compute path's numeric width: "" / "f64" run the
 	// float64 kernels, "f32" the float32 twins in worker32.go.
@@ -80,6 +84,7 @@ func (w *Worker) init(a *InitArgs) error {
 	w.mdl = mdl
 	w.seed = a.Seed
 	w.prec = a.Precision
+	w.optCfg = a.Opt
 	if w.pool != nil {
 		w.pool.Shutdown()
 	}
@@ -567,5 +572,6 @@ func NewWorkerService() *cluster.Service {
 		}
 		return nil, w.importState(a)
 	})
+	registerSolverMethods(svc, w)
 	return svc
 }

@@ -20,7 +20,8 @@ import (
 )
 
 // registeredIDs are the message IDs pinned by TestGoldenWireIDsPinned.
-var registeredIDs = []byte{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x10, 0x11, 0x12}
+var registeredIDs = []byte{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x10, 0x11, 0x12,
+	0x20, 0x21, 0x22, 0x23, 0x24, 0x25, 0x26, 0x27, 0x28}
 
 func typedWireErr(t *testing.T, what string, err error, data []byte) {
 	t.Helper()
@@ -77,6 +78,67 @@ func FuzzWireDecode(f *testing.F) {
 		}
 		if _, _, err := cluster.DecodeResponseFrame(wire.Default, data); err != nil && !errors.Is(err, cluster.ErrDecode) {
 			t.Fatalf("response frame: untyped error %v for % x", err, data)
+		}
+	})
+}
+
+// FuzzSolverFrame hardens the versioned solver frame family (IDs
+// 0x20–0x28): arbitrary bytes must never panic a solver decoder and
+// every failure must carry the typed taxonomy — in particular a wrong
+// leading version byte must surface as wire.ErrCorrupt, not a silent
+// misparse. Valid frames must round trip bit-identically under every
+// negotiated codec (solver vectors are pinned to f64 on the wire).
+func FuzzSolverFrame(f *testing.F) {
+	upd := (&core.SolverUpdateArgs{Version: 1, Iter: 3, BatchSize: 16, Epoch: true,
+		EpochSeed: 9, LocalSteps: 4, Stats: []float64{0, 1.5, -2.25, 0}}).AppendWire(nil, wire.F64)
+	updRep := (&core.SolverUpdateReply{Loss: 0.5, NNZ: 77, Delta: []float64{0.25, 0, -1}}).AppendWire(nil, wire.F64)
+	grad := (&core.SolverGradArgs{Version: 1, Round: 2, Pairs: 1, Memory: 8,
+		Stats: []float64{1, 0, 3}}).AppendWire(nil, wire.F64)
+	gradRep := (&core.SolverGradReply{Pairs: 1, NNZ: 9, Gram: []float64{1, 2, 2, 4, 0, 0, 0, 0, 5}}).AppendWire(nil, wire.F64)
+	dir := (&core.SolverDirArgs{Version: 1, Coeffs: []float64{-1, 0.5, 0}}).AppendWire(nil, wire.F64)
+	dirRep := (&core.SolverDirReply{NNZ: 5, Margins: []float64{0, -0.5}}).AppendWire(nil, wire.F64)
+	line := (&core.SolverLineArgs{Version: 1, Alphas: []float64{0, 4, 2},
+		Base: []float64{1, 2}, Dir: []float64{-1, 0}}).AppendWire(nil, wire.F64)
+	lineRep := (&core.SolverLineReply{Count: 240, Losses: []float64{0.7, 0.3, 0.4}}).AppendWire(nil, wire.F64)
+	apply := (&core.SolverApplyArgs{Version: 1, Alpha: 2}).AppendWire(nil, wire.F64)
+	frame, err := cluster.EncodeRequestFrame(wire.Default, "columnsgd.solverUpdate",
+		&core.SolverUpdateArgs{Version: 1, Iter: 1, BatchSize: 8, LocalSteps: 2, Stats: []float64{1}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, seed := range [][]byte{upd, updRep, grad, gradRep, dir, dirRep, line, lineRep, apply, frame, {}, {0x00}, {0x02}} {
+		f.Add(seed)
+		if len(seed) > 2 {
+			f.Add(seed[:len(seed)/2])
+			mangled := append([]byte(nil), seed...)
+			mangled[0] ^= 0x03 // corrupt the version byte specifically
+			f.Add(mangled)
+		}
+	}
+	solverIDs := []byte{0x20, 0x21, 0x22, 0x23, 0x24, 0x25, 0x26, 0x27, 0x28}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, id := range solverIDs {
+			msg, ok := wire.New(id)
+			if !ok {
+				t.Fatalf("solver ID 0x%02X not registered", id)
+			}
+			if err := msg.DecodeWire(data); err != nil {
+				typedWireErr(t, "solver DecodeWire", err, data)
+				continue
+			}
+			// A frame that decodes must re-encode bit-identically under
+			// any negotiated codec: solver vectors ignore the encoding.
+			first := msg.AppendWire(nil, wire.F64)
+			for _, enc := range []wire.Encoding{wire.F64, wire.F32, wire.F16} {
+				if again := msg.AppendWire(nil, enc); !bytes.Equal(first, again) {
+					t.Fatalf("solver frame 0x%02X re-encode differs under enc %v", id, enc)
+				}
+			}
+			// And the canonical re-encoding decodes back.
+			fresh, _ := wire.New(id)
+			if err := fresh.DecodeWire(first); err != nil {
+				t.Fatalf("solver frame 0x%02X canonical bytes rejected: %v", id, err)
+			}
 		}
 	})
 }

@@ -93,6 +93,33 @@ func goldenCases() []goldenCase {
 			}, LossSum: 3.5, Count: 64, NNZ: 999}),
 		responseCase("need-reply", wireF64,
 			&rowsgd.NeedReply{Dims: []int32{1, 2, 3, 70000}}),
+		// Solver frame family (IDs 0x20–0x28). Vectors are pinned to f64
+		// on the wire regardless of the negotiated encoding — the f32
+		// codec cases below must produce the same value bytes as f64
+		// fixtures would.
+		requestCase("solver-update-args", wireF64, "solverUpdate",
+			&core.SolverUpdateArgs{Version: 1, Iter: 12, BatchSize: 32, Epoch: true,
+				EpochSeed: -5, LocalSteps: 4, Stats: goldenStats(24, 3)}),
+		requestCase("solver-update-f32codec-args", wireF32, "solverUpdate",
+			&core.SolverUpdateArgs{Version: 1, Iter: 12, BatchSize: 32, Epoch: true,
+				EpochSeed: -5, LocalSteps: 4, Stats: goldenStats(24, 3)}),
+		responseCase("solver-update-reply", wireF64,
+			&core.SolverUpdateReply{Loss: 0.25, NNZ: 321, Delta: goldenStats(16, 2)}),
+		requestCase("solver-grad-args", wireF64, "solverGrad",
+			&core.SolverGradArgs{Version: 1, Round: 7, Pairs: 2, Memory: 8, Stats: goldenStats(20, 1)}),
+		responseCase("solver-grad-reply", wireF64,
+			&core.SolverGradReply{Pairs: 2, NNZ: 777, Gram: goldenStats(25, 1)}),
+		requestCase("solver-dir-args", wireF64, "solverDirection",
+			&core.SolverDirArgs{Version: 1, Coeffs: []float64{0.5, -0.25, 0, 0, -1}}),
+		responseCase("solver-dir-reply", wireF64,
+			&core.SolverDirReply{NNZ: 555, Margins: goldenStats(20, 4)}),
+		requestCase("solver-line-args", wireF64, "solverLine",
+			&core.SolverLineArgs{Version: 1, Alphas: []float64{0, 4, 2, 1},
+				Base: goldenStats(12, 1), Dir: goldenStats(12, 2)}),
+		responseCase("solver-line-reply", wireF64,
+			&core.SolverLineReply{Count: 240, Losses: []float64{0.7, 0.31, 0.42, 0.55}}),
+		requestCase("solver-apply-args", wireF64, "solverApply",
+			&core.SolverApplyArgs{Version: 1, Alpha: 2.0}),
 	}
 }
 
@@ -178,6 +205,15 @@ func TestGoldenWireIDsPinned(t *testing.T) {
 		0x10: new(rowsgd.GradReply),
 		0x11: new(rowsgd.NeedReply),
 		0x12: new(rowsgd.SparseGradArgs),
+		0x20: new(core.SolverUpdateArgs),
+		0x21: new(core.SolverUpdateReply),
+		0x22: new(core.SolverGradArgs),
+		0x23: new(core.SolverGradReply),
+		0x24: new(core.SolverDirArgs),
+		0x25: new(core.SolverDirReply),
+		0x26: new(core.SolverLineArgs),
+		0x27: new(core.SolverLineReply),
+		0x28: new(core.SolverApplyArgs),
 	}
 	for id, msg := range ids {
 		if got := msg.WireID(); got != id {

@@ -1,0 +1,370 @@
+package columnsgd_test
+
+// Solver differential harness: the pluggable master-side update rules
+// ("sgd", "local", "lbfgs") run through the five distributed engines
+// and the public API, asserting the solver layer's contract:
+//
+//	(a) naming "sgd" — and "local" at the engine's classic step count —
+//	    is bit-identical to leaving the solver unset, on every engine;
+//	(b) the fatter-round solvers converge deterministically on every
+//	    engine that supports them, and compose with chaos schedules and
+//	    elastic membership exactly like the classic round;
+//	(c) the trade they exist for is real and gated: local-update and
+//	    L-BFGS first reach the target loss in fewer rounds AND fewer
+//	    statistics bytes than per-round SGD (the EXPERIMENTS.md table).
+
+import (
+	"math"
+	"testing"
+
+	columnsgd "columnsgd"
+	"columnsgd/internal/chaos"
+	"columnsgd/internal/chaos/diff"
+	"columnsgd/internal/core"
+)
+
+// TestSolverSGDBitIdenticalToDefault is invariant (a) for the default
+// strategy: naming the classic round must not move a bit on any engine.
+func TestSolverSGDBitIdenticalToDefault(t *testing.T) {
+	for _, eng := range diff.Engines() {
+		t.Run(eng, func(t *testing.T) {
+			base := diff.Workload{Seed: 21}
+			named := base
+			named.Solver = "sgd"
+			plain, err := diff.Run(eng, base, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := diff.Run(eng, named, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !diff.BitIdentical(plain.Weights, got.Weights) {
+				t.Errorf("Solver \"sgd\" diverges from default (max |Δ| = %g)",
+					diff.MaxAbsDiff(plain.Weights, got.Weights))
+			}
+		})
+	}
+}
+
+// TestSolverLocalIdentityMatrix is invariant (a) for the local solver's
+// degenerate case: at the engine's classic step count the "local"
+// strategy must dispatch onto the exact legacy path. That count is 1
+// everywhere except MLlib*, whose classic round already is local-step
+// averaging with a default of 4 steps.
+func TestSolverLocalIdentityMatrix(t *testing.T) {
+	for _, eng := range diff.Engines() {
+		t.Run(eng, func(t *testing.T) {
+			base := diff.Workload{Seed: 23}
+			local := base
+			local.Solver = "local"
+			local.LocalSteps = 1
+			if eng == "mllib*" {
+				local.LocalSteps = 4
+			}
+			plain, err := diff.Run(eng, base, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := diff.Run(eng, local, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !diff.BitIdentical(plain.Weights, got.Weights) {
+				t.Errorf("local K=%d diverges from classic round (max |Δ| = %g)",
+					local.LocalSteps, diff.MaxAbsDiff(plain.Weights, got.Weights))
+			}
+		})
+	}
+}
+
+// solverCase is one solver × engine cell of the differential matrix.
+type solverCase struct {
+	Name   string
+	Engine string
+	W      diff.Workload
+}
+
+// solverWorkloads enumerates the non-degenerate solver × engine matrix:
+// local-update on all five engines, L-BFGS everywhere except MLlib*
+// (model averaging has no central model for the master to line-search).
+func solverWorkloads() []solverCase {
+	var out []solverCase
+	for _, eng := range diff.Engines() {
+		out = append(out, solverCase{eng + "/local-K4", eng,
+			diff.Workload{Seed: 27, Solver: "local", LocalSteps: 4}})
+		if eng == "mllib*" {
+			continue
+		}
+		out = append(out, solverCase{eng + "/lbfgs-m8", eng,
+			diff.Workload{Seed: 27, Solver: "lbfgs", LBFGSMemory: 8}})
+	}
+	return out
+}
+
+// TestSolverConvergenceMatrix is invariant (b)'s clean-transport leg:
+// every supported solver × engine pair converges and replays bit for
+// bit.
+func TestSolverConvergenceMatrix(t *testing.T) {
+	for _, sc := range solverWorkloads() {
+		t.Run(sc.Name, func(t *testing.T) {
+			first, err := diff.Run(sc.Engine, sc.W, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.IsNaN(first.Loss) || first.Loss > 0.45 {
+				t.Fatalf("did not converge: final loss %v", first.Loss)
+			}
+			again, err := diff.Run(sc.Engine, sc.W, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !diff.BitIdentical(first.Weights, again.Weights) {
+				t.Errorf("solver run is not deterministic with itself (max |Δ| = %g)",
+					diff.MaxAbsDiff(first.Weights, again.Weights))
+			}
+		})
+	}
+}
+
+// TestSolverChaosAbsorbed is invariant (b)'s fault leg: a retryable
+// fault schedule under the new round shapes is absorbed — final loss
+// inside the band, counters nonzero — and the faulted run replays bit
+// for bit, so a failing seed is a complete bug report.
+func TestSolverChaosAbsorbed(t *testing.T) {
+	spec, err := chaos.ParseSpec("drop=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Seed = 11
+	for _, sc := range solverWorkloads() {
+		t.Run(sc.Name, func(t *testing.T) {
+			clean, err := runUnderWatchdog(t, spec, func() (*diff.Result, error) {
+				return diff.Run(sc.Engine, sc.W, nil)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			faulted, err := runUnderWatchdog(t, spec, func() (*diff.Result, error) {
+				s := spec
+				return diff.Run(sc.Engine, sc.W, &s)
+			})
+			if err != nil {
+				t.Fatalf("fault schedule not absorbed: %v; %s", err, replayHint(spec))
+			}
+			if faulted.Faults.Injected() == 0 {
+				t.Fatalf("spec injected nothing; %s", replayHint(spec))
+			}
+			if d := math.Abs(faulted.Loss - clean.Loss); d > lossBand {
+				t.Errorf("loss gap %v exceeds band %v (clean %v, faulted %v); %s",
+					d, lossBand, clean.Loss, faulted.Loss, replayHint(spec))
+			}
+			replay, err := runUnderWatchdog(t, spec, func() (*diff.Result, error) {
+				s := spec
+				return diff.Run(sc.Engine, sc.W, &s)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !diff.BitIdentical(faulted.Weights, replay.Weights) {
+				t.Errorf("faulted run does not replay bit-identically (max |Δ| = %g); %s",
+					diff.MaxAbsDiff(faulted.Weights, replay.Weights), replayHint(spec))
+			}
+		})
+	}
+}
+
+// TestSolverMembershipComposition: on the column engine, graceful
+// elastic membership is value-neutral under the local solver exactly as
+// under the classic round — worker slots are logical, local state rides
+// the partition migration, and the run matches the fixed-membership
+// model bit for bit. The RowSGD baselines reject the combination
+// outright (their solver paths have no migration story), which must
+// surface as a config error, not silent misbehavior.
+func TestSolverMembershipComposition(t *testing.T) {
+	fixed := diff.Workload{Seed: 29, Iters: 8, Solver: "local", LocalSteps: 4}
+	elastic := fixed
+	elastic.Membership = "leave@2:2,join@4:3"
+	plain, err := diff.Run("columnsgd", fixed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, err := diff.Run("columnsgd", elastic, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved.Rebalances != 2 || moved.MigrationBytes <= 0 {
+		t.Fatalf("membership schedule did not run: rebalances=%d migration=%d",
+			moved.Rebalances, moved.MigrationBytes)
+	}
+	if !diff.BitIdentical(plain.Weights, moved.Weights) {
+		t.Errorf("graceful migration moved the local-solver model (max |Δ| = %g)",
+			diff.MaxAbsDiff(plain.Weights, moved.Weights))
+	}
+	if _, err := diff.Run("mllib", elastic, nil); err == nil {
+		t.Error("rowsgd accepted local solver + elastic membership")
+	}
+}
+
+// solverBytesToTarget trains one solver configuration on the harness
+// workload and returns (rounds, statistics bytes) spent to first reach
+// the target full-data loss.
+func solverBytesToTarget(t *testing.T, solver string, localSteps, memory, maxIters int, target float64) (int, int64) {
+	t.Helper()
+	w := diff.Workload{Model: "lr", Seed: 5, Batch: 120}.Defaults()
+	prov, err := core.NewLocalProvider(w.Workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewEngine(core.Config{
+		Workers:     w.Workers,
+		ModelName:   w.Model,
+		Opt:         w.Opt,
+		BatchSize:   w.Batch,
+		BlockSize:   16,
+		Seed:        w.Seed,
+		EvalEvery:   1,
+		Solver:      solver,
+		LocalSteps:  localSteps,
+		LBFGSMemory: memory,
+	}, prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := w.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Load(ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(maxIters); err != nil {
+		t.Fatal(err)
+	}
+	var bytes int64
+	for i, it := range e.Trace().Iterations {
+		for _, ph := range it.Phases {
+			bytes += ph.Bytes
+		}
+		if it.Loss == it.Loss && it.Loss <= target {
+			return i + 1, bytes
+		}
+	}
+	t.Fatalf("solver %q never reached loss %v in %d rounds", solver, target, maxIters)
+	return 0, 0
+}
+
+// TestSolverRoundsAndBytesToTarget is invariant (c), the gate behind
+// the EXPERIMENTS.md rounds-to-target table: both fatter-round solvers
+// must first touch the target loss in measurably fewer rounds AND fewer
+// statistics bytes than per-round SGD on the same seeded workload.
+func TestSolverRoundsAndBytesToTarget(t *testing.T) {
+	const target = 0.30
+	sgdRounds, sgdBytes := solverBytesToTarget(t, "sgd", 0, 0, 60, target)
+	localRounds, localBytes := solverBytesToTarget(t, "local", 4, 0, 60, target)
+	lbRounds, lbBytes := solverBytesToTarget(t, "lbfgs", 0, 8, 60, target)
+	t.Logf("to loss ≤ %.2f: sgd %d rounds / %d B; local-K4 %d rounds / %d B; lbfgs-m8 %d rounds / %d B",
+		target, sgdRounds, sgdBytes, localRounds, localBytes, lbRounds, lbBytes)
+	if !(localRounds < sgdRounds) || !(localBytes < sgdBytes) {
+		t.Errorf("local-K4 (%d rounds, %d B) does not beat sgd (%d rounds, %d B)",
+			localRounds, localBytes, sgdRounds, sgdBytes)
+	}
+	if !(lbRounds < sgdRounds) || !(lbBytes < sgdBytes) {
+		t.Errorf("lbfgs-m8 (%d rounds, %d B) does not beat sgd (%d rounds, %d B)",
+			lbRounds, lbBytes, sgdRounds, sgdBytes)
+	}
+}
+
+// TestSolverViaAPI pins the public-API surface: Config.Solver "sgd" is
+// bit-identical to the default, and both new solvers train end to end
+// through Train.
+func TestSolverViaAPI(t *testing.T) {
+	ds := genBinary(t, 240, 24, 5)
+	base := columnsgd.Config{LearningRate: 0.5, Workers: 3, BatchSize: 60, Iterations: 30, Seed: 5}
+
+	plain, err := columnsgd.Train(ds, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	named := base
+	named.Solver = "sgd"
+	got, err := columnsgd.Train(ds, named)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diff.BitIdentical(plain.Weights(), got.Weights()) {
+		t.Errorf("Config.Solver \"sgd\" diverges from default")
+	}
+
+	local := base
+	local.Solver = "local"
+	local.LocalSteps = 4
+	lres, err := columnsgd.Train(ds, local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lres.FinalLoss < plain.FinalLoss) {
+		t.Errorf("local-K4 final loss %v not below sgd %v at equal rounds", lres.FinalLoss, plain.FinalLoss)
+	}
+
+	lb := base
+	lb.Solver = "lbfgs"
+	lb.Iterations = 10
+	bres, err := columnsgd.Train(ds, lb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(bres.FinalLoss < plain.FinalLoss) {
+		t.Errorf("lbfgs final loss %v not below sgd %v", bres.FinalLoss, plain.FinalLoss)
+	}
+}
+
+// TestSolverConfigRejectionsViaAPI is the table-driven validation
+// surface: every invalid solver name, out-of-bounds knob, and
+// disallowed combination must surface as a config error from
+// NewTrainer, never as silent misbehavior.
+func TestSolverConfigRejectionsViaAPI(t *testing.T) {
+	ds := genBinary(t, 60, 10, 3)
+	base := columnsgd.Config{LearningRate: 0.5, Workers: 2, BatchSize: 16, Seed: 3}
+	cases := []struct {
+		name string
+		mut  func(*columnsgd.Config)
+	}{
+		{"unknown-solver", func(c *columnsgd.Config) { c.Solver = "newton" }},
+		{"steps-without-local", func(c *columnsgd.Config) { c.LocalSteps = 4 }},
+		{"steps-with-lbfgs", func(c *columnsgd.Config) { c.Solver = "lbfgs"; c.LocalSteps = 4 }},
+		{"steps-too-high", func(c *columnsgd.Config) { c.Solver = "local"; c.LocalSteps = 65 }},
+		{"steps-negative", func(c *columnsgd.Config) { c.Solver = "local"; c.LocalSteps = -1 }},
+		{"memory-without-lbfgs", func(c *columnsgd.Config) { c.LBFGSMemory = 8 }},
+		{"memory-too-high", func(c *columnsgd.Config) { c.Solver = "lbfgs"; c.LBFGSMemory = 33 }},
+		{"memory-negative", func(c *columnsgd.Config) { c.Solver = "lbfgs"; c.LBFGSMemory = -2 }},
+		{"lbfgs-staleness", func(c *columnsgd.Config) { c.Solver = "lbfgs"; c.Staleness = 2 }},
+		{"lbfgs-backup", func(c *columnsgd.Config) { c.Solver = "lbfgs"; c.Workers = 4; c.Backup = 1 }},
+		{"lbfgs-pipeline", func(c *columnsgd.Config) { c.Solver = "lbfgs"; c.Pipeline = true }},
+		{"lbfgs-epoch", func(c *columnsgd.Config) { c.Solver = "lbfgs"; c.EpochAccess = true }},
+		{"lbfgs-fm", func(c *columnsgd.Config) { c.Solver = "lbfgs"; c.Model = columnsgd.FactorizationMachine; c.Factors = 4 }},
+		{"lbfgs-l1", func(c *columnsgd.Config) { c.Solver = "lbfgs"; c.L1 = 0.01 }},
+		{"lbfgs-adagrad", func(c *columnsgd.Config) { c.Solver = "lbfgs"; c.Optimizer = columnsgd.AdaGrad }},
+		{"lbfgs-f32", func(c *columnsgd.Config) { c.Solver = "lbfgs"; c.Precision = "f32" }},
+		{"lbfgs-membership", func(c *columnsgd.Config) { c.Solver = "lbfgs"; c.Membership = "leave@3:1" }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mut(&cfg)
+		if _, err := columnsgd.NewTrainer(ds, cfg); err == nil {
+			t.Errorf("%s: accepted: %+v", tc.name, cfg)
+		}
+	}
+	// The valid corners of the same table must construct.
+	for _, ok := range []func(*columnsgd.Config){
+		func(c *columnsgd.Config) { c.Solver = "local" },
+		func(c *columnsgd.Config) { c.Solver = "local"; c.LocalSteps = 64 },
+		func(c *columnsgd.Config) { c.Solver = "lbfgs"; c.LBFGSMemory = 32 },
+	} {
+		cfg := base
+		ok(&cfg)
+		if _, err := columnsgd.NewTrainer(ds, cfg); err != nil {
+			t.Errorf("valid solver config rejected: %v (%+v)", err, cfg)
+		}
+	}
+}
